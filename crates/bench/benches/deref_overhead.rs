@@ -1,0 +1,75 @@
+//! E6 — uncontended `DeRefLink` cost: what does wait-freedom cost when
+//! nobody is interfering?
+//!
+//! Three rungs: a plain `AtomicPtr` load (the hardware floor), the
+//! Valois-style lock-free dereference (one FAA + re-check), and the
+//! wait-free dereference (announce store + FAA + retract SWAP). The
+//! deltas are the per-operation price of each scheme's guarantee.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use wfrc_baselines::LfrcDomain;
+use wfrc_core::{DomainConfig, Link, WfrcDomain};
+
+fn bench_deref(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_deref_uncontended");
+    g.sample_size(20);
+
+    // Floor: plain atomic load.
+    {
+        let mut x = 0u64;
+        let word = core::sync::atomic::AtomicPtr::new(&mut x as *mut u64);
+        g.bench_function("plain_atomic_load", |b| {
+            b.iter(|| black_box(word.load(core::sync::atomic::Ordering::SeqCst)))
+        });
+    }
+
+    // Wait-free scheme.
+    {
+        let d = WfrcDomain::<u64>::new(DomainConfig::new(2, 4));
+        let h = d.register().unwrap();
+        let node = h.alloc_with(|v| *v = 1).unwrap();
+        let link = Link::null();
+        h.store(&link, Some(&node));
+        g.bench_function("wfrc_deref_release", |b| {
+            b.iter(|| {
+                // SAFETY: link holds a node of this domain; we release the
+                // acquired count immediately.
+                unsafe {
+                    let p = h.deref_raw(&link);
+                    h.release_raw(black_box(p));
+                }
+            })
+        });
+        h.store(&link, None);
+    }
+
+    // Lock-free baseline.
+    {
+        let d = LfrcDomain::<u64>::new(2, 4);
+        let h = d.register().unwrap();
+        let node = h.alloc_raw().unwrap();
+        let link = Link::null();
+        // SAFETY: transfer the alloc count into the link.
+        unsafe { h.store_link_raw(&link, node) };
+        g.bench_function("lfrc_deref_release", |b| {
+            b.iter(|| {
+                // SAFETY: as above.
+                unsafe {
+                    let p = h.deref_raw(&link);
+                    h.release_raw(black_box(p));
+                }
+            })
+        });
+        // SAFETY: teardown — take the link's count back and drop it.
+        unsafe {
+            let p = link.swap_raw(core::ptr::null_mut());
+            h.release_raw(p);
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_deref);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! E3 (micro) — M&S queue enqueue/dequeue pair cost per scheme,
+//! single-threaded (the thread sweep is `e3_queue`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use wfrc_baselines::epoch::EbrDomain;
+use wfrc_baselines::hazard::HpDomain;
+use wfrc_baselines::LfrcDomain;
+use wfrc_core::{DomainConfig, WfrcDomain};
+use wfrc_structures::epoch_queue::EpochQueue;
+use wfrc_structures::hp_queue::HpQueue;
+use wfrc_structures::queue::{Queue, QueueCell};
+
+fn bench_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_queue_pair");
+    g.sample_size(20);
+
+    {
+        let d = WfrcDomain::<QueueCell<u64>>::new(DomainConfig::new(1, 64));
+        let h = d.register().unwrap();
+        let q = Queue::new(&h).unwrap();
+        g.bench_function("wfrc", |b| {
+            b.iter(|| {
+                q.enqueue(&h, 1).unwrap();
+                q.dequeue(&h).unwrap()
+            })
+        });
+        q.dispose(&h);
+    }
+    {
+        let d = LfrcDomain::<QueueCell<u64>>::new(1, 64);
+        let h = d.register().unwrap();
+        let q = Queue::new(&h).unwrap();
+        g.bench_function("lfrc", |b| {
+            b.iter(|| {
+                q.enqueue(&h, 1).unwrap();
+                q.dequeue(&h).unwrap()
+            })
+        });
+        q.dispose(&h);
+    }
+    {
+        let d = HpDomain::new(1);
+        let mut h = d.register().unwrap();
+        let q = HpQueue::new();
+        g.bench_function("hazard", |b| {
+            b.iter(|| {
+                q.enqueue(&mut h, 1u64);
+                q.dequeue(&mut h).unwrap()
+            })
+        });
+    }
+    {
+        let d = EbrDomain::new(1);
+        let h = d.register().unwrap();
+        let q = EpochQueue::new();
+        g.bench_function("epoch", |b| {
+            b.iter(|| {
+                q.enqueue(&h, 1u64);
+                q.dequeue(&h).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_queue);
+criterion_main!(benches);

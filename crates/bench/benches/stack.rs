@@ -1,0 +1,66 @@
+//! E2 (micro) — Treiber stack push/pop pair cost per scheme,
+//! single-threaded (the thread sweep is `e2_stack`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use wfrc_baselines::epoch::EbrDomain;
+use wfrc_baselines::hazard::HpDomain;
+use wfrc_baselines::LfrcDomain;
+use wfrc_core::{DomainConfig, WfrcDomain};
+use wfrc_structures::epoch_stack::EpochStack;
+use wfrc_structures::hp_stack::HpStack;
+use wfrc_structures::stack::{Stack, StackCell};
+
+fn bench_stack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_stack_pair");
+    g.sample_size(20);
+
+    {
+        let d = WfrcDomain::<StackCell<u64>>::new(DomainConfig::new(1, 64));
+        let h = d.register().unwrap();
+        let s = Stack::new();
+        g.bench_function("wfrc", |b| {
+            b.iter(|| {
+                s.push(&h, 1).unwrap();
+                s.pop(&h).unwrap()
+            })
+        });
+    }
+    {
+        let d = LfrcDomain::<StackCell<u64>>::new(1, 64);
+        let h = d.register().unwrap();
+        let s = Stack::new();
+        g.bench_function("lfrc", |b| {
+            b.iter(|| {
+                s.push(&h, 1).unwrap();
+                s.pop(&h).unwrap()
+            })
+        });
+    }
+    {
+        let d = HpDomain::new(1);
+        let mut h = d.register().unwrap();
+        let s = HpStack::new();
+        g.bench_function("hazard", |b| {
+            b.iter(|| {
+                s.push(&mut h, 1u64);
+                s.pop(&mut h).unwrap()
+            })
+        });
+    }
+    {
+        let d = EbrDomain::new(1);
+        let h = d.register().unwrap();
+        let s = EpochStack::new();
+        g.bench_function("epoch", |b| {
+            b.iter(|| {
+                s.push(&h, 1u64);
+                s.pop(&h).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_stack);
+criterion_main!(benches);

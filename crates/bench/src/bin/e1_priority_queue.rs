@@ -1,0 +1,53 @@
+//! E1 — the paper's §5 experiment: skiplist priority queue throughput,
+//! wait-free memory management vs. the default lock-free scheme.
+//!
+//! Paper claim: "asymptotically similar performance behavior in average".
+//! Expected shape: the two columns track each other within a small constant
+//! factor at every thread count, with WFRC paying its announcement +
+//! O(N)-helping overhead and LFRC paying retry storms.
+//!
+//! ```text
+//! cargo run --release --bin e1_priority_queue [-- --threads 1,2,4,8 --ops 20000 --json]
+//! ```
+
+use std::sync::Arc;
+
+use bench::drivers::{capacity_for, run_pq_rc};
+use bench::Args;
+use wfrc_baselines::LfrcDomain;
+use wfrc_core::{DomainConfig, WfrcDomain};
+use wfrc_sim::stats::{fmt_ops, Table};
+use wfrc_sim::workload::WorkloadCfg;
+use wfrc_structures::priority_queue::PqCell;
+
+fn main() {
+    let args = Args::parse(&[1, 2, 4, 8], 20_000);
+    let cfg = WorkloadCfg::e1_default();
+    let mut table = Table::new(
+        "E1: priority queue, 50% insert / 50% delete-min (ops/s; paper §5: WFRC ≈ LFRC on average)",
+        &["threads", "wfrc ops/s", "lfrc ops/s", "wfrc/lfrc", "wfrc helps", "lfrc max deref retries"],
+    );
+    for &t in &args.threads {
+        let cap = capacity_for(&cfg, t, args.ops);
+        let wf = {
+            let d = Arc::new(WfrcDomain::<PqCell<u64>>::new(DomainConfig::new(t + 1, cap)));
+            run_pq_rc(d, t, args.ops, cfg)
+        };
+        let lf = {
+            let d = Arc::new(LfrcDomain::<PqCell<u64>>::new(t + 1, cap));
+            run_pq_rc(d, t, args.ops, cfg)
+        };
+        table.row(&[
+            t.to_string(),
+            fmt_ops(wf.ops_per_sec()),
+            fmt_ops(lf.ops_per_sec()),
+            format!("{:.2}", wf.ops_per_sec() / lf.ops_per_sec()),
+            wf.counters.help_calls.to_string(),
+            lf.counters.max_deref_retries.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    if args.json {
+        println!("{}", table.to_json());
+    }
+}

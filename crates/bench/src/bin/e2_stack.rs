@@ -1,0 +1,56 @@
+//! E2 — Treiber stack push/pop pairs across all four reclamation schemes
+//! (the §3.2 compatibility claim, measured).
+//!
+//! Expected shape: EBR fastest (cheapest reads), HP next, the two
+//! reference-counting schemes behind (every link touch is an RMW), with
+//! WFRC ≈ LFRC on average — the paper's central parity claim.
+//!
+//! ```text
+//! cargo run --release --bin e2_stack [-- --threads 1,2,4,8 --ops 20000 --json]
+//! ```
+
+use std::sync::Arc;
+
+use bench::drivers::{run_stack_ebr, run_stack_hp, run_stack_rc};
+use bench::Args;
+use wfrc_baselines::LfrcDomain;
+use wfrc_core::{DomainConfig, WfrcDomain};
+use wfrc_sim::stats::{fmt_ops, Table};
+use wfrc_structures::stack::StackCell;
+
+fn main() {
+    let args = Args::parse(&[1, 2, 4, 8], 20_000);
+    const PREFILL: usize = 64;
+    let mut table = Table::new(
+        "E2: Treiber stack push/pop pairs (ops/s)",
+        &["threads", "wfrc", "lfrc", "hazard", "epoch"],
+    );
+    for &t in &args.threads {
+        let cap = PREFILL + t * 16 + 64;
+        let wf = run_stack_rc(
+            Arc::new(WfrcDomain::<StackCell<u64>>::new(DomainConfig::new(t + 1, cap))),
+            t,
+            args.ops,
+            PREFILL,
+        );
+        let lf = run_stack_rc(
+            Arc::new(LfrcDomain::<StackCell<u64>>::new(t + 1, cap)),
+            t,
+            args.ops,
+            PREFILL,
+        );
+        let hp = run_stack_hp(t, args.ops, PREFILL);
+        let ebr = run_stack_ebr(t, args.ops, PREFILL);
+        table.row(&[
+            t.to_string(),
+            fmt_ops(wf.ops_per_sec()),
+            fmt_ops(lf.ops_per_sec()),
+            fmt_ops(hp.ops_per_sec()),
+            fmt_ops(ebr.ops_per_sec()),
+        ]);
+    }
+    println!("{}", table.render());
+    if args.json {
+        println!("{}", table.to_json());
+    }
+}

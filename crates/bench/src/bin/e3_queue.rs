@@ -1,0 +1,56 @@
+//! E3 — Michael–Scott queue enqueue/dequeue pairs across all four
+//! reclamation schemes.
+//!
+//! Same expected shape as E2; the queue adds the lagging-tail dereference
+//! pattern, which stresses `DeRefLink` on links *inside* retired nodes —
+//! the case reference counting handles naturally.
+//!
+//! ```text
+//! cargo run --release --bin e3_queue [-- --threads 1,2,4,8 --ops 20000 --json]
+//! ```
+
+use std::sync::Arc;
+
+use bench::drivers::{run_queue_ebr, run_queue_hp, run_queue_rc};
+use bench::Args;
+use wfrc_baselines::LfrcDomain;
+use wfrc_core::{DomainConfig, WfrcDomain};
+use wfrc_sim::stats::{fmt_ops, Table};
+use wfrc_structures::queue::QueueCell;
+
+fn main() {
+    let args = Args::parse(&[1, 2, 4, 8], 20_000);
+    const PREFILL: usize = 64;
+    let mut table = Table::new(
+        "E3: Michael-Scott queue enqueue/dequeue pairs (ops/s)",
+        &["threads", "wfrc", "lfrc", "hazard", "epoch"],
+    );
+    for &t in &args.threads {
+        let cap = PREFILL + t * 16 + 64;
+        let wf = run_queue_rc(
+            Arc::new(WfrcDomain::<QueueCell<u64>>::new(DomainConfig::new(t + 1, cap))),
+            t,
+            args.ops,
+            PREFILL,
+        );
+        let lf = run_queue_rc(
+            Arc::new(LfrcDomain::<QueueCell<u64>>::new(t + 1, cap)),
+            t,
+            args.ops,
+            PREFILL,
+        );
+        let hp = run_queue_hp(t, args.ops, PREFILL);
+        let ebr = run_queue_ebr(t, args.ops, PREFILL);
+        table.row(&[
+            t.to_string(),
+            fmt_ops(wf.ops_per_sec()),
+            fmt_ops(lf.ops_per_sec()),
+            fmt_ops(hp.ops_per_sec()),
+            fmt_ops(ebr.ops_per_sec()),
+        ]);
+    }
+    println!("{}", table.render());
+    if args.json {
+        println!("{}", table.to_json());
+    }
+}

@@ -1,0 +1,74 @@
+//! E4 — the wait-freedom of `DeRefLink` (Lemma 6) vs. the unbounded retry
+//! loop of Valois-style dereferencing, under adversarial link flipping.
+//!
+//! One reader dereferences a hot link while k writer threads flip it
+//! between two nodes. The load-bearing column is **max retries per op**:
+//! structurally 0 for the wait-free scheme (its dereference has no retry
+//! loop at all — the announcement either survives or is answered), and
+//! growing with interference for the lock-free baseline. Latency
+//! percentiles on a 1-CPU box are dominated by preemption, so the retry
+//! counters are the primary evidence; the latency tail is reported anyway.
+//!
+//! ```text
+//! cargo run --release --bin e4_deref_interference [-- --threads 0,1,2,4 --ops 100000 --json]
+//! ```
+//! (here `--threads` = interfering writer counts)
+
+use std::sync::Arc;
+
+use bench::drivers::run_deref_interference;
+use bench::Args;
+use wfrc_baselines::LfrcDomain;
+use wfrc_core::{DomainConfig, WfrcDomain};
+use wfrc_sim::stats::{fmt_ns, Summary, Table};
+use wfrc_sim::Histogram;
+
+fn main() {
+    let args = Args::parse(&[0, 1, 2, 4], 100_000);
+    let mut table = Table::new(
+        "E4: DeRefLink under link-flipping interference (reader-side)",
+        &[
+            "writers",
+            "scheme",
+            "reader ops/s",
+            "mean",
+            "p99",
+            "max",
+            "deref retries (total)",
+            "max retries/op",
+            "helped derefs",
+        ],
+    );
+    for &w in &args.threads {
+        for scheme in ["wfrc", "lfrc"] {
+            let (result, hist, counters): (bench::RunResult, Histogram, _) = if scheme == "wfrc" {
+                let d = Arc::new(WfrcDomain::<u64>::new(DomainConfig::new(w + 2, 16)));
+                run_deref_interference(d, w, args.ops)
+            } else {
+                // Disable backoff so retry counts reflect raw contention.
+                let mut d = LfrcDomain::<u64>::new(w + 2, 16);
+                d.set_backoff(false);
+                run_deref_interference(Arc::new(d), w, args.ops)
+            };
+            let s = Summary::of(&hist);
+            table.row(&[
+                w.to_string(),
+                scheme.to_string(),
+                wfrc_sim::stats::fmt_ops(result.ops_per_sec()),
+                fmt_ns(s.mean as u64),
+                fmt_ns(s.p99),
+                fmt_ns(s.max),
+                counters.deref_retries.to_string(),
+                counters.max_deref_retries.to_string(),
+                counters.deref_helped.to_string(),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "note: wfrc max retries/op is structurally 0 (DeRefLink has no retry loop; Lemma 6).\n"
+    );
+    if args.json {
+        println!("{}", table.to_json());
+    }
+}

@@ -1,0 +1,67 @@
+//! E5 — wait-freedom of `AllocNode`/`FreeNode` (Lemmas 9–10) vs. the
+//! single-head Treiber free-list.
+//!
+//! All threads alloc/free at full speed on a small pool. Load-bearing
+//! columns: **max A3–A18 iterations per alloc** (bounded by helping for
+//! WFRC — Lemma 9's claim) and **free push retries** (bounded to the two
+//! per-thread stripes for WFRC — Lemma 10), vs. the baseline's unbounded
+//! equivalents. Gift statistics show the helping machinery actually firing.
+//!
+//! ```text
+//! cargo run --release --bin e5_alloc_interference [-- --threads 1,2,4,8 --ops 100000 --json]
+//! ```
+
+use std::sync::Arc;
+
+use bench::drivers::run_alloc_churn;
+use bench::Args;
+use wfrc_baselines::LfrcDomain;
+use wfrc_core::{DomainConfig, WfrcDomain};
+use wfrc_sim::stats::{fmt_ops, Table};
+
+fn main() {
+    let args = Args::parse(&[1, 2, 4, 8], 100_000);
+    let mut table = Table::new(
+        "E5: free-list churn (alloc+free per op)",
+        &[
+            "threads",
+            "scheme",
+            "ops/s",
+            "max alloc iters",
+            "alloc CAS fails",
+            "max free retries",
+            "gifts given",
+            "allocs from gift",
+        ],
+    );
+    for &t in &args.threads {
+        let cap = t * 4 + 8;
+        for scheme in ["wfrc", "lfrc"] {
+            let r = if scheme == "wfrc" {
+                run_alloc_churn(
+                    Arc::new(WfrcDomain::<u64>::new(DomainConfig::new(t, cap))),
+                    t,
+                    args.ops,
+                )
+            } else {
+                let mut d = LfrcDomain::<u64>::new(t, cap);
+                d.set_backoff(false);
+                run_alloc_churn(Arc::new(d), t, args.ops)
+            };
+            table.row(&[
+                t.to_string(),
+                scheme.to_string(),
+                fmt_ops(r.ops_per_sec()),
+                r.counters.max_alloc_iters.to_string(),
+                r.counters.alloc_cas_failures.to_string(),
+                r.counters.max_free_push_retries.to_string(),
+                r.counters.alloc_gave_gift.to_string(),
+                r.counters.alloc_from_gift.to_string(),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    if args.json {
+        println!("{}", table.to_json());
+    }
+}

@@ -1,0 +1,60 @@
+//! E7 — allocation fairness: does every thread make progress under full
+//! free-list contention?
+//!
+//! All threads alloc/free for a fixed window; we report each thread's
+//! completed operations and the min/max ratio. The wait-free scheme's
+//! round-robin helping (`helpCurrent`) guarantees every thread is
+//! eventually served (Lemma 9); the Treiber baseline has no such
+//! mechanism, so its ratio degrades under contention (on a multi-core box;
+//! a single CPU's scheduler masks some of the effect — the gift counters
+//! still show the mechanism working).
+//!
+//! ```text
+//! cargo run --release --bin e7_fairness [-- --threads 2,4,8 --ops 300]
+//! ```
+//! (`--ops` is the measurement window in milliseconds here)
+
+use std::sync::Arc;
+
+use bench::drivers::run_alloc_fairness;
+use bench::Args;
+use wfrc_baselines::LfrcDomain;
+use wfrc_core::{DomainConfig, WfrcDomain};
+use wfrc_sim::stats::Table;
+
+fn main() {
+    let args = Args::parse(&[2, 4, 8], 300);
+    let window_ms = args.ops;
+    let mut table = Table::new(
+        "E7: per-thread alloc completions in a fixed window (fairness)",
+        &["threads", "scheme", "min ops", "max ops", "min/max"],
+    );
+    for &t in &args.threads {
+        for scheme in ["wfrc", "lfrc"] {
+            let per_thread = if scheme == "wfrc" {
+                run_alloc_fairness(
+                    Arc::new(WfrcDomain::<u64>::new(DomainConfig::new(t, t * 2 + 4))),
+                    t,
+                    window_ms,
+                )
+            } else {
+                let mut d = LfrcDomain::<u64>::new(t, t * 2 + 4);
+                d.set_backoff(false);
+                run_alloc_fairness(Arc::new(d), t, window_ms)
+            };
+            let min = *per_thread.iter().min().unwrap();
+            let max = *per_thread.iter().max().unwrap();
+            table.row(&[
+                t.to_string(),
+                scheme.to_string(),
+                min.to_string(),
+                max.to_string(),
+                format!("{:.3}", min as f64 / max.max(1) as f64),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    if args.json {
+        println!("{}", table.to_json());
+    }
+}

@@ -1,0 +1,81 @@
+//! E8 — ablations of the wait-free scheme's design choices.
+//!
+//! The three ablations are **compile-time** (they change the algorithms'
+//! data layout or code paths), so this binary reports the configuration it
+//! was built with and runs the standard E1/E5 cells; compare runs:
+//!
+//! ```text
+//! cargo run --release --bin e8_ablations                                     # baseline
+//! cargo run --release --bin e8_ablations --features ablation-no-helping     # E8(a)
+//! cargo run --release --bin e8_ablations --features ablation-no-pad         # E8(b)
+//! cargo run --release --bin e8_ablations --features ablation-relaxed-mmref  # E8(c)
+//! ```
+//!
+//! * (a) without alloc helping the free-list degenerates to lock-free:
+//!   `max alloc iters` loses its bound (and gifts drop to zero);
+//! * (b) without padding, false sharing on the announcement matrices and
+//!   free-list heads taxes every operation;
+//! * (c) `AcqRel` on `mm_ref` shaves fence cost off every count update —
+//!   the measurable price of the conservative `SeqCst` default.
+
+use std::sync::Arc;
+
+use bench::drivers::{capacity_for, run_alloc_churn, run_pq_rc};
+use bench::Args;
+use wfrc_core::{DomainConfig, WfrcDomain};
+use wfrc_sim::stats::{fmt_ops, Table};
+use wfrc_sim::workload::WorkloadCfg;
+use wfrc_structures::priority_queue::PqCell;
+
+fn config_name() -> &'static str {
+    if cfg!(feature = "ablation-no-helping") {
+        "no-alloc-helping (E8a)"
+    } else if cfg!(feature = "ablation-no-pad") {
+        "no-pad (E8b)"
+    } else if cfg!(feature = "ablation-relaxed-mmref") {
+        "relaxed-mmref (E8c)"
+    } else {
+        "baseline"
+    }
+}
+
+fn main() {
+    let args = Args::parse(&[1, 4], 20_000);
+    println!("build configuration: {}\n", config_name());
+    let cfg = WorkloadCfg::e1_default();
+    let mut table = Table::new(
+        format!("E8 [{}]: PQ throughput + free-list churn", config_name()),
+        &[
+            "threads",
+            "pq ops/s",
+            "churn ops/s",
+            "max alloc iters",
+            "gifts given",
+        ],
+    );
+    for &t in &args.threads {
+        let cap = capacity_for(&cfg, t, args.ops);
+        let pq = run_pq_rc(
+            Arc::new(WfrcDomain::<PqCell<u64>>::new(DomainConfig::new(t + 1, cap))),
+            t,
+            args.ops,
+            cfg,
+        );
+        let churn = run_alloc_churn(
+            Arc::new(WfrcDomain::<u64>::new(DomainConfig::new(t, t * 4 + 8))),
+            t,
+            args.ops * 4,
+        );
+        table.row(&[
+            t.to_string(),
+            fmt_ops(pq.ops_per_sec()),
+            fmt_ops(churn.ops_per_sec()),
+            churn.counters.max_alloc_iters.to_string(),
+            churn.counters.alloc_gave_gift.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    if args.json {
+        println!("{}", table.to_json());
+    }
+}

@@ -1,0 +1,138 @@
+//! E9 — reclamation under a stalled thread: the paper's real-time
+//! argument, measured.
+//!
+//! One thread acquires a reference/pin/hazard and then stalls forever.
+//! The other threads churn through nodes. How much memory can pile up?
+//!
+//! * **WFRC / LFRC (reference counting)**: a stalled thread pins exactly
+//!   the nodes it holds counts on — here, one. Everything else recycles.
+//! * **Hazard pointers**: a stalled thread pins at most `K` nodes (its
+//!   hazard slots); retired lists stay below the scan threshold.
+//! * **Epochs**: a stalled *pinned* thread freezes the global epoch —
+//!   garbage grows **without bound** (proportional to the churn), which is
+//!   why EBR was never a candidate for the paper's real-time setting.
+//!
+//! ```text
+//! cargo run --release --bin e9_stall [-- --ops 50000]
+//! ```
+
+use std::sync::atomic::AtomicPtr;
+
+use bench::Args;
+use wfrc_baselines::epoch::EbrDomain;
+use wfrc_baselines::hazard::HpDomain;
+use wfrc_baselines::LfrcDomain;
+use wfrc_core::{DomainConfig, WfrcDomain};
+use wfrc_sim::stats::Table;
+
+fn main() {
+    let args = Args::parse(&[1], 50_000);
+    let churn = args.ops;
+    let mut table = Table::new(
+        "E9: unreclaimed nodes after churn with one stalled thread",
+        &["scheme", "stalled holds", "churned", "unreclaimed", "bounded?"],
+    );
+
+    // WFRC: stalled thread holds one NodeRef.
+    {
+        let d = WfrcDomain::<u64>::new(DomainConfig::new(2, 64));
+        let h_stall = d.register().unwrap();
+        let held = h_stall.alloc_with(|v| *v = 1).unwrap(); // stalled forever
+        let h = d.register().unwrap();
+        for _ in 0..churn {
+            let n = h.alloc_with(|v| *v = 2).expect("pool never exhausts");
+            drop(n);
+        }
+        drop(h);
+        let live = d.leak_check().live_nodes;
+        table.row(&[
+            "wfrc".into(),
+            "1 ref".into(),
+            churn.to_string(),
+            (live - 1).to_string(), // minus the deliberately held node
+            "yes (exact)".into(),
+        ]);
+        drop(held);
+        drop(h_stall);
+    }
+
+    // LFRC: identical bound (refcounting property, not wait-freedom).
+    {
+        let d = LfrcDomain::<u64>::new(2, 64);
+        let h_stall = d.register().unwrap();
+        let held = h_stall.alloc_raw().unwrap(); // stalled forever
+        let h = d.register().unwrap();
+        for _ in 0..churn {
+            let n = h.alloc_raw().expect("pool never exhausts");
+            // SAFETY: we own the alloc reference.
+            unsafe { h.release_raw(n) };
+        }
+        drop(h);
+        let live = d.leak_check().live_nodes;
+        table.row(&[
+            "lfrc".into(),
+            "1 ref".into(),
+            churn.to_string(),
+            (live - 1).to_string(),
+            "yes (exact)".into(),
+        ]);
+        // SAFETY: teardown.
+        unsafe { h_stall.release_raw(held) };
+    }
+
+    // Hazard pointers: stalled thread protects one node.
+    {
+        let d = HpDomain::<u64>::new(2);
+        let mut h_stall = d.register().unwrap();
+        let node = h_stall.alloc(7);
+        let src = AtomicPtr::new(node);
+        let p = h_stall.protect(0, &src);
+        assert_eq!(p, node); // protected forever
+        let mut h = d.register().unwrap();
+        for i in 0..churn {
+            let n = h.alloc(i);
+            // SAFETY: never published; retired exactly once.
+            unsafe { h.retire(n) };
+        }
+        h.scan();
+        let pending = h.pending();
+        table.row(&[
+            "hazard".into(),
+            "1 hazard".into(),
+            churn.to_string(),
+            pending.to_string(),
+            "yes (≤ scan threshold)".into(),
+        ]);
+        h_stall.clear(0);
+        // SAFETY: sole owner now.
+        unsafe { h_stall.retire(node) };
+    }
+
+    // Epochs: stalled thread pins.
+    {
+        let d = EbrDomain::<u64>::new(2);
+        let h_stall = d.register().unwrap();
+        let _pin = h_stall.pin(); // stalled while pinned: reclamation freezes
+        let h = d.register().unwrap();
+        h.try_advance(); // one advance may still slip through
+        for i in 0..churn {
+            let n = h.alloc(i);
+            // SAFETY: never published; retired exactly once.
+            unsafe { h.retire(n) };
+        }
+        let pending = h.pending();
+        table.row(&[
+            "epoch".into(),
+            "1 pin".into(),
+            churn.to_string(),
+            pending.to_string(),
+            "NO (grows with churn)".into(),
+        ]);
+        drop(_pin);
+    }
+
+    println!("{}", table.render());
+    if args.json {
+        println!("{}", table.to_json());
+    }
+}

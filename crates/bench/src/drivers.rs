@@ -1,0 +1,487 @@
+//! Workload drivers, one per experiment family.
+
+use std::sync::Arc;
+
+use wfrc_baselines::epoch::EbrDomain;
+use wfrc_baselines::hazard::HpDomain;
+use wfrc_core::counters::CounterSnapshot;
+use wfrc_sim::exec::run_fixed_ops;
+use wfrc_sim::latency::Histogram;
+use wfrc_sim::workload::{OpKind, WorkloadCfg};
+use wfrc_structures::epoch_queue::EpochQueue;
+use wfrc_structures::epoch_stack::EpochStack;
+use wfrc_structures::hp_queue::HpQueue;
+use wfrc_structures::hp_stack::HpStack;
+use wfrc_structures::manager::{RcMm, RcMmDomain};
+use wfrc_structures::priority_queue::{PqCell, PriorityQueue};
+use wfrc_structures::queue::{Queue, QueueCell};
+use wfrc_structures::stack::{Stack, StackCell};
+
+use crate::RunResult;
+
+fn merge_counters(parts: Vec<(u64, CounterSnapshot)>) -> (u64, CounterSnapshot) {
+    parts.into_iter().fold(
+        (0, CounterSnapshot::default()),
+        |(ops, acc), (o, c)| (ops + o, acc.merged(&c)),
+    )
+}
+
+/// Capacity heuristic: prefill plus headroom for transient imbalance and
+/// per-thread in-flight nodes.
+pub fn capacity_for(cfg: &WorkloadCfg, threads: usize, ops: u64) -> usize {
+    // A 50/50 random walk wanders ~ O(sqrt(total ops)); give 8x headroom.
+    let walk = ((threads as u64 * ops) as f64).sqrt() as usize * 8;
+    cfg.prefill + walk + threads * 16 + 1024
+}
+
+/// E1: skiplist priority queue, paper workload (50/50 insert/delete-min).
+/// Returns total ops + merged counters. Inserts that hit OOM fall back to
+/// delete-min (counted normally); with the capacity heuristic this is
+/// vanishingly rare.
+pub fn run_pq_rc<D>(domain: Arc<D>, threads: usize, ops: u64, cfg: WorkloadCfg) -> RunResult
+where
+    D: RcMmDomain<PqCell<u64>> + Send + Sync + 'static,
+{
+    let h0 = domain.register_mm().expect("register");
+    let pq = Arc::new(PriorityQueue::<u64>::new(&h0).expect("sentinel"));
+    {
+        let mut stream = cfg.stream(usize::MAX);
+        for _ in 0..cfg.prefill {
+            let k = stream.next_key();
+            pq.insert(&h0, k, k).expect("prefill");
+        }
+    }
+    drop(h0);
+    let (parts, wall) = run_fixed_ops(threads, |t| {
+        let domain = Arc::clone(&domain);
+        let pq = Arc::clone(&pq);
+        let mut stream = cfg.stream(t);
+        move || {
+            let h = domain.register_mm().expect("register");
+            let mut done = 0u64;
+            for _ in 0..ops {
+                match stream.next_op() {
+                    (OpKind::Insert, k) => {
+                        if pq.insert(&h, k, k).is_err() {
+                            let _ = pq.delete_min(&h);
+                        }
+                    }
+                    (OpKind::Remove, _) | (OpKind::Lookup, _) => {
+                        let _ = pq.delete_min(&h);
+                    }
+                }
+                done += 1;
+            }
+            (done, h.counter_snapshot())
+        }
+    });
+    let (total_ops, counters) = merge_counters(parts);
+    // Teardown outside the measured section.
+    let h = domain.register_mm().expect("register");
+    while pq.delete_min(&h).is_some() {}
+    match Arc::try_unwrap(pq) {
+        Ok(pq) => pq.dispose(&h),
+        Err(_) => unreachable!("workers joined"),
+    }
+    drop(h);
+    RunResult {
+        threads,
+        total_ops,
+        wall,
+        counters,
+    }
+}
+
+/// E2 (refcounting schemes): Treiber stack, push/pop pairs.
+pub fn run_stack_rc<D>(domain: Arc<D>, threads: usize, pairs: u64, prefill: usize) -> RunResult
+where
+    D: RcMmDomain<StackCell<u64>> + Send + Sync + 'static,
+{
+    let h0 = domain.register_mm().expect("register");
+    let stack = Arc::new(Stack::<u64>::new());
+    for i in 0..prefill {
+        stack.push(&h0, i as u64).expect("prefill");
+    }
+    drop(h0);
+    let (parts, wall) = run_fixed_ops(threads, |_| {
+        let domain = Arc::clone(&domain);
+        let stack = Arc::clone(&stack);
+        move || {
+            let h = domain.register_mm().expect("register");
+            let mut done = 0u64;
+            for i in 0..pairs {
+                stack.push(&h, i).expect("push");
+                let _ = stack.pop(&h);
+                done += 2;
+            }
+            (done, h.counter_snapshot())
+        }
+    });
+    let (total_ops, counters) = merge_counters(parts);
+    let h = domain.register_mm().expect("register");
+    stack.clear(&h);
+    drop(h);
+    RunResult {
+        threads,
+        total_ops,
+        wall,
+        counters,
+    }
+}
+
+/// E2 (hazard pointers): same pairs workload.
+pub fn run_stack_hp(threads: usize, pairs: u64, prefill: usize) -> RunResult {
+    let domain = Arc::new(HpDomain::new(threads + 1));
+    let stack = Arc::new(HpStack::<u64>::new());
+    {
+        let mut h = domain.register().expect("register");
+        for i in 0..prefill {
+            stack.push(&mut h, i as u64);
+        }
+    }
+    let (parts, wall) = run_fixed_ops(threads, |_| {
+        let domain = Arc::clone(&domain);
+        let stack = Arc::clone(&stack);
+        move || {
+            let mut h = domain.register().expect("register");
+            let mut done = 0u64;
+            for i in 0..pairs {
+                stack.push(&mut h, i);
+                let _ = stack.pop(&mut h);
+                done += 2;
+            }
+            done
+        }
+    });
+    RunResult {
+        threads,
+        total_ops: parts.into_iter().sum(),
+        wall,
+        counters: CounterSnapshot::default(),
+    }
+}
+
+/// E2 (epochs): same pairs workload.
+pub fn run_stack_ebr(threads: usize, pairs: u64, prefill: usize) -> RunResult {
+    let domain = Arc::new(EbrDomain::new(threads + 1));
+    let stack = Arc::new(EpochStack::<u64>::new());
+    {
+        let h = domain.register().expect("register");
+        for i in 0..prefill {
+            stack.push(&h, i as u64);
+        }
+    }
+    let (parts, wall) = run_fixed_ops(threads, |_| {
+        let domain = Arc::clone(&domain);
+        let stack = Arc::clone(&stack);
+        move || {
+            let h = domain.register().expect("register");
+            let mut done = 0u64;
+            for i in 0..pairs {
+                stack.push(&h, i);
+                let _ = stack.pop(&h);
+                done += 2;
+            }
+            done
+        }
+    });
+    RunResult {
+        threads,
+        total_ops: parts.into_iter().sum(),
+        wall,
+        counters: CounterSnapshot::default(),
+    }
+}
+
+/// E3 (refcounting schemes): M&S queue, enqueue/dequeue pairs.
+pub fn run_queue_rc<D>(domain: Arc<D>, threads: usize, pairs: u64, prefill: usize) -> RunResult
+where
+    D: RcMmDomain<QueueCell<u64>> + Send + Sync + 'static,
+{
+    let h0 = domain.register_mm().expect("register");
+    let queue = Arc::new(Queue::<u64>::new(&h0).expect("dummy"));
+    for i in 0..prefill {
+        queue.enqueue(&h0, i as u64).expect("prefill");
+    }
+    drop(h0);
+    let (parts, wall) = run_fixed_ops(threads, |_| {
+        let domain = Arc::clone(&domain);
+        let queue = Arc::clone(&queue);
+        move || {
+            let h = domain.register_mm().expect("register");
+            let mut done = 0u64;
+            for i in 0..pairs {
+                queue.enqueue(&h, i).expect("enqueue");
+                let _ = queue.dequeue(&h);
+                done += 2;
+            }
+            (done, h.counter_snapshot())
+        }
+    });
+    let (total_ops, counters) = merge_counters(parts);
+    let h = domain.register_mm().expect("register");
+    match Arc::try_unwrap(queue) {
+        Ok(q) => q.dispose(&h),
+        Err(_) => unreachable!("workers joined"),
+    }
+    drop(h);
+    RunResult {
+        threads,
+        total_ops,
+        wall,
+        counters,
+    }
+}
+
+/// E3 (hazard pointers).
+pub fn run_queue_hp(threads: usize, pairs: u64, prefill: usize) -> RunResult {
+    let domain = Arc::new(HpDomain::new(threads + 1));
+    let queue = Arc::new(HpQueue::<u64>::new());
+    {
+        let mut h = domain.register().expect("register");
+        for i in 0..prefill {
+            queue.enqueue(&mut h, i as u64);
+        }
+    }
+    let (parts, wall) = run_fixed_ops(threads, |_| {
+        let domain = Arc::clone(&domain);
+        let queue = Arc::clone(&queue);
+        move || {
+            let mut h = domain.register().expect("register");
+            let mut done = 0u64;
+            for i in 0..pairs {
+                queue.enqueue(&mut h, i);
+                let _ = queue.dequeue(&mut h);
+                done += 2;
+            }
+            done
+        }
+    });
+    RunResult {
+        threads,
+        total_ops: parts.into_iter().sum(),
+        wall,
+        counters: CounterSnapshot::default(),
+    }
+}
+
+/// E3 (epochs).
+pub fn run_queue_ebr(threads: usize, pairs: u64, prefill: usize) -> RunResult {
+    let domain = Arc::new(EbrDomain::new(threads + 1));
+    let queue = Arc::new(EpochQueue::<u64>::new());
+    {
+        let h = domain.register().expect("register");
+        for i in 0..prefill {
+            queue.enqueue(&h, i as u64);
+        }
+    }
+    let (parts, wall) = run_fixed_ops(threads, |_| {
+        let domain = Arc::clone(&domain);
+        let queue = Arc::clone(&queue);
+        move || {
+            let h = domain.register().expect("register");
+            let mut done = 0u64;
+            for i in 0..pairs {
+                queue.enqueue(&h, i);
+                let _ = queue.dequeue(&h);
+                done += 2;
+            }
+            done
+        }
+    });
+    RunResult {
+        threads,
+        total_ops: parts.into_iter().sum(),
+        wall,
+        counters: CounterSnapshot::default(),
+    }
+}
+
+/// E4: one reader dereferencing a hot link while `writers` threads flip it
+/// between two nodes. Returns the run result (reader ops only), the
+/// reader's per-op latency histogram, and the reader's counters — whose
+/// `max_deref_retries` is the paper's unboundedness claim made visible.
+pub fn run_deref_interference<D, T>(
+    domain: Arc<D>,
+    writers: usize,
+    reader_ops: u64,
+) -> (RunResult, Histogram, CounterSnapshot)
+where
+    T: wfrc_core::RcObject + Default,
+    D: RcMmDomain<T> + Send + Sync + 'static,
+{
+    use wfrc_core::Link;
+    let setup = domain.register_mm().expect("register");
+    let link = Arc::new(Link::<T>::null());
+    let a = setup.alloc_node().expect("node a");
+    let b = setup.alloc_node().expect("node b");
+    // The experiment owns one *standing* count on each node for its whole
+    // duration, so neither can ever be reclaimed and the writers'
+    // `add_refs` on the off-link node is always safe.
+    // SAFETY: we own the alloc references; store transfers one count into
+    // the link, so `a` gets a second count first.
+    unsafe {
+        setup.add_refs(a, 1);
+        setup.store_link(&link, a);
+    }
+    let a_addr = a as usize;
+    let b_addr = b as usize;
+    let stop = Arc::new(wfrc_sim::exec::StopFlag::new());
+
+    // Writers flip the link between a and b for the reader's whole run.
+    let writer_handles: Vec<_> = (0..writers)
+        .map(|_| {
+            let domain = Arc::clone(&domain);
+            let link = Arc::clone(&link);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let h = domain.register_mm().expect("register");
+                while !stop.is_stopped() {
+                    flip(&h, &link, a_addr, b_addr);
+                }
+            })
+        })
+        .collect();
+
+    // Reader.
+    let reader = {
+        let domain = Arc::clone(&domain);
+        let link = Arc::clone(&link);
+        std::thread::spawn(move || {
+            let h = domain.register_mm().expect("register");
+            let mut hist = Histogram::new();
+            let start = std::time::Instant::now();
+            for _ in 0..reader_ops {
+                let t0 = std::time::Instant::now();
+                // SAFETY: link holds nodes of this domain.
+                unsafe {
+                    let p = h.deref_link(&link);
+                    if !p.is_null() {
+                        h.release_node(p);
+                    }
+                }
+                hist.record(t0.elapsed().as_nanos() as u64);
+            }
+            (start.elapsed(), hist, h.counter_snapshot())
+        })
+    };
+    let (wall, hist, reader_counters) = reader.join().unwrap();
+    stop.stop();
+    for w in writer_handles {
+        w.join().unwrap();
+    }
+    // Teardown: clear the link (releasing its count on whichever node it
+    // ended on), then drop our standing counts on both nodes.
+    // SAFETY: quiescent — all workers joined.
+    unsafe {
+        let cur = link.swap_raw(std::ptr::null_mut());
+        if !cur.is_null() {
+            setup.release_node(cur);
+        }
+        setup.release_node(a);
+        setup.release_node(b);
+    }
+    let result = RunResult {
+        threads: writers + 1,
+        total_ops: reader_ops,
+        wall,
+        counters: reader_counters,
+    };
+    (result, hist, reader_counters)
+}
+
+/// One link flip with full §3.2 discipline: dereference the current node,
+/// CAS to the partner, release appropriately.
+fn flip<T, M>(h: &M, link: &wfrc_core::Link<T>, a_addr: usize, b_addr: usize)
+where
+    T: wfrc_core::RcObject,
+    M: RcMm<T>,
+{
+    // SAFETY: standard discipline, commented inline.
+    unsafe {
+        let cur = h.deref_link(link);
+        if cur.is_null() {
+            return;
+        }
+        let other = if cur as usize == a_addr {
+            b_addr as *mut wfrc_core::Node<T>
+        } else {
+            a_addr as *mut wfrc_core::Node<T>
+        };
+        // `other` is kept alive by the experiment's standing counts (the
+        // alloc reference the teardown owns), so taking a new count is safe.
+        h.add_refs(other, 1);
+        if h.cas_link(link, cur, other) {
+            h.release_node(cur); // the link's old count
+        } else {
+            h.release_node(other); // undo
+        }
+        h.release_node(cur); // our dereference
+    }
+}
+
+/// E5: raw allocation churn — every thread alloc/releases in a tight loop
+/// on a deliberately small pool.
+pub fn run_alloc_churn<D, T>(domain: Arc<D>, threads: usize, ops: u64) -> RunResult
+where
+    T: wfrc_core::RcObject + Default,
+    D: RcMmDomain<T> + Send + Sync + 'static,
+{
+    let (parts, wall) = run_fixed_ops(threads, |_| {
+        let domain = Arc::clone(&domain);
+        move || {
+            let h = domain.register_mm().expect("register");
+            let mut done = 0u64;
+            let mut failures = 0u64;
+            for _ in 0..ops {
+                match h.alloc_node() {
+                    Ok(n) => {
+                        // SAFETY: we own the alloc reference.
+                        unsafe { h.release_node(n) };
+                        done += 1;
+                    }
+                    Err(_) => failures += 1,
+                }
+            }
+            assert_eq!(failures, 0, "pool sized to never exhaust");
+            (done, h.counter_snapshot())
+        }
+    });
+    let (total_ops, counters) = merge_counters(parts);
+    RunResult {
+        threads,
+        total_ops,
+        wall,
+        counters,
+    }
+}
+
+/// E7: per-thread completion fairness under full allocation contention.
+/// Returns ops completed by each thread in a fixed wall-clock window.
+pub fn run_alloc_fairness<D, T>(domain: Arc<D>, threads: usize, window_ms: u64) -> Vec<u64>
+where
+    T: wfrc_core::RcObject + Default,
+    D: RcMmDomain<T> + Send + Sync + 'static,
+{
+    use std::time::Duration;
+    let (parts, _) = wfrc_sim::exec::run_timed(
+        threads,
+        Duration::from_millis(window_ms),
+        |_, stop| {
+            let domain = Arc::clone(&domain);
+            move || {
+                let h = domain.register_mm().expect("register");
+                let mut done = 0u64;
+                while !stop.is_stopped() {
+                    if let Ok(n) = h.alloc_node() {
+                        // SAFETY: we own the alloc reference.
+                        unsafe { h.release_node(n) };
+                        done += 1;
+                    }
+                }
+                done
+            }
+        },
+    );
+    parts
+}

@@ -1,0 +1,82 @@
+//! Shared experiment drivers.
+//!
+//! Each `src/bin/eN_*.rs` binary is a thin front-end over these drivers;
+//! DESIGN.md §5 maps experiment ids to binaries. All drivers use fixed
+//! operation counts (identical work per scheme — the paper-era
+//! methodology), barrier-started workers, and deterministic workload
+//! streams, so scheme comparisons are apples-to-apples.
+
+pub mod drivers;
+
+use std::time::Duration;
+
+use wfrc_core::counters::CounterSnapshot;
+
+/// Result of one experiment cell.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Worker thread count.
+    pub threads: usize,
+    /// Total completed operations across workers.
+    pub total_ops: u64,
+    /// Wall time of the measured section.
+    pub wall: Duration,
+    /// Merged per-thread memory-management counters (zeroed for the
+    /// non-refcounting schemes, which report their own stats).
+    pub counters: CounterSnapshot,
+}
+
+impl RunResult {
+    /// Operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.wall.is_zero() {
+            0.0
+        } else {
+            self.total_ops as f64 / self.wall.as_secs_f64()
+        }
+    }
+}
+
+/// Parses `--threads 1,2,4` / `--ops 50000` style args with defaults, so
+/// every experiment binary shares one tiny CLI convention.
+pub struct Args {
+    /// Thread counts to sweep.
+    pub threads: Vec<usize>,
+    /// Operations per thread.
+    pub ops: u64,
+    /// Emit a JSON blob after the table.
+    pub json: bool,
+}
+
+impl Args {
+    /// Parses `std::env::args`, with the given defaults.
+    pub fn parse(default_threads: &[usize], default_ops: u64) -> Self {
+        let mut out = Self {
+            threads: default_threads.to_vec(),
+            ops: default_ops,
+            json: false,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--threads" => {
+                    let v = args.next().expect("--threads needs a value");
+                    out.threads = v
+                        .split(',')
+                        .map(|s| s.trim().parse().expect("bad thread count"))
+                        .collect();
+                }
+                "--ops" => {
+                    out.ops = args
+                        .next()
+                        .expect("--ops needs a value")
+                        .parse()
+                        .expect("bad op count");
+                }
+                "--json" => out.json = true,
+                other => panic!("unknown argument: {other} (expected --threads/--ops/--json)"),
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,481 @@
+//! Lock-free reference counting: the paper's comparator.
+//!
+//! This is the scheme of Valois (PhD thesis, 1995) with the Michael & Scott
+//! (1995) correction — what the paper calls "the default lock-free memory
+//! management scheme" in its §5 experiment. It shares everything with
+//! `wfrc-core` except the two places the paper improves:
+//!
+//! * **Dereference** (`DeRefLink`): optimistically `FAA(+2)` the target and
+//!   *re-check* the link; on mismatch, release and retry. "However, the
+//!   number of repeats is unbounded" (paper §3) — a fast writer can starve
+//!   a reader forever. The retry count is recorded per call so experiment
+//!   E4 can plot the unboundedness against the wait-free scheme's zero.
+//! * **Free-list**: a single Treiber list with one head. Every alloc and
+//!   free CASes the same word; one winner fails all other attempts, so both
+//!   operations are only lock-free (experiment E5/E7 measures the resulting
+//!   retry tails and starvation).
+//!
+//! The node representation, the even/odd `mm_ref` convention, the arena
+//! type-stability, and the recursive release of held links (drained
+//! iteratively) are identical to `wfrc-core` — deliberately, so E1/E4/E5
+//! compare only the algorithmic difference and not incidental layout
+//! choices.
+
+use core::marker::PhantomData;
+use core::ptr;
+
+use wfrc_core::arena::Arena;
+use wfrc_core::counters::OpCounters;
+use wfrc_core::oom::OutOfMemory;
+use wfrc_core::{Link, Node, RcObject};
+use wfrc_primitives::{AtomicWord, Backoff, WordPtr};
+
+#[cfg(not(feature = "no-pad"))]
+type HeadCell<T> = wfrc_primitives::CachePadded<WordPtr<Node<T>>>;
+#[cfg(feature = "no-pad")]
+type HeadCell<T> = WordPtr<Node<T>>;
+
+/// A lock-free reference-counted memory domain (Valois-style baseline).
+pub struct LfrcDomain<T: RcObject> {
+    arena: Arena<T>,
+    /// The single free-list head all threads contend on.
+    head: HeadCell<T>,
+    slots: Box<[AtomicWord]>,
+    /// Whether retry loops back off (the NOBLE-era default). Disable for
+    /// raw retry-count measurements.
+    backoff: bool,
+}
+
+impl<T: RcObject + Default> LfrcDomain<T> {
+    /// Creates a domain with `capacity` default-initialized nodes and
+    /// `max_threads` registration slots.
+    pub fn new(max_threads: usize, capacity: usize) -> Self {
+        Self::with_init(max_threads, capacity, |_| T::default())
+    }
+}
+
+impl<T: RcObject> LfrcDomain<T> {
+    /// Creates a domain initializing payload `i` with `init(i)`.
+    pub fn with_init(max_threads: usize, capacity: usize, init: impl FnMut(usize) -> T) -> Self {
+        assert!(max_threads > 0);
+        let arena = Arena::new(capacity, init);
+        // Seed: chain every node into the single free-list.
+        for i in 0..capacity {
+            let next = if i + 1 < capacity {
+                arena.node_ptr(i + 1)
+            } else {
+                ptr::null_mut()
+            };
+            arena.node(i).mm_next().store(next);
+        }
+        let head = {
+            let h = new_head::<T>();
+            h_store(&h, arena.node_ptr(0));
+            h
+        };
+        Self {
+            arena,
+            head,
+            slots: (0..max_threads).map(|_| AtomicWord::new(0)).collect(),
+            backoff: true,
+        }
+    }
+
+    /// Disables backoff in retry loops (for step-count experiments).
+    pub fn set_backoff(&mut self, on: bool) {
+        self.backoff = on;
+    }
+
+    /// Registers the calling context.
+    pub fn register(&self) -> Result<LfrcHandle<'_, T>, wfrc_core::domain::RegistryFull> {
+        for (tid, slot) in self.slots.iter().enumerate() {
+            if slot.load() == 0 && slot.cas(0, 1) {
+                return Ok(LfrcHandle {
+                    domain: self,
+                    tid,
+                    counters: OpCounters::new(),
+                    _not_sync: PhantomData,
+                });
+            }
+        }
+        Err(wfrc_core::domain::RegistryFull)
+    }
+
+    /// Node pool size.
+    pub fn capacity(&self) -> usize {
+        self.arena.capacity()
+    }
+
+    /// Quiescent audit, same classification as
+    /// [`wfrc_core::WfrcDomain::leak_check`] (LFRC has no gift parking, so
+    /// `parked_gifts` is always 0).
+    pub fn leak_check(&self) -> wfrc_core::LeakReport {
+        let mut report = wfrc_core::LeakReport {
+            capacity: self.arena.capacity(),
+            ..Default::default()
+        };
+        for node in self.arena.iter() {
+            let r = node.load_ref();
+            if r == 1 {
+                report.free_nodes += 1;
+            } else if r % 2 == 0 && r >= 2 {
+                report.live_nodes += 1;
+            } else {
+                report.corrupt_nodes += 1;
+            }
+        }
+        report
+    }
+}
+
+// SAFETY: same argument as WfrcDomain — all shared state is atomic, payload
+// access is protocol-mediated, T: Send + Sync via RcObject.
+unsafe impl<T: RcObject> Sync for LfrcDomain<T> {}
+unsafe impl<T: RcObject> Send for LfrcDomain<T> {}
+
+fn new_head<T>() -> HeadCell<T> {
+    #[cfg(not(feature = "no-pad"))]
+    {
+        wfrc_primitives::CachePadded::new(WordPtr::null())
+    }
+    #[cfg(feature = "no-pad")]
+    {
+        WordPtr::null()
+    }
+}
+
+fn h_store<T>(h: &HeadCell<T>, p: *mut Node<T>) {
+    h.store(p);
+}
+
+/// A registered thread's view of an [`LfrcDomain`]. Mirrors
+/// [`wfrc_core::ThreadHandle`]'s raw layer so data structures can be generic
+/// over both schemes.
+pub struct LfrcHandle<'d, T: RcObject> {
+    domain: &'d LfrcDomain<T>,
+    tid: usize,
+    counters: OpCounters,
+    _not_sync: PhantomData<core::cell::Cell<()>>,
+}
+
+impl<'d, T: RcObject> LfrcHandle<'d, T> {
+    /// This handle's thread id.
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// The domain this handle belongs to.
+    pub fn domain(&self) -> &'d LfrcDomain<T> {
+        self.domain
+    }
+
+    /// The handle's operation counters.
+    pub fn counters(&self) -> &OpCounters {
+        &self.counters
+    }
+
+    /// Allocates a node from the single free-list (lock-free: retries on
+    /// CAS failure). Returns a node with one reference (`mm_ref == 2`) and
+    /// stale payload.
+    pub fn alloc_raw(&self) -> Result<*mut Node<T>, OutOfMemory> {
+        OpCounters::bump(&self.counters.alloc_calls);
+        let mut backoff = Backoff::new();
+        let mut iters: u64 = 0;
+        loop {
+            iters += 1;
+            let node = self.domain.head.load();
+            if node.is_null() {
+                // Valois' scheme has no stripe to advance to: an observed
+                // empty head is out-of-memory (nodes in flight during
+                // concurrent pops can make this spuriously early — the same
+                // caveat as the wait-free scheme's retry bound, noted in
+                // DESIGN.md).
+                OpCounters::add(&self.counters.alloc_iters, iters);
+                OpCounters::record_max(&self.counters.max_alloc_iters, iters);
+                return Err(OutOfMemory);
+            }
+            // SAFETY: arena node; headers are type-stable.
+            let nref = unsafe { &*node };
+            nref.faa_ref(2); // pin against reinsertion (same as paper line A9)
+            let next = nref.mm_next().load();
+            if self.domain.head.cas(node, next) {
+                nref.faa_ref(-1); // claimed free node (1+2) -> one live ref (2)
+                OpCounters::add(&self.counters.alloc_iters, iters);
+                OpCounters::record_max(&self.counters.max_alloc_iters, iters);
+                return Ok(node);
+            }
+            OpCounters::bump(&self.counters.alloc_cas_failures);
+            // SAFETY: we own the +2 pin we just added.
+            unsafe { self.release_raw(node) };
+            if self.domain.backoff {
+                backoff.snooze();
+            }
+        }
+    }
+
+    /// Valois/Michael–Scott `DeRefLink`: optimistic increment + re-check,
+    /// retried unboundedly.
+    ///
+    /// # Safety
+    /// `link` must only ever hold nodes of this handle's domain.
+    pub unsafe fn deref_raw(&self, link: &Link<T>) -> *mut Node<T> {
+        OpCounters::bump(&self.counters.deref_calls);
+        let mut backoff = Backoff::new();
+        let mut retries: u64 = 0;
+        loop {
+            // Raw word, possibly carrying a deletion mark in bit 0 — a
+            // marked link still points to its node.
+            let raw = link.load_raw();
+            let node = wfrc_primitives::tagged::without_tag(raw);
+            if node.is_null() {
+                self.note_deref_retries(retries);
+                return node;
+            }
+            // SAFETY: arena node; type-stable header makes the optimistic
+            // FAA safe even if the node was just reclaimed.
+            unsafe { (*node).faa_ref(2) };
+            // Re-check against the raw word (mark included): a mark-only
+            // change leaves the target identical, so it must not retry.
+            if link.load_raw() == raw {
+                self.note_deref_retries(retries);
+                return node;
+            }
+            // The link moved on: our increment may be on a stale or even
+            // reclaimed node. Undo and retry — this is the unbounded loop
+            // the wait-free scheme eliminates.
+            retries += 1;
+            // SAFETY: we own the +2 we just added.
+            unsafe { self.release_raw(node) };
+            if self.domain.backoff {
+                backoff.snooze();
+            }
+        }
+    }
+
+    fn note_deref_retries(&self, retries: u64) {
+        OpCounters::add(&self.counters.deref_retries, retries);
+        OpCounters::record_max(&self.counters.max_deref_retries, retries);
+    }
+
+    /// `ReleaseRef`: identical semantics to the wait-free scheme's
+    /// (including the iterative drain of held links), but reclaimed nodes
+    /// go to the single contended free-list.
+    ///
+    /// # Safety
+    /// The caller must own an unreleased reference on `node` (non-null,
+    /// this domain).
+    pub unsafe fn release_raw(&self, node: *mut Node<T>) {
+        debug_assert!(!node.is_null());
+        let mut pending: Option<Vec<*mut Node<T>>> = None;
+        let mut cur = node;
+        loop {
+            OpCounters::bump(&self.counters.releases);
+            // SAFETY: arena node.
+            let n = unsafe { &*cur };
+            n.faa_ref(-2);
+            if n.try_claim() {
+                OpCounters::bump(&self.counters.reclaims);
+                // SAFETY: claimed at zero — exclusively ours.
+                unsafe { n.payload() }.each_link(&mut |l| {
+                    // Strip a possible deletion mark: it carries no count.
+                    let child = wfrc_primitives::tagged::without_tag(l.swap_raw(ptr::null_mut()));
+                    if !child.is_null() {
+                        pending.get_or_insert_with(Vec::new).push(child);
+                    }
+                });
+                self.free_node(cur);
+            }
+            match pending.as_mut().and_then(|p| p.pop()) {
+                Some(next) => cur = next,
+                None => break,
+            }
+        }
+    }
+
+    /// Treiber push of a claimed node onto the single free-list.
+    fn free_node(&self, node: *mut Node<T>) {
+        OpCounters::bump(&self.counters.free_calls);
+        // SAFETY: exclusively owned (claimed) node of the arena.
+        let nref = unsafe { &*node };
+        let mut backoff = Backoff::new();
+        let mut retries: u64 = 0;
+        loop {
+            let head = self.domain.head.load();
+            nref.mm_next().store(head);
+            if self.domain.head.cas(head, node) {
+                break;
+            }
+            retries += 1;
+            if self.domain.backoff {
+                backoff.snooze();
+            }
+        }
+        OpCounters::add(&self.counters.free_push_retries, retries);
+        OpCounters::record_max(&self.counters.max_free_push_retries, retries);
+    }
+
+    /// `FixRef(node, 2·refs)`.
+    ///
+    /// # Safety
+    /// Caller must already own a reference on `node`.
+    pub unsafe fn add_ref_raw(&self, node: *mut Node<T>, refs: usize) {
+        debug_assert!(!node.is_null());
+        // SAFETY: arena node.
+        unsafe { (*node).faa_ref(2 * refs as isize) };
+    }
+
+    /// Link CAS. LFRC has no helping obligation — a plain CAS is the whole
+    /// protocol. Count discipline is the caller's, exactly as in
+    /// [`wfrc_core::ThreadHandle::cas_link_raw`].
+    ///
+    /// # Safety
+    /// `old`/`new` must be null or nodes of this domain; the caller owns
+    /// the reference transferred on `new`.
+    pub unsafe fn cas_link_raw(&self, link: &Link<T>, old: *mut Node<T>, new: *mut Node<T>) -> bool {
+        link.cas_raw(old, new)
+    }
+
+    /// Direct write of an **unpublished** link (previous value ⊥).
+    ///
+    /// # Safety
+    /// Same contract as [`wfrc_core::ThreadHandle::store_link_raw`].
+    pub unsafe fn store_link_raw(&self, link: &Link<T>, node: *mut Node<T>) {
+        debug_assert!(link.is_null());
+        link.store_raw(node);
+    }
+
+    /// Shared payload access.
+    ///
+    /// # Safety
+    /// Caller must hold a reference on `node` for the borrow's duration.
+    pub unsafe fn payload_raw(&self, node: *mut Node<T>) -> &T {
+        // SAFETY: forwarded contract.
+        unsafe { (*node).payload() }
+    }
+
+    /// Exclusive payload access (fresh unpublished node).
+    ///
+    /// # Safety
+    /// Caller must own `node` exclusively.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn payload_mut_raw(&self, node: *mut Node<T>) -> &mut T {
+        // SAFETY: forwarded contract.
+        unsafe { (*node).payload_mut() }
+    }
+}
+
+impl<T: RcObject> Drop for LfrcHandle<'_, T> {
+    fn drop(&mut self) {
+        let was = self.domain.slots[self.tid].swap(0);
+        debug_assert_eq!(was, 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_release_roundtrip() {
+        let d = LfrcDomain::<u64>::new(1, 4);
+        let h = d.register().unwrap();
+        let n = h.alloc_raw().unwrap();
+        // SAFETY: fresh node, we own it.
+        unsafe {
+            *h.payload_mut_raw(n) = 7;
+            assert_eq!(*h.payload_raw(n), 7);
+            assert_eq!((*n).ref_count(), 1);
+            h.release_raw(n);
+        }
+        assert!(d.leak_check().is_clean());
+    }
+
+    #[test]
+    fn alloc_exhausts_then_recovers() {
+        let d = LfrcDomain::<u64>::new(1, 3);
+        let h = d.register().unwrap();
+        let nodes: Vec<_> = (0..3).map(|_| h.alloc_raw().unwrap()).collect();
+        assert_eq!(h.alloc_raw(), Err(OutOfMemory));
+        // SAFETY: we own all three references.
+        unsafe {
+            for n in nodes {
+                h.release_raw(n);
+            }
+        }
+        assert!(h.alloc_raw().is_ok());
+    }
+
+    #[test]
+    fn deref_increments_and_recheck_passes_uncontended() {
+        let d = LfrcDomain::<u64>::new(1, 4);
+        let h = d.register().unwrap();
+        let n = h.alloc_raw().unwrap();
+        let link = Link::null();
+        // SAFETY: transfer our reference into the link, then re-acquire.
+        unsafe {
+            h.store_link_raw(&link, n);
+            let p = h.deref_raw(&link);
+            assert_eq!(p, n);
+            assert_eq!((*n).ref_count(), 2);
+            h.release_raw(p);
+            // Clear the link, releasing its count.
+            assert!(h.cas_link_raw(&link, n, ptr::null_mut()));
+            h.release_raw(n);
+        }
+        assert!(d.leak_check().is_clean());
+        assert_eq!(h.counters().snapshot().max_deref_retries, 0);
+    }
+
+    #[test]
+    fn release_drains_children() {
+        struct Cell {
+            next: Link<Cell>,
+        }
+        impl RcObject for Cell {
+            fn each_link(&self, f: &mut dyn FnMut(&Link<Self>)) {
+                f(&self.next);
+            }
+        }
+        impl Default for Cell {
+            fn default() -> Self {
+                Cell { next: Link::null() }
+            }
+        }
+        let d = LfrcDomain::<Cell>::new(1, 100);
+        let h = d.register().unwrap();
+        // SAFETY: standard raw-chain construction; counts transferred.
+        unsafe {
+            let mut head = h.alloc_raw().unwrap();
+            for _ in 1..100 {
+                let prev = h.alloc_raw().unwrap();
+                h.store_link_raw(&h.payload_raw(prev).next, head);
+                head = prev;
+            }
+            h.release_raw(head);
+        }
+        assert!(d.leak_check().is_clean());
+    }
+
+    #[test]
+    fn concurrent_alloc_free_conserves_nodes() {
+        use std::sync::Arc;
+        let d = Arc::new(LfrcDomain::<u64>::new(4, 64));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let d = Arc::clone(&d);
+                std::thread::spawn(move || {
+                    let h = d.register().unwrap();
+                    for _ in 0..2_000 {
+                        let n = h.alloc_raw().unwrap();
+                        // SAFETY: we own the reference.
+                        unsafe { h.release_raw(n) };
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert!(d.leak_check().is_clean());
+    }
+}

@@ -1,0 +1,149 @@
+//! Type-stable node storage.
+//!
+//! The scheme's central liberty — `FAA`-ing the `mm_ref` of a node that may
+//! already have been reclaimed (paper §3: "we assume that this field will be
+//! present at each memory block indefinitely") — is only sound if reclaimed
+//! nodes keep their header readable. The arena provides exactly that: all
+//! nodes of a domain are allocated up front in one slab and recycled through
+//! the free-lists; nothing is returned to the allocator until the domain
+//! itself is dropped, at which point no references can remain (the domain
+//! cannot be dropped while handles or guards borrow it).
+//!
+//! This mirrors how the paper's experiments (and Valois' original scheme)
+//! ran: a fixed pool of fixed-size blocks. Growing the pool at runtime would
+//! require the lock-free allocator of Michael (PLDI 2004) or Gidenstam et
+//! al. underneath — out of scope here, as it was for the paper.
+
+use crate::node::Node;
+
+/// A fixed slab of nodes with stable addresses.
+pub struct Arena<T> {
+    nodes: Box<[Node<T>]>,
+}
+
+impl<T> Arena<T> {
+    /// Allocates `capacity` nodes, initializing payload `i` with `init(i)`.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize, mut init: impl FnMut(usize) -> T) -> Self {
+        assert!(capacity > 0, "arena capacity must be positive");
+        let nodes: Box<[Node<T>]> = (0..capacity).map(|i| Node::new(init(i))).collect();
+        Self { nodes }
+    }
+
+    /// Number of nodes in the arena.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Pointer to node `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= capacity()`.
+    #[inline]
+    pub fn node_ptr(&self, i: usize) -> *mut Node<T> {
+        &self.nodes[i] as *const Node<T> as *mut Node<T>
+    }
+
+    /// Shared reference to node `i` (test/diagnostic use).
+    #[inline]
+    pub fn node(&self, i: usize) -> &Node<T> {
+        &self.nodes[i]
+    }
+
+    /// The arena index of `ptr`, or `None` if `ptr` is not one of this
+    /// arena's nodes.
+    pub fn index_of(&self, ptr: *const Node<T>) -> Option<usize> {
+        let base = self.nodes.as_ptr() as usize;
+        let addr = ptr as usize;
+        let size = core::mem::size_of::<Node<T>>();
+        if addr < base {
+            return None;
+        }
+        let off = addr - base;
+        if !off.is_multiple_of(size) {
+            return None;
+        }
+        let idx = off / size;
+        (idx < self.nodes.len()).then_some(idx)
+    }
+
+    /// True if `ptr` points at a node of this arena.
+    #[inline]
+    pub fn contains(&self, ptr: *const Node<T>) -> bool {
+        self.index_of(ptr).is_some()
+    }
+
+    /// Iterates over all nodes (diagnostics: leak checks, audits).
+    pub fn iter(&self) -> impl Iterator<Item = &Node<T>> {
+        self.nodes.iter()
+    }
+}
+
+impl<T> core::fmt::Debug for Arena<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Arena")
+            .field("capacity", &self.capacity())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodes_start_free() {
+        let a: Arena<u64> = Arena::new(8, |i| i as u64);
+        assert_eq!(a.capacity(), 8);
+        for n in a.iter() {
+            assert_eq!(n.load_ref(), Node::<u64>::FREE_REF);
+        }
+    }
+
+    #[test]
+    fn index_of_roundtrip() {
+        let a: Arena<u32> = Arena::new(16, |_| 0);
+        for i in 0..16 {
+            assert_eq!(a.index_of(a.node_ptr(i)), Some(i));
+            assert!(a.contains(a.node_ptr(i)));
+        }
+    }
+
+    #[test]
+    fn index_of_rejects_foreign_pointers() {
+        let a: Arena<u32> = Arena::new(4, |_| 0);
+        let foreign = Node::new(0u32);
+        assert_eq!(a.index_of(&foreign), None);
+        // Misaligned interior pointer.
+        let inside = (a.node_ptr(0) as usize + 1) as *const Node<u32>;
+        assert_eq!(a.index_of(inside), None);
+        // One-past-the-end.
+        let past = (a.node_ptr(3) as usize + core::mem::size_of::<Node<u32>>()) as *const Node<u32>;
+        assert_eq!(a.index_of(past), None);
+        // Below the base.
+        let below = (a.node_ptr(0) as usize - core::mem::size_of::<Node<u32>>()) as *const Node<u32>;
+        assert_eq!(a.index_of(below), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = Arena::<u8>::new(0, |_| 0);
+    }
+
+    #[test]
+    fn addresses_are_stable_and_distinct() {
+        let a: Arena<u64> = Arena::new(32, |_| 0);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..32 {
+            assert!(seen.insert(a.node_ptr(i) as usize));
+        }
+        // Tag bit must be free on every node.
+        for i in 0..32 {
+            assert_eq!(a.node_ptr(i) as usize & 1, 0);
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Per-thread operation counters.
+//!
+//! The paper's headline property — wait-freedom — is a statement about *step
+//! counts*, not wall-clock time, and the single-CPU CI box this reproduction
+//! runs on cannot show it by timing alone. Every loop in the scheme
+//! therefore reports its iteration counts into the owning thread's
+//! [`OpCounters`] (plain `Cell`s: the handle is single-threaded, so the
+//! counters cost one non-atomic increment — unmeasurable next to the
+//! `SeqCst` operations they sit beside). Experiments E4/E5/E7 read these to
+//! demonstrate the bounded-retry guarantees of Lemmas 6–10 against the
+//! unbounded retries of the lock-free baseline.
+
+use core::cell::Cell;
+
+/// Counters for one registered thread. Snapshot with [`OpCounters::snapshot`].
+#[derive(Debug, Default)]
+pub struct OpCounters {
+    /// `DeRefLink` invocations (including those performed while helping).
+    pub deref_calls: Cell<u64>,
+    /// `DeRefLink` invocations answered by a helper (line D7 taken).
+    pub deref_helped: Cell<u64>,
+    /// Announcement slots inspected by line D1 before a free one was found.
+    /// Bounded by `NR_THREADS` per call — the wait-free bound of D1.
+    pub deref_slot_scans: Cell<u64>,
+    /// Worst single-call D1 scan length observed.
+    pub max_deref_slot_scan: Cell<u64>,
+    /// Dereference retries (always 0 for the wait-free scheme; the
+    /// lock-free baseline's Valois-style re-check loop counts here).
+    pub deref_retries: Cell<u64>,
+    /// Worst single-call dereference retry count — unbounded for the
+    /// lock-free baseline under interference (experiment E4).
+    pub max_deref_retries: Cell<u64>,
+    /// `ReleaseRef` invocations.
+    pub releases: Cell<u64>,
+    /// Reclamations won (line R2 CAS succeeded).
+    pub reclaims: Cell<u64>,
+    /// `HelpDeRef` invocations.
+    pub help_calls: Cell<u64>,
+    /// Announcements answered successfully (line H6 CAS succeeded).
+    pub help_answers: Cell<u64>,
+    /// Help attempts whose answer CAS lost (line H7 taken).
+    pub help_lost: Cell<u64>,
+    /// `AllocNode` invocations.
+    pub alloc_calls: Cell<u64>,
+    /// Total A3–A18 loop iterations.
+    pub alloc_iters: Cell<u64>,
+    /// Worst single-call iteration count — the quantity Lemma 9 bounds.
+    pub max_alloc_iters: Cell<u64>,
+    /// Failed A10 CAS attempts.
+    pub alloc_cas_failures: Cell<u64>,
+    /// Allocations satisfied from `annAlloc` (line A4: this thread was helped).
+    pub alloc_from_gift: Cell<u64>,
+    /// Nodes this thread gave away at line A12.
+    pub alloc_gave_gift: Cell<u64>,
+    /// `FreeNode` invocations.
+    pub free_calls: Cell<u64>,
+    /// Frees satisfied by gifting (corrected line F3 CAS succeeded).
+    pub free_gifted: Cell<u64>,
+    /// Failed F9 CAS attempts — the quantity Lemma 10 bounds.
+    pub free_push_retries: Cell<u64>,
+    /// Worst single-call F9 retry count.
+    pub max_free_push_retries: Cell<u64>,
+}
+
+impl OpCounters {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds 1 to a counter cell (helper for scheme implementations).
+    #[doc(hidden)]
+    #[inline]
+    pub fn bump(c: &Cell<u64>) {
+        c.set(c.get() + 1);
+    }
+
+    /// Adds `k` to a counter cell.
+    #[doc(hidden)]
+    #[inline]
+    pub fn add(c: &Cell<u64>, k: u64) {
+        c.set(c.get() + k);
+    }
+
+    /// Raises a max-tracking cell to at least `k`.
+    #[doc(hidden)]
+    #[inline]
+    pub fn record_max(c: &Cell<u64>, k: u64) {
+        if k > c.get() {
+            c.set(k);
+        }
+    }
+
+    /// Copies the current values out (the handle cannot be read from other
+    /// threads; workers snapshot at the end of a run and send the snapshot).
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            deref_calls: self.deref_calls.get(),
+            deref_helped: self.deref_helped.get(),
+            deref_slot_scans: self.deref_slot_scans.get(),
+            max_deref_slot_scan: self.max_deref_slot_scan.get(),
+            deref_retries: self.deref_retries.get(),
+            max_deref_retries: self.max_deref_retries.get(),
+            releases: self.releases.get(),
+            reclaims: self.reclaims.get(),
+            help_calls: self.help_calls.get(),
+            help_answers: self.help_answers.get(),
+            help_lost: self.help_lost.get(),
+            alloc_calls: self.alloc_calls.get(),
+            alloc_iters: self.alloc_iters.get(),
+            max_alloc_iters: self.max_alloc_iters.get(),
+            alloc_cas_failures: self.alloc_cas_failures.get(),
+            alloc_from_gift: self.alloc_from_gift.get(),
+            alloc_gave_gift: self.alloc_gave_gift.get(),
+            free_calls: self.free_calls.get(),
+            free_gifted: self.free_gifted.get(),
+            free_push_retries: self.free_push_retries.get(),
+            max_free_push_retries: self.max_free_push_retries.get(),
+        }
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.deref_calls.set(0);
+        self.deref_helped.set(0);
+        self.deref_slot_scans.set(0);
+        self.max_deref_slot_scan.set(0);
+        self.deref_retries.set(0);
+        self.max_deref_retries.set(0);
+        self.releases.set(0);
+        self.reclaims.set(0);
+        self.help_calls.set(0);
+        self.help_answers.set(0);
+        self.help_lost.set(0);
+        self.alloc_calls.set(0);
+        self.alloc_iters.set(0);
+        self.max_alloc_iters.set(0);
+        self.alloc_cas_failures.set(0);
+        self.alloc_from_gift.set(0);
+        self.alloc_gave_gift.set(0);
+        self.free_calls.set(0);
+        self.free_gifted.set(0);
+        self.free_push_retries.set(0);
+        self.max_free_push_retries.set(0);
+    }
+}
+
+/// An owned, `Send` copy of [`OpCounters`] values.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // field meanings documented on OpCounters
+pub struct CounterSnapshot {
+    pub deref_calls: u64,
+    pub deref_helped: u64,
+    pub deref_slot_scans: u64,
+    pub max_deref_slot_scan: u64,
+    pub deref_retries: u64,
+    pub max_deref_retries: u64,
+    pub releases: u64,
+    pub reclaims: u64,
+    pub help_calls: u64,
+    pub help_answers: u64,
+    pub help_lost: u64,
+    pub alloc_calls: u64,
+    pub alloc_iters: u64,
+    pub max_alloc_iters: u64,
+    pub alloc_cas_failures: u64,
+    pub alloc_from_gift: u64,
+    pub alloc_gave_gift: u64,
+    pub free_calls: u64,
+    pub free_gifted: u64,
+    pub free_push_retries: u64,
+    pub max_free_push_retries: u64,
+}
+
+impl CounterSnapshot {
+    /// Element-wise sum, for aggregating per-thread snapshots.
+    pub fn merged(mut self, other: &CounterSnapshot) -> CounterSnapshot {
+        self.deref_calls += other.deref_calls;
+        self.deref_helped += other.deref_helped;
+        self.deref_slot_scans += other.deref_slot_scans;
+        self.max_deref_slot_scan = self.max_deref_slot_scan.max(other.max_deref_slot_scan);
+        self.deref_retries += other.deref_retries;
+        self.max_deref_retries = self.max_deref_retries.max(other.max_deref_retries);
+        self.releases += other.releases;
+        self.reclaims += other.reclaims;
+        self.help_calls += other.help_calls;
+        self.help_answers += other.help_answers;
+        self.help_lost += other.help_lost;
+        self.alloc_calls += other.alloc_calls;
+        self.alloc_iters += other.alloc_iters;
+        self.max_alloc_iters = self.max_alloc_iters.max(other.max_alloc_iters);
+        self.alloc_cas_failures += other.alloc_cas_failures;
+        self.alloc_from_gift += other.alloc_from_gift;
+        self.alloc_gave_gift += other.alloc_gave_gift;
+        self.free_calls += other.free_calls;
+        self.free_gifted += other.free_gifted;
+        self.free_push_retries += other.free_push_retries;
+        self.max_free_push_retries = self.max_free_push_retries.max(other.max_free_push_retries);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_add_and_max() {
+        let c = OpCounters::new();
+        OpCounters::bump(&c.deref_calls);
+        OpCounters::bump(&c.deref_calls);
+        OpCounters::add(&c.alloc_iters, 5);
+        OpCounters::record_max(&c.max_alloc_iters, 3);
+        OpCounters::record_max(&c.max_alloc_iters, 2);
+        let s = c.snapshot();
+        assert_eq!(s.deref_calls, 2);
+        assert_eq!(s.alloc_iters, 5);
+        assert_eq!(s.max_alloc_iters, 3);
+    }
+
+    #[test]
+    fn merged_sums_and_maxes() {
+        let a = CounterSnapshot {
+            deref_calls: 1,
+            max_alloc_iters: 7,
+            ..Default::default()
+        };
+        let b = CounterSnapshot {
+            deref_calls: 2,
+            max_alloc_iters: 3,
+            ..Default::default()
+        };
+        let m = a.merged(&b);
+        assert_eq!(m.deref_calls, 3);
+        assert_eq!(m.max_alloc_iters, 7);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let c = OpCounters::new();
+        OpCounters::bump(&c.reclaims);
+        c.reset();
+        assert_eq!(c.snapshot(), CounterSnapshot::default());
+    }
+}

@@ -1,0 +1,311 @@
+//! The memory-management domain: one arena + one instance of every global
+//! structure from Figures 4 and 5.
+//!
+//! A [`WfrcDomain`] is the unit of isolation: all links, nodes and handles
+//! belong to exactly one domain, and the wait-freedom bounds are stated in
+//! terms of its `max_threads`. Construction is the only moment the node
+//! pool is sized (the paper manages fixed-size blocks from a pre-seeded
+//! free-list; growing dynamically would need a lock-free block allocator
+//! underneath, which the paper also treats as out of scope).
+
+use wfrc_primitives::AtomicWord;
+
+use crate::announce::Announce;
+use crate::arena::Arena;
+use crate::counters::OpCounters;
+use crate::freelist::FreeLists;
+use crate::handle::ThreadHandle;
+use crate::node::RcObject;
+use crate::oom::alloc_retry_bound;
+use crate::MAX_THREADS;
+
+/// Everything the algorithm operations need, bundled so `rc.rs` and
+/// `freelist.rs` can implement Figures 4 and 5 as methods.
+pub(crate) struct Shared<T> {
+    pub(crate) arena: Arena<T>,
+    pub(crate) ann: Announce,
+    pub(crate) fl: FreeLists<T>,
+    /// `NR_THREADS`.
+    pub(crate) n: usize,
+    /// Footnote-4 retry bound for `AllocNode`.
+    pub(crate) oom_bound: usize,
+}
+
+/// Configuration for a [`WfrcDomain`].
+#[derive(Debug, Clone, Copy)]
+pub struct DomainConfig {
+    /// `NR_THREADS`: maximum simultaneously registered threads.
+    pub max_threads: usize,
+    /// Node pool size.
+    pub capacity: usize,
+    /// Override for the out-of-memory retry bound (default:
+    /// [`alloc_retry_bound`]`(max_threads)`).
+    pub oom_bound: Option<usize>,
+}
+
+impl DomainConfig {
+    /// Standard configuration.
+    pub fn new(max_threads: usize, capacity: usize) -> Self {
+        Self {
+            max_threads,
+            capacity,
+            oom_bound: None,
+        }
+    }
+
+    /// Overrides the allocation retry bound (tests use small values to
+    /// exercise the out-of-memory path cheaply).
+    pub fn with_oom_bound(mut self, bound: usize) -> Self {
+        self.oom_bound = Some(bound);
+        self
+    }
+}
+
+/// A wait-free reference-counted memory management domain over payloads `T`.
+///
+/// See the [crate docs](crate) for the usage model, and
+/// [`ThreadHandle`] for the per-thread operations.
+pub struct WfrcDomain<T: RcObject> {
+    shared: Shared<T>,
+    /// Registration flags, one per thread id; 1 = taken.
+    slots: Box<[AtomicWord]>,
+}
+
+/// Error returned by [`WfrcDomain::register`] when all `max_threads` ids are
+/// taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegistryFull;
+
+impl core::fmt::Display for RegistryFull {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "all thread slots of the domain are registered")
+    }
+}
+
+impl std::error::Error for RegistryFull {}
+
+impl<T: RcObject + Default> WfrcDomain<T> {
+    /// Creates a domain whose node payloads start as `T::default()`.
+    pub fn new(config: DomainConfig) -> Self {
+        Self::with_init(config, |_| T::default())
+    }
+}
+
+impl<T: RcObject> WfrcDomain<T> {
+    /// Creates a domain initializing payload `i` with `init(i)`.
+    ///
+    /// # Panics
+    /// Panics if `max_threads` is 0 or exceeds [`MAX_THREADS`], or if
+    /// `capacity` is 0.
+    pub fn with_init(config: DomainConfig, init: impl FnMut(usize) -> T) -> Self {
+        let n = config.max_threads;
+        assert!(
+            (1..=MAX_THREADS).contains(&n),
+            "max_threads must be in 1..={MAX_THREADS}, got {n}"
+        );
+        let arena = Arena::new(config.capacity, init);
+        let fl = FreeLists::new(n);
+        fl.seed(&arena);
+        let shared = Shared {
+            arena,
+            ann: Announce::new(n),
+            fl,
+            n,
+            oom_bound: config.oom_bound.unwrap_or_else(|| alloc_retry_bound(n)),
+        };
+        Self {
+            shared,
+            slots: (0..n).map(|_| AtomicWord::new(0)).collect(),
+        }
+    }
+
+    /// Registers the calling context, claiming a thread id.
+    ///
+    /// The handle is `Send` but not `Sync`: a thread id must never be used
+    /// from two threads at once (the paper's `threadId` is "unique and
+    /// fixed"), and the `!Sync` bound enforces exactly that while still
+    /// allowing a handle to migrate with a moved worker.
+    pub fn register(&self) -> Result<ThreadHandle<'_, T>, RegistryFull> {
+        for (tid, slot) in self.slots.iter().enumerate() {
+            if slot.load() == 0 && slot.cas(0, 1) {
+                return Ok(ThreadHandle::new(self, tid, OpCounters::new()));
+            }
+        }
+        Err(RegistryFull)
+    }
+
+    pub(crate) fn unregister(&self, tid: usize) {
+        let was = self.slots[tid].swap(0);
+        debug_assert_eq!(was, 1, "double unregister of thread {tid}");
+    }
+
+    pub(crate) fn shared(&self) -> &Shared<T> {
+        &self.shared
+    }
+
+    /// `NR_THREADS` for this domain.
+    pub fn max_threads(&self) -> usize {
+        self.shared.n
+    }
+
+    /// Total node pool size.
+    pub fn capacity(&self) -> usize {
+        self.shared.arena.capacity()
+    }
+
+    /// Number of currently registered threads.
+    pub fn registered_threads(&self) -> usize {
+        self.slots.iter().filter(|s| s.load() == 1).count()
+    }
+
+    /// Audits node states. **Only meaningful at quiescence** (no concurrent
+    /// operations in flight): walks the arena and classifies every node by
+    /// its `mm_ref`.
+    ///
+    /// At quiescence the scheme's invariants say every node is exactly one
+    /// of: free (`mm_ref == 1`), parked as an un-collected gift in some
+    /// `annAlloc` slot (`mm_ref == 3`), or live with an even count ≥ 2.
+    /// Anything else is reported in `corrupt_nodes` and indicates a usage
+    /// error (e.g. a missed `each_link`).
+    pub fn leak_check(&self) -> LeakReport {
+        let s = &self.shared;
+        let gifts: std::collections::HashSet<usize> = (0..s.n)
+            .map(|t| s.fl.gift_for(t) as usize)
+            .filter(|p| *p != 0)
+            .collect();
+        let mut report = LeakReport {
+            capacity: s.arena.capacity(),
+            ..LeakReport::default()
+        };
+        for (i, node) in s.arena.iter().enumerate() {
+            let r = node.load_ref();
+            let ptr = s.arena.node_ptr(i) as usize;
+            if gifts.contains(&ptr) {
+                if r == 3 {
+                    report.parked_gifts += 1;
+                } else {
+                    report.corrupt_nodes += 1;
+                }
+            } else if r == 1 {
+                report.free_nodes += 1;
+            } else if r % 2 == 0 && r >= 2 {
+                report.live_nodes += 1;
+            } else {
+                report.corrupt_nodes += 1;
+            }
+        }
+        report
+    }
+}
+
+// SAFETY: the domain is designed for cross-thread sharing; all shared state
+// is atomics, and payload access is protocol-mediated (T: Send + Sync via
+// the RcObject bound).
+unsafe impl<T: RcObject> Sync for WfrcDomain<T> {}
+unsafe impl<T: RcObject> Send for WfrcDomain<T> {}
+
+impl<T: RcObject> core::fmt::Debug for WfrcDomain<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("WfrcDomain")
+            .field("max_threads", &self.shared.n)
+            .field("capacity", &self.shared.arena.capacity())
+            .finish()
+    }
+}
+
+/// Result of [`WfrcDomain::leak_check`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LeakReport {
+    /// Total nodes in the arena.
+    pub capacity: usize,
+    /// Nodes in the free-lists (`mm_ref == 1`).
+    pub free_nodes: usize,
+    /// Nodes parked in `annAlloc` slots awaiting pickup (`mm_ref == 3`).
+    pub parked_gifts: usize,
+    /// Nodes with a live even reference count.
+    pub live_nodes: usize,
+    /// Nodes in a state the quiescent invariants forbid.
+    pub corrupt_nodes: usize,
+}
+
+impl LeakReport {
+    /// True when nothing is live, nothing is corrupt, and every node is
+    /// accounted for.
+    pub fn is_clean(&self) -> bool {
+        self.live_nodes == 0
+            && self.corrupt_nodes == 0
+            && self.free_nodes + self.parked_gifts == self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_assigns_distinct_ids_up_to_n() {
+        let d = WfrcDomain::<u64>::new(DomainConfig::new(3, 8));
+        let h0 = d.register().unwrap();
+        let h1 = d.register().unwrap();
+        let h2 = d.register().unwrap();
+        assert_eq!(
+            {
+                let mut ids = [h0.tid(), h1.tid(), h2.tid()];
+                ids.sort_unstable();
+                ids
+            },
+            [0, 1, 2]
+        );
+        assert_eq!(d.register().unwrap_err(), RegistryFull);
+        assert_eq!(d.registered_threads(), 3);
+    }
+
+    #[test]
+    fn unregister_frees_the_slot() {
+        let d = WfrcDomain::<u64>::new(DomainConfig::new(1, 2));
+        let h = d.register().unwrap();
+        let tid = h.tid();
+        drop(h);
+        let h2 = d.register().unwrap();
+        assert_eq!(h2.tid(), tid);
+    }
+
+    #[test]
+    fn fresh_domain_leak_check_is_clean() {
+        let d = WfrcDomain::<u64>::new(DomainConfig::new(4, 32));
+        let r = d.leak_check();
+        assert!(r.is_clean(), "{r:?}");
+        assert_eq!(r.free_nodes, 32);
+        assert_eq!(r.live_nodes, 0);
+    }
+
+    #[test]
+    fn leak_check_sees_live_nodes() {
+        let d = WfrcDomain::<u64>::new(DomainConfig::new(1, 4));
+        let h = d.register().unwrap();
+        let a = h.alloc_with(|_| {}).unwrap();
+        let r = d.leak_check();
+        assert_eq!(r.live_nodes, 1);
+        assert!(!r.is_clean());
+        drop(a);
+        assert!(d.leak_check().is_clean());
+    }
+
+    #[test]
+    #[should_panic(expected = "max_threads")]
+    fn zero_threads_panics() {
+        let _ = WfrcDomain::<u64>::new(DomainConfig::new(0, 4));
+    }
+
+    #[test]
+    fn with_init_seeds_payloads() {
+        let d = WfrcDomain::<u64>::with_init(DomainConfig::new(1, 4), |i| i as u64 * 10);
+        // Payloads are only observable through allocation; the four allocs
+        // drain the seeded list in order.
+        let h = d.register().unwrap();
+        let guards: Vec<_> = (0..4).map(|_| h.alloc_with(|_| {}).unwrap()).collect();
+        let mut seen: Vec<u64> = guards.iter().map(|g| **g).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 10, 20, 30]);
+    }
+}

@@ -1,0 +1,359 @@
+//! The wait-free free-list: `AllocNode` / `FreeNode` (paper Figure 5).
+//!
+//! A single Treiber-style free-list head makes alloc/free only lock-free:
+//! one thread's successful CAS fails everyone else's, unboundedly. The
+//! paper's construction removes the unboundedness with three ideas:
+//!
+//! 1. **Striping**: `2 · NR_THREADS` free-list heads. All allocators work on
+//!    one head (`currentFreeList`, advanced when it empties); each *freeing*
+//!    thread owns two heads (`tid` and `tid + N`) and picks the one the
+//!    allocators are not on (lines F4–F6), so a free conflicts only with
+//!    allocations, never with other frees.
+//! 2. **Round-robin helping**: every free, and the first successful removal
+//!    CAS of every alloc, attempts to gift a node to the thread named by
+//!    `helpCurrent` through its `annAlloc` slot, then advances `helpCurrent`.
+//!    An allocator that keeps losing its CAS is therefore eventually handed
+//!    a node directly (Lemma 9); it checks its slot at the top of every
+//!    iteration (line A4).
+//! 3. **Reference counts against ABA**: line A9 bumps `mm_ref` *before*
+//!    reading `mm_next` for the removal CAS, which pins the node out of any
+//!    future free-list reinsertion until line A18 releases it — so a
+//!    successful A10 CAS can never splice a stale `mm_next`.
+//!
+//! ## Correction to the paper's line F3
+//!
+//! As published, `FreeNode`'s gifting CAS hands over a node with
+//! `mm_ref = 1` (free/claimed), while the gifting path inside `AllocNode`
+//! (lines A9→A12) hands over `mm_ref = 3`. The recipient applies a single
+//! `FixRef(node, −1)` (line A4), which yields a correct `mm_ref = 2` for the
+//! A12 path but an immediately-reclaimable `mm_ref = 0` for the F3 path —
+//! the paper's Lemma 4 only proves the A12 case. We apply the standard fix:
+//! `FreeNode` performs `FixRef(node, +2)` before the gifting CAS and
+//! `FixRef(node, −2)` if the CAS fails, making both gift sources identical.
+//! (Recorded in DESIGN.md §4 as a deviation.)
+
+use core::ptr;
+
+use wfrc_primitives::AtomicWord;
+
+use crate::counters::OpCounters;
+use crate::domain::Shared;
+use crate::node::{Node, RcObject};
+use crate::oom::OutOfMemory;
+
+#[cfg(not(feature = "no-pad"))]
+type HeadCell<T> = wfrc_primitives::CachePadded<wfrc_primitives::WordPtr<Node<T>>>;
+#[cfg(feature = "no-pad")]
+type HeadCell<T> = wfrc_primitives::WordPtr<Node<T>>;
+
+#[cfg(not(feature = "no-pad"))]
+type WordCell = wfrc_primitives::CachePadded<AtomicWord>;
+#[cfg(feature = "no-pad")]
+type WordCell = AtomicWord;
+
+fn new_head<T>() -> HeadCell<T> {
+    #[cfg(not(feature = "no-pad"))]
+    {
+        wfrc_primitives::CachePadded::new(wfrc_primitives::WordPtr::null())
+    }
+    #[cfg(feature = "no-pad")]
+    {
+        wfrc_primitives::WordPtr::null()
+    }
+}
+
+fn new_word() -> WordCell {
+    #[cfg(not(feature = "no-pad"))]
+    {
+        wfrc_primitives::CachePadded::new(AtomicWord::new(0))
+    }
+    #[cfg(feature = "no-pad")]
+    {
+        AtomicWord::new(0)
+    }
+}
+
+/// The Figure 5 globals: `currentFreeList`, `freeList[2N]`, `helpCurrent`,
+/// `annAlloc[N]`.
+pub struct FreeLists<T> {
+    n: usize,
+    current: WordCell,
+    heads: Box<[HeadCell<T>]>,
+    help_current: WordCell,
+    ann_alloc: Box<[HeadCell<T>]>,
+}
+
+impl<T> FreeLists<T> {
+    /// Creates the structure for `n` threads with all heads empty.
+    pub(crate) fn new(n: usize) -> Self {
+        assert!(n > 0);
+        Self {
+            n,
+            current: new_word(),
+            heads: (0..2 * n).map(|_| new_head()).collect(),
+            help_current: new_word(),
+            ann_alloc: (0..n).map(|_| new_head()).collect(),
+        }
+    }
+
+    /// Chains nodes `[0, capacity)` of `arena` into `freeList[0]`
+    /// (the paper's initial condition). Called once before the domain is
+    /// shared.
+    pub(crate) fn seed(&self, arena: &crate::arena::Arena<T>) {
+        let cap = arena.capacity();
+        for i in 0..cap {
+            let node = arena.node_ptr(i);
+            let next = if i + 1 < cap {
+                arena.node_ptr(i + 1)
+            } else {
+                ptr::null_mut()
+            };
+            // SAFETY: seeding happens before any sharing; we own every node.
+            unsafe { (*node).mm_next().store(next) };
+        }
+        self.heads[0].store(arena.node_ptr(0));
+    }
+
+    #[inline]
+    fn head(&self, i: usize) -> &wfrc_primitives::WordPtr<Node<T>> {
+        &self.heads[i]
+    }
+
+    /// Diagnostic: the node currently gifted to thread `tid`, if any.
+    pub fn gift_for(&self, tid: usize) -> *mut Node<T> {
+        self.ann_alloc[tid].load()
+    }
+
+    /// Diagnostic: walks free-list `i` and returns its length. Only
+    /// meaningful at quiescence.
+    pub fn list_len(&self, i: usize) -> usize {
+        let mut len = 0;
+        let mut p = self.head(i).load();
+        while !p.is_null() {
+            len += 1;
+            // SAFETY: quiescent per contract; nodes live in the arena.
+            p = unsafe { (*p).mm_next().load() };
+        }
+        len
+    }
+
+    /// Number of free-list heads (`2 · NR_THREADS`).
+    pub fn lists(&self) -> usize {
+        2 * self.n
+    }
+}
+
+impl<T: RcObject> Shared<T> {
+    /// `AllocNode` (paper lines A1–A18, plus the footnote-4 retry bound).
+    ///
+    /// On success the node has `mm_ref == 2` (one reference owned by the
+    /// caller) and its payload is whatever the previous user left — callers
+    /// re-initialize it before publishing (see `ThreadHandle::alloc_with`).
+    pub(crate) fn alloc_node(
+        &self,
+        tid: usize,
+        c: &OpCounters,
+    ) -> Result<*mut Node<T>, OutOfMemory> {
+        OpCounters::bump(&c.alloc_calls);
+        let n = self.n;
+        let fl = &self.fl;
+        #[cfg(not(feature = "no-alloc-helping"))]
+        let mut helped = false; // A1
+        #[cfg(not(feature = "no-alloc-helping"))]
+        let help_id = fl.help_current.load() % n; // A2
+        let mut iters: u64 = 0;
+        loop {
+            // A3
+            iters += 1;
+            // A4: were we gifted a node?
+            let gift = fl.ann_alloc[tid].swap(ptr::null_mut());
+            if !gift.is_null() {
+                // FixRef(gift, -1): 3 -> 2, one reference for the caller.
+                // SAFETY: arena node; the gifter transferred ownership.
+                unsafe { (*gift).faa_ref(-1) };
+                OpCounters::bump(&c.alloc_from_gift);
+                self.note_alloc_iters(c, iters);
+                return Ok(gift);
+            }
+            if iters as usize > self.oom_bound {
+                self.note_alloc_iters(c, iters);
+                return Err(OutOfMemory);
+            }
+            let current = fl.current.load() % (2 * n); // A5
+            let node = fl.head(current).load(); // A6
+            if node.is_null() {
+                // A7: advance to the next stripe.
+                fl.current.cas(current, (current + 1) % (2 * n));
+                continue;
+            }
+            // SAFETY: `node` came from a free-list head; arena nodes are
+            // never deallocated, so the header is always readable (the
+            // type-stability assumption of §3).
+            let nref = unsafe { &*node };
+            nref.faa_ref(2); // A9: pin against reinsertion
+            let next = nref.mm_next().load();
+            if fl.head(current).cas(node, next) {
+                // A10 succeeded: we removed `node`.
+                #[cfg(not(feature = "no-alloc-helping"))]
+                if !helped && fl.ann_alloc[help_id].load().is_null() {
+                    // A11–A15: gift the node to the thread we owe help.
+                    if fl.ann_alloc[help_id].cas(ptr::null_mut(), node) {
+                        helped = true; // A13
+                        OpCounters::bump(&c.alloc_gave_gift);
+                        fl.help_current.cas(help_id, (help_id + 1) % n); // A14
+                        continue; // A15
+                    }
+                }
+                #[cfg(not(feature = "no-alloc-helping"))]
+                fl.help_current.cas(help_id, (help_id + 1) % n); // A16
+                nref.faa_ref(-1); // A17: FixRef(node, -1): 3 -> 2
+                self.note_alloc_iters(c, iters);
+                return Ok(node);
+            }
+            // A18: lost the race; drop the A9 pin (reclaims if the winner's
+            // user already released — see Lemma 3's accounting).
+            OpCounters::bump(&c.alloc_cas_failures);
+            self.release_ref(tid, c, node);
+        }
+    }
+
+    fn note_alloc_iters(&self, c: &OpCounters, iters: u64) {
+        OpCounters::add(&c.alloc_iters, iters);
+        OpCounters::record_max(&c.max_alloc_iters, iters);
+    }
+
+    /// `FreeNode` (paper lines F1–F10, with the F3 refcount correction).
+    ///
+    /// `node` must be claimed (`mm_ref == 1`): only `ReleaseRef`'s winning
+    /// R2 CAS reaches here, which is why user code never calls this
+    /// directly (§3.2).
+    pub(crate) fn free_node(&self, tid: usize, c: &OpCounters, node: *mut Node<T>) {
+        OpCounters::bump(&c.free_calls);
+        let n = self.n;
+        let fl = &self.fl;
+        // SAFETY: arena node, exclusively owned by this invocation (claimed).
+        let nref = unsafe { &*node };
+        debug_assert_eq!(nref.load_ref(), Node::<T>::FREE_REF, "FreeNode on unclaimed node");
+        #[cfg(not(feature = "no-alloc-helping"))]
+        {
+            let help_id = fl.help_current.load() % n; // F1
+            fl.help_current.cas(help_id, (help_id + 1) % n); // F2
+            // Corrected F3: match the A12 gift's mm_ref (see module docs).
+            nref.faa_ref(2); // 1 -> 3
+            if fl.ann_alloc[help_id].cas(ptr::null_mut(), node) {
+                OpCounters::bump(&c.free_gifted);
+                return;
+            }
+            nref.faa_ref(-2); // 3 -> 1
+        }
+        // F4–F6: pick the stripe the allocators are least likely to be on.
+        let current = fl.current.load() % (2 * n);
+        let mut index = if current <= tid || current > n + tid {
+            n + tid
+        } else {
+            tid
+        };
+        let mut retries: u64 = 0;
+        loop {
+            // F7–F9
+            let head = fl.head(index).load();
+            nref.mm_next().store(head); // F8
+            if fl.head(index).cas(head, node) {
+                break; // F9 succeeded
+            }
+            retries += 1;
+            index = (index + n) % (2 * n); // F10: try our other stripe
+        }
+        OpCounters::add(&c.free_push_retries, retries);
+        OpCounters::record_max(&c.max_free_push_retries, retries);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::{DomainConfig, WfrcDomain};
+
+    #[test]
+    fn seed_puts_everything_on_list_zero() {
+        let d = WfrcDomain::<u64>::new(DomainConfig::new(2, 10));
+        assert_eq!(d.shared().fl.list_len(0), 10);
+        for i in 1..d.shared().fl.lists() {
+            assert_eq!(d.shared().fl.list_len(i), 0);
+        }
+    }
+
+    #[test]
+    fn alloc_until_oom_then_free_restores() {
+        let d = WfrcDomain::<u64>::new(DomainConfig::new(1, 4));
+        let h = d.register().unwrap();
+        let mut nodes = Vec::new();
+        for _ in 0..4 {
+            nodes.push(h.alloc_with(|_| {}).unwrap());
+        }
+        assert!(h.alloc_with(|_| {}).is_err());
+        nodes.pop();
+        // One node came back (possibly via our own annAlloc gift).
+        let again = h.alloc_with(|_| {}).unwrap();
+        drop(again);
+        drop(nodes);
+        drop(h);
+        assert_eq!(d.leak_check().live_nodes, 0);
+    }
+
+    #[test]
+    fn alloc_sets_one_reference() {
+        let d = WfrcDomain::<u64>::new(DomainConfig::new(1, 4));
+        let h = d.register().unwrap();
+        let r = h.alloc_with(|v| *v = 3).unwrap();
+        let node = r.as_node();
+        assert_eq!(node.load_ref(), Node::<u64>::ONE_REF);
+        assert_eq!(node.ref_count(), 1);
+        assert!(!node.is_claimed());
+    }
+
+    #[test]
+    fn freed_node_is_reusable_and_counts_conserve() {
+        let d = WfrcDomain::<u64>::new(DomainConfig::new(1, 2));
+        let h = d.register().unwrap();
+        for i in 0..100 {
+            let a = h.alloc_with(|v| *v = i).unwrap();
+            assert_eq!(*a, i);
+            drop(a);
+        }
+        drop(h);
+        let report = d.leak_check();
+        assert_eq!(report.live_nodes, 0);
+        assert_eq!(report.free_nodes + report.parked_gifts, 2);
+    }
+
+    #[cfg(not(feature = "no-alloc-helping"))]
+    #[test]
+    fn gifting_feeds_the_helped_thread() {
+        // With one thread, every FreeNode gifts to thread 0 itself, so the
+        // next alloc must come from annAlloc (line A4).
+        let d = WfrcDomain::<u64>::new(DomainConfig::new(1, 2));
+        let h = d.register().unwrap();
+        let a = h.alloc_with(|_| {}).unwrap();
+        drop(a); // free -> gift to thread 0
+        assert!(!d.shared().fl.gift_for(0).is_null());
+        let before = h.counters().snapshot().alloc_from_gift;
+        let b = h.alloc_with(|_| {}).unwrap();
+        assert_eq!(h.counters().snapshot().alloc_from_gift, before + 1);
+        drop(b);
+    }
+
+    #[cfg(not(feature = "no-alloc-helping"))]
+    #[test]
+    fn gifted_node_has_gift_refcount() {
+        let d = WfrcDomain::<u64>::new(DomainConfig::new(1, 2));
+        let h = d.register().unwrap();
+        let a = h.alloc_with(|_| {}).unwrap();
+        let ptr = a.as_ptr();
+        drop(a);
+        // The free gifted it: mm_ref must be 3 (corrected F3), not 1.
+        assert_eq!(d.shared().fl.gift_for(0), ptr);
+        // SAFETY: node is parked in annAlloc; arena keeps it alive.
+        assert_eq!(unsafe { (*ptr).load_ref() }, 3);
+    }
+}

@@ -1,0 +1,475 @@
+//! Per-thread access to a domain: the user model of §3.2.
+//!
+//! All memory-management operations are invoked through a [`ThreadHandle`],
+//! which carries the paper's `threadId`. The handle offers two API layers:
+//!
+//! * **Guard layer** (safe): [`ThreadHandle::alloc_with`],
+//!   [`ThreadHandle::deref`], [`ThreadHandle::cas`],
+//!   [`ThreadHandle::store`] — every acquired reference is an RAII
+//!   [`NodeRef`] whose `Drop` is `ReleaseRef`, so the §3.2 bookkeeping
+//!   rules ("for each `AllocNode` or `DeRefLink` call there should be a
+//!   matching `ReleaseRef` call") hold by construction.
+//! * **Raw layer** (`unsafe`): the paper's operations verbatim
+//!   ([`ThreadHandle::deref_raw`], [`ThreadHandle::release_raw`],
+//!   [`ThreadHandle::cas_link_raw`], …) for data-structure implementations
+//!   that manage counts manually (see `wfrc-structures`).
+
+use core::marker::PhantomData;
+use core::ops::Deref;
+use core::ptr::NonNull;
+
+use crate::counters::OpCounters;
+use crate::domain::WfrcDomain;
+use crate::link::Link;
+use crate::node::{Node, RcObject};
+use crate::oom::OutOfMemory;
+
+/// A registered thread's view of a [`WfrcDomain`].
+///
+/// `Send` (a worker may be moved across OS threads together with its handle)
+/// but `!Sync` (a thread id must never be used concurrently — the paper's
+/// `threadId` is exclusive). The `!Sync` comes for free from the `Cell`s in
+/// [`OpCounters`]; the `PhantomData` documents the intent.
+pub struct ThreadHandle<'d, T: RcObject> {
+    domain: &'d WfrcDomain<T>,
+    tid: usize,
+    counters: OpCounters,
+    _not_sync: PhantomData<core::cell::Cell<()>>,
+}
+
+impl<'d, T: RcObject> ThreadHandle<'d, T> {
+    pub(crate) fn new(domain: &'d WfrcDomain<T>, tid: usize, counters: OpCounters) -> Self {
+        Self {
+            domain,
+            tid,
+            counters,
+            _not_sync: PhantomData,
+        }
+    }
+
+    /// This handle's `threadId`.
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// The domain this handle belongs to.
+    pub fn domain(&self) -> &'d WfrcDomain<T> {
+        self.domain
+    }
+
+    /// The handle's operation counters (see [`OpCounters`]).
+    pub fn counters(&self) -> &OpCounters {
+        &self.counters
+    }
+
+    // ------------------------------------------------------------------
+    // Guard layer
+    // ------------------------------------------------------------------
+
+    /// `AllocNode` + payload initialization: removes a node from the
+    /// free-list wait-free, hands its payload to `init` while ownership is
+    /// still exclusive, and returns it holding one reference.
+    ///
+    /// The payload passed to `init` is whatever the node's previous life
+    /// left behind (initially the arena seed) — initialize every field you
+    /// will read.
+    pub fn alloc_with(&self, init: impl FnOnce(&mut T)) -> Result<NodeRef<'_, T>, OutOfMemory> {
+        let node = self.domain.shared().alloc_node(self.tid, &self.counters)?;
+        // SAFETY: freshly allocated and unpublished — exclusively ours.
+        init(unsafe { (*node).payload_mut() });
+        // SAFETY: `node` is non-null on the Ok path.
+        Ok(unsafe { NodeRef::from_raw(self, node) })
+    }
+
+    /// `DeRefLink`: wait-free dereference of `link`, returning a guard
+    /// holding one reference, or `None` if the link was ⊥.
+    pub fn deref<'h>(&'h self, link: &Link<T>) -> Option<NodeRef<'h, T>> {
+        let node = self.domain.shared().deref_link(self.tid, &self.counters, link);
+        if node.is_null() {
+            None
+        } else {
+            debug_assert!(
+                self.domain.shared().arena.contains(node),
+                "link resolved to a node outside this domain's arena"
+            );
+            // SAFETY: deref_link returned a non-null node with a count.
+            Some(unsafe { NodeRef::from_raw(self, node) })
+        }
+    }
+
+    /// `CompareAndSwapLink` (Figure 6) with full §3.2 bookkeeping: if
+    /// `link` currently equals `expected` it is replaced by `new`, the
+    /// obligatory `HelpDeRef` runs, and the reference the link held on the
+    /// old node is released. The link acquires its own reference on `new`;
+    /// the caller's guards are untouched.
+    ///
+    /// Returns `true` on success.
+    pub fn cas(
+        &self,
+        link: &Link<T>,
+        expected: Option<&NodeRef<'_, T>>,
+        new: Option<&NodeRef<'_, T>>,
+    ) -> bool {
+        let old_ptr = expected.map_or(core::ptr::null_mut(), |r| r.as_ptr());
+        let new_ptr = new.map_or(core::ptr::null_mut(), |r| r.as_ptr());
+        let s = self.domain.shared();
+        if !new_ptr.is_null() {
+            s.fix_ref(new_ptr, 2); // the link's own reference
+        }
+        if link.cas_raw(old_ptr, new_ptr) {
+            s.help_deref(self.tid, &self.counters, link);
+            if !old_ptr.is_null() {
+                s.release_ref(self.tid, &self.counters, old_ptr);
+            }
+            true
+        } else {
+            if !new_ptr.is_null() {
+                s.release_ref(self.tid, &self.counters, new_ptr);
+            }
+            false
+        }
+    }
+
+    /// Unconditionally replaces `link`'s target, releasing the reference it
+    /// held on the previous node (after the obligatory `HelpDeRef`).
+    ///
+    /// This generalizes §3.2's "direct write" rule: a SWAP never loses the
+    /// old value, so the protocol obligations can always be met. Use
+    /// [`ThreadHandle::cas`] when the update must be conditional.
+    pub fn store(&self, link: &Link<T>, new: Option<&NodeRef<'_, T>>) {
+        let new_ptr = new.map_or(core::ptr::null_mut(), |r| r.as_ptr());
+        let s = self.domain.shared();
+        if !new_ptr.is_null() {
+            s.fix_ref(new_ptr, 2);
+        }
+        let old = link.swap_raw(new_ptr);
+        if !old.is_null() {
+            s.help_deref(self.tid, &self.counters, link);
+            s.release_ref(self.tid, &self.counters, old);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Raw layer: the paper's operations verbatim
+    // ------------------------------------------------------------------
+
+    /// Raw `AllocNode`: returns a node holding one reference
+    /// (`mm_ref == 2`) whose payload is **stale** (previous contents).
+    ///
+    /// Initialize it via [`ThreadHandle::payload_mut_raw`] before
+    /// publishing. Pair with [`ThreadHandle::release_raw`].
+    pub fn alloc_raw(&self) -> Result<*mut Node<T>, OutOfMemory> {
+        self.domain.shared().alloc_node(self.tid, &self.counters)
+    }
+
+    /// Raw `DeRefLink`: returns a node pointer carrying one reference (or
+    /// null). Pair with [`ThreadHandle::release_raw`].
+    ///
+    /// # Safety
+    /// `link` must only ever hold nodes of this handle's domain.
+    pub unsafe fn deref_raw(&self, link: &Link<T>) -> *mut Node<T> {
+        self.domain.shared().deref_link(self.tid, &self.counters, link)
+    }
+
+    /// Raw `ReleaseRef`: gives up one reference on `node`.
+    ///
+    /// # Safety
+    /// `node` must be a non-null node of this domain on which the caller
+    /// owns an unreleased reference.
+    pub unsafe fn release_raw(&self, node: *mut Node<T>) {
+        self.domain.shared().release_ref(self.tid, &self.counters, node);
+    }
+
+    /// Raw `FixRef(node, 2·refs)`: acquire `refs` additional references
+    /// ("for increasing the reference count when copying shared pointers",
+    /// §3.2).
+    ///
+    /// # Safety
+    /// `node` must be a non-null node of this domain on which the caller
+    /// already owns at least one reference (so it cannot be concurrently
+    /// reclaimed).
+    pub unsafe fn add_ref_raw(&self, node: *mut Node<T>, refs: usize) {
+        self.domain.shared().fix_ref(node, 2 * refs as isize);
+    }
+
+    /// Raw `CompareAndSwapLink` (Figure 6): CAS `link` from `old` to `new`
+    /// and, on success, run the obligatory `HelpDeRef`. **Does not touch
+    /// reference counts** — the caller transfers one owned reference on
+    /// `new` into the link, and on success becomes responsible for
+    /// releasing the reference the link held on `old`.
+    ///
+    /// # Safety
+    /// `old`/`new` must be null or nodes of this domain; the caller must
+    /// own the reference being transferred on `new`.
+    pub unsafe fn cas_link_raw(
+        &self,
+        link: &Link<T>,
+        old: *mut Node<T>,
+        new: *mut Node<T>,
+    ) -> bool {
+        if link.cas_raw(old, new) {
+            self.domain.shared().help_deref(self.tid, &self.counters, link);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Raw direct write for **unpublished** links (§3.2: previous value
+    /// known ⊥, no concurrent updates — e.g. wiring a freshly allocated
+    /// node before it becomes reachable). Transfers one caller-owned
+    /// reference on `node` into the link.
+    ///
+    /// # Safety
+    /// The link must be unreachable by other threads and currently ⊥; the
+    /// caller must own the transferred reference.
+    pub unsafe fn store_link_raw(&self, link: &Link<T>, node: *mut Node<T>) {
+        debug_assert!(link.is_null(), "store_link_raw on a non-null link");
+        link.store_raw(node);
+    }
+
+    /// Shared payload access for a raw node pointer.
+    ///
+    /// # Safety
+    /// The caller must own a reference on `node` for at least the returned
+    /// borrow's lifetime.
+    pub unsafe fn payload_raw(&self, node: *mut Node<T>) -> &T {
+        // SAFETY: forwarded contract.
+        unsafe { (*node).payload() }
+    }
+
+    /// Exclusive payload access for a raw node pointer.
+    ///
+    /// # Safety
+    /// The caller must own `node` exclusively (freshly allocated and not
+    /// yet published).
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn payload_mut_raw(&self, node: *mut Node<T>) -> &mut T {
+        // SAFETY: forwarded contract.
+        unsafe { (*node).payload_mut() }
+    }
+}
+
+impl<T: RcObject> Drop for ThreadHandle<'_, T> {
+    fn drop(&mut self) {
+        self.domain.unregister(self.tid);
+    }
+}
+
+impl<T: RcObject> core::fmt::Debug for ThreadHandle<'_, T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ThreadHandle").field("tid", &self.tid).finish()
+    }
+}
+
+/// An owned reference to a node: the RAII form of the paper's
+/// `AllocNode`/`DeRefLink` results. Dropping it is `ReleaseRef`; cloning it
+/// is `FixRef(node, 2)`.
+pub struct NodeRef<'h, T: RcObject> {
+    handle: &'h ThreadHandle<'h, T>,
+    node: NonNull<Node<T>>,
+}
+
+impl<'h, T: RcObject> NodeRef<'h, T> {
+    /// Wraps a raw node carrying one owned reference.
+    ///
+    /// # Safety
+    /// `node` must be non-null, of the handle's domain, with one unreleased
+    /// reference owned by the caller.
+    pub unsafe fn from_raw(handle: &'h ThreadHandle<'h, T>, node: *mut Node<T>) -> Self {
+        debug_assert!(!node.is_null());
+        Self {
+            handle,
+            // SAFETY: non-null per contract.
+            node: unsafe { NonNull::new_unchecked(node) },
+        }
+    }
+
+    /// The raw node pointer (still owned by the guard).
+    pub fn as_ptr(&self) -> *mut Node<T> {
+        self.node.as_ptr()
+    }
+
+    /// The node header (for diagnostics/tests).
+    pub fn as_node(&self) -> &Node<T> {
+        // SAFETY: guard holds a reference; node cannot be reclaimed.
+        unsafe { self.node.as_ref() }
+    }
+
+    /// Consumes the guard *without* releasing: returns the raw pointer and
+    /// transfers the reference to the caller (pair with
+    /// [`ThreadHandle::release_raw`]).
+    pub fn into_raw(self) -> *mut Node<T> {
+        let p = self.node.as_ptr();
+        core::mem::forget(self);
+        p
+    }
+}
+
+impl<T: RcObject> Deref for NodeRef<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard owns a reference, so the payload is stable.
+        unsafe { self.as_node().payload() }
+    }
+}
+
+impl<T: RcObject> Clone for NodeRef<'_, T> {
+    fn clone(&self) -> Self {
+        // FixRef(node, 2): copying a shared pointer (§3.2).
+        self.handle.domain().shared().fix_ref(self.as_ptr(), 2);
+        Self {
+            handle: self.handle,
+            node: self.node,
+        }
+    }
+}
+
+impl<T: RcObject> Drop for NodeRef<'_, T> {
+    fn drop(&mut self) {
+        self.handle.domain().shared().release_ref(
+            self.handle.tid(),
+            self.handle.counters(),
+            self.node.as_ptr(),
+        );
+    }
+}
+
+impl<T: RcObject> PartialEq for NodeRef<'_, T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.node == other.node
+    }
+}
+impl<T: RcObject> Eq for NodeRef<'_, T> {}
+
+impl<T: RcObject + core::fmt::Debug> core::fmt::Debug for NodeRef<'_, T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("NodeRef")
+            .field("node", &self.node)
+            .field("payload", &**self)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::DomainConfig;
+
+    fn domain(threads: usize, cap: usize) -> WfrcDomain<u64> {
+        WfrcDomain::new(DomainConfig::new(threads, cap))
+    }
+
+    #[test]
+    fn guard_drop_releases() {
+        let d = domain(1, 2);
+        let h = d.register().unwrap();
+        let a = h.alloc_with(|v| *v = 1).unwrap();
+        assert_eq!(a.as_node().ref_count(), 1);
+        drop(a);
+        assert!(d.leak_check().is_clean());
+    }
+
+    #[test]
+    fn guard_clone_bumps_count() {
+        let d = domain(1, 2);
+        let h = d.register().unwrap();
+        let a = h.alloc_with(|v| *v = 1).unwrap();
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(a.as_node().ref_count(), 2);
+        drop(a);
+        assert_eq!(b.as_node().ref_count(), 1);
+        assert_eq!(*b, 1);
+    }
+
+    #[test]
+    fn cas_success_transfers_link_count() {
+        let d = domain(1, 4);
+        let h = d.register().unwrap();
+        let a = h.alloc_with(|v| *v = 1).unwrap();
+        let b = h.alloc_with(|v| *v = 2).unwrap();
+        let link = Link::null();
+        assert!(h.cas(&link, None, Some(&a)));
+        assert_eq!(a.as_node().ref_count(), 2);
+        assert!(h.cas(&link, Some(&a), Some(&b)));
+        assert_eq!(a.as_node().ref_count(), 1);
+        assert_eq!(b.as_node().ref_count(), 2);
+        assert!(h.cas(&link, Some(&b), None));
+        assert_eq!(b.as_node().ref_count(), 1);
+    }
+
+    #[test]
+    fn cas_failure_leaves_counts_unchanged() {
+        let d = domain(1, 4);
+        let h = d.register().unwrap();
+        let a = h.alloc_with(|v| *v = 1).unwrap();
+        let b = h.alloc_with(|v| *v = 2).unwrap();
+        let link = Link::null();
+        h.store(&link, Some(&a));
+        // Expect b (wrong): must fail and not disturb anything.
+        assert!(!h.cas(&link, Some(&b), None));
+        assert_eq!(a.as_node().ref_count(), 2);
+        assert_eq!(b.as_node().ref_count(), 1);
+        assert_eq!(link.load_raw(), a.as_ptr());
+        h.store(&link, None);
+    }
+
+    #[test]
+    fn store_replaces_and_releases_old() {
+        let d = domain(1, 4);
+        let h = d.register().unwrap();
+        let a = h.alloc_with(|v| *v = 1).unwrap();
+        let b = h.alloc_with(|v| *v = 2).unwrap();
+        let link = Link::null();
+        h.store(&link, Some(&a));
+        h.store(&link, Some(&b));
+        assert_eq!(a.as_node().ref_count(), 1);
+        assert_eq!(b.as_node().ref_count(), 2);
+        h.store(&link, None);
+        assert_eq!(b.as_node().ref_count(), 1);
+    }
+
+    #[test]
+    fn deref_returns_guarded_payload() {
+        let d = domain(1, 4);
+        let h = d.register().unwrap();
+        let a = h.alloc_with(|v| *v = 42).unwrap();
+        let link = Link::null();
+        h.store(&link, Some(&a));
+        drop(a); // the link keeps it alive
+        let g = h.deref(&link).expect("link is non-null");
+        assert_eq!(*g, 42);
+        assert_eq!(g.as_node().ref_count(), 2); // link + guard
+        h.store(&link, None);
+        assert_eq!(g.as_node().ref_count(), 1);
+        drop(g);
+        assert!(d.leak_check().is_clean());
+    }
+
+    #[test]
+    fn into_raw_and_release_raw_roundtrip() {
+        let d = domain(1, 2);
+        let h = d.register().unwrap();
+        let a = h.alloc_with(|v| *v = 7).unwrap();
+        let p = a.into_raw();
+        // SAFETY: we own the transferred reference.
+        unsafe {
+            assert_eq!(*h.payload_raw(p), 7);
+            h.release_raw(p);
+        }
+        assert!(d.leak_check().is_clean());
+    }
+
+    #[test]
+    fn node_keeps_value_while_any_guard_lives() {
+        let d = domain(1, 1); // single node: reuse would overwrite
+        let h = d.register().unwrap();
+        let a = h.alloc_with(|v| *v = 11).unwrap();
+        let b = a.clone();
+        drop(a);
+        // Allocation must fail: the only node is still referenced.
+        assert!(h.alloc_with(|v| *v = 99).is_err());
+        assert_eq!(*b, 11);
+    }
+}

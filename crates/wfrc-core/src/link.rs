@@ -1,0 +1,133 @@
+//! Shared links between nodes.
+//!
+//! A *link* in the paper is a shared memory word holding a `pointer to
+//! Node` — the thing `DeRefLink` dereferences and `CompareAndSwapLink`
+//! (Figure 6) updates. [`Link<T>`] is that word. It is deliberately inert:
+//! every operation that respects the usage rules of §3.2 goes through a
+//! [`crate::ThreadHandle`] (which knows the domain and the caller's thread
+//! id); the methods here are the raw word operations those are built from.
+
+use wfrc_primitives::WordPtr;
+
+use crate::node::Node;
+
+/// A shared mutable pointer-to-node word: the unit the whole scheme revolves
+/// around.
+///
+/// Links appear in two places: inside node payloads (enumerated by
+/// [`crate::RcObject::each_link`]) and as data-structure roots. A non-null
+/// link holds one reference count (+2 on `mm_ref`) on its target; that count
+/// is transferred or dropped only through the §3.2 protocol
+/// ([`crate::ThreadHandle::cas`] / [`crate::ThreadHandle::store`]), never by
+/// writing the word directly.
+#[repr(transparent)]
+pub struct Link<T>(pub(crate) WordPtr<Node<T>>);
+
+impl<T> Default for Link<T> {
+    fn default() -> Self {
+        Self::null()
+    }
+}
+
+impl<T> Link<T> {
+    /// Creates an empty link (the paper's ⊥).
+    pub const fn null() -> Self {
+        Self(WordPtr::null())
+    }
+
+    /// Raw atomic read of the link word (paper line D4 reads links this
+    /// way). The returned pointer carries **no** reference count — use
+    /// [`crate::ThreadHandle::deref`] for a safe dereference.
+    #[inline]
+    pub fn load_raw(&self) -> *mut Node<T> {
+        self.0.load()
+    }
+
+    /// True if the link is currently ⊥.
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        self.load_raw().is_null()
+    }
+
+    /// Atomic read split into the node pointer and the deletion mark
+    /// (bit 0). The structures of \[18\] mark a node's outgoing links before
+    /// unlinking it; the memory-management operations treat a marked link
+    /// as still pointing to its node.
+    #[inline]
+    pub fn load_decomposed(&self) -> (*mut Node<T>, bool) {
+        wfrc_primitives::tagged::decompose(self.load_raw())
+    }
+
+    /// Raw CAS on the link word. Does **not** perform the obligatory
+    /// `HelpDeRef`/`ReleaseRef` of Figure 6 — that is
+    /// [`crate::ThreadHandle::cas`]'s job. Public for alternative scheme
+    /// implementations; misuse breaks the reclamation protocol.
+    #[inline]
+    pub fn cas_raw(&self, old: *mut Node<T>, new: *mut Node<T>) -> bool {
+        self.0.cas(old, new)
+    }
+
+    /// Raw SWAP on the link word (used during reclamation, where the dying
+    /// node's links are drained with exclusive ownership).
+    #[inline]
+    pub fn swap_raw(&self, new: *mut Node<T>) -> *mut Node<T> {
+        self.0.swap(new)
+    }
+
+    /// Raw store. Only sound under the §3.2 direct-write rule: previous
+    /// value known ⊥ and no concurrent updates pending.
+    #[inline]
+    pub fn store_raw(&self, new: *mut Node<T>) {
+        self.0.store(new)
+    }
+
+    /// The address of this link word, as announced in `annReadAddr`.
+    #[inline]
+    pub fn addr(&self) -> usize {
+        self as *const _ as usize
+    }
+}
+
+impl<T> core::fmt::Debug for Link<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Link({:p})", self.load_raw())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_link_roundtrip() {
+        let l: Link<u64> = Link::null();
+        assert!(l.is_null());
+        assert!(l.load_raw().is_null());
+    }
+
+    #[test]
+    fn cas_and_swap_raw() {
+        let l: Link<u64> = Link::null();
+        let mut n = Node::new(9u64);
+        let p = &mut n as *mut Node<u64>;
+        assert!(l.cas_raw(core::ptr::null_mut(), p));
+        assert!(!l.is_null());
+        assert_eq!(l.swap_raw(core::ptr::null_mut()), p);
+        assert!(l.is_null());
+    }
+
+    #[test]
+    fn link_is_one_word() {
+        assert_eq!(
+            core::mem::size_of::<Link<u64>>(),
+            core::mem::size_of::<usize>()
+        );
+    }
+
+    #[test]
+    fn addr_is_stable_and_aligned() {
+        let l: Link<u64> = Link::null();
+        assert_eq!(l.addr(), &l as *const _ as usize);
+        assert_eq!(l.addr() % core::mem::align_of::<usize>(), 0);
+    }
+}

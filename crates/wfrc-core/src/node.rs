@@ -1,0 +1,266 @@
+//! The `Node` structure of the paper's Figure 3.
+//!
+//! Every memory block managed by the scheme carries two header words:
+//!
+//! * `mm_ref` — the reference-count word. Following Valois' convention
+//!   (which the paper adopts), the *real* reference count is `mm_ref / 2`;
+//!   the low bit is a claim flag used to agree on which `ReleaseRef`
+//!   invocation reclaims the node. A node in the free-list has `mm_ref == 1`
+//!   (count 0, claimed); a node with one holder has `mm_ref == 2`.
+//! * `mm_next` — the free-list chain pointer, owned exclusively by the
+//!   freeing thread while the node is being pushed (Figure 5, line F8).
+//!
+//! `mm_ref` is the **first** field (`#[repr(C)]`): the paper's Lemma 1
+//! (a link address can never equal a node address) depends on it, and while
+//! this implementation additionally tags announcement answers (see
+//! [`crate::announce`]), keeping the layout preserves the paper's invariant
+//! verbatim.
+
+use core::cell::UnsafeCell;
+#[cfg(feature = "relaxed-mmref")]
+use core::sync::atomic::Ordering;
+use wfrc_primitives::{AtomicWord, WordPtr};
+
+use crate::link::Link;
+
+/// Payload types storable in a [`crate::WfrcDomain`].
+///
+/// The single obligation is [`RcObject::each_link`]: when a node's reference
+/// count reaches zero, `ReleaseRef` must "recursively call `ReleaseRef` for
+/// all held references by \[the\] node" (paper line R3). The domain cannot see
+/// inside your payload, so you enumerate its [`Link`] fields here. Payloads
+/// with no internal links implement it as a no-op (see
+/// [`leaf_rc_object!`](crate::leaf_rc_object)).
+///
+/// `Send + Sync` are required because payloads are shared across every
+/// registered thread; `'static` because the arena outlives any borrow the
+/// payload could otherwise smuggle in.
+pub trait RcObject: Send + Sync + 'static {
+    /// Calls `f` on every [`Link`] field contained in this payload.
+    ///
+    /// Must visit *all* links through which this object holds reference
+    /// counts, and no other. Missing a link leaks its target; visiting a
+    /// non-link double-frees.
+    fn each_link(&self, f: &mut dyn FnMut(&Link<Self>))
+    where
+        Self: Sized;
+}
+
+/// Implements [`RcObject`] for payload types that contain no internal links.
+#[macro_export]
+macro_rules! leaf_rc_object {
+    ($($ty:ty),+ $(,)?) => {
+        $(impl $crate::RcObject for $ty {
+            #[inline]
+            fn each_link(&self, _f: &mut dyn FnMut(&$crate::Link<Self>)) {}
+        })+
+    };
+}
+
+leaf_rc_object!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, (), String);
+
+/// A managed memory block: the paper's Figure 3 `Node`.
+///
+/// Nodes live in a [`crate::arena::Arena`] for the lifetime of their domain
+/// (the paper's "`mm_ref` will be present at each memory block indefinitely"
+/// assumption), so it is always sound to `FAA` the `mm_ref` of a node that
+/// has already been reclaimed — the announcement protocol will repair the
+/// count afterwards.
+#[repr(C)]
+pub struct Node<T> {
+    /// Reference-count word; the real count is `mm_ref / 2`, low bit claims
+    /// the node for reclamation. Initially 1 (paper Figure 3).
+    mm_ref: AtomicWord,
+    /// Free-list chain pointer (paper Figure 3 / Figure 5 line F8).
+    mm_next: WordPtr<Node<T>>,
+    payload: UnsafeCell<T>,
+}
+
+// SAFETY: all concurrent access to `payload` is mediated by the reference
+// counting protocol — shared `&T` is only handed out while the caller holds a
+// count, and `&mut T` only during allocation, when the allocating thread owns
+// the node exclusively. `T: Send + Sync` is required for payloads (enforced
+// at the `RcObject` bound on every public entry point).
+unsafe impl<T: Send + Sync> Sync for Node<T> {}
+unsafe impl<T: Send> Send for Node<T> {}
+
+impl<T> Node<T> {
+    /// `mm_ref` value of a node sitting in the free-list: count 0, claimed.
+    pub const FREE_REF: usize = 1;
+    /// `mm_ref` value of a node with exactly one live reference.
+    pub const ONE_REF: usize = 2;
+
+    pub(crate) fn new(payload: T) -> Self {
+        Self {
+            mm_ref: AtomicWord::new(Self::FREE_REF),
+            mm_next: WordPtr::null(),
+            payload: UnsafeCell::new(payload),
+        }
+    }
+
+    /// Atomically adds `delta` (in raw `mm_ref` units, i.e. ±2 per
+    /// reference) and returns the previous raw value.
+    ///
+    /// This is the paper's `FAA(&node.mm_ref, fix)`. Under the default
+    /// build it is `SeqCst`; the `relaxed-mmref` ablation uses `AcqRel`
+    /// (Arc-style: the release of a decrement must synchronize with the
+    /// acquire of the zero-detecting claim).
+    #[inline]
+    pub fn faa_ref(&self, delta: isize) -> usize {
+        #[cfg(feature = "relaxed-mmref")]
+        {
+            self.mm_ref.faa_with(delta, Ordering::AcqRel)
+        }
+        #[cfg(not(feature = "relaxed-mmref"))]
+        {
+            self.mm_ref.faa(delta)
+        }
+    }
+
+    /// Reads the raw `mm_ref` word.
+    #[inline]
+    pub fn load_ref(&self) -> usize {
+        #[cfg(feature = "relaxed-mmref")]
+        {
+            self.mm_ref.load_with(Ordering::Acquire)
+        }
+        #[cfg(not(feature = "relaxed-mmref"))]
+        {
+            self.mm_ref.load()
+        }
+    }
+
+    /// The real reference count (`mm_ref / 2`).
+    #[inline]
+    pub fn ref_count(&self) -> usize {
+        self.load_ref() >> 1
+    }
+
+    /// True if the claim bit is set (node reclaimed or in the free-list).
+    #[inline]
+    pub fn is_claimed(&self) -> bool {
+        self.load_ref() & 1 == 1
+    }
+
+    /// The zero-detection step of `ReleaseRef` (paper line R2):
+    /// `mm_ref == 0 && CAS(&mm_ref, 0, 1)`. Exactly one invocation can win.
+    ///
+    /// Public so alternative schemes (the Valois-style lock-free baseline)
+    /// can reuse the node representation; user code has no business calling
+    /// it.
+    #[inline]
+    pub fn try_claim(&self) -> bool {
+        self.load_ref() == 0 && self.mm_ref.cas(0, 1)
+    }
+
+    /// The free-list chain pointer.
+    ///
+    /// Public for alternative scheme implementations; only the thread that
+    /// exclusively owns the node (during a free-list push) may write it.
+    #[inline]
+    pub fn mm_next(&self) -> &WordPtr<Node<T>> {
+        &self.mm_next
+    }
+
+    /// Shared payload access.
+    ///
+    /// # Safety
+    /// The caller must hold a reference count on this node (or otherwise own
+    /// it exclusively, e.g. during arena teardown).
+    #[inline]
+    pub unsafe fn payload(&self) -> &T {
+        // SAFETY: per contract the node is not concurrently reclaimed and
+        // re-initialized, so the payload is a valid, stable `T`.
+        unsafe { &*self.payload.get() }
+    }
+
+    /// Exclusive payload access for (re-)initialization at allocation time.
+    ///
+    /// # Safety
+    /// The caller must own the node exclusively: it was just removed from
+    /// the free-list and has not been published yet.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn payload_mut(&self) -> &mut T {
+        // SAFETY: per contract no other thread can reach the payload.
+        unsafe { &mut *self.payload.get() }
+    }
+
+    /// Test/diagnostic hook: raw `mm_ref` accessor for invariant audits.
+    pub fn raw_ref_word(&self) -> &AtomicWord {
+        &self.mm_ref
+    }
+}
+
+impl<T: core::fmt::Debug> core::fmt::Debug for Node<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Node")
+            .field("mm_ref", &self.load_ref())
+            .field("mm_next", &self.mm_next.load())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mm_ref_is_first_field() {
+        // Lemma 1 depends on the refcount being at offset 0.
+        let n = Node::new(42u64);
+        let node_addr = &n as *const _ as usize;
+        let ref_addr = &n.mm_ref as *const _ as usize;
+        assert_eq!(node_addr, ref_addr);
+    }
+
+    #[test]
+    fn node_alignment_allows_tagging() {
+        assert!(core::mem::align_of::<Node<u8>>() >= 8);
+    }
+
+    #[test]
+    fn fresh_node_is_free_and_claimed() {
+        let n = Node::new(0u32);
+        assert_eq!(n.load_ref(), Node::<u32>::FREE_REF);
+        assert_eq!(n.ref_count(), 0);
+        assert!(n.is_claimed());
+    }
+
+    #[test]
+    fn faa_ref_tracks_count_parity() {
+        let n = Node::new(0u32);
+        n.faa_ref(2); // free-list removal bump: 1 -> 3
+        assert_eq!(n.ref_count(), 1);
+        assert!(n.is_claimed());
+        n.faa_ref(-1); // FixRef(node, -1): claimed -> live
+        assert_eq!(n.load_ref(), Node::<u32>::ONE_REF);
+        assert!(!n.is_claimed());
+    }
+
+    #[test]
+    fn try_claim_exactly_once() {
+        let n = Node::new(0u32);
+        n.faa_ref(-1); // 1 -> 0
+        assert_eq!(n.load_ref(), 0);
+        assert!(n.try_claim());
+        assert!(!n.try_claim());
+        assert_eq!(n.load_ref(), 1);
+    }
+
+    #[test]
+    fn try_claim_fails_on_nonzero() {
+        let n = Node::new(0u32);
+        assert!(!n.try_claim()); // mm_ref == 1
+        n.faa_ref(1); // 2
+        assert!(!n.try_claim());
+    }
+
+    #[test]
+    fn leaf_rc_object_visits_nothing() {
+        let v = 5u64;
+        let mut visits = 0;
+        v.each_link(&mut |_| visits += 1);
+        assert_eq!(visits, 0);
+    }
+}

@@ -1,0 +1,758 @@
+//! Model of the wait-free free-list (Figure 5): `AllocNode` / `FreeNode`
+//! with the round-robin gifting protocol, explored exhaustively.
+//!
+//! Complements [`crate::machine`] (which models the Figure 4 announcement
+//! protocol): here the checked properties are the paper's Lemmas 4, 5, 9
+//! and 10 on a two-thread, small-arena configuration:
+//!
+//! * **Conservation** — at quiescence every node is in exactly one place:
+//!   on some free-list, parked in an `annAlloc` slot, or owned by a
+//!   script (ghost-tracked), with exactly the `mm_ref` its location
+//!   dictates (1 / 3 / 2).
+//! * **No loss, no duplication** — two concurrent allocations never
+//!   return the same node; a node freed concurrently with allocations is
+//!   never lost.
+//! * **Bounded steps** — every operation completes within a fixed step
+//!   budget in *every* explored schedule (the mechanized form of the
+//!   wait-freedom lemmas at this configuration size; a livelocking
+//!   protocol would exceed the budget on some schedule, or recurse
+//!   forever and overflow the DFS).
+//!
+//! The corrected F3 (`FixRef(+2)` before the gifting CAS — see
+//! `wfrc-core/src/freelist.rs`) is modeled as implemented; the test
+//! `uncorrected_f3_is_caught` models the *paper's literal* F3 and shows
+//! the conservation check failing — evidence the correction is necessary,
+//! not stylistic.
+
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::explore::Violation;
+
+/// Threads in the free-list model.
+pub const FL_THREADS: usize = 2;
+/// Nodes in the free-list model arena. Three, not two: one may be parked
+/// as a gift for a thread that never allocates again, one may be held by a
+/// script, and the third keeps every allocation completable (the protocol's
+/// wait-freedom is conditional on nodes being *available* — a gift parked
+/// for thread X is unavailable to thread Y, exactly as in the paper).
+pub const FL_NODES: usize = 3;
+/// Free lists (`2 · NR_THREADS`).
+pub const FL_LISTS: usize = 2 * FL_THREADS;
+/// Per-operation step budget: generous versus the Lemma 9 bound for this
+/// configuration; exceeding it in any schedule is a wait-freedom
+/// violation.
+pub const STEP_BUDGET: u32 = 120;
+
+/// Shared state of the Figure 5 globals.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FlShared {
+    /// `mm_ref` per node.
+    pub mm_ref: [i32; FL_NODES],
+    /// `mm_next` per node (arena index or None).
+    pub next: [Option<usize>; FL_NODES],
+    /// `freeList[..]` heads.
+    pub heads: [Option<usize>; FL_LISTS],
+    /// `currentFreeList`.
+    pub current: usize,
+    /// `helpCurrent`.
+    pub help_current: usize,
+    /// `annAlloc[t]`.
+    pub ann_alloc: [Option<usize>; FL_THREADS],
+}
+
+impl FlShared {
+    /// All nodes chained on list 0, `mm_ref = 1` (the paper's initial
+    /// condition).
+    pub fn initial() -> Self {
+        let mut next = [None; FL_NODES];
+        for (i, n) in next.iter_mut().enumerate().take(FL_NODES - 1) {
+            *n = Some(i + 1);
+        }
+        Self {
+            mm_ref: [1; FL_NODES],
+            next,
+            heads: {
+                let mut h = [None; FL_LISTS];
+                h[0] = Some(0);
+                h
+            },
+            current: 0,
+            help_current: 0,
+            ann_alloc: [None; FL_THREADS],
+        }
+    }
+
+    fn faa(&mut self, n: usize, d: i32) {
+        self.mm_ref[n] += d;
+        assert!(self.mm_ref[n] >= 0, "mm_ref underflow on node {n}");
+    }
+}
+
+/// Program counter states of the alloc/free machines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Op {
+    /// `AllocNode` (paper A1–A18); result recorded in `owned`.
+    Alloc {
+        pc: u8,
+        helped: bool,
+        help_id: usize,
+        cur: usize,
+        node: usize,
+        nxt: Option<usize>,
+    },
+    /// `FreeNode` of an owned node (the script first releases its count:
+    /// the model folds `ReleaseRef`'s R1/R2 into pc 0/1).
+    Free {
+        pc: u8,
+        node: usize,
+        help_id: usize,
+        index: usize,
+        /// Model the paper's uncorrected F3 (for the counterexample test).
+        corrected: bool,
+        /// When the free is the R4 of a failed-A10 release (alloc line
+        /// A18), the alloc loop resumes here afterwards.
+        resume: Option<(bool, usize)>,
+    },
+    Done,
+}
+
+/// A thread running a script of alloc/free calls.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FlMachine {
+    tid: usize,
+    /// true = alloc, false = free the most recently allocated node.
+    script: Vec<bool>,
+    ip: usize,
+    op: Op,
+    /// Ghost: nodes currently owned by this thread (allocated, unreleased).
+    pub owned: Vec<usize>,
+    steps_this_op: u32,
+    /// Use the corrected F3 (default true).
+    corrected_f3: bool,
+}
+
+impl FlMachine {
+    /// Creates a machine; script entries: `true` = `AllocNode`, `false` =
+    /// release + `FreeNode` of the most recent allocation.
+    pub fn new(tid: usize, script: Vec<bool>) -> Self {
+        Self {
+            tid,
+            script,
+            ip: 0,
+            op: Op::Done,
+            owned: Vec::new(),
+            steps_this_op: 0,
+            corrected_f3: true,
+        }
+    }
+
+    /// Switches to the paper's literal (uncorrected) F3.
+    pub fn with_uncorrected_f3(mut self) -> Self {
+        self.corrected_f3 = false;
+        self
+    }
+
+    /// True when the script has completed.
+    pub fn done(&self) -> bool {
+        matches!(self.op, Op::Done) && self.ip == self.script.len()
+    }
+
+    /// One step (≤ one shared access).
+    pub fn step(&mut self, s: &mut FlShared) {
+        debug_assert!(!self.done());
+        if matches!(self.op, Op::Done) {
+            let is_alloc = self.script[self.ip];
+            self.ip += 1;
+            self.steps_this_op = 0;
+            self.op = if is_alloc {
+                Op::Alloc {
+                    pc: 0,
+                    helped: false,
+                    help_id: 0,
+                    cur: 0,
+                    node: 0,
+                    nxt: None,
+                }
+            } else {
+                let node = self.owned.pop().expect("script frees an owned node");
+                Op::Free {
+                    pc: 0,
+                    node,
+                    help_id: 0,
+                    index: 0,
+                    corrected: self.corrected_f3,
+                    resume: None,
+                }
+            };
+            return;
+        }
+        self.steps_this_op += 1;
+        assert!(
+            self.steps_this_op <= STEP_BUDGET,
+            "thread {} exceeded the wait-freedom step budget in {:?}",
+            self.tid,
+            self.op
+        );
+        self.op = self.advance(s);
+    }
+
+    /// Completes a FreeNode: return to the interrupted alloc loop (A18
+    /// path) or finish the script op.
+    fn finish_free(resume: Option<(bool, usize)>) -> Op {
+        match resume {
+            Some((helped, help_id)) => Op::Alloc {
+                pc: 1,
+                helped,
+                help_id,
+                cur: 0,
+                node: 0,
+                nxt: None,
+            },
+            None => Op::Done,
+        }
+    }
+
+    fn advance(&mut self, s: &mut FlShared) -> Op {
+        let tid = self.tid;
+        match self.op {
+            Op::Alloc {
+                pc,
+                helped,
+                help_id,
+                cur,
+                node,
+                nxt,
+            } => match pc {
+                0 => {
+                    // A2: read helpCurrent.
+                    Op::Alloc {
+                        pc: 1,
+                        helped,
+                        help_id: s.help_current,
+                        cur,
+                        node,
+                        nxt,
+                    }
+                }
+                1 => {
+                    // A4: SWAP annAlloc[tid].
+                    if let Some(gift) = s.ann_alloc[tid].take() {
+                        // FixRef(gift, -1): 3 -> 2, recorded as owned.
+                        s.faa(gift, -1);
+                        self.owned.push(gift);
+                        return Op::Done;
+                    }
+                    Op::Alloc {
+                        pc: 2,
+                        helped,
+                        help_id,
+                        cur,
+                        node,
+                        nxt,
+                    }
+                }
+                2 => {
+                    // A5: read currentFreeList.
+                    Op::Alloc {
+                        pc: 3,
+                        helped,
+                        help_id,
+                        cur: s.current,
+                        node,
+                        nxt,
+                    }
+                }
+                3 => {
+                    // A6/A7: read head; advance stripe if empty.
+                    match s.heads[cur] {
+                        None => {
+                            if s.current == cur {
+                                s.current = (cur + 1) % FL_LISTS; // A7 CAS
+                            }
+                            Op::Alloc {
+                                pc: 1,
+                                helped,
+                                help_id,
+                                cur,
+                                node,
+                                nxt,
+                            }
+                        }
+                        Some(n) => Op::Alloc {
+                            pc: 4,
+                            helped,
+                            help_id,
+                            cur,
+                            node: n,
+                            nxt,
+                        },
+                    }
+                }
+                4 => {
+                    // A9: pin.
+                    s.faa(node, 2);
+                    Op::Alloc {
+                        pc: 5,
+                        helped,
+                        help_id,
+                        cur,
+                        node,
+                        nxt,
+                    }
+                }
+                5 => {
+                    // read node.mm_next (safe: pinned).
+                    Op::Alloc {
+                        pc: 6,
+                        helped,
+                        help_id,
+                        cur,
+                        node,
+                        nxt: s.next[node],
+                    }
+                }
+                6 => {
+                    // A10: CAS head.
+                    if s.heads[cur] == Some(node) {
+                        s.heads[cur] = nxt;
+                        Op::Alloc {
+                            pc: 7,
+                            helped,
+                            help_id,
+                            cur,
+                            node,
+                            nxt,
+                        }
+                    } else {
+                        // A18: ReleaseRef(node) — R1 here, R2 next step.
+                        s.faa(node, -2);
+                        Op::Alloc {
+                            pc: 10,
+                            helped,
+                            help_id,
+                            cur,
+                            node,
+                            nxt,
+                        }
+                    }
+                }
+                7 => {
+                    // A11: read annAlloc[helpId].
+                    if !helped && s.ann_alloc[help_id].is_none() {
+                        Op::Alloc {
+                            pc: 8,
+                            helped,
+                            help_id,
+                            cur,
+                            node,
+                            nxt,
+                        }
+                    } else {
+                        Op::Alloc {
+                            pc: 9,
+                            helped,
+                            help_id,
+                            cur,
+                            node,
+                            nxt,
+                        }
+                    }
+                }
+                8 => {
+                    // A12: CAS annAlloc[helpId] ⊥ -> node.
+                    if s.ann_alloc[help_id].is_none() {
+                        s.ann_alloc[help_id] = Some(node);
+                        // A13/A14: helped := true; advance helpCurrent.
+                        if s.help_current == help_id {
+                            s.help_current = (help_id + 1) % FL_THREADS;
+                        }
+                        Op::Alloc {
+                            pc: 1, // A15: continue
+                            helped: true,
+                            help_id,
+                            cur,
+                            node,
+                            nxt,
+                        }
+                    } else {
+                        Op::Alloc {
+                            pc: 9,
+                            helped,
+                            help_id,
+                            cur,
+                            node,
+                            nxt,
+                        }
+                    }
+                }
+                9 => {
+                    // A16/A17: advance helpCurrent; FixRef(node, -1).
+                    if s.help_current == help_id {
+                        s.help_current = (help_id + 1) % FL_THREADS;
+                    }
+                    s.faa(node, -1);
+                    self.owned.push(node);
+                    Op::Done
+                }
+                10 => {
+                    // A18 continued: R2 claim check. If the count hit zero
+                    // (the winner's user already released), *we* reclaim:
+                    // run FreeNode (entering past R1/R2) and then resume
+                    // the allocation loop — Lemma 3's hand-off.
+                    if s.mm_ref[node] == 0 {
+                        s.mm_ref[node] = 1;
+                        Op::Free {
+                            pc: 2,
+                            node,
+                            help_id: 0,
+                            index: 0,
+                            corrected: self.corrected_f3,
+                            resume: Some((helped, help_id)),
+                        }
+                    } else {
+                        Op::Alloc {
+                            pc: 1,
+                            helped,
+                            help_id,
+                            cur,
+                            node,
+                            nxt,
+                        }
+                    }
+                }
+                _ => unreachable!(),
+            },
+            Op::Free {
+                pc,
+                node,
+                help_id,
+                index,
+                corrected,
+                resume,
+            } => match pc {
+                0 => {
+                    // ReleaseRef R1 on our own count.
+                    s.faa(node, -2);
+                    Op::Free {
+                        pc: 1,
+                        node,
+                        help_id,
+                        index,
+                        corrected,
+                        resume,
+                    }
+                }
+                1 => {
+                    // R2: claim. A concurrent allocator's stale A9 pin can
+                    // make the count non-zero here; then *its* A18 release
+                    // reclaims instead (Lemma 3's hand-off) and this free
+                    // is complete.
+                    if s.mm_ref[node] != 0 {
+                        return Self::finish_free(resume);
+                    }
+                    s.mm_ref[node] = 1;
+                    Op::Free {
+                        pc: 2,
+                        node,
+                        help_id,
+                        index,
+                        corrected,
+                        resume,
+                    }
+                }
+                2 => {
+                    // F1: read helpCurrent.
+                    Op::Free {
+                        pc: 3,
+                        node,
+                        help_id: s.help_current,
+                        index,
+                        corrected,
+                        resume,
+                    }
+                }
+                3 => {
+                    // F2: advance helpCurrent.
+                    if s.help_current == help_id {
+                        s.help_current = (help_id + 1) % FL_THREADS;
+                    }
+                    Op::Free {
+                        pc: 4,
+                        node,
+                        help_id,
+                        index,
+                        corrected,
+                        resume,
+                    }
+                }
+                4 => {
+                    // F3 (corrected: FixRef +2 first).
+                    if corrected {
+                        s.faa(node, 2);
+                    }
+                    Op::Free {
+                        pc: 5,
+                        node,
+                        help_id,
+                        index,
+                        corrected,
+                        resume,
+                    }
+                }
+                5 => {
+                    // F3 CAS annAlloc[helpId] ⊥ -> node.
+                    if s.ann_alloc[help_id].is_none() {
+                        s.ann_alloc[help_id] = Some(node);
+                        return Self::finish_free(resume);
+                    }
+                    if corrected {
+                        s.faa(node, -2);
+                    }
+                    Op::Free {
+                        pc: 6,
+                        node,
+                        help_id,
+                        index,
+                        corrected,
+                        resume,
+                    }
+                }
+                6 => {
+                    // F4–F6: pick the stripe away from the allocators.
+                    let cur = s.current;
+                    let index = if cur <= self.tid || cur > FL_THREADS + self.tid {
+                        FL_THREADS + self.tid
+                    } else {
+                        self.tid
+                    };
+                    Op::Free {
+                        pc: 7,
+                        node,
+                        help_id,
+                        index,
+                        corrected,
+                        resume,
+                    }
+                }
+                7 => {
+                    // F8: node.mm_next := head (own node, but head read is
+                    // shared).
+                    s.next[node] = s.heads[index];
+                    Op::Free {
+                        pc: 8,
+                        node,
+                        help_id,
+                        index,
+                        corrected,
+                        resume,
+                    }
+                }
+                8 => {
+                    // F9: CAS head.
+                    if s.heads[index] == s.next[node] {
+                        s.heads[index] = Some(node);
+                        Self::finish_free(resume)
+                    } else {
+                        // F10: the other stripe.
+                        Op::Free {
+                            pc: 7,
+                            node,
+                            help_id,
+                            index: (index + FL_THREADS) % FL_LISTS,
+                            corrected,
+                            resume,
+                        }
+                    }
+                }
+                _ => unreachable!(),
+            },
+            Op::Done => unreachable!(),
+        }
+    }
+}
+
+/// Conservation invariant at quiescence: every node in exactly one place
+/// with the right count.
+pub fn check_conservation(s: &FlShared, machines: &[FlMachine]) {
+    let mut seen = [0u32; FL_NODES];
+    // Free lists.
+    for (li, mut head) in s.heads.iter().copied().enumerate() {
+        let mut hops = 0;
+        while let Some(n) = head {
+            seen[n] += 1;
+            assert_eq!(
+                s.mm_ref[n], 1,
+                "node {n} on free list {li} must have mm_ref 1: {s:?}"
+            );
+            head = s.next[n];
+            hops += 1;
+            assert!(hops <= FL_NODES, "free-list cycle: {s:?}");
+        }
+    }
+    // Parked gifts.
+    for t in 0..FL_THREADS {
+        if let Some(n) = s.ann_alloc[t] {
+            seen[n] += 1;
+            assert_eq!(
+                s.mm_ref[n], 3,
+                "gift {n} in annAlloc[{t}] must have mm_ref 3: {s:?}"
+            );
+        }
+    }
+    // Script-owned.
+    for m in machines {
+        for &n in &m.owned {
+            seen[n] += 1;
+            assert_eq!(s.mm_ref[n], 2, "owned node {n} must have mm_ref 2: {s:?}");
+        }
+    }
+    for (n, &count) in seen.iter().enumerate() {
+        assert_eq!(
+            count, 1,
+            "node {n} is in {count} places at quiescence: {s:?} {machines:?}"
+        );
+    }
+}
+
+/// Exhaustive DFS, mirroring [`crate::explore::explore`] for the
+/// free-list machines.
+pub fn explore_fl(
+    initial: FlShared,
+    machines: Vec<FlMachine>,
+    check_final: impl Fn(&FlShared, &[FlMachine]) + Copy,
+) -> crate::explore::ExploreResult {
+    let mut visited: HashSet<(FlShared, Vec<FlMachine>)> = HashSet::new();
+    let mut finals: HashSet<(FlShared, Vec<FlMachine>)> = HashSet::new();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        dfs(initial, machines, &mut visited, &mut finals, &check_final);
+    }));
+    crate::explore::ExploreResult {
+        states: visited.len(),
+        final_states: finals.len(),
+        violation: outcome.err().map(|e| {
+            let msg = e
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "non-string panic".into());
+            Violation(msg)
+        }),
+    }
+}
+
+fn dfs(
+    shared: FlShared,
+    machines: Vec<FlMachine>,
+    visited: &mut HashSet<(FlShared, Vec<FlMachine>)>,
+    finals: &mut HashSet<(FlShared, Vec<FlMachine>)>,
+    check_final: &impl Fn(&FlShared, &[FlMachine]),
+) {
+    if !visited.insert((shared.clone(), machines.clone())) {
+        return;
+    }
+    let runnable: Vec<usize> = (0..machines.len())
+        .filter(|&i| !machines[i].done())
+        .collect();
+    if runnable.is_empty() {
+        if finals.insert((shared.clone(), machines.clone())) {
+            check_final(&shared, &machines);
+        }
+        return;
+    }
+    for i in runnable {
+        let mut s2 = shared.clone();
+        let mut m2 = machines.clone();
+        m2[i].step(&mut s2);
+        dfs(s2, m2, visited, finals, check_final);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solo_alloc_free_roundtrip() {
+        let mut s = FlShared::initial();
+        let mut m = FlMachine::new(0, vec![true, false]);
+        let mut steps = 0;
+        while !m.done() {
+            m.step(&mut s);
+            steps += 1;
+            assert!(steps < 1000);
+        }
+        check_conservation(&s, &[m]);
+    }
+
+    #[test]
+    fn concurrent_allocs_get_distinct_nodes() {
+        let r = explore_fl(
+            FlShared::initial(),
+            vec![FlMachine::new(0, vec![true]), FlMachine::new(1, vec![true])],
+            |s, ms| {
+                check_conservation(s, ms);
+                // Both allocations must have succeeded with distinct nodes.
+                assert_eq!(ms[0].owned.len(), 1);
+                assert_eq!(ms[1].owned.len(), 1);
+                assert_ne!(ms[0].owned[0], ms[1].owned[0], "duplicate allocation");
+            },
+        );
+        assert!(r.violation.is_none(), "{:?}", r.violation);
+        println!("2x alloc: {} states, {} finals", r.states, r.final_states);
+        assert!(r.states > 50);
+    }
+
+    #[test]
+    fn alloc_free_churn_conserves() {
+        let r = explore_fl(
+            FlShared::initial(),
+            vec![
+                FlMachine::new(0, vec![true, false]),
+                FlMachine::new(1, vec![true, false]),
+            ],
+            check_conservation,
+        );
+        assert!(r.violation.is_none(), "{:?}", r.violation);
+        println!(
+            "churn: {} states, {} finals (all conserve)",
+            r.states, r.final_states
+        );
+    }
+
+    #[test]
+    fn gifting_races_conserve() {
+        // T0 allocates twice (will drain the gift the freeing thread may
+        // park); T1 allocates and frees.
+        let r = explore_fl(
+            FlShared::initial(),
+            vec![
+                FlMachine::new(0, vec![true, false, true, false]),
+                FlMachine::new(1, vec![true, false]),
+            ],
+            check_conservation,
+        );
+        assert!(r.violation.is_none(), "{:?}", r.violation);
+        println!("gift races: {} states", r.states);
+    }
+
+    #[test]
+    fn uncorrected_f3_is_caught() {
+        // The paper's literal F3 gifts with mm_ref = 1; the recipient's
+        // FixRef(-1) yields a live node with count 0 — conservation must
+        // fail in some schedule.
+        let r = explore_fl(
+            FlShared::initial(),
+            vec![
+                // T0 churns so its A4 picks up T1's gift.
+                FlMachine::new(0, vec![true, false, true, false]),
+                FlMachine::new(1, vec![true, false]).with_uncorrected_f3(),
+            ],
+            check_conservation,
+        );
+        let v = r
+            .violation
+            .expect("the paper's uncorrected F3 must break count conservation");
+        println!("uncorrected F3 violation: {}", v.0);
+    }
+}

@@ -1,0 +1,454 @@
+//! Step machines for the Figure 4 / Figure 6 operations.
+//!
+//! Each machine executes a *script* of calls; every `step()` performs at
+//! most one shared-memory access, so the explorer's interleavings are
+//! exactly the sequentially-consistent executions of the pseudo-code.
+//! Nested operations (`HelpDeRef` calling `DeRefLink` at H5, `DeRefLink`
+//! calling `ReleaseRef` at D8) run as stacked frames.
+
+use crate::shared::{AnnWord, NodeId, Shared, MODEL_THREADS};
+
+/// Which dereference algorithm a script step uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DerefKind {
+    /// The paper's Figure 4 `DeRefLink` (announce → read → FAA → retract).
+    WaitFree,
+    /// The naive dereference (read, FAA, return — no announcement, no
+    /// re-check). This is the algorithm whose use-after-free the paper's
+    /// §3 motivates; the explorer finds the bug (see the crate tests).
+    Unsafe,
+}
+
+/// One script entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Call {
+    /// Dereference the link; the result lands in the machine's result
+    /// register.
+    Deref(DerefKind),
+    /// `ReleaseRef` on the last dereference result (no-op if it was null).
+    ReleaseResult,
+    /// `ReleaseRef` on a specific node.
+    Release(NodeId),
+    /// `FixRef(node, delta)` — one FAA.
+    FixRef(NodeId, i32),
+    /// Figure 6 `CompareAndSwapLink`: CAS, then `HelpDeRef` on success.
+    /// The outcome lands in the machine's CAS flag.
+    CasLink {
+        /// Expected link value.
+        old: Option<NodeId>,
+        /// Replacement link value.
+        new: Option<NodeId>,
+    },
+    /// `ReleaseRef(node)` if the last `CasLink` succeeded (the §3.2
+    /// obligation on the old target).
+    ReleaseIfCasOk(NodeId),
+    /// `ReleaseRef(node)` if the last `CasLink` failed (undoing a
+    /// speculative `FixRef`).
+    ReleaseIfCasFailed(NodeId),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Frame {
+    Deref {
+        kind: DerefKind,
+        pc: u8,
+        idx: usize,
+        node: Option<NodeId>,
+        answer: Option<NodeId>,
+        top_level: bool,
+    },
+    Release {
+        pc: u8,
+        node: NodeId,
+    },
+    Help {
+        pc: u8,
+        id: usize,
+        idx: usize,
+        node: Option<NodeId>,
+    },
+    CasLink {
+        pc: u8,
+        old: Option<NodeId>,
+        new: Option<NodeId>,
+    },
+}
+
+/// A thread: a script plus its execution state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Machine {
+    tid: usize,
+    script: Vec<Call>,
+    ip: usize,
+    stack: Vec<Frame>,
+    /// Result register: last completed dereference.
+    pub result: Option<NodeId>,
+    /// Last `CasLink` outcome.
+    pub cas_ok: bool,
+    /// Return slot from a just-popped child frame.
+    ret: Option<Option<NodeId>>,
+}
+
+impl Machine {
+    /// Creates a machine for thread `tid` running `script`.
+    pub fn new(tid: usize, script: Vec<Call>) -> Self {
+        assert!(tid < MODEL_THREADS);
+        Self {
+            tid,
+            script,
+            ip: 0,
+            stack: Vec::new(),
+            result: None,
+            cas_ok: false,
+            ret: None,
+        }
+    }
+
+    /// True when the script has run to completion.
+    pub fn done(&self) -> bool {
+        self.stack.is_empty() && self.ip == self.script.len()
+    }
+
+    /// Executes one step (at most one shared-memory access).
+    pub fn step(&mut self, s: &mut Shared) {
+        debug_assert!(!self.done());
+        if self.stack.is_empty() {
+            let call = self.script[self.ip];
+            self.ip += 1;
+            match call {
+                Call::Deref(kind) => {
+                    s.open_witness(self.tid);
+                    self.stack.push(Frame::Deref {
+                        kind,
+                        pc: 0,
+                        idx: 0,
+                        node: None,
+                        answer: None,
+                        top_level: true,
+                    });
+                }
+                Call::ReleaseResult => {
+                    if let Some(n) = self.result {
+                        self.stack.push(Frame::Release { pc: 0, node: n });
+                    }
+                }
+                Call::Release(n) => self.stack.push(Frame::Release { pc: 0, node: n }),
+                Call::FixRef(n, d) => {
+                    s.faa(n, d);
+                }
+                Call::CasLink { old, new } => {
+                    self.stack.push(Frame::CasLink { pc: 0, old, new })
+                }
+                Call::ReleaseIfCasOk(n) => {
+                    if self.cas_ok {
+                        self.stack.push(Frame::Release { pc: 0, node: n });
+                    }
+                }
+                Call::ReleaseIfCasFailed(n) => {
+                    if !self.cas_ok {
+                        self.stack.push(Frame::Release { pc: 0, node: n });
+                    }
+                }
+            }
+            return;
+        }
+        self.step_frame(s);
+    }
+
+    fn step_frame(&mut self, s: &mut Shared) {
+        let tid = self.tid;
+        let top = self.stack.len() - 1;
+        // Take the frame out to sidestep borrow gymnastics; push back if
+        // it survives the step.
+        let mut frame = self.stack.pop().expect("stack non-empty");
+        match &mut frame {
+            Frame::Deref {
+                kind: DerefKind::WaitFree,
+                pc,
+                idx,
+                node,
+                answer,
+                top_level,
+            } => match *pc {
+                0 => {
+                    // D1: choose a slot with busy == 0 (bounded scan).
+                    *idx = (0..MODEL_THREADS)
+                        .find(|&i| s.ann_busy[tid][i] == 0)
+                        .expect("announcement protocol violated: all slots busy");
+                    *pc = 1;
+                    self.stack.push(frame);
+                }
+                1 => {
+                    s.ann_index[tid] = *idx; // D2
+                    *pc = 2;
+                    self.stack.push(frame);
+                }
+                2 => {
+                    s.ann_read[tid][*idx] = AnnWord::Announced; // D3
+                    *pc = 3;
+                    self.stack.push(frame);
+                }
+                3 => {
+                    *node = s.link; // D4
+                    *pc = 4;
+                    self.stack.push(frame);
+                }
+                4 => {
+                    if let Some(n) = *node {
+                        s.faa(n, 2); // D5
+                    }
+                    *pc = 5;
+                    self.stack.push(frame);
+                }
+                5 => {
+                    // D6: retract and inspect.
+                    let word = std::mem::replace(&mut s.ann_read[tid][*idx], AnnWord::Empty);
+                    match word {
+                        AnnWord::Announced => {
+                            // Not helped: return `node`.
+                            let tl = *top_level;
+                            let ret = *node;
+                            self.finish_deref(s, ret, tl);
+                        }
+                        AnnWord::Answer(ans) => {
+                            // D7–D9: helped; release the speculative count.
+                            *answer = ans;
+                            *pc = 6;
+                            let spec = *node;
+                            self.stack.push(frame);
+                            if let Some(n) = spec {
+                                self.stack.push(Frame::Release { pc: 0, node: n });
+                            }
+                        }
+                        AnnWord::Empty => {
+                            unreachable!("announcement vanished without answer")
+                        }
+                    }
+                }
+                6 => {
+                    // Release child (if any) has completed: return answer.
+                    let tl = *top_level;
+                    let ans = *answer;
+                    self.finish_deref(s, ans, tl);
+                }
+                _ => unreachable!(),
+            },
+            Frame::Deref {
+                kind: DerefKind::Unsafe,
+                pc,
+                node,
+                top_level,
+                ..
+            } => match *pc {
+                0 => {
+                    *node = s.link; // naive read
+                    *pc = 1;
+                    self.stack.push(frame);
+                }
+                1 => {
+                    if let Some(n) = *node {
+                        s.faa(n, 2); // naive increment, no re-check
+                    }
+                    let tl = *top_level;
+                    let ret = *node;
+                    self.finish_deref(s, ret, tl);
+                }
+                _ => unreachable!(),
+            },
+            Frame::Release { pc, node } => match *pc {
+                0 => {
+                    s.faa(*node, -2); // R1
+                    *pc = 1;
+                    self.stack.push(frame);
+                }
+                1 => {
+                    if s.try_claim(*node) {
+                        // R2 won; R4 next (no child links in the model).
+                        *pc = 2;
+                        self.stack.push(frame);
+                    }
+                    // else: pop (done).
+                }
+                2 => {
+                    s.free(*node); // R4
+                }
+                _ => unreachable!(),
+            },
+            Frame::Help { pc, id, idx, node } => match *pc {
+                0 => {
+                    if *id == MODEL_THREADS {
+                        // H1 loop exhausted.
+                    } else {
+                        *idx = s.ann_index[*id]; // H2
+                        *pc = 1;
+                        self.stack.push(frame);
+                    }
+                }
+                1 => {
+                    // H3: does the slot announce our (single) link?
+                    // (A separate step from H4 — the helper may stall in
+                    // this window, which is exactly the race the busy
+                    // counters defend; the explorer must see it.)
+                    if s.ann_read[*id][*idx] == AnnWord::Announced {
+                        *pc = 2;
+                    } else {
+                        *id += 1;
+                        *pc = 0;
+                    }
+                    self.stack.push(frame);
+                }
+                2 => {
+                    s.ann_busy[*id][*idx] += 1; // H4: pin the slot
+                    *pc = 3;
+                    self.stack.push(frame);
+                    // H5: nested DeRefLink with our own slots.
+                    self.stack.push(Frame::Deref {
+                        kind: DerefKind::WaitFree,
+                        pc: 0,
+                        idx: 0,
+                        node: None,
+                        answer: None,
+                        top_level: false,
+                    });
+                }
+                3 => {
+                    // H5 child returned; H6: try to answer.
+                    *node = self.ret.take().expect("nested deref must return");
+                    let answered = if s.ann_read[*id][*idx] == AnnWord::Announced {
+                        s.ann_read[*id][*idx] = AnnWord::Answer(*node);
+                        true
+                    } else {
+                        false
+                    };
+                    *pc = 4;
+                    let n = *node;
+                    self.stack.push(frame);
+                    if !answered {
+                        // H7: our reference wasn't transferred; release it.
+                        if let Some(n) = n {
+                            self.stack.push(Frame::Release { pc: 0, node: n });
+                        }
+                    }
+                }
+                4 => {
+                    s.ann_busy[*id][*idx] -= 1; // H8
+                    *id += 1;
+                    *pc = 0;
+                    self.stack.push(frame);
+                }
+                _ => unreachable!(),
+            },
+            Frame::CasLink { pc, old, new } => match *pc {
+                0 => {
+                    self.cas_ok = s.link_cas(*old, *new);
+                    if self.cas_ok {
+                        *pc = 1;
+                        self.stack.push(frame);
+                        // Figure 6: HelpDeRef after a successful CAS.
+                        self.stack.push(Frame::Help {
+                            pc: 0,
+                            id: 0,
+                            idx: 0,
+                            node: None,
+                        });
+                    }
+                    // On failure: pop, cas_ok = false.
+                }
+                1 => {
+                    // Help child done; pop.
+                }
+                _ => unreachable!(),
+            },
+        }
+        debug_assert!(self.stack.len() <= top + 2);
+    }
+
+    /// Completes a dereference frame: safety + linearizability checks,
+    /// then routes the return value to the parent.
+    fn finish_deref(&mut self, s: &mut Shared, ret: Option<NodeId>, top_level: bool) {
+        if let Some(n) = ret {
+            assert!(
+                !s.freed[n],
+                "use-after-free: thread {} dereference returned node {n}, \
+                 which is in the free set at return time",
+                self.tid
+            );
+        }
+        if top_level {
+            s.close_witness(self.tid, ret);
+            self.result = ret;
+        } else {
+            self.ret = Some(ret);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_to_completion(mut m: Machine, s: &mut Shared) -> Machine {
+        let mut steps = 0;
+        while !m.done() {
+            m.step(s);
+            steps += 1;
+            assert!(steps < 10_000, "machine diverged");
+        }
+        m
+    }
+
+    #[test]
+    fn solo_deref_returns_link_target() {
+        let mut s = Shared::initial();
+        let m = Machine::new(0, vec![Call::Deref(DerefKind::WaitFree), Call::ReleaseResult]);
+        let m = run_to_completion(m, &mut s);
+        assert_eq!(m.result, Some(0));
+        assert_eq!(s.mm_ref, [2, 2], "deref+release is count-neutral");
+    }
+
+    #[test]
+    fn solo_cas_and_release_frees_old() {
+        let mut s = Shared::initial();
+        // T: FixRef(b,+2) for the link; CAS a->b; release link's old count
+        // on a; release own count on a?? — the model's initial state gives
+        // the *link* the count on a, so one release suffices; then drop own
+        // b reference.
+        let m = Machine::new(
+            0,
+            vec![
+                Call::FixRef(1, 2),
+                Call::CasLink {
+                    old: Some(0),
+                    new: Some(1),
+                },
+                Call::ReleaseIfCasOk(0),
+                Call::ReleaseIfCasFailed(1),
+            ],
+        );
+        let m = run_to_completion(m, &mut s);
+        assert!(m.cas_ok);
+        assert_eq!(s.link, Some(1));
+        assert_eq!(s.mm_ref[0], 1, "a reclaimed");
+        assert!(s.freed[0]);
+        assert_eq!(s.mm_ref[1], 4, "b: link count + owner count");
+        assert!(!s.freed[1]);
+    }
+
+    #[test]
+    fn solo_unsafe_deref_matches_on_quiet_link() {
+        let mut s = Shared::initial();
+        let m = Machine::new(0, vec![Call::Deref(DerefKind::Unsafe), Call::ReleaseResult]);
+        let m = run_to_completion(m, &mut s);
+        assert_eq!(m.result, Some(0));
+        assert_eq!(s.mm_ref, [2, 2]);
+    }
+
+    #[test]
+    fn machines_are_hashable_for_memoization() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        let m = Machine::new(0, vec![Call::Deref(DerefKind::WaitFree)]);
+        set.insert(m.clone());
+        assert!(set.contains(&m));
+    }
+}

@@ -1,0 +1,217 @@
+//! The shared-memory model: the Figure 4 globals, small enough to
+//! enumerate.
+
+/// Threads in the model (the announcement matrices are `T × T`).
+pub const MODEL_THREADS: usize = 2;
+/// Nodes in the model arena.
+pub const MODEL_NODES: usize = 2;
+
+/// A node identifier (index into the model arena).
+pub type NodeId = usize;
+
+/// An announcement-slot word: the paper's `union LinkOrPointer`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AnnWord {
+    /// ⊥ — empty or consumed.
+    #[default]
+    Empty,
+    /// A published link announcement (the model has one link, so the
+    /// address is implicit).
+    Announced,
+    /// A helper's answer.
+    Answer(Option<NodeId>),
+}
+
+/// The entire shared state. `Clone + Eq + Hash` so the explorer can
+/// memoize visited states.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shared {
+    /// The single shared link under test.
+    pub link: Option<NodeId>,
+    /// `mm_ref` per node (raw convention: count = mm_ref / 2, odd = claimed).
+    pub mm_ref: [i32; MODEL_NODES],
+    /// Free set: node has been handed to `FreeNode`.
+    pub freed: [bool; MODEL_NODES],
+    /// `annReadAddr[t][i]`.
+    pub ann_read: [[AnnWord; MODEL_THREADS]; MODEL_THREADS],
+    /// `annIndex[t]`.
+    pub ann_index: [usize; MODEL_THREADS],
+    /// `annBusy[t][i]`.
+    pub ann_busy: [[u8; MODEL_THREADS]; MODEL_THREADS],
+    /// Ghost: per-thread witness sets — which link values each thread's
+    /// *currently active* dereference has seen the link hold. Bit `n` set =
+    /// value `Some(n)` occurred; bit `MODEL_NODES` = `None` occurred.
+    pub witness: [u8; MODEL_THREADS],
+    /// Ghost: whether each thread currently has an active top-level deref
+    /// window (for witness maintenance).
+    pub deref_active: [bool; MODEL_THREADS],
+}
+
+impl Shared {
+    /// Initial state: `link = Some(node0)` holding one reference
+    /// (`mm_ref = 2`); every other node starts with one thread-owned
+    /// reference (`mm_ref = 2`) so scripts can CAS it in.
+    pub fn initial() -> Self {
+        let mut s = Self {
+            link: Some(0),
+            mm_ref: [2; MODEL_NODES],
+            freed: [false; MODEL_NODES],
+            ann_read: Default::default(),
+            ann_index: [0; MODEL_THREADS],
+            ann_busy: [[0; MODEL_THREADS]; MODEL_THREADS],
+            witness: [0; MODEL_THREADS],
+            deref_active: [false; MODEL_THREADS],
+        };
+        s.note_link_value();
+        s
+    }
+
+    /// FAA on a node's `mm_ref`. Panics (= model violation) on underflow.
+    pub fn faa(&mut self, n: NodeId, delta: i32) -> i32 {
+        let old = self.mm_ref[n];
+        self.mm_ref[n] += delta;
+        assert!(
+            self.mm_ref[n] >= 0,
+            "mm_ref underflow on node {n}: {} + {delta}",
+            old
+        );
+        old
+    }
+
+    /// The `ReleaseRef` R2 claim: `mm_ref == 0 && CAS(mm_ref, 0, 1)`.
+    pub fn try_claim(&mut self, n: NodeId) -> bool {
+        if self.mm_ref[n] == 0 {
+            self.mm_ref[n] = 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `FreeNode` abstracted: move to the free set. Double-free is a model
+    /// violation.
+    ///
+    /// The count need not be exactly 1: concurrent dereferences may have
+    /// landed *spurious* `FAA(+2)`s on the node between the winning R2
+    /// claim and this free — the paper's Lemma 3 argues each such count
+    /// carries a pending `ReleaseRef` that will drain it. The claim bit
+    /// (odd value) must be set, though.
+    pub fn free(&mut self, n: NodeId) {
+        assert!(!self.freed[n], "double free of node {n}");
+        assert!(
+            self.mm_ref[n] % 2 == 1,
+            "free of unclaimed node {n} (mm_ref = {})",
+            self.mm_ref[n]
+        );
+        self.freed[n] = true;
+    }
+
+    /// CAS on the link; records the new value into active witnesses.
+    pub fn link_cas(&mut self, old: Option<NodeId>, new: Option<NodeId>) -> bool {
+        if self.link == old {
+            self.link = new;
+            self.note_link_value();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Ghost: fold the current link value into every active deref witness.
+    pub fn note_link_value(&mut self) {
+        let bit = match self.link {
+            Some(n) => 1u8 << n,
+            None => 1u8 << MODEL_NODES,
+        };
+        for t in 0..MODEL_THREADS {
+            if self.deref_active[t] {
+                self.witness[t] |= bit;
+            }
+        }
+    }
+
+    /// Ghost: open thread `t`'s top-level deref window.
+    pub fn open_witness(&mut self, t: usize) {
+        self.deref_active[t] = true;
+        self.witness[t] = 0;
+        self.note_link_value();
+    }
+
+    /// Ghost: close the window and check the returned value was witnessed
+    /// (Lemma 2: the dereference returns a value the link held during the
+    /// operation).
+    pub fn close_witness(&mut self, t: usize, returned: Option<NodeId>) {
+        let bit = match returned {
+            Some(n) => 1u8 << n,
+            None => 1u8 << MODEL_NODES,
+        };
+        assert!(
+            self.witness[t] & bit != 0,
+            "thread {t} deref returned {returned:?}, never held by the link during the op \
+             (witness mask {:#b})",
+            self.witness[t]
+        );
+        self.deref_active[t] = false;
+        self.witness[t] = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_state_counts() {
+        let s = Shared::initial();
+        assert_eq!(s.link, Some(0));
+        assert_eq!(s.mm_ref, [2, 2]);
+        assert!(!s.freed.iter().any(|&f| f));
+    }
+
+    #[test]
+    fn faa_and_claim() {
+        let mut s = Shared::initial();
+        s.faa(0, -2);
+        assert!(s.try_claim(0));
+        assert!(!s.try_claim(0));
+        s.free(0);
+        assert!(s.freed[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_caught() {
+        let mut s = Shared::initial();
+        s.faa(0, -2);
+        s.faa(0, -2);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_caught() {
+        let mut s = Shared::initial();
+        s.faa(0, -2);
+        assert!(s.try_claim(0));
+        s.free(0);
+        s.free(0);
+    }
+
+    #[test]
+    fn witness_tracks_link_history() {
+        let mut s = Shared::initial();
+        s.open_witness(0);
+        assert!(s.link_cas(Some(0), Some(1)));
+        s.close_witness(0, Some(1)); // ok: seen during window
+        s.open_witness(0);
+        s.close_witness(0, Some(1)); // ok: current value at open
+    }
+
+    #[test]
+    #[should_panic(expected = "never held")]
+    fn unwitnessed_return_caught() {
+        let mut s = Shared::initial();
+        assert!(s.link_cas(Some(0), Some(1)));
+        s.open_witness(0); // window opens with link = Some(1)
+        s.close_witness(0, Some(0)); // Some(0) never seen in window
+    }
+}

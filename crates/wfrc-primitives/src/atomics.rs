@@ -1,0 +1,270 @@
+//! The three atomic primitives of the paper's Figure 2, with the memory
+//! orderings used throughout this reproduction.
+//!
+//! The paper's pseudo-code is written against a sequentially consistent
+//! machine. The announcement protocol at the heart of `DeRefLink` /
+//! `HelpDeRef` is a store-load visibility pattern (thread A stores an
+//! announcement and then reads the link; helper B writes the link and then
+//! reads the announcement) — exactly the shape that is broken by anything
+//! weaker than `SeqCst` on both sides. All *protocol* words therefore default
+//! to `SeqCst`; reference-count words use `AcqRel` Arc-style (see
+//! `wfrc-core::rc`). Each method also has an `_with` variant taking explicit
+//! orderings so ablation builds can measure the cost of the fences.
+
+use core::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+
+/// A shared single machine word supporting the paper's `FAA`, `CAS` and
+/// `SWAP` primitives (Figure 2).
+///
+/// Arithmetic is two's-complement wrapping, so negative deltas are expressed
+/// as `delta as usize` by callers ([`AtomicWord::faa`] takes `isize` and does
+/// the conversion, matching the paper's `FAA(&node.mm_ref, -2)` usage).
+#[derive(Debug, Default)]
+#[repr(transparent)]
+pub struct AtomicWord(AtomicUsize);
+
+impl AtomicWord {
+    /// Creates a word initialized to `v`.
+    pub const fn new(v: usize) -> Self {
+        Self(AtomicUsize::new(v))
+    }
+
+    /// Atomic read.
+    #[inline]
+    pub fn load(&self) -> usize {
+        self.0.load(Ordering::SeqCst)
+    }
+
+    /// Atomic read with an explicit ordering.
+    #[inline]
+    pub fn load_with(&self, order: Ordering) -> usize {
+        self.0.load(order)
+    }
+
+    /// Atomic write.
+    #[inline]
+    pub fn store(&self, v: usize) {
+        self.0.store(v, Ordering::SeqCst)
+    }
+
+    /// Fetch-and-add (paper Figure 2, `FAA`). Returns the *previous* value.
+    ///
+    /// The paper's `FAA` returns nothing; returning the old value is strictly
+    /// more information and several call sites (e.g. the `counters` audit)
+    /// use it.
+    #[inline]
+    pub fn faa(&self, delta: isize) -> usize {
+        self.0.fetch_add(delta as usize, Ordering::SeqCst)
+    }
+
+    /// Fetch-and-add with an explicit ordering.
+    #[inline]
+    pub fn faa_with(&self, delta: isize, order: Ordering) -> usize {
+        self.0.fetch_add(delta as usize, order)
+    }
+
+    /// Compare-and-swap (paper Figure 2, `CAS`). Returns `true` on success.
+    #[inline]
+    pub fn cas(&self, old: usize, new: usize) -> bool {
+        self.0
+            .compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    /// Compare-and-swap returning the observed value on failure.
+    #[inline]
+    pub fn cas_value(&self, old: usize, new: usize) -> Result<usize, usize> {
+        self.0
+            .compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
+    }
+
+    /// Unconditional atomic exchange (paper Figure 2, `SWAP`).
+    #[inline]
+    pub fn swap(&self, new: usize) -> usize {
+        self.0.swap(new, Ordering::SeqCst)
+    }
+
+    /// Access to the underlying atomic for call sites that need bespoke
+    /// orderings not covered by the `_with` variants.
+    #[inline]
+    pub fn raw(&self) -> &AtomicUsize {
+        &self.0
+    }
+}
+
+/// A shared pointer-sized word holding a `*mut T`, with the same primitive
+/// set as [`AtomicWord`].
+///
+/// Used for links (`pointer to Node` fields), free-list heads, and the
+/// announcement matrix (whose cells hold a *union* of link addresses and
+/// node pointers — see `wfrc-core::announce`).
+#[derive(Debug)]
+#[repr(transparent)]
+pub struct WordPtr<T>(AtomicPtr<T>);
+
+impl<T> Default for WordPtr<T> {
+    fn default() -> Self {
+        Self::null()
+    }
+}
+
+impl<T> WordPtr<T> {
+    /// Creates a pointer word initialized to `p`.
+    pub const fn new(p: *mut T) -> Self {
+        Self(AtomicPtr::new(p))
+    }
+
+    /// Creates a pointer word initialized to null (the paper's ⊥).
+    pub const fn null() -> Self {
+        Self(AtomicPtr::new(core::ptr::null_mut()))
+    }
+
+    /// Atomic read.
+    #[inline]
+    pub fn load(&self) -> *mut T {
+        self.0.load(Ordering::SeqCst)
+    }
+
+    /// Atomic read with an explicit ordering.
+    #[inline]
+    pub fn load_with(&self, order: Ordering) -> *mut T {
+        self.0.load(order)
+    }
+
+    /// Atomic write.
+    #[inline]
+    pub fn store(&self, p: *mut T) {
+        self.0.store(p, Ordering::SeqCst)
+    }
+
+    /// Compare-and-swap. Returns `true` on success.
+    #[inline]
+    pub fn cas(&self, old: *mut T, new: *mut T) -> bool {
+        self.0
+            .compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    /// Compare-and-swap returning the observed value on failure.
+    #[inline]
+    pub fn cas_value(&self, old: *mut T, new: *mut T) -> Result<*mut T, *mut T> {
+        self.0
+            .compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
+    }
+
+    /// Unconditional atomic exchange (paper Figure 2, `SWAP`).
+    #[inline]
+    pub fn swap(&self, new: *mut T) -> *mut T {
+        self.0.swap(new, Ordering::SeqCst)
+    }
+
+    /// Access to the underlying atomic.
+    #[inline]
+    pub fn raw(&self) -> &AtomicPtr<T> {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn faa_returns_previous_and_adds() {
+        let w = AtomicWord::new(10);
+        assert_eq!(w.faa(5), 10);
+        assert_eq!(w.load(), 15);
+        assert_eq!(w.faa(-3), 15);
+        assert_eq!(w.load(), 12);
+    }
+
+    #[test]
+    fn faa_negative_wraps_like_twos_complement() {
+        let w = AtomicWord::new(4);
+        w.faa(-2);
+        w.faa(-2);
+        assert_eq!(w.load(), 0);
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let w = AtomicWord::new(7);
+        assert!(w.cas(7, 8));
+        assert!(!w.cas(7, 9));
+        assert_eq!(w.load(), 8);
+        assert_eq!(w.cas_value(8, 10), Ok(8));
+        assert_eq!(w.cas_value(8, 11), Err(10));
+    }
+
+    #[test]
+    fn swap_exchanges() {
+        let w = AtomicWord::new(1);
+        assert_eq!(w.swap(2), 1);
+        assert_eq!(w.swap(3), 2);
+        assert_eq!(w.load(), 3);
+    }
+
+    #[test]
+    fn word_ptr_roundtrip() {
+        let mut x = 42u64;
+        let p = WordPtr::<u64>::null();
+        assert!(p.load().is_null());
+        p.store(&mut x);
+        assert_eq!(p.load(), &mut x as *mut u64);
+        assert!(p.cas(&mut x, core::ptr::null_mut()));
+        assert!(p.load().is_null());
+    }
+
+    #[test]
+    fn word_ptr_swap() {
+        let mut a = 1u32;
+        let mut b = 2u32;
+        let p = WordPtr::new(&mut a as *mut u32);
+        let old = p.swap(&mut b);
+        assert_eq!(old, &mut a as *mut u32);
+        assert_eq!(p.load(), &mut b as *mut u32);
+    }
+
+    #[test]
+    fn faa_is_atomic_under_contention() {
+        let w = Arc::new(AtomicWord::new(0));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let w = Arc::clone(&w);
+                thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        w.faa(1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(w.load(), 40_000);
+    }
+
+    #[test]
+    fn cas_only_one_winner() {
+        let w = Arc::new(AtomicWord::new(0));
+        let winners = Arc::new(AtomicWord::new(0));
+        let threads: Vec<_> = (1..=8)
+            .map(|i| {
+                let w = Arc::clone(&w);
+                let winners = Arc::clone(&winners);
+                thread::spawn(move || {
+                    if w.cas(0, i) {
+                        winners.faa(1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(winners.load(), 1);
+        assert_ne!(w.load(), 0);
+    }
+}

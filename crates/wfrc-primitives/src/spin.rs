@@ -1,0 +1,152 @@
+//! Small spin-wait helpers for tests and harnesses.
+//!
+//! These are **not** used by the algorithms themselves (the wait-free code
+//! has no waits; the lock-free baselines use [`crate::backoff`]). They exist
+//! so the many multi-thread tests in this workspace can stage races without
+//! pulling in a sync crate: wait until another thread reaches a point, with a
+//! deadline so a broken test fails instead of hanging CI.
+
+use core::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Default deadline for [`wait_until`] in tests.
+pub const DEFAULT_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Spins (with OS yields) until `cond()` returns true, panicking after
+/// [`DEFAULT_DEADLINE`].
+pub fn wait_until(cond: impl Fn() -> bool) {
+    wait_until_deadline(cond, DEFAULT_DEADLINE)
+}
+
+/// Spins (with OS yields) until `cond()` returns true, panicking after
+/// `deadline`.
+pub fn wait_until_deadline(cond: impl Fn() -> bool, deadline: Duration) {
+    let start = Instant::now();
+    while !cond() {
+        if start.elapsed() > deadline {
+            panic!("wait_until: condition not reached within {deadline:?}");
+        }
+        std::thread::yield_now();
+    }
+}
+
+/// A one-shot flag for staging cross-thread races in tests.
+#[derive(Debug, Default)]
+pub struct Flag(AtomicBool);
+
+impl Flag {
+    /// Creates an unset flag.
+    pub const fn new() -> Self {
+        Self(AtomicBool::new(false))
+    }
+
+    /// Sets the flag.
+    pub fn set(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Reads the flag.
+    pub fn is_set(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+
+    /// Blocks (spinning) until the flag is set.
+    pub fn wait(&self) {
+        wait_until(|| self.is_set());
+    }
+}
+
+/// A reusable spinning barrier for `n` participants.
+///
+/// Unlike `std::sync::Barrier` this never blocks in the kernel while armed,
+/// which keeps race windows tight on the single-CPU CI machine, and it is
+/// `const`-constructible so tests can place it in statics.
+#[derive(Debug)]
+pub struct SpinBarrier {
+    n: usize,
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl SpinBarrier {
+    /// Creates a barrier for `n` participants.
+    pub const fn new(n: usize) -> Self {
+        Self {
+            n,
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
+    }
+
+    /// Waits for all `n` participants. Returns `true` for exactly one
+    /// participant per generation (the "leader").
+    pub fn wait(&self) -> bool {
+        let gen = self.generation.load(Ordering::SeqCst);
+        let pos = self.arrived.fetch_add(1, Ordering::SeqCst);
+        if pos + 1 == self.n {
+            self.arrived.store(0, Ordering::SeqCst);
+            self.generation.store(gen + 1, Ordering::SeqCst);
+            true
+        } else {
+            let start = Instant::now();
+            while self.generation.load(Ordering::SeqCst) == gen {
+                if start.elapsed() > DEFAULT_DEADLINE {
+                    panic!("SpinBarrier: peer never arrived");
+                }
+                std::thread::yield_now();
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn flag_set_and_wait() {
+        let f = Arc::new(Flag::new());
+        let f2 = Arc::clone(&f);
+        let t = thread::spawn(move || f2.wait());
+        f.set();
+        t.join().unwrap();
+        assert!(f.is_set());
+    }
+
+    #[test]
+    fn wait_until_returns_when_true() {
+        wait_until(|| true);
+    }
+
+    #[test]
+    #[should_panic(expected = "condition not reached")]
+    fn wait_until_deadline_panics() {
+        wait_until_deadline(|| false, Duration::from_millis(10));
+    }
+
+    #[test]
+    fn barrier_synchronizes_and_elects_one_leader() {
+        let b = Arc::new(SpinBarrier::new(4));
+        let leaders = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                let leaders = Arc::clone(&leaders);
+                thread::spawn(move || {
+                    for _ in 0..100 {
+                        if b.wait() {
+                            leaders.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(leaders.load(Ordering::SeqCst), 100);
+    }
+}

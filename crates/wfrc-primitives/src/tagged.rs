@@ -1,0 +1,93 @@
+//! Tagged-pointer utilities.
+//!
+//! Two places in the workspace pack a flag into pointer low bits:
+//!
+//! 1. **Announcement answers** (`wfrc-core::announce`): the paper's
+//!    announcement word is a union of *link address* (a `**Node`) and *node
+//!    pointer* (`*Node`). The paper discriminates the two by a layout
+//!    argument (its Lemma 1: a link can never sit at offset 0 of a node,
+//!    because `mm_ref` comes first). We keep that layout but make the
+//!    discrimination explicit by tagging helper answers with bit 0, which is
+//!    always free because nodes are aligned to at least 8 bytes.
+//! 2. **Deletion marks** in the data structures (`wfrc-structures`): the
+//!    skiplist priority queue and ordered list mark a node's outgoing links
+//!    before unlinking it, Harris-style.
+//!
+//! All helpers operate on raw `usize` representations so they can be used on
+//! both `*mut T` and the `AtomicPtr` cells that store them.
+
+/// The tag mask: a single low bit.
+pub const TAG_MASK: usize = 0b1;
+
+/// Returns `p` with the low tag bit set.
+///
+/// # Panics
+/// In debug builds, panics if `p` already has the tag bit set (which would
+/// indicate an under-aligned pointer or a double tag).
+#[inline]
+pub fn with_tag<T>(p: *mut T) -> *mut T {
+    debug_assert_eq!(p as usize & TAG_MASK, 0, "pointer already tagged");
+    (p as usize | TAG_MASK) as *mut T
+}
+
+/// Returns `p` with the low tag bit cleared.
+#[inline]
+pub fn without_tag<T>(p: *mut T) -> *mut T {
+    (p as usize & !TAG_MASK) as *mut T
+}
+
+/// True if the low tag bit of `p` is set.
+#[inline]
+pub fn is_tagged<T>(p: *mut T) -> bool {
+    p as usize & TAG_MASK != 0
+}
+
+/// Splits `p` into its untagged pointer and tag bit.
+#[inline]
+pub fn decompose<T>(p: *mut T) -> (*mut T, bool) {
+    (without_tag(p), is_tagged(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_roundtrip() {
+        let mut x = 0u64;
+        let p = &mut x as *mut u64;
+        let t = with_tag(p);
+        assert!(is_tagged(t));
+        assert!(!is_tagged(p));
+        assert_eq!(without_tag(t), p);
+        assert_eq!(decompose(t), (p, true));
+        assert_eq!(decompose(p), (p, false));
+    }
+
+    #[test]
+    fn null_is_untagged() {
+        let p: *mut u64 = core::ptr::null_mut();
+        assert!(!is_tagged(p));
+        assert_eq!(without_tag(p), p);
+    }
+
+    #[test]
+    #[should_panic(expected = "pointer already tagged")]
+    #[cfg(debug_assertions)]
+    fn double_tag_panics_in_debug() {
+        let mut x = 0u64;
+        let t = with_tag(&mut x as *mut u64);
+        let _ = with_tag(t);
+    }
+
+    #[test]
+    fn tagging_preserves_address_bits() {
+        // Exhaustive over a few synthetic aligned addresses.
+        for addr in (8usize..4096).step_by(8) {
+            let p = addr as *mut u32;
+            let t = with_tag(p);
+            assert_eq!(t as usize, addr | 1);
+            assert_eq!(without_tag(t) as usize, addr);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Measurement harness for the reproduction's experiment suite (E1–E9).
+//!
+//! The paper reports one experiment in prose (§5: priority-queue throughput
+//! parity) and makes step-count claims its venue would have measured; this
+//! crate provides the shared machinery every `bench/` binary uses to
+//! regenerate those results:
+//!
+//! * [`workload`] — operation mixes and key distributions with
+//!   deterministic per-thread RNG streams;
+//! * [`exec`] — barrier-started thread executors (fixed-op and fixed-time)
+//!   returning per-thread results;
+//! * [`latency`] — a fixed-bucket log-scale histogram for per-op latency
+//!   (no allocation on the record path);
+//! * [`stats`] — summaries (mean/percentiles/max) and fixed-width table
+//!   printing, plus JSON export for EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod exec;
+pub mod latency;
+pub mod stats;
+pub mod workload;
+
+pub use exec::{run_fixed_ops, run_timed, StopFlag};
+pub use latency::Histogram;
+pub use stats::{Summary, Table};
+pub use workload::{OpKind, OpMix, WorkloadCfg, WorkloadStream};

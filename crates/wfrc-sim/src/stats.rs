@@ -1,0 +1,176 @@
+//! Result summaries and table rendering.
+//!
+//! The bench binaries print the same kind of rows the paper's venue
+//! expected (throughput per thread count per scheme, worst-case step
+//! counts) and additionally dump JSON so EXPERIMENTS.md tables can be
+//! regenerated mechanically.
+
+use serde::{Deserialize, Serialize};
+
+use crate::latency::Histogram;
+
+/// A compact summary of a latency/step distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (bucket lower bound).
+    pub p50: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+    /// Exact maximum.
+    pub max: u64,
+    /// Sample count.
+    pub count: u64,
+}
+
+impl Summary {
+    /// Summarizes a histogram.
+    pub fn of(h: &Histogram) -> Self {
+        Self {
+            mean: h.mean(),
+            p50: h.quantile(0.5),
+            p99: h.quantile(0.99),
+            p999: h.quantile(0.999),
+            max: h.max(),
+            count: h.len(),
+        }
+    }
+}
+
+/// A fixed-width text table (what the bench binaries print).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    /// Table title (experiment id + description).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let line = |cells: &[String], widths: &[usize]| {
+            let mut s = String::from("|");
+            for (c, w) in cells.iter().zip(widths) {
+                s.push_str(&format!(" {c:>w$} |", w = w));
+            }
+            s.push('\n');
+            s
+        };
+        out.push_str(&line(&self.headers, &widths));
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&format!("{:-<w$}|", "", w = w + 2));
+        }
+        sep.push('\n');
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+        }
+        out
+    }
+
+    /// Serializes to JSON (for EXPERIMENTS.md regeneration).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("table serialization cannot fail")
+    }
+}
+
+/// Formats an operations-per-second figure compactly.
+pub fn fmt_ops(ops_per_sec: f64) -> String {
+    if ops_per_sec >= 1e6 {
+        format!("{:.2}M", ops_per_sec / 1e6)
+    } else if ops_per_sec >= 1e3 {
+        format!("{:.1}k", ops_per_sec / 1e3)
+    } else {
+        format!("{ops_per_sec:.0}")
+    }
+}
+
+/// Formats nanoseconds compactly.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_histogram() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 100] {
+            h.record(v);
+        }
+        let s = Summary::of(&h);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.max, 100);
+        assert!((s.mean - 26.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("E0 demo", &["threads", "ops/s"]);
+        t.row(&["1".into(), "100".into()]);
+        t.row(&["16".into(), "12345".into()]);
+        let r = t.render();
+        assert!(r.contains("## E0 demo"));
+        assert!(r.contains("| threads |"));
+        assert!(r.lines().count() >= 4);
+        // JSON roundtrip
+        let j = t.to_json();
+        let back: Table = serde_json::from_str(&j).unwrap();
+        assert_eq!(back.rows.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["only one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_ops(2_500_000.0), "2.50M");
+        assert_eq!(fmt_ops(1_500.0), "1.5k");
+        assert_eq!(fmt_ops(90.0), "90");
+        assert_eq!(fmt_ns(5), "5ns");
+        assert_eq!(fmt_ns(2_500), "2.50µs");
+        assert_eq!(fmt_ns(3_000_000), "3.00ms");
+    }
+}

@@ -1,0 +1,176 @@
+//! Workload generation.
+//!
+//! The paper-era evaluation style (Sundell & Tsigas IPDPS 2003, Michael
+//! PODC 2002): each thread runs a fixed number of operations drawn from a
+//! percentage mix, with keys uniform over a range. Streams are seeded
+//! deterministically per `(seed, thread)` so runs are reproducible and
+//! scheme comparisons see identical operation sequences.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The operation classes the experiment drivers understand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Insert / push / enqueue.
+    Insert,
+    /// Delete-min / pop / dequeue.
+    Remove,
+    /// Read-only lookup.
+    Lookup,
+}
+
+/// A percentage mix over [`OpKind`]s.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct OpMix {
+    /// Percent of operations that insert (0–100).
+    pub insert_pct: u8,
+    /// Percent that remove; the rest are lookups.
+    pub remove_pct: u8,
+}
+
+impl OpMix {
+    /// The paper-era default: 50% insert / 50% delete.
+    pub const FIFTY_FIFTY: OpMix = OpMix {
+        insert_pct: 50,
+        remove_pct: 50,
+    };
+
+    /// Mix with lookups: e.g. `OpMix::new(20, 10)` = 20% insert, 10%
+    /// remove, 70% lookup.
+    pub fn new(insert_pct: u8, remove_pct: u8) -> Self {
+        assert!(insert_pct as u16 + remove_pct as u16 <= 100);
+        Self {
+            insert_pct,
+            remove_pct,
+        }
+    }
+}
+
+/// Full workload configuration for one experiment cell.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct WorkloadCfg {
+    /// Operation mix.
+    pub mix: OpMix,
+    /// Keys are drawn uniformly from `0..key_range`.
+    pub key_range: u64,
+    /// Base seed; thread `t` uses stream `seed ⊕ t`.
+    pub seed: u64,
+    /// Structure is pre-filled with this many elements before measuring.
+    pub prefill: usize,
+}
+
+impl WorkloadCfg {
+    /// The E1 configuration: 50/50 insert/delete-min, keys in `0..2^20`.
+    pub fn e1_default() -> Self {
+        Self {
+            mix: OpMix::FIFTY_FIFTY,
+            key_range: 1 << 20,
+            seed: 0x5EED,
+            prefill: 512,
+        }
+    }
+
+    /// The per-thread operation stream.
+    pub fn stream(&self, thread: usize) -> WorkloadStream {
+        WorkloadStream {
+            rng: SmallRng::seed_from_u64(self.seed ^ (thread as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            mix: self.mix,
+            key_range: self.key_range,
+        }
+    }
+}
+
+/// A deterministic per-thread stream of `(OpKind, key)` pairs.
+pub struct WorkloadStream {
+    rng: SmallRng,
+    mix: OpMix,
+    key_range: u64,
+}
+
+impl WorkloadStream {
+    /// Draws the next operation.
+    pub fn next_op(&mut self) -> (OpKind, u64) {
+        let roll: u8 = self.rng.gen_range(0..100);
+        let kind = if roll < self.mix.insert_pct {
+            OpKind::Insert
+        } else if roll < self.mix.insert_pct + self.mix.remove_pct {
+            OpKind::Remove
+        } else {
+            OpKind::Lookup
+        };
+        (kind, self.rng.gen_range(0..self.key_range.max(1)))
+    }
+
+    /// Draws just a key.
+    pub fn next_key(&mut self) -> u64 {
+        self.rng.gen_range(0..self.key_range.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_per_thread() {
+        let cfg = WorkloadCfg::e1_default();
+        let a: Vec<_> = {
+            let mut s = cfg.stream(3);
+            (0..100).map(|_| s.next_op()).collect()
+        };
+        let b: Vec<_> = {
+            let mut s = cfg.stream(3);
+            (0..100).map(|_| s.next_op()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<_> = {
+            let mut s = cfg.stream(4);
+            (0..100).map(|_| s.next_op()).collect()
+        };
+        assert_ne!(a, c, "different threads get different streams");
+    }
+
+    #[test]
+    fn mix_respects_percentages_statistically() {
+        let cfg = WorkloadCfg {
+            mix: OpMix::new(30, 20),
+            key_range: 100,
+            seed: 7,
+            prefill: 0,
+        };
+        let mut s = cfg.stream(0);
+        let mut counts = [0u32; 3];
+        for _ in 0..100_000 {
+            match s.next_op().0 {
+                OpKind::Insert => counts[0] += 1,
+                OpKind::Remove => counts[1] += 1,
+                OpKind::Lookup => counts[2] += 1,
+            }
+        }
+        assert!((counts[0] as f64 / 1000.0 - 30.0).abs() < 2.0, "{counts:?}");
+        assert!((counts[1] as f64 / 1000.0 - 20.0).abs() < 2.0, "{counts:?}");
+        assert!((counts[2] as f64 / 1000.0 - 50.0).abs() < 2.0, "{counts:?}");
+    }
+
+    #[test]
+    fn keys_stay_in_range() {
+        let cfg = WorkloadCfg {
+            mix: OpMix::FIFTY_FIFTY,
+            key_range: 17,
+            seed: 1,
+            prefill: 0,
+        };
+        let mut s = cfg.stream(0);
+        for _ in 0..10_000 {
+            assert!(s.next_key() < 17);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn over_100_percent_mix_rejected() {
+        let _ = OpMix::new(80, 30);
+    }
+}

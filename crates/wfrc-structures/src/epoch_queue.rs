@@ -1,0 +1,186 @@
+//! Michael–Scott queue over epoch-based reclamation — the E3 comparison
+//! point for the crossbeam-style scheme.
+
+use core::ptr;
+use core::sync::atomic::{AtomicPtr, Ordering};
+
+use wfrc_baselines::epoch::EbrHandle;
+
+/// Heap node of [`EpochQueue`]. The first node is a value-less dummy.
+pub struct EpochQueueNode<V> {
+    value: Option<V>,
+    next: AtomicPtr<EpochQueueNode<V>>,
+}
+
+/// A lock-free FIFO queue reclaimed with epochs.
+pub struct EpochQueue<V> {
+    head: AtomicPtr<EpochQueueNode<V>>,
+    tail: AtomicPtr<EpochQueueNode<V>>,
+}
+
+impl<V: Clone + Send + Sync> EpochQueue<V> {
+    /// Creates an empty queue (allocates the dummy node).
+    pub fn new() -> Self {
+        let dummy = Box::into_raw(Box::new(EpochQueueNode {
+            value: None,
+            next: AtomicPtr::new(ptr::null_mut()),
+        }));
+        Self {
+            head: AtomicPtr::new(dummy),
+            tail: AtomicPtr::new(dummy),
+        }
+    }
+
+    /// Enqueues `value` at the tail.
+    pub fn enqueue(&self, h: &EbrHandle<'_, EpochQueueNode<V>>, value: V) {
+        let node = h.alloc(EpochQueueNode {
+            value: Some(value),
+            next: AtomicPtr::new(ptr::null_mut()),
+        });
+        let _guard = h.pin();
+        loop {
+            let tail = self.tail.load(Ordering::SeqCst);
+            // SAFETY: pinned — `tail` was reachable and cannot be freed.
+            let next = unsafe { (*tail).next.load(Ordering::SeqCst) };
+            if next.is_null() {
+                // SAFETY: pinned tail.
+                if unsafe {
+                    (*tail)
+                        .next
+                        .compare_exchange(ptr::null_mut(), node, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                } {
+                    let _ = self.tail.compare_exchange(
+                        tail,
+                        node,
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    );
+                    return;
+                }
+            } else {
+                let _ =
+                    self.tail
+                        .compare_exchange(tail, next, Ordering::SeqCst, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Dequeues the oldest value, or `None` if empty.
+    pub fn dequeue(&self, h: &EbrHandle<'_, EpochQueueNode<V>>) -> Option<V> {
+        let _guard = h.pin();
+        loop {
+            let head = self.head.load(Ordering::SeqCst);
+            let tail = self.tail.load(Ordering::SeqCst);
+            // SAFETY: pinned.
+            let next = unsafe { (*head).next.load(Ordering::SeqCst) };
+            if next.is_null() {
+                return None;
+            }
+            if head == tail {
+                let _ =
+                    self.tail
+                        .compare_exchange(tail, next, Ordering::SeqCst, Ordering::SeqCst);
+                continue;
+            }
+            // SAFETY: pinned; `next` reachable via `head`.
+            let value = unsafe { (*next).value.clone() };
+            if self
+                .head
+                .compare_exchange(head, next, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                // SAFETY: old dummy unlinked; exactly-once retirement.
+                unsafe { h.retire(head) };
+                return Some(value.expect("non-dummy node without value"));
+            }
+        }
+    }
+
+    /// True if empty at the instant of the check.
+    pub fn is_empty(&self) -> bool {
+        self.head.load(Ordering::SeqCst) == self.tail.load(Ordering::SeqCst)
+    }
+}
+
+impl<V: Clone + Send + Sync> Default for EpochQueue<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> Drop for EpochQueue<V> {
+    fn drop(&mut self) {
+        let mut p = *self.head.get_mut();
+        while !p.is_null() {
+            // SAFETY: sole owner at drop.
+            let boxed = unsafe { Box::from_raw(p) };
+            p = boxed.next.load(Ordering::Relaxed);
+        }
+    }
+}
+
+// SAFETY: atomic roots; node lifetime managed by epochs.
+unsafe impl<V: Send> Send for EpochQueue<V> {}
+unsafe impl<V: Send + Sync> Sync for EpochQueue<V> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+    use wfrc_baselines::epoch::EbrDomain;
+
+    #[test]
+    fn fifo_order() {
+        let d = EbrDomain::new(1);
+        let h = d.register().unwrap();
+        let q = EpochQueue::new();
+        assert!(q.is_empty());
+        for i in 0..100u64 {
+            q.enqueue(&h, i);
+        }
+        assert!(!q.is_empty());
+        for i in 0..100 {
+            assert_eq!(q.dequeue(&h), Some(i));
+        }
+        assert_eq!(q.dequeue(&h), None);
+    }
+
+    #[test]
+    fn concurrent_exactly_once() {
+        let d = Arc::new(EbrDomain::new(4));
+        let q = Arc::new(EpochQueue::<u64>::new());
+        let per = 2_000u64;
+        let workers: Vec<_> = (0..4)
+            .map(|t| {
+                let d = Arc::clone(&d);
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let h = d.register().unwrap();
+                    let mut got = Vec::new();
+                    for i in 0..per {
+                        q.enqueue(&h, (t as u64) << 32 | i);
+                        if i % 2 == 1 {
+                            if let Some(v) = q.dequeue(&h) {
+                                got.push(v);
+                            }
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut seen: Vec<u64> = workers
+            .into_iter()
+            .flat_map(|w| w.join().unwrap())
+            .collect();
+        let h = d.register().unwrap();
+        while let Some(v) = q.dequeue(&h) {
+            seen.push(v);
+        }
+        assert_eq!(seen.len(), 4 * per as usize);
+        let set: HashSet<u64> = seen.iter().copied().collect();
+        assert_eq!(set.len(), seen.len());
+    }
+}

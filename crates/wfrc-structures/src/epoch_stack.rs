@@ -1,0 +1,179 @@
+//! Treiber stack over epoch-based reclamation — the E2 comparison point
+//! for the scheme today's OSS (crossbeam) ships.
+//!
+//! Reads are the cheapest of all four schemes: `pop` pins once and then
+//! dereferences freely — no per-pointer protection, no reference-count
+//! traffic. The price is global: a stalled pinned thread stops all
+//! reclamation (measured in `wfrc-baselines::epoch`'s tests and bench E2's
+//! memory column).
+
+use core::ptr;
+use core::sync::atomic::{AtomicPtr, Ordering};
+
+use wfrc_baselines::epoch::EbrHandle;
+
+/// Heap node of [`EpochStack`].
+pub struct EpochStackNode<V> {
+    value: V,
+    next: *mut EpochStackNode<V>,
+}
+
+// SAFETY: `next` is a protocol-managed pointer into the same structure; the
+// node is only mutated while exclusively owned (unpublished or unlinked).
+unsafe impl<V: Send> Send for EpochStackNode<V> {}
+unsafe impl<V: Send + Sync> Sync for EpochStackNode<V> {}
+
+/// A lock-free LIFO stack reclaimed with epochs.
+pub struct EpochStack<V> {
+    head: AtomicPtr<EpochStackNode<V>>,
+}
+
+impl<V> Default for EpochStack<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> EpochStack<V> {
+    /// Creates an empty stack.
+    pub const fn new() -> Self {
+        Self {
+            head: AtomicPtr::new(ptr::null_mut()),
+        }
+    }
+}
+
+impl<V: Clone + Send + Sync> EpochStack<V> {
+
+    /// Pushes `value`.
+    pub fn push(&self, h: &EbrHandle<'_, EpochStackNode<V>>, value: V) {
+        let node = h.alloc(EpochStackNode {
+            value,
+            next: ptr::null_mut(),
+        });
+        let _guard = h.pin();
+        loop {
+            let head = self.head.load(Ordering::SeqCst);
+            // SAFETY: unpublished node — exclusively ours.
+            unsafe { (*node).next = head };
+            if self
+                .head
+                .compare_exchange(head, node, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    /// Pops the most recent value, or `None` if empty.
+    pub fn pop(&self, h: &EbrHandle<'_, EpochStackNode<V>>) -> Option<V> {
+        let _guard = h.pin();
+        loop {
+            let cur = self.head.load(Ordering::SeqCst);
+            if cur.is_null() {
+                return None;
+            }
+            // SAFETY: pinned — `cur` was reachable after the pin, so it
+            // cannot be freed before we unpin.
+            let next = unsafe { (*cur).next };
+            if self
+                .head
+                .compare_exchange(cur, next, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                // SAFETY: pinned; free deferred ≥ 2 epochs.
+                let value = unsafe { (*cur).value.clone() };
+                // SAFETY: unlinked; exactly-once retirement.
+                unsafe { h.retire(cur) };
+                return Some(value);
+            }
+        }
+    }
+
+    /// True if empty at the instant of the read.
+    pub fn is_empty(&self) -> bool {
+        self.head.load(Ordering::SeqCst).is_null()
+    }
+
+    /// Pops everything.
+    pub fn clear(&self, h: &EbrHandle<'_, EpochStackNode<V>>) {
+        while self.pop(h).is_some() {}
+    }
+}
+
+impl<V> Drop for EpochStack<V> {
+    fn drop(&mut self) {
+        let mut p = *self.head.get_mut();
+        while !p.is_null() {
+            // SAFETY: sole owner at drop.
+            let boxed = unsafe { Box::from_raw(p) };
+            p = boxed.next;
+        }
+    }
+}
+
+// SAFETY: single atomic root; node lifetime managed by epochs.
+unsafe impl<V: Send> Send for EpochStack<V> {}
+unsafe impl<V: Send + Sync> Sync for EpochStack<V> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use wfrc_baselines::epoch::EbrDomain;
+
+    #[test]
+    fn lifo_order() {
+        let d = EbrDomain::new(1);
+        let h = d.register().unwrap();
+        let s = EpochStack::new();
+        for i in 0..100u64 {
+            s.push(&h, i);
+        }
+        for i in (0..100).rev() {
+            assert_eq!(s.pop(&h), Some(i));
+        }
+        assert_eq!(s.pop(&h), None);
+    }
+
+    #[test]
+    fn concurrent_exactly_once() {
+        let d = Arc::new(EbrDomain::new(4));
+        let s = Arc::new(EpochStack::<u64>::new());
+        let per = 2_000u64;
+        let workers: Vec<_> = (0..4)
+            .map(|t| {
+                let d = Arc::clone(&d);
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    let h = d.register().unwrap();
+                    let mut got = Vec::new();
+                    for i in 0..per {
+                        s.push(&h, (t as u64) << 32 | i);
+                        if i % 2 == 1 {
+                            if let Some(v) = s.pop(&h) {
+                                got.push(v);
+                            }
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut seen: Vec<u64> = workers
+            .into_iter()
+            .flat_map(|w| w.join().unwrap())
+            .collect();
+        let h = d.register().unwrap();
+        while let Some(v) = s.pop(&h) {
+            seen.push(v);
+        }
+        seen.sort_unstable();
+        let mut expected: Vec<u64> = (0..4u64)
+            .flat_map(|t| (0..per).map(move |i| t << 32 | i))
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(seen, expected);
+    }
+}

@@ -1,0 +1,468 @@
+//! Lock-free hash map: a fixed array of ordered-list buckets.
+//!
+//! Michael's classic design (PODC 2002 evaluated exactly this shape over
+//! hazard pointers): hash to a bucket, then run the Harris-style ordered
+//! list within it. Here the buckets are [`crate::ordered_list`]-style
+//! lists over reference-counted links, so the whole map inherits the
+//! memory-management scheme's progress guarantees — and demonstrates that
+//! the §3.2 user model composes: one domain serves all buckets.
+//!
+//! The bucket count is fixed at construction (lock-free resizing is its
+//! own research problem — split-ordered lists — and out of the paper's
+//! scope); choose ~`expected_items / 4`.
+
+use wfrc_core::oom::OutOfMemory;
+use wfrc_core::Link;
+
+use crate::manager::RcMm;
+use crate::ordered_list::ListCell;
+
+/// A lock-free fixed-bucket hash map with `u64` keys.
+pub struct HashMap<V> {
+    buckets: Box<[BucketList<V>]>,
+}
+
+/// One bucket: an ordered list rooted directly in the bucket array (no
+/// per-bucket sentinel node — the root link plays that role).
+struct BucketList<V> {
+    head: Link<ListCell<V>>,
+}
+
+/// Mixes the key so consecutive keys spread across buckets
+/// (SplitMix64 finalizer).
+fn mix(key: u64) -> u64 {
+    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl<V: Clone + Send + Sync + 'static> HashMap<V> {
+    /// Creates a map with `buckets` buckets (rounded up to at least 1).
+    ///
+    /// Unlike the list/queue constructors this allocates no nodes: buckets
+    /// are root links, so construction cannot fail.
+    pub fn new(buckets: usize) -> Self {
+        Self {
+            buckets: (0..buckets.max(1))
+                .map(|_| BucketList { head: Link::null() })
+                .collect(),
+        }
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    fn bucket(&self, key: u64) -> &BucketList<V> {
+        &self.buckets[(mix(key) % self.buckets.len() as u64) as usize]
+    }
+
+    /// Inserts `(key, value)`; returns `false` if the key was present.
+    pub fn insert<M: RcMm<ListCell<V>>>(
+        &self,
+        mm: &M,
+        key: u64,
+        value: V,
+    ) -> Result<bool, OutOfMemory> {
+        self.bucket(key).insert(mm, key, value)
+    }
+
+    /// Removes `key`, returning its value.
+    pub fn remove<M: RcMm<ListCell<V>>>(&self, mm: &M, key: u64) -> Option<V> {
+        self.bucket(key).remove(mm, key)
+    }
+
+    /// True if `key` is present.
+    pub fn contains<M: RcMm<ListCell<V>>>(&self, mm: &M, key: u64) -> bool {
+        self.bucket(key).get(mm, key).is_some()
+    }
+
+    /// Returns `key`'s value.
+    pub fn get<M: RcMm<ListCell<V>>>(&self, mm: &M, key: u64) -> Option<V> {
+        self.bucket(key).get(mm, key)
+    }
+
+    /// Counts entries (quiescent snapshot; O(n)).
+    pub fn len<M: RcMm<ListCell<V>>>(&self, mm: &M) -> usize {
+        self.buckets.iter().map(|b| b.len(mm)).sum()
+    }
+
+    /// Releases every bucket's chain at quiescence.
+    pub fn dispose<M: RcMm<ListCell<V>>>(self, mm: &M) {
+        for b in self.buckets.iter() {
+            b.dispose(mm);
+        }
+    }
+}
+
+// SAFETY: buckets are atomic root links; node access goes through the
+// reclamation scheme.
+unsafe impl<V: Send> Send for HashMap<V> {}
+unsafe impl<V: Send + Sync> Sync for HashMap<V> {}
+
+impl<V: Clone + Send + Sync + 'static> BucketList<V> {
+    /// Finds `(pred_link_holder, cur)` for `key` in this bucket. Unlike the
+    /// sentinel-rooted [`crate::ordered_list::OrderedList`], the
+    /// predecessor may be the root link itself, so this returns the
+    /// predecessor as an optional *node* (None = root) plus the held
+    /// current candidate.
+    ///
+    /// To keep the implementation obviously correct we reuse the same
+    /// discipline as the ordered list but specialize the two root cases
+    /// inline below instead of returning link references.
+    fn insert<M: RcMm<ListCell<V>>>(&self, mm: &M, key: u64, value: V) -> Result<bool, OutOfMemory> {
+        let node = mm.alloc_node()?;
+        // SAFETY: fresh, unpublished.
+        unsafe {
+            let cell = mm.payload_mut(node);
+            cell.set_key_value(key, value);
+            cell.next_link().store_raw(core::ptr::null_mut());
+        }
+        // SAFETY: ordered-list discipline (see ordered_list.rs); the root
+        // link case is handled by `walk`.
+        unsafe {
+            loop {
+                let (pred, cur) = self.walk(mm, key);
+                if !cur.is_null() && mm.payload(cur).key() == key {
+                    self.release_pos(mm, pred, cur);
+                    mm.release_node(node);
+                    return Ok(false);
+                }
+                // Wire node.next -> cur (owned count).
+                let old = mm.payload(node).next_link().load_raw();
+                if old != cur {
+                    if !cur.is_null() {
+                        mm.add_refs(cur, 1);
+                    }
+                    mm.payload(node).next_link().store_raw(cur);
+                    if !old.is_null() {
+                        mm.release_node(old);
+                    }
+                }
+                mm.add_refs(node, 1);
+                let link = self.pred_link(mm, pred);
+                if mm.cas_link(link, cur, node) {
+                    if !cur.is_null() {
+                        mm.release_node(cur); // pred link's old count
+                    }
+                    self.release_pos(mm, pred, cur);
+                    mm.release_node(node);
+                    return Ok(true);
+                }
+                mm.release_node(node);
+                self.release_pos(mm, pred, cur);
+            }
+        }
+    }
+
+    fn remove<M: RcMm<ListCell<V>>>(&self, mm: &M, key: u64) -> Option<V> {
+        use wfrc_primitives::tagged;
+        // SAFETY: ordered-list discipline.
+        unsafe {
+            loop {
+                let (pred, cur) = self.walk(mm, key);
+                if cur.is_null() || mm.payload(cur).key() != key {
+                    self.release_pos(mm, pred, cur);
+                    return None;
+                }
+                let (succ, marked) = mm.payload(cur).next_link().load_decomposed();
+                if marked {
+                    self.release_pos(mm, pred, cur);
+                    continue;
+                }
+                if mm.cas_link(mm.payload(cur).next_link(), succ, tagged::with_tag(succ)) {
+                    let value = mm.payload(cur).value_clone();
+                    if !succ.is_null() {
+                        mm.add_refs(succ, 1);
+                    }
+                    let link = self.pred_link(mm, pred);
+                    if mm.cas_link(link, cur, succ) {
+                        mm.release_node(cur); // pred link's old count
+                    } else if !succ.is_null() {
+                        mm.release_node(succ);
+                    }
+                    self.release_pos(mm, pred, cur);
+                    return Some(value.expect("published node without value"));
+                }
+                self.release_pos(mm, pred, cur);
+            }
+        }
+    }
+
+    fn get<M: RcMm<ListCell<V>>>(&self, mm: &M, key: u64) -> Option<V> {
+        // SAFETY: ordered-list discipline.
+        unsafe {
+            let (pred, cur) = self.walk(mm, key);
+            let out = if !cur.is_null() && mm.payload(cur).key() == key {
+                mm.payload(cur).value_clone()
+            } else {
+                None
+            };
+            self.release_pos(mm, pred, cur);
+            out
+        }
+    }
+
+    fn len<M: RcMm<ListCell<V>>>(&self, mm: &M) -> usize {
+        // SAFETY: hand-over-hand traversal.
+        unsafe {
+            let mut n = 0;
+            let mut cur = mm.deref_link(&self.head);
+            while !cur.is_null() {
+                let (_, marked) = mm.payload(cur).next_link().load_decomposed();
+                if !marked {
+                    n += 1;
+                }
+                let next = mm.deref_link(mm.payload(cur).next_link());
+                mm.release_node(cur);
+                cur = next;
+            }
+            n
+        }
+    }
+
+    fn dispose<M: RcMm<ListCell<V>>>(&self, mm: &M) {
+        // SAFETY: quiescent per contract; cascade through R3.
+        unsafe {
+            let head = self.head.swap_raw(core::ptr::null_mut());
+            let head = wfrc_primitives::tagged::without_tag(head);
+            if !head.is_null() {
+                mm.release_node(head);
+            }
+        }
+    }
+
+    /// The link preceding position `(pred, _)`: the bucket root when
+    /// `pred` is null, else `pred.next`.
+    ///
+    /// # Safety
+    /// `pred` (if non-null) is held by the caller.
+    unsafe fn pred_link<'a, M: RcMm<ListCell<V>>>(
+        &'a self,
+        mm: &'a M,
+        pred: *mut wfrc_core::Node<ListCell<V>>,
+    ) -> &'a Link<ListCell<V>> {
+        if pred.is_null() {
+            &self.head
+        } else {
+            // SAFETY: held per contract.
+            unsafe { mm.payload(pred) }.next_link()
+        }
+    }
+
+    /// Releases the holds `walk` returned.
+    ///
+    /// # Safety
+    /// `(pred, cur)` came from `walk` and were not consumed.
+    unsafe fn release_pos<M: RcMm<ListCell<V>>>(
+        &self,
+        mm: &M,
+        pred: *mut wfrc_core::Node<ListCell<V>>,
+        cur: *mut wfrc_core::Node<ListCell<V>>,
+    ) {
+        // SAFETY: per contract.
+        unsafe {
+            if !pred.is_null() {
+                mm.release_node(pred);
+            }
+            if !cur.is_null() {
+                mm.release_node(cur);
+            }
+        }
+    }
+
+    /// Walks the bucket for `key`, snipping marked nodes: returns
+    /// `(pred, cur)` where `pred` is the last held node with `key' < key`
+    /// (null = bucket root) and `cur` the first held node with
+    /// `key' >= key` (null = end).
+    ///
+    /// # Safety
+    /// Standard domain contract.
+    #[allow(clippy::type_complexity)]
+    unsafe fn walk<M: RcMm<ListCell<V>>>(
+        &self,
+        mm: &M,
+        key: u64,
+    ) -> (
+        *mut wfrc_core::Node<ListCell<V>>,
+        *mut wfrc_core::Node<ListCell<V>>,
+    ) {
+        // SAFETY: hand-over-hand with snipping, as in ordered_list.
+        unsafe {
+            'restart: loop {
+                let mut pred: *mut wfrc_core::Node<ListCell<V>> = core::ptr::null_mut();
+                loop {
+                    let pred_link = self.pred_link(mm, pred);
+                    let cur = mm.deref_link(pred_link);
+                    if cur.is_null() {
+                        let (_, pred_marked) = pred_link.load_decomposed();
+                        if pred_marked {
+                            // pred got deleted under us (only possible for
+                            // a real node, never the root link).
+                            mm.release_node(pred);
+                            continue 'restart;
+                        }
+                        return (pred, cur);
+                    }
+                    let (succ, cur_marked) = mm.payload(cur).next_link().load_decomposed();
+                    if cur_marked {
+                        if !succ.is_null() {
+                            mm.add_refs(succ, 1);
+                        }
+                        if mm.cas_link(self.pred_link(mm, pred), cur, succ) {
+                            mm.release_node(cur);
+                            mm.release_node(cur);
+                            continue;
+                        }
+                        if !succ.is_null() {
+                            mm.release_node(succ);
+                        }
+                        mm.release_node(cur);
+                        let (_, pred_marked) = self.pred_link(mm, pred).load_decomposed();
+                        if pred_marked {
+                            mm.release_node(pred);
+                            continue 'restart;
+                        }
+                        continue;
+                    }
+                    if mm.payload(cur).key() >= key {
+                        return (pred, cur);
+                    }
+                    if !pred.is_null() {
+                        mm.release_node(pred);
+                    }
+                    pred = cur;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::RcMmDomain;
+    use std::sync::Arc;
+    use wfrc_baselines::LfrcDomain;
+    use wfrc_core::{DomainConfig, WfrcDomain};
+
+    fn sequential_map<D: RcMmDomain<ListCell<u64>>>(d: &D) {
+        let h = d.register_mm().unwrap();
+        let m = HashMap::new(8);
+        assert_eq!(m.buckets(), 8);
+        for k in 0..100u64 {
+            assert!(m.insert(&h, k, k * 2).unwrap());
+        }
+        assert!(!m.insert(&h, 50, 999).unwrap(), "duplicate rejected");
+        assert_eq!(m.len(&h), 100);
+        for k in 0..100u64 {
+            assert!(m.contains(&h, k));
+            assert_eq!(m.get(&h, k), Some(k * 2));
+        }
+        assert!(!m.contains(&h, 100));
+        for k in (0..100u64).step_by(2) {
+            assert_eq!(m.remove(&h, k), Some(k * 2));
+        }
+        assert_eq!(m.len(&h), 50);
+        assert_eq!(m.remove(&h, 0), None);
+        m.dispose(&h);
+        drop(h);
+        assert!(d.leak_check_mm().is_clean(), "{:?}", d.leak_check_mm());
+    }
+
+    #[test]
+    fn map_semantics_wfrc() {
+        sequential_map(&WfrcDomain::new(DomainConfig::new(2, 256)));
+    }
+
+    #[test]
+    fn map_semantics_lfrc() {
+        sequential_map(&LfrcDomain::new(2, 256));
+    }
+
+    #[test]
+    fn single_bucket_degenerates_to_list() {
+        let d = WfrcDomain::<ListCell<u64>>::new(DomainConfig::new(1, 64));
+        let h = d.register_mm().unwrap();
+        let m = HashMap::new(1);
+        for k in [5u64, 1, 3, 2, 4] {
+            assert!(m.insert(&h, k, k).unwrap());
+        }
+        assert_eq!(m.len(&h), 5);
+        for k in 1..=5u64 {
+            assert_eq!(m.remove(&h, k), Some(k));
+        }
+        m.dispose(&h);
+        drop(h);
+        assert!(d.leak_check_mm().is_clean());
+    }
+
+    fn concurrent_map<D: RcMmDomain<ListCell<u64>> + Send + 'static>(d: D, threads: usize) {
+        let d = Arc::new(d);
+        let m = Arc::new(HashMap::<u64>::new(16));
+        let workers: Vec<_> = (0..threads)
+            .map(|t| {
+                let d = Arc::clone(&d);
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    let h = d.register_mm().unwrap();
+                    let base = (t as u64 + 1) << 32;
+                    for i in 0..800u64 {
+                        let k = base + (i % 100);
+                        if m.insert(&h, k, k).unwrap() {
+                            assert_eq!(m.get(&h, k), Some(k));
+                            assert_eq!(m.remove(&h, k), Some(k));
+                        }
+                        // Contended keys shared by everyone.
+                        let ck = i % 8;
+                        let _ = m.insert(&h, ck, ck).unwrap();
+                        let _ = m.remove(&h, ck);
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let h = d.register_mm().unwrap();
+        for ck in 0..8 {
+            let _ = m.remove(&h, ck);
+        }
+        assert_eq!(m.len(&h), 0);
+        Arc::try_unwrap(m).ok().expect("joined").dispose(&h);
+        drop(h);
+        assert!(d.leak_check_mm().is_clean(), "{:?}", d.leak_check_mm());
+    }
+
+    #[test]
+    fn concurrent_wfrc() {
+        concurrent_map(
+            WfrcDomain::<ListCell<u64>>::new(DomainConfig::new(5, 2048)),
+            4,
+        );
+    }
+
+    #[test]
+    fn concurrent_lfrc() {
+        concurrent_map(LfrcDomain::<ListCell<u64>>::new(5, 2048), 4);
+    }
+
+    #[test]
+    fn keys_spread_across_buckets() {
+        let d = WfrcDomain::<ListCell<u64>>::new(DomainConfig::new(1, 512));
+        let h = d.register_mm().unwrap();
+        let m = HashMap::new(16);
+        for k in 0..256u64 {
+            m.insert(&h, k, k).unwrap();
+        }
+        // With SplitMix64 mixing, no bucket should hold more than ~4x the
+        // average of 16.
+        let max_bucket = m.buckets.iter().map(|b| b.len(&h)).max().unwrap();
+        assert!(max_bucket < 64, "pathological bucket skew: {max_bucket}");
+        m.dispose(&h);
+        drop(h);
+        assert!(d.leak_check_mm().is_clean());
+    }
+}

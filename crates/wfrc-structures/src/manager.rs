@@ -1,0 +1,260 @@
+//! The §3.2 user model as a trait, so every reference-counted structure in
+//! this crate is written once and runs over both schemes.
+//!
+//! The paper's point of compatibility (§3.2, Figure 6): its wait-free
+//! operations have exactly the signature previous lock-free
+//! reference-counting schemes expose — `AllocNode`, `DeRefLink`,
+//! `ReleaseRef`, `FixRef`, a link CAS, and the direct-write rule. [`RcMm`]
+//! captures that signature; [`wfrc_core::ThreadHandle`] (wait-free) and
+//! [`wfrc_baselines::LfrcHandle`] (lock-free Valois baseline) both implement
+//! it, which is precisely how the paper ran its §5 experiment ("successful
+//! attempts to incorporate the new wait-free memory management scheme in
+//! the lock-free implementation of a priority queue").
+
+use wfrc_core::counters::CounterSnapshot;
+use wfrc_core::oom::OutOfMemory;
+use wfrc_core::{LeakReport, Link, Node, RcObject};
+
+/// A per-thread handle to a reference-counted memory-management scheme.
+///
+/// # Safety
+///
+/// Implementations must provide the §3.2 guarantees:
+/// * [`RcMm::deref_link`] returns a node the link pointed to during the
+///   call, with one reference transferred to the caller;
+/// * a node with a non-zero reference count is never reclaimed or
+///   re-initialized;
+/// * [`RcMm::cas_link`] performs whatever helping the scheme's dereference
+///   relies on (for the wait-free scheme: `HelpDeRef` after every
+///   successful CAS).
+///
+/// Callers must uphold the count discipline documented on each method; the
+/// structures in this crate are the reference examples.
+pub unsafe trait RcMm<T: RcObject> {
+    /// Allocates a node with one caller-owned reference and **stale**
+    /// payload; initialize via [`RcMm::payload_mut`] before publishing.
+    fn alloc_node(&self) -> Result<*mut Node<T>, OutOfMemory>;
+
+    /// `DeRefLink`: returns the link's target (deletion mark stripped) with
+    /// one reference for the caller, or null.
+    ///
+    /// # Safety
+    /// `link` must only ever hold nodes of this handle's domain.
+    unsafe fn deref_link(&self, link: &Link<T>) -> *mut Node<T>;
+
+    /// `ReleaseRef`: drops one caller-owned reference.
+    ///
+    /// # Safety
+    /// Caller owns an unreleased reference on non-null `node`.
+    unsafe fn release_node(&self, node: *mut Node<T>);
+
+    /// `FixRef(node, 2·refs)`: acquires `refs` extra references.
+    ///
+    /// # Safety
+    /// Caller must already hold at least one reference (or otherwise know
+    /// the node cannot be reclaimed, e.g. it is reachable from a link of a
+    /// node the caller holds).
+    unsafe fn add_refs(&self, node: *mut Node<T>, refs: usize);
+
+    /// Link CAS on **raw words** (deletion marks included), with the
+    /// scheme's helping obligations on success. Reference counts are the
+    /// caller's: transfer one owned count with the new target, release the
+    /// old target's link count after a successful swap (unless it merely
+    /// moved).
+    ///
+    /// # Safety
+    /// `old`/`new` must be (possibly marked) nodes of this domain or null;
+    /// the caller owns the count transferred on `new`'s node.
+    unsafe fn cas_link(&self, link: &Link<T>, old: *mut Node<T>, new: *mut Node<T>) -> bool;
+
+    /// Direct write of an **unpublished** link (§3.2: previous value ⊥, no
+    /// concurrent access possible). Transfers one caller-owned count.
+    ///
+    /// # Safety
+    /// See above; the link must be unreachable by other threads.
+    unsafe fn store_link(&self, link: &Link<T>, node: *mut Node<T>);
+
+    /// Shared payload access.
+    ///
+    /// # Safety
+    /// Caller holds a reference on `node` for the borrow's duration.
+    unsafe fn payload(&self, node: *mut Node<T>) -> &T;
+
+    /// Exclusive payload access (fresh, unpublished node).
+    ///
+    /// # Safety
+    /// Caller owns `node` exclusively.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn payload_mut(&self, node: *mut Node<T>) -> &mut T;
+
+    /// Snapshot of the handle's operation counters.
+    fn counter_snapshot(&self) -> CounterSnapshot;
+}
+
+// SAFETY: ThreadHandle implements the paper's scheme; §4 proves the
+// guarantees (linearizability Lemmas 2–5, wait-freedom Lemmas 6–10).
+unsafe impl<T: RcObject> RcMm<T> for wfrc_core::ThreadHandle<'_, T> {
+    fn alloc_node(&self) -> Result<*mut Node<T>, OutOfMemory> {
+        self.alloc_raw()
+    }
+    unsafe fn deref_link(&self, link: &Link<T>) -> *mut Node<T> {
+        // SAFETY: forwarded contract.
+        unsafe { self.deref_raw(link) }
+    }
+    unsafe fn release_node(&self, node: *mut Node<T>) {
+        // SAFETY: forwarded contract.
+        unsafe { self.release_raw(node) }
+    }
+    unsafe fn add_refs(&self, node: *mut Node<T>, refs: usize) {
+        // SAFETY: forwarded contract.
+        unsafe { self.add_ref_raw(node, refs) }
+    }
+    unsafe fn cas_link(&self, link: &Link<T>, old: *mut Node<T>, new: *mut Node<T>) -> bool {
+        // SAFETY: forwarded contract.
+        unsafe { self.cas_link_raw(link, old, new) }
+    }
+    unsafe fn store_link(&self, link: &Link<T>, node: *mut Node<T>) {
+        // SAFETY: forwarded contract.
+        unsafe { self.store_link_raw(link, node) }
+    }
+    unsafe fn payload(&self, node: *mut Node<T>) -> &T {
+        // SAFETY: forwarded contract.
+        unsafe { self.payload_raw(node) }
+    }
+    unsafe fn payload_mut(&self, node: *mut Node<T>) -> &mut T {
+        // SAFETY: forwarded contract.
+        unsafe { self.payload_mut_raw(node) }
+    }
+    fn counter_snapshot(&self) -> CounterSnapshot {
+        self.counters().snapshot()
+    }
+}
+
+// SAFETY: LfrcHandle implements Valois/Michael–Scott lock-free reference
+// counting, whose user model the paper's scheme is compatible with (§3.2).
+unsafe impl<T: RcObject> RcMm<T> for wfrc_baselines::LfrcHandle<'_, T> {
+    fn alloc_node(&self) -> Result<*mut Node<T>, OutOfMemory> {
+        self.alloc_raw()
+    }
+    unsafe fn deref_link(&self, link: &Link<T>) -> *mut Node<T> {
+        // SAFETY: forwarded contract.
+        unsafe { self.deref_raw(link) }
+    }
+    unsafe fn release_node(&self, node: *mut Node<T>) {
+        // SAFETY: forwarded contract.
+        unsafe { self.release_raw(node) }
+    }
+    unsafe fn add_refs(&self, node: *mut Node<T>, refs: usize) {
+        // SAFETY: forwarded contract.
+        unsafe { self.add_ref_raw(node, refs) }
+    }
+    unsafe fn cas_link(&self, link: &Link<T>, old: *mut Node<T>, new: *mut Node<T>) -> bool {
+        // SAFETY: forwarded contract.
+        unsafe { self.cas_link_raw(link, old, new) }
+    }
+    unsafe fn store_link(&self, link: &Link<T>, node: *mut Node<T>) {
+        // SAFETY: forwarded contract.
+        unsafe { self.store_link_raw(link, node) }
+    }
+    unsafe fn payload(&self, node: *mut Node<T>) -> &T {
+        // SAFETY: forwarded contract.
+        unsafe { self.payload_raw(node) }
+    }
+    unsafe fn payload_mut(&self, node: *mut Node<T>) -> &mut T {
+        // SAFETY: forwarded contract.
+        unsafe { self.payload_mut_raw(node) }
+    }
+    fn counter_snapshot(&self) -> CounterSnapshot {
+        self.counters().snapshot()
+    }
+}
+
+/// Domain-level abstraction so tests and benches can construct either
+/// scheme from one generic driver.
+pub trait RcMmDomain<T: RcObject>: Sync {
+    /// The per-thread handle type.
+    type Handle<'d>: RcMm<T>
+    where
+        Self: 'd;
+
+    /// Registers the calling context.
+    fn register_mm(&self) -> Option<Self::Handle<'_>>;
+
+    /// Quiescent node audit.
+    fn leak_check_mm(&self) -> LeakReport;
+
+    /// Short scheme name for reports ("wfrc" / "lfrc").
+    fn scheme_name(&self) -> &'static str;
+}
+
+impl<T: RcObject> RcMmDomain<T> for wfrc_core::WfrcDomain<T> {
+    type Handle<'d>
+        = wfrc_core::ThreadHandle<'d, T>
+    where
+        Self: 'd;
+
+    fn register_mm(&self) -> Option<Self::Handle<'_>> {
+        self.register().ok()
+    }
+    fn leak_check_mm(&self) -> LeakReport {
+        self.leak_check()
+    }
+    fn scheme_name(&self) -> &'static str {
+        "wfrc"
+    }
+}
+
+impl<T: RcObject> RcMmDomain<T> for wfrc_baselines::LfrcDomain<T> {
+    type Handle<'d>
+        = wfrc_baselines::LfrcHandle<'d, T>
+    where
+        Self: 'd;
+
+    fn register_mm(&self) -> Option<Self::Handle<'_>> {
+        self.register().ok()
+    }
+    fn leak_check_mm(&self) -> LeakReport {
+        self.leak_check()
+    }
+    fn scheme_name(&self) -> &'static str {
+        "lfrc"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfrc_core::{DomainConfig, WfrcDomain};
+
+    fn exercise<T, D>(domain: &D)
+    where
+        T: RcObject + Default,
+        D: RcMmDomain<T>,
+    {
+        let h = domain.register_mm().expect("register");
+        let n = h.alloc_node().unwrap();
+        let link = Link::null();
+        // SAFETY: standard discipline — transfer the alloc count into the
+        // link, re-acquire via deref, then unwind everything.
+        unsafe {
+            h.store_link(&link, n);
+            let p = h.deref_link(&link);
+            assert_eq!(p, n);
+            h.release_node(p);
+            assert!(h.cas_link(&link, n, core::ptr::null_mut()));
+            h.release_node(n);
+        }
+        drop(h);
+        assert!(domain.leak_check_mm().is_clean());
+    }
+
+    #[test]
+    fn both_schemes_satisfy_the_user_model() {
+        let wf = WfrcDomain::<u64>::new(DomainConfig::new(2, 8));
+        exercise(&wf);
+        assert_eq!(RcMmDomain::<u64>::scheme_name(&wf), "wfrc");
+        let lf = wfrc_baselines::LfrcDomain::<u64>::new(2, 8);
+        exercise(&lf);
+        assert_eq!(RcMmDomain::<u64>::scheme_name(&lf), "lfrc");
+    }
+}

@@ -1,0 +1,423 @@
+//! Ordered set (sorted linked list) over reference-counted links.
+//!
+//! A Harris-style list (marked next pointers, helped snipping) adapted to
+//! the §3.2 reference-counting user model — the same machinery as the
+//! skiplist priority queue confined to one level, and the structure
+//! Valois' thesis originally built lock-free reference counting for. Keys
+//! are unique; operations are `insert`, `remove`, `contains`.
+
+use core::ptr;
+
+use wfrc_core::oom::OutOfMemory;
+use wfrc_core::{Link, Node, RcObject};
+use wfrc_primitives::tagged;
+
+use crate::manager::RcMm;
+
+/// Node payload for [`OrderedList`].
+pub struct ListCell<V> {
+    key: u64,
+    value: Option<V>,
+    next: Link<ListCell<V>>,
+}
+
+impl<V> Default for ListCell<V> {
+    fn default() -> Self {
+        Self {
+            key: 0,
+            value: None,
+            next: Link::null(),
+        }
+    }
+}
+
+impl<V: Send + Sync + 'static> RcObject for ListCell<V> {
+    fn each_link(&self, f: &mut dyn FnMut(&Link<Self>)) {
+        f(&self.next);
+    }
+}
+
+// Accessors shared with the hash map's bucket lists (`crate::hash_map`),
+// which reuse this cell type for their chains.
+impl<V> ListCell<V> {
+    pub(crate) fn set_key_value(&mut self, key: u64, value: V) {
+        self.key = key;
+        self.value = Some(value);
+    }
+
+    pub(crate) fn next_link(&self) -> &Link<ListCell<V>> {
+        &self.next
+    }
+
+    pub(crate) fn key(&self) -> u64 {
+        self.key
+    }
+
+    pub(crate) fn value_clone(&self) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.value.clone()
+    }
+}
+
+/// A lock-free sorted set with unique `u64` keys.
+pub struct OrderedList<V> {
+    /// Holds the head sentinel (conceptual key −∞).
+    head: Link<ListCell<V>>,
+}
+
+impl<V: Clone + Send + Sync + 'static> OrderedList<V> {
+    /// Creates a list, allocating its sentinel from `mm`'s domain.
+    pub fn new<M: RcMm<ListCell<V>>>(mm: &M) -> Result<Self, OutOfMemory> {
+        let sentinel = mm.alloc_node()?;
+        // SAFETY: fresh, unpublished.
+        unsafe {
+            let cell = mm.payload_mut(sentinel);
+            cell.key = 0;
+            cell.value = None;
+            cell.next.store_raw(ptr::null_mut());
+        }
+        let list = Self { head: Link::null() };
+        // SAFETY: unpublished root; transfer the alloc reference.
+        unsafe { mm.store_link(&list.head, sentinel) };
+        Ok(list)
+    }
+
+    /// Finds the position for `key`: returns `(pred, cur)`, both held
+    /// (cur possibly null), where `cur` is the first *live* node with
+    /// `cur.key >= key`. Snips marked nodes on the way (Harris helping).
+    ///
+    /// # Safety
+    /// Standard domain contract.
+    unsafe fn search<M: RcMm<ListCell<V>>>(
+        &self,
+        mm: &M,
+        key: u64,
+    ) -> (*mut Node<ListCell<V>>, *mut Node<ListCell<V>>) {
+        // SAFETY: hand-over-hand; inline notes.
+        unsafe {
+            'restart: loop {
+                let mut pred = mm.deref_link(&self.head);
+                loop {
+                    let cur = mm.deref_link(&mm.payload(pred).next);
+                    if cur.is_null() {
+                        let (_, pred_marked) = mm.payload(pred).next.load_decomposed();
+                        if pred_marked {
+                            mm.release_node(pred);
+                            continue 'restart;
+                        }
+                        return (pred, cur);
+                    }
+                    let (succ, cur_marked) = mm.payload(cur).next.load_decomposed();
+                    if cur_marked {
+                        // Snip the logically deleted node.
+                        if !succ.is_null() {
+                            mm.add_refs(succ, 1);
+                        }
+                        if mm.cas_link(&mm.payload(pred).next, cur, succ) {
+                            mm.release_node(cur); // pred's old count
+                            mm.release_node(cur); // our hold
+                            continue;
+                        }
+                        if !succ.is_null() {
+                            mm.release_node(succ);
+                        }
+                        mm.release_node(cur);
+                        let (_, pred_marked) = mm.payload(pred).next.load_decomposed();
+                        if pred_marked {
+                            mm.release_node(pred);
+                            continue 'restart;
+                        }
+                        continue;
+                    }
+                    if mm.payload(cur).key >= key {
+                        return (pred, cur);
+                    }
+                    mm.release_node(pred);
+                    pred = cur;
+                }
+            }
+        }
+    }
+
+    /// Inserts `(key, value)`. Returns `false` (and drops `value`) if the
+    /// key is already present.
+    pub fn insert<M: RcMm<ListCell<V>>>(
+        &self,
+        mm: &M,
+        key: u64,
+        value: V,
+    ) -> Result<bool, OutOfMemory> {
+        let node = mm.alloc_node()?;
+        // SAFETY: fresh, unpublished.
+        unsafe {
+            let cell = mm.payload_mut(node);
+            cell.key = key;
+            cell.value = Some(value);
+            cell.next.store_raw(ptr::null_mut());
+        }
+        // SAFETY: inline notes; PQ-style count discipline.
+        unsafe {
+            loop {
+                let (pred, cur) = self.search(mm, key);
+                if !cur.is_null() && mm.payload(cur).key == key {
+                    mm.release_node(pred);
+                    mm.release_node(cur);
+                    mm.release_node(node); // abandon the fresh node
+                    return Ok(false);
+                }
+                // Wire node.next -> cur with its own count.
+                let old = mm.payload(node).next.load_raw();
+                if old != cur {
+                    if !cur.is_null() {
+                        mm.add_refs(cur, 1);
+                    }
+                    mm.payload(node).next.store_raw(cur);
+                    if !old.is_null() {
+                        mm.release_node(old);
+                    }
+                }
+                mm.add_refs(node, 1); // pred link's count
+                if mm.cas_link(&mm.payload(pred).next, cur, node) {
+                    if !cur.is_null() {
+                        mm.release_node(cur); // pred's old count
+                        mm.release_node(cur); // our search hold
+                    }
+                    mm.release_node(pred);
+                    mm.release_node(node); // our alloc reference
+                    return Ok(true);
+                }
+                mm.release_node(node); // undo
+                mm.release_node(pred);
+                if !cur.is_null() {
+                    mm.release_node(cur);
+                }
+            }
+        }
+    }
+
+    /// Removes `key`, returning its value if present.
+    pub fn remove<M: RcMm<ListCell<V>>>(&self, mm: &M, key: u64) -> Option<V> {
+        // SAFETY: inline notes.
+        unsafe {
+            loop {
+                let (pred, cur) = self.search(mm, key);
+                if cur.is_null() || mm.payload(cur).key != key {
+                    mm.release_node(pred);
+                    if !cur.is_null() {
+                        mm.release_node(cur);
+                    }
+                    return None;
+                }
+                // Logical removal: mark cur.next.
+                let (succ, marked) = mm.payload(cur).next.load_decomposed();
+                if marked {
+                    // Someone else is removing it; retry (search will snip).
+                    mm.release_node(pred);
+                    mm.release_node(cur);
+                    continue;
+                }
+                if mm.cas_link(&mm.payload(cur).next, succ, tagged::with_tag(succ)) {
+                    let value = mm.payload(cur).value.clone();
+                    // Physical snip (best effort — search helps otherwise).
+                    if !succ.is_null() {
+                        mm.add_refs(succ, 1);
+                    }
+                    if mm.cas_link(&mm.payload(pred).next, cur, succ) {
+                        mm.release_node(cur); // pred's old count
+                    } else if !succ.is_null() {
+                        mm.release_node(succ);
+                    }
+                    mm.release_node(pred);
+                    mm.release_node(cur);
+                    return Some(value.expect("published node without value"));
+                }
+                // Mark CAS lost (concurrent insert after cur, or another
+                // remover): retry.
+                mm.release_node(pred);
+                mm.release_node(cur);
+            }
+        }
+    }
+
+    /// True if `key` is present (and live).
+    pub fn contains<M: RcMm<ListCell<V>>>(&self, mm: &M, key: u64) -> bool {
+        // SAFETY: search returns held nodes.
+        unsafe {
+            let (pred, cur) = self.search(mm, key);
+            let found = !cur.is_null() && mm.payload(cur).key == key;
+            mm.release_node(pred);
+            if !cur.is_null() {
+                mm.release_node(cur);
+            }
+            found
+        }
+    }
+
+    /// Returns `key`'s value if present.
+    pub fn get<M: RcMm<ListCell<V>>>(&self, mm: &M, key: u64) -> Option<V> {
+        // SAFETY: search returns held nodes.
+        unsafe {
+            let (pred, cur) = self.search(mm, key);
+            let out = if !cur.is_null() && mm.payload(cur).key == key {
+                mm.payload(cur).value.clone()
+            } else {
+                None
+            };
+            mm.release_node(pred);
+            if !cur.is_null() {
+                mm.release_node(cur);
+            }
+            out
+        }
+    }
+
+    /// Counts live entries (quiescent snapshot).
+    pub fn len<M: RcMm<ListCell<V>>>(&self, mm: &M) -> usize {
+        // SAFETY: hand-over-hand traversal; the sentinel is skipped and
+        // marked (logically deleted) nodes are not counted.
+        unsafe {
+            let sentinel = mm.deref_link(&self.head);
+            let mut cur = mm.deref_link(&mm.payload(sentinel).next);
+            mm.release_node(sentinel);
+            let mut n = 0;
+            while !cur.is_null() {
+                let (_, marked) = mm.payload(cur).next.load_decomposed();
+                if !marked {
+                    n += 1;
+                }
+                let next = mm.deref_link(&mm.payload(cur).next);
+                mm.release_node(cur);
+                cur = next;
+            }
+            n
+        }
+    }
+
+    /// Releases the root at quiescence; nodes cascade through the R3 drain.
+    pub fn dispose<M: RcMm<ListCell<V>>>(self, mm: &M) {
+        // SAFETY: quiescent per contract.
+        unsafe {
+            let s = self.head.swap_raw(ptr::null_mut());
+            if !s.is_null() {
+                mm.release_node(s);
+            }
+        }
+    }
+}
+
+// SAFETY: one atomic root link; node access mediated by the scheme.
+unsafe impl<V: Send> Send for OrderedList<V> {}
+unsafe impl<V: Send + Sync> Sync for OrderedList<V> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::RcMmDomain;
+    use std::sync::Arc;
+    use wfrc_baselines::LfrcDomain;
+    use wfrc_core::{DomainConfig, WfrcDomain};
+
+    fn sequential_set<D: RcMmDomain<ListCell<u64>>>(d: &D) {
+        let h = d.register_mm().unwrap();
+        let l = OrderedList::new(&h).unwrap();
+        assert!(!l.contains(&h, 5));
+        assert!(l.insert(&h, 5, 50).unwrap());
+        assert!(l.insert(&h, 3, 30).unwrap());
+        assert!(l.insert(&h, 7, 70).unwrap());
+        assert!(!l.insert(&h, 5, 99).unwrap(), "duplicate rejected");
+        assert_eq!(l.len(&h), 3);
+        assert!(l.contains(&h, 3) && l.contains(&h, 5) && l.contains(&h, 7));
+        assert!(!l.contains(&h, 4));
+        assert_eq!(l.get(&h, 7), Some(70));
+        assert_eq!(l.remove(&h, 5), Some(50));
+        assert_eq!(l.remove(&h, 5), None);
+        assert!(!l.contains(&h, 5));
+        assert_eq!(l.len(&h), 2);
+        l.dispose(&h);
+        drop(h);
+        assert!(d.leak_check_mm().is_clean(), "{:?}", d.leak_check_mm());
+    }
+
+    #[test]
+    fn set_semantics_wfrc() {
+        sequential_set(&WfrcDomain::new(DomainConfig::new(2, 64)));
+    }
+
+    #[test]
+    fn set_semantics_lfrc() {
+        sequential_set(&LfrcDomain::new(2, 64));
+    }
+
+    #[test]
+    fn reinsert_after_remove() {
+        let d = WfrcDomain::<ListCell<u64>>::new(DomainConfig::new(1, 16));
+        let h = d.register_mm().unwrap();
+        let l = OrderedList::new(&h).unwrap();
+        for round in 0..20 {
+            assert!(l.insert(&h, 1, round).unwrap());
+            assert_eq!(l.get(&h, 1), Some(round));
+            assert_eq!(l.remove(&h, 1), Some(round));
+        }
+        l.dispose(&h);
+        drop(h);
+        assert!(d.leak_check_mm().is_clean());
+    }
+
+    fn concurrent_set<D: RcMmDomain<ListCell<u64>> + Send + 'static>(d: D, threads: usize) {
+        let d = Arc::new(d);
+        let h0 = d.register_mm().unwrap();
+        let l = Arc::new(OrderedList::<u64>::new(&h0).unwrap());
+        drop(h0);
+        // Each thread owns a disjoint key range and churns it; plus a
+        // shared contended range where only insert-if-absent semantics are
+        // checked.
+        let workers: Vec<_> = (0..threads)
+            .map(|t| {
+                let d = Arc::clone(&d);
+                let l = Arc::clone(&l);
+                std::thread::spawn(move || {
+                    let h = d.register_mm().unwrap();
+                    let base = (t as u64 + 1) * 10_000;
+                    for i in 0..500u64 {
+                        let k = base + (i % 50);
+                        if l.insert(&h, k, k).unwrap() {
+                            assert!(l.contains(&h, k));
+                            assert_eq!(l.remove(&h, k), Some(k));
+                        }
+                        // Contended range: 0..8
+                        let ck = i % 8;
+                        let _ = l.insert(&h, ck, ck).unwrap();
+                        let _ = l.remove(&h, ck);
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let h = d.register_mm().unwrap();
+        // Drain the contended range.
+        for ck in 0..8 {
+            let _ = l.remove(&h, ck);
+        }
+        assert_eq!(l.len(&h), 0);
+        Arc::try_unwrap(l).ok().expect("sole owner").dispose(&h);
+        drop(h);
+        assert!(d.leak_check_mm().is_clean(), "{:?}", d.leak_check_mm());
+    }
+
+    #[test]
+    fn concurrent_wfrc() {
+        concurrent_set(
+            WfrcDomain::<ListCell<u64>>::new(DomainConfig::new(5, 1024)),
+            4,
+        );
+    }
+
+    #[test]
+    fn concurrent_lfrc() {
+        concurrent_set(LfrcDomain::<ListCell<u64>>::new(5, 1024), 4);
+    }
+}

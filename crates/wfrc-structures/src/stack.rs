@@ -1,0 +1,291 @@
+//! Treiber stack over reference-counted links.
+//!
+//! The simplest host for the §3.2 user model and the structure every
+//! reclamation paper (including this one's references [11, 12, 19])
+//! benchmarks. `push`/`pop` are lock-free (CAS retry on the head — that is
+//! the *structure*'s progress class); every memory-management step inside
+//! them is whatever the plugged-in [`RcMm`] provides: wait-free for
+//! `wfrc-core`, lock-free for the Valois baseline.
+//!
+//! # Count discipline (the §3.2 rules, annotated)
+//!
+//! * `push` transfers the allocation's reference into the head link; the
+//!   old head's reference migrates from the head link into the new node's
+//!   `next` link — no count changes at all on the old head.
+//! * `pop` acquires the successor a reference for the head link *before*
+//!   the CAS (safe: the successor is pinned by the popped node's `next`
+//!   while we hold the popped node), then releases both the head link's
+//!   count and its own dereference count on the popped node.
+//! * A popped node's `next` still references the successor until the node
+//!   is reclaimed; `ReleaseRef`'s R3 drain returns that count — which is
+//!   why values are `Clone`d out rather than moved: other threads may
+//!   still hold transient references to a popped node.
+
+use core::ptr;
+
+use wfrc_core::oom::OutOfMemory;
+use wfrc_core::{Link, RcObject};
+
+use crate::manager::RcMm;
+
+/// Node payload for [`Stack`].
+pub struct StackCell<V> {
+    /// The pushed value; `None` only before first initialization.
+    value: Option<V>,
+    /// Link to the node below.
+    next: Link<StackCell<V>>,
+}
+
+impl<V> Default for StackCell<V> {
+    fn default() -> Self {
+        Self {
+            value: None,
+            next: Link::null(),
+        }
+    }
+}
+
+impl<V: Send + Sync + 'static> RcObject for StackCell<V> {
+    fn each_link(&self, f: &mut dyn FnMut(&Link<Self>)) {
+        f(&self.next);
+    }
+}
+
+/// A lock-free LIFO stack. The structure itself is only a root link; all
+/// nodes live in the memory-management domain whose handle is passed to
+/// each operation (mixing handles from different domains is a contract
+/// violation of [`RcMm`]).
+pub struct Stack<V> {
+    head: Link<StackCell<V>>,
+}
+
+impl<V> Default for Stack<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> Stack<V> {
+    /// Creates an empty stack.
+    pub const fn new() -> Self {
+        Self { head: Link::null() }
+    }
+}
+
+impl<V: Clone + Send + Sync + 'static> Stack<V> {
+    /// Pushes `value`. Fails only if the domain's node pool is exhausted.
+    pub fn push<M: RcMm<StackCell<V>>>(&self, mm: &M, value: V) -> Result<(), OutOfMemory> {
+        let node = mm.alloc_node()?;
+        // SAFETY: freshly allocated, unpublished — exclusively ours. The
+        // borrow ends before the publishing CAS below.
+        unsafe {
+            let cell = mm.payload_mut(node);
+            cell.value = Some(value);
+            cell.next.store_raw(ptr::null_mut());
+        }
+        loop {
+            let head = self.head.load_raw();
+            // Direct write to the unpublished node's link (atomic store
+            // through a shared borrow): the old head's reference will
+            // migrate here from the head link on success.
+            // SAFETY: we own one reference on the unpublished `node`.
+            unsafe { mm.payload(node) }.next.store_raw(head);
+            // SAFETY: our alloc reference transfers into the head link.
+            if unsafe { mm.cas_link(&self.head, head, node) } {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Pops the most recent value, or `None` if empty.
+    pub fn pop<M: RcMm<StackCell<V>>>(&self, mm: &M) -> Option<V> {
+        loop {
+            // SAFETY: `head` only ever holds nodes of the caller's domain.
+            let cur = unsafe { mm.deref_link(&self.head) };
+            if cur.is_null() {
+                return None;
+            }
+            // SAFETY: we hold a reference on `cur`; its `next` is immutable
+            // after publication (drained only at reclamation, which our
+            // reference forbids).
+            let next = unsafe { mm.payload(cur) }.next.load_raw();
+            if !next.is_null() {
+                // SAFETY: `next` is pinned by `cur.next`; acquire the count
+                // the head link will own after the CAS.
+                unsafe { mm.add_refs(next, 1) };
+            }
+            // SAFETY: counts prepared above.
+            if unsafe { mm.cas_link(&self.head, cur, next) } {
+                // SAFETY: we hold two counts on `cur` now (the head link's
+                // released obligation + our dereference).
+                unsafe {
+                    let value = mm.payload(cur).value.clone();
+                    mm.release_node(cur); // the head link's count
+                    mm.release_node(cur); // our dereference count
+                    debug_assert!(value.is_some(), "published node without value");
+                    return value;
+                }
+            }
+            // SAFETY: undo the speculative count and our dereference.
+            unsafe {
+                if !next.is_null() {
+                    mm.release_node(next);
+                }
+                mm.release_node(cur);
+            }
+        }
+    }
+
+    /// True if the stack was empty at the instant of the read.
+    pub fn is_empty(&self) -> bool {
+        self.head.is_null()
+    }
+
+    /// Counts the nodes via hand-over-hand traversal. O(n); a snapshot
+    /// only at quiescence.
+    pub fn len<M: RcMm<StackCell<V>>>(&self, mm: &M) -> usize {
+        let mut n = 0;
+        // SAFETY: hand-over-hand — we always hold the node whose link we
+        // dereference next.
+        unsafe {
+            let mut cur = mm.deref_link(&self.head);
+            while !cur.is_null() {
+                n += 1;
+                let next = mm.deref_link(&mm.payload(cur).next);
+                mm.release_node(cur);
+                cur = next;
+            }
+        }
+        n
+    }
+
+    /// Pops everything (used for leak-checked teardown).
+    pub fn clear<M: RcMm<StackCell<V>>>(&self, mm: &M) {
+        while self.pop(mm).is_some() {}
+    }
+}
+
+// SAFETY: the stack is a single atomic link; all node access is mediated by
+// the reclamation scheme.
+unsafe impl<V: Send> Send for Stack<V> {}
+unsafe impl<V: Send + Sync> Sync for Stack<V> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::RcMmDomain;
+    use std::sync::Arc;
+    use wfrc_baselines::LfrcDomain;
+    use wfrc_core::{DomainConfig, WfrcDomain};
+
+    fn sequential_lifo<D: RcMmDomain<StackCell<u64>>>(d: &D) {
+        let h = d.register_mm().unwrap();
+        let s = Stack::new();
+        assert!(s.is_empty());
+        assert_eq!(s.pop(&h), None);
+        for i in 0..100 {
+            s.push(&h, i).unwrap();
+        }
+        assert_eq!(s.len(&h), 100);
+        for i in (0..100).rev() {
+            assert_eq!(s.pop(&h), Some(i));
+        }
+        assert!(s.is_empty());
+        drop(h);
+        assert!(d.leak_check_mm().is_clean());
+    }
+
+    #[test]
+    fn lifo_order_wfrc() {
+        sequential_lifo(&WfrcDomain::new(DomainConfig::new(2, 128)));
+    }
+
+    #[test]
+    fn lifo_order_lfrc() {
+        sequential_lifo(&LfrcDomain::new(2, 128));
+    }
+
+    #[test]
+    fn push_to_exhaustion_then_recover() {
+        let d = WfrcDomain::<StackCell<u64>>::new(DomainConfig::new(1, 8));
+        let h = d.register_mm().unwrap();
+        let s = Stack::new();
+        let mut pushed = 0;
+        while s.push(&h, pushed).is_ok() {
+            pushed += 1;
+        }
+        assert_eq!(pushed, 8);
+        assert_eq!(s.pop(&h), Some(7));
+        assert!(s.push(&h, 99).is_ok());
+        s.clear(&h);
+        drop(h);
+        assert!(d.leak_check_mm().is_clean());
+    }
+
+    fn concurrent_push_pop<D: RcMmDomain<StackCell<u64>> + Send + 'static>(d: D, threads: usize) {
+        let d = Arc::new(d);
+        let s = Arc::new(Stack::<u64>::new());
+        let per = 2_000u64;
+        let workers: Vec<_> = (0..threads)
+            .map(|t| {
+                let d = Arc::clone(&d);
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    let h = d.register_mm().unwrap();
+                    let mut popped = Vec::new();
+                    for i in 0..per {
+                        s.push(&h, (t as u64) << 32 | i).unwrap();
+                        if i % 2 == 1 {
+                            if let Some(v) = s.pop(&h) {
+                                popped.push(v);
+                            }
+                        }
+                    }
+                    popped
+                })
+            })
+            .collect();
+        let mut seen: Vec<u64> = workers
+            .into_iter()
+            .flat_map(|w| w.join().unwrap())
+            .collect();
+        // Drain the leftovers.
+        let h = d.register_mm().unwrap();
+        while let Some(v) = s.pop(&h) {
+            seen.push(v);
+        }
+        drop(h);
+        // Every pushed value must come back exactly once.
+        seen.sort_unstable();
+        let mut expected: Vec<u64> = (0..threads as u64)
+            .flat_map(|t| (0..per).map(move |i| t << 32 | i))
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(seen, expected);
+        assert!(d.leak_check_mm().is_clean(), "{:?}", d.leak_check_mm());
+    }
+
+    #[test]
+    fn concurrent_wfrc() {
+        concurrent_push_pop(
+            WfrcDomain::<StackCell<u64>>::new(DomainConfig::new(4, 4 * 2_000 + 64)),
+            4,
+        );
+    }
+
+    #[test]
+    fn concurrent_lfrc() {
+        concurrent_push_pop(LfrcDomain::<StackCell<u64>>::new(4, 4 * 2_000 + 64), 4);
+    }
+
+    #[test]
+    fn values_are_cloned_not_moved() {
+        let d = WfrcDomain::<StackCell<String>>::new(DomainConfig::new(1, 4));
+        let h = d.register_mm().unwrap();
+        let s = Stack::new();
+        s.push(&h, "hello".to_string()).unwrap();
+        assert_eq!(s.pop(&h), Some("hello".to_string()));
+        drop(h);
+        assert!(d.leak_check_mm().is_clean());
+    }
+}

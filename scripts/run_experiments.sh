@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Regenerates every experiment table in EXPERIMENTS.md into results/.
+# Usage: scripts/run_experiments.sh [--quick]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=""
+if [[ "${1:-}" == "--quick" ]]; then
+    QUICK="--ops 5000"
+fi
+
+mkdir -p results
+cargo build --release -p bench --bins
+
+run() {
+    local name="$1"; shift
+    echo "== $name $*"
+    "./target/release/$name" "$@" | tee "results/$name.txt"
+}
+
+run e1_priority_queue $QUICK
+run e2_stack $QUICK
+run e3_queue $QUICK
+run e4_deref_interference --threads 0,1,2,4,8 ${QUICK:---ops 500000}
+run e5_alloc_interference $QUICK
+run e7_fairness
+run e9_stall
+
+# E8: one run per compile-time ablation.
+cargo run --release -p bench --bin e8_ablations $QUICK | tee results/e8_baseline.txt
+for feat in ablation-no-helping ablation-no-pad ablation-relaxed-mmref; do
+    cargo run --release -p bench --features "$feat" --bin e8_ablations $QUICK \
+        | tee "results/e8_${feat#ablation-}.txt"
+done
+
+echo "All experiment tables written to results/."

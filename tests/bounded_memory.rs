@@ -1,0 +1,133 @@
+//! Bounded-memory regressions: steady-state workloads must run forever on
+//! fixed pools.
+//!
+//! The M&S queue over reference counting has a classic failure mode: a
+//! dequeued dummy's `next` link retains a count on its successor, so any
+//! stalled holder of an old dummy transitively retains *every node
+//! enqueued since* — memory grows with churn, not with queue size. The
+//! implementation cuts the dead edge eagerly (see `queue.rs`); these tests
+//! pin that behaviour (the pre-fix implementation exhausted the pools here
+//! within a few hundred pairs).
+
+use std::sync::Arc;
+
+use wfrc::baselines::LfrcDomain;
+use wfrc::core::{DomainConfig, WfrcDomain};
+use wfrc::structures::manager::RcMmDomain;
+use wfrc::structures::priority_queue::{PqCell, PriorityQueue};
+use wfrc::structures::queue::{Queue, QueueCell};
+use wfrc::structures::stack::{Stack, StackCell};
+
+const PAIRS: u64 = 100_000;
+
+fn queue_steady_state<D: RcMmDomain<QueueCell<u64>> + Send + 'static>(d: D) {
+    let d = Arc::new(d);
+    let h0 = d.register_mm().unwrap();
+    let q = Arc::new(Queue::<u64>::new(&h0).unwrap());
+    for i in 0..64 {
+        q.enqueue(&h0, i).unwrap();
+    }
+    drop(h0);
+    let ws: Vec<_> = (0..2)
+        .map(|_| {
+            let d = Arc::clone(&d);
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let h = d.register_mm().unwrap();
+                for i in 0..PAIRS {
+                    q.enqueue(&h, i)
+                        .unwrap_or_else(|e| panic!("pool exhausted at pair {i}: {e}"));
+                    let _ = q.dequeue(&h);
+                }
+            })
+        })
+        .collect();
+    for w in ws {
+        w.join().unwrap();
+    }
+    let h = d.register_mm().unwrap();
+    assert_eq!(q.len(&h), 64, "steady state preserved");
+    Arc::try_unwrap(q).ok().expect("joined").dispose(&h);
+    drop(h);
+    assert!(d.leak_check_mm().is_clean(), "{:?}", d.leak_check_mm());
+}
+
+#[test]
+fn queue_runs_forever_on_fixed_pool_wfrc() {
+    // 64 steady elements on a 160-node pool: fails in ~150 pairs without
+    // the dead-edge cut.
+    queue_steady_state(WfrcDomain::new(DomainConfig::new(3, 160)));
+}
+
+#[test]
+fn queue_runs_forever_on_fixed_pool_lfrc() {
+    queue_steady_state(LfrcDomain::new(3, 160));
+}
+
+#[test]
+fn stack_runs_forever_on_fixed_pool() {
+    let d = Arc::new(WfrcDomain::<StackCell<u64>>::new(DomainConfig::new(3, 160)));
+    let s = Arc::new(Stack::<u64>::new());
+    {
+        let h = d.register_mm().unwrap();
+        for i in 0..64 {
+            s.push(&h, i).unwrap();
+        }
+    }
+    let ws: Vec<_> = (0..2)
+        .map(|_| {
+            let d = Arc::clone(&d);
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || {
+                let h = d.register_mm().unwrap();
+                for i in 0..PAIRS {
+                    s.push(&h, i)
+                        .unwrap_or_else(|e| panic!("pool exhausted at pair {i}: {e}"));
+                    let _ = s.pop(&h);
+                }
+            })
+        })
+        .collect();
+    for w in ws {
+        w.join().unwrap();
+    }
+    let h = d.register_mm().unwrap();
+    assert_eq!(s.len(&h), 64);
+    s.clear(&h);
+    drop(h);
+    assert!(d.leak_check_mm().is_clean(), "{:?}", d.leak_check_mm());
+}
+
+#[test]
+fn priority_queue_runs_forever_on_fixed_pool() {
+    let d = Arc::new(WfrcDomain::<PqCell<u64>>::new(DomainConfig::new(3, 512)));
+    let h0 = d.register_mm().unwrap();
+    let pq = Arc::new(PriorityQueue::<u64>::new(&h0).unwrap());
+    for i in 0..64 {
+        pq.insert(&h0, i * 7 % 97, i).unwrap();
+    }
+    drop(h0);
+    let ws: Vec<_> = (0..2)
+        .map(|t| {
+            let d = Arc::clone(&d);
+            let pq = Arc::clone(&pq);
+            std::thread::spawn(move || {
+                let h = d.register_mm().unwrap();
+                for i in 0..PAIRS / 2 {
+                    pq.insert(&h, (i * 31 + t) % 1024, i)
+                        .unwrap_or_else(|e| panic!("pool exhausted at pair {i}: {e}"));
+                    let _ = pq.delete_min(&h);
+                }
+            })
+        })
+        .collect();
+    for w in ws {
+        w.join().unwrap();
+    }
+    let h = d.register_mm().unwrap();
+    assert_eq!(pq.len(&h), 64);
+    while pq.delete_min(&h).is_some() {}
+    Arc::try_unwrap(pq).ok().expect("joined").dispose(&h);
+    drop(h);
+    assert!(d.leak_check_mm().is_clean(), "{:?}", d.leak_check_mm());
+}

@@ -1,0 +1,202 @@
+//! Domain and handle lifecycle: registration churn, out-of-memory
+//! behaviour and recovery, payload drop correctness, and the domain-level
+//! invariants that hold across all of it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use wfrc::core::{DomainConfig, Link, RcObject, WfrcDomain};
+
+#[test]
+fn register_unregister_churn_across_threads() {
+    let domain = Arc::new(WfrcDomain::<u64>::new(DomainConfig::new(3, 64)));
+    let workers: Vec<_> = (0..6)
+        .map(|_| {
+            let domain = Arc::clone(&domain);
+            std::thread::spawn(move || {
+                for _ in 0..500 {
+                    // Only 3 slots for 6 threads: registration can fail;
+                    // back off and retry.
+                    let h = loop {
+                        match domain.register() {
+                            Ok(h) => break h,
+                            Err(_) => std::thread::yield_now(),
+                        }
+                    };
+                    let n = h.alloc_with(|v| *v = 7).unwrap();
+                    assert_eq!(*n, 7);
+                    drop(n);
+                    drop(h); // slot released for the other threads
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    assert_eq!(domain.registered_threads(), 0);
+    assert!(domain.leak_check().is_clean());
+}
+
+#[test]
+fn oom_is_reported_and_recoverable_under_concurrency() {
+    const THREADS: usize = 4;
+    let domain = Arc::new(WfrcDomain::<u64>::new(DomainConfig::new(THREADS, 8)));
+    let failures = Arc::new(AtomicU64::new(0));
+    let successes = Arc::new(AtomicU64::new(0));
+    let workers: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let domain = Arc::clone(&domain);
+            let failures = Arc::clone(&failures);
+            let successes = Arc::clone(&successes);
+            std::thread::spawn(move || {
+                let h = domain.register().unwrap();
+                let mut held = Vec::new();
+                for i in 0..2_000u64 {
+                    if i % 7 < 4 {
+                        match h.alloc_with(|v| *v = i) {
+                            Ok(n) => {
+                                held.push(n);
+                                successes.fetch_add(1, Ordering::SeqCst);
+                            }
+                            Err(_) => {
+                                failures.fetch_add(1, Ordering::SeqCst);
+                                held.pop(); // free one up and move on
+                            }
+                        }
+                    } else {
+                        held.pop();
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    assert!(successes.load(Ordering::SeqCst) > 0);
+    // With 4 threads hoarding on an 8-node pool, OOM must have fired.
+    assert!(failures.load(Ordering::SeqCst) > 0, "pool never exhausted?");
+    assert!(domain.leak_check().is_clean(), "{:?}", domain.leak_check());
+}
+
+/// Payload values must be dropped exactly once across node reuse: the old
+/// value is dropped when `alloc_with`'s initializer overwrites it, and the
+/// final generation when the arena is dropped.
+#[test]
+fn payload_values_drop_exactly_once() {
+    static DROPS: AtomicU64 = AtomicU64::new(0);
+    static CREATED: AtomicU64 = AtomicU64::new(0);
+
+    struct Tracked(#[allow(dead_code)] u64);
+    impl Tracked {
+        fn new(v: u64) -> Self {
+            CREATED.fetch_add(1, Ordering::SeqCst);
+            Tracked(v)
+        }
+    }
+    impl Drop for Tracked {
+        fn drop(&mut self) {
+            DROPS.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+    #[derive(Default)]
+    struct Holder(Option<Tracked>);
+    
+    impl RcObject for Holder {
+        fn each_link(&self, _f: &mut dyn FnMut(&Link<Self>)) {}
+    }
+
+    DROPS.store(0, Ordering::SeqCst);
+    CREATED.store(0, Ordering::SeqCst);
+    {
+        let domain = WfrcDomain::<Holder>::new(DomainConfig::new(1, 4));
+        let h = domain.register().unwrap();
+        for i in 0..100 {
+            let n = h.alloc_with(|p| p.0 = Some(Tracked::new(i))).unwrap();
+            drop(n); // node recycled; value stays until overwritten
+        }
+        drop(h);
+    } // domain drop: arena drops the last generation of payloads
+    assert_eq!(
+        DROPS.load(Ordering::SeqCst),
+        CREATED.load(Ordering::SeqCst),
+        "every Tracked dropped exactly once"
+    );
+    assert_eq!(CREATED.load(Ordering::SeqCst), 100);
+}
+
+#[test]
+fn leak_check_classifies_all_states() {
+    let domain = WfrcDomain::<u64>::new(DomainConfig::new(2, 8));
+    let h = domain.register().unwrap();
+    // live
+    let a = h.alloc_with(|v| *v = 1).unwrap();
+    let _b = h.alloc_with(|v| *v = 2).unwrap();
+    // freed (possibly parked as a gift)
+    let c = h.alloc_with(|v| *v = 3).unwrap();
+    drop(c);
+    let r = domain.leak_check();
+    assert_eq!(r.capacity, 8);
+    assert_eq!(r.live_nodes, 2);
+    assert_eq!(r.corrupt_nodes, 0);
+    assert_eq!(r.free_nodes + r.parked_gifts + r.live_nodes, 8);
+    assert!(!r.is_clean());
+    drop(a);
+    drop(_b);
+    drop(h);
+    assert!(domain.leak_check().is_clean());
+}
+
+#[test]
+fn link_reuse_after_clear() {
+    let domain = WfrcDomain::<u64>::new(DomainConfig::new(1, 4));
+    let h = domain.register().unwrap();
+    let link = Link::null();
+    for gen in 0..50u64 {
+        let n = h.alloc_with(|v| *v = gen).unwrap();
+        h.store(&link, Some(&n));
+        drop(n);
+        let g = h.deref(&link).unwrap();
+        assert_eq!(*g, gen);
+        drop(g);
+        h.store(&link, None);
+        assert!(link.is_null());
+    }
+    drop(h);
+    assert!(domain.leak_check().is_clean());
+}
+
+#[test]
+fn max_threads_domain_boundary() {
+    // The paper's matrices are N x N; make sure the largest supported N
+    // constructs and operates.
+    let n = wfrc::core::MAX_THREADS;
+    let domain = WfrcDomain::<u64>::new(DomainConfig::new(n, n * 2));
+    let handles: Vec<_> = (0..8).map(|_| domain.register().unwrap()).collect();
+    for h in &handles {
+        let g = h.alloc_with(|v| *v = h.tid() as u64).unwrap();
+        assert_eq!(*g, h.tid() as u64);
+    }
+    drop(handles);
+    assert!(domain.leak_check().is_clean());
+}
+
+#[test]
+#[should_panic(expected = "max_threads")]
+fn too_many_threads_rejected() {
+    let _ = WfrcDomain::<u64>::new(DomainConfig::new(wfrc::core::MAX_THREADS + 1, 4));
+}
+
+#[test]
+fn custom_oom_bound_respected() {
+    // A tiny bound makes exhaustion detection nearly immediate; correctness
+    // (Err, not hang/UB) is what matters.
+    let domain =
+        WfrcDomain::<u64>::new(DomainConfig::new(1, 1).with_oom_bound(4));
+    let h = domain.register().unwrap();
+    let a = h.alloc_with(|_| {}).unwrap();
+    assert!(h.alloc_with(|_| {}).is_err());
+    drop(a);
+    assert!(h.alloc_with(|_| {}).is_ok());
+}

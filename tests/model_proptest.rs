@@ -1,0 +1,196 @@
+//! Property-based testing: random operation sequences applied to each
+//! structure and to a `std` reference model must agree, over both
+//! reference-counting schemes, with a quiescent leak audit at the end of
+//! every case.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+
+use proptest::prelude::*;
+
+use wfrc::baselines::LfrcDomain;
+use wfrc::core::{DomainConfig, WfrcDomain};
+use wfrc::structures::manager::RcMmDomain;
+use wfrc::structures::ordered_list::{ListCell, OrderedList};
+use wfrc::structures::priority_queue::{PqCell, PriorityQueue};
+use wfrc::structures::queue::{Queue, QueueCell};
+use wfrc::structures::stack::{Stack, StackCell};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64),
+    Remove,
+    RemoveKey(u64),
+    Lookup(u64),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..64).prop_map(Op::Insert),
+            Just(Op::Remove),
+            (0u64..64).prop_map(Op::RemoveKey),
+            (0u64..64).prop_map(Op::Lookup),
+        ],
+        0..200,
+    )
+}
+
+fn check_stack<D: RcMmDomain<StackCell<u64>>>(d: &D, ops: &[Op]) {
+    let h = d.register_mm().unwrap();
+    let s = Stack::new();
+    let mut model: Vec<u64> = Vec::new();
+    for op in ops {
+        match op {
+            Op::Insert(v) => {
+                s.push(&h, *v).unwrap();
+                model.push(*v);
+            }
+            Op::Remove | Op::RemoveKey(_) => {
+                assert_eq!(s.pop(&h), model.pop());
+            }
+            Op::Lookup(_) => {
+                assert_eq!(s.is_empty(), model.is_empty());
+                assert_eq!(s.len(&h), model.len());
+            }
+        }
+    }
+    s.clear(&h);
+    drop(h);
+    assert!(d.leak_check_mm().is_clean());
+}
+
+fn check_queue<D: RcMmDomain<QueueCell<u64>>>(d: &D, ops: &[Op]) {
+    let h = d.register_mm().unwrap();
+    let q = Queue::new(&h).unwrap();
+    let mut model: VecDeque<u64> = VecDeque::new();
+    for op in ops {
+        match op {
+            Op::Insert(v) => {
+                q.enqueue(&h, *v).unwrap();
+                model.push_back(*v);
+            }
+            Op::Remove | Op::RemoveKey(_) => {
+                assert_eq!(q.dequeue(&h), model.pop_front());
+            }
+            Op::Lookup(_) => {
+                assert_eq!(q.is_empty(&h), model.is_empty());
+                assert_eq!(q.len(&h), model.len());
+            }
+        }
+    }
+    q.dispose(&h);
+    drop(h);
+    assert!(d.leak_check_mm().is_clean());
+}
+
+fn check_pq<D: RcMmDomain<PqCell<u64>>>(d: &D, ops: &[Op]) {
+    let h = d.register_mm().unwrap();
+    let pq = PriorityQueue::new(&h).unwrap();
+    let mut model: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
+    for op in ops {
+        match op {
+            Op::Insert(v) => {
+                pq.insert(&h, *v, *v * 3).unwrap();
+                model.push(Reverse(*v));
+            }
+            Op::Remove | Op::RemoveKey(_) => {
+                let got = pq.delete_min(&h);
+                let want = model.pop().map(|Reverse(k)| (k, k * 3));
+                assert_eq!(got, want);
+            }
+            Op::Lookup(_) => {
+                assert_eq!(pq.peek_min(&h), model.peek().map(|Reverse(k)| *k));
+                assert_eq!(pq.len(&h), model.len());
+            }
+        }
+    }
+    while pq.delete_min(&h).is_some() {}
+    pq.dispose(&h);
+    drop(h);
+    assert!(d.leak_check_mm().is_clean());
+}
+
+fn check_list<D: RcMmDomain<ListCell<u64>>>(d: &D, ops: &[Op]) {
+    let h = d.register_mm().unwrap();
+    let l = OrderedList::new(&h).unwrap();
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    for op in ops {
+        match op {
+            Op::Insert(k) => {
+                let inserted = l.insert(&h, *k, *k * 7).unwrap();
+                assert_eq!(inserted, model.insert(*k, *k * 7).is_none());
+            }
+            Op::Remove => {
+                // remove the smallest, if any (keeps the op meaningful)
+                if let Some((&k, _)) = model.iter().next() {
+                    assert_eq!(l.remove(&h, k), model.remove(&k));
+                } else {
+                    assert_eq!(l.remove(&h, 0), None);
+                }
+            }
+            Op::RemoveKey(k) => {
+                assert_eq!(l.remove(&h, *k), model.remove(k));
+            }
+            Op::Lookup(k) => {
+                assert_eq!(l.contains(&h, *k), model.contains_key(k));
+                assert_eq!(l.get(&h, *k), model.get(k).copied());
+                assert_eq!(l.len(&h), model.len());
+            }
+        }
+    }
+    l.dispose(&h);
+    drop(h);
+    assert!(d.leak_check_mm().is_clean());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn stack_matches_vec_model(ops in ops()) {
+        check_stack(&WfrcDomain::new(DomainConfig::new(1, 256)), &ops);
+        check_stack(&LfrcDomain::new(1, 256), &ops);
+    }
+
+    #[test]
+    fn queue_matches_vecdeque_model(ops in ops()) {
+        check_queue(&WfrcDomain::new(DomainConfig::new(1, 256)), &ops);
+        check_queue(&LfrcDomain::new(1, 256), &ops);
+    }
+
+    #[test]
+    fn pq_matches_binaryheap_model(ops in ops()) {
+        check_pq(&WfrcDomain::new(DomainConfig::new(1, 256)), &ops);
+        check_pq(&LfrcDomain::new(1, 256), &ops);
+    }
+
+    #[test]
+    fn list_matches_btreemap_model(ops in ops()) {
+        check_list(&WfrcDomain::new(DomainConfig::new(1, 256)), &ops);
+        check_list(&LfrcDomain::new(1, 256), &ops);
+    }
+
+    /// Allocation/release in arbitrary interleavings conserves the pool.
+    #[test]
+    fn alloc_release_conserves_pool(ops in prop::collection::vec(any::<bool>(), 0..300)) {
+        let d = WfrcDomain::<u64>::new(DomainConfig::new(1, 32));
+        let h = d.register().unwrap();
+        let mut held = Vec::new();
+        for alloc in ops {
+            if alloc {
+                if let Ok(n) = h.alloc_with(|v| *v = 1) {
+                    held.push(n);
+                }
+            } else {
+                held.pop();
+            }
+            let r = d.leak_check();
+            prop_assert_eq!(r.live_nodes, held.len());
+            prop_assert_eq!(r.corrupt_nodes, 0);
+        }
+        drop(held);
+        drop(h);
+        prop_assert!(d.leak_check().is_clean());
+    }
+}
