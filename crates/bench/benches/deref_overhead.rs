@@ -6,22 +6,21 @@
 //! wait-free dereference (announce store + FAA + retract SWAP). The
 //! deltas are the per-operation price of each scheme's guarantee.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use bench::timing::bench;
 use wfrc_baselines::LfrcDomain;
 use wfrc_core::{DomainConfig, Link, WfrcDomain};
 
-fn bench_deref(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e6_deref_uncontended");
-    g.sample_size(20);
+fn main() {
+    let group = "e6_deref_uncontended";
 
     // Floor: plain atomic load.
     {
         let mut x = 0u64;
         let word = core::sync::atomic::AtomicPtr::new(&mut x as *mut u64);
-        g.bench_function("plain_atomic_load", |b| {
-            b.iter(|| black_box(word.load(core::sync::atomic::Ordering::SeqCst)))
+        bench(group, "plain_atomic_load", || {
+            black_box(word.load(core::sync::atomic::Ordering::SeqCst))
         });
     }
 
@@ -32,15 +31,13 @@ fn bench_deref(c: &mut Criterion) {
         let node = h.alloc_with(|v| *v = 1).unwrap();
         let link = Link::null();
         h.store(&link, Some(&node));
-        g.bench_function("wfrc_deref_release", |b| {
-            b.iter(|| {
-                // SAFETY: link holds a node of this domain; we release the
-                // acquired count immediately.
-                unsafe {
-                    let p = h.deref_raw(&link);
-                    h.release_raw(black_box(p));
-                }
-            })
+        bench(group, "wfrc_deref_release", || {
+            // SAFETY: link holds a node of this domain; we release the
+            // acquired count immediately.
+            unsafe {
+                let p = h.deref_raw(&link);
+                h.release_raw(black_box(p));
+            }
         });
         h.store(&link, None);
     }
@@ -53,14 +50,12 @@ fn bench_deref(c: &mut Criterion) {
         let link = Link::null();
         // SAFETY: transfer the alloc count into the link.
         unsafe { h.store_link_raw(&link, node) };
-        g.bench_function("lfrc_deref_release", |b| {
-            b.iter(|| {
-                // SAFETY: as above.
-                unsafe {
-                    let p = h.deref_raw(&link);
-                    h.release_raw(black_box(p));
-                }
-            })
+        bench(group, "lfrc_deref_release", || {
+            // SAFETY: as above.
+            unsafe {
+                let p = h.deref_raw(&link);
+                h.release_raw(black_box(p));
+            }
         });
         // SAFETY: teardown — take the link's count back and drop it.
         unsafe {
@@ -68,8 +63,4 @@ fn bench_deref(c: &mut Criterion) {
             h.release_raw(p);
         }
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_deref);
-criterion_main!(benches);

@@ -3,46 +3,35 @@
 //! `e5_alloc_interference`). `Box` allocation is included as the
 //! conventional-allocator reference point.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use bench::timing::bench;
 use wfrc_baselines::LfrcDomain;
 use wfrc_core::{DomainConfig, WfrcDomain};
 
-fn bench_freelist(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e5_freelist_pair");
-    g.sample_size(20);
+fn main() {
+    let group = "e5_freelist_pair";
 
     {
         let d = WfrcDomain::<u64>::new(DomainConfig::new(1, 8));
         let h = d.register().unwrap();
-        g.bench_function("wfrc_alloc_free", |b| {
-            b.iter(|| {
-                let n = h.alloc_raw().expect("pool sized generously");
-                // SAFETY: we own the alloc reference.
-                unsafe { h.release_raw(black_box(n)) };
-            })
+        bench(group, "wfrc_alloc_free", || {
+            let n = h.alloc_raw().expect("pool sized generously");
+            // SAFETY: we own the alloc reference.
+            unsafe { h.release_raw(black_box(n)) };
         });
     }
     {
         let d = LfrcDomain::<u64>::new(1, 8);
         let h = d.register().unwrap();
-        g.bench_function("lfrc_alloc_free", |b| {
-            b.iter(|| {
-                let n = h.alloc_raw().expect("pool sized generously");
-                // SAFETY: we own the alloc reference.
-                unsafe { h.release_raw(black_box(n)) };
-            })
+        bench(group, "lfrc_alloc_free", || {
+            let n = h.alloc_raw().expect("pool sized generously");
+            // SAFETY: we own the alloc reference.
+            unsafe { h.release_raw(black_box(n)) };
         });
     }
-    g.bench_function("heap_box_alloc_free", |b| {
-        b.iter(|| {
-            let n = Box::new(black_box(0u64));
-            black_box(n);
-        })
+    bench(group, "heap_box_alloc_free", || {
+        let n = Box::new(black_box(0u64));
+        black_box(n);
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_freelist);
-criterion_main!(benches);

@@ -2,46 +2,35 @@
 //! wait-free vs. lock-free memory management, at a steady-state size of
 //! 512 elements (the thread sweep is `e1_priority_queue`).
 
-use criterion::measurement::WallTime;
-use criterion::{criterion_group, criterion_main, BenchmarkGroup, Criterion};
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use bench::timing::bench;
 use wfrc_baselines::LfrcDomain;
 use wfrc_core::{DomainConfig, WfrcDomain};
+use wfrc_sim::SmallRng;
 use wfrc_structures::manager::RcMmDomain;
 use wfrc_structures::priority_queue::{PqCell, PriorityQueue};
 
 const STEADY: usize = 512;
 
-fn run<D: RcMmDomain<PqCell<u64>>>(g: &mut BenchmarkGroup<'_, WallTime>, name: &str, d: &D) {
+fn run<D: RcMmDomain<PqCell<u64>>>(name: &str, d: &D) {
     let h = d.register_mm().unwrap();
     let pq = PriorityQueue::new(&h).unwrap();
     let mut rng = SmallRng::seed_from_u64(42);
     for _ in 0..STEADY {
-        let k = rng.gen_range(0..1u64 << 20);
+        let k = rng.gen_range(1 << 20);
         pq.insert(&h, k, k).unwrap();
     }
-    g.bench_function(name, |b| {
-        b.iter(|| {
-            let k = rng.gen_range(0..1u64 << 20);
-            pq.insert(&h, k, k).unwrap();
-            pq.delete_min(&h).unwrap()
-        })
+    bench("e1_pq_pair", name, || {
+        let k = rng.gen_range(1 << 20);
+        pq.insert(&h, k, k).unwrap();
+        pq.delete_min(&h).unwrap()
     });
     while pq.delete_min(&h).is_some() {}
     pq.dispose(&h);
 }
 
-fn bench_pq(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e1_pq_pair");
-    g.sample_size(20);
+fn main() {
     let wf = WfrcDomain::<PqCell<u64>>::new(DomainConfig::new(1, STEADY * 2 + 64));
-    run(&mut g, "wfrc", &wf);
+    run("wfrc", &wf);
     let lf = LfrcDomain::<PqCell<u64>>::new(1, STEADY * 2 + 64);
-    run(&mut g, "lfrc", &lf);
-    g.finish();
+    run("lfrc", &lf);
 }
-
-criterion_group!(benches, bench_pq);
-criterion_main!(benches);

@@ -1,8 +1,7 @@
 //! E3 (micro) — M&S queue enqueue/dequeue pair cost per scheme,
 //! single-threaded (the thread sweep is `e3_queue`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
+use bench::timing::bench;
 use wfrc_baselines::epoch::EbrDomain;
 use wfrc_baselines::hazard::HpDomain;
 use wfrc_baselines::LfrcDomain;
@@ -11,19 +10,16 @@ use wfrc_structures::epoch_queue::EpochQueue;
 use wfrc_structures::hp_queue::HpQueue;
 use wfrc_structures::queue::{Queue, QueueCell};
 
-fn bench_queue(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e3_queue_pair");
-    g.sample_size(20);
+fn main() {
+    let group = "e3_queue_pair";
 
     {
         let d = WfrcDomain::<QueueCell<u64>>::new(DomainConfig::new(1, 64));
         let h = d.register().unwrap();
         let q = Queue::new(&h).unwrap();
-        g.bench_function("wfrc", |b| {
-            b.iter(|| {
-                q.enqueue(&h, 1).unwrap();
-                q.dequeue(&h).unwrap()
-            })
+        bench(group, "wfrc", || {
+            q.enqueue(&h, 1).unwrap();
+            q.dequeue(&h).unwrap()
         });
         q.dispose(&h);
     }
@@ -31,11 +27,9 @@ fn bench_queue(c: &mut Criterion) {
         let d = LfrcDomain::<QueueCell<u64>>::new(1, 64);
         let h = d.register().unwrap();
         let q = Queue::new(&h).unwrap();
-        g.bench_function("lfrc", |b| {
-            b.iter(|| {
-                q.enqueue(&h, 1).unwrap();
-                q.dequeue(&h).unwrap()
-            })
+        bench(group, "lfrc", || {
+            q.enqueue(&h, 1).unwrap();
+            q.dequeue(&h).unwrap()
         });
         q.dispose(&h);
     }
@@ -43,26 +37,18 @@ fn bench_queue(c: &mut Criterion) {
         let d = HpDomain::new(1);
         let mut h = d.register().unwrap();
         let q = HpQueue::new();
-        g.bench_function("hazard", |b| {
-            b.iter(|| {
-                q.enqueue(&mut h, 1u64);
-                q.dequeue(&mut h).unwrap()
-            })
+        bench(group, "hazard", || {
+            q.enqueue(&mut h, 1u64);
+            q.dequeue(&mut h).unwrap()
         });
     }
     {
         let d = EbrDomain::new(1);
         let h = d.register().unwrap();
         let q = EpochQueue::new();
-        g.bench_function("epoch", |b| {
-            b.iter(|| {
-                q.enqueue(&h, 1u64);
-                q.dequeue(&h).unwrap()
-            })
+        bench(group, "epoch", || {
+            q.enqueue(&h, 1u64);
+            q.dequeue(&h).unwrap()
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_queue);
-criterion_main!(benches);

@@ -1,8 +1,7 @@
 //! E2 (micro) — Treiber stack push/pop pair cost per scheme,
 //! single-threaded (the thread sweep is `e2_stack`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
+use bench::timing::bench;
 use wfrc_baselines::epoch::EbrDomain;
 use wfrc_baselines::hazard::HpDomain;
 use wfrc_baselines::LfrcDomain;
@@ -11,56 +10,43 @@ use wfrc_structures::epoch_stack::EpochStack;
 use wfrc_structures::hp_stack::HpStack;
 use wfrc_structures::stack::{Stack, StackCell};
 
-fn bench_stack(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e2_stack_pair");
-    g.sample_size(20);
+fn main() {
+    let group = "e2_stack_pair";
 
     {
         let d = WfrcDomain::<StackCell<u64>>::new(DomainConfig::new(1, 64));
         let h = d.register().unwrap();
         let s = Stack::new();
-        g.bench_function("wfrc", |b| {
-            b.iter(|| {
-                s.push(&h, 1).unwrap();
-                s.pop(&h).unwrap()
-            })
+        bench(group, "wfrc", || {
+            s.push(&h, 1).unwrap();
+            s.pop(&h).unwrap()
         });
     }
     {
         let d = LfrcDomain::<StackCell<u64>>::new(1, 64);
         let h = d.register().unwrap();
         let s = Stack::new();
-        g.bench_function("lfrc", |b| {
-            b.iter(|| {
-                s.push(&h, 1).unwrap();
-                s.pop(&h).unwrap()
-            })
+        bench(group, "lfrc", || {
+            s.push(&h, 1).unwrap();
+            s.pop(&h).unwrap()
         });
     }
     {
         let d = HpDomain::new(1);
         let mut h = d.register().unwrap();
         let s = HpStack::new();
-        g.bench_function("hazard", |b| {
-            b.iter(|| {
-                s.push(&mut h, 1u64);
-                s.pop(&mut h).unwrap()
-            })
+        bench(group, "hazard", || {
+            s.push(&mut h, 1u64);
+            s.pop(&mut h).unwrap()
         });
     }
     {
         let d = EbrDomain::new(1);
         let h = d.register().unwrap();
         let s = EpochStack::new();
-        g.bench_function("epoch", |b| {
-            b.iter(|| {
-                s.push(&h, 1u64);
-                s.pop(&h).unwrap()
-            })
+        bench(group, "epoch", || {
+            s.push(&h, 1u64);
+            s.pop(&h).unwrap()
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_stack);
-criterion_main!(benches);

@@ -25,12 +25,22 @@ fn main() {
     let cfg = WorkloadCfg::e1_default();
     let mut table = Table::new(
         "E1: priority queue, 50% insert / 50% delete-min (ops/s; paper §5: WFRC ≈ LFRC on average)",
-        &["threads", "wfrc ops/s", "lfrc ops/s", "wfrc/lfrc", "wfrc helps", "lfrc max deref retries"],
+        &[
+            "threads",
+            "wfrc ops/s",
+            "lfrc ops/s",
+            "wfrc/lfrc",
+            "wfrc helps",
+            "lfrc max deref retries",
+        ],
     );
     for &t in &args.threads {
         let cap = capacity_for(&cfg, t, args.ops);
         let wf = {
-            let d = Arc::new(WfrcDomain::<PqCell<u64>>::new(DomainConfig::new(t + 1, cap)));
+            let d = Arc::new(WfrcDomain::<PqCell<u64>>::new(DomainConfig::new(
+                t + 1,
+                cap,
+            )));
             run_pq_rc(d, t, args.ops, cfg)
         };
         let lf = {

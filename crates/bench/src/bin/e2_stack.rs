@@ -28,7 +28,10 @@ fn main() {
     for &t in &args.threads {
         let cap = PREFILL + t * 16 + 64;
         let wf = run_stack_rc(
-            Arc::new(WfrcDomain::<StackCell<u64>>::new(DomainConfig::new(t + 1, cap))),
+            Arc::new(WfrcDomain::<StackCell<u64>>::new(DomainConfig::new(
+                t + 1,
+                cap,
+            ))),
             t,
             args.ops,
             PREFILL,

@@ -7,20 +7,95 @@
 //! per-thread stripes for WFRC — Lemma 10), vs. the baseline's unbounded
 //! equivalents. Gift statistics show the helping machinery actually firing.
 //!
+//! With `--grow` the pools start **under-provisioned** (initial capacity
+//! far below the live-node peak) with doubling growth enabled: the run can
+//! only finish by publishing arena segments, and the table reports the
+//! growth-path cost — segments grown, nodes seeded, slow-path entries, and
+//! the p99/max allocation latency whose tail contains the segment
+//! publications.
+//!
 //! ```text
-//! cargo run --release --bin e5_alloc_interference [-- --threads 1,2,4,8 --ops 100000 --json]
+//! cargo run --release --bin e5_alloc_interference [-- --threads 1,2,4,8 --ops 100000 --json --grow]
 //! ```
 
 use std::sync::Arc;
 
-use bench::drivers::run_alloc_churn;
+use bench::drivers::{run_alloc_churn, run_alloc_growth};
 use bench::Args;
 use wfrc_baselines::LfrcDomain;
-use wfrc_core::{DomainConfig, WfrcDomain};
-use wfrc_sim::stats::{fmt_ops, Table};
+use wfrc_core::{DomainConfig, Growth, WfrcDomain};
+use wfrc_sim::stats::{fmt_ns, fmt_ops, Table};
+
+/// Growth mode: each thread holds 32 nodes per burst; pools start at 8
+/// nodes total and may double up to far beyond the peak.
+fn run_growth_table(args: &Args) {
+    const HOLD: usize = 32;
+    let mut table = Table::new(
+        "E5 (--grow): under-provisioned pools, alloc bursts across segment growth",
+        &[
+            "threads",
+            "scheme",
+            "ops/s",
+            "segments grown",
+            "nodes seeded",
+            "slow-path entries",
+            "final capacity",
+            "p99 alloc",
+            "max alloc",
+        ],
+    );
+    for &t in &args.threads {
+        let bursts = (args.ops / HOLD as u64).max(1);
+        let growth = Growth::doubling_to(1 << 20);
+        {
+            let d = Arc::new(WfrcDomain::<u64>::new(
+                DomainConfig::new(t, 8).with_growth(growth),
+            ));
+            let (r, hist) = run_alloc_growth(Arc::clone(&d), t, bursts, HOLD);
+            table.row(&[
+                t.to_string(),
+                "wfrc".into(),
+                fmt_ops(r.ops_per_sec()),
+                r.counters.segments_grown.to_string(),
+                r.counters.nodes_seeded.to_string(),
+                r.counters.alloc_slow_path.to_string(),
+                d.capacity().to_string(),
+                fmt_ns(hist.quantile(0.99)),
+                fmt_ns(hist.max()),
+            ]);
+            assert!(d.leak_check().is_clean(), "wfrc growth run must end clean");
+        }
+        {
+            let mut d = LfrcDomain::<u64>::with_growth(t, 8, growth);
+            d.set_backoff(false);
+            let d = Arc::new(d);
+            let (r, hist) = run_alloc_growth(Arc::clone(&d), t, bursts, HOLD);
+            table.row(&[
+                t.to_string(),
+                "lfrc".into(),
+                fmt_ops(r.ops_per_sec()),
+                r.counters.segments_grown.to_string(),
+                r.counters.nodes_seeded.to_string(),
+                r.counters.alloc_slow_path.to_string(),
+                d.capacity().to_string(),
+                fmt_ns(hist.quantile(0.99)),
+                fmt_ns(hist.max()),
+            ]);
+            assert!(d.leak_check().is_clean(), "lfrc growth run must end clean");
+        }
+    }
+    println!("{}", table.render());
+    if args.json {
+        println!("{}", table.to_json());
+    }
+}
 
 fn main() {
     let args = Args::parse(&[1, 2, 4, 8], 100_000);
+    if args.grow {
+        run_growth_table(&args);
+        return;
+    }
     let mut table = Table::new(
         "E5: free-list churn (alloc+free per op)",
         &[

@@ -56,7 +56,10 @@ fn main() {
     for &t in &args.threads {
         let cap = capacity_for(&cfg, t, args.ops);
         let pq = run_pq_rc(
-            Arc::new(WfrcDomain::<PqCell<u64>>::new(DomainConfig::new(t + 1, cap))),
+            Arc::new(WfrcDomain::<PqCell<u64>>::new(DomainConfig::new(
+                t + 1,
+                cap,
+            ))),
             t,
             args.ops,
             cfg,

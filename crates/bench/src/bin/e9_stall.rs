@@ -12,8 +12,13 @@
 //!   garbage grows **without bound** (proportional to the churn), which is
 //!   why EBR was never a candidate for the paper's real-time setting.
 //!
+//! With `--grow` two extra rows run each refcounting scheme on an
+//! **under-provisioned growable pool** (initial capacity 8, doubling):
+//! the stalled holder must not force unbounded growth — the pool grows to
+//! cover the churn's working set and then stops, and nothing leaks.
+//!
 //! ```text
-//! cargo run --release --bin e9_stall [-- --ops 50000]
+//! cargo run --release --bin e9_stall [-- --ops 50000 --grow]
 //! ```
 
 use std::sync::atomic::AtomicPtr;
@@ -22,7 +27,7 @@ use bench::Args;
 use wfrc_baselines::epoch::EbrDomain;
 use wfrc_baselines::hazard::HpDomain;
 use wfrc_baselines::LfrcDomain;
-use wfrc_core::{DomainConfig, WfrcDomain};
+use wfrc_core::{DomainConfig, Growth, WfrcDomain};
 use wfrc_sim::stats::Table;
 
 fn main() {
@@ -30,7 +35,13 @@ fn main() {
     let churn = args.ops;
     let mut table = Table::new(
         "E9: unreclaimed nodes after churn with one stalled thread",
-        &["scheme", "stalled holds", "churned", "unreclaimed", "bounded?"],
+        &[
+            "scheme",
+            "stalled holds",
+            "churned",
+            "unreclaimed",
+            "bounded?",
+        ],
     );
 
     // WFRC: stalled thread holds one NodeRef.
@@ -131,8 +142,93 @@ fn main() {
         drop(_pin);
     }
 
+    // Growth mode: the same stall scenario on under-provisioned pools.
+    // Each churn iteration holds a 16-node burst, so the pool must grow
+    // past its 8-node start — but only up to the working set, stall or not.
+    if args.grow {
+        let growth = Growth::doubling_to(1 << 16);
+        {
+            let d = WfrcDomain::<u64>::new(DomainConfig::new(2, 8).with_growth(growth));
+            let h_stall = d.register().unwrap();
+            let held = h_stall.alloc_with(|v| *v = 1).unwrap(); // stalled forever
+            let h = d.register().unwrap();
+            for _ in 0..churn / 16 {
+                let burst: Vec<_> = (0..16)
+                    .map(|_| h.alloc_with(|v| *v = 2).expect("growth covers the peak"))
+                    .collect();
+                drop(burst);
+            }
+            let grown = h.counters().snapshot().segments_grown;
+            drop(h);
+            let live = d.leak_check().live_nodes;
+            table_growth_row(
+                &mut table,
+                "wfrc+grow",
+                churn,
+                live - 1,
+                d.capacity(),
+                d.segment_count(),
+                grown,
+            );
+            drop(held);
+            drop(h_stall);
+        }
+        {
+            let d = LfrcDomain::<u64>::with_growth(2, 8, growth);
+            let h_stall = d.register().unwrap();
+            let held = h_stall.alloc_raw().unwrap(); // stalled forever
+            let h = d.register().unwrap();
+            for _ in 0..churn / 16 {
+                let burst: Vec<_> = (0..16)
+                    .map(|_| h.alloc_raw().expect("growth covers the peak"))
+                    .collect();
+                // SAFETY: we own one reference per node.
+                unsafe {
+                    for n in burst {
+                        h.release_raw(n);
+                    }
+                }
+            }
+            let grown = h.counters().snapshot().segments_grown;
+            drop(h);
+            let live = d.leak_check().live_nodes;
+            table_growth_row(
+                &mut table,
+                "lfrc+grow",
+                churn,
+                live - 1,
+                d.capacity(),
+                d.segment_count(),
+                grown,
+            );
+            // SAFETY: teardown.
+            unsafe { h_stall.release_raw(held) };
+        }
+    }
+
     println!("{}", table.render());
     if args.json {
         println!("{}", table.to_json());
     }
+}
+
+/// Growth rows reuse the E9 columns: "stalled holds" carries the pool
+/// telemetry so the table shape (and JSON schema) stays stable.
+#[allow(clippy::too_many_arguments)]
+fn table_growth_row(
+    table: &mut Table,
+    scheme: &str,
+    churned: u64,
+    unreclaimed: usize,
+    capacity: usize,
+    segments: usize,
+    grown: u64,
+) {
+    table.row(&[
+        scheme.into(),
+        format!("1 ref; 8→{capacity} nodes, {segments} segs ({grown} grown)"),
+        churned.to_string(),
+        unreclaimed.to_string(),
+        "yes (growth stops at working set)".into(),
+    ]);
 }

@@ -20,10 +20,11 @@ use wfrc_structures::stack::{Stack, StackCell};
 use crate::RunResult;
 
 fn merge_counters(parts: Vec<(u64, CounterSnapshot)>) -> (u64, CounterSnapshot) {
-    parts.into_iter().fold(
-        (0, CounterSnapshot::default()),
-        |(ops, acc), (o, c)| (ops + o, acc.merged(&c)),
-    )
+    parts
+        .into_iter()
+        .fold((0, CounterSnapshot::default()), |(ops, acc), (o, c)| {
+            (ops + o, acc.merged(&c))
+        })
 }
 
 /// Capacity heuristic: prefill plus headroom for transient imbalance and
@@ -456,6 +457,64 @@ where
     }
 }
 
+/// E5/E9 (growth mode): alloc-heavy bursts on an under-provisioned
+/// growable pool. Each thread repeatedly allocates `hold` nodes and then
+/// releases them all; when the pool's initial capacity is below
+/// `threads · hold` the run can only finish by growing. Returns the run
+/// result plus a merged per-allocation latency histogram — the segment
+/// publications live in its tail, which is what the growth-path latency
+/// columns report.
+pub fn run_alloc_growth<D, T>(
+    domain: Arc<D>,
+    threads: usize,
+    bursts: u64,
+    hold: usize,
+) -> (RunResult, Histogram)
+where
+    T: wfrc_core::RcObject + Default,
+    D: RcMmDomain<T> + Send + Sync + 'static,
+{
+    let (parts, wall) = run_fixed_ops(threads, |_| {
+        let domain = Arc::clone(&domain);
+        move || {
+            let h = domain.register_mm().expect("register");
+            let mut hist = Histogram::new();
+            let mut done = 0u64;
+            let mut held = Vec::with_capacity(hold);
+            for _ in 0..bursts {
+                for _ in 0..hold {
+                    let t0 = std::time::Instant::now();
+                    let n = h.alloc_node().expect("growth must cover the peak");
+                    hist.record(t0.elapsed().as_nanos() as u64);
+                    held.push(n);
+                    done += 1;
+                }
+                for n in held.drain(..) {
+                    // SAFETY: we own the alloc reference.
+                    unsafe { h.release_node(n) };
+                }
+            }
+            (done, h.counter_snapshot(), hist)
+        }
+    });
+    let mut hist = Histogram::new();
+    let mut counter_parts = Vec::with_capacity(parts.len());
+    for (done, snap, h) in parts {
+        hist.merge(&h);
+        counter_parts.push((done, snap));
+    }
+    let (total_ops, counters) = merge_counters(counter_parts);
+    (
+        RunResult {
+            threads,
+            total_ops,
+            wall,
+            counters,
+        },
+        hist,
+    )
+}
+
 /// E7: per-thread completion fairness under full allocation contention.
 /// Returns ops completed by each thread in a fixed wall-clock window.
 pub fn run_alloc_fairness<D, T>(domain: Arc<D>, threads: usize, window_ms: u64) -> Vec<u64>
@@ -464,10 +523,8 @@ where
     D: RcMmDomain<T> + Send + Sync + 'static,
 {
     use std::time::Duration;
-    let (parts, _) = wfrc_sim::exec::run_timed(
-        threads,
-        Duration::from_millis(window_ms),
-        |_, stop| {
+    let (parts, _) =
+        wfrc_sim::exec::run_timed(threads, Duration::from_millis(window_ms), |_, stop| {
             let domain = Arc::clone(&domain);
             move || {
                 let h = domain.register_mm().expect("register");
@@ -481,7 +538,6 @@ where
                 }
                 done
             }
-        },
-    );
+        });
     parts
 }

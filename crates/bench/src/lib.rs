@@ -7,6 +7,7 @@
 //! streams, so scheme comparisons are apples-to-apples.
 
 pub mod drivers;
+pub mod timing;
 
 use std::time::Duration;
 
@@ -46,6 +47,9 @@ pub struct Args {
     pub ops: u64,
     /// Emit a JSON blob after the table.
     pub json: bool,
+    /// Run the under-provisioned growth-mode variant (E5/E9): pools start
+    /// far below the live-node peak and must grow to finish.
+    pub grow: bool,
 }
 
 impl Args {
@@ -55,6 +59,7 @@ impl Args {
             threads: default_threads.to_vec(),
             ops: default_ops,
             json: false,
+            grow: false,
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -74,7 +79,10 @@ impl Args {
                         .expect("bad op count");
                 }
                 "--json" => out.json = true,
-                other => panic!("unknown argument: {other} (expected --threads/--ops/--json)"),
+                "--grow" => out.grow = true,
+                other => {
+                    panic!("unknown argument: {other} (expected --threads/--ops/--json/--grow)")
+                }
             }
         }
         out

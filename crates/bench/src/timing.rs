@@ -1,0 +1,54 @@
+//! Minimal single-threaded timing harness for the micro-benches.
+//!
+//! The `benches/*.rs` targets used to be Criterion benches; the workspace
+//! now builds offline with zero external crates, so this module provides
+//! the small subset actually needed: run a closure in timed batches,
+//! report the median ns/op over a fixed number of samples. Output is one
+//! aligned row per benchmark, the same shape the experiment binaries
+//! print.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Number of timed samples per benchmark.
+const SAMPLES: usize = 20;
+/// Target wall time per sample; batch size is calibrated to hit this.
+const SAMPLE_TARGET_NS: u64 = 20_000_000;
+
+/// Times `f` (one benched operation per call) and prints
+/// `group/name  median  min  max` in ns/op.
+pub fn bench<R>(group: &str, name: &str, mut f: impl FnMut() -> R) {
+    // Calibrate: grow the batch until one batch takes ≥ 1/10 of the
+    // sample target, then size batches to the target.
+    let mut batch: u64 = 1;
+    loop {
+        let t = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        let ns = t.elapsed().as_nanos() as u64;
+        if ns >= SAMPLE_TARGET_NS / 10 || batch >= 1 << 30 {
+            batch = batch
+                .saturating_mul(SAMPLE_TARGET_NS)
+                .checked_div(ns)
+                .map_or(batch * 10, |b| b.max(1));
+            break;
+        }
+        batch *= 10;
+    }
+
+    let mut per_op: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            t.elapsed().as_nanos() as f64 / batch as f64
+        })
+        .collect();
+    per_op.sort_by(|a, b| a.total_cmp(b));
+    let median = per_op[SAMPLES / 2];
+    let min = per_op[0];
+    let max = per_op[SAMPLES - 1];
+    println!("{group}/{name:<24} median {median:>10.1} ns/op   (min {min:.1}, max {max:.1})");
+}

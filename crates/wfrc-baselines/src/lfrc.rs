@@ -24,9 +24,10 @@
 use core::marker::PhantomData;
 use core::ptr;
 
-use wfrc_core::arena::Arena;
+use wfrc_core::arena::{Arena, GrowOutcome};
 use wfrc_core::counters::OpCounters;
 use wfrc_core::oom::OutOfMemory;
+use wfrc_core::Growth;
 use wfrc_core::{Link, Node, RcObject};
 use wfrc_primitives::{AtomicWord, Backoff, WordPtr};
 
@@ -37,6 +38,8 @@ type HeadCell<T> = WordPtr<Node<T>>;
 
 /// A lock-free reference-counted memory domain (Valois-style baseline).
 pub struct LfrcDomain<T: RcObject> {
+    /// Segmented node storage — the same growable arena as `wfrc-core`, so
+    /// the growth-path experiments compare schemes over identical pools.
     arena: Arena<T>,
     /// The single free-list head all threads contend on.
     head: HeadCell<T>,
@@ -52,13 +55,35 @@ impl<T: RcObject + Default> LfrcDomain<T> {
     pub fn new(max_threads: usize, capacity: usize) -> Self {
         Self::with_init(max_threads, capacity, |_| T::default())
     }
+
+    /// Creates a growable domain: `capacity` initial default-initialized
+    /// nodes, growing under `growth` exactly like
+    /// [`wfrc_core::WfrcDomain`] (new segments are seeded onto the single
+    /// free-list head).
+    pub fn with_growth(max_threads: usize, capacity: usize, growth: Growth) -> Self {
+        Self::with_growth_init(max_threads, capacity, growth, |_| T::default())
+    }
 }
 
 impl<T: RcObject> LfrcDomain<T> {
     /// Creates a domain initializing payload `i` with `init(i)`.
-    pub fn with_init(max_threads: usize, capacity: usize, init: impl FnMut(usize) -> T) -> Self {
+    pub fn with_init(
+        max_threads: usize,
+        capacity: usize,
+        init: impl Fn(usize) -> T + Send + Sync + 'static,
+    ) -> Self {
+        Self::with_growth_init(max_threads, capacity, Growth::Disabled, init)
+    }
+
+    /// Creates a growable domain initializing payload `i` with `init(i)`.
+    pub fn with_growth_init(
+        max_threads: usize,
+        capacity: usize,
+        growth: Growth,
+        init: impl Fn(usize) -> T + Send + Sync + 'static,
+    ) -> Self {
         assert!(max_threads > 0);
-        let arena = Arena::new(capacity, init);
+        let arena = Arena::with_growth(capacity, growth, init);
         // Seed: chain every node into the single free-list.
         for i in 0..capacity {
             let next = if i + 1 < capacity {
@@ -101,9 +126,14 @@ impl<T: RcObject> LfrcDomain<T> {
         Err(wfrc_core::domain::RegistryFull)
     }
 
-    /// Node pool size.
+    /// Node pool size (current, including grown segments).
     pub fn capacity(&self) -> usize {
         self.arena.capacity()
+    }
+
+    /// Number of arena segments currently published (1 until growth).
+    pub fn segment_count(&self) -> usize {
+        self.arena.segment_count()
     }
 
     /// Quiescent audit, same classification as
@@ -112,6 +142,7 @@ impl<T: RcObject> LfrcDomain<T> {
     pub fn leak_check(&self) -> wfrc_core::LeakReport {
         let mut report = wfrc_core::LeakReport {
             capacity: self.arena.capacity(),
+            segments: self.arena.segment_count(),
             ..Default::default()
         };
         for node in self.arena.iter() {
@@ -186,10 +217,16 @@ impl<'d, T: RcObject> LfrcHandle<'d, T> {
             let node = self.domain.head.load();
             if node.is_null() {
                 // Valois' scheme has no stripe to advance to: an observed
-                // empty head is out-of-memory (nodes in flight during
-                // concurrent pops can make this spuriously early — the same
-                // caveat as the wait-free scheme's retry bound, noted in
-                // DESIGN.md).
+                // empty head means the pool looks dry. Try to grow the
+                // arena (a no-op under `Growth::Disabled`); only when the
+                // policy is exhausted is this out-of-memory (nodes in
+                // flight during concurrent pops can make this spuriously
+                // early — the same caveat as the wait-free scheme's retry
+                // bound, noted in DESIGN.md).
+                OpCounters::bump(&self.counters.alloc_slow_path);
+                if self.try_grow() {
+                    continue;
+                }
                 OpCounters::add(&self.counters.alloc_iters, iters);
                 OpCounters::record_max(&self.counters.max_alloc_iters, iters);
                 return Err(OutOfMemory);
@@ -249,6 +286,39 @@ impl<'d, T: RcObject> LfrcHandle<'d, T> {
             if self.domain.backoff {
                 backoff.snooze();
             }
+        }
+    }
+
+    /// One growth step: returns true when capacity grew (by this thread or
+    /// a concurrent winner) and the allocation loop should re-scan.
+    fn try_grow(&self) -> bool {
+        match self.domain.arena.try_grow() {
+            GrowOutcome::Grew(nodes) => {
+                OpCounters::bump(&self.counters.segments_grown);
+                OpCounters::add(&self.counters.nodes_seeded, nodes.len() as u64);
+                // Chain the fresh nodes and push the whole chain with one
+                // CAS onto the single head (Treiber push of a segment).
+                let first = &nodes[0] as *const Node<T> as *mut Node<T>;
+                for w in nodes.windows(2) {
+                    w[0].mm_next()
+                        .store(&w[1] as *const Node<T> as *mut Node<T>);
+                }
+                let last = &nodes[nodes.len() - 1];
+                let mut backoff = Backoff::new();
+                loop {
+                    let head = self.domain.head.load();
+                    last.mm_next().store(head);
+                    if self.domain.head.cas(head, first) {
+                        break;
+                    }
+                    if self.domain.backoff {
+                        backoff.snooze();
+                    }
+                }
+                true
+            }
+            GrowOutcome::Lost => true,
+            GrowOutcome::AtCapacity => false,
         }
     }
 
@@ -331,7 +401,12 @@ impl<'d, T: RcObject> LfrcHandle<'d, T> {
     /// # Safety
     /// `old`/`new` must be null or nodes of this domain; the caller owns
     /// the reference transferred on `new`.
-    pub unsafe fn cas_link_raw(&self, link: &Link<T>, old: *mut Node<T>, new: *mut Node<T>) -> bool {
+    pub unsafe fn cas_link_raw(
+        &self,
+        link: &Link<T>,
+        old: *mut Node<T>,
+        new: *mut Node<T>,
+    ) -> bool {
         link.cas_raw(old, new)
     }
 

@@ -77,7 +77,11 @@ pub fn decode_retract(word: usize, link_addr: usize) -> Option<usize> {
     } else if word == 0 {
         Some(0)
     } else {
-        debug_assert_eq!(word & 1, 1, "non-link announcement word must be a tagged answer");
+        debug_assert_eq!(
+            word & 1,
+            1,
+            "non-link announcement word must be a tagged answer"
+        );
         Some(word & !1)
     }
 }
@@ -201,7 +205,9 @@ impl Announce {
 
 impl core::fmt::Debug for Announce {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.debug_struct("Announce").field("threads", &self.n).finish()
+        f.debug_struct("Announce")
+            .field("threads", &self.n)
+            .finish()
     }
 }
 

@@ -1,41 +1,185 @@
-//! Type-stable node storage.
+//! Type-stable node storage: a segmented, growable arena.
 //!
 //! The scheme's central liberty — `FAA`-ing the `mm_ref` of a node that may
 //! already have been reclaimed (paper §3: "we assume that this field will be
 //! present at each memory block indefinitely") — is only sound if reclaimed
-//! nodes keep their header readable. The arena provides exactly that: all
-//! nodes of a domain are allocated up front in one slab and recycled through
-//! the free-lists; nothing is returned to the allocator until the domain
-//! itself is dropped, at which point no references can remain (the domain
-//! cannot be dropped while handles or guards borrow it).
+//! nodes keep their header readable. The arena provides exactly that: nodes
+//! are allocated in **segments** that are never freed (or moved) until the
+//! arena itself is dropped, at which point no references can remain (the
+//! domain cannot be dropped while handles or guards borrow it).
 //!
-//! This mirrors how the paper's experiments (and Valois' original scheme)
-//! ran: a fixed pool of fixed-size blocks. Growing the pool at runtime would
-//! require the lock-free allocator of Michael (PLDI 2004) or Gidenstam et
-//! al. underneath — out of scope here, as it was for the paper.
+//! The paper's experiments (and Valois' original scheme) ran with a fixed
+//! pool of fixed-size blocks; [`Growth::Disabled`] reproduces that exactly —
+//! one segment, sized up front, out-of-memory terminal. With
+//! [`Growth::Enabled`] the arena may append further segments at runtime, up
+//! to [`MAX_SEGMENTS`], wait-free:
+//!
+//! * The segment table is a **fixed-capacity array** of atomic pointers, so
+//!   publication is a single CAS on the first empty slot — no relocation,
+//!   no epoch, and existing node addresses are untouched (type stability is
+//!   preserved across growth).
+//! * Any number of threads may race [`Arena::try_grow`]; exactly one wins
+//!   the slot CAS and publishes, the losers drop their unpublished segment
+//!   and observe the winner's capacity. Growth events are bounded by
+//!   `MAX_SEGMENTS`, so the retries they cause in `AllocNode` are bounded
+//!   too — the allocation path stays wait-free.
+//! * Publication order is `segments[s] → total → seg_count`, each with
+//!   `Release`; readers load `seg_count`/`total` with `Acquire`, so a
+//!   visible count implies visible segment contents.
+//!
+//! This replaces the need for a general lock-free allocator underneath
+//! (Michael PLDI 2004, Gidenstam et al.) with the one special case the
+//! scheme needs: append-only growth of a type-stable pool.
+
+use core::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 
 use crate::node::Node;
 
-/// A fixed slab of nodes with stable addresses.
-pub struct Arena<T> {
+/// Maximum number of segments an arena can hold. With a doubling policy the
+/// pool can grow by a factor of 2⁶³ before hitting this, so the bound exists
+/// to keep the segment table a fixed array (lookups and publication stay
+/// wait-free) rather than to constrain capacity.
+pub const MAX_SEGMENTS: usize = 64;
+
+/// Growth policy for an arena (and the domain that owns it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Growth {
+    /// Fixed pool — the paper's model. Allocation beyond the initial
+    /// capacity fails terminally with `OutOfMemory`.
+    Disabled,
+    /// Append segments on demand until `max_capacity` total nodes.
+    Enabled {
+        /// Target multiple of the current capacity after one growth step
+        /// (2 = doubling). Must be ≥ 2; each new segment holds
+        /// `current · (factor − 1)` nodes, clamped to `max_capacity`.
+        factor: usize,
+        /// Hard ceiling on total nodes; `OutOfMemory` is terminal only
+        /// once this is reached.
+        max_capacity: usize,
+    },
+}
+
+impl Growth {
+    /// Doubling growth up to `max_capacity` (the common policy).
+    pub fn doubling_to(max_capacity: usize) -> Self {
+        Growth::Enabled {
+            factor: 2,
+            max_capacity,
+        }
+    }
+}
+
+/// One immovable slab of nodes. `start` is the arena-global index of its
+/// first node.
+struct Segment<T> {
+    start: usize,
     nodes: Box<[Node<T>]>,
 }
 
+/// Outcome of one [`Arena::try_grow`] attempt.
+pub enum GrowOutcome<'a, T> {
+    /// This thread published a new segment; the caller must seed these
+    /// nodes into the free-lists.
+    Grew(&'a [Node<T>]),
+    /// Another thread published concurrently — capacity increased, but the
+    /// caller has nothing to seed; re-scan the free-lists.
+    Lost,
+    /// The policy forbids further growth ([`Growth::Disabled`], the
+    /// `max_capacity` ceiling, or `MAX_SEGMENTS`).
+    AtCapacity,
+}
+
+/// A segmented slab of nodes with stable addresses.
+pub struct Arena<T> {
+    /// Append-only table; slot `s` is CASed from null exactly once.
+    segments: [AtomicPtr<Segment<T>>; MAX_SEGMENTS],
+    /// Published segment count. Monotone; stored `Release` after the
+    /// segment and `total` are visible.
+    seg_count: AtomicUsize,
+    /// Total nodes across published segments. Monotone.
+    total: AtomicUsize,
+    growth: Growth,
+    /// Payload initializer for segment construction (growth can run on any
+    /// thread, hence the `Send + Sync` bounds).
+    init: Box<dyn Fn(usize) -> T + Send + Sync>,
+}
+
 impl<T> Arena<T> {
-    /// Allocates `capacity` nodes, initializing payload `i` with `init(i)`.
+    /// Allocates a fixed arena of `capacity` nodes, initializing payload
+    /// `i` with `init(i)` ([`Growth::Disabled`] semantics).
     ///
     /// # Panics
     /// Panics if `capacity == 0`.
-    pub fn new(capacity: usize, mut init: impl FnMut(usize) -> T) -> Self {
-        assert!(capacity > 0, "arena capacity must be positive");
-        let nodes: Box<[Node<T>]> = (0..capacity).map(|i| Node::new(init(i))).collect();
-        Self { nodes }
+    pub fn new(capacity: usize, init: impl Fn(usize) -> T + Send + Sync + 'static) -> Self {
+        Self::with_growth(capacity, Growth::Disabled, init)
     }
 
-    /// Number of nodes in the arena.
+    /// Allocates the first segment of `initial_capacity` nodes under the
+    /// given growth policy.
+    ///
+    /// # Panics
+    /// Panics if `initial_capacity == 0`, or if the policy is
+    /// [`Growth::Enabled`] with `factor < 2` or
+    /// `max_capacity < initial_capacity`.
+    pub fn with_growth(
+        initial_capacity: usize,
+        growth: Growth,
+        init: impl Fn(usize) -> T + Send + Sync + 'static,
+    ) -> Self {
+        assert!(initial_capacity > 0, "arena capacity must be positive");
+        if let Growth::Enabled {
+            factor,
+            max_capacity,
+        } = growth
+        {
+            assert!(factor >= 2, "growth factor must be at least 2");
+            assert!(
+                max_capacity >= initial_capacity,
+                "max_capacity ({max_capacity}) below initial capacity ({initial_capacity})"
+            );
+        }
+        let nodes: Box<[Node<T>]> = (0..initial_capacity).map(|i| Node::new(init(i))).collect();
+        let first = Box::into_raw(Box::new(Segment { start: 0, nodes }));
+        let segments: [AtomicPtr<Segment<T>>; MAX_SEGMENTS] =
+            core::array::from_fn(|_| AtomicPtr::new(core::ptr::null_mut()));
+        segments[0].store(first, Ordering::Release);
+        Self {
+            segments,
+            seg_count: AtomicUsize::new(1),
+            total: AtomicUsize::new(initial_capacity),
+            growth,
+            init: Box::new(init),
+        }
+    }
+
+    /// Total nodes across all published segments (monotone under growth).
     #[inline]
     pub fn capacity(&self) -> usize {
-        self.nodes.len()
+        self.total.load(Ordering::Acquire)
+    }
+
+    /// Number of published segments.
+    #[inline]
+    pub fn segment_count(&self) -> usize {
+        self.seg_count.load(Ordering::Acquire)
+    }
+
+    /// The arena's growth policy.
+    #[inline]
+    pub fn growth(&self) -> Growth {
+        self.growth
+    }
+
+    /// Published segments, in order.
+    fn published(&self) -> impl Iterator<Item = &Segment<T>> {
+        let count = self.seg_count.load(Ordering::Acquire);
+        self.segments[..count].iter().map(|slot| {
+            let p = slot.load(Ordering::Acquire);
+            debug_assert!(!p.is_null());
+            // SAFETY: slot `< seg_count` was published with Release before
+            // seg_count; segments are never freed while the arena lives.
+            unsafe { &*p }
+        })
     }
 
     /// Pointer to node `i`.
@@ -44,30 +188,45 @@ impl<T> Arena<T> {
     /// Panics if `i >= capacity()`.
     #[inline]
     pub fn node_ptr(&self, i: usize) -> *mut Node<T> {
-        &self.nodes[i] as *const Node<T> as *mut Node<T>
+        self.node(i) as *const Node<T> as *mut Node<T>
     }
 
     /// Shared reference to node `i` (test/diagnostic use).
-    #[inline]
+    ///
+    /// # Panics
+    /// Panics if `i >= capacity()`.
     pub fn node(&self, i: usize) -> &Node<T> {
-        &self.nodes[i]
+        for seg in self.published() {
+            if i < seg.start + seg.nodes.len() {
+                return &seg.nodes[i - seg.start];
+            }
+        }
+        panic!(
+            "node index {i} out of bounds (capacity {})",
+            self.capacity()
+        );
     }
 
     /// The arena index of `ptr`, or `None` if `ptr` is not one of this
     /// arena's nodes.
     pub fn index_of(&self, ptr: *const Node<T>) -> Option<usize> {
-        let base = self.nodes.as_ptr() as usize;
-        let addr = ptr as usize;
         let size = core::mem::size_of::<Node<T>>();
-        if addr < base {
-            return None;
+        let addr = ptr as usize;
+        for seg in self.published() {
+            let base = seg.nodes.as_ptr() as usize;
+            if addr < base {
+                continue;
+            }
+            let off = addr - base;
+            if !off.is_multiple_of(size) {
+                continue;
+            }
+            let idx = off / size;
+            if idx < seg.nodes.len() {
+                return Some(seg.start + idx);
+            }
         }
-        let off = addr - base;
-        if !off.is_multiple_of(size) {
-            return None;
-        }
-        let idx = off / size;
-        (idx < self.nodes.len()).then_some(idx)
+        None
     }
 
     /// True if `ptr` points at a node of this arena.
@@ -76,9 +235,81 @@ impl<T> Arena<T> {
         self.index_of(ptr).is_some()
     }
 
-    /// Iterates over all nodes (diagnostics: leak checks, audits).
+    /// Iterates over all published nodes (diagnostics: leak checks, audits).
     pub fn iter(&self) -> impl Iterator<Item = &Node<T>> {
-        self.nodes.iter()
+        self.published().flat_map(|seg| seg.nodes.iter())
+    }
+
+    /// Attempts to publish one new segment under the growth policy.
+    ///
+    /// Wait-free: one segment allocation + initialization, one CAS. Any
+    /// number of threads may race; see the module docs for the protocol.
+    /// On [`GrowOutcome::Grew`] the **caller** owns seeding the returned
+    /// nodes into its free-list(s) — the arena does not know the free-list
+    /// layout (the wait-free scheme stripes, the lock-free baseline has a
+    /// single head).
+    pub fn try_grow(&self) -> GrowOutcome<'_, T> {
+        let Growth::Enabled {
+            factor,
+            max_capacity,
+        } = self.growth
+        else {
+            return GrowOutcome::AtCapacity;
+        };
+        let s = self.seg_count.load(Ordering::Acquire);
+        if s >= MAX_SEGMENTS {
+            return GrowOutcome::AtCapacity;
+        }
+        // Consistent with `s`: the winner of slot s−1 stored `total` before
+        // `seg_count`, both Release, and we loaded `seg_count` Acquire.
+        let total = self.total.load(Ordering::Acquire);
+        if total >= max_capacity {
+            return GrowOutcome::AtCapacity;
+        }
+        let len = total
+            .saturating_mul(factor - 1)
+            .clamp(1, max_capacity - total);
+        let nodes: Box<[Node<T>]> = (0..len)
+            .map(|k| Node::new((self.init)(total + k)))
+            .collect();
+        let seg = Box::into_raw(Box::new(Segment {
+            start: total,
+            nodes,
+        }));
+        match self.segments[s].compare_exchange(
+            core::ptr::null_mut(),
+            seg,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => {
+                // Publish capacity, then the count readers key off.
+                self.total.store(total + len, Ordering::Release);
+                self.seg_count.store(s + 1, Ordering::Release);
+                // SAFETY: just published; segments are never freed while
+                // the arena lives.
+                GrowOutcome::Grew(unsafe { &(*seg).nodes })
+            }
+            Err(_) => {
+                // Another thread won slot `s`; ours was never shared.
+                // SAFETY: `seg` came from Box::into_raw above and was not
+                // published.
+                drop(unsafe { Box::from_raw(seg) });
+                GrowOutcome::Lost
+            }
+        }
+    }
+}
+
+impl<T> Drop for Arena<T> {
+    fn drop(&mut self) {
+        for slot in &mut self.segments {
+            let p = *slot.get_mut();
+            if !p.is_null() {
+                // SAFETY: exclusively owned at drop; published exactly once.
+                drop(unsafe { Box::from_raw(p) });
+            }
+        }
     }
 }
 
@@ -86,6 +317,8 @@ impl<T> core::fmt::Debug for Arena<T> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("Arena")
             .field("capacity", &self.capacity())
+            .field("segments", &self.segment_count())
+            .field("growth", &self.growth)
             .finish()
     }
 }
@@ -124,7 +357,8 @@ mod tests {
         let past = (a.node_ptr(3) as usize + core::mem::size_of::<Node<u32>>()) as *const Node<u32>;
         assert_eq!(a.index_of(past), None);
         // Below the base.
-        let below = (a.node_ptr(0) as usize - core::mem::size_of::<Node<u32>>()) as *const Node<u32>;
+        let below =
+            (a.node_ptr(0) as usize - core::mem::size_of::<Node<u32>>()) as *const Node<u32>;
         assert_eq!(a.index_of(below), None);
     }
 
@@ -144,6 +378,112 @@ mod tests {
         // Tag bit must be free on every node.
         for i in 0..32 {
             assert_eq!(a.node_ptr(i) as usize & 1, 0);
+        }
+    }
+
+    #[test]
+    fn disabled_growth_never_grows() {
+        let a: Arena<u64> = Arena::new(4, |_| 0);
+        assert!(matches!(a.try_grow(), GrowOutcome::AtCapacity));
+        assert_eq!(a.capacity(), 4);
+        assert_eq!(a.segment_count(), 1);
+    }
+
+    #[test]
+    fn doubling_growth_publishes_segments() {
+        let a: Arena<u64> = Arena::with_growth(4, Growth::doubling_to(32), |i| i as u64);
+        // 4 -> 8 -> 16 -> 32, then terminal.
+        let mut starts = Vec::new();
+        while let GrowOutcome::Grew(nodes) = a.try_grow() {
+            starts.push(nodes.len());
+        }
+        assert_eq!(starts, vec![4, 8, 16]);
+        assert_eq!(a.capacity(), 32);
+        assert_eq!(a.segment_count(), 4);
+        assert!(matches!(a.try_grow(), GrowOutcome::AtCapacity));
+        // init covered the grown indices, and indexing spans segments.
+        // SAFETY: the arena is unshared here; no node is referenced.
+        let payloads: Vec<u64> = (0..32).map(|i| unsafe { *a.node(i).payload() }).collect();
+        assert_eq!(payloads, (0..32u64).collect::<Vec<_>>());
+        // Round-trips still hold across segment boundaries.
+        for i in 0..32 {
+            assert_eq!(a.index_of(a.node_ptr(i)), Some(i));
+        }
+    }
+
+    #[test]
+    fn growth_clamps_to_max_capacity() {
+        let a: Arena<u64> = Arena::with_growth(5, Growth::doubling_to(12), |_| 0);
+        assert!(matches!(a.try_grow(), GrowOutcome::Grew(n) if n.len() == 5));
+        // 10 * 1 = 10, clamped to 12 - 10 = 2.
+        assert!(matches!(a.try_grow(), GrowOutcome::Grew(n) if n.len() == 2));
+        assert_eq!(a.capacity(), 12);
+        assert!(matches!(a.try_grow(), GrowOutcome::AtCapacity));
+    }
+
+    #[test]
+    fn addresses_survive_growth() {
+        let a: Arena<u64> = Arena::with_growth(4, Growth::doubling_to(64), |_| 0);
+        let before: Vec<usize> = (0..4).map(|i| a.node_ptr(i) as usize).collect();
+        while let GrowOutcome::Grew(_) = a.try_grow() {}
+        let after: Vec<usize> = (0..4).map(|i| a.node_ptr(i) as usize).collect();
+        assert_eq!(before, after, "growth must not move existing nodes");
+        // All nodes distinct and tag-bit-free across every segment.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..a.capacity() {
+            let p = a.node_ptr(i) as usize;
+            assert!(seen.insert(p));
+            assert_eq!(p & 1, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "growth factor")]
+    fn factor_below_two_panics() {
+        let _ = Arena::<u8>::with_growth(
+            1,
+            Growth::Enabled {
+                factor: 1,
+                max_capacity: 8,
+            },
+            |_| 0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "max_capacity")]
+    fn max_below_initial_panics() {
+        let _ = Arena::<u8>::with_growth(8, Growth::doubling_to(4), |_| 0);
+    }
+
+    #[test]
+    fn concurrent_growers_publish_each_segment_once() {
+        use std::sync::Arc;
+        let a: Arc<Arena<u64>> =
+            Arc::new(Arena::with_growth(2, Growth::doubling_to(1 << 12), |_| 0));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let a = Arc::clone(&a);
+                std::thread::spawn(move || {
+                    let mut grew = 0usize;
+                    for _ in 0..6 {
+                        if let GrowOutcome::Grew(_) = a.try_grow() {
+                            grew += 1;
+                        }
+                    }
+                    grew
+                })
+            })
+            .collect();
+        let wins: usize = threads.into_iter().map(|t| t.join().unwrap()).sum();
+        // Every published segment had exactly one winner.
+        assert_eq!(wins, a.segment_count() - 1);
+        // Capacity is consistent with the doubling ladder from 2.
+        assert_eq!(a.capacity(), 2 << (a.segment_count() - 1));
+        // No duplicate or misaligned nodes appeared.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..a.capacity() {
+            assert!(seen.insert(a.node_ptr(i) as usize));
         }
     }
 }

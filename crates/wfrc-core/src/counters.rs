@@ -50,6 +50,13 @@ pub struct OpCounters {
     pub alloc_cas_failures: Cell<u64>,
     /// Allocations satisfied from `annAlloc` (line A4: this thread was helped).
     pub alloc_from_gift: Cell<u64>,
+    /// Times `AllocNode` exhausted its retry bound and entered the growth
+    /// slow path (whether or not growth then succeeded).
+    pub alloc_slow_path: Cell<u64>,
+    /// Arena segments this thread published (won the growth CAS).
+    pub segments_grown: Cell<u64>,
+    /// Fresh nodes this thread seeded into the free-lists after growth.
+    pub nodes_seeded: Cell<u64>,
     /// Nodes this thread gave away at line A12.
     pub alloc_gave_gift: Cell<u64>,
     /// `FreeNode` invocations.
@@ -111,6 +118,9 @@ impl OpCounters {
             max_alloc_iters: self.max_alloc_iters.get(),
             alloc_cas_failures: self.alloc_cas_failures.get(),
             alloc_from_gift: self.alloc_from_gift.get(),
+            alloc_slow_path: self.alloc_slow_path.get(),
+            segments_grown: self.segments_grown.get(),
+            nodes_seeded: self.nodes_seeded.get(),
             alloc_gave_gift: self.alloc_gave_gift.get(),
             free_calls: self.free_calls.get(),
             free_gifted: self.free_gifted.get(),
@@ -137,6 +147,9 @@ impl OpCounters {
         self.max_alloc_iters.set(0);
         self.alloc_cas_failures.set(0);
         self.alloc_from_gift.set(0);
+        self.alloc_slow_path.set(0);
+        self.segments_grown.set(0);
+        self.nodes_seeded.set(0);
         self.alloc_gave_gift.set(0);
         self.free_calls.set(0);
         self.free_gifted.set(0);
@@ -165,6 +178,9 @@ pub struct CounterSnapshot {
     pub max_alloc_iters: u64,
     pub alloc_cas_failures: u64,
     pub alloc_from_gift: u64,
+    pub alloc_slow_path: u64,
+    pub segments_grown: u64,
+    pub nodes_seeded: u64,
     pub alloc_gave_gift: u64,
     pub free_calls: u64,
     pub free_gifted: u64,
@@ -191,6 +207,9 @@ impl CounterSnapshot {
         self.max_alloc_iters = self.max_alloc_iters.max(other.max_alloc_iters);
         self.alloc_cas_failures += other.alloc_cas_failures;
         self.alloc_from_gift += other.alloc_from_gift;
+        self.alloc_slow_path += other.alloc_slow_path;
+        self.segments_grown += other.segments_grown;
+        self.nodes_seeded += other.nodes_seeded;
         self.alloc_gave_gift += other.alloc_gave_gift;
         self.free_calls += other.free_calls;
         self.free_gifted += other.free_gifted;

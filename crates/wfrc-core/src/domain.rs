@@ -3,15 +3,16 @@
 //!
 //! A [`WfrcDomain`] is the unit of isolation: all links, nodes and handles
 //! belong to exactly one domain, and the wait-freedom bounds are stated in
-//! terms of its `max_threads`. Construction is the only moment the node
-//! pool is sized (the paper manages fixed-size blocks from a pre-seeded
-//! free-list; growing dynamically would need a lock-free block allocator
-//! underneath, which the paper also treats as out of scope).
+//! terms of its `max_threads`. The node pool is sized at construction and
+//! — when the [`Growth`] policy allows — grows wait-free at runtime by
+//! appending arena segments (see [`crate::arena`]); with
+//! [`Growth::Disabled`] the pool is exactly the paper's model: fixed-size
+//! blocks from a pre-seeded free-list, out-of-memory terminal.
 
 use wfrc_primitives::AtomicWord;
 
 use crate::announce::Announce;
-use crate::arena::Arena;
+use crate::arena::{Arena, Growth};
 use crate::counters::OpCounters;
 use crate::freelist::FreeLists;
 use crate::handle::ThreadHandle;
@@ -36,8 +37,12 @@ pub(crate) struct Shared<T> {
 pub struct DomainConfig {
     /// `NR_THREADS`: maximum simultaneously registered threads.
     pub max_threads: usize,
-    /// Node pool size.
+    /// Initial node pool size (the total pool size when `growth` is
+    /// [`Growth::Disabled`]).
     pub capacity: usize,
+    /// Arena growth policy. Defaults to [`Growth::Disabled`] — the exact
+    /// fixed-pool semantics of the paper.
+    pub growth: Growth,
     /// Override for the out-of-memory retry bound (default:
     /// [`alloc_retry_bound`]`(max_threads)`).
     pub oom_bound: Option<usize>,
@@ -49,8 +54,16 @@ impl DomainConfig {
         Self {
             max_threads,
             capacity,
+            growth: Growth::Disabled,
             oom_bound: None,
         }
+    }
+
+    /// Sets the arena growth policy (`capacity` becomes the *initial*
+    /// capacity; see [`Growth::Enabled`] for the ceiling and factor).
+    pub fn with_growth(mut self, growth: Growth) -> Self {
+        self.growth = growth;
+        self
     }
 
     /// Overrides the allocation retry bound (tests use small values to
@@ -97,13 +110,16 @@ impl<T: RcObject> WfrcDomain<T> {
     /// # Panics
     /// Panics if `max_threads` is 0 or exceeds [`MAX_THREADS`], or if
     /// `capacity` is 0.
-    pub fn with_init(config: DomainConfig, init: impl FnMut(usize) -> T) -> Self {
+    pub fn with_init(
+        config: DomainConfig,
+        init: impl Fn(usize) -> T + Send + Sync + 'static,
+    ) -> Self {
         let n = config.max_threads;
         assert!(
             (1..=MAX_THREADS).contains(&n),
             "max_threads must be in 1..={MAX_THREADS}, got {n}"
         );
-        let arena = Arena::new(config.capacity, init);
+        let arena = Arena::with_growth(config.capacity, config.growth, init);
         let fl = FreeLists::new(n);
         fl.seed(&arena);
         let shared = Shared {
@@ -148,9 +164,14 @@ impl<T: RcObject> WfrcDomain<T> {
         self.shared.n
     }
 
-    /// Total node pool size.
+    /// Total node pool size (current, including grown segments).
     pub fn capacity(&self) -> usize {
         self.shared.arena.capacity()
+    }
+
+    /// Number of arena segments currently published (1 until growth).
+    pub fn segment_count(&self) -> usize {
+        self.shared.arena.segment_count()
     }
 
     /// Number of currently registered threads.
@@ -175,11 +196,12 @@ impl<T: RcObject> WfrcDomain<T> {
             .collect();
         let mut report = LeakReport {
             capacity: s.arena.capacity(),
+            segments: s.arena.segment_count(),
             ..LeakReport::default()
         };
-        for (i, node) in s.arena.iter().enumerate() {
+        for node in s.arena.iter() {
             let r = node.load_ref();
-            let ptr = s.arena.node_ptr(i) as usize;
+            let ptr = node as *const _ as usize;
             if gifts.contains(&ptr) {
                 if r == 3 {
                     report.parked_gifts += 1;
@@ -216,8 +238,10 @@ impl<T: RcObject> core::fmt::Debug for WfrcDomain<T> {
 /// Result of [`WfrcDomain::leak_check`].
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct LeakReport {
-    /// Total nodes in the arena.
+    /// Total nodes in the arena (across all segments).
     pub capacity: usize,
+    /// Arena segments the audit walked (1 unless the domain grew).
+    pub segments: usize,
     /// Nodes in the free-lists (`mm_ref == 1`).
     pub free_nodes: usize,
     /// Nodes parked in `annAlloc` slots awaiting pickup (`mm_ref == 3`).

@@ -36,6 +36,7 @@ use core::ptr;
 
 use wfrc_primitives::AtomicWord;
 
+use crate::arena::GrowOutcome;
 use crate::counters::OpCounters;
 use crate::domain::Shared;
 use crate::node::{Node, RcObject};
@@ -141,6 +142,30 @@ impl<T> FreeLists<T> {
     pub fn lists(&self) -> usize {
         2 * self.n
     }
+
+    /// Chains a freshly grown segment's nodes and publishes the whole chain
+    /// onto one free-list head with a single CAS, rotating stripes on
+    /// failure (the same two-way dance as F7–F10, generalized to all
+    /// stripes). The nodes are unshared until the CAS succeeds, so their
+    /// `mm_next` stores need no synchronization beyond the publishing CAS.
+    pub(crate) fn seed_grown(&self, nodes: &[Node<T>]) {
+        debug_assert!(!nodes.is_empty());
+        let first = &nodes[0] as *const Node<T> as *mut Node<T>;
+        for w in nodes.windows(2) {
+            w[0].mm_next()
+                .store(&w[1] as *const Node<T> as *mut Node<T>);
+        }
+        let last = &nodes[nodes.len() - 1];
+        let mut index = self.current.load() % (2 * self.n);
+        loop {
+            let head = self.head(index).load();
+            last.mm_next().store(head);
+            if self.head(index).cas(head, first) {
+                break;
+            }
+            index = (index + 1) % (2 * self.n);
+        }
+    }
 }
 
 impl<T: RcObject> Shared<T> {
@@ -176,6 +201,18 @@ impl<T: RcObject> Shared<T> {
                 return Ok(gift);
             }
             if iters as usize > self.oom_bound {
+                // Growth slow path: the free-lists looked dry for a full
+                // retry bound. Try to publish a new arena segment; any
+                // concurrent winner also counts as progress. Growth events
+                // are bounded by `MAX_SEGMENTS`, so resetting the retry
+                // budget here preserves the wait-free bound (at most
+                // `MAX_SEGMENTS · oom_bound` iterations before a terminal
+                // out-of-memory).
+                OpCounters::bump(&c.alloc_slow_path);
+                if self.grow(c) {
+                    iters = 0;
+                    continue;
+                }
                 self.note_alloc_iters(c, iters);
                 return Err(OutOfMemory);
             }
@@ -222,6 +259,23 @@ impl<T: RcObject> Shared<T> {
         OpCounters::record_max(&c.max_alloc_iters, iters);
     }
 
+    /// Attempts one arena growth step. Returns true when capacity grew
+    /// (whether this thread or a concurrent racer published the segment) —
+    /// the caller re-scans the free-lists; false means the policy is
+    /// exhausted and out-of-memory is terminal.
+    fn grow(&self, c: &OpCounters) -> bool {
+        match self.arena.try_grow() {
+            GrowOutcome::Grew(nodes) => {
+                OpCounters::bump(&c.segments_grown);
+                OpCounters::add(&c.nodes_seeded, nodes.len() as u64);
+                self.fl.seed_grown(nodes);
+                true
+            }
+            GrowOutcome::Lost => true,
+            GrowOutcome::AtCapacity => false,
+        }
+    }
+
     /// `FreeNode` (paper lines F1–F10, with the F3 refcount correction).
     ///
     /// `node` must be claimed (`mm_ref == 1`): only `ReleaseRef`'s winning
@@ -233,12 +287,16 @@ impl<T: RcObject> Shared<T> {
         let fl = &self.fl;
         // SAFETY: arena node, exclusively owned by this invocation (claimed).
         let nref = unsafe { &*node };
-        debug_assert_eq!(nref.load_ref(), Node::<T>::FREE_REF, "FreeNode on unclaimed node");
+        debug_assert_eq!(
+            nref.load_ref(),
+            Node::<T>::FREE_REF,
+            "FreeNode on unclaimed node"
+        );
         #[cfg(not(feature = "no-alloc-helping"))]
         {
             let help_id = fl.help_current.load() % n; // F1
             fl.help_current.cas(help_id, (help_id + 1) % n); // F2
-            // Corrected F3: match the A12 gift's mm_ref (see module docs).
+                                                             // Corrected F3: match the A12 gift's mm_ref (see module docs).
             nref.faa_ref(2); // 1 -> 3
             if fl.ann_alloc[help_id].cas(ptr::null_mut(), node) {
                 OpCounters::bump(&c.free_gifted);

@@ -84,7 +84,10 @@ impl<'d, T: RcObject> ThreadHandle<'d, T> {
     /// `DeRefLink`: wait-free dereference of `link`, returning a guard
     /// holding one reference, or `None` if the link was ⊥.
     pub fn deref<'h>(&'h self, link: &Link<T>) -> Option<NodeRef<'h, T>> {
-        let node = self.domain.shared().deref_link(self.tid, &self.counters, link);
+        let node = self
+            .domain
+            .shared()
+            .deref_link(self.tid, &self.counters, link);
         if node.is_null() {
             None
         } else {
@@ -168,7 +171,9 @@ impl<'d, T: RcObject> ThreadHandle<'d, T> {
     /// # Safety
     /// `link` must only ever hold nodes of this handle's domain.
     pub unsafe fn deref_raw(&self, link: &Link<T>) -> *mut Node<T> {
-        self.domain.shared().deref_link(self.tid, &self.counters, link)
+        self.domain
+            .shared()
+            .deref_link(self.tid, &self.counters, link)
     }
 
     /// Raw `ReleaseRef`: gives up one reference on `node`.
@@ -177,7 +182,9 @@ impl<'d, T: RcObject> ThreadHandle<'d, T> {
     /// `node` must be a non-null node of this domain on which the caller
     /// owns an unreleased reference.
     pub unsafe fn release_raw(&self, node: *mut Node<T>) {
-        self.domain.shared().release_ref(self.tid, &self.counters, node);
+        self.domain
+            .shared()
+            .release_ref(self.tid, &self.counters, node);
     }
 
     /// Raw `FixRef(node, 2·refs)`: acquire `refs` additional references
@@ -208,7 +215,9 @@ impl<'d, T: RcObject> ThreadHandle<'d, T> {
         new: *mut Node<T>,
     ) -> bool {
         if link.cas_raw(old, new) {
-            self.domain.shared().help_deref(self.tid, &self.counters, link);
+            self.domain
+                .shared()
+                .help_deref(self.tid, &self.counters, link);
             true
         } else {
             false
@@ -258,7 +267,9 @@ impl<T: RcObject> Drop for ThreadHandle<'_, T> {
 
 impl<T: RcObject> core::fmt::Debug for ThreadHandle<'_, T> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.debug_struct("ThreadHandle").field("tid", &self.tid).finish()
+        f.debug_struct("ThreadHandle")
+            .field("tid", &self.tid)
+            .finish()
     }
 }
 

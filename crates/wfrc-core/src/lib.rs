@@ -88,6 +88,7 @@ pub mod node;
 pub mod oom;
 pub mod rc;
 
+pub use arena::{Growth, MAX_SEGMENTS};
 pub use counters::OpCounters;
 pub use domain::{DomainConfig, LeakReport, WfrcDomain};
 pub use handle::{NodeRef, ThreadHandle};

@@ -57,7 +57,21 @@ macro_rules! leaf_rc_object {
     };
 }
 
-leaf_rc_object!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, (), String);
+leaf_rc_object!(
+    u8,
+    u16,
+    u32,
+    u64,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    isize,
+    bool,
+    (),
+    String
+);
 
 /// A managed memory block: the paper's Figure 3 `Node`.
 ///

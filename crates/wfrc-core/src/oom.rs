@@ -18,19 +18,28 @@
 //! contention without a spurious failure), and O(N²) cheap to hit when
 //! memory is truly exhausted.
 
-/// Error returned by allocation when the retry bound is exceeded.
+/// Error returned by allocation when the retry bound is exceeded and the
+/// arena cannot grow.
 ///
-/// When every free-list head and every `annAlloc` slot is empty this is a
-/// true out-of-memory condition. Under extreme contention the bound is in
-/// principle reachable with memory still available (the threshold trades
-/// detection latency against that risk, exactly as the paper's footnote
-/// implies); callers for whom that matters can retry.
+/// With [`crate::Growth::Disabled`] (the paper's fixed-pool model) an
+/// exhausted retry bound fails immediately. With growth enabled, exceeding
+/// the bound first attempts to publish a new arena segment and only fails
+/// once the pool is at its configured `max_capacity` (or the
+/// [`crate::MAX_SEGMENTS`] table is full) — out-of-memory is terminal only
+/// at max capacity. When every free-list head and every `annAlloc` slot is
+/// empty this is a true out-of-memory condition. Under extreme contention
+/// the bound is in principle reachable with memory still available (the
+/// threshold trades detection latency against that risk, exactly as the
+/// paper's footnote implies); callers for whom that matters can retry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OutOfMemory;
 
 impl core::fmt::Display for OutOfMemory {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "wait-free free-list exhausted (AllocNode retry bound exceeded)")
+        write!(
+            f,
+            "wait-free free-list exhausted (AllocNode retry bound exceeded)"
+        )
     }
 }
 

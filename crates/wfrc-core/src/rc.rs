@@ -55,9 +55,9 @@ impl<T: RcObject> Shared<T> {
         };
         ann.set_index(tid, idx); // D2
         ann.publish(tid, idx, link.addr()); // D3
-        // D4 — stripping a possible deletion mark (bit 0): the structures
-        // of [18] mark a node's outgoing links before unlinking it; a marked
-        // link still *points to* its node for dereferencing purposes.
+                                            // D4 — stripping a possible deletion mark (bit 0): the structures
+                                            // of [18] mark a node's outgoing links before unlinking it; a marked
+                                            // link still *points to* its node for dereferencing purposes.
         let mut node = wfrc_primitives::tagged::without_tag(link.load_raw());
         if !node.is_null() {
             // D5: speculative increment — safe even on a reclaimed node
@@ -216,7 +216,10 @@ mod tests {
         assert_eq!(h.counters().snapshot().reclaims, before + 1);
         // SAFETY: arena keeps the header readable after reclamation.
         let raw = unsafe { (*ptr).load_ref() };
-        assert!(raw == 1 || raw == 3, "free (1) or parked as gift (3), got {raw}");
+        assert!(
+            raw == 1 || raw == 3,
+            "free (1) or parked as gift (3), got {raw}"
+        );
     }
 
     #[test]
@@ -279,7 +282,7 @@ mod tests {
                 f(&self.next);
             }
         }
-        
+
         const LEN: usize = 10_000;
         let d = WfrcDomain::<Cell>::new(DomainConfig::new(1, LEN));
         let h = d.register().unwrap();

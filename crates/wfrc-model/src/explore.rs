@@ -131,7 +131,11 @@ mod tests {
 
     #[test]
     fn wait_free_deref_survives_every_interleaving() {
-        let r = explore(Shared::initial(), swing_scripts(DerefKind::WaitFree), final_check);
+        let r = explore(
+            Shared::initial(),
+            swing_scripts(DerefKind::WaitFree),
+            final_check,
+        );
         assert!(
             r.violation.is_none(),
             "wait-free protocol violated: {:?}",
@@ -146,8 +150,14 @@ mod tests {
 
     #[test]
     fn naive_deref_is_caught() {
-        let r = explore(Shared::initial(), swing_scripts(DerefKind::Unsafe), |_, _| {});
-        let v = r.violation.expect("the naive dereference must exhibit use-after-free");
+        let r = explore(
+            Shared::initial(),
+            swing_scripts(DerefKind::Unsafe),
+            |_, _| {},
+        );
+        let v = r
+            .violation
+            .expect("the naive dereference must exhibit use-after-free");
         assert!(
             v.0.contains("use-after-free"),
             "expected use-after-free, got: {}",
@@ -158,8 +168,14 @@ mod tests {
     #[test]
     fn two_concurrent_derefs_are_harmless() {
         let ms = vec![
-            Machine::new(0, vec![Call::Deref(DerefKind::WaitFree), Call::ReleaseResult]),
-            Machine::new(1, vec![Call::Deref(DerefKind::WaitFree), Call::ReleaseResult]),
+            Machine::new(
+                0,
+                vec![Call::Deref(DerefKind::WaitFree), Call::ReleaseResult],
+            ),
+            Machine::new(
+                1,
+                vec![Call::Deref(DerefKind::WaitFree), Call::ReleaseResult],
+            ),
         ];
         let r = explore(Shared::initial(), ms, |s, ms| {
             assert_eq!(s.mm_ref, [2, 2], "counts must be restored: {s:?}");
@@ -173,7 +189,10 @@ mod tests {
     #[test]
     fn clear_to_null_with_concurrent_deref() {
         let ms = vec![
-            Machine::new(0, vec![Call::Deref(DerefKind::WaitFree), Call::ReleaseResult]),
+            Machine::new(
+                0,
+                vec![Call::Deref(DerefKind::WaitFree), Call::ReleaseResult],
+            ),
             Machine::new(
                 1,
                 vec![

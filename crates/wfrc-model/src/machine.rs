@@ -136,9 +136,7 @@ impl Machine {
                 Call::FixRef(n, d) => {
                     s.faa(n, d);
                 }
-                Call::CasLink { old, new } => {
-                    self.stack.push(Frame::CasLink { pc: 0, old, new })
-                }
+                Call::CasLink { old, new } => self.stack.push(Frame::CasLink { pc: 0, old, new }),
                 Call::ReleaseIfCasOk(n) => {
                     if self.cas_ok {
                         self.stack.push(Frame::Release { pc: 0, node: n });
@@ -400,7 +398,10 @@ mod tests {
     #[test]
     fn solo_deref_returns_link_target() {
         let mut s = Shared::initial();
-        let m = Machine::new(0, vec![Call::Deref(DerefKind::WaitFree), Call::ReleaseResult]);
+        let m = Machine::new(
+            0,
+            vec![Call::Deref(DerefKind::WaitFree), Call::ReleaseResult],
+        );
         let m = run_to_completion(m, &mut s);
         assert_eq!(m.result, Some(0));
         assert_eq!(s.mm_ref, [2, 2], "deref+release is count-neutral");

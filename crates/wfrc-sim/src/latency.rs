@@ -6,15 +6,13 @@
 //! nanoseconds — 256 buckets, ~19% worst-case relative error per bucket
 //! boundary, `record` is a handful of ALU ops and one array increment.
 
-use serde::{Deserialize, Serialize};
-
 const SUB_BITS: u32 = 2;
 const SUB: usize = 1 << SUB_BITS;
 /// Number of buckets: 64 exponents × 4 sub-buckets.
 pub const BUCKETS: usize = 64 * SUB;
 
 /// A log-scale histogram of `u64` samples (typically nanoseconds).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     counts: Vec<u64>,
     total: u64,

@@ -7,6 +7,8 @@
 //!
 //! * [`workload`] — operation mixes and key distributions with
 //!   deterministic per-thread RNG streams;
+//! * [`rng`] — the in-tree SplitMix64 generator behind those streams (the
+//!   repository builds offline with zero external dependencies);
 //! * [`exec`] — barrier-started thread executors (fixed-op and fixed-time)
 //!   returning per-thread results;
 //! * [`latency`] — a fixed-bucket log-scale histogram for per-op latency
@@ -19,10 +21,12 @@
 
 pub mod exec;
 pub mod latency;
+pub mod rng;
 pub mod stats;
 pub mod workload;
 
 pub use exec::{run_fixed_ops, run_timed, StopFlag};
 pub use latency::Histogram;
+pub use rng::SmallRng;
 pub use stats::{Summary, Table};
 pub use workload::{OpKind, OpMix, WorkloadCfg, WorkloadStream};

@@ -5,12 +5,10 @@
 //! counts) and additionally dump JSON so EXPERIMENTS.md tables can be
 //! regenerated mechanically.
 
-use serde::{Deserialize, Serialize};
-
 use crate::latency::Histogram;
 
 /// A compact summary of a latency/step distribution.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Arithmetic mean.
     pub mean: f64,
@@ -41,7 +39,7 @@ impl Summary {
 }
 
 /// A fixed-width text table (what the bench binaries print).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Table title (experiment id + description).
     pub title: String,
@@ -99,9 +97,52 @@ impl Table {
     }
 
     /// Serializes to JSON (for EXPERIMENTS.md regeneration).
+    ///
+    /// Emitted by hand — the repository builds offline with no external
+    /// crates, and a three-field record of strings does not need one.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("table serialization cannot fail")
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"title\": {},\n", json_string(&self.title)));
+        out.push_str("  \"headers\": ");
+        out.push_str(&json_string_array(&self.headers, "  "));
+        out.push_str(",\n  \"rows\": [");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            out.push_str(&json_string_array(row, "    "));
+        }
+        if !self.rows.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}");
+        out
     }
+}
+
+/// JSON string literal with the escapes RFC 8259 requires.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_string_array(items: &[String], _indent: &str) -> String {
+    let cells: Vec<String> = items.iter().map(|s| json_string(s)).collect();
+    format!("[{}]", cells.join(", "))
 }
 
 /// Formats an operations-per-second figure compactly.
@@ -151,10 +192,21 @@ mod tests {
         assert!(r.contains("## E0 demo"));
         assert!(r.contains("| threads |"));
         assert!(r.lines().count() >= 4);
-        // JSON roundtrip
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let mut t = Table::new("E0 \"quoted\"\ntitle", &["a", "b"]);
+        t.row(&["x\\y".into(), "2".into()]);
         let j = t.to_json();
-        let back: Table = serde_json::from_str(&j).unwrap();
-        assert_eq!(back.rows.len(), 2);
+        assert!(j.contains(r#""title": "E0 \"quoted\"\ntitle""#), "{j}");
+        assert!(j.contains(r#""headers": ["a", "b"]"#), "{j}");
+        assert!(j.contains(r#"["x\\y", "2"]"#), "{j}");
+        // Balanced delimiters (a cheap well-formedness check without a
+        // parser; all payload characters are escaped above).
+        let braces = j.matches('{').count();
+        assert_eq!(braces, j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
     }
 
     #[test]

@@ -6,12 +6,10 @@
 //! deterministically per `(seed, thread)` so runs are reproducible and
 //! scheme comparisons see identical operation sequences.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use crate::rng::SmallRng;
 
 /// The operation classes the experiment drivers understand.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OpKind {
     /// Insert / push / enqueue.
     Insert,
@@ -22,7 +20,7 @@ pub enum OpKind {
 }
 
 /// A percentage mix over [`OpKind`]s.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct OpMix {
     /// Percent of operations that insert (0–100).
     pub insert_pct: u8,
@@ -49,7 +47,7 @@ impl OpMix {
 }
 
 /// Full workload configuration for one experiment cell.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct WorkloadCfg {
     /// Operation mix.
     pub mix: OpMix,
@@ -75,7 +73,9 @@ impl WorkloadCfg {
     /// The per-thread operation stream.
     pub fn stream(&self, thread: usize) -> WorkloadStream {
         WorkloadStream {
-            rng: SmallRng::seed_from_u64(self.seed ^ (thread as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            rng: SmallRng::seed_from_u64(
+                self.seed ^ (thread as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ),
             mix: self.mix,
             key_range: self.key_range,
         }
@@ -92,7 +92,7 @@ pub struct WorkloadStream {
 impl WorkloadStream {
     /// Draws the next operation.
     pub fn next_op(&mut self) -> (OpKind, u64) {
-        let roll: u8 = self.rng.gen_range(0..100);
+        let roll = self.rng.gen_range(100) as u8;
         let kind = if roll < self.mix.insert_pct {
             OpKind::Insert
         } else if roll < self.mix.insert_pct + self.mix.remove_pct {
@@ -100,12 +100,12 @@ impl WorkloadStream {
         } else {
             OpKind::Lookup
         };
-        (kind, self.rng.gen_range(0..self.key_range.max(1)))
+        (kind, self.rng.gen_range(self.key_range.max(1)))
     }
 
     /// Draws just a key.
     pub fn next_key(&mut self) -> u64 {
-        self.rng.gen_range(0..self.key_range.max(1))
+        self.rng.gen_range(self.key_range.max(1))
     }
 }
 

@@ -50,18 +50,15 @@ impl<V: Clone + Send + Sync> EpochQueue<V> {
                         .compare_exchange(ptr::null_mut(), node, Ordering::SeqCst, Ordering::SeqCst)
                         .is_ok()
                 } {
-                    let _ = self.tail.compare_exchange(
-                        tail,
-                        node,
-                        Ordering::SeqCst,
-                        Ordering::SeqCst,
-                    );
+                    let _ =
+                        self.tail
+                            .compare_exchange(tail, node, Ordering::SeqCst, Ordering::SeqCst);
                     return;
                 }
             } else {
-                let _ =
-                    self.tail
-                        .compare_exchange(tail, next, Ordering::SeqCst, Ordering::SeqCst);
+                let _ = self
+                    .tail
+                    .compare_exchange(tail, next, Ordering::SeqCst, Ordering::SeqCst);
             }
         }
     }
@@ -78,9 +75,9 @@ impl<V: Clone + Send + Sync> EpochQueue<V> {
                 return None;
             }
             if head == tail {
-                let _ =
-                    self.tail
-                        .compare_exchange(tail, next, Ordering::SeqCst, Ordering::SeqCst);
+                let _ = self
+                    .tail
+                    .compare_exchange(tail, next, Ordering::SeqCst, Ordering::SeqCst);
                 continue;
             }
             // SAFETY: pinned; `next` reachable via `head`.

@@ -44,7 +44,6 @@ impl<V> EpochStack<V> {
 }
 
 impl<V: Clone + Send + Sync> EpochStack<V> {
-
     /// Pushes `value`.
     pub fn push(&self, h: &EbrHandle<'_, EpochStackNode<V>>, value: V) {
         let node = h.alloc(EpochStackNode {

@@ -112,7 +112,12 @@ impl<V: Clone + Send + Sync + 'static> BucketList<V> {
     /// To keep the implementation obviously correct we reuse the same
     /// discipline as the ordered list but specialize the two root cases
     /// inline below instead of returning link references.
-    fn insert<M: RcMm<ListCell<V>>>(&self, mm: &M, key: u64, value: V) -> Result<bool, OutOfMemory> {
+    fn insert<M: RcMm<ListCell<V>>>(
+        &self,
+        mm: &M,
+        key: u64,
+        value: V,
+    ) -> Result<bool, OutOfMemory> {
         let node = mm.alloc_node()?;
         // SAFETY: fresh, unpublished.
         unsafe {

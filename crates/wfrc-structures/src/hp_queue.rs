@@ -59,20 +59,17 @@ impl<V: Clone + Send + Sync> HpQueue<V> {
                         .compare_exchange(ptr::null_mut(), node, Ordering::SeqCst, Ordering::SeqCst)
                         .is_ok()
                 } {
-                    let _ = self.tail.compare_exchange(
-                        tail,
-                        node,
-                        Ordering::SeqCst,
-                        Ordering::SeqCst,
-                    );
+                    let _ =
+                        self.tail
+                            .compare_exchange(tail, node, Ordering::SeqCst, Ordering::SeqCst);
                     h.clear(0);
                     return;
                 }
             } else {
                 // Help the lagging tail.
-                let _ =
-                    self.tail
-                        .compare_exchange(tail, next, Ordering::SeqCst, Ordering::SeqCst);
+                let _ = self
+                    .tail
+                    .compare_exchange(tail, next, Ordering::SeqCst, Ordering::SeqCst);
             }
         }
     }
@@ -94,9 +91,9 @@ impl<V: Clone + Send + Sync> HpQueue<V> {
                 return None;
             }
             if head == tail {
-                let _ =
-                    self.tail
-                        .compare_exchange(tail, next, Ordering::SeqCst, Ordering::SeqCst);
+                let _ = self
+                    .tail
+                    .compare_exchange(tail, next, Ordering::SeqCst, Ordering::SeqCst);
                 continue;
             }
             // SAFETY: `next` is protected by slot 1.

@@ -43,7 +43,6 @@ impl<V> HpStack<V> {
 }
 
 impl<V: Clone + Send + Sync> HpStack<V> {
-
     /// Pushes `value`.
     pub fn push(&self, h: &mut HpHandle<'_, HpStackNode<V>>, value: V) {
         let node = h.alloc(HpStackNode {

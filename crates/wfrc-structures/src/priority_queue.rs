@@ -211,8 +211,7 @@ impl<V: Clone + Send + Sync + 'static> PriorityQueue<V> {
                         if cur.is_null() {
                             // Either end of level, or advance detected that
                             // `pred` is marked here and we must restart.
-                            let (_, pred_marked) =
-                                mm.payload(pred).next[lvl].load_decomposed();
+                            let (_, pred_marked) = mm.payload(pred).next[lvl].load_decomposed();
                             if pred_marked {
                                 mm.release_node(pred);
                                 // release_found nulls entries, so releasing
@@ -298,7 +297,10 @@ impl<V: Clone + Send + Sync + 'static> PriorityQueue<V> {
                 for lvl in 0..height {
                     let succ = succs[lvl];
                     let old = mm.payload(node).next[lvl].load_raw();
-                    debug_assert!(!tagged::is_tagged(old), "fresh node marked before publication");
+                    debug_assert!(
+                        !tagged::is_tagged(old),
+                        "fresh node marked before publication"
+                    );
                     if old == succ {
                         continue;
                     }
@@ -355,7 +357,7 @@ impl<V: Clone + Send + Sync + 'static> PriorityQueue<V> {
                         continue 'levels;
                     }
                     mm.release_node(node); // undo
-                    // Predecessor moved: re-search and retry this level.
+                                           // Predecessor moved: re-search and retry this level.
                     Self::release_found(mm, &mut preds, &mut succs, 0);
                     self.search(mm, key, &mut preds, &mut succs);
                     if Self::is_deleted(mm, node) {
@@ -464,8 +466,7 @@ impl<V: Clone + Send + Sync + 'static> PriorityQueue<V> {
                         pred = new_pred;
                         if cur.is_null() {
                             // Not found (already snipped) or pred marked.
-                            let (_, pred_marked) =
-                                mm.payload(pred).next[lvl].load_decomposed();
+                            let (_, pred_marked) = mm.payload(pred).next[lvl].load_decomposed();
                             mm.release_node(pred);
                             if pred_marked {
                                 continue 'level; // restart the walk
@@ -630,15 +631,23 @@ mod tests {
 
     #[test]
     fn interleaved_insert_delete_random() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(0xC0FFEE);
+        // In-tree SplitMix64 (the workspace builds offline with no
+        // external crates).
+        let mut state = 0xC0FFEEu64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
         let d = WfrcDomain::<PqCell<u64>>::new(DomainConfig::new(1, 512));
         let h = d.register_mm().unwrap();
         let pq = PriorityQueue::new(&h).unwrap();
         let mut model = std::collections::BinaryHeap::new(); // max-heap of Reverse
         for _ in 0..2_000 {
-            if rng.gen_bool(0.55) {
-                let k = rng.gen_range(0..1_000u64);
+            if next() % 100 < 55 {
+                let k = next() % 1_000u64;
                 if pq.insert(&h, k, k).is_ok() {
                     model.push(std::cmp::Reverse(k));
                 }

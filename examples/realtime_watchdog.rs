@@ -42,10 +42,12 @@ fn main() {
     // Publish an initial config.
     {
         let h = domain.register().unwrap();
-        let initial = h.alloc_with(|c| {
-            c.version = 0;
-            c.limit = 100;
-        }).unwrap();
+        let initial = h
+            .alloc_with(|c| {
+                c.version = 0;
+                c.limit = 100;
+            })
+            .unwrap();
         h.store(&current, Some(&initial));
     }
 
@@ -114,10 +116,15 @@ fn main() {
     println!("watchdog performed {CHECKS} checks against {published} republications");
     println!("  last version seen:          {last_version}");
     println!("  out-of-order publishes seen: {stale_reads} (benign updater race)");
-    println!("  deref retries (total/max):  {}/{}  <- wait-free: structurally 0",
-        counters.deref_retries, counters.max_deref_retries);
+    println!(
+        "  deref retries (total/max):  {}/{}  <- wait-free: structurally 0",
+        counters.deref_retries, counters.max_deref_retries
+    );
     println!("  derefs answered by helpers: {}", counters.deref_helped);
-    println!("  worst announcement scan:    {} slot(s)", counters.max_deref_slot_scan);
+    println!(
+        "  worst announcement scan:    {} slot(s)",
+        counters.max_deref_slot_scan
+    );
     assert_eq!(counters.max_deref_retries, 0, "DeRefLink must never retry");
 
     // Teardown + audit.

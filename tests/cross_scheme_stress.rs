@@ -38,7 +38,10 @@ fn stack_stress<D: RcMmDomain<StackCell<u64>> + Send + 'static>(d: D) {
             })
         })
         .collect();
-    let mut seen: Vec<u64> = workers.into_iter().flat_map(|w| w.join().unwrap()).collect();
+    let mut seen: Vec<u64> = workers
+        .into_iter()
+        .flat_map(|w| w.join().unwrap())
+        .collect();
     let h = d.register_mm().unwrap();
     while let Some(v) = s.pop(&h) {
         seen.push(v);
@@ -107,7 +110,10 @@ fn queue_stress<D: RcMmDomain<QueueCell<u64>> + Send + 'static>(d: D) {
     for p in producers {
         p.join().unwrap();
     }
-    let mut seen: Vec<u64> = consumers.into_iter().flat_map(|c| c.join().unwrap()).collect();
+    let mut seen: Vec<u64> = consumers
+        .into_iter()
+        .flat_map(|c| c.join().unwrap())
+        .collect();
     let h = d.register_mm().unwrap();
     while let Some(v) = q.dequeue(&h) {
         seen.push(v);
@@ -173,7 +179,10 @@ fn pq_stress<D: RcMmDomain<PqCell<u64>> + Send + 'static>(d: D) {
             })
         })
         .collect();
-    let mut seen: Vec<u64> = workers.into_iter().flat_map(|w| w.join().unwrap()).collect();
+    let mut seen: Vec<u64> = workers
+        .into_iter()
+        .flat_map(|w| w.join().unwrap())
+        .collect();
     let h = d.register_mm().unwrap();
     let mut prev = 0;
     while let Some((k, _)) = pq.delete_min(&h) {
@@ -264,7 +273,9 @@ fn list_stress_lfrc() {
 /// free-list is a domain-level resource, exactly as in the paper.
 #[test]
 fn two_stacks_share_one_domain() {
-    let d = Arc::new(WfrcDomain::<StackCell<u64>>::new(DomainConfig::new(4, 8192)));
+    let d = Arc::new(WfrcDomain::<StackCell<u64>>::new(DomainConfig::new(
+        4, 8192,
+    )));
     let s1 = Arc::new(Stack::<u64>::new());
     let s2 = Arc::new(Stack::<u64>::new());
     let workers: Vec<_> = (0..3)

@@ -102,7 +102,7 @@ fn payload_values_drop_exactly_once() {
     }
     #[derive(Default)]
     struct Holder(Option<Tracked>);
-    
+
     impl RcObject for Holder {
         fn each_link(&self, _f: &mut dyn FnMut(&Link<Self>)) {}
     }
@@ -192,8 +192,7 @@ fn too_many_threads_rejected() {
 fn custom_oom_bound_respected() {
     // A tiny bound makes exhaustion detection nearly immediate; correctness
     // (Err, not hang/UB) is what matters.
-    let domain =
-        WfrcDomain::<u64>::new(DomainConfig::new(1, 1).with_oom_bound(4));
+    let domain = WfrcDomain::<u64>::new(DomainConfig::new(1, 1).with_oom_bound(4));
     let h = domain.register().unwrap();
     let a = h.alloc_with(|_| {}).unwrap();
     assert!(h.alloc_with(|_| {}).is_err());

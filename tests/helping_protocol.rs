@@ -83,7 +83,10 @@ fn helpers_answer_racing_readers() {
     let mut total_helped = 0;
     for r in readers {
         let (nonnull, helped, max_retries) = r.join().unwrap();
-        assert_eq!(nonnull, ROUNDS, "link is never null after the initial publish");
+        assert_eq!(
+            nonnull, ROUNDS,
+            "link is never null after the initial publish"
+        );
         assert_eq!(max_retries, 0, "DeRefLink never retries");
         total_helped += helped;
     }

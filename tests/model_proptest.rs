@@ -1,20 +1,26 @@
-//! Property-based testing: random operation sequences applied to each
-//! structure and to a `std` reference model must agree, over both
+//! Model-based randomized testing: random operation sequences applied to
+//! each structure and to a `std` reference model must agree, over both
 //! reference-counting schemes, with a quiescent leak audit at the end of
 //! every case.
+//!
+//! Sequences are driven by the in-tree deterministic [`SmallRng`] (the
+//! workspace builds offline with zero external crates, so the former
+//! `proptest` strategies are replaced by seeded case generation — 64
+//! cases per property, same as the previous `ProptestConfig`).
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
-use proptest::prelude::*;
-
 use wfrc::baselines::LfrcDomain;
 use wfrc::core::{DomainConfig, WfrcDomain};
+use wfrc::sim::SmallRng;
 use wfrc::structures::manager::RcMmDomain;
 use wfrc::structures::ordered_list::{ListCell, OrderedList};
 use wfrc::structures::priority_queue::{PqCell, PriorityQueue};
 use wfrc::structures::queue::{Queue, QueueCell};
 use wfrc::structures::stack::{Stack, StackCell};
+
+const CASES: u64 = 64;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -24,16 +30,28 @@ enum Op {
     Lookup(u64),
 }
 
-fn ops() -> impl Strategy<Value = Vec<Op>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0u64..64).prop_map(Op::Insert),
-            Just(Op::Remove),
-            (0u64..64).prop_map(Op::RemoveKey),
-            (0u64..64).prop_map(Op::Lookup),
-        ],
-        0..200,
-    )
+/// One random case: up to 200 ops with keys in `0..64`, mirroring the
+/// former proptest strategy.
+fn gen_ops(rng: &mut SmallRng) -> Vec<Op> {
+    let len = rng.gen_range(200) as usize;
+    (0..len)
+        .map(|_| match rng.gen_range(4) {
+            0 => Op::Insert(rng.gen_range(64)),
+            1 => Op::Remove,
+            2 => Op::RemoveKey(rng.gen_range(64)),
+            _ => Op::Lookup(rng.gen_range(64)),
+        })
+        .collect()
+}
+
+fn for_each_case(seed: u64, mut body: impl FnMut(&[Op])) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for case in 0..CASES {
+        let ops = gen_ops(&mut rng);
+        // The case index makes failures reproducible: re-seed and skip.
+        let _ = case;
+        body(&ops);
+    }
 }
 
 fn check_stack<D: RcMmDomain<StackCell<u64>>>(d: &D, ops: &[Op]) {
@@ -144,41 +162,49 @@ fn check_list<D: RcMmDomain<ListCell<u64>>>(d: &D, ops: &[Op]) {
     assert!(d.leak_check_mm().is_clean());
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn stack_matches_vec_model() {
+    for_each_case(0xA11_0C01, |ops| {
+        check_stack(&WfrcDomain::new(DomainConfig::new(1, 256)), ops);
+        check_stack(&LfrcDomain::new(1, 256), ops);
+    });
+}
 
-    #[test]
-    fn stack_matches_vec_model(ops in ops()) {
-        check_stack(&WfrcDomain::new(DomainConfig::new(1, 256)), &ops);
-        check_stack(&LfrcDomain::new(1, 256), &ops);
-    }
+#[test]
+fn queue_matches_vecdeque_model() {
+    for_each_case(0xA11_0C02, |ops| {
+        check_queue(&WfrcDomain::new(DomainConfig::new(1, 256)), ops);
+        check_queue(&LfrcDomain::new(1, 256), ops);
+    });
+}
 
-    #[test]
-    fn queue_matches_vecdeque_model(ops in ops()) {
-        check_queue(&WfrcDomain::new(DomainConfig::new(1, 256)), &ops);
-        check_queue(&LfrcDomain::new(1, 256), &ops);
-    }
+#[test]
+fn pq_matches_binaryheap_model() {
+    for_each_case(0xA11_0C03, |ops| {
+        check_pq(&WfrcDomain::new(DomainConfig::new(1, 256)), ops);
+        check_pq(&LfrcDomain::new(1, 256), ops);
+    });
+}
 
-    #[test]
-    fn pq_matches_binaryheap_model(ops in ops()) {
-        check_pq(&WfrcDomain::new(DomainConfig::new(1, 256)), &ops);
-        check_pq(&LfrcDomain::new(1, 256), &ops);
-    }
+#[test]
+fn list_matches_btreemap_model() {
+    for_each_case(0xA11_0C04, |ops| {
+        check_list(&WfrcDomain::new(DomainConfig::new(1, 256)), ops);
+        check_list(&LfrcDomain::new(1, 256), ops);
+    });
+}
 
-    #[test]
-    fn list_matches_btreemap_model(ops in ops()) {
-        check_list(&WfrcDomain::new(DomainConfig::new(1, 256)), &ops);
-        check_list(&LfrcDomain::new(1, 256), &ops);
-    }
-
-    /// Allocation/release in arbitrary interleavings conserves the pool.
-    #[test]
-    fn alloc_release_conserves_pool(ops in prop::collection::vec(any::<bool>(), 0..300)) {
+/// Allocation/release in arbitrary interleavings conserves the pool.
+#[test]
+fn alloc_release_conserves_pool() {
+    let mut rng = SmallRng::seed_from_u64(0xA11_0C05);
+    for _ in 0..CASES {
         let d = WfrcDomain::<u64>::new(DomainConfig::new(1, 32));
         let h = d.register().unwrap();
         let mut held = Vec::new();
-        for alloc in ops {
-            if alloc {
+        let len = rng.gen_range(300);
+        for _ in 0..len {
+            if rng.gen_bool(0.5) {
                 if let Ok(n) = h.alloc_with(|v| *v = 1) {
                     held.push(n);
                 }
@@ -186,11 +212,11 @@ proptest! {
                 held.pop();
             }
             let r = d.leak_check();
-            prop_assert_eq!(r.live_nodes, held.len());
-            prop_assert_eq!(r.corrupt_nodes, 0);
+            assert_eq!(r.live_nodes, held.len());
+            assert_eq!(r.corrupt_nodes, 0);
         }
         drop(held);
         drop(h);
-        prop_assert!(d.leak_check().is_clean());
+        assert!(d.leak_check().is_clean());
     }
 }

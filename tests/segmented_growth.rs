@@ -1,0 +1,256 @@
+//! Integration tests for the segmented, growable arena (both schemes).
+//!
+//! The acceptance bar: an allocation-heavy workload whose initial capacity
+//! is far below its live-node peak must complete without `OutOfMemory`,
+//! grow the arena by multiple segments (visible in the counters), and end
+//! with a clean quiescent leak audit.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+use wfrc::baselines::LfrcDomain;
+use wfrc::core::{DomainConfig, Growth, OutOfMemory, WfrcDomain};
+
+/// Growth-enabled config under-provisioned by design.
+fn grow_cfg(threads: usize, initial: usize, max: usize) -> DomainConfig {
+    DomainConfig::new(threads, initial).with_growth(Growth::doubling_to(max))
+}
+
+#[test]
+fn wfrc_grows_past_initial_capacity_single_thread() {
+    let d = WfrcDomain::<u64>::new(grow_cfg(1, 4, 64));
+    let h = d.register().unwrap();
+    // Hold 40 live nodes — ten times the initial capacity.
+    let guards: Vec<_> = (0..40).map(|_| h.alloc_with(|v| *v = 7).unwrap()).collect();
+    assert!(d.capacity() >= 40, "capacity {} never grew", d.capacity());
+    assert!(
+        d.segment_count() >= 3,
+        "expected ≥3 segments, got {}",
+        d.segment_count()
+    );
+    let snap = h.counters().snapshot();
+    assert!(snap.segments_grown >= 2, "{snap:?}");
+    assert!(snap.nodes_seeded >= 36, "{snap:?}");
+    assert!(snap.alloc_slow_path >= snap.segments_grown, "{snap:?}");
+    drop(guards);
+    drop(h);
+    let r = d.leak_check();
+    assert!(r.is_clean(), "{r:?}");
+    assert!(r.segments >= 3, "{r:?}");
+}
+
+#[test]
+fn wfrc_growth_stops_at_max_capacity() {
+    let d = WfrcDomain::<u64>::new(grow_cfg(1, 4, 16));
+    let h = d.register().unwrap();
+    let guards: Vec<_> = (0..16).map(|_| h.alloc_with(|_| {}).unwrap()).collect();
+    // Pool is at its ceiling: the next allocation is a terminal OOM.
+    assert_eq!(h.alloc_with(|_| {}).unwrap_err(), OutOfMemory);
+    assert_eq!(d.capacity(), 16);
+    drop(guards);
+    drop(h);
+    assert!(d.leak_check().is_clean());
+}
+
+#[test]
+fn disabled_growth_keeps_seed_oom_semantics() {
+    // Bit-for-bit the fixed-pool behavior: no growth, same error, same
+    // capacity and segment count before and after exhaustion.
+    let d = WfrcDomain::<u64>::new(DomainConfig::new(1, 4));
+    let h = d.register().unwrap();
+    let guards: Vec<_> = (0..4).map(|_| h.alloc_with(|_| {}).unwrap()).collect();
+    assert_eq!(h.alloc_with(|_| {}).unwrap_err(), OutOfMemory);
+    assert_eq!(d.capacity(), 4);
+    assert_eq!(d.segment_count(), 1);
+    let snap = h.counters().snapshot();
+    assert_eq!(snap.segments_grown, 0);
+    assert_eq!(snap.nodes_seeded, 0);
+    drop(guards);
+    drop(h);
+    let r = d.leak_check();
+    assert!(r.is_clean(), "{r:?}");
+    assert_eq!(r.segments, 1);
+}
+
+#[test]
+fn grown_nodes_use_the_domain_init() {
+    let d = WfrcDomain::<u64>::with_init(grow_cfg(1, 2, 16), |i| i as u64 * 10);
+    let h = d.register().unwrap();
+    let guards: Vec<_> = (0..16).map(|_| h.alloc_with(|_| {}).unwrap()).collect();
+    let mut seen: Vec<u64> = guards.iter().map(|g| **g).collect();
+    seen.sort_unstable();
+    // The init closure covered grown indices 2..16 too.
+    assert_eq!(seen, (0..16).map(|i| i * 10).collect::<Vec<u64>>());
+    drop(guards);
+}
+
+#[test]
+fn concurrent_alloc_free_across_growth_boundary() {
+    // Threads race allocation bursts against each other while the arena
+    // grows underneath them; each burst straddles segment-publication
+    // points. Every allocation must succeed well below max capacity.
+    const THREADS: usize = 4;
+    const ROUNDS: usize = 200;
+    const BURST: usize = 8;
+    let d = Arc::new(WfrcDomain::<u64>::new(grow_cfg(THREADS, 2, 4096)));
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let grown = Arc::new(AtomicU64::new(0));
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let d = Arc::clone(&d);
+            let barrier = Arc::clone(&barrier);
+            let grown = Arc::clone(&grown);
+            std::thread::spawn(move || {
+                let h = d.register().unwrap();
+                barrier.wait();
+                for round in 0..ROUNDS {
+                    let burst: Vec<_> = (0..BURST)
+                        .map(|k| {
+                            h.alloc_with(|v| *v = (t * ROUNDS + round + k) as u64)
+                                .expect("growth must prevent OOM below max capacity")
+                        })
+                        .collect();
+                    for g in &burst {
+                        assert!(**g >= (t * ROUNDS) as u64);
+                    }
+                    drop(burst);
+                }
+                grown.fetch_add(h.counters().snapshot().segments_grown, Ordering::Relaxed);
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    // The pool started at 2 nodes for a 32-node peak demand: it must have
+    // grown, and exactly one thread won each published segment.
+    assert!(d.segment_count() >= 3, "segments: {}", d.segment_count());
+    assert_eq!(
+        grown.load(Ordering::Relaxed),
+        (d.segment_count() - 1) as u64
+    );
+    let r = d.leak_check();
+    assert!(r.is_clean(), "{r:?}");
+}
+
+#[test]
+fn lfrc_grows_and_stays_clean() {
+    let d = LfrcDomain::<u64>::with_growth(2, 4, Growth::doubling_to(256));
+    let h = d.register().unwrap();
+    let nodes: Vec<_> = (0..100).map(|_| h.alloc_raw().unwrap()).collect();
+    assert!(d.capacity() >= 100);
+    assert!(d.segment_count() >= 3);
+    let snap = h.counters().snapshot();
+    assert!(snap.segments_grown >= 2, "{snap:?}");
+    // SAFETY: we own one reference per allocated node.
+    unsafe {
+        for n in nodes {
+            h.release_raw(n);
+        }
+    }
+    drop(h);
+    let r = d.leak_check();
+    assert!(r.is_clean(), "{r:?}");
+    assert!(r.segments >= 3, "{r:?}");
+}
+
+#[test]
+fn lfrc_fixed_pool_oom_unchanged() {
+    let d = LfrcDomain::<u64>::new(1, 3);
+    let h = d.register().unwrap();
+    let nodes: Vec<_> = (0..3).map(|_| h.alloc_raw().unwrap()).collect();
+    assert_eq!(h.alloc_raw(), Err(OutOfMemory));
+    assert_eq!(d.segment_count(), 1);
+    // SAFETY: we own the references.
+    unsafe {
+        for n in nodes {
+            h.release_raw(n);
+        }
+    }
+    assert!(d.leak_check().is_clean());
+}
+
+/// The ISSUE acceptance workload: an alloc-heavy run whose
+/// `initial_capacity` is far below the live-node peak completes without
+/// OutOfMemory, grows at least 2 segments, and leak-checks clean — on
+/// BOTH schemes.
+#[test]
+fn acceptance_under_provisioned_workload_both_schemes() {
+    const THREADS: usize = 4;
+    const PEAK_PER_THREAD: usize = 32;
+
+    // wfrc
+    {
+        let d = Arc::new(WfrcDomain::<u64>::new(grow_cfg(THREADS, 8, 8192)));
+        let barrier = Arc::new(Barrier::new(THREADS));
+        let workers: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let d = Arc::clone(&d);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let h = d.register().unwrap();
+                    barrier.wait();
+                    for _ in 0..50 {
+                        let held: Vec<_> = (0..PEAK_PER_THREAD)
+                            .map(|_| h.alloc_with(|v| *v = 1).expect("no OOM under growth"))
+                            .collect();
+                        drop(held);
+                    }
+                    h.counters().snapshot()
+                })
+            })
+            .collect();
+        let merged = workers
+            .into_iter()
+            .map(|w| w.join().unwrap())
+            .fold(wfrc::core::counters::CounterSnapshot::default(), |a, b| {
+                a.merged(&b)
+            });
+        assert!(merged.segments_grown >= 2, "{merged:?}");
+        assert!(d.segment_count() >= 3);
+        let r = d.leak_check();
+        assert!(r.is_clean(), "{r:?}");
+    }
+
+    // lfrc
+    {
+        let d = Arc::new(LfrcDomain::<u64>::with_growth(
+            THREADS,
+            8,
+            Growth::doubling_to(8192),
+        ));
+        let barrier = Arc::new(Barrier::new(THREADS));
+        let workers: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let d = Arc::clone(&d);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let h = d.register().unwrap();
+                    barrier.wait();
+                    for _ in 0..50 {
+                        let held: Vec<_> = (0..PEAK_PER_THREAD)
+                            .map(|_| h.alloc_raw().expect("no OOM under growth"))
+                            .collect();
+                        // SAFETY: we own one reference per node.
+                        unsafe {
+                            for n in held {
+                                h.release_raw(n);
+                            }
+                        }
+                    }
+                    h.counters().snapshot()
+                })
+            })
+            .collect();
+        let merged = workers
+            .into_iter()
+            .map(|w| w.join().unwrap())
+            .fold(wfrc::core::counters::CounterSnapshot::default(), |a, b| {
+                a.merged(&b)
+            });
+        assert!(merged.segments_grown >= 2, "{merged:?}");
+        assert!(d.segment_count() >= 3);
+        let r = d.leak_check();
+        assert!(r.is_clean(), "{r:?}");
+    }
+}
