@@ -14,8 +14,14 @@
 //! the p99/max allocation latency whose tail contains the segment
 //! publications.
 //!
+//! With `--magazine` each scheme runs the same churn twice — per-thread
+//! allocation magazines off and on (capacity 64, roomy pool) — and the
+//! table reports `magazine_hit_rate` (hits / allocs) next to the shared
+//! free-list traffic (slow-path entries, alloc CAS failures, free push
+//! retries) that the magazine layer is supposed to absorb.
+//!
 //! ```text
-//! cargo run --release --bin e5_alloc_interference [-- --threads 1,2,4,8 --ops 100000 --json --grow]
+//! cargo run --release --bin e5_alloc_interference [-- --threads 1,2,4,8 --ops 100000 --json --grow --magazine]
 //! ```
 
 use std::sync::Arc;
@@ -90,10 +96,85 @@ fn run_growth_table(args: &Args) {
     }
 }
 
+/// Magazine mode: same churn, magazines off vs. on, roomy pool (the
+/// contrast under test is fast-path coverage, not pool pressure).
+fn run_magazine_table(args: &Args) {
+    const MAG_CAP: usize = 64;
+    let mut table = Table::new(
+        "E5 (--magazine): per-thread magazines over the shared free-lists",
+        &[
+            "threads",
+            "scheme",
+            "magazine",
+            "ops/s",
+            "magazine_hit_rate",
+            "shared allocs",
+            "refills",
+            "drains",
+            "slow-path entries",
+            "alloc CAS fails",
+            "free push retries",
+        ],
+    );
+    for &t in &args.threads {
+        // Roomy: the clamp leaves the full 64-node magazines in place.
+        let cap = t * 256;
+        for scheme in ["wfrc", "lfrc"] {
+            for mag in [0usize, MAG_CAP] {
+                let (r, leak) = if scheme == "wfrc" {
+                    let d = Arc::new(WfrcDomain::<u64>::new(
+                        DomainConfig::new(t, cap).with_magazine(mag),
+                    ));
+                    let r = run_alloc_churn(Arc::clone(&d), t, args.ops);
+                    (r, d.leak_check())
+                } else {
+                    let mut d = LfrcDomain::<u64>::new(t, cap);
+                    d.set_backoff(false);
+                    d.set_magazine(mag);
+                    let d = Arc::new(d);
+                    let r = run_alloc_churn(Arc::clone(&d), t, args.ops);
+                    (r, d.leak_check())
+                };
+                assert!(leak.is_clean(), "{scheme} magazine run must end clean");
+                let hit_rate = if r.counters.alloc_calls > 0 {
+                    r.counters.magazine_hits as f64 / r.counters.alloc_calls as f64
+                } else {
+                    0.0
+                };
+                table.row(&[
+                    t.to_string(),
+                    scheme.to_string(),
+                    if mag == 0 {
+                        "off".into()
+                    } else {
+                        format!("{mag}")
+                    },
+                    fmt_ops(r.ops_per_sec()),
+                    format!("{hit_rate:.3}"),
+                    (r.counters.alloc_calls - r.counters.magazine_hits).to_string(),
+                    r.counters.magazine_refills.to_string(),
+                    r.counters.magazine_drains.to_string(),
+                    r.counters.alloc_slow_path.to_string(),
+                    r.counters.alloc_cas_failures.to_string(),
+                    r.counters.free_push_retries.to_string(),
+                ]);
+            }
+        }
+    }
+    println!("{}", table.render());
+    if args.json {
+        println!("{}", table.to_json());
+    }
+}
+
 fn main() {
     let args = Args::parse(&[1, 2, 4, 8], 100_000);
     if args.grow {
         run_growth_table(&args);
+        return;
+    }
+    if args.magazine {
+        run_magazine_table(&args);
         return;
     }
     let mut table = Table::new(

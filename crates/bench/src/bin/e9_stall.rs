@@ -17,8 +17,14 @@
 //! the stalled holder must not force unbounded growth — the pool grows to
 //! cover the churn's working set and then stops, and nothing leaks.
 //!
+//! With `--magazine` two extra rows run each refcounting scheme with
+//! per-thread allocation magazines enabled: a stalled thread additionally
+//! parks its magazine's nodes (bounded by the magazine capacity — reported
+//! in the "stalled holds" cell together with the churn thread's fast-path
+//! hit rate), and everything else still recycles.
+//!
 //! ```text
-//! cargo run --release --bin e9_stall [-- --ops 50000 --grow]
+//! cargo run --release --bin e9_stall [-- --ops 50000 --grow --magazine]
 //! ```
 
 use std::sync::atomic::AtomicPtr;
@@ -206,10 +212,99 @@ fn main() {
         }
     }
 
+    // Magazine mode: the same stall scenario with per-thread magazines.
+    // The stalled thread's pinned footprint grows by at most its magazine
+    // capacity (nodes parked there stay parked until it drains), which is
+    // a constant — the refcounting bound stays exact, just offset.
+    if args.magazine {
+        const MAG: usize = 16;
+        {
+            let d = WfrcDomain::<u64>::new(DomainConfig::new(2, 256).with_magazine(MAG));
+            let h_stall = d.register().unwrap();
+            let held = h_stall.alloc_with(|v| *v = 1).unwrap(); // stalled forever
+            let h = d.register().unwrap();
+            for _ in 0..churn {
+                let n = h.alloc_with(|v| *v = 2).expect("pool never exhausts");
+                drop(n);
+            }
+            let s = h.counters().snapshot();
+            let stall_parked = h_stall.magazine_len();
+            drop(h);
+            let report = d.leak_check();
+            table_magazine_row(
+                &mut table,
+                "wfrc+mag",
+                churn,
+                report.live_nodes - 1,
+                d.magazine_cap(),
+                stall_parked,
+                s.magazine_hits as f64 / s.alloc_calls.max(1) as f64,
+            );
+            drop(held);
+            drop(h_stall);
+            assert!(
+                d.leak_check().is_clean(),
+                "wfrc magazine stall must end clean"
+            );
+        }
+        {
+            let mut d = LfrcDomain::<u64>::new(2, 256);
+            d.set_magazine(MAG);
+            let h_stall = d.register().unwrap();
+            let held = h_stall.alloc_raw().unwrap(); // stalled forever
+            let h = d.register().unwrap();
+            for _ in 0..churn {
+                let n = h.alloc_raw().expect("pool never exhausts");
+                // SAFETY: we own the alloc reference.
+                unsafe { h.release_raw(n) };
+            }
+            let s = h.counters().snapshot();
+            let stall_parked = h_stall.magazine_len();
+            drop(h);
+            let report = d.leak_check();
+            table_magazine_row(
+                &mut table,
+                "lfrc+mag",
+                churn,
+                report.live_nodes - 1,
+                d.magazine_cap(),
+                stall_parked,
+                s.magazine_hits as f64 / s.alloc_calls.max(1) as f64,
+            );
+            // SAFETY: teardown.
+            unsafe { h_stall.release_raw(held) };
+            drop(h_stall);
+            assert!(
+                d.leak_check().is_clean(),
+                "lfrc magazine stall must end clean"
+            );
+        }
+    }
+
     println!("{}", table.render());
     if args.json {
         println!("{}", table.to_json());
     }
+}
+
+/// Magazine rows reuse the E9 columns: "stalled holds" carries the
+/// magazine telemetry so the table shape (and JSON schema) stays stable.
+fn table_magazine_row(
+    table: &mut Table,
+    scheme: &str,
+    churned: u64,
+    unreclaimed: usize,
+    cap: usize,
+    stall_parked: usize,
+    hit_rate: f64,
+) {
+    table.row(&[
+        scheme.into(),
+        format!("1 ref + {stall_parked} parked (mag cap {cap}, churn hit rate {hit_rate:.3})"),
+        churned.to_string(),
+        unreclaimed.to_string(),
+        "yes (ref + magazine cap)".into(),
+    ]);
 }
 
 /// Growth rows reuse the E9 columns: "stalled holds" carries the pool

@@ -50,6 +50,9 @@ pub struct Args {
     /// Run the under-provisioned growth-mode variant (E5/E9): pools start
     /// far below the live-node peak and must grow to finish.
     pub grow: bool,
+    /// Run the magazine-mode variant (E5/E9): per-thread allocation
+    /// magazines on vs. off, reporting the fast-path hit rate.
+    pub magazine: bool,
 }
 
 impl Args {
@@ -60,6 +63,7 @@ impl Args {
             ops: default_ops,
             json: false,
             grow: false,
+            magazine: false,
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -80,8 +84,12 @@ impl Args {
                 }
                 "--json" => out.json = true,
                 "--grow" => out.grow = true,
+                "--magazine" => out.magazine = true,
                 other => {
-                    panic!("unknown argument: {other} (expected --threads/--ops/--json/--grow)")
+                    panic!(
+                        "unknown argument: {other} \
+                         (expected --threads/--ops/--json/--grow/--magazine)"
+                    )
                 }
             }
         }

@@ -26,6 +26,7 @@ use core::ptr;
 
 use wfrc_core::arena::{Arena, GrowOutcome};
 use wfrc_core::counters::OpCounters;
+use wfrc_core::magazine::{clamped_cap, Magazines};
 use wfrc_core::oom::OutOfMemory;
 use wfrc_core::Growth;
 use wfrc_core::{Link, Node, RcObject};
@@ -47,6 +48,10 @@ pub struct LfrcDomain<T: RcObject> {
     /// Whether retry loops back off (the NOBLE-era default). Disable for
     /// raw retry-count measurements.
     backoff: bool,
+    /// Per-thread allocation magazines — the same layer as
+    /// [`wfrc_core::magazine`], so magazine-mode experiments compare the
+    /// schemes apples-to-apples. Disabled (cap 0) by default.
+    mag: Magazines<T>,
 }
 
 impl<T: RcObject + Default> LfrcDomain<T> {
@@ -103,12 +108,27 @@ impl<T: RcObject> LfrcDomain<T> {
             head,
             slots: (0..max_threads).map(|_| AtomicWord::new(0)).collect(),
             backoff: true,
+            mag: Magazines::new(max_threads, 0),
         }
     }
 
     /// Disables backoff in retry loops (for step-count experiments).
     pub fn set_backoff(&mut self, on: bool) {
         self.backoff = on;
+    }
+
+    /// Enables per-thread allocation magazines of (at most) `cap` nodes,
+    /// clamped exactly like [`wfrc_core::DomainConfig::with_magazine`].
+    /// Must be called before the domain is shared (hence `&mut self`, the
+    /// same pattern as [`LfrcDomain::set_backoff`]).
+    pub fn set_magazine(&mut self, cap: usize) {
+        let threads = self.slots.len();
+        self.mag = Magazines::new(threads, clamped_cap(cap, self.arena.capacity(), threads));
+    }
+
+    /// Effective per-thread magazine capacity (0 = magazines disabled).
+    pub fn magazine_cap(&self) -> usize {
+        self.mag.cap()
     }
 
     /// Registers the calling context.
@@ -138,8 +158,10 @@ impl<T: RcObject> LfrcDomain<T> {
 
     /// Quiescent audit, same classification as
     /// [`wfrc_core::WfrcDomain::leak_check`] (LFRC has no gift parking, so
-    /// `parked_gifts` is always 0).
+    /// `parked_gifts` is always 0; magazine-parked nodes are counted in
+    /// `magazine_nodes` just like the wait-free scheme's).
     pub fn leak_check(&self) -> wfrc_core::LeakReport {
+        let parked = self.mag.parked();
         let mut report = wfrc_core::LeakReport {
             capacity: self.arena.capacity(),
             segments: self.arena.segment_count(),
@@ -147,7 +169,14 @@ impl<T: RcObject> LfrcDomain<T> {
         };
         for node in self.arena.iter() {
             let r = node.load_ref();
-            if r == 1 {
+            let ptr = node as *const _ as usize;
+            if parked.contains(&ptr) {
+                if r == 1 {
+                    report.magazine_nodes += 1;
+                } else {
+                    report.corrupt_nodes += 1;
+                }
+            } else if r == 1 {
                 report.free_nodes += 1;
             } else if r % 2 == 0 && r >= 2 {
                 report.live_nodes += 1;
@@ -210,6 +239,9 @@ impl<'d, T: RcObject> LfrcHandle<'d, T> {
     /// stale payload.
     pub fn alloc_raw(&self) -> Result<*mut Node<T>, OutOfMemory> {
         OpCounters::bump(&self.counters.alloc_calls);
+        if let Some(node) = self.magazine_pop() {
+            return Ok(node);
+        }
         let mut backoff = Backoff::new();
         let mut iters: u64 = 0;
         loop {
@@ -362,24 +394,135 @@ impl<'d, T: RcObject> LfrcHandle<'d, T> {
         }
     }
 
-    /// Treiber push of a claimed node onto the single free-list.
+    /// Treiber push of a claimed node onto the single free-list (or into
+    /// this thread's magazine when the layer is enabled).
     fn free_node(&self, node: *mut Node<T>) {
         OpCounters::bump(&self.counters.free_calls);
-        // SAFETY: exclusively owned (claimed) node of the arena.
-        let nref = unsafe { &*node };
+        if self.magazine_push(node) {
+            return;
+        }
+        let retries = self.push_chain(node, node);
+        OpCounters::add(&self.counters.free_push_retries, retries);
+        OpCounters::record_max(&self.counters.max_free_push_retries, retries);
+    }
+
+    /// Treiber push of an exclusively-owned, pre-linked chain
+    /// (`first..=last`) onto the single head. Returns the retry count.
+    fn push_chain(&self, first: *mut Node<T>, last: *mut Node<T>) -> u64 {
         let mut backoff = Backoff::new();
         let mut retries: u64 = 0;
         loop {
             let head = self.domain.head.load();
-            nref.mm_next().store(head);
-            if self.domain.head.cas(head, node) {
-                break;
+            // SAFETY: `last` is exclusively ours until the CAS publishes it.
+            unsafe { (*last).mm_next().store(head) };
+            if self.domain.head.cas(head, first) {
+                return retries;
             }
             retries += 1;
             if self.domain.backoff {
                 backoff.snooze();
             }
         }
+    }
+
+    /// Number of nodes currently parked in this thread's magazine.
+    pub fn magazine_len(&self) -> usize {
+        // SAFETY: this handle is the exclusive owner of `tid`'s slot.
+        unsafe { self.domain.mag.len(self.tid) }
+    }
+
+    /// Magazine fast path of `alloc_raw`: pop locally, refilling from the
+    /// single head in one batch (one SWAP) when empty. `None` falls through
+    /// to the Treiber loop. Same node-state protocol as
+    /// [`wfrc_core::magazine`]: parked nodes keep `mm_ref == 1`, popping
+    /// applies `FAA(+1)` (1 → 2).
+    fn magazine_pop(&self) -> Option<*mut Node<T>> {
+        let mag = &self.domain.mag;
+        if !mag.is_enabled() {
+            return None;
+        }
+        // SAFETY: `tid` is this handle's registered thread id (exclusive).
+        let node = match unsafe { mag.pop(self.tid) } {
+            Some(node) => node,
+            None => {
+                self.magazine_refill();
+                // SAFETY: same exclusivity.
+                unsafe { mag.pop(self.tid) }?
+            }
+        };
+        OpCounters::bump(&self.counters.magazine_hits);
+        // SAFETY: arena node; headers are type-stable.
+        unsafe { (*node).faa_ref(1) };
+        Some(node)
+    }
+
+    /// Steals the whole free-list with one `SWAP(head, ⊥)`, keeps at most
+    /// half a magazine, and hands the rest back (CAS ⊥ → rest, falling
+    /// back to a Treiber chain-push if an allocator raced in).
+    fn magazine_refill(&self) {
+        let mag = &self.domain.mag;
+        let target = (mag.cap() / 2).max(1);
+        let chain = self.domain.head.swap(ptr::null_mut());
+        if chain.is_null() {
+            return;
+        }
+        let mut kept = Vec::with_capacity(target);
+        let mut p = chain;
+        while !p.is_null() && kept.len() < target {
+            kept.push(p);
+            // SAFETY: node of the stolen chain — exclusively ours.
+            p = unsafe { (*p).mm_next().load() };
+        }
+        let rest = p;
+        if !rest.is_null() && !self.domain.head.cas(ptr::null_mut(), rest) {
+            let mut tail = rest;
+            loop {
+                // SAFETY: node of the stolen remainder.
+                let next = unsafe { (*tail).mm_next().load() };
+                if next.is_null() {
+                    break;
+                }
+                tail = next;
+            }
+            let retries = self.push_chain(rest, tail);
+            OpCounters::add(&self.counters.free_push_retries, retries);
+            OpCounters::record_max(&self.counters.max_free_push_retries, retries);
+        }
+        // SAFETY: tid exclusivity; kept.len() <= cap / 2 fits.
+        unsafe { mag.extend(self.tid, kept) };
+        OpCounters::bump(&self.counters.magazine_refills);
+    }
+
+    /// Magazine fast path of `free_node`: push locally, draining the
+    /// oldest half as one chain-push when full.
+    fn magazine_push(&self, node: *mut Node<T>) -> bool {
+        let mag = &self.domain.mag;
+        if !mag.is_enabled() {
+            return false;
+        }
+        // SAFETY: `tid` is this handle's registered thread id (exclusive).
+        if unsafe { mag.try_push(self.tid, node) } {
+            return true;
+        }
+        let half = (mag.cap() / 2).max(1);
+        // SAFETY: same exclusivity.
+        let batch = unsafe { mag.take(self.tid, half) };
+        self.drain_batch(batch);
+        // SAFETY: same exclusivity; we just made room.
+        let pushed = unsafe { mag.try_push(self.tid, node) };
+        debug_assert!(pushed, "magazine still full after drain");
+        pushed
+    }
+
+    /// Chains `batch` locally and pushes it with one Treiber CAS.
+    fn drain_batch(&self, batch: Vec<*mut Node<T>>) {
+        debug_assert!(!batch.is_empty());
+        OpCounters::bump(&self.counters.magazine_drains);
+        for w in batch.windows(2) {
+            // SAFETY: claimed nodes exclusively owned by this drain.
+            unsafe { (*w[0]).mm_next().store(w[1]) };
+        }
+        let retries = self.push_chain(batch[0], batch[batch.len() - 1]);
         OpCounters::add(&self.counters.free_push_retries, retries);
         OpCounters::record_max(&self.counters.max_free_push_retries, retries);
     }
@@ -441,6 +584,13 @@ impl<'d, T: RcObject> LfrcHandle<'d, T> {
 
 impl<T: RcObject> Drop for LfrcHandle<'_, T> {
     fn drop(&mut self) {
+        // Return magazine-parked nodes before the thread id becomes
+        // claimable, same as `wfrc_core::ThreadHandle`.
+        // SAFETY: still the exclusive owner of `tid`'s slot.
+        let batch = unsafe { self.domain.mag.take(self.tid, usize::MAX) };
+        if !batch.is_empty() {
+            self.drain_batch(batch);
+        }
         let was = self.domain.slots[self.tid].swap(0);
         debug_assert_eq!(was, 1);
     }
@@ -529,6 +679,30 @@ mod tests {
             h.release_raw(head);
         }
         assert!(d.leak_check().is_clean());
+    }
+
+    #[test]
+    fn magazine_roundtrip_hits_and_drains_on_drop() {
+        let mut d = LfrcDomain::<u64>::new(1, 64);
+        d.set_magazine(8);
+        assert_eq!(d.magazine_cap(), 8);
+        let h = d.register().unwrap();
+        for _ in 0..100 {
+            let n = h.alloc_raw().unwrap();
+            // SAFETY: we own the reference.
+            unsafe { h.release_raw(n) };
+        }
+        let s = h.counters().snapshot();
+        assert!(s.magazine_hits > 0, "no magazine hits: {s:?}");
+        assert!(h.magazine_len() > 0);
+        let mid = d.leak_check();
+        assert!(mid.is_clean(), "{mid:?}");
+        assert!(mid.magazine_nodes > 0);
+        drop(h);
+        let report = d.leak_check();
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(report.magazine_nodes, 0);
+        assert_eq!(report.free_nodes, 64);
     }
 
     #[test]

@@ -67,6 +67,15 @@ pub struct OpCounters {
     pub free_push_retries: Cell<u64>,
     /// Worst single-call F9 retry count.
     pub max_free_push_retries: Cell<u64>,
+    /// Allocations served from the thread-local magazine (zero shared
+    /// atomics on the free-list; see [`crate::magazine`]).
+    pub magazine_hits: Cell<u64>,
+    /// Magazine refill events that obtained at least one node from the
+    /// shared free-list stripes.
+    pub magazine_refills: Cell<u64>,
+    /// Magazine drain events (a batch of cached nodes chain-pushed back to
+    /// the shared free-list stripes).
+    pub magazine_drains: Cell<u64>,
 }
 
 impl OpCounters {
@@ -126,6 +135,9 @@ impl OpCounters {
             free_gifted: self.free_gifted.get(),
             free_push_retries: self.free_push_retries.get(),
             max_free_push_retries: self.max_free_push_retries.get(),
+            magazine_hits: self.magazine_hits.get(),
+            magazine_refills: self.magazine_refills.get(),
+            magazine_drains: self.magazine_drains.get(),
         }
     }
 
@@ -155,6 +167,9 @@ impl OpCounters {
         self.free_gifted.set(0);
         self.free_push_retries.set(0);
         self.max_free_push_retries.set(0);
+        self.magazine_hits.set(0);
+        self.magazine_refills.set(0);
+        self.magazine_drains.set(0);
     }
 }
 
@@ -186,6 +201,9 @@ pub struct CounterSnapshot {
     pub free_gifted: u64,
     pub free_push_retries: u64,
     pub max_free_push_retries: u64,
+    pub magazine_hits: u64,
+    pub magazine_refills: u64,
+    pub magazine_drains: u64,
 }
 
 impl CounterSnapshot {
@@ -215,6 +233,9 @@ impl CounterSnapshot {
         self.free_gifted += other.free_gifted;
         self.free_push_retries += other.free_push_retries;
         self.max_free_push_retries = self.max_free_push_retries.max(other.max_free_push_retries);
+        self.magazine_hits += other.magazine_hits;
+        self.magazine_refills += other.magazine_refills;
+        self.magazine_drains += other.magazine_drains;
         self
     }
 }

@@ -16,6 +16,7 @@ use crate::arena::{Arena, Growth};
 use crate::counters::OpCounters;
 use crate::freelist::FreeLists;
 use crate::handle::ThreadHandle;
+use crate::magazine::{clamped_cap, Magazines};
 use crate::node::RcObject;
 use crate::oom::alloc_retry_bound;
 use crate::MAX_THREADS;
@@ -26,6 +27,8 @@ pub(crate) struct Shared<T> {
     pub(crate) arena: Arena<T>,
     pub(crate) ann: Announce,
     pub(crate) fl: FreeLists<T>,
+    /// Per-thread allocation magazines (see [`crate::magazine`]).
+    pub(crate) mag: Magazines<T>,
     /// `NR_THREADS`.
     pub(crate) n: usize,
     /// Footnote-4 retry bound for `AllocNode`.
@@ -46,9 +49,17 @@ pub struct DomainConfig {
     /// Override for the out-of-memory retry bound (default:
     /// [`alloc_retry_bound`]`(max_threads)`).
     pub oom_bound: Option<usize>,
+    /// Requested per-thread magazine capacity (see [`crate::magazine`]).
+    /// 0 (the default) disables the layer; the effective value is clamped
+    /// by [`clamped_cap`] so full magazines can never park the whole pool.
+    pub magazine: usize,
 }
 
 impl DomainConfig {
+    /// The conventional per-thread magazine capacity for
+    /// [`DomainConfig::with_magazine`] (clamped down on small pools).
+    pub const DEFAULT_MAGAZINE: usize = 64;
+
     /// Standard configuration.
     pub fn new(max_threads: usize, capacity: usize) -> Self {
         Self {
@@ -56,7 +67,19 @@ impl DomainConfig {
             capacity,
             growth: Growth::Disabled,
             oom_bound: None,
+            magazine: 0,
         }
+    }
+
+    /// Enables per-thread allocation magazines of (at most) `cap` nodes.
+    ///
+    /// The effective capacity is `clamped_cap(cap, capacity, max_threads)`
+    /// — strictly below `capacity / max_threads` — so that even with every
+    /// magazine full, the shared free-lists keep at least one node in
+    /// circulation (no spurious out-of-memory; see [`crate::magazine`]).
+    pub fn with_magazine(mut self, cap: usize) -> Self {
+        self.magazine = cap;
+        self
     }
 
     /// Sets the arena growth policy (`capacity` becomes the *initial*
@@ -123,6 +146,7 @@ impl<T: RcObject> WfrcDomain<T> {
         let fl = FreeLists::new(n);
         fl.seed(&arena);
         let shared = Shared {
+            mag: Magazines::new(n, clamped_cap(config.magazine, config.capacity, n)),
             arena,
             ann: Announce::new(n),
             fl,
@@ -179,21 +203,30 @@ impl<T: RcObject> WfrcDomain<T> {
         self.slots.iter().filter(|s| s.load() == 1).count()
     }
 
+    /// Effective per-thread magazine capacity (0 = magazines disabled).
+    /// May be smaller than the [`DomainConfig::with_magazine`] request —
+    /// see [`crate::magazine::clamped_cap`].
+    pub fn magazine_cap(&self) -> usize {
+        self.shared.mag.cap()
+    }
+
     /// Audits node states. **Only meaningful at quiescence** (no concurrent
     /// operations in flight): walks the arena and classifies every node by
     /// its `mm_ref`.
     ///
     /// At quiescence the scheme's invariants say every node is exactly one
     /// of: free (`mm_ref == 1`), parked as an un-collected gift in some
-    /// `annAlloc` slot (`mm_ref == 3`), or live with an even count ≥ 2.
-    /// Anything else is reported in `corrupt_nodes` and indicates a usage
-    /// error (e.g. a missed `each_link`).
+    /// `annAlloc` slot (`mm_ref == 3`), parked in a registered handle's
+    /// magazine (`mm_ref == 1`, counted separately), or live with an even
+    /// count ≥ 2. Anything else is reported in `corrupt_nodes` and
+    /// indicates a usage error (e.g. a missed `each_link`).
     pub fn leak_check(&self) -> LeakReport {
         let s = &self.shared;
         let gifts: std::collections::HashSet<usize> = (0..s.n)
             .map(|t| s.fl.gift_for(t) as usize)
             .filter(|p| *p != 0)
             .collect();
+        let parked = s.mag.parked();
         let mut report = LeakReport {
             capacity: s.arena.capacity(),
             segments: s.arena.segment_count(),
@@ -205,6 +238,13 @@ impl<T: RcObject> WfrcDomain<T> {
             if gifts.contains(&ptr) {
                 if r == 3 {
                     report.parked_gifts += 1;
+                } else {
+                    report.corrupt_nodes += 1;
+                }
+            } else if parked.contains(&ptr) {
+                // Magazine-parked nodes keep the free representation.
+                if r == 1 {
+                    report.magazine_nodes += 1;
                 } else {
                     report.corrupt_nodes += 1;
                 }
@@ -246,6 +286,10 @@ pub struct LeakReport {
     pub free_nodes: usize,
     /// Nodes parked in `annAlloc` slots awaiting pickup (`mm_ref == 3`).
     pub parked_gifts: usize,
+    /// Nodes parked in registered handles' magazines (`mm_ref == 1`).
+    /// These are *not* leaks: they return to the stripes when the owning
+    /// handle drains (on overflow or deregistration).
+    pub magazine_nodes: usize,
     /// Nodes with a live even reference count.
     pub live_nodes: usize,
     /// Nodes in a state the quiescent invariants forbid.
@@ -258,7 +302,7 @@ impl LeakReport {
     pub fn is_clean(&self) -> bool {
         self.live_nodes == 0
             && self.corrupt_nodes == 0
-            && self.free_nodes + self.parked_gifts == self.capacity
+            && self.free_nodes + self.parked_gifts + self.magazine_nodes == self.capacity
     }
 }
 

@@ -120,6 +120,69 @@ impl<T> FreeLists<T> {
         &self.heads[i]
     }
 
+    /// Current value of `currentFreeList`, reduced to a stripe index.
+    #[inline]
+    pub(crate) fn current_index(&self) -> usize {
+        self.current.load() % (2 * self.n)
+    }
+
+    /// Plain load of stripe `i`'s head (a cheap emptiness probe for the
+    /// magazine refill scan).
+    #[inline]
+    pub(crate) fn head_ptr(&self, i: usize) -> *mut Node<T> {
+        self.head(i).load()
+    }
+
+    /// Steals the whole chain of stripe `i` with one `SWAP(head, ⊥)`.
+    ///
+    /// Safe against concurrent A10 removals by the same argument that
+    /// covers a removal CAS: any allocator racing on the old head either
+    /// won its CAS before our swap (the chain we get no longer contains its
+    /// node) or loses and retries on the now-empty stripe. Its transient A9
+    /// pin (+2) on a node we took is matched by its A18 release, exactly
+    /// the Lemma 3 accounting.
+    pub(crate) fn take_stripe(&self, i: usize) -> *mut Node<T> {
+        self.head(i).swap(ptr::null_mut())
+    }
+
+    /// Attempts to hand a stolen chain back to the (expected still empty)
+    /// stripe `i` with one CAS. False means someone repopulated it; the
+    /// caller falls back to [`FreeLists::push_chain`].
+    pub(crate) fn untake_stripe(&self, i: usize, chain: *mut Node<T>) -> bool {
+        self.head(i).cas(ptr::null_mut(), chain)
+    }
+
+    /// Pushes the pre-linked chain `first..=last` onto one of thread
+    /// `tid`'s two stripes: the F4–F6 stripe pick and the F7–F10 retry
+    /// dance, generalized from one node to a chain. Returns the retry
+    /// count (the quantity Lemma 10 bounds — to competing allocators a
+    /// chain push is indistinguishable from a single-node push).
+    ///
+    /// The chain must be exclusively owned by the caller (claimed nodes,
+    /// `mm_next` pre-linked, `last.mm_next` overwritten here).
+    pub(crate) fn push_chain(&self, tid: usize, first: *mut Node<T>, last: *mut Node<T>) -> u64 {
+        let n = self.n;
+        // F4–F6: pick the stripe the allocators are least likely to be on.
+        let current = self.current_index();
+        let mut index = if current <= tid || current > n + tid {
+            n + tid
+        } else {
+            tid
+        };
+        let mut retries: u64 = 0;
+        loop {
+            // F7–F9
+            let head = self.head(index).load();
+            // SAFETY: `last` is exclusively ours until the CAS publishes it.
+            unsafe { (*last).mm_next().store(head) }; // F8
+            if self.head(index).cas(head, first) {
+                return retries; // F9 succeeded
+            }
+            retries += 1;
+            index = (index + n) % (2 * n); // F10: try our other stripe
+        }
+    }
+
     /// Diagnostic: the node currently gifted to thread `tid`, if any.
     pub fn gift_for(&self, tid: usize) -> *mut Node<T> {
         self.ann_alloc[tid].load()
@@ -180,6 +243,9 @@ impl<T: RcObject> Shared<T> {
         c: &OpCounters,
     ) -> Result<*mut Node<T>, OutOfMemory> {
         OpCounters::bump(&c.alloc_calls);
+        if let Some(node) = self.magazine_pop(tid, c) {
+            return Ok(node);
+        }
         let n = self.n;
         let fl = &self.fl;
         #[cfg(not(feature = "no-alloc-helping"))]
@@ -283,47 +349,64 @@ impl<T: RcObject> Shared<T> {
     /// directly (§3.2).
     pub(crate) fn free_node(&self, tid: usize, c: &OpCounters, node: *mut Node<T>) {
         OpCounters::bump(&c.free_calls);
-        let n = self.n;
-        let fl = &self.fl;
-        // SAFETY: arena node, exclusively owned by this invocation (claimed).
-        let nref = unsafe { &*node };
         debug_assert_eq!(
-            nref.load_ref(),
+            // SAFETY: arena node, exclusively owned by this invocation
+            // (claimed).
+            unsafe { (*node).load_ref() },
             Node::<T>::FREE_REF,
             "FreeNode on unclaimed node"
         );
+        if self.magazine_push(tid, c, node) {
+            return;
+        }
         #[cfg(not(feature = "no-alloc-helping"))]
         {
-            let help_id = fl.help_current.load() % n; // F1
-            fl.help_current.cas(help_id, (help_id + 1) % n); // F2
-                                                             // Corrected F3: match the A12 gift's mm_ref (see module docs).
-            nref.faa_ref(2); // 1 -> 3
-            if fl.ann_alloc[help_id].cas(ptr::null_mut(), node) {
+            let fl = &self.fl;
+            let help_id = fl.help_current.load() % self.n; // F1
+            fl.help_current.cas(help_id, (help_id + 1) % self.n); // F2
+                                                                  // Corrected F3: match the A12 gift's mm_ref (see module docs).
+            if self.gift_cas(help_id, node) {
                 OpCounters::bump(&c.free_gifted);
                 return;
             }
-            nref.faa_ref(-2); // 3 -> 1
         }
-        // F4–F6: pick the stripe the allocators are least likely to be on.
-        let current = fl.current.load() % (2 * n);
-        let mut index = if current <= tid || current > n + tid {
-            n + tid
-        } else {
-            tid
-        };
-        let mut retries: u64 = 0;
-        loop {
-            // F7–F9
-            let head = fl.head(index).load();
-            nref.mm_next().store(head); // F8
-            if fl.head(index).cas(head, node) {
-                break; // F9 succeeded
-            }
-            retries += 1;
-            index = (index + n) % (2 * n); // F10: try our other stripe
-        }
+        // F4–F10 for a chain of one.
+        let retries = self.fl.push_chain(tid, node, node);
         OpCounters::add(&c.free_push_retries, retries);
         OpCounters::record_max(&c.max_free_push_retries, retries);
+    }
+
+    /// The corrected-F3 gift hand-off: bumps the claimed node to the A12
+    /// gift representation (`mm_ref` 1 → 3) and CASes it into thread
+    /// `help_id`'s `annAlloc` slot, undoing the bump on failure.
+    #[cfg(not(feature = "no-alloc-helping"))]
+    fn gift_cas(&self, help_id: usize, node: *mut Node<T>) -> bool {
+        // SAFETY: arena node, exclusively owned by the caller (claimed).
+        let nref = unsafe { &*node };
+        nref.faa_ref(2); // 1 -> 3
+        if self.fl.ann_alloc[help_id].cas(ptr::null_mut(), node) {
+            true
+        } else {
+            nref.faa_ref(-2); // 3 -> 1
+            false
+        }
+    }
+
+    /// One batch-granularity helping attempt for the magazine layer: offer
+    /// the claimed `node` to the current help target and advance
+    /// `helpCurrent`, mirroring A11–A15 (refill) / F1–F3 (drain). Returns
+    /// true when the gift was accepted (the node now belongs to the
+    /// recipient's `annAlloc` slot).
+    #[cfg(not(feature = "no-alloc-helping"))]
+    pub(crate) fn try_gift(&self, node: *mut Node<T>) -> bool {
+        let fl = &self.fl;
+        let help_id = fl.help_current.load() % self.n;
+        if self.gift_cas(help_id, node) {
+            fl.help_current.cas(help_id, (help_id + 1) % self.n); // A14
+            true
+        } else {
+            false
+        }
     }
 }
 

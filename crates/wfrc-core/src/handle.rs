@@ -62,6 +62,14 @@ impl<'d, T: RcObject> ThreadHandle<'d, T> {
         &self.counters
     }
 
+    /// Number of nodes currently parked in this thread's allocation
+    /// magazine (always 0 when the domain was built without
+    /// [`crate::DomainConfig::with_magazine`]).
+    pub fn magazine_len(&self) -> usize {
+        // SAFETY: this handle is the exclusive owner of `tid`'s slot.
+        unsafe { self.domain.shared().mag.len(self.tid) }
+    }
+
     // ------------------------------------------------------------------
     // Guard layer
     // ------------------------------------------------------------------
@@ -261,6 +269,13 @@ impl<'d, T: RcObject> ThreadHandle<'d, T> {
 
 impl<T: RcObject> Drop for ThreadHandle<'_, T> {
     fn drop(&mut self) {
+        // Return magazine-parked nodes to the shared stripes before the
+        // thread id becomes claimable: a successor thread gets a fresh
+        // (empty) magazine, and repeated register/alloc/drop cycles
+        // conserve the pool.
+        self.domain
+            .shared()
+            .drain_magazine(self.tid, &self.counters);
         self.domain.unregister(self.tid);
     }
 }

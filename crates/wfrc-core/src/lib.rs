@@ -84,6 +84,7 @@ pub mod domain;
 pub mod freelist;
 pub mod handle;
 pub mod link;
+pub mod magazine;
 pub mod node;
 pub mod oom;
 pub mod rc;
@@ -93,6 +94,7 @@ pub use counters::OpCounters;
 pub use domain::{DomainConfig, LeakReport, WfrcDomain};
 pub use handle::{NodeRef, ThreadHandle};
 pub use link::Link;
+pub use magazine::Magazines;
 pub use node::{Node, RcObject};
 pub use oom::OutOfMemory;
 

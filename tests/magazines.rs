@@ -1,0 +1,228 @@
+//! Integration tests for the per-thread allocation magazine layer
+//! (`wfrc_core::magazine`), on both schemes.
+//!
+//! The acceptance bar: magazines must be invisible to correctness — every
+//! scenario ends with `leak_check().is_clean()` once all handles are
+//! dropped — while measurably removing shared free-list traffic from the
+//! alloc/free fast path.
+
+use std::sync::mpsc::sync_channel;
+use std::sync::Arc;
+
+use wfrc::baselines::LfrcDomain;
+use wfrc::core::counters::CounterSnapshot;
+use wfrc::core::{DomainConfig, Growth, WfrcDomain};
+
+/// Satellite: `LeakReport::magazine_nodes` — nodes parked in a live
+/// handle's magazine are accounted, not reported as leaked.
+#[test]
+fn leak_report_counts_magazine_parked_nodes() {
+    let d = WfrcDomain::<u64>::new(DomainConfig::new(1, 64).with_magazine(8));
+    let h = d.register().unwrap();
+    // Churn enough to populate the magazine (the first alloc refills it,
+    // every free lands in it).
+    for _ in 0..32 {
+        let g = h.alloc_with(|v| *v = 1).unwrap();
+        drop(g);
+    }
+    assert!(h.magazine_len() > 0);
+    let mid = d.leak_check();
+    assert!(mid.magazine_nodes > 0, "{mid:?}");
+    assert_eq!(mid.live_nodes, 0, "{mid:?}");
+    assert!(
+        mid.is_clean(),
+        "parked nodes must not read as leaks: {mid:?}"
+    );
+    assert_eq!(
+        mid.free_nodes + mid.parked_gifts + mid.magazine_nodes,
+        64,
+        "{mid:?}"
+    );
+    drop(h);
+    let end = d.leak_check();
+    assert!(end.is_clean(), "{end:?}");
+    assert_eq!(end.magazine_nodes, 0, "drop must drain: {end:?}");
+}
+
+/// Satellite: deregistration drains the magazine, so register/alloc/drop
+/// cycles conserve capacity (both schemes).
+#[test]
+fn register_alloc_drop_cycles_conserve_capacity() {
+    let d = WfrcDomain::<u64>::new(DomainConfig::new(2, 64).with_magazine(8));
+    for round in 0..100 {
+        let h = d.register().unwrap();
+        for i in 0..16 {
+            let g = h.alloc_with(|v| *v = i).unwrap();
+            drop(g);
+        }
+        drop(h);
+        let r = d.leak_check();
+        assert!(r.is_clean(), "round {round}: {r:?}");
+        assert_eq!(r.magazine_nodes, 0, "round {round}: {r:?}");
+    }
+
+    let mut ld = LfrcDomain::<u64>::new(2, 64);
+    ld.set_magazine(8);
+    for round in 0..100 {
+        let h = ld.register().unwrap();
+        for _ in 0..16 {
+            let n = h.alloc_raw().unwrap();
+            // SAFETY: we own the alloc reference.
+            unsafe { h.release_raw(n) };
+        }
+        drop(h);
+        let r = ld.leak_check();
+        assert!(r.is_clean(), "lfrc round {round}: {r:?}");
+        assert_eq!(r.magazine_nodes, 0, "lfrc round {round}: {r:?}");
+    }
+}
+
+/// Satellite: cross-thread imbalance. A producer that only allocates and a
+/// consumer that only frees must not wedge — the consumer's drains (and
+/// the shared loop's gifting) keep the producer's refills fed. The channel
+/// bounds the in-flight count so the pool genuinely cannot run out; any
+/// transient dry spell must resolve, not deadlock or leak.
+#[test]
+fn producer_consumer_imbalance_does_not_wedge() {
+    const OPS: usize = 20_000;
+    let d = Arc::new(WfrcDomain::<u64>::new(
+        DomainConfig::new(2, 64).with_magazine(8),
+    ));
+    assert_eq!(d.magazine_cap(), 8);
+    // In flight: <= 16 (channel) + 1 (in hand) + 2 * 8 (magazines) < 64.
+    let (tx, rx) = sync_channel::<usize>(16);
+
+    let producer = {
+        let d = Arc::clone(&d);
+        std::thread::spawn(move || {
+            let h = d.register().unwrap();
+            for i in 0..OPS {
+                let mut attempts = 0u64;
+                let node = loop {
+                    match h.alloc_raw() {
+                        Ok(n) => break n,
+                        Err(_) => {
+                            // Transient dry spell: nodes are in the channel
+                            // or the consumer's magazine. Must resolve.
+                            attempts += 1;
+                            assert!(
+                                attempts < 10_000_000,
+                                "producer wedged at op {i} after {attempts} OOM retries"
+                            );
+                            std::thread::yield_now();
+                        }
+                    }
+                };
+                tx.send(node as usize).unwrap();
+            }
+        })
+    };
+    let consumer = {
+        let d = Arc::clone(&d);
+        std::thread::spawn(move || {
+            let h = d.register().unwrap();
+            let mut freed = 0usize;
+            while let Ok(addr) = rx.recv() {
+                // SAFETY: the producer transferred its alloc reference.
+                unsafe { h.release_raw(addr as *mut wfrc::core::Node<u64>) };
+                freed += 1;
+            }
+            freed
+        })
+    };
+    producer.join().unwrap();
+    assert_eq!(consumer.join().unwrap(), OPS);
+    let r = d.leak_check();
+    assert!(r.is_clean(), "{r:?}");
+    assert_eq!(r.magazine_nodes, 0, "{r:?}");
+}
+
+/// Satellite: magazines × `Growth::Enabled` on the segmented arena. An
+/// under-provisioned pool must still grow through the magazine layer's
+/// refill misses, and the grown segments are shared — visible to both
+/// threads' magazines — with nothing lost at the end.
+#[test]
+fn magazines_interact_cleanly_with_growth() {
+    const HOLD: usize = 64;
+    const ROUNDS: usize = 50;
+    let d = Arc::new(WfrcDomain::<u64>::new(
+        DomainConfig::new(2, 16)
+            .with_growth(Growth::doubling_to(1024))
+            .with_magazine(64),
+    ));
+    // The clamp uses the conservative *initial* capacity.
+    assert!(
+        d.magazine_cap() <= 16 / 2,
+        "cap {} too big",
+        d.magazine_cap()
+    );
+    let workers: Vec<_> = (0..2)
+        .map(|_| {
+            let d = Arc::clone(&d);
+            std::thread::spawn(move || {
+                let h = d.register().unwrap();
+                for _ in 0..ROUNDS {
+                    let burst: Vec<_> = (0..HOLD)
+                        .map(|_| h.alloc_with(|v| *v = 7).expect("growth covers the peak"))
+                        .collect();
+                    drop(burst);
+                }
+                h.counters().snapshot()
+            })
+        })
+        .collect();
+    let merged = workers
+        .into_iter()
+        .map(|w| w.join().unwrap())
+        .fold(CounterSnapshot::default(), |acc, s| acc.merged(&s));
+    assert!(d.capacity() > 16, "pool must have grown");
+    assert!(merged.segments_grown >= 1);
+    assert!(merged.magazine_hits > 0, "{merged:?}");
+    let r = d.leak_check();
+    assert!(r.is_clean(), "{r:?}");
+    assert_eq!(r.magazine_nodes, 0, "{r:?}");
+    assert_eq!(r.free_nodes + r.parked_gifts, d.capacity());
+}
+
+/// Acceptance criterion: with magazines on, shared free-list traffic per
+/// alloc drops measurably vs magazines-off on the same workload. The
+/// workload is deterministic (single thread), so the comparison is exact:
+/// "shared allocs" counts every allocation that had to touch the shared
+/// structure at all.
+#[test]
+fn magazines_cut_shared_freelist_traffic() {
+    const OPS: u64 = 10_000;
+    let churn = |cfg: DomainConfig| -> CounterSnapshot {
+        let d = WfrcDomain::<u64>::new(cfg);
+        let h = d.register().unwrap();
+        for _ in 0..OPS {
+            let g = h.alloc_with(|v| *v = 1).unwrap();
+            drop(g);
+        }
+        let snap = h.counters().snapshot();
+        drop(h);
+        assert!(d.leak_check().is_clean());
+        snap
+    };
+    let off = churn(DomainConfig::new(1, 256));
+    let on = churn(DomainConfig::new(1, 256).with_magazine(64));
+
+    // Off: every alloc goes to the shared structure (gift slot or stripes).
+    let shared_allocs_off = off.alloc_calls - off.magazine_hits;
+    let shared_allocs_on = on.alloc_calls - on.magazine_hits;
+    assert_eq!(shared_allocs_off, OPS);
+    assert!(
+        shared_allocs_on * 10 < shared_allocs_off,
+        "shared alloc traffic must drop by >10x: on={shared_allocs_on} off={shared_allocs_off}"
+    );
+    assert!(on.magazine_hits >= OPS * 9 / 10, "{on:?}");
+
+    // Off: every free hands the node to the shared structure too (gift CAS
+    // or stripe push); on: only refill/drain events touch it.
+    let shared_free_events_on = on.magazine_refills + on.magazine_drains + on.free_gifted;
+    assert!(
+        shared_free_events_on * 10 < off.free_calls,
+        "shared free traffic must drop by >10x: on={shared_free_events_on} off={}",
+        off.free_calls
+    );
+}
