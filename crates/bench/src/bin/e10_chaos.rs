@@ -1,0 +1,287 @@
+//! E10 — chaos: a rotating victim is killed, parked, or stalled
+//! mid-operation, round after round, against one long-lived domain.
+//!
+//! Every round arms all eight `FaultSite`s for one victim thread with a
+//! per-hit probability, runs the victim's churn against survivor threads,
+//! and then recovers: a killed victim's slot is adopted
+//! (`WfrcDomain::adopt_orphans`) and its parked nodes counted; a parked
+//! victim is released and exits cleanly. After every round the shared
+//! links are cleared and `WfrcDomain::leak_check` must be spotless —
+//! one corrupt or leaked node anywhere ends the run with a panic.
+//!
+//! The loop runs until it has seen at least `--rounds` kill/adopt cycles
+//! AND `--secs` seconds have elapsed (both bounds must be met), so the
+//! default invocation is a 30-second soak with ≥ 20 adoptions.
+//!
+//! ```text
+//! cargo run --release --features fault-injection --bin e10_chaos \
+//!     [-- --seed 42 --secs 30 --rounds 20 --json]
+//! ```
+//!
+//! Without `--features fault-injection` the binary only explains itself:
+//! the default build contains none of the injection hooks.
+
+#[cfg(not(feature = "fault-injection"))]
+fn main() {
+    eprintln!("e10_chaos needs the fault-injection feature:");
+    eprintln!("  cargo run --release --features fault-injection --bin e10_chaos");
+    std::process::exit(2);
+}
+
+#[cfg(feature = "fault-injection")]
+fn main() {
+    chaos::run();
+}
+
+#[cfg(feature = "fault-injection")]
+mod chaos {
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    use wfrc_core::fault::silence_injected_deaths;
+    use wfrc_core::{
+        DomainConfig, FaultAction, FaultPlan, FaultSite, FireRule, Growth, InjectedDeath, Link,
+        WfrcDomain,
+    };
+    use wfrc_sim::stats::Table;
+
+    const THREADS: usize = 4;
+    const CAPACITY: usize = 64;
+    const LINKS: usize = 8;
+    const VICTIM_OPS: usize = 50_000;
+    const SURVIVOR_OPS: usize = 5_000;
+    const CHANCE: f64 = 0.02;
+
+    struct Cfg {
+        seed: u64,
+        secs: u64,
+        rounds: u64,
+        json: bool,
+    }
+
+    fn parse() -> Cfg {
+        let mut cfg = Cfg {
+            seed: 0xC5A0_5EED,
+            secs: 30,
+            rounds: 20,
+            json: false,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            let mut num = |name: &str| -> u64 {
+                it.next()
+                    .unwrap_or_else(|| panic!("{name} needs a value"))
+                    .parse()
+                    .unwrap_or_else(|_| panic!("{name} needs an integer"))
+            };
+            match a.as_str() {
+                "--seed" => cfg.seed = num("--seed"),
+                "--secs" => cfg.secs = num("--secs"),
+                "--rounds" => cfg.rounds = num("--rounds"),
+                "--json" => cfg.json = true,
+                other => panic!(
+                    "unknown arg {other}; usage: e10_chaos [--seed N] [--secs N] [--rounds N] [--json]"
+                ),
+            }
+        }
+        cfg
+    }
+
+    /// The victim's churn: alloc/store/deref/release across the shared
+    /// links with a bounded held pile, so every fault site gets hit. Exits
+    /// early once a fault fired this round (a parked victim resumes here
+    /// after release and leaves promptly).
+    fn victim_churn(h: wfrc_core::ThreadHandle<'_, u64>, links: &[Link<u64>], plan: &FaultPlan) {
+        let baseline = plan.injected();
+        let mut held = Vec::new();
+        for i in 0..VICTIM_OPS {
+            if plan.injected() > baseline {
+                break;
+            }
+            if let Ok(g) = h.alloc_with(|v| *v = i as u64) {
+                h.store(&links[i % links.len()], Some(&g));
+                if held.len() < 48 {
+                    held.push(g);
+                }
+            }
+            if let Some(g) = h.deref(&links[(i + 1) % links.len()]) {
+                std::hint::black_box(*g);
+            }
+            if i % 5 == 4 {
+                held.pop();
+            }
+        }
+    }
+
+    fn survivor_churn(h: wfrc_core::ThreadHandle<'_, u64>, links: &[Link<u64>]) {
+        for i in 0..SURVIVOR_OPS {
+            if let Ok(g) = h.alloc_with(|v| *v = i as u64) {
+                h.store(&links[i % links.len()], Some(&g));
+            }
+            if let Some(g) = h.deref(&links[(i + 3) % links.len()]) {
+                std::hint::black_box(*g);
+            }
+        }
+    }
+
+    pub fn run() {
+        silence_injected_deaths();
+        let cfg = parse();
+        let mut domain = WfrcDomain::<u64>::new(
+            DomainConfig::new(THREADS, CAPACITY)
+                .with_magazine(8)
+                .with_growth(Growth::doubling_to(1 << 14)),
+        );
+        let links: Vec<Link<u64>> = (0..LINKS).map(|_| Link::null()).collect();
+
+        let start = Instant::now();
+        let deadline = Duration::from_secs(cfg.secs);
+        let mut rounds = 0u64;
+        let mut kills = 0u64;
+        let mut park_rounds = 0u64;
+        let mut stall_rounds = 0u64;
+        let mut clean_exits = 0u64;
+        let mut nodes_recovered = 0usize;
+        let mut kills_by_site = [0u64; FaultSite::ALL.len()];
+        let mut adopt_us_total = 0u128;
+        let mut adopt_us_max = 0u128;
+        let mut faults_total = 0u64;
+
+        while kills < cfg.rounds || start.elapsed() < deadline {
+            let round = rounds;
+            rounds += 1;
+            let victim_tid = (round as usize) % THREADS;
+            // Kill twice as often as park/stall so the kill quota and the
+            // wall-clock bound finish in the same ballpark.
+            let action = match round % 4 {
+                0 | 1 => FaultAction::Die,
+                2 => FaultAction::Park,
+                _ => FaultAction::Stall(2_000),
+            };
+            // A fresh per-round seed: `Chance` decisions are a pure function
+            // of (seed, site, hit ordinal), so reusing one seed would replay
+            // the same schedule every round and the busiest site would soak
+            // up every kill.
+            let plan = Arc::new(FaultPlan::new(
+                cfg.seed ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ));
+            domain.set_fault_plan(Arc::clone(&plan));
+            // Die rounds rotate a boosted "focus" site so kill coverage
+            // reaches the rare sites (a one-time growth seeding, a helper's
+            // answer CAS), not just the hot paths; the rest stay armed as
+            // background noise.
+            let focus = FaultSite::ALL[((round / 4) as usize) % FaultSite::ALL.len()];
+            for site in FaultSite::ALL {
+                let p = match action {
+                    FaultAction::Die if site == focus => 10.0 * CHANCE,
+                    FaultAction::Die => CHANCE / 4.0,
+                    _ => CHANCE,
+                };
+                plan.arm_victim(victim_tid, site, action, FireRule::Chance(p));
+            }
+
+            let mut handles: Vec<_> = (0..THREADS).map(|_| domain.register().unwrap()).collect();
+            // Handles come out in slot order; pull the victim's out.
+            let victim = handles.remove(victim_tid);
+            assert_eq!(victim.tid(), victim_tid);
+
+            let died = std::thread::scope(|s| {
+                let links_ref = &links;
+                let plan_ref: &FaultPlan = &plan;
+                let vt = s.spawn(move || victim_churn(victim, links_ref, plan_ref));
+                let survivors: Vec<_> = handles
+                    .into_iter()
+                    .map(|h| s.spawn(move || survivor_churn(h, links_ref)))
+                    .collect();
+                for t in survivors {
+                    t.join().expect("survivors never die");
+                }
+                if matches!(action, FaultAction::Park) {
+                    // Keep releasing: a Chance rule can re-park the victim.
+                    while !vt.is_finished() {
+                        plan.release();
+                        std::thread::yield_now();
+                    }
+                }
+                match vt.join() {
+                    Ok(()) => None,
+                    Err(err) => {
+                        let death = err
+                            .downcast::<InjectedDeath>()
+                            .expect("victims only die by injection");
+                        Some(death.site)
+                    }
+                }
+            });
+
+            match died {
+                Some(site) => {
+                    kills += 1;
+                    kills_by_site[site as usize] += 1;
+                    let t0 = Instant::now();
+                    let report = domain.adopt_orphans();
+                    let us = t0.elapsed().as_micros();
+                    adopt_us_total += us;
+                    adopt_us_max = adopt_us_max.max(us);
+                    assert_eq!(
+                        report.orphans_adopted, 1,
+                        "round {round}: adoption must win"
+                    );
+                    nodes_recovered += report.nodes_recovered();
+                }
+                None => {
+                    clean_exits += 1;
+                    match action {
+                        FaultAction::Park => park_rounds += 1,
+                        FaultAction::Stall(_) => stall_rounds += 1,
+                        FaultAction::Die => {}
+                    }
+                }
+            }
+
+            // End-of-round audit: clear the shared links and the domain
+            // must account for every node.
+            faults_total += plan.injected();
+            plan.disarm();
+            {
+                let sweeper = domain.register().unwrap();
+                for l in &links {
+                    sweeper.store(l, None);
+                }
+            }
+            let leaks = domain.leak_check();
+            assert!(leaks.is_clean(), "round {round} leaked: {leaks:?}");
+        }
+
+        let elapsed = start.elapsed();
+        let mut table = Table::new(
+            "E10: chaos soak — rotating victim killed/parked/stalled mid-operation",
+            &["metric", "value"],
+        );
+        table.row(&["rounds".into(), rounds.to_string()]);
+        table.row(&["kills (adopted)".into(), kills.to_string()]);
+        table.row(&["park rounds survived".into(), park_rounds.to_string()]);
+        table.row(&["stall rounds survived".into(), stall_rounds.to_string()]);
+        table.row(&["clean victim exits".into(), clean_exits.to_string()]);
+        table.row(&["faults injected".into(), faults_total.to_string()]);
+        table.row(&["orphan nodes recovered".into(), nodes_recovered.to_string()]);
+        table.row(&[
+            "adopt latency mean µs".into(),
+            (adopt_us_total / u128::from(kills.max(1))).to_string(),
+        ]);
+        table.row(&["adopt latency max µs".into(), adopt_us_max.to_string()]);
+        for site in FaultSite::ALL {
+            table.row(&[
+                format!("kills at {}", site.name()),
+                kills_by_site[site as usize].to_string(),
+            ]);
+        }
+        table.row(&["capacity (grown)".into(), domain.capacity().to_string()]);
+        table.row(&["elapsed s".into(), format!("{:.1}", elapsed.as_secs_f64())]);
+        table.row(&["leak check".into(), "clean every round".into()]);
+        println!("{}", table.render());
+        if cfg.json {
+            println!("{}", table.to_json());
+        }
+    }
+}

@@ -12,6 +12,15 @@
 //!   garbage grows **without bound** (proportional to the churn), which is
 //!   why EBR was never a candidate for the paper's real-time setting.
 //!
+//! Each row also reports the stalled victim's **footprint** (every node it
+//! pins: held refs plus parked magazine nodes for the refcounting schemes,
+//! hazard slots for HP, the frozen garbage pile for EBR) and the measured
+//! **recovery latency**: the time from declaring the victim dead to all of
+//! its pinned resources being recovered. For WFRC/LFRC that is the crash
+//! path this repo's robustness layer exists for — `abandon()` the handle
+//! and `adopt_orphans()` the slot; for HP/EBR it is the scheme's own
+//! teardown (clear + scan, unpin + advance).
+//!
 //! With `--grow` two extra rows run each refcounting scheme on an
 //! **under-provisioned growable pool** (initial capacity 8, doubling):
 //! the stalled holder must not force unbounded growth — the pool grows to
@@ -28,6 +37,7 @@
 //! ```
 
 use std::sync::atomic::AtomicPtr;
+use std::time::Instant;
 
 use bench::Args;
 use wfrc_baselines::epoch::EbrDomain;
@@ -36,18 +46,22 @@ use wfrc_baselines::LfrcDomain;
 use wfrc_core::{DomainConfig, Growth, WfrcDomain};
 use wfrc_sim::stats::Table;
 
+const COLUMNS: [&str; 7] = [
+    "scheme",
+    "stalled holds",
+    "churned",
+    "unreclaimed",
+    "stall footprint",
+    "recovery µs",
+    "bounded?",
+];
+
 fn main() {
     let args = Args::parse(&[1], 50_000);
     let churn = args.ops;
     let mut table = Table::new(
         "E9: unreclaimed nodes after churn with one stalled thread",
-        &[
-            "scheme",
-            "stalled holds",
-            "churned",
-            "unreclaimed",
-            "bounded?",
-        ],
+        &COLUMNS,
     );
 
     // WFRC: stalled thread holds one NodeRef.
@@ -62,15 +76,22 @@ fn main() {
         }
         drop(h);
         let live = d.leak_check().live_nodes;
+        let footprint = 1 + h_stall.magazine_len();
+        let t0 = Instant::now();
+        drop(held);
+        h_stall.abandon();
+        let _ = d.adopt_orphans();
+        let recovery_us = t0.elapsed().as_micros();
         table.row(&[
             "wfrc".into(),
             "1 ref".into(),
             churn.to_string(),
             (live - 1).to_string(), // minus the deliberately held node
+            footprint.to_string(),
+            recovery_us.to_string(),
             "yes (exact)".into(),
         ]);
-        drop(held);
-        drop(h_stall);
+        assert!(d.leak_check().is_clean(), "wfrc stall must end clean");
     }
 
     // LFRC: identical bound (refcounting property, not wait-freedom).
@@ -86,15 +107,23 @@ fn main() {
         }
         drop(h);
         let live = d.leak_check().live_nodes;
+        let footprint = 1 + h_stall.magazine_len();
+        let t0 = Instant::now();
+        // SAFETY: teardown of the deliberately held reference.
+        unsafe { h_stall.release_raw(held) };
+        h_stall.abandon();
+        let _ = d.adopt_orphans();
+        let recovery_us = t0.elapsed().as_micros();
         table.row(&[
             "lfrc".into(),
             "1 ref".into(),
             churn.to_string(),
             (live - 1).to_string(),
+            footprint.to_string(),
+            recovery_us.to_string(),
             "yes (exact)".into(),
         ]);
-        // SAFETY: teardown.
-        unsafe { h_stall.release_raw(held) };
+        assert!(d.leak_check().is_clean(), "lfrc stall must end clean");
     }
 
     // Hazard pointers: stalled thread protects one node.
@@ -113,16 +142,21 @@ fn main() {
         }
         h.scan();
         let pending = h.pending();
+        let t0 = Instant::now();
+        h_stall.clear(0);
+        // SAFETY: sole owner now.
+        unsafe { h_stall.retire(node) };
+        h_stall.scan();
+        let recovery_us = t0.elapsed().as_micros();
         table.row(&[
             "hazard".into(),
             "1 hazard".into(),
             churn.to_string(),
             pending.to_string(),
+            "1".into(),
+            recovery_us.to_string(),
             "yes (≤ scan threshold)".into(),
         ]);
-        h_stall.clear(0);
-        // SAFETY: sole owner now.
-        unsafe { h_stall.retire(node) };
     }
 
     // Epochs: stalled thread pins.
@@ -138,14 +172,24 @@ fn main() {
             unsafe { h.retire(n) };
         }
         let pending = h.pending();
+        // EBR's "footprint" is the whole frozen pile: every retired node
+        // since the stall is pinned by the stuck epoch.
+        let t0 = Instant::now();
+        drop(_pin);
+        // Three advances cycle all three bags once the pin is gone.
+        for _ in 0..3 {
+            h.try_advance();
+        }
+        let recovery_us = t0.elapsed().as_micros();
         table.row(&[
             "epoch".into(),
             "1 pin".into(),
             churn.to_string(),
             pending.to_string(),
+            pending.to_string(),
+            recovery_us.to_string(),
             "NO (grows with churn)".into(),
         ]);
-        drop(_pin);
     }
 
     // Growth mode: the same stall scenario on under-provisioned pools.
@@ -167,6 +211,12 @@ fn main() {
             let grown = h.counters().snapshot().segments_grown;
             drop(h);
             let live = d.leak_check().live_nodes;
+            let footprint = 1 + h_stall.magazine_len();
+            let t0 = Instant::now();
+            drop(held);
+            h_stall.abandon();
+            let _ = d.adopt_orphans();
+            let recovery_us = t0.elapsed().as_micros();
             table_growth_row(
                 &mut table,
                 "wfrc+grow",
@@ -175,9 +225,13 @@ fn main() {
                 d.capacity(),
                 d.segment_count(),
                 grown,
+                footprint,
+                recovery_us,
             );
-            drop(held);
-            drop(h_stall);
+            assert!(
+                d.leak_check().is_clean(),
+                "wfrc growth stall must end clean"
+            );
         }
         {
             let d = LfrcDomain::<u64>::with_growth(2, 8, growth);
@@ -198,6 +252,13 @@ fn main() {
             let grown = h.counters().snapshot().segments_grown;
             drop(h);
             let live = d.leak_check().live_nodes;
+            let footprint = 1 + h_stall.magazine_len();
+            let t0 = Instant::now();
+            // SAFETY: teardown of the deliberately held reference.
+            unsafe { h_stall.release_raw(held) };
+            h_stall.abandon();
+            let _ = d.adopt_orphans();
+            let recovery_us = t0.elapsed().as_micros();
             table_growth_row(
                 &mut table,
                 "lfrc+grow",
@@ -206,16 +267,22 @@ fn main() {
                 d.capacity(),
                 d.segment_count(),
                 grown,
+                footprint,
+                recovery_us,
             );
-            // SAFETY: teardown.
-            unsafe { h_stall.release_raw(held) };
+            assert!(
+                d.leak_check().is_clean(),
+                "lfrc growth stall must end clean"
+            );
         }
     }
 
     // Magazine mode: the same stall scenario with per-thread magazines.
     // The stalled thread's pinned footprint grows by at most its magazine
     // capacity (nodes parked there stay parked until it drains), which is
-    // a constant — the refcounting bound stays exact, just offset.
+    // a constant — the refcounting bound stays exact, just offset. The
+    // recovery column times `abandon` + `adopt_orphans` actually draining
+    // that parked pile back into circulation.
     if args.magazine {
         const MAG: usize = 16;
         {
@@ -231,6 +298,11 @@ fn main() {
             let stall_parked = h_stall.magazine_len();
             drop(h);
             let report = d.leak_check();
+            let t0 = Instant::now();
+            drop(held);
+            h_stall.abandon();
+            let adopted = d.adopt_orphans();
+            let recovery_us = t0.elapsed().as_micros();
             table_magazine_row(
                 &mut table,
                 "wfrc+mag",
@@ -239,9 +311,13 @@ fn main() {
                 d.magazine_cap(),
                 stall_parked,
                 s.magazine_hits as f64 / s.alloc_calls.max(1) as f64,
+                1 + stall_parked,
+                recovery_us,
             );
-            drop(held);
-            drop(h_stall);
+            assert!(
+                adopted.magazine_nodes_recovered >= stall_parked,
+                "adoption must recover the parked magazine"
+            );
             assert!(
                 d.leak_check().is_clean(),
                 "wfrc magazine stall must end clean"
@@ -262,6 +338,12 @@ fn main() {
             let stall_parked = h_stall.magazine_len();
             drop(h);
             let report = d.leak_check();
+            let t0 = Instant::now();
+            // SAFETY: teardown of the deliberately held reference.
+            unsafe { h_stall.release_raw(held) };
+            h_stall.abandon();
+            let adopted = d.adopt_orphans();
+            let recovery_us = t0.elapsed().as_micros();
             table_magazine_row(
                 &mut table,
                 "lfrc+mag",
@@ -270,10 +352,13 @@ fn main() {
                 d.magazine_cap(),
                 stall_parked,
                 s.magazine_hits as f64 / s.alloc_calls.max(1) as f64,
+                1 + stall_parked,
+                recovery_us,
             );
-            // SAFETY: teardown.
-            unsafe { h_stall.release_raw(held) };
-            drop(h_stall);
+            assert!(
+                adopted.magazine_nodes_recovered >= stall_parked,
+                "adoption must recover the parked magazine"
+            );
             assert!(
                 d.leak_check().is_clean(),
                 "lfrc magazine stall must end clean"
@@ -289,6 +374,7 @@ fn main() {
 
 /// Magazine rows reuse the E9 columns: "stalled holds" carries the
 /// magazine telemetry so the table shape (and JSON schema) stays stable.
+#[allow(clippy::too_many_arguments)]
 fn table_magazine_row(
     table: &mut Table,
     scheme: &str,
@@ -297,12 +383,16 @@ fn table_magazine_row(
     cap: usize,
     stall_parked: usize,
     hit_rate: f64,
+    footprint: usize,
+    recovery_us: u128,
 ) {
     table.row(&[
         scheme.into(),
         format!("1 ref + {stall_parked} parked (mag cap {cap}, churn hit rate {hit_rate:.3})"),
         churned.to_string(),
         unreclaimed.to_string(),
+        footprint.to_string(),
+        recovery_us.to_string(),
         "yes (ref + magazine cap)".into(),
     ]);
 }
@@ -318,12 +408,16 @@ fn table_growth_row(
     capacity: usize,
     segments: usize,
     grown: u64,
+    footprint: usize,
+    recovery_us: u128,
 ) {
     table.row(&[
         scheme.into(),
         format!("1 ref; 8→{capacity} nodes, {segments} segs ({grown} grown)"),
         churned.to_string(),
         unreclaimed.to_string(),
+        footprint.to_string(),
+        recovery_us.to_string(),
         "yes (growth stops at working set)".into(),
     ]);
 }

@@ -37,6 +37,12 @@ type HeadCell<T> = wfrc_primitives::CachePadded<WordPtr<Node<T>>>;
 #[cfg(feature = "no-pad")]
 type HeadCell<T> = WordPtr<Node<T>>;
 
+/// Registration slot states — the same three-state protocol as
+/// `wfrc_core::domain` (free / taken / orphaned-awaiting-adoption).
+const SLOT_FREE: usize = 0;
+const SLOT_TAKEN: usize = 1;
+const SLOT_ORPHANED: usize = 2;
+
 /// A lock-free reference-counted memory domain (Valois-style baseline).
 pub struct LfrcDomain<T: RcObject> {
     /// Segmented node storage — the same growable arena as `wfrc-core`, so
@@ -52,6 +58,13 @@ pub struct LfrcDomain<T: RcObject> {
     /// [`wfrc_core::magazine`], so magazine-mode experiments compare the
     /// schemes apples-to-apples. Disabled (cap 0) by default.
     mag: Magazines<T>,
+    /// Cumulative [`LfrcDomain::adopt_orphans`] telemetry.
+    orphans_adopted: AtomicWord,
+    orphan_nodes_recovered: AtomicWord,
+    /// Installed fault schedule; `None` = no injection even with the
+    /// feature compiled in.
+    #[cfg(feature = "fault-injection")]
+    faults: Option<std::sync::Arc<wfrc_core::fault::FaultPlan>>,
 }
 
 impl<T: RcObject + Default> LfrcDomain<T> {
@@ -106,10 +119,23 @@ impl<T: RcObject> LfrcDomain<T> {
         Self {
             arena,
             head,
-            slots: (0..max_threads).map(|_| AtomicWord::new(0)).collect(),
+            slots: (0..max_threads)
+                .map(|_| AtomicWord::new(SLOT_FREE))
+                .collect(),
             backoff: true,
             mag: Magazines::new(max_threads, 0),
+            orphans_adopted: AtomicWord::new(0),
+            orphan_nodes_recovered: AtomicWord::new(0),
+            #[cfg(feature = "fault-injection")]
+            faults: None,
         }
+    }
+
+    /// Installs a fault schedule (see [`wfrc_core::fault`]). Must happen
+    /// before the domain is shared, like [`LfrcDomain::set_backoff`].
+    #[cfg(feature = "fault-injection")]
+    pub fn set_fault_plan(&mut self, plan: std::sync::Arc<wfrc_core::fault::FaultPlan>) {
+        self.faults = Some(plan);
     }
 
     /// Disables backoff in retry loops (for step-count experiments).
@@ -134,7 +160,7 @@ impl<T: RcObject> LfrcDomain<T> {
     /// Registers the calling context.
     pub fn register(&self) -> Result<LfrcHandle<'_, T>, wfrc_core::domain::RegistryFull> {
         for (tid, slot) in self.slots.iter().enumerate() {
-            if slot.load() == 0 && slot.cas(0, 1) {
+            if slot.load() == SLOT_FREE && slot.cas(SLOT_FREE, SLOT_TAKEN) {
                 return Ok(LfrcHandle {
                     domain: self,
                     tid,
@@ -144,6 +170,85 @@ impl<T: RcObject> LfrcDomain<T> {
             }
         }
         Err(wfrc_core::domain::RegistryFull)
+    }
+
+    /// Number of orphaned slots awaiting [`LfrcDomain::adopt_orphans`].
+    pub fn orphaned_threads(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.load() == SLOT_ORPHANED)
+            .count()
+    }
+
+    /// Cumulative orphan slots reclaimed over the domain's lifetime.
+    pub fn orphans_adopted(&self) -> usize {
+        self.orphans_adopted.load()
+    }
+
+    /// Cumulative nodes recovered from orphans' magazines.
+    pub fn orphan_nodes_recovered(&self) -> usize {
+        self.orphan_nodes_recovered.load()
+    }
+
+    /// Reclaims every orphaned slot. LFRC has no announcement rows or gift
+    /// slots, so a dead thread's only recoverable resource is its
+    /// allocation magazine: drain it back to the single free-list head and
+    /// reopen the slot. Mirrors [`wfrc_core::WfrcDomain::adopt_orphans`]
+    /// (same CAS-claimed exclusivity, same report type; the announcement
+    /// and gift fields stay 0 here).
+    ///
+    /// Like the WFRC adopter, runs injection-shielded (see
+    /// `wfrc_core::fault::shielded`) so the corpse's still-armed fault
+    /// rules cannot fire inside its recovery.
+    pub fn adopt_orphans(&self) -> wfrc_core::AdoptReport {
+        #[cfg(feature = "fault-injection")]
+        return wfrc_core::fault::shielded(|| self.adopt_orphans_impl());
+        #[cfg(not(feature = "fault-injection"))]
+        self.adopt_orphans_impl()
+    }
+
+    fn adopt_orphans_impl(&self) -> wfrc_core::AdoptReport {
+        let mut report = wfrc_core::AdoptReport::default();
+        for (tid, slot) in self.slots.iter().enumerate() {
+            if !slot.cas(SLOT_ORPHANED, SLOT_TAKEN) {
+                continue;
+            }
+            // SAFETY: the CAS above made us the exclusive owner of `tid`.
+            let batch = unsafe { self.mag.take(tid, usize::MAX) };
+            if !batch.is_empty() {
+                report.magazine_nodes_recovered += batch.len();
+                for w in batch.windows(2) {
+                    // SAFETY: claimed nodes exclusively owned by this drain.
+                    unsafe { (*w[0]).mm_next().store(w[1]) };
+                }
+                self.push_chain_raw(batch[0], batch[batch.len() - 1]);
+            }
+            slot.store(SLOT_FREE);
+            report.orphans_adopted += 1;
+        }
+        self.orphans_adopted.faa(report.orphans_adopted as isize);
+        self.orphan_nodes_recovered
+            .faa(report.nodes_recovered() as isize);
+        report
+    }
+
+    /// Treiber push of an exclusively-owned, pre-linked chain
+    /// (`first..=last`) onto the single head. Returns the retry count.
+    fn push_chain_raw(&self, first: *mut Node<T>, last: *mut Node<T>) -> u64 {
+        let mut backoff = Backoff::new();
+        let mut retries: u64 = 0;
+        loop {
+            let head = self.head.load();
+            // SAFETY: `last` is exclusively ours until the CAS publishes it.
+            unsafe { (*last).mm_next().store(head) };
+            if self.head.cas(head, first) {
+                return retries;
+            }
+            retries += 1;
+            if self.backoff {
+                backoff.snooze();
+            }
+        }
     }
 
     /// Node pool size (current, including grown segments).
@@ -300,6 +405,10 @@ impl<'d, T: RcObject> LfrcHandle<'d, T> {
                 self.note_deref_retries(retries);
                 return node;
             }
+            // Between the read and the optimistic FAA — the race Valois'
+            // re-check loop pays for. A death here holds nothing yet.
+            #[cfg(feature = "fault-injection")]
+            self.fault_hit(wfrc_core::fault::FaultSite::DerefFaa);
             // SAFETY: arena node; type-stable header makes the optimistic
             // FAA safe even if the node was just reclaimed.
             unsafe { (*node).faa_ref(2) };
@@ -328,29 +437,39 @@ impl<'d, T: RcObject> LfrcHandle<'d, T> {
             GrowOutcome::Grew(nodes) => {
                 OpCounters::bump(&self.counters.segments_grown);
                 OpCounters::add(&self.counters.nodes_seeded, nodes.len() as u64);
-                // Chain the fresh nodes and push the whole chain with one
-                // CAS onto the single head (Treiber push of a segment).
-                let first = &nodes[0] as *const Node<T> as *mut Node<T>;
-                for w in nodes.windows(2) {
-                    w[0].mm_next()
-                        .store(&w[1] as *const Node<T> as *mut Node<T>);
-                }
-                let last = &nodes[nodes.len() - 1];
-                let mut backoff = Backoff::new();
-                loop {
-                    let head = self.domain.head.load();
-                    last.mm_next().store(head);
-                    if self.domain.head.cas(head, first) {
-                        break;
-                    }
-                    if self.domain.backoff {
-                        backoff.snooze();
-                    }
-                }
+                // A death between winning the growth CAS and seeding would
+                // strand the whole segment; the completion seeds it first.
+                #[cfg(feature = "fault-injection")]
+                self.fault_hit_or(wfrc_core::fault::FaultSite::GrowSeed, || {
+                    self.seed_grown(nodes);
+                });
+                self.seed_grown(nodes);
                 true
             }
             GrowOutcome::Lost => true,
             GrowOutcome::AtCapacity => false,
+        }
+    }
+
+    /// Chains a freshly grown segment's nodes and pushes the whole chain
+    /// with one CAS onto the single head (Treiber push of a segment).
+    fn seed_grown(&self, nodes: &[Node<T>]) {
+        let first = &nodes[0] as *const Node<T> as *mut Node<T>;
+        for w in nodes.windows(2) {
+            w[0].mm_next()
+                .store(&w[1] as *const Node<T> as *mut Node<T>);
+        }
+        let last = &nodes[nodes.len() - 1];
+        let mut backoff = Backoff::new();
+        loop {
+            let head = self.domain.head.load();
+            last.mm_next().store(head);
+            if self.domain.head.cas(head, first) {
+                break;
+            }
+            if self.domain.backoff {
+                backoff.snooze();
+            }
         }
     }
 
@@ -368,6 +487,21 @@ impl<'d, T: RcObject> LfrcHandle<'d, T> {
     /// this domain).
     pub unsafe fn release_raw(&self, node: *mut Node<T>) {
         debug_assert!(!node.is_null());
+        // A death at the FAA must not forget the caller's count — the
+        // completion performs the whole release (same contract as the
+        // wait-free scheme's ReleaseFaa site).
+        #[cfg(feature = "fault-injection")]
+        self.fault_hit_or(wfrc_core::fault::FaultSite::ReleaseFaa, || {
+            // SAFETY: forwarded caller contract.
+            unsafe { self.release_raw_body(node) };
+        });
+        // SAFETY: forwarded caller contract.
+        unsafe { self.release_raw_body(node) };
+    }
+
+    /// # Safety
+    /// Same contract as [`LfrcHandle::release_raw`].
+    unsafe fn release_raw_body(&self, node: *mut Node<T>) {
         let mut pending: Option<Vec<*mut Node<T>>> = None;
         let mut cur = node;
         loop {
@@ -409,18 +543,35 @@ impl<'d, T: RcObject> LfrcHandle<'d, T> {
     /// Treiber push of an exclusively-owned, pre-linked chain
     /// (`first..=last`) onto the single head. Returns the retry count.
     fn push_chain(&self, first: *mut Node<T>, last: *mut Node<T>) -> u64 {
-        let mut backoff = Backoff::new();
-        let mut retries: u64 = 0;
-        loop {
-            let head = self.domain.head.load();
-            // SAFETY: `last` is exclusively ours until the CAS publishes it.
-            unsafe { (*last).mm_next().store(head) };
-            if self.domain.head.cas(head, first) {
-                return retries;
-            }
-            retries += 1;
-            if self.domain.backoff {
-                backoff.snooze();
+        self.domain.push_chain_raw(first, last)
+    }
+
+    /// Fires the injection hook for `site` if a plan is installed (resource-
+    /// free sites only; see [`wfrc_core::fault`]).
+    #[cfg(feature = "fault-injection")]
+    #[inline]
+    fn fault_hit(&self, site: wfrc_core::fault::FaultSite) {
+        if let Some(p) = &self.domain.faults {
+            p.hit(site, self.tid, &self.counters);
+        }
+    }
+
+    /// Fires the injection hook with a completion obligation, like
+    /// `wfrc_core`'s `Shared::fault_hit_or`: on an injected death,
+    /// `complete` finishes the interrupted protocol step before the unwind
+    /// resumes.
+    #[cfg(feature = "fault-injection")]
+    #[inline]
+    fn fault_hit_or(&self, site: wfrc_core::fault::FaultSite, complete: impl FnOnce()) {
+        if let Some(p) = &self.domain.faults {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                p.hit(site, self.tid, &self.counters)
+            })) {
+                Ok(()) => {}
+                Err(payload) => {
+                    complete();
+                    std::panic::resume_unwind(payload);
+                }
             }
         }
     }
@@ -460,12 +611,30 @@ impl<'d, T: RcObject> LfrcHandle<'d, T> {
     /// half a magazine, and hands the rest back (CAS ⊥ → rest, falling
     /// back to a Treiber chain-push if an allocator raced in).
     fn magazine_refill(&self) {
+        // A death here holds nothing yet — the head has not been swapped.
+        #[cfg(feature = "fault-injection")]
+        self.fault_hit(wfrc_core::fault::FaultSite::MagazineRefill);
         let mag = &self.domain.mag;
         let target = (mag.cap() / 2).max(1);
         let chain = self.domain.head.swap(ptr::null_mut());
         if chain.is_null() {
             return;
         }
+        // Between the head SWAP and the magazine extend this thread owns
+        // the whole chain: a death must hand it back or the pool shrinks.
+        #[cfg(feature = "fault-injection")]
+        self.fault_hit_or(wfrc_core::fault::FaultSite::StripeSwap, || {
+            let mut tail = chain;
+            loop {
+                // SAFETY: node of the stolen chain — exclusively ours.
+                let next = unsafe { (*tail).mm_next().load() };
+                if next.is_null() {
+                    break;
+                }
+                tail = next;
+            }
+            self.push_chain(chain, tail);
+        });
         let mut kept = Vec::with_capacity(target);
         let mut p = chain;
         while !p.is_null() && kept.len() < target {
@@ -500,6 +669,13 @@ impl<'d, T: RcObject> LfrcHandle<'d, T> {
         if !mag.is_enabled() {
             return false;
         }
+        // A death here owns the claimed `node` and nothing else; the
+        // completion pushes it straight to the shared head (chain of one)
+        // so the pool cannot silently deplete.
+        #[cfg(feature = "fault-injection")]
+        self.fault_hit_or(wfrc_core::fault::FaultSite::MagazineDrain, || {
+            self.push_chain(node, node);
+        });
         // SAFETY: `tid` is this handle's registered thread id (exclusive).
         if unsafe { mag.try_push(self.tid, node) } {
             return true;
@@ -582,8 +758,26 @@ impl<'d, T: RcObject> LfrcHandle<'d, T> {
     }
 }
 
+impl<'d, T: RcObject> LfrcHandle<'d, T> {
+    /// Deliberately orphans this handle for
+    /// [`LfrcDomain::adopt_orphans`], exactly like
+    /// [`wfrc_core::ThreadHandle::abandon`].
+    pub fn abandon(self) {
+        let was = self.domain.slots[self.tid].swap(SLOT_ORPHANED);
+        debug_assert_eq!(was, SLOT_TAKEN);
+        core::mem::forget(self);
+    }
+}
+
 impl<T: RcObject> Drop for LfrcHandle<'_, T> {
     fn drop(&mut self) {
+        // A panicking thread leaves recovery to `adopt_orphans`, same as
+        // `wfrc_core::ThreadHandle`.
+        if std::thread::panicking() {
+            let was = self.domain.slots[self.tid].swap(SLOT_ORPHANED);
+            debug_assert_eq!(was, SLOT_TAKEN);
+            return;
+        }
         // Return magazine-parked nodes before the thread id becomes
         // claimable, same as `wfrc_core::ThreadHandle`.
         // SAFETY: still the exclusive owner of `tid`'s slot.
@@ -591,8 +785,8 @@ impl<T: RcObject> Drop for LfrcHandle<'_, T> {
         if !batch.is_empty() {
             self.drain_batch(batch);
         }
-        let was = self.domain.slots[self.tid].swap(0);
-        debug_assert_eq!(was, 1);
+        let was = self.domain.slots[self.tid].swap(SLOT_FREE);
+        debug_assert_eq!(was, SLOT_TAKEN);
     }
 }
 

@@ -76,6 +76,10 @@ pub struct OpCounters {
     /// Magazine drain events (a batch of cached nodes chain-pushed back to
     /// the shared free-list stripes).
     pub magazine_drains: Cell<u64>,
+    /// Faults this thread had injected into it (stalls, parks, deaths).
+    /// Always 0 unless the `fault-injection` feature is active and a
+    /// `FaultPlan` is installed.
+    pub faults_injected: Cell<u64>,
 }
 
 impl OpCounters {
@@ -138,6 +142,7 @@ impl OpCounters {
             magazine_hits: self.magazine_hits.get(),
             magazine_refills: self.magazine_refills.get(),
             magazine_drains: self.magazine_drains.get(),
+            faults_injected: self.faults_injected.get(),
         }
     }
 
@@ -170,6 +175,7 @@ impl OpCounters {
         self.magazine_hits.set(0);
         self.magazine_refills.set(0);
         self.magazine_drains.set(0);
+        self.faults_injected.set(0);
     }
 }
 
@@ -204,6 +210,7 @@ pub struct CounterSnapshot {
     pub magazine_hits: u64,
     pub magazine_refills: u64,
     pub magazine_drains: u64,
+    pub faults_injected: u64,
 }
 
 impl CounterSnapshot {
@@ -236,6 +243,7 @@ impl CounterSnapshot {
         self.magazine_hits += other.magazine_hits;
         self.magazine_refills += other.magazine_refills;
         self.magazine_drains += other.magazine_drains;
+        self.faults_injected += other.faults_injected;
         self
     }
 }

@@ -33,6 +33,46 @@ pub(crate) struct Shared<T> {
     pub(crate) n: usize,
     /// Footnote-4 retry bound for `AllocNode`.
     pub(crate) oom_bound: usize,
+    /// Installed fault schedule (see [`crate::fault`]); `None` = no
+    /// injection even with the feature compiled in.
+    #[cfg(feature = "fault-injection")]
+    pub(crate) faults: Option<std::sync::Arc<crate::fault::FaultPlan>>,
+}
+
+#[cfg(feature = "fault-injection")]
+impl<T> Shared<T> {
+    /// Fires the injection hook for `site` if a plan is installed. Used at
+    /// sites that hold no protocol resource: an injected death unwinds
+    /// without stranding anything adoption cannot enumerate.
+    #[inline]
+    pub(crate) fn fault_hit(&self, c: &OpCounters, site: crate::fault::FaultSite, tid: usize) {
+        if let Some(p) = &self.faults {
+            p.hit(site, tid, c);
+        }
+    }
+
+    /// Fires the injection hook with a *completion* obligation: if the hook
+    /// injects a death, `complete` runs (finishing the protocol step the
+    /// site interrupted — e.g. pushing a stolen stripe chain back) before
+    /// the unwind resumes.
+    #[inline]
+    pub(crate) fn fault_hit_or(
+        &self,
+        c: &OpCounters,
+        site: crate::fault::FaultSite,
+        tid: usize,
+        complete: impl FnOnce(),
+    ) {
+        if let Some(p) = &self.faults {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| p.hit(site, tid, c))) {
+                Ok(()) => {}
+                Err(payload) => {
+                    complete();
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    }
 }
 
 /// Configuration for a [`WfrcDomain`].
@@ -103,9 +143,22 @@ impl DomainConfig {
 /// [`ThreadHandle`] for the per-thread operations.
 pub struct WfrcDomain<T: RcObject> {
     shared: Shared<T>,
-    /// Registration flags, one per thread id; 1 = taken.
+    /// Registration state, one word per thread id: [`SLOT_FREE`],
+    /// [`SLOT_TAKEN`], or [`SLOT_ORPHANED`].
     slots: Box<[AtomicWord]>,
+    /// Cumulative [`WfrcDomain::adopt_orphans`] telemetry.
+    orphans_adopted: AtomicWord,
+    orphan_nodes_recovered: AtomicWord,
 }
+
+/// Slot states for the registration words.
+pub(crate) const SLOT_FREE: usize = 0;
+pub(crate) const SLOT_TAKEN: usize = 1;
+/// The owning thread died (panicked with the handle live) or explicitly
+/// abandoned the handle: the slot's announcement rows, `annAlloc` gift, and
+/// magazine may still hold nodes. Recovered by
+/// [`WfrcDomain::adopt_orphans`]; not registrable until then.
+pub(crate) const SLOT_ORPHANED: usize = 2;
 
 /// Error returned by [`WfrcDomain::register`] when all `max_threads` ids are
 /// taken.
@@ -152,11 +205,22 @@ impl<T: RcObject> WfrcDomain<T> {
             fl,
             n,
             oom_bound: config.oom_bound.unwrap_or_else(|| alloc_retry_bound(n)),
+            #[cfg(feature = "fault-injection")]
+            faults: None,
         };
         Self {
             shared,
-            slots: (0..n).map(|_| AtomicWord::new(0)).collect(),
+            slots: (0..n).map(|_| AtomicWord::new(SLOT_FREE)).collect(),
+            orphans_adopted: AtomicWord::new(0),
+            orphan_nodes_recovered: AtomicWord::new(0),
         }
+    }
+
+    /// Installs a fault schedule (see [`crate::fault`]). Must happen before
+    /// the domain is shared (`&mut self`), like the baseline's builders.
+    #[cfg(feature = "fault-injection")]
+    pub fn set_fault_plan(&mut self, plan: std::sync::Arc<crate::fault::FaultPlan>) {
+        self.shared.faults = Some(plan);
     }
 
     /// Registers the calling context, claiming a thread id.
@@ -167,7 +231,7 @@ impl<T: RcObject> WfrcDomain<T> {
     /// allowing a handle to migrate with a moved worker.
     pub fn register(&self) -> Result<ThreadHandle<'_, T>, RegistryFull> {
         for (tid, slot) in self.slots.iter().enumerate() {
-            if slot.load() == 0 && slot.cas(0, 1) {
+            if slot.load() == SLOT_FREE && slot.cas(SLOT_FREE, SLOT_TAKEN) {
                 return Ok(ThreadHandle::new(self, tid, OpCounters::new()));
             }
         }
@@ -175,8 +239,16 @@ impl<T: RcObject> WfrcDomain<T> {
     }
 
     pub(crate) fn unregister(&self, tid: usize) {
-        let was = self.slots[tid].swap(0);
-        debug_assert_eq!(was, 1, "double unregister of thread {tid}");
+        let was = self.slots[tid].swap(SLOT_FREE);
+        debug_assert_eq!(was, SLOT_TAKEN, "double unregister of thread {tid}");
+    }
+
+    /// Marks `tid`'s slot orphaned instead of free: the thread died (or
+    /// abandoned its handle) without draining, so the slot's resources must
+    /// be recovered by [`WfrcDomain::adopt_orphans`] before reuse.
+    pub(crate) fn orphan(&self, tid: usize) {
+        let was = self.slots[tid].swap(SLOT_ORPHANED);
+        debug_assert_eq!(was, SLOT_TAKEN, "orphaning an unregistered thread {tid}");
     }
 
     pub(crate) fn shared(&self) -> &Shared<T> {
@@ -200,7 +272,99 @@ impl<T: RcObject> WfrcDomain<T> {
 
     /// Number of currently registered threads.
     pub fn registered_threads(&self) -> usize {
-        self.slots.iter().filter(|s| s.load() == 1).count()
+        self.slots.iter().filter(|s| s.load() == SLOT_TAKEN).count()
+    }
+
+    /// Number of orphaned slots awaiting [`WfrcDomain::adopt_orphans`].
+    pub fn orphaned_threads(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.load() == SLOT_ORPHANED)
+            .count()
+    }
+
+    /// Cumulative count of orphan slots reclaimed by
+    /// [`WfrcDomain::adopt_orphans`] over the domain's lifetime.
+    pub fn orphans_adopted(&self) -> usize {
+        self.orphans_adopted.load()
+    }
+
+    /// Cumulative count of nodes recovered from orphans (announcement-slot
+    /// answers, parked `annAlloc` gifts, and magazine contents).
+    pub fn orphan_nodes_recovered(&self) -> usize {
+        self.orphan_nodes_recovered.load()
+    }
+
+    /// Reclaims every orphaned thread slot: a crashed (or abandoned) thread
+    /// leaves behind (a) possibly-live announcement slots — including a
+    /// helper's answer installed *after* the death, which carries a
+    /// transferred reference count; (b) a node parked in its `annAlloc`
+    /// gift slot; (c) its allocation magazine. This releases/drains all
+    /// three through the ordinary protocol operations and reopens the slot
+    /// for [`WfrcDomain::register`].
+    ///
+    /// Safe to run concurrently with live threads (the adopter claims each
+    /// orphan slot with a CAS, and a retracted announcement makes any
+    /// still-pending helper answer CAS fail exactly as in the D6/H6 race),
+    /// and safe to call twice — the second call finds nothing.
+    ///
+    /// The paper models threads as reliable; adoption is this
+    /// reproduction's extension for fail-stop threads (DESIGN.md §7).
+    ///
+    /// Adoption runs injection-shielded (`crate::fault::shielded` when the
+    /// `fault-injection` feature is on): it performs protocol
+    /// operations under the *dead* thread's id, and the corpse's
+    /// still-armed fault rules must not fire inside its own recovery.
+    pub fn adopt_orphans(&self) -> AdoptReport {
+        #[cfg(feature = "fault-injection")]
+        return crate::fault::shielded(|| self.adopt_orphans_impl());
+        #[cfg(not(feature = "fault-injection"))]
+        self.adopt_orphans_impl()
+    }
+
+    fn adopt_orphans_impl(&self) -> AdoptReport {
+        let s = &self.shared;
+        let mut report = AdoptReport::default();
+        for tid in 0..s.n {
+            // Claim exclusivity over the corpse's slot: whoever wins this
+            // CAS owns tid's announcement row, gift slot, and magazine.
+            if !self.slots[tid].cas(SLOT_ORPHANED, SLOT_TAKEN) {
+                continue;
+            }
+            let c = OpCounters::new();
+            // (a) Retract every announcement slot. A live link-address word
+            // holds no count (the victim died before D5, or its speculative
+            // count was its own and died with its guards); an odd word is a
+            // helper's answer whose transferred count we now own.
+            for idx in 0..s.n {
+                let word = s.ann.retract(tid, idx);
+                if word & 1 == 1 {
+                    let node = (word & !1) as *mut crate::node::Node<T>;
+                    s.release_ref(tid, &c, node);
+                    report.announce_refs_released += 1;
+                }
+            }
+            // (b) Collect a parked gift: mm_ref 3 -> 2 (the A4 FixRef),
+            // then release the reference we just took ownership of.
+            let gift = s.fl.take_gift(tid);
+            if !gift.is_null() {
+                // SAFETY: the gift was parked for `tid`, whose slot we own.
+                unsafe { (*gift).faa_ref(-1) };
+                s.release_ref(tid, &c, gift);
+                report.gifts_recovered += 1;
+            }
+            // (c) Drain the magazine last: the releases above may park
+            // nodes in it, and the drain returns everything to the stripes.
+            // SAFETY: slot ownership claimed above.
+            report.magazine_nodes_recovered += unsafe { s.mag.len(tid) };
+            s.drain_magazine(tid, &c);
+            self.slots[tid].store(SLOT_FREE);
+            report.orphans_adopted += 1;
+        }
+        self.orphans_adopted.faa(report.orphans_adopted as isize);
+        self.orphan_nodes_recovered
+            .faa(report.nodes_recovered() as isize);
+        report
     }
 
     /// Effective per-thread magazine capacity (0 = magazines disabled).
@@ -272,6 +436,27 @@ impl<T: RcObject> core::fmt::Debug for WfrcDomain<T> {
             .field("max_threads", &self.shared.n)
             .field("capacity", &self.shared.arena.capacity())
             .finish()
+    }
+}
+
+/// Result of one [`WfrcDomain::adopt_orphans`] pass.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct AdoptReport {
+    /// Orphaned slots this pass reclaimed and reopened.
+    pub orphans_adopted: usize,
+    /// Announcement-slot answers released (each carried one transferred
+    /// reference the dead thread never consumed).
+    pub announce_refs_released: usize,
+    /// `annAlloc` gift nodes recovered (at most one per orphan).
+    pub gifts_recovered: usize,
+    /// Nodes drained from orphans' magazines back to the shared stripes.
+    pub magazine_nodes_recovered: usize,
+}
+
+impl AdoptReport {
+    /// Total nodes this pass returned to circulation.
+    pub fn nodes_recovered(&self) -> usize {
+        self.announce_refs_released + self.gifts_recovered + self.magazine_nodes_recovered
     }
 }
 

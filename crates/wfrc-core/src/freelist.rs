@@ -188,6 +188,13 @@ impl<T> FreeLists<T> {
         self.ann_alloc[tid].load()
     }
 
+    /// Claims the gift parked for thread `tid` (the A4 swap, performed on
+    /// its behalf by an adopter that owns the orphaned slot). Returns null
+    /// when no gift was parked.
+    pub(crate) fn take_gift(&self, tid: usize) -> *mut Node<T> {
+        self.ann_alloc[tid].swap(ptr::null_mut())
+    }
+
     /// Diagnostic: walks free-list `i` and returns its length. Only
     /// meaningful at quiescence.
     pub fn list_len(&self, i: usize) -> usize {
@@ -275,7 +282,7 @@ impl<T: RcObject> Shared<T> {
                 // `MAX_SEGMENTS · oom_bound` iterations before a terminal
                 // out-of-memory).
                 OpCounters::bump(&c.alloc_slow_path);
-                if self.grow(c) {
+                if self.grow(tid, c) {
                     iters = 0;
                     continue;
                 }
@@ -329,11 +336,20 @@ impl<T: RcObject> Shared<T> {
     /// (whether this thread or a concurrent racer published the segment) —
     /// the caller re-scans the free-lists; false means the policy is
     /// exhausted and out-of-memory is terminal.
-    fn grow(&self, c: &OpCounters) -> bool {
+    fn grow(&self, tid: usize, c: &OpCounters) -> bool {
+        #[cfg(not(feature = "fault-injection"))]
+        let _ = tid;
         match self.arena.try_grow() {
             GrowOutcome::Grew(nodes) => {
                 OpCounters::bump(&c.segments_grown);
                 OpCounters::add(&c.nodes_seeded, nodes.len() as u64);
+                // A death between winning the growth CAS and seeding would
+                // strand the entire new segment outside every free-list —
+                // invisible to adoption — so the completion seeds it first.
+                #[cfg(feature = "fault-injection")]
+                self.fault_hit_or(c, crate::fault::FaultSite::GrowSeed, tid, || {
+                    self.fl.seed_grown(nodes);
+                });
                 self.fl.seed_grown(nodes);
                 true
             }

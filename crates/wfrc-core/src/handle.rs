@@ -30,6 +30,7 @@ use crate::oom::OutOfMemory;
 /// but `!Sync` (a thread id must never be used concurrently — the paper's
 /// `threadId` is exclusive). The `!Sync` comes for free from the `Cell`s in
 /// [`OpCounters`]; the `PhantomData` documents the intent.
+#[must_use = "dropping the handle immediately unregisters the thread id"]
 pub struct ThreadHandle<'d, T: RcObject> {
     domain: &'d WfrcDomain<T>,
     tid: usize,
@@ -91,6 +92,7 @@ impl<'d, T: RcObject> ThreadHandle<'d, T> {
 
     /// `DeRefLink`: wait-free dereference of `link`, returning a guard
     /// holding one reference, or `None` if the link was ⊥.
+    #[must_use = "the returned guard owns a reference; discarding it silently releases"]
     pub fn deref<'h>(&'h self, link: &Link<T>) -> Option<NodeRef<'h, T>> {
         let node = self
             .domain
@@ -128,7 +130,18 @@ impl<'d, T: RcObject> ThreadHandle<'d, T> {
             s.fix_ref(new_ptr, 2); // the link's own reference
         }
         if link.cas_raw(old_ptr, new_ptr) {
-            s.help_deref(self.tid, &self.counters, link);
+            {
+                // An injected death inside help_deref would skip the old
+                // node's release below; the guard performs it on unwind.
+                #[cfg(feature = "fault-injection")]
+                let _release_old = crate::rc::ReleaseOnUnwind {
+                    shared: s,
+                    tid: self.tid,
+                    c: &self.counters,
+                    node: old_ptr,
+                };
+                s.help_deref(self.tid, &self.counters, link);
+            }
             if !old_ptr.is_null() {
                 s.release_ref(self.tid, &self.counters, old_ptr);
             }
@@ -155,9 +168,29 @@ impl<'d, T: RcObject> ThreadHandle<'d, T> {
         }
         let old = link.swap_raw(new_ptr);
         if !old.is_null() {
-            s.help_deref(self.tid, &self.counters, link);
+            {
+                // Same unwind obligation as in `cas` above.
+                #[cfg(feature = "fault-injection")]
+                let _release_old = crate::rc::ReleaseOnUnwind {
+                    shared: s,
+                    tid: self.tid,
+                    c: &self.counters,
+                    node: old,
+                };
+                s.help_deref(self.tid, &self.counters, link);
+            }
             s.release_ref(self.tid, &self.counters, old);
         }
+    }
+
+    /// Deliberately orphans this handle: the slot is marked for
+    /// [`WfrcDomain::adopt_orphans`] instead of being drained and
+    /// unregistered, exactly as if the owning thread had died. Models a
+    /// thread that leaks its handle (e.g. `mem::forget` in user code) for
+    /// the recovery tests and the chaos driver.
+    pub fn abandon(self) {
+        self.domain.orphan(self.tid);
+        core::mem::forget(self);
     }
 
     // ------------------------------------------------------------------
@@ -178,6 +211,7 @@ impl<'d, T: RcObject> ThreadHandle<'d, T> {
     ///
     /// # Safety
     /// `link` must only ever hold nodes of this handle's domain.
+    #[must_use = "the returned pointer carries a reference that must be released"]
     pub unsafe fn deref_raw(&self, link: &Link<T>) -> *mut Node<T> {
         self.domain
             .shared()
@@ -269,6 +303,15 @@ impl<'d, T: RcObject> ThreadHandle<'d, T> {
 
 impl<T: RcObject> Drop for ThreadHandle<'_, T> {
     fn drop(&mut self) {
+        // A panicking thread must not run the cooperative teardown: its
+        // announcement row or gift slot may still hold references that only
+        // an adopter can account for, and draining here could double-count.
+        // Mark the slot orphaned and let `WfrcDomain::adopt_orphans` do the
+        // whole recovery.
+        if std::thread::panicking() {
+            self.domain.orphan(self.tid);
+            return;
+        }
         // Return magazine-parked nodes to the shared stripes before the
         // thread id becomes claimable: a successor thread gets a fresh
         // (empty) magazine, and repeated register/alloc/drop cycles
@@ -291,6 +334,7 @@ impl<T: RcObject> core::fmt::Debug for ThreadHandle<'_, T> {
 /// An owned reference to a node: the RAII form of the paper's
 /// `AllocNode`/`DeRefLink` results. Dropping it is `ReleaseRef`; cloning it
 /// is `FixRef(node, 2)`.
+#[must_use = "dropping the guard immediately releases the reference"]
 pub struct NodeRef<'h, T: RcObject> {
     handle: &'h ThreadHandle<'h, T>,
     node: NonNull<Node<T>>,
@@ -325,6 +369,7 @@ impl<'h, T: RcObject> NodeRef<'h, T> {
     /// Consumes the guard *without* releasing: returns the raw pointer and
     /// transfers the reference to the caller (pair with
     /// [`ThreadHandle::release_raw`]).
+    #[must_use = "the returned pointer carries the guard's reference; dropping it leaks"]
     pub fn into_raw(self) -> *mut Node<T> {
         let p = self.node.as_ptr();
         core::mem::forget(self);

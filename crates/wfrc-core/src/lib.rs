@@ -81,6 +81,8 @@ pub mod announce;
 pub mod arena;
 pub mod counters;
 pub mod domain;
+#[cfg(feature = "fault-injection")]
+pub mod fault;
 pub mod freelist;
 pub mod handle;
 pub mod link;
@@ -91,7 +93,9 @@ pub mod rc;
 
 pub use arena::{Growth, MAX_SEGMENTS};
 pub use counters::OpCounters;
-pub use domain::{DomainConfig, LeakReport, WfrcDomain};
+pub use domain::{AdoptReport, DomainConfig, LeakReport, WfrcDomain};
+#[cfg(feature = "fault-injection")]
+pub use fault::{FaultAction, FaultPlan, FaultSite, FireRule, InjectedDeath};
 pub use handle::{NodeRef, ThreadHandle};
 pub use link::Link;
 pub use magazine::Magazines;

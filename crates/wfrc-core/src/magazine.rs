@@ -256,6 +256,10 @@ impl<T: RcObject> Shared<T> {
     /// then every stripe once from `currentFreeList` — the same bounded
     /// scan shape as A5–A7.
     fn magazine_refill(&self, tid: usize, c: &OpCounters) {
+        // A death here holds nothing yet — the scan has not swapped a
+        // stripe — so a bare unwind is already safe.
+        #[cfg(feature = "fault-injection")]
+        self.fault_hit(c, crate::fault::FaultSite::MagazineRefill, tid);
         let fl = &self.fl;
         let lists = fl.lists();
         let target = (self.mag.cap() / 2).max(1);
@@ -271,6 +275,23 @@ impl<T: RcObject> Shared<T> {
             if chain.is_null() {
                 continue; // lost the stripe to a racer; try the next one
             }
+            // Between the stripe SWAP and the magazine extend, this thread
+            // privately owns the whole chain: a death must hand it back
+            // (walk to the tail, one F4–F10 chain-push) or the stripe's
+            // worth of nodes would vanish from the pool.
+            #[cfg(feature = "fault-injection")]
+            self.fault_hit_or(c, crate::fault::FaultSite::StripeSwap, tid, || {
+                let mut tail = chain;
+                loop {
+                    // SAFETY: node of the stolen chain — exclusively ours.
+                    let next = unsafe { (*tail).mm_next().load() };
+                    if next.is_null() {
+                        break;
+                    }
+                    tail = next;
+                }
+                self.fl.push_chain(tid, chain, tail);
+            });
             // Walk off the nodes we keep. The chain is exclusively ours
             // after the swap, so plain `mm_next` loads suffice.
             let mut kept = Vec::with_capacity(target);
@@ -328,6 +349,15 @@ impl<T: RcObject> Shared<T> {
         if !self.mag.is_enabled() {
             return false;
         }
+        // A death here owns the claimed `node` and nothing else; it is in
+        // no structure adoption can enumerate, so the completion pushes it
+        // straight to the shared stripes (a chain of one) before unwinding.
+        // Without this the pool would silently deplete — leak_check cannot
+        // see a stranded mm_ref == 1 node.
+        #[cfg(feature = "fault-injection")]
+        self.fault_hit_or(c, crate::fault::FaultSite::MagazineDrain, tid, || {
+            self.fl.push_chain(tid, node, node);
+        });
         // SAFETY: `tid` is this caller's registered thread id (exclusive).
         if unsafe { self.mag.try_push(tid, node) } {
             return true;

@@ -55,10 +55,19 @@ impl<T: RcObject> Shared<T> {
         };
         ann.set_index(tid, idx); // D2
         ann.publish(tid, idx, link.addr()); // D3
-                                            // D4 — stripping a possible deletion mark (bit 0): the structures
-                                            // of [18] mark a node's outgoing links before unlinking it; a marked
-                                            // link still *points to* its node for dereferencing purposes.
+                                            // A death here leaves exactly one live announcement, which adoption
+                                            // retracts (and releases, if a helper answered it post-mortem).
+        #[cfg(feature = "fault-injection")]
+        self.fault_hit(c, crate::fault::FaultSite::AnnouncePublish, tid);
+        // D4 — stripping a possible deletion mark (bit 0): the structures
+        // of [18] mark a node's outgoing links before unlinking it; a marked
+        // link still *points to* its node for dereferencing purposes.
         let mut node = wfrc_primitives::tagged::without_tag(link.load_raw());
+        // Between the D4 read and the D5 increment is the race the paper's
+        // helping closes; a death here still holds nothing but the
+        // announcement (the speculative count has not been taken yet).
+        #[cfg(feature = "fault-injection")]
+        self.fault_hit(c, crate::fault::FaultSite::DerefFaa, tid);
         if !node.is_null() {
             // D5: speculative increment — safe even on a reclaimed node
             // because arena headers are type-stable.
@@ -88,6 +97,17 @@ impl<T: RcObject> Shared<T> {
     /// the common non-reclaiming call does no heap work).
     pub(crate) fn release_ref(&self, tid: usize, c: &OpCounters, node: *mut Node<T>) {
         debug_assert!(!node.is_null());
+        // A death at this site must not forget the count the caller is
+        // contractually dropping (it would pin `node` live forever): the
+        // completion performs the whole release before the unwind resumes.
+        #[cfg(feature = "fault-injection")]
+        self.fault_hit_or(c, crate::fault::FaultSite::ReleaseFaa, tid, || {
+            self.release_ref_body(tid, c, node);
+        });
+        self.release_ref_body(tid, c, node);
+    }
+
+    fn release_ref_body(&self, tid: usize, c: &OpCounters, node: *mut Node<T>) {
         let mut pending: Option<Vec<*mut Node<T>>> = None;
         let mut cur = node;
         loop {
@@ -132,8 +152,15 @@ impl<T: RcObject> Shared<T> {
             let idx = ann.current_index(id); // H2
             if ann.slot_announces(id, idx, la) {
                 // H3 matched: pin the slot so it cannot be reused while our
-                // answer CAS is pending (the ABA defence of §3).
-                ann.busy_inc(id, idx); // H4
+                // answer CAS is pending (the ABA defence of §3). The pin is
+                // RAII so an unwind through H5/H6 still performs H8 — a
+                // dead helper must not leave a slot busy forever (it would
+                // shrink the announcer's D1 slot supply permanently).
+                let _pin = BusyPin::new(ann, id, idx); // H4
+                                                       // A death here holds only the busy pin, which `_pin`
+                                                       // releases on unwind.
+                #[cfg(feature = "fault-injection")]
+                self.fault_hit(c, crate::fault::FaultSite::HelperCas, tid);
                 let node = self.deref_link(tid, c, link); // H5
                 if ann.try_answer(id, idx, la, node as usize) {
                     // H6 succeeded: the reference we took in H5 is
@@ -147,7 +174,7 @@ impl<T: RcObject> Shared<T> {
                         self.release_ref(tid, c, node); // H7
                     }
                 }
-                ann.busy_dec(id, idx); // H8
+                // H8 via `_pin`'s drop.
             }
         }
     }
@@ -159,6 +186,49 @@ impl<T: RcObject> Shared<T> {
         debug_assert!(!node.is_null());
         // SAFETY: arena node (type-stable header).
         unsafe { (*node).faa_ref(fix) };
+    }
+}
+
+/// Scope guard for the H4 busy pin: `Drop` performs H8 so the pin survives
+/// an unwind through H5–H7 (see `help_deref`).
+struct BusyPin<'a> {
+    ann: &'a crate::announce::Announce,
+    id: usize,
+    idx: usize,
+}
+
+impl<'a> BusyPin<'a> {
+    fn new(ann: &'a crate::announce::Announce, id: usize, idx: usize) -> Self {
+        ann.busy_inc(id, idx); // H4
+        Self { ann, id, idx }
+    }
+}
+
+impl Drop for BusyPin<'_> {
+    fn drop(&mut self) {
+        self.ann.busy_dec(self.id, self.idx); // H8
+    }
+}
+
+/// Scope guard used by the handle's `store`/`cas` around the obligatory
+/// `HelpDeRef`: a helper death unwinding out of `help_deref` would skip the
+/// §3.2 release of the link's *old* node, leaking its count. On unwind this
+/// performs that release; on the normal path (no panic in flight) the drop
+/// is inert and the handle performs the release itself after the scope.
+#[cfg(feature = "fault-injection")]
+pub(crate) struct ReleaseOnUnwind<'a, T: RcObject> {
+    pub(crate) shared: &'a Shared<T>,
+    pub(crate) tid: usize,
+    pub(crate) c: &'a OpCounters,
+    pub(crate) node: *mut Node<T>,
+}
+
+#[cfg(feature = "fault-injection")]
+impl<T: RcObject> Drop for ReleaseOnUnwind<'_, T> {
+    fn drop(&mut self) {
+        if !self.node.is_null() && std::thread::panicking() {
+            self.shared.release_ref(self.tid, self.c, self.node);
+        }
     }
 }
 

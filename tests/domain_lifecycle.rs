@@ -199,3 +199,154 @@ fn custom_oom_bound_respected() {
     drop(a);
     assert!(h.alloc_with(|_| {}).is_ok());
 }
+
+/// A thread that panics mid-work must leave its slot *orphaned*, not free:
+/// the slot is unusable until [`WfrcDomain::adopt_orphans`] recovers its
+/// parked resources, after which registration hands out the same tid again.
+#[test]
+fn panicked_thread_is_orphaned_then_adopted_and_slot_reused() {
+    let domain = WfrcDomain::<u64>::new(DomainConfig::new(2, 32).with_magazine(4));
+    let link = Link::null();
+    std::thread::scope(|s| {
+        let d = &domain;
+        let link_ref = &link;
+        let t = s.spawn(move || {
+            let h = d.register().unwrap();
+            assert_eq!(h.tid(), 0);
+            for i in 0..16u64 {
+                let g = h.alloc_with(|v| *v = i).unwrap();
+                h.store(link_ref, Some(&g));
+            }
+            // Free one node outright so the magazine is provably non-empty
+            // when the thread dies.
+            drop(h.alloc_with(|v| *v = 99).unwrap());
+            panic!("synthetic crash");
+        });
+        assert!(t.join().is_err());
+    });
+
+    assert_eq!(domain.orphaned_threads(), 1);
+    let h1 = domain.register().unwrap();
+    assert_eq!(h1.tid(), 1, "the orphaned slot must not be handed out");
+    assert!(
+        domain.register().is_err(),
+        "slot 0 is orphaned, not free: registration must fail"
+    );
+
+    let report = domain.adopt_orphans();
+    assert_eq!(report.orphans_adopted, 1);
+    assert!(
+        report.magazine_nodes_recovered >= 1,
+        "the crashed thread's magazine must be drained: {report:?}"
+    );
+    assert_eq!(domain.orphan_nodes_recovered(), report.nodes_recovered());
+
+    let h0 = domain.register().unwrap();
+    assert_eq!(h0.tid(), 0, "adoption must reopen the crashed slot");
+    h0.store(&link, None);
+    drop(h0);
+    drop(h1);
+    assert!(domain.leak_check().is_clean());
+}
+
+/// `abandon` is the deliberate-crash API: the slot goes straight to
+/// orphaned, and a second `adopt_orphans` finds nothing (the slot CAS makes
+/// adoption exactly-once even when called repeatedly or concurrently).
+#[test]
+fn abandon_then_double_adoption_is_idempotent() {
+    let domain = WfrcDomain::<u64>::new(DomainConfig::new(1, 16).with_magazine(4));
+    let h = domain.register().unwrap();
+    drop(h.alloc_with(|v| *v = 7).unwrap());
+    h.abandon();
+
+    assert_eq!(domain.orphaned_threads(), 1);
+    assert!(
+        domain.register().is_err(),
+        "abandoned slot unusable before adoption"
+    );
+
+    let first = domain.adopt_orphans();
+    assert_eq!(first.orphans_adopted, 1);
+    let second = domain.adopt_orphans();
+    assert_eq!(second.orphans_adopted, 0);
+    assert_eq!(second.nodes_recovered(), 0);
+    assert_eq!(domain.orphans_adopted(), 1);
+
+    drop(domain.register().unwrap());
+    assert!(domain.leak_check().is_clean());
+}
+
+/// The LFRC baseline shares the orphan model: an abandoned handle's
+/// magazine is recovered by its `adopt_orphans`.
+#[test]
+fn lfrc_abandoned_handle_is_adopted() {
+    let mut domain = wfrc::baselines::LfrcDomain::<u64>::new(2, 32);
+    domain.set_magazine(4);
+    let h = domain.register().unwrap();
+    for _ in 0..8 {
+        let n = h.alloc_raw().unwrap();
+        // SAFETY: `n` is a live node this thread owns one count on.
+        unsafe { h.release_raw(n) };
+    }
+    assert!(h.magazine_len() > 0);
+    h.abandon();
+
+    assert_eq!(domain.orphaned_threads(), 1);
+    let report = domain.adopt_orphans();
+    assert_eq!(report.orphans_adopted, 1);
+    assert!(report.magazine_nodes_recovered >= 1);
+    assert!(domain.leak_check().is_clean());
+    assert_eq!(domain.adopt_orphans().orphans_adopted, 0);
+}
+
+/// Adoption racing a *live* helper: a victim dies between the announcement
+/// publish and its own count acquisition, then a surviving writer keeps
+/// retargeting the announced link (its `HelpDeRef` may answer the dead
+/// thread's announcement) while the main thread adopts the orphan. The
+/// retract-vs-answer CAS makes exactly one side responsible for the count,
+/// whichever order the race resolves in.
+#[cfg(feature = "fault-injection")]
+#[test]
+fn adoption_races_live_helper_without_leaks() {
+    use wfrc::core::fault::silence_injected_deaths;
+    use wfrc::core::{FaultAction, FaultPlan, FaultSite, FireRule};
+
+    silence_injected_deaths();
+    for round in 0..20u64 {
+        let mut domain = WfrcDomain::<u64>::new(DomainConfig::new(3, 64).with_magazine(8));
+        let plan = Arc::new(FaultPlan::new(round));
+        domain.set_fault_plan(Arc::clone(&plan));
+        plan.arm_victim(0, FaultSite::DerefFaa, FaultAction::Die, FireRule::Nth(1));
+
+        let link = Link::null();
+        let victim = domain.register().unwrap();
+        let helper = domain.register().unwrap();
+        std::thread::scope(|s| {
+            let link_ref = &link;
+            {
+                let g = helper.alloc_with(|v| *v = 1).unwrap();
+                helper.store(link_ref, Some(&g));
+            }
+            let vt = s.spawn(move || {
+                // Dies with its announcement still pointing at `link`.
+                let _ = victim.deref(link_ref);
+            });
+            assert!(vt.join().is_err());
+
+            let d = &domain;
+            let ht = s.spawn(move || {
+                for i in 0..100u64 {
+                    if let Ok(n) = helper.alloc_with(|v| *v = i) {
+                        helper.store(link_ref, Some(&n));
+                    }
+                }
+                helper.store(link_ref, None);
+            });
+            let report = d.adopt_orphans();
+            assert_eq!(report.orphans_adopted, 1);
+            ht.join().unwrap();
+        });
+        let leaks = domain.leak_check();
+        assert!(leaks.is_clean(), "round {round} leaked: {leaks:?}");
+    }
+}

@@ -1,0 +1,396 @@
+//! Fault-injection torture: for every registered [`FaultSite`], a victim
+//! thread is stalled (`Park`, then released) and killed (`Die`) mid-operation
+//! while a survivor completes a fixed op quota. Every scenario must end with
+//! [`WfrcDomain::adopt_orphans`] recovering the victim's slot and
+//! [`WfrcDomain::leak_check`] reporting zero leaks — the ISSUE's acceptance
+//! bar for the helping protocol surviving crashes.
+//!
+//! Built only with `--features fault-injection`; the default build contains
+//! none of the hooks these tests drive.
+
+#![cfg(feature = "fault-injection")]
+
+use std::sync::Arc;
+
+use wfrc::baselines::LfrcDomain;
+use wfrc::core::fault::silence_injected_deaths;
+use wfrc::core::{
+    DomainConfig, FaultAction, FaultPlan, FaultSite, FireRule, Growth, InjectedDeath, Link,
+    ThreadHandle, WfrcDomain,
+};
+
+const THREADS: usize = 3;
+const CAPACITY: usize = 64;
+const SURVIVOR_QUOTA: usize = 2_000;
+
+/// Growth is enabled so a victim parked while holding an entire stolen
+/// stripe (or the whole initial pool, for `GrowSeed`) cannot starve the
+/// survivor: wait-freedom of the survivor quota must not depend on the
+/// victim's nodes ever coming back.
+fn config() -> DomainConfig {
+    DomainConfig::new(THREADS, CAPACITY)
+        .with_magazine(8)
+        .with_growth(Growth::doubling_to(4096))
+}
+
+fn faulted_domain(seed: u64) -> (WfrcDomain<u64>, Arc<FaultPlan>) {
+    let mut domain = WfrcDomain::<u64>::new(config());
+    let plan = Arc::new(FaultPlan::new(seed));
+    domain.set_fault_plan(Arc::clone(&plan));
+    (domain, plan)
+}
+
+/// Mixed alloc/store/deref/release churn that reaches every generic site:
+/// the first alloc refills the magazine (`MagazineRefill`, `StripeSwap`),
+/// derefs hit `AnnouncePublish`/`DerefFaa`, link overwrites and guard drops
+/// hit `ReleaseFaa`/`MagazineDrain`, and the growing `held` pile forces a
+/// growth step (`GrowSeed`) once the initial pool is pinned.
+fn victim_loop(h: ThreadHandle<'_, u64>, links: &[Link<u64>], plan: &FaultPlan) {
+    let mut held = Vec::new();
+    for i in 0..200_000usize {
+        if plan.injected() > 0 {
+            break;
+        }
+        if let Ok(g) = h.alloc_with(|v| *v = i as u64) {
+            h.store(&links[i % links.len()], Some(&g));
+            if held.len() < CAPACITY + 36 {
+                held.push(g);
+            }
+        }
+        if let Some(g) = h.deref(&links[(i + 1) % links.len()]) {
+            std::hint::black_box(*g);
+        }
+        if i % 7 == 6 {
+            held.pop();
+        }
+    }
+    assert!(
+        plan.injected() > 0,
+        "victim exhausted its loop without the armed site firing"
+    );
+}
+
+/// Survivor progress while the victim is parked or dead: `quota` completed
+/// operations, none of which may block on the victim.
+fn survivor_quota(h: &ThreadHandle<'_, u64>, links: &[Link<u64>], quota: usize) {
+    let mut done = 0usize;
+    let mut i = 0usize;
+    while done < quota {
+        i += 1;
+        if let Ok(g) = h.alloc_with(|v| *v = i as u64) {
+            h.store(&links[i % links.len()], Some(&g));
+            done += 1;
+        }
+        if let Some(g) = h.deref(&links[(i + 2) % links.len()]) {
+            std::hint::black_box(*g);
+            done += 1;
+        }
+    }
+}
+
+/// One full scenario: arm `site` for the victim (tid 0), run it until the
+/// fault fires, let the survivor finish its quota, then recover and audit.
+fn run_site_scenario(site: FaultSite, die: bool) {
+    silence_injected_deaths();
+    let (domain, plan) = faulted_domain(0x5EED ^ site as u64);
+    let action = if die {
+        FaultAction::Die
+    } else {
+        FaultAction::Park
+    };
+    plan.arm_victim(0, site, action, FireRule::Nth(1));
+
+    let links: Vec<Link<u64>> = (0..4).map(|_| Link::null()).collect();
+    let victim = domain.register().unwrap();
+    let survivor = domain.register().unwrap();
+    assert_eq!(victim.tid(), 0);
+
+    std::thread::scope(|s| {
+        let links_ref = &links;
+        let plan_ref: &FaultPlan = &plan;
+        let vt = s.spawn(move || victim_loop(victim, links_ref, plan_ref));
+        if die {
+            let err = vt.join().expect_err("victim must die at the armed site");
+            let death = err
+                .downcast::<InjectedDeath>()
+                .expect("panic payload must be InjectedDeath");
+            assert_eq!(death.site, site);
+            survivor_quota(&survivor, &links, SURVIVOR_QUOTA);
+        } else {
+            while plan.parked() == 0 {
+                std::thread::yield_now();
+            }
+            survivor_quota(&survivor, &links, SURVIVOR_QUOTA);
+            plan.release();
+            vt.join().expect("released victim exits cleanly");
+        }
+        for l in &links {
+            survivor.store(l, None);
+        }
+        drop(survivor);
+    });
+
+    assert!(plan.injected() >= 1, "site {} never fired", site.name());
+    let report = domain.adopt_orphans();
+    assert_eq!(
+        report.orphans_adopted,
+        usize::from(die),
+        "exactly the dead victim's slot must need adoption ({site:?})"
+    );
+    let leaks = domain.leak_check();
+    assert!(
+        leaks.is_clean(),
+        "leaks after {} ({}): {leaks:?}",
+        site.name(),
+        if die { "die" } else { "park" },
+    );
+}
+
+macro_rules! site_scenarios {
+    ($($name_park:ident, $name_die:ident => $site:expr;)*) => {
+        $(
+            #[test]
+            fn $name_park() {
+                run_site_scenario($site, false);
+            }
+            #[test]
+            fn $name_die() {
+                run_site_scenario($site, true);
+            }
+        )*
+    };
+}
+
+site_scenarios! {
+    announce_publish_park, announce_publish_die => FaultSite::AnnouncePublish;
+    deref_faa_park, deref_faa_die => FaultSite::DerefFaa;
+    release_faa_park, release_faa_die => FaultSite::ReleaseFaa;
+    stripe_swap_park, stripe_swap_die => FaultSite::StripeSwap;
+    magazine_refill_park, magazine_refill_die => FaultSite::MagazineRefill;
+    magazine_drain_park, magazine_drain_die => FaultSite::MagazineDrain;
+    grow_seed_park, grow_seed_die => FaultSite::GrowSeed;
+}
+
+/// `HelperCas` needs a pending announcement for the victim to help: an aux
+/// thread (tid 2) parks between publish (D3) and load (D4), then the victim
+/// (tid 0) stores over the announced link, enters `HelpDeRef`, and hits the
+/// armed site inside the busy pin.
+fn run_helper_cas_scenario(die: bool) {
+    silence_injected_deaths();
+    let (domain, plan) = faulted_domain(0xFA11);
+    plan.arm_victim(
+        2,
+        FaultSite::AnnouncePublish,
+        FaultAction::Park,
+        FireRule::Nth(1),
+    );
+    let action = if die {
+        FaultAction::Die
+    } else {
+        FaultAction::Park
+    };
+    plan.arm_victim(0, FaultSite::HelperCas, action, FireRule::Nth(1));
+
+    let links: Vec<Link<u64>> = (0..4).map(|_| Link::null()).collect();
+    let victim = domain.register().unwrap();
+    let survivor = domain.register().unwrap();
+    let aux = domain.register().unwrap();
+    assert_eq!((victim.tid(), aux.tid()), (0, 2));
+
+    {
+        let seed = survivor.alloc_with(|v| *v = 1).unwrap();
+        survivor.store(&links[0], Some(&seed));
+    }
+
+    std::thread::scope(|s| {
+        let links_ref = &links;
+
+        let at = s.spawn(move || {
+            // Parks at AnnouncePublish with a live announcement on links[0].
+            let g = aux.deref(&links_ref[0]);
+            drop(g);
+        });
+        while plan.parked() == 0 {
+            std::thread::yield_now();
+        }
+
+        let vt = s.spawn(move || {
+            let fresh = victim.alloc_with(|v| *v = 2).expect("pool sized");
+            // SWAP, then HelpDeRef finds aux's announcement → HelperCas.
+            victim.store(&links_ref[0], Some(&fresh));
+        });
+        if die {
+            let err = vt.join().expect_err("victim must die inside HelpDeRef");
+            let death = err
+                .downcast::<InjectedDeath>()
+                .expect("panic payload must be InjectedDeath");
+            assert_eq!(death.site, FaultSite::HelperCas);
+            survivor_quota(&survivor, &links, SURVIVOR_QUOTA);
+            plan.release();
+        } else {
+            while plan.parked() < 2 {
+                std::thread::yield_now();
+            }
+            survivor_quota(&survivor, &links, SURVIVOR_QUOTA);
+            plan.release();
+            vt.join().expect("released victim exits cleanly");
+        }
+        at.join().expect("aux completes its deref after release");
+        for l in &links {
+            survivor.store(l, None);
+        }
+        drop(survivor);
+    });
+
+    let report = domain.adopt_orphans();
+    assert_eq!(report.orphans_adopted, usize::from(die));
+    let leaks = domain.leak_check();
+    assert!(leaks.is_clean(), "leaks after HelperCas: {leaks:?}");
+}
+
+#[test]
+fn helper_cas_park() {
+    run_helper_cas_scenario(false);
+}
+
+#[test]
+fn helper_cas_die() {
+    run_helper_cas_scenario(true);
+}
+
+/// Bounded stalls (`Stall(n)`) must be invisible to correctness: the stalled
+/// thread simply resumes, and the per-thread `faults_injected` counter
+/// records each injection.
+#[test]
+fn bounded_stalls_are_transparent() {
+    let (domain, plan) = faulted_domain(0x57A11);
+    plan.arm(
+        FaultSite::DerefFaa,
+        FaultAction::Stall(500),
+        FireRule::EveryNth(50),
+    );
+    plan.arm(
+        FaultSite::ReleaseFaa,
+        FaultAction::Stall(500),
+        FireRule::EveryNth(77),
+    );
+
+    let link = Link::null();
+    let h = domain.register().unwrap();
+    for i in 0..2_000u64 {
+        let g = h.alloc_with(|v| *v = i).unwrap();
+        h.store(&link, Some(&g));
+        drop(g);
+        if let Some(r) = h.deref(&link) {
+            assert_eq!(*r, i);
+        }
+    }
+    let snapshot = h.counters().snapshot();
+    h.store(&link, None);
+    drop(h);
+
+    assert!(plan.injected() >= 1, "stall rules never fired");
+    assert!(
+        snapshot.faults_injected >= 1,
+        "per-thread counter must record injections"
+    );
+    assert!(domain.leak_check().is_clean());
+}
+
+/// The LFRC baseline shares the orphan/adoption model: a thread killed
+/// mid-release leaves its slot orphaned, and `adopt_orphans` drains its
+/// magazine so `leak_check` stays clean.
+#[test]
+fn lfrc_die_mid_release_is_recovered() {
+    silence_injected_deaths();
+    let mut domain = LfrcDomain::<u64>::new(2, CAPACITY);
+    domain.set_magazine(8);
+    let plan = Arc::new(FaultPlan::new(0x1F2C));
+    domain.set_fault_plan(Arc::clone(&plan));
+    plan.arm_victim(0, FaultSite::ReleaseFaa, FaultAction::Die, FireRule::Nth(5));
+
+    std::thread::scope(|s| {
+        let d = &domain;
+        let t = s.spawn(move || {
+            let h = d.register().unwrap();
+            for _ in 0..1_000 {
+                let n = h.alloc_raw().expect("pool sized");
+                // SAFETY: `n` is a live node this thread owns one count on.
+                unsafe { h.release_raw(n) };
+            }
+        });
+        let err = t.join().expect_err("victim must die at ReleaseFaa");
+        let death = err
+            .downcast::<InjectedDeath>()
+            .expect("panic payload must be InjectedDeath");
+        assert_eq!(death.site, FaultSite::ReleaseFaa);
+    });
+
+    assert_eq!(domain.orphaned_threads(), 1);
+    let report = domain.adopt_orphans();
+    assert_eq!(report.orphans_adopted, 1);
+    assert!(domain.leak_check().is_clean());
+    assert_eq!(domain.adopt_orphans().orphans_adopted, 0);
+}
+
+/// Mini-soak: repeated kill/adopt cycles against one long-lived domain with
+/// every site armed probabilistically — the e10_chaos loop in miniature.
+#[test]
+fn soak_kill_adopt_cycles() {
+    silence_injected_deaths();
+    let (domain, plan) = faulted_domain(42);
+    let links: Vec<Link<u64>> = (0..4).map(|_| Link::null()).collect();
+    let survivor = domain.register().unwrap();
+    let mut kills = 0usize;
+
+    for round in 0..8 {
+        plan.clear_arms();
+        for site in FaultSite::ALL {
+            plan.arm_victim(1, site, FaultAction::Die, FireRule::Chance(0.02));
+        }
+        let victim = domain.register().unwrap();
+        assert_eq!(victim.tid(), 1, "adoption must free the slot for reuse");
+
+        std::thread::scope(|s| {
+            let links_ref = &links;
+            let vt = s.spawn(move || {
+                let mut held = Vec::new();
+                for i in 0..50_000usize {
+                    if let Ok(g) = victim.alloc_with(|v| *v = i as u64) {
+                        victim.store(&links_ref[i % links_ref.len()], Some(&g));
+                        if held.len() < 24 {
+                            held.push(g);
+                        }
+                    }
+                    if let Some(g) = victim.deref(&links_ref[(i + 1) % links_ref.len()]) {
+                        std::hint::black_box(*g);
+                    }
+                    if i % 5 == 4 {
+                        held.pop();
+                    }
+                }
+            });
+            survivor_quota(&survivor, &links, 500);
+            if let Err(err) = vt.join() {
+                err.downcast::<InjectedDeath>()
+                    .unwrap_or_else(|_| panic!("round {round}: non-injected panic"));
+                kills += 1;
+                let report = domain.adopt_orphans();
+                assert_eq!(report.orphans_adopted, 1);
+            }
+        });
+    }
+
+    assert!(
+        kills >= 1,
+        "Chance(0.02) across 8 rounds should kill at least once"
+    );
+    assert_eq!(domain.orphans_adopted(), kills);
+    for l in &links {
+        survivor.store(l, None);
+    }
+    drop(survivor);
+    assert_eq!(domain.adopt_orphans().orphans_adopted, 0);
+    let leaks = domain.leak_check();
+    assert!(leaks.is_clean(), "soak leaked: {leaks:?}");
+}
