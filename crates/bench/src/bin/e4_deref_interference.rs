@@ -1,30 +1,44 @@
 //! E4 — the wait-freedom of `DeRefLink` (Lemma 6) vs. the unbounded retry
 //! loop of Valois-style dereferencing, under adversarial link flipping.
 //!
-//! One reader dereferences a hot link while k writer threads flip it
-//! between two nodes. The load-bearing column is **max retries per op**:
-//! structurally 0 for the wait-free scheme (its dereference has no retry
-//! loop at all — the announcement either survives or is answered), and
-//! growing with interference for the lock-free baseline. Latency
-//! percentiles on a 1-CPU box are dominated by preemption, so the retry
-//! counters are the primary evidence; the latency tail is reported anyway.
+//! Two tables, selected with `--mode read|write|both`:
+//!
+//! * **read** (reader-side): one reader dereferences a hot link while k
+//!   writer threads flip it between two nodes. The load-bearing column is
+//!   **max retries per op**: structurally 0 for the wait-free scheme (its
+//!   dereference has no retry loop at all — the announcement either
+//!   survives or is answered), and growing with interference for the
+//!   lock-free baseline. Latency percentiles on a 1-CPU box are dominated
+//!   by preemption, so the retry counters are the primary evidence; the
+//!   latency tail is reported anyway.
+//! * **write** (zero-announcer): the writers flip the link via raw
+//!   `CompareAndSwapLink` with **no reader and no dereference anywhere**,
+//!   so no announcement is ever live and every obligatory `HelpDeRef` runs
+//!   against an empty table. The skip-rate column shows how often the
+//!   announcement-presence summary answered that in one word
+//!   (`help_scan_skips / (help_scan_skips + help_scan_full)`); the ops/s
+//!   column is the §3.2 write-side helping tax with nothing to help —
+//!   the common case for store/CAS-heavy workloads. The domain is sized
+//!   at [`NR_THREADS`] for every row (the paper's `NR_THREADS` is a
+//!   compile-time machine constant, so the matrices — and the O(N) sweep
+//!   the summary short-circuits — are sized for the machine, not for the
+//!   active writer count).
 //!
 //! ```text
-//! cargo run --release --bin e4_deref_interference [-- --threads 0,1,2,4 --ops 100000 --json]
+//! cargo run --release --bin e4_deref_interference [-- --threads 0,1,2,4 --ops 100000 --json --mode both]
 //! ```
-//! (here `--threads` = interfering writer counts)
+//! (here `--threads` = interfering writer counts; write mode skips 0)
 
 use std::sync::Arc;
 
-use bench::drivers::run_deref_interference;
+use bench::drivers::{run_deref_interference, run_write_interference};
 use bench::Args;
 use wfrc_baselines::LfrcDomain;
 use wfrc_core::{DomainConfig, WfrcDomain};
 use wfrc_sim::stats::{fmt_ns, Summary, Table};
 use wfrc_sim::Histogram;
 
-fn main() {
-    let args = Args::parse(&[0, 1, 2, 4], 100_000);
+fn read_table(args: &Args) {
     let mut table = Table::new(
         "E4: DeRefLink under link-flipping interference (reader-side)",
         &[
@@ -70,5 +84,80 @@ fn main() {
     );
     if args.json {
         println!("{}", table.to_json());
+    }
+}
+
+/// The write table's `NR_THREADS` (paper §3: the matrices are statically
+/// sized for the machine). Sizing per-row at `writers + 1` instead would
+/// shrink the very sweep the presence summary is meant to short-circuit.
+const NR_THREADS: usize = 32;
+
+fn write_table(args: &Args) {
+    let mut table = Table::new(
+        "E4 (write path): link flips with no announcer (help-scan fast path)",
+        &[
+            "writers",
+            "scheme",
+            "write ops/s",
+            "help_calls",
+            "help_answers",
+            "scan skips",
+            "full scans",
+            "skip rate",
+        ],
+    );
+    for &w in &args.threads {
+        if w == 0 {
+            continue; // the write table needs at least one writer
+        }
+        let n = NR_THREADS.max(w + 1);
+        for scheme in ["wfrc", "lfrc"] {
+            let result = if scheme == "wfrc" {
+                let d = Arc::new(WfrcDomain::<u64>::new(DomainConfig::new(n, 16)));
+                run_write_interference(d, w, args.ops)
+            } else {
+                let mut d = LfrcDomain::<u64>::new(n, 16);
+                d.set_backoff(false);
+                run_write_interference(Arc::new(d), w, args.ops)
+            };
+            let c = result.counters;
+            table.row(&[
+                w.to_string(),
+                scheme.to_string(),
+                wfrc_sim::stats::fmt_ops(result.ops_per_sec()),
+                c.help_calls.to_string(),
+                c.help_answers.to_string(),
+                c.help_scan_skips.to_string(),
+                c.help_scan_full.to_string(),
+                skip_rate(c.help_scan_skips, c.help_scan_full),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    if args.json {
+        println!("{}", table.to_json());
+    }
+}
+
+/// `skips / (skips + full)`, or `n/a` when the scheme never scans (LFRC has
+/// no helping obligation at all).
+fn skip_rate(skips: u64, full: u64) -> String {
+    let total = skips + full;
+    if total == 0 {
+        "n/a".into()
+    } else {
+        format!("{:.4}", skips as f64 / total as f64)
+    }
+}
+
+fn main() {
+    let args = Args::parse(&[0, 1, 2, 4], 100_000);
+    match args.mode.as_str() {
+        "read" => read_table(&args),
+        "write" => write_table(&args),
+        _ => {
+            read_table(&args);
+            write_table(&args);
+        }
     }
 }

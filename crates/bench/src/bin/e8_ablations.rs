@@ -51,6 +51,8 @@ fn main() {
             "churn ops/s",
             "max alloc iters",
             "gifts given",
+            "scan skips",
+            "skip rate",
         ],
     );
     for &t in &args.threads {
@@ -69,12 +71,23 @@ fn main() {
             t,
             args.ops * 4,
         );
+        // Announcement-summary effectiveness for the PQ workload (the churn
+        // workload never touches links, so its help scan is never entered).
+        let skips = pq.counters.help_scan_skips;
+        let full = pq.counters.help_scan_full;
+        let skip_rate = if skips + full == 0 {
+            "n/a".to_string()
+        } else {
+            format!("{:.4}", skips as f64 / (skips + full) as f64)
+        };
         table.row(&[
             t.to_string(),
             fmt_ops(pq.ops_per_sec()),
             fmt_ops(churn.ops_per_sec()),
             churn.counters.max_alloc_iters.to_string(),
             churn.counters.alloc_gave_gift.to_string(),
+            skips.to_string(),
+            skip_rate,
         ]);
     }
     println!("{}", table.render());

@@ -391,6 +391,87 @@ where
     (result, hist, reader_counters)
 }
 
+/// E4 (write path, zero-announcer): `writers` threads flip a hot link
+/// between two standing nodes via raw `CompareAndSwapLink` — never
+/// dereferencing it, so no announcement is ever live. Every obligatory
+/// `HelpDeRef` therefore runs against an empty announcement table, which is
+/// the common case the presence-summary fast path targets: the measured
+/// throughput is the §3.2 write-side helping overhead with nothing to help.
+/// Returns the merged writer-side result; its `help_scan_skips` /
+/// `help_scan_full` counters expose the fast-path hit rate.
+pub fn run_write_interference<D, T>(domain: Arc<D>, writers: usize, ops: u64) -> RunResult
+where
+    T: wfrc_core::RcObject + Default,
+    D: RcMmDomain<T> + Send + Sync + 'static,
+{
+    use wfrc_core::Link;
+    assert!(writers >= 1, "write-path mode needs at least one writer");
+    let setup = domain.register_mm().expect("register");
+    let link = Arc::new(Link::<T>::null());
+    let a = setup.alloc_node().expect("node a");
+    let b = setup.alloc_node().expect("node b");
+    // As in `run_deref_interference`: one standing count pins each node for
+    // the whole run, so a blind `add_refs` on either is always safe.
+    // SAFETY: we own the alloc references; store transfers one count into
+    // the link, so `a` gets a second count first.
+    unsafe {
+        setup.add_refs(a, 1);
+        setup.store_link(&link, a);
+    }
+    let a_addr = a as usize;
+    let b_addr = b as usize;
+    let (parts, wall) = run_fixed_ops(writers, |w| {
+        let domain = Arc::clone(&domain);
+        let link = Arc::clone(&link);
+        move || {
+            let h = domain.register_mm().expect("register");
+            let mut done = 0u64;
+            // Stagger the starting direction so the CAS traffic mixes
+            // successes and failures at every writer count.
+            let (mut from, mut to) = if w % 2 == 0 {
+                (a_addr, b_addr)
+            } else {
+                (b_addr, a_addr)
+            };
+            for _ in 0..ops {
+                let from_p = from as *mut wfrc_core::Node<T>;
+                let to_p = to as *mut wfrc_core::Node<T>;
+                // SAFETY: both nodes are pinned by the standing counts; the
+                // count taken on `to_p` transfers into the link on success
+                // and is returned on failure.
+                unsafe {
+                    h.add_refs(to_p, 1);
+                    if h.cas_link(&link, from_p, to_p) {
+                        h.release_node(from_p); // the link's old count
+                    } else {
+                        h.release_node(to_p); // undo
+                    }
+                }
+                core::mem::swap(&mut from, &mut to);
+                done += 1;
+            }
+            (done, h.counter_snapshot())
+        }
+    });
+    let (total_ops, counters) = merge_counters(parts);
+    // Teardown: clear the link, then drop the standing counts.
+    // SAFETY: quiescent — all workers joined.
+    unsafe {
+        let cur = link.swap_raw(std::ptr::null_mut());
+        if !cur.is_null() {
+            setup.release_node(cur);
+        }
+        setup.release_node(a);
+        setup.release_node(b);
+    }
+    RunResult {
+        threads: writers,
+        total_ops,
+        wall,
+        counters,
+    }
+}
+
 /// One link flip with full §3.2 discipline: dereference the current node,
 /// CAS to the partner, release appropriately.
 fn flip<T, M>(h: &M, link: &wfrc_core::Link<T>, a_addr: usize, b_addr: usize)

@@ -53,6 +53,10 @@ pub struct Args {
     /// Run the magazine-mode variant (E5/E9): per-thread allocation
     /// magazines on vs. off, reporting the fast-path hit rate.
     pub magazine: bool,
+    /// E4 table selection: `read` (reader-side deref interference), `write`
+    /// (zero-announcer link flipping), or `both` (default). Other binaries
+    /// ignore it.
+    pub mode: String,
 }
 
 impl Args {
@@ -64,6 +68,7 @@ impl Args {
             json: false,
             grow: false,
             magazine: false,
+            mode: "both".into(),
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -85,10 +90,18 @@ impl Args {
                 "--json" => out.json = true,
                 "--grow" => out.grow = true,
                 "--magazine" => out.magazine = true,
+                "--mode" => {
+                    out.mode = args.next().expect("--mode needs a value");
+                    assert!(
+                        matches!(out.mode.as_str(), "read" | "write" | "both"),
+                        "bad --mode {} (expected read/write/both)",
+                        out.mode
+                    );
+                }
                 other => {
                     panic!(
                         "unknown argument: {other} \
-                         (expected --threads/--ops/--json/--grow/--magazine)"
+                         (expected --threads/--ops/--json/--grow/--magazine/--mode)"
                     )
                 }
             }

@@ -23,6 +23,7 @@
 
 use core::marker::PhantomData;
 use core::ptr;
+use core::sync::atomic::Ordering;
 
 use wfrc_core::arena::{Arena, GrowOutcome};
 use wfrc_core::counters::OpCounters;
@@ -37,6 +38,25 @@ type HeadCell<T> = wfrc_primitives::CachePadded<WordPtr<Node<T>>>;
 #[cfg(feature = "no-pad")]
 type HeadCell<T> = WordPtr<Node<T>>;
 
+/// Registration-slot / telemetry word, cache-padded like the wait-free
+/// domain's (`wfrc_core::domain`), so the two schemes pay the same layout
+/// costs in E4/E5 comparisons.
+#[cfg(not(feature = "no-pad"))]
+type SlotWord = wfrc_primitives::CachePadded<AtomicWord>;
+#[cfg(feature = "no-pad")]
+type SlotWord = AtomicWord;
+
+fn new_slot_word(v: usize) -> SlotWord {
+    #[cfg(not(feature = "no-pad"))]
+    {
+        wfrc_primitives::CachePadded::new(AtomicWord::new(v))
+    }
+    #[cfg(feature = "no-pad")]
+    {
+        AtomicWord::new(v)
+    }
+}
+
 /// Registration slot states — the same three-state protocol as
 /// `wfrc_core::domain` (free / taken / orphaned-awaiting-adoption).
 const SLOT_FREE: usize = 0;
@@ -50,7 +70,7 @@ pub struct LfrcDomain<T: RcObject> {
     arena: Arena<T>,
     /// The single free-list head all threads contend on.
     head: HeadCell<T>,
-    slots: Box<[AtomicWord]>,
+    slots: Box<[SlotWord]>,
     /// Whether retry loops back off (the NOBLE-era default). Disable for
     /// raw retry-count measurements.
     backoff: bool,
@@ -59,8 +79,8 @@ pub struct LfrcDomain<T: RcObject> {
     /// schemes apples-to-apples. Disabled (cap 0) by default.
     mag: Magazines<T>,
     /// Cumulative [`LfrcDomain::adopt_orphans`] telemetry.
-    orphans_adopted: AtomicWord,
-    orphan_nodes_recovered: AtomicWord,
+    orphans_adopted: SlotWord,
+    orphan_nodes_recovered: SlotWord,
     /// Installed fault schedule; `None` = no injection even with the
     /// feature compiled in.
     #[cfg(feature = "fault-injection")]
@@ -119,13 +139,11 @@ impl<T: RcObject> LfrcDomain<T> {
         Self {
             arena,
             head,
-            slots: (0..max_threads)
-                .map(|_| AtomicWord::new(SLOT_FREE))
-                .collect(),
+            slots: (0..max_threads).map(|_| new_slot_word(SLOT_FREE)).collect(),
             backoff: true,
             mag: Magazines::new(max_threads, 0),
-            orphans_adopted: AtomicWord::new(0),
-            orphan_nodes_recovered: AtomicWord::new(0),
+            orphans_adopted: new_slot_word(0),
+            orphan_nodes_recovered: new_slot_word(0),
             #[cfg(feature = "fault-injection")]
             faults: None,
         }
@@ -160,7 +178,11 @@ impl<T: RcObject> LfrcDomain<T> {
     /// Registers the calling context.
     pub fn register(&self) -> Result<LfrcHandle<'_, T>, wfrc_core::domain::RegistryFull> {
         for (tid, slot) in self.slots.iter().enumerate() {
-            if slot.load() == SLOT_FREE && slot.cas(SLOT_FREE, SLOT_TAKEN) {
+            // Same orderings (and argument) as `wfrc_core::domain::register`:
+            // Relaxed probe, Acquire claim pairing with the Release free.
+            if slot.load_with(Ordering::Relaxed) == SLOT_FREE
+                && slot.cas_with(SLOT_FREE, SLOT_TAKEN, Ordering::Acquire, Ordering::Relaxed)
+            {
                 return Ok(LfrcHandle {
                     domain: self,
                     tid,
@@ -174,20 +196,23 @@ impl<T: RcObject> LfrcDomain<T> {
 
     /// Number of orphaned slots awaiting [`LfrcDomain::adopt_orphans`].
     pub fn orphaned_threads(&self) -> usize {
+        // Relaxed: diagnostic only; `adopt_orphans` re-checks with a CAS.
         self.slots
             .iter()
-            .filter(|s| s.load() == SLOT_ORPHANED)
+            .filter(|s| s.load_with(Ordering::Relaxed) == SLOT_ORPHANED)
             .count()
     }
 
     /// Cumulative orphan slots reclaimed over the domain's lifetime.
     pub fn orphans_adopted(&self) -> usize {
-        self.orphans_adopted.load()
+        // Relaxed: telemetry, no synchronization role.
+        self.orphans_adopted.load_with(Ordering::Relaxed)
     }
 
     /// Cumulative nodes recovered from orphans' magazines.
     pub fn orphan_nodes_recovered(&self) -> usize {
-        self.orphan_nodes_recovered.load()
+        // Relaxed: telemetry, no synchronization role.
+        self.orphan_nodes_recovered.load_with(Ordering::Relaxed)
     }
 
     /// Reclaims every orphaned slot. LFRC has no announcement rows or gift
@@ -210,7 +235,14 @@ impl<T: RcObject> LfrcDomain<T> {
     fn adopt_orphans_impl(&self) -> wfrc_core::AdoptReport {
         let mut report = wfrc_core::AdoptReport::default();
         for (tid, slot) in self.slots.iter().enumerate() {
-            if !slot.cas(SLOT_ORPHANED, SLOT_TAKEN) {
+            // Acquire claim pairs with the Release orphaning swap, making
+            // the corpse's magazine vector visible to this drain.
+            if !slot.cas_with(
+                SLOT_ORPHANED,
+                SLOT_TAKEN,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
                 continue;
             }
             // SAFETY: the CAS above made us the exclusive owner of `tid`.
@@ -223,12 +255,16 @@ impl<T: RcObject> LfrcDomain<T> {
                 }
                 self.push_chain_raw(batch[0], batch[batch.len() - 1]);
             }
-            slot.store(SLOT_FREE);
+            // Release reopens the slot, publishing the recovery to the
+            // `register` that next claims this id.
+            slot.store_with(SLOT_FREE, Ordering::Release);
             report.orphans_adopted += 1;
         }
-        self.orphans_adopted.faa(report.orphans_adopted as isize);
+        // Relaxed: monotonic telemetry counters, read by diagnostics only.
+        self.orphans_adopted
+            .faa_with(report.orphans_adopted as isize, Ordering::Relaxed);
         self.orphan_nodes_recovered
-            .faa(report.nodes_recovered() as isize);
+            .faa_with(report.nodes_recovered() as isize, Ordering::Relaxed);
         report
     }
 
@@ -238,10 +274,16 @@ impl<T: RcObject> LfrcDomain<T> {
         let mut backoff = Backoff::new();
         let mut retries: u64 = 0;
         loop {
-            let head = self.head.load();
+            // Relaxed head load / Release publish CAS — the same Treiber
+            // orderings (and release-sequence argument) as
+            // `wfrc_core::freelist::push_chain`.
+            let head = self.head.load_with(Ordering::Relaxed);
             // SAFETY: `last` is exclusively ours until the CAS publishes it.
             unsafe { (*last).mm_next().store(head) };
-            if self.head.cas(head, first) {
+            if self
+                .head
+                .cas_with(head, first, Ordering::Release, Ordering::Relaxed)
+            {
                 return retries;
             }
             retries += 1;
@@ -351,7 +393,9 @@ impl<'d, T: RcObject> LfrcHandle<'d, T> {
         let mut iters: u64 = 0;
         loop {
             iters += 1;
-            let node = self.domain.head.load();
+            // Acquire: pairs with the Release push that published `node`,
+            // making its `mm_next` and recycled payload visible.
+            let node = self.domain.head.load_with(Ordering::Acquire);
             if node.is_null() {
                 // Valois' scheme has no stripe to advance to: an observed
                 // empty head means the pool looks dry. Try to grow the
@@ -372,7 +416,13 @@ impl<'d, T: RcObject> LfrcHandle<'d, T> {
             let nref = unsafe { &*node };
             nref.faa_ref(2); // pin against reinsertion (same as paper line A9)
             let next = nref.mm_next().load();
-            if self.domain.head.cas(node, next) {
+            // AcqRel pop: same argument as the wait-free A10 (the store
+            // side stays in the pusher's release sequence).
+            if self
+                .domain
+                .head
+                .cas_with(node, next, Ordering::AcqRel, Ordering::Relaxed)
+            {
                 nref.faa_ref(-1); // claimed free node (1+2) -> one live ref (2)
                 OpCounters::add(&self.counters.alloc_iters, iters);
                 OpCounters::record_max(&self.counters.max_alloc_iters, iters);
@@ -462,9 +512,14 @@ impl<'d, T: RcObject> LfrcHandle<'d, T> {
         let last = &nodes[nodes.len() - 1];
         let mut backoff = Backoff::new();
         loop {
-            let head = self.domain.head.load();
+            // Relaxed head load / Release publish: same as push_chain_raw.
+            let head = self.domain.head.load_with(Ordering::Relaxed);
             last.mm_next().store(head);
-            if self.domain.head.cas(head, first) {
+            if self
+                .domain
+                .head
+                .cas_with(head, first, Ordering::Release, Ordering::Relaxed)
+            {
                 break;
             }
             if self.domain.backoff {
@@ -616,7 +671,11 @@ impl<'d, T: RcObject> LfrcHandle<'d, T> {
         self.fault_hit(wfrc_core::fault::FaultSite::MagazineRefill);
         let mag = &self.domain.mag;
         let target = (mag.cap() / 2).max(1);
-        let chain = self.domain.head.swap(ptr::null_mut());
+        // Acquire: pairs with the Release pushes that built the chain.
+        let chain = self
+            .domain
+            .head
+            .swap_with(ptr::null_mut(), Ordering::Acquire);
         if chain.is_null() {
             return;
         }
@@ -643,7 +702,15 @@ impl<'d, T: RcObject> LfrcHandle<'d, T> {
             p = unsafe { (*p).mm_next().load() };
         }
         let rest = p;
-        if !rest.is_null() && !self.domain.head.cas(ptr::null_mut(), rest) {
+        // Release hand-back publishes the remainder chain's links.
+        if !rest.is_null()
+            && !self.domain.head.cas_with(
+                ptr::null_mut(),
+                rest,
+                Ordering::Release,
+                Ordering::Relaxed,
+            )
+        {
             let mut tail = rest;
             loop {
                 // SAFETY: node of the stolen remainder.
@@ -763,7 +830,9 @@ impl<'d, T: RcObject> LfrcHandle<'d, T> {
     /// [`LfrcDomain::adopt_orphans`], exactly like
     /// [`wfrc_core::ThreadHandle::abandon`].
     pub fn abandon(self) {
-        let was = self.domain.slots[self.tid].swap(SLOT_ORPHANED);
+        // Release publishes this thread's magazine state to the adopter's
+        // Acquire claim.
+        let was = self.domain.slots[self.tid].swap_with(SLOT_ORPHANED, Ordering::Release);
         debug_assert_eq!(was, SLOT_TAKEN);
         core::mem::forget(self);
     }
@@ -774,7 +843,8 @@ impl<T: RcObject> Drop for LfrcHandle<'_, T> {
         // A panicking thread leaves recovery to `adopt_orphans`, same as
         // `wfrc_core::ThreadHandle`.
         if std::thread::panicking() {
-            let was = self.domain.slots[self.tid].swap(SLOT_ORPHANED);
+            // Release: publish the dying thread's state to the adopter.
+            let was = self.domain.slots[self.tid].swap_with(SLOT_ORPHANED, Ordering::Release);
             debug_assert_eq!(was, SLOT_TAKEN);
             return;
         }
@@ -785,7 +855,8 @@ impl<T: RcObject> Drop for LfrcHandle<'_, T> {
         if !batch.is_empty() {
             self.drain_batch(batch);
         }
-        let was = self.domain.slots[self.tid].swap(SLOT_FREE);
+        // Release: pairs with the Acquire claim of the next `register`.
+        let was = self.domain.slots[self.tid].swap_with(SLOT_FREE, Ordering::Release);
         debug_assert_eq!(was, SLOT_TAKEN);
     }
 }

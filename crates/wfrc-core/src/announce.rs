@@ -33,8 +33,49 @@
 //! | `0` | ⊥ — or a helper's answer "the link was null" (distinguishable by context: a live announcement is never 0, so a 0 seen by the announcer's retracting SWAP means *answered null*) |
 //! | even, non-zero | a link address (live announcement) |
 //! | odd | a node-pointer answer, `node \| 1` |
+//!
+//! # Announcement-presence summary
+//!
+//! `HelpDeRef`'s obligation is a scan over all `NR_THREADS` announcement
+//! rows, paid by **every** link store/CAS — even when no announcement is
+//! live anywhere, which is the overwhelmingly common case. The `summary`
+//! bitmap (one bit per thread, word-sharded above `usize::BITS` threads)
+//! makes that case O(words): helpers load each summary word once and visit
+//! only the threads whose bit is set.
+//!
+//! The summary is *conservative* and its safety is asymmetric:
+//!
+//! * a **stale set** bit is harmless — the fallback per-slot scan simply
+//!   finds no slot matching the helped link (the pre-summary behaviour);
+//! * a **premature clear** is unsafe — a helper would skip an announcement
+//!   it was obliged to answer, re-opening the read/reclaim race.
+//!
+//! Hence the protocol: the bit is set (`SeqCst` RMW) strictly **before**
+//! line D3 publishes the slot word, and cleared (`Release` RMW) only
+//! **after** line D6's retracting SWAP. Why no helper can miss a relevant
+//! announcement, in the `SeqCst` total order: the announcer's
+//! `fetch_or` precedes its D3 slot store, which precedes its D4 link read;
+//! if that read returned the *old* node then it precedes the writer's link
+//! CAS, which precedes the writer's summary load in `help_deref` — so
+//! whenever the helper's answer could matter (the announcer read the value
+//! the helper is retiring), the helper's load observes the bit. Both the
+//! `fetch_or` and the helper's load must stay `SeqCst` for that chain; the
+//! clear only needs `Release` (it must not hoist above the prior SWAP, and
+//! sinking later merely leaves the harmless stale-set window open longer).
+//! The bits are RMWs, not stores, because threads share a summary word.
+//!
+//! One bit per thread is exact, not approximate: a thread has at most one
+//! live announcement at a time (`DeRefLink`'s announce window D3–D6 never
+//! nests — the helper recursion of H5 announces under the *helper's* own
+//! thread id). A thread that dies inside the window leaves its bit set;
+//! `adopt_orphans` clears it after retracting the corpse's slots.
+
+use core::sync::atomic::Ordering;
 
 use wfrc_primitives::AtomicWord;
+
+/// Bits per summary word (the shard width).
+const SUMMARY_BITS: usize = usize::BITS as usize;
 
 #[cfg(not(feature = "no-pad"))]
 type Cell = wfrc_primitives::CachePadded<AtomicWord>;
@@ -86,7 +127,7 @@ pub fn decode_retract(word: usize, link_addr: usize) -> Option<usize> {
     }
 }
 
-/// The three announcement matrices.
+/// The three announcement matrices, plus the presence summary.
 pub struct Announce {
     n: usize,
     /// `annReadAddr`, row-major `n x n`.
@@ -95,6 +136,10 @@ pub struct Announce {
     index: Box<[Cell]>,
     /// `annBusy`, row-major `n x n`.
     busy: Box<[Cell]>,
+    /// Announcement-presence bitmap, one bit per thread (see module docs).
+    /// `ceil(n / usize::BITS)` words, each on its own padded line so the
+    /// helper-side load doesn't false-share with the slot matrices.
+    summary: Box<[Cell]>,
 }
 
 impl Announce {
@@ -106,6 +151,7 @@ impl Announce {
             read_addr: (0..n * n).map(|_| new_cell()).collect(),
             index: (0..n).map(|_| new_cell()).collect(),
             busy: (0..n * n).map(|_| new_cell()).collect(),
+            summary: (0..n.div_ceil(SUMMARY_BITS)).map(|_| new_cell()).collect(),
         }
     }
 
@@ -152,11 +198,68 @@ impl Announce {
     }
 
     /// Line D3: publish the link address in the chosen slot.
+    ///
+    /// Sets `tid`'s presence bit strictly *before* the slot word becomes
+    /// visible: a helper that observes a cleared bit must be guaranteed no
+    /// live announcement exists (module docs, "Announcement-presence
+    /// summary"). The bit is only withdrawn by [`Announce::clear_summary`]
+    /// after the retracting SWAP of line D6.
     #[inline]
     pub fn publish(&self, tid: usize, idx: usize, link_addr: usize) {
         debug_assert_ne!(link_addr, 0);
         debug_assert_eq!(link_addr & 1, 0, "link addresses are word-aligned");
+        // SeqCst RMW: the set must precede the D3 store *and* participate
+        // in the total order the helper's summary load relies on.
+        self.summary[tid / SUMMARY_BITS].fetch_or(1 << (tid % SUMMARY_BITS));
         self.read_addr[self.at(tid, idx)].store(link_addr);
+    }
+
+    /// Withdraws `tid`'s presence bit. Call only *after* the thread's live
+    /// announcement has been retracted (line D6) — clearing early would let
+    /// a helper skip an announcement it is obliged to answer. A missed or
+    /// late clear (e.g. a thread dying between D6 and here) is harmless:
+    /// helpers fall back to the per-slot scan and match nothing.
+    #[inline]
+    pub fn clear_summary(&self, tid: usize) {
+        // Release RMW: the prior retracting SWAP cannot be reordered after
+        // this clear; nothing needs to be ordered after it (a later clear
+        // only widens the harmless stale-set window).
+        self.summary[tid / SUMMARY_BITS]
+            .fetch_and_with(!(1 << (tid % SUMMARY_BITS)), Ordering::Release);
+    }
+
+    /// True when no thread currently has a presence bit set — the
+    /// zero-announcement fast path of `HelpDeRef`. One `SeqCst` load per
+    /// summary word.
+    #[must_use]
+    #[inline]
+    pub fn summary_empty(&self) -> bool {
+        self.summary.iter().all(|w| w.load() == 0)
+    }
+
+    /// True if `tid`'s presence bit is currently set (diagnostics/tests).
+    #[must_use]
+    #[inline]
+    pub fn summary_bit(&self, tid: usize) -> bool {
+        self.summary[tid / SUMMARY_BITS].load() & (1 << (tid % SUMMARY_BITS)) != 0
+    }
+
+    /// Calls `f(id)` for every thread whose presence bit is set, ascending,
+    /// loading each summary word once (`SeqCst`). Returns `true` if any bit
+    /// was seen — i.e. whether the caller did a (partial) slot scan at all.
+    #[inline]
+    pub fn for_each_announcer(&self, mut f: impl FnMut(usize)) -> bool {
+        let mut any = false;
+        for (w, word) in self.summary.iter().enumerate() {
+            let mut bits = word.load();
+            any |= bits != 0;
+            while bits != 0 {
+                let id = w * SUMMARY_BITS + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                f(id);
+            }
+        }
+        any
     }
 
     /// Line D6: atomically retract the announcement, returning whatever the
@@ -281,6 +384,58 @@ mod tests {
         assert!(a.try_answer(0, 0, 0x4008, 0));
         let word = a.retract(0, 0);
         assert_eq!(decode_retract(word, 0x4008), Some(0));
+    }
+
+    #[test]
+    fn publish_sets_summary_before_clear_withdraws_it() {
+        let a = Announce::new(3);
+        assert!(a.summary_empty());
+        a.set_index(1, 0);
+        a.publish(1, 0, 0x4008);
+        assert!(!a.summary_empty());
+        assert!(a.summary_bit(1));
+        assert!(!a.summary_bit(0) && !a.summary_bit(2));
+        assert_eq!(a.retract(1, 0), 0x4008);
+        // Retract alone leaves the bit (stale-set is harmless)…
+        assert!(a.summary_bit(1));
+        a.clear_summary(1);
+        // …and the clear withdraws it.
+        assert!(a.summary_empty());
+    }
+
+    #[test]
+    fn for_each_announcer_visits_only_set_bits() {
+        let a = Announce::new(5);
+        assert!(!a.for_each_announcer(|_| panic!("no bits set")));
+        a.publish(0, 0, 0x4008);
+        a.publish(3, 0, 0x4010);
+        let mut seen = Vec::new();
+        assert!(a.for_each_announcer(|id| seen.push(id)));
+        assert_eq!(seen, vec![0, 3]);
+        a.clear_summary(0);
+        seen.clear();
+        assert!(a.for_each_announcer(|id| seen.push(id)));
+        assert_eq!(seen, vec![3]);
+        a.clear_summary(3);
+        assert!(a.summary_empty());
+    }
+
+    #[test]
+    fn clear_summary_is_per_thread_within_a_shared_word() {
+        // All tids share summary word 0: clears must be RMWs, not stores.
+        let a = Announce::new(8);
+        for t in 0..8 {
+            a.publish(t, 0, 0x4008);
+        }
+        for t in (0..8).rev() {
+            assert!(a.summary_bit(t));
+            a.clear_summary(t);
+            assert!(!a.summary_bit(t));
+            for still in 0..t {
+                assert!(a.summary_bit(still), "clear({t}) must not touch {still}");
+            }
+        }
+        assert!(a.summary_empty());
     }
 
     #[test]

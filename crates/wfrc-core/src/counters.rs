@@ -40,6 +40,12 @@ pub struct OpCounters {
     pub help_answers: Cell<u64>,
     /// Help attempts whose answer CAS lost (line H7 taken).
     pub help_lost: Cell<u64>,
+    /// `HelpDeRef` invocations that returned from the announcement-presence
+    /// summary without reading a single slot word (no announcement live).
+    pub help_scan_skips: Cell<u64>,
+    /// `HelpDeRef` invocations that examined at least one thread's
+    /// announcement slots (summary non-empty, or summary not built).
+    pub help_scan_full: Cell<u64>,
     /// `AllocNode` invocations.
     pub alloc_calls: Cell<u64>,
     /// Total A3–A18 loop iterations.
@@ -126,6 +132,8 @@ impl OpCounters {
             help_calls: self.help_calls.get(),
             help_answers: self.help_answers.get(),
             help_lost: self.help_lost.get(),
+            help_scan_skips: self.help_scan_skips.get(),
+            help_scan_full: self.help_scan_full.get(),
             alloc_calls: self.alloc_calls.get(),
             alloc_iters: self.alloc_iters.get(),
             max_alloc_iters: self.max_alloc_iters.get(),
@@ -159,6 +167,8 @@ impl OpCounters {
         self.help_calls.set(0);
         self.help_answers.set(0);
         self.help_lost.set(0);
+        self.help_scan_skips.set(0);
+        self.help_scan_full.set(0);
         self.alloc_calls.set(0);
         self.alloc_iters.set(0);
         self.max_alloc_iters.set(0);
@@ -194,6 +204,8 @@ pub struct CounterSnapshot {
     pub help_calls: u64,
     pub help_answers: u64,
     pub help_lost: u64,
+    pub help_scan_skips: u64,
+    pub help_scan_full: u64,
     pub alloc_calls: u64,
     pub alloc_iters: u64,
     pub max_alloc_iters: u64,
@@ -227,6 +239,8 @@ impl CounterSnapshot {
         self.help_calls += other.help_calls;
         self.help_answers += other.help_answers;
         self.help_lost += other.help_lost;
+        self.help_scan_skips += other.help_scan_skips;
+        self.help_scan_full += other.help_scan_full;
         self.alloc_calls += other.alloc_calls;
         self.alloc_iters += other.alloc_iters;
         self.max_alloc_iters = self.max_alloc_iters.max(other.max_alloc_iters);

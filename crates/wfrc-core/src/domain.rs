@@ -9,6 +9,8 @@
 //! [`Growth::Disabled`] the pool is exactly the paper's model: fixed-size
 //! blocks from a pre-seeded free-list, out-of-memory terminal.
 
+use core::sync::atomic::Ordering;
+
 use wfrc_primitives::AtomicWord;
 
 use crate::announce::Announce;
@@ -137,6 +139,26 @@ impl DomainConfig {
     }
 }
 
+/// Registration-slot / telemetry word, padded to a cache line so that
+/// register/unregister churn on one thread id (and the adoption telemetry
+/// FAAs) never false-shares with a neighbouring slot. Follows the same
+/// `no-pad` ablation gate as the announcement matrix (E8b).
+#[cfg(not(feature = "no-pad"))]
+type SlotWord = wfrc_primitives::CachePadded<AtomicWord>;
+#[cfg(feature = "no-pad")]
+type SlotWord = AtomicWord;
+
+fn new_slot_word(v: usize) -> SlotWord {
+    #[cfg(not(feature = "no-pad"))]
+    {
+        wfrc_primitives::CachePadded::new(AtomicWord::new(v))
+    }
+    #[cfg(feature = "no-pad")]
+    {
+        AtomicWord::new(v)
+    }
+}
+
 /// A wait-free reference-counted memory management domain over payloads `T`.
 ///
 /// See the [crate docs](crate) for the usage model, and
@@ -145,10 +167,10 @@ pub struct WfrcDomain<T: RcObject> {
     shared: Shared<T>,
     /// Registration state, one word per thread id: [`SLOT_FREE`],
     /// [`SLOT_TAKEN`], or [`SLOT_ORPHANED`].
-    slots: Box<[AtomicWord]>,
+    slots: Box<[SlotWord]>,
     /// Cumulative [`WfrcDomain::adopt_orphans`] telemetry.
-    orphans_adopted: AtomicWord,
-    orphan_nodes_recovered: AtomicWord,
+    orphans_adopted: SlotWord,
+    orphan_nodes_recovered: SlotWord,
 }
 
 /// Slot states for the registration words.
@@ -210,9 +232,9 @@ impl<T: RcObject> WfrcDomain<T> {
         };
         Self {
             shared,
-            slots: (0..n).map(|_| AtomicWord::new(SLOT_FREE)).collect(),
-            orphans_adopted: AtomicWord::new(0),
-            orphan_nodes_recovered: AtomicWord::new(0),
+            slots: (0..n).map(|_| new_slot_word(SLOT_FREE)).collect(),
+            orphans_adopted: new_slot_word(0),
+            orphan_nodes_recovered: new_slot_word(0),
         }
     }
 
@@ -231,7 +253,13 @@ impl<T: RcObject> WfrcDomain<T> {
     /// allowing a handle to migrate with a moved worker.
     pub fn register(&self) -> Result<ThreadHandle<'_, T>, RegistryFull> {
         for (tid, slot) in self.slots.iter().enumerate() {
-            if slot.load() == SLOT_FREE && slot.cas(SLOT_FREE, SLOT_TAKEN) {
+            // Relaxed pre-check: a pure scan hint, the CAS re-validates.
+            // Acquire on success pairs with the Release in `unregister` /
+            // `adopt_orphans` so the new owner sees the previous owner's
+            // drained magazine and retracted announcement slots.
+            if slot.load_with(Ordering::Relaxed) == SLOT_FREE
+                && slot.cas_with(SLOT_FREE, SLOT_TAKEN, Ordering::Acquire, Ordering::Relaxed)
+            {
                 return Ok(ThreadHandle::new(self, tid, OpCounters::new()));
             }
         }
@@ -239,7 +267,9 @@ impl<T: RcObject> WfrcDomain<T> {
     }
 
     pub(crate) fn unregister(&self, tid: usize) {
-        let was = self.slots[tid].swap(SLOT_FREE);
+        // Release publishes the handle's teardown (magazine drain, slot
+        // retractions) to whichever `register` re-claims this id.
+        let was = self.slots[tid].swap_with(SLOT_FREE, Ordering::Release);
         debug_assert_eq!(was, SLOT_TAKEN, "double unregister of thread {tid}");
     }
 
@@ -247,7 +277,10 @@ impl<T: RcObject> WfrcDomain<T> {
     /// abandoned its handle) without draining, so the slot's resources must
     /// be recovered by [`WfrcDomain::adopt_orphans`] before reuse.
     pub(crate) fn orphan(&self, tid: usize) {
-        let was = self.slots[tid].swap(SLOT_ORPHANED);
+        // Release publishes the dying thread's last writes (its magazine
+        // vector in particular is plain memory) to the adopter's Acquire
+        // claim in `adopt_orphans`.
+        let was = self.slots[tid].swap_with(SLOT_ORPHANED, Ordering::Release);
         debug_assert_eq!(was, SLOT_TAKEN, "orphaning an unregistered thread {tid}");
     }
 
@@ -272,27 +305,52 @@ impl<T: RcObject> WfrcDomain<T> {
 
     /// Number of currently registered threads.
     pub fn registered_threads(&self) -> usize {
-        self.slots.iter().filter(|s| s.load() == SLOT_TAKEN).count()
+        // Relaxed: a diagnostic snapshot with no synchronization role.
+        self.slots
+            .iter()
+            .filter(|s| s.load_with(Ordering::Relaxed) == SLOT_TAKEN)
+            .count()
     }
 
     /// Number of orphaned slots awaiting [`WfrcDomain::adopt_orphans`].
     pub fn orphaned_threads(&self) -> usize {
+        // Relaxed: diagnostic only; `adopt_orphans` re-checks with a CAS.
         self.slots
             .iter()
-            .filter(|s| s.load() == SLOT_ORPHANED)
+            .filter(|s| s.load_with(Ordering::Relaxed) == SLOT_ORPHANED)
             .count()
+    }
+
+    /// True when no thread's announcement-presence bit is set — the state
+    /// in which every `HelpDeRef` returns via the summary fast path without
+    /// reading a single announcement-slot word. Diagnostic: a concurrent
+    /// `DeRefLink` can set a bit immediately after this returns.
+    #[must_use]
+    pub fn announcement_summary_empty(&self) -> bool {
+        self.shared.ann.summary_empty()
+    }
+
+    /// True when thread `tid`'s announcement-presence bit is set. A set bit
+    /// is conservative (it may be stale after a crash between the
+    /// retracting SWAP and the bit's withdrawal — adoption clears it); a
+    /// clear bit is authoritative: the thread has no live announcement.
+    #[must_use]
+    pub fn announcement_summary_bit(&self, tid: usize) -> bool {
+        self.shared.ann.summary_bit(tid)
     }
 
     /// Cumulative count of orphan slots reclaimed by
     /// [`WfrcDomain::adopt_orphans`] over the domain's lifetime.
     pub fn orphans_adopted(&self) -> usize {
-        self.orphans_adopted.load()
+        // Relaxed: telemetry, no synchronization role.
+        self.orphans_adopted.load_with(Ordering::Relaxed)
     }
 
     /// Cumulative count of nodes recovered from orphans (announcement-slot
     /// answers, parked `annAlloc` gifts, and magazine contents).
     pub fn orphan_nodes_recovered(&self) -> usize {
-        self.orphan_nodes_recovered.load()
+        // Relaxed: telemetry, no synchronization role.
+        self.orphan_nodes_recovered.load_with(Ordering::Relaxed)
     }
 
     /// Reclaims every orphaned thread slot: a crashed (or abandoned) thread
@@ -328,7 +386,14 @@ impl<T: RcObject> WfrcDomain<T> {
         for tid in 0..s.n {
             // Claim exclusivity over the corpse's slot: whoever wins this
             // CAS owns tid's announcement row, gift slot, and magazine.
-            if !self.slots[tid].cas(SLOT_ORPHANED, SLOT_TAKEN) {
+            // Acquire pairs with the Release in `orphan` so the corpse's
+            // plain-memory state (magazine vector) is visible here.
+            if !self.slots[tid].cas_with(
+                SLOT_ORPHANED,
+                SLOT_TAKEN,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
                 continue;
             }
             let c = OpCounters::new();
@@ -344,6 +409,12 @@ impl<T: RcObject> WfrcDomain<T> {
                     report.announce_refs_released += 1;
                 }
             }
+            // The corpse may have died between its retracting SWAP (D6) and
+            // its summary clear — or mid-announcement — leaving its presence
+            // bit stale-set. With every slot retracted above, the bit can
+            // now be withdrawn (never before: a premature clear would let
+            // helpers skip a still-live announcement).
+            s.ann.clear_summary(tid);
             // (b) Collect a parked gift: mm_ref 3 -> 2 (the A4 FixRef),
             // then release the reference we just took ownership of.
             let gift = s.fl.take_gift(tid);
@@ -358,12 +429,16 @@ impl<T: RcObject> WfrcDomain<T> {
             // SAFETY: slot ownership claimed above.
             report.magazine_nodes_recovered += unsafe { s.mag.len(tid) };
             s.drain_magazine(tid, &c);
-            self.slots[tid].store(SLOT_FREE);
+            // Release reopens the slot, publishing the recovery to the
+            // `register` that next claims this id.
+            self.slots[tid].store_with(SLOT_FREE, Ordering::Release);
             report.orphans_adopted += 1;
         }
-        self.orphans_adopted.faa(report.orphans_adopted as isize);
+        // Relaxed: monotonic telemetry counters, read by diagnostics only.
+        self.orphans_adopted
+            .faa_with(report.orphans_adopted as isize, Ordering::Relaxed);
         self.orphan_nodes_recovered
-            .faa(report.nodes_recovered() as isize);
+            .faa_with(report.nodes_recovered() as isize, Ordering::Relaxed);
         report
     }
 

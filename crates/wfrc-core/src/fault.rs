@@ -81,11 +81,17 @@ pub enum FaultSite {
     /// the free-lists. `Die` seeds the segment before unwinding (an
     /// unseeded segment would be permanently invisible capacity).
     GrowSeed,
+    /// Between the retracting SWAP (D6) and the withdrawal of the thread's
+    /// announcement-presence bit: the announcement is gone but the summary
+    /// still (harmlessly) claims one. `Die` here is the stale-set-bit proof
+    /// obligation — helpers fall back to a scan that matches nothing, and
+    /// adoption clears the corpse's bit.
+    SummaryClear,
 }
 
 impl FaultSite {
     /// Every registered site, in protocol order.
-    pub const ALL: [FaultSite; 8] = [
+    pub const ALL: [FaultSite; 9] = [
         FaultSite::AnnouncePublish,
         FaultSite::DerefFaa,
         FaultSite::HelperCas,
@@ -94,6 +100,7 @@ impl FaultSite {
         FaultSite::MagazineRefill,
         FaultSite::MagazineDrain,
         FaultSite::GrowSeed,
+        FaultSite::SummaryClear,
     ];
 
     /// Stable display name (used by the chaos driver's report).
@@ -107,6 +114,7 @@ impl FaultSite {
             FaultSite::MagazineRefill => "magazine_refill",
             FaultSite::MagazineDrain => "magazine_drain",
             FaultSite::GrowSeed => "grow_seed",
+            FaultSite::SummaryClear => "summary_clear",
         }
     }
 

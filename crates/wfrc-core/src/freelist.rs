@@ -31,8 +31,26 @@
 //! `FreeNode` performs `FixRef(node, +2)` before the gifting CAS and
 //! `FixRef(node, −2)` if the CAS fails, making both gift sources identical.
 //! (Recorded in DESIGN.md §4 as a deviation.)
+//!
+//! ## Memory orderings
+//!
+//! Unlike the announcement matrix (which is a store-load pattern and needs
+//! `SeqCst`, see `announce`), every free-list invariant is a *message
+//! passing* pattern and is carried by release/acquire pairs (DESIGN.md §4b):
+//!
+//! * A node's `mm_next` chain and recycled payload are written before the
+//!   **Release** push CAS that publishes it on a head, and read after the
+//!   **Acquire** head load that observes it. Pop CASes in the middle of a
+//!   chain stay in the release sequence (they are RMWs), so later acquirers
+//!   of the shortened chain still synchronize with the original push.
+//! * `annAlloc` gifts: **Release** install CAS / **Acquire** take swap —
+//!   the recipient's reads of the node pair with the gifter's writes.
+//! * `currentFreeList` and `helpCurrent` are round-robin *hints*: they
+//!   select an index but carry no payload (the chosen head/slot is
+//!   re-validated by its own CAS), so all their accesses are **Relaxed**.
 
 use core::ptr;
+use core::sync::atomic::Ordering;
 
 use wfrc_primitives::AtomicWord;
 
@@ -121,16 +139,18 @@ impl<T> FreeLists<T> {
     }
 
     /// Current value of `currentFreeList`, reduced to a stripe index.
+    /// Relaxed: a stripe-selection hint, never a data dependency.
     #[inline]
     pub(crate) fn current_index(&self) -> usize {
-        self.current.load() % (2 * self.n)
+        self.current.load_with(Ordering::Relaxed) % (2 * self.n)
     }
 
     /// Plain load of stripe `i`'s head (a cheap emptiness probe for the
-    /// magazine refill scan).
+    /// magazine refill scan). Relaxed: probe only — the actual steal is
+    /// [`FreeLists::take_stripe`], which synchronizes.
     #[inline]
     pub(crate) fn head_ptr(&self, i: usize) -> *mut Node<T> {
-        self.head(i).load()
+        self.head(i).load_with(Ordering::Relaxed)
     }
 
     /// Steals the whole chain of stripe `i` with one `SWAP(head, ⊥)`.
@@ -142,14 +162,18 @@ impl<T> FreeLists<T> {
     /// pin (+2) on a node we took is matched by its A18 release, exactly
     /// the Lemma 3 accounting.
     pub(crate) fn take_stripe(&self, i: usize) -> *mut Node<T> {
-        self.head(i).swap(ptr::null_mut())
+        // Acquire: pairs with the Release push that built the chain, making
+        // every taken node's `mm_next` (and recycled payload) visible.
+        self.head(i).swap_with(ptr::null_mut(), Ordering::Acquire)
     }
 
     /// Attempts to hand a stolen chain back to the (expected still empty)
     /// stripe `i` with one CAS. False means someone repopulated it; the
     /// caller falls back to [`FreeLists::push_chain`].
     pub(crate) fn untake_stripe(&self, i: usize, chain: *mut Node<T>) -> bool {
-        self.head(i).cas(ptr::null_mut(), chain)
+        // Release publishes the chain's links; failure needs nothing.
+        self.head(i)
+            .cas_with(ptr::null_mut(), chain, Ordering::Release, Ordering::Relaxed)
     }
 
     /// Pushes the pre-linked chain `first..=last` onto one of thread
@@ -171,12 +195,17 @@ impl<T> FreeLists<T> {
         };
         let mut retries: u64 = 0;
         loop {
-            // F7–F9
-            let head = self.head(index).load();
+            // F7–F9. Relaxed head load: `head` is only spliced below `last`,
+            // never dereferenced here, and the F9 Release CAS orders the
+            // splice for whoever pops through us.
+            let head = self.head(index).load_with(Ordering::Relaxed);
             // SAFETY: `last` is exclusively ours until the CAS publishes it.
             unsafe { (*last).mm_next().store(head) }; // F8
-            if self.head(index).cas(head, first) {
-                return retries; // F9 succeeded
+            if self
+                .head(index)
+                .cas_with(head, first, Ordering::Release, Ordering::Relaxed)
+            {
+                return retries; // F9 succeeded: Release publishes the chain
             }
             retries += 1;
             index = (index + n) % (2 * n); // F10: try our other stripe
@@ -185,14 +214,16 @@ impl<T> FreeLists<T> {
 
     /// Diagnostic: the node currently gifted to thread `tid`, if any.
     pub fn gift_for(&self, tid: usize) -> *mut Node<T> {
-        self.ann_alloc[tid].load()
+        // Relaxed: quiescent diagnostic (leak_check), no data read through it.
+        self.ann_alloc[tid].load_with(Ordering::Relaxed)
     }
 
     /// Claims the gift parked for thread `tid` (the A4 swap, performed on
     /// its behalf by an adopter that owns the orphaned slot). Returns null
     /// when no gift was parked.
     pub(crate) fn take_gift(&self, tid: usize) -> *mut Node<T> {
-        self.ann_alloc[tid].swap(ptr::null_mut())
+        // Acquire: pairs with the gifter's Release install.
+        self.ann_alloc[tid].swap_with(ptr::null_mut(), Ordering::Acquire)
     }
 
     /// Diagnostic: walks free-list `i` and returns its length. Only
@@ -226,11 +257,16 @@ impl<T> FreeLists<T> {
                 .store(&w[1] as *const Node<T> as *mut Node<T>);
         }
         let last = &nodes[nodes.len() - 1];
-        let mut index = self.current.load() % (2 * self.n);
+        // Relaxed index hint + Relaxed head load / Release publish CAS:
+        // the same pattern (and argument) as `push_chain`.
+        let mut index = self.current.load_with(Ordering::Relaxed) % (2 * self.n);
         loop {
-            let head = self.head(index).load();
+            let head = self.head(index).load_with(Ordering::Relaxed);
             last.mm_next().store(head);
-            if self.head(index).cas(head, first) {
+            if self
+                .head(index)
+                .cas_with(head, first, Ordering::Release, Ordering::Relaxed)
+            {
                 break;
             }
             index = (index + 1) % (2 * self.n);
@@ -257,14 +293,16 @@ impl<T: RcObject> Shared<T> {
         let fl = &self.fl;
         #[cfg(not(feature = "no-alloc-helping"))]
         let mut helped = false; // A1
+                                // A2. Relaxed: helpCurrent is a round-robin hint (see module docs).
         #[cfg(not(feature = "no-alloc-helping"))]
-        let help_id = fl.help_current.load() % n; // A2
+        let help_id = fl.help_current.load_with(Ordering::Relaxed) % n;
         let mut iters: u64 = 0;
         loop {
             // A3
             iters += 1;
-            // A4: were we gifted a node?
-            let gift = fl.ann_alloc[tid].swap(ptr::null_mut());
+            // A4: were we gifted a node? Acquire pairs with the gifter's
+            // Release install (A12 / corrected F3).
+            let gift = fl.ann_alloc[tid].swap_with(ptr::null_mut(), Ordering::Acquire);
             if !gift.is_null() {
                 // FixRef(gift, -1): 3 -> 2, one reference for the caller.
                 // SAFETY: arena node; the gifter transferred ownership.
@@ -289,11 +327,19 @@ impl<T: RcObject> Shared<T> {
                 self.note_alloc_iters(c, iters);
                 return Err(OutOfMemory);
             }
-            let current = fl.current.load() % (2 * n); // A5
-            let node = fl.head(current).load(); // A6
+            // A5. Relaxed: stripe-selection hint.
+            let current = fl.current.load_with(Ordering::Relaxed) % (2 * n);
+            // A6. Acquire: pairs with the Release push of `node`, so the
+            // `mm_next` read below (and the recycled payload) are visible.
+            let node = fl.head(current).load_with(Ordering::Acquire);
             if node.is_null() {
-                // A7: advance to the next stripe.
-                fl.current.cas(current, (current + 1) % (2 * n));
+                // A7: advance to the next stripe. Relaxed RMW on a hint.
+                fl.current.cas_with(
+                    current,
+                    (current + 1) % (2 * n),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                );
                 continue;
             }
             // SAFETY: `node` came from a free-list head; arena nodes are
@@ -302,20 +348,47 @@ impl<T: RcObject> Shared<T> {
             let nref = unsafe { &*node };
             nref.faa_ref(2); // A9: pin against reinsertion
             let next = nref.mm_next().load();
-            if fl.head(current).cas(node, next) {
+            // A10. AcqRel: Acquire re-confirms the push that made `node`
+            // visible; the store side stays in the pusher's release
+            // sequence (an RMW), so later acquirers of `next` still
+            // synchronize with the chain's original publisher.
+            if fl
+                .head(current)
+                .cas_with(node, next, Ordering::AcqRel, Ordering::Relaxed)
+            {
                 // A10 succeeded: we removed `node`.
                 #[cfg(not(feature = "no-alloc-helping"))]
-                if !helped && fl.ann_alloc[help_id].load().is_null() {
+                // A8 probe is Relaxed: the install CAS below re-validates.
+                if !helped && fl.ann_alloc[help_id].load_with(Ordering::Relaxed).is_null() {
                     // A11–A15: gift the node to the thread we owe help.
-                    if fl.ann_alloc[help_id].cas(ptr::null_mut(), node) {
+                    // Release publishes the node to the recipient's
+                    // Acquire take (A4).
+                    if fl.ann_alloc[help_id].cas_with(
+                        ptr::null_mut(),
+                        node,
+                        Ordering::Release,
+                        Ordering::Relaxed,
+                    ) {
                         helped = true; // A13
                         OpCounters::bump(&c.alloc_gave_gift);
-                        fl.help_current.cas(help_id, (help_id + 1) % n); // A14
+                        // A14. Relaxed RMW on the round-robin hint.
+                        fl.help_current.cas_with(
+                            help_id,
+                            (help_id + 1) % n,
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        );
                         continue; // A15
                     }
                 }
                 #[cfg(not(feature = "no-alloc-helping"))]
-                fl.help_current.cas(help_id, (help_id + 1) % n); // A16
+                // A16. Relaxed RMW on the round-robin hint.
+                fl.help_current.cas_with(
+                    help_id,
+                    (help_id + 1) % n,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                );
                 nref.faa_ref(-1); // A17: FixRef(node, -1): 3 -> 2
                 self.note_alloc_iters(c, iters);
                 return Ok(node);
@@ -378,9 +451,15 @@ impl<T: RcObject> Shared<T> {
         #[cfg(not(feature = "no-alloc-helping"))]
         {
             let fl = &self.fl;
-            let help_id = fl.help_current.load() % self.n; // F1
-            fl.help_current.cas(help_id, (help_id + 1) % self.n); // F2
-                                                                  // Corrected F3: match the A12 gift's mm_ref (see module docs).
+            // F1–F2. Relaxed: helpCurrent is a round-robin hint.
+            let help_id = fl.help_current.load_with(Ordering::Relaxed) % self.n;
+            fl.help_current.cas_with(
+                help_id,
+                (help_id + 1) % self.n,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+            // Corrected F3: match the A12 gift's mm_ref (see module docs).
             if self.gift_cas(help_id, node) {
                 OpCounters::bump(&c.free_gifted);
                 return;
@@ -400,7 +479,14 @@ impl<T: RcObject> Shared<T> {
         // SAFETY: arena node, exclusively owned by the caller (claimed).
         let nref = unsafe { &*node };
         nref.faa_ref(2); // 1 -> 3
-        if self.fl.ann_alloc[help_id].cas(ptr::null_mut(), node) {
+                         // Release publishes the node (refbump included) to the recipient's
+                         // Acquire take; failure transfers nothing.
+        if self.fl.ann_alloc[help_id].cas_with(
+            ptr::null_mut(),
+            node,
+            Ordering::Release,
+            Ordering::Relaxed,
+        ) {
             true
         } else {
             nref.faa_ref(-2); // 3 -> 1
@@ -416,9 +502,16 @@ impl<T: RcObject> Shared<T> {
     #[cfg(not(feature = "no-alloc-helping"))]
     pub(crate) fn try_gift(&self, node: *mut Node<T>) -> bool {
         let fl = &self.fl;
-        let help_id = fl.help_current.load() % self.n;
+        // Relaxed: helpCurrent is a round-robin hint.
+        let help_id = fl.help_current.load_with(Ordering::Relaxed) % self.n;
         if self.gift_cas(help_id, node) {
-            fl.help_current.cas(help_id, (help_id + 1) % self.n); // A14
+            // A14. Relaxed RMW on the hint.
+            fl.help_current.cas_with(
+                help_id,
+                (help_id + 1) % self.n,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
             true
         } else {
             false

@@ -6,6 +6,23 @@
 //! every operation that respects the usage rules of §3.2 goes through a
 //! [`crate::ThreadHandle`] (which knows the domain and the caller's thread
 //! id); the methods here are the raw word operations those are built from.
+//!
+//! ## Memory ordering: links stay `SeqCst`
+//!
+//! Every link operation deliberately uses the `SeqCst` defaults of
+//! [`WordPtr`], and must keep doing so even after the relaxation pass over
+//! the free-list (`crate::freelist`) and registration (`crate::domain`)
+//! words. The link word is one half of the announcement protocol's
+//! store-load pattern: a dereferencer publishes its announcement (D3) and
+//! then **loads the link** (D4); a writer **CASes the link** (C1) and then
+//! loads the announcement summary / slots (`HelpDeRef`). Correctness
+//! requires a single total order over these four accesses — if the D4 load
+//! read the old node, it must be *in that order* before the writer's CAS,
+//! so the writer's later announcement read observes the announcement
+//! (announce.rs proves the interleavings). Release/acquire provides no such
+//! total order across the two distinct words (link and announcement), only
+//! `SeqCst` on all of them does. A missed help here is not a performance
+//! bug but a use-after-free.
 
 use wfrc_primitives::WordPtr;
 

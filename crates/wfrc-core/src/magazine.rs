@@ -228,6 +228,7 @@ impl<T: RcObject> Shared<T> {
     /// Magazine fast path of `AllocNode`: pop locally, refilling from the
     /// shared stripes in one batch when empty. `None` falls through to the
     /// Figure 5 loop (gift collection, helping, growth, out-of-memory).
+    #[inline]
     pub(crate) fn magazine_pop(&self, tid: usize, c: &OpCounters) -> Option<*mut Node<T>> {
         if !self.mag.is_enabled() {
             return None;
@@ -345,6 +346,7 @@ impl<T: RcObject> Shared<T> {
     /// half to the shared stripes in one batch when full. `false` falls
     /// through to the Figure 5 free (gift attempt + stripe push). `node`
     /// must be claimed (`mm_ref == 1`), as for `free_node`.
+    #[inline]
     pub(crate) fn magazine_push(&self, tid: usize, c: &OpCounters, node: *mut Node<T>) -> bool {
         if !self.mag.is_enabled() {
             return false;

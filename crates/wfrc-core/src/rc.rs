@@ -75,6 +75,29 @@ impl<T: RcObject> Shared<T> {
             unsafe { (*node).faa_ref(2) };
         }
         let word = ann.retract(tid, idx); // D6
+                                          // The announcement is gone; only the presence bit remains. A death
+                                          // here leaves the bit stale-set — conservatively harmless (helpers
+                                          // scan and match nothing) until adoption clears it. But the dying
+                                          // deref owns counts nobody can enumerate any more (the slot is
+                                          // already empty, so adoption's retraction finds nothing): the
+                                          // completion consumes them, leaving exactly the stale bit as the
+                                          // crash residue this site models.
+        #[cfg(feature = "fault-injection")]
+        self.fault_hit_or(c, crate::fault::FaultSite::SummaryClear, tid, || {
+            let final_node = match decode_retract(word, link.addr()) {
+                Some(answer) => {
+                    if !node.is_null() {
+                        self.release_ref(tid, c, node); // D8
+                    }
+                    answer as *mut Node<T>
+                }
+                None => node,
+            };
+            if !final_node.is_null() {
+                self.release_ref(tid, c, final_node);
+            }
+        });
+        ann.clear_summary(tid);
         if let Some(answer) = decode_retract(word, link.addr()) {
             // D7: a helper answered; our speculative target may be stale.
             OpCounters::bump(&c.deref_helped);
@@ -143,12 +166,35 @@ impl<T: RcObject> Shared<T> {
     /// pointed to (§3.2). Scans all threads' current announcements and
     /// answers any that match `link` with a freshly dereferenced,
     /// reference-counted node.
+    #[inline]
     pub(crate) fn help_deref(&self, tid: usize, c: &OpCounters, link: &Link<T>) {
         OpCounters::bump(&c.help_calls);
+        // Fast path: the presence summary answers "is any announcement
+        // live?" in one word per `usize::BITS` threads. When no bit is set
+        // the §3.2 obligation is discharged without reading a single slot
+        // word. Safety of trusting a cleared bit: see `announce.rs`,
+        // "Announcement-presence summary" — the bit is set (SeqCst) before
+        // D3, our load (SeqCst) follows our link change, so any announcer
+        // that read the old node is visible here. Inlined so the caller's
+        // link change pays one load and a never-taken branch; the scan
+        // stays out of line.
+        if self.ann.summary_empty() {
+            OpCounters::bump(&c.help_scan_skips);
+            return;
+        }
+        self.help_deref_scan(tid, c, link);
+    }
+
+    /// The H1–H8 sweep proper, entered only when the presence summary was
+    /// non-empty at the check above (the bits may have cleared since — the
+    /// sweep visits whatever is still flagged and that is still counted as
+    /// a skip if nothing is).
+    #[cold]
+    fn help_deref_scan(&self, tid: usize, c: &OpCounters, link: &Link<T>) {
         let ann = &self.ann;
         let la = link.addr();
-        for id in 0..self.n {
-            // H1
+        let scanned = ann.for_each_announcer(|id| {
+            // H1 (restricted to threads whose presence bit is set)
             let idx = ann.current_index(id); // H2
             if ann.slot_announces(id, idx, la) {
                 // H3 matched: pin the slot so it cannot be reused while our
@@ -176,6 +222,11 @@ impl<T: RcObject> Shared<T> {
                 }
                 // H8 via `_pin`'s drop.
             }
+        });
+        if scanned {
+            OpCounters::bump(&c.help_scan_full);
+        } else {
+            OpCounters::bump(&c.help_scan_skips);
         }
     }
 

@@ -47,6 +47,12 @@ impl AtomicWord {
         self.0.store(v, Ordering::SeqCst)
     }
 
+    /// Atomic write with an explicit ordering.
+    #[inline]
+    pub fn store_with(&self, v: usize, order: Ordering) {
+        self.0.store(v, order)
+    }
+
     /// Fetch-and-add (paper Figure 2, `FAA`). Returns the *previous* value.
     ///
     /// The paper's `FAA` returns nothing; returning the old value is strictly
@@ -78,10 +84,48 @@ impl AtomicWord {
             .compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
     }
 
+    /// Compare-and-swap with explicit success/failure orderings.
+    #[inline]
+    pub fn cas_with(&self, old: usize, new: usize, success: Ordering, failure: Ordering) -> bool {
+        self.0.compare_exchange(old, new, success, failure).is_ok()
+    }
+
     /// Unconditional atomic exchange (paper Figure 2, `SWAP`).
     #[inline]
     pub fn swap(&self, new: usize) -> usize {
         self.0.swap(new, Ordering::SeqCst)
+    }
+
+    /// Atomic exchange with an explicit ordering.
+    #[inline]
+    pub fn swap_with(&self, new: usize, order: Ordering) -> usize {
+        self.0.swap(new, order)
+    }
+
+    /// Atomic bitwise OR, returning the *previous* value. Used by the
+    /// announcement-presence summary (`wfrc-core::announce`): an RMW, not a
+    /// store, because several threads share one summary word.
+    #[inline]
+    pub fn fetch_or(&self, bits: usize) -> usize {
+        self.0.fetch_or(bits, Ordering::SeqCst)
+    }
+
+    /// Atomic bitwise OR with an explicit ordering.
+    #[inline]
+    pub fn fetch_or_with(&self, bits: usize, order: Ordering) -> usize {
+        self.0.fetch_or(bits, order)
+    }
+
+    /// Atomic bitwise AND, returning the *previous* value.
+    #[inline]
+    pub fn fetch_and(&self, bits: usize) -> usize {
+        self.0.fetch_and(bits, Ordering::SeqCst)
+    }
+
+    /// Atomic bitwise AND with an explicit ordering.
+    #[inline]
+    pub fn fetch_and_with(&self, bits: usize, order: Ordering) -> usize {
+        self.0.fetch_and(bits, order)
     }
 
     /// Access to the underlying atomic for call sites that need bespoke
@@ -137,6 +181,12 @@ impl<T> WordPtr<T> {
         self.0.store(p, Ordering::SeqCst)
     }
 
+    /// Atomic write with an explicit ordering.
+    #[inline]
+    pub fn store_with(&self, p: *mut T, order: Ordering) {
+        self.0.store(p, order)
+    }
+
     /// Compare-and-swap. Returns `true` on success.
     #[inline]
     pub fn cas(&self, old: *mut T, new: *mut T) -> bool {
@@ -152,10 +202,35 @@ impl<T> WordPtr<T> {
             .compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
     }
 
+    /// Compare-and-swap with explicit success/failure orderings.
+    #[inline]
+    pub fn cas_with(&self, old: *mut T, new: *mut T, success: Ordering, failure: Ordering) -> bool {
+        self.0.compare_exchange(old, new, success, failure).is_ok()
+    }
+
+    /// Compare-and-swap with explicit success/failure orderings, returning
+    /// the observed value on failure.
+    #[inline]
+    pub fn cas_value_with(
+        &self,
+        old: *mut T,
+        new: *mut T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        self.0.compare_exchange(old, new, success, failure)
+    }
+
     /// Unconditional atomic exchange (paper Figure 2, `SWAP`).
     #[inline]
     pub fn swap(&self, new: *mut T) -> *mut T {
         self.0.swap(new, Ordering::SeqCst)
+    }
+
+    /// Atomic exchange with an explicit ordering.
+    #[inline]
+    pub fn swap_with(&self, new: *mut T, order: Ordering) -> *mut T {
+        self.0.swap(new, order)
     }
 
     /// Access to the underlying atomic.
@@ -196,6 +271,23 @@ mod tests {
         assert_eq!(w.load(), 8);
         assert_eq!(w.cas_value(8, 10), Ok(8));
         assert_eq!(w.cas_value(8, 11), Err(10));
+    }
+
+    #[test]
+    fn fetch_or_and_roundtrip() {
+        let w = AtomicWord::new(0);
+        assert_eq!(w.fetch_or(0b100), 0);
+        assert_eq!(w.fetch_or(0b001), 0b100);
+        assert_eq!(w.load(), 0b101);
+        assert_eq!(w.fetch_and(!0b100), 0b101);
+        assert_eq!(w.load(), 0b001);
+        assert_eq!(
+            w.fetch_and_with(!0b001, Ordering::Release),
+            0b001,
+            "explicit-ordering variant must behave identically"
+        );
+        assert_eq!(w.fetch_or_with(0b010, Ordering::SeqCst), 0);
+        assert_eq!(w.load(), 0b010);
     }
 
     #[test]

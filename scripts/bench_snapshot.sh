@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Bench trajectory snapshot: runs short E4/E5/E9 configurations and writes
+# a machine-readable BENCH_PR4.json at the repo root (one entry per
+# configuration, each embedding the experiment's table as headers + rows:
+# scheme × threads × mode → ops/s, help_calls, help_answers, …), so future
+# PRs can diff their numbers against this one's.
+#
+# Usage: scripts/bench_snapshot.sh [--quick] [--out FILE]
+#   --quick   CI-sized op counts (the bench-smoke job runs this)
+#   --out     output path (default: BENCH_PR4.json in the repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+OUT="BENCH_PR4.json"
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --quick) QUICK=1; shift ;;
+        --out) OUT="$2"; shift 2 ;;
+        *) echo "unknown argument: $1 (expected --quick/--out)" >&2; exit 2 ;;
+    esac
+done
+
+if [[ "$QUICK" == 1 ]]; then
+    E4_READ_ARGS="--mode read --threads 0,2 --ops 2000"
+    E4_WRITE_ARGS="--mode write --threads 2,8 --ops 5000"
+    E5_ARGS="--threads 2 --ops 5000"
+    E9_ARGS="--ops 5000"
+else
+    E4_READ_ARGS="--mode read --threads 0,2,8 --ops 50000"
+    E4_WRITE_ARGS="--mode write --threads 1,2,4,8 --ops 100000"
+    E5_ARGS="--threads 2,8 --ops 50000"
+    E9_ARGS="--ops 20000"
+fi
+
+cargo build --release -p bench --bins
+
+# Runs one experiment binary and extracts the JSON table it prints after
+# the rendered text table (Table::to_json starts with "{" on its own line).
+run_json() {
+    local bin="$1"; shift
+    local out
+    out="$("./target/release/$bin" "$@" --json)"
+    echo "$out" >&2
+    echo "$out" | awk '/^\{$/{found=1} found'
+}
+
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+{
+    echo '{'
+    echo "  \"snapshot\": \"PR4 help-scan fast path\","
+    echo "  \"commit\": \"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)\","
+    echo "  \"quick\": $([[ "$QUICK" == 1 ]] && echo true || echo false),"
+    echo '  "configs": ['
+
+    first=1
+    emit() {
+        local id="$1" bin="$2"; shift 2
+        local blob
+        blob="$(run_json "$bin" "$@")"
+        if [[ -z "$blob" ]]; then
+            echo "error: $bin produced no JSON table" >&2
+            exit 1
+        fi
+        [[ "$first" == 1 ]] || echo ','
+        first=0
+        echo "    {\"id\": \"$id\", \"args\": \"$*\", \"table\":"
+        echo "$blob" | sed 's/^/      /'
+        printf '    }'
+    }
+
+    emit "e4-read" e4_deref_interference $E4_READ_ARGS
+    emit "e4-write" e4_deref_interference $E4_WRITE_ARGS
+    emit "e5-churn" e5_alloc_interference $E5_ARGS
+    emit "e9-stall" e9_stall $E9_ARGS
+
+    echo ''
+    echo '  ]'
+    echo '}'
+} > "$TMP"
+
+# Fail on malformed JSON before publishing the snapshot.
+if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool "$TMP" >/dev/null
+elif command -v jq >/dev/null 2>&1; then
+    jq empty "$TMP"
+else
+    echo "warning: no JSON validator (python3/jq) found; skipping validation" >&2
+fi
+
+mv "$TMP" "$OUT"
+trap - EXIT
+echo "wrote $OUT"

@@ -169,6 +169,7 @@ site_scenarios! {
     magazine_refill_park, magazine_refill_die => FaultSite::MagazineRefill;
     magazine_drain_park, magazine_drain_die => FaultSite::MagazineDrain;
     grow_seed_park, grow_seed_die => FaultSite::GrowSeed;
+    summary_clear_park, summary_clear_die => FaultSite::SummaryClear;
 }
 
 /// `HelperCas` needs a pending announcement for the victim to help: an aux

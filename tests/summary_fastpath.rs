@@ -1,0 +1,248 @@
+//! The announcement-presence summary: `HelpDeRef`'s zero-announcement fast
+//! path must skip every slot read when no dereference is in flight, fall
+//! back to the per-thread scan exactly when a presence bit is set, and stay
+//! conservatively correct across crashes (a stale-set bit is harmless; a
+//! bit is cleared only once every slot of its thread is retracted).
+
+use std::sync::Arc;
+
+use wfrc::core::{DomainConfig, Link, WfrcDomain};
+use wfrc::primitives::spin::SpinBarrier;
+
+/// Writer-only workload: links change constantly, but nothing ever
+/// dereferences, so no announcement is ever published. Every obligatory
+/// `HelpDeRef` must return from the summary without reading one slot word.
+#[test]
+fn writer_only_workload_never_reads_a_slot_word() {
+    const WRITERS: usize = 4;
+    const ROUNDS: u64 = 10_000;
+
+    let domain = Arc::new(WfrcDomain::<u64>::new(DomainConfig::new(WRITERS + 1, 128)));
+    let link = Arc::new(Link::<u64>::null());
+    // Pre-seed so every store has a non-null predecessor and therefore
+    // runs the full SWAP + HelpDeRef + ReleaseRef obligation chain.
+    {
+        let h = domain.register().unwrap();
+        let first = h.alloc_with(|v| *v = u64::MAX).unwrap();
+        h.store(&link, Some(&first));
+    }
+    let barrier = Arc::new(SpinBarrier::new(WRITERS));
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let domain = Arc::clone(&domain);
+            let link = Arc::clone(&link);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let h = domain.register().unwrap();
+                barrier.wait();
+                for i in 0..ROUNDS {
+                    let fresh = h
+                        .alloc_with(|v| *v = (w as u64) << 32 | i)
+                        .expect("pool sized for churn");
+                    h.store(&link, Some(&fresh));
+                }
+                h.counters().snapshot()
+            })
+        })
+        .collect();
+
+    let mut total_help_calls = 0;
+    for t in writers {
+        let s = t.join().unwrap();
+        assert_eq!(
+            s.help_scan_full, 0,
+            "a writer-only workload must never scan announcement slots"
+        );
+        assert_eq!(
+            s.help_scan_skips, s.help_calls,
+            "every HelpDeRef must take the summary fast path"
+        );
+        total_help_calls += s.help_calls;
+    }
+    // Every store had a non-null predecessor, so every store helped.
+    assert_eq!(total_help_calls, WRITERS as u64 * ROUNDS);
+    assert!(
+        domain.announcement_summary_empty(),
+        "no announcement was ever published"
+    );
+
+    let h = domain.register().unwrap();
+    h.store(&link, None);
+    drop(h);
+    assert!(domain.leak_check().is_clean());
+}
+
+/// With readers in the mix the two scan counters must partition
+/// `help_calls` exactly, and the protocol stays leak-free — the summary may
+/// skip or scan depending on timing, but never a third thing.
+#[test]
+fn skip_and_full_partition_help_calls_under_contention() {
+    const READERS: usize = 2;
+    const WRITERS: usize = 2;
+    const ROUNDS: u64 = 20_000;
+
+    let domain = Arc::new(WfrcDomain::<u64>::new(DomainConfig::new(
+        READERS + WRITERS,
+        256,
+    )));
+    let link = Arc::new(Link::<u64>::null());
+    {
+        let h = domain.register().unwrap();
+        let first = h.alloc_with(|v| *v = 0).unwrap();
+        h.store(&link, Some(&first));
+    }
+    let barrier = Arc::new(SpinBarrier::new(READERS + WRITERS));
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|_| {
+            let domain = Arc::clone(&domain);
+            let link = Arc::clone(&link);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let h = domain.register().unwrap();
+                barrier.wait();
+                for i in 0..ROUNDS {
+                    let fresh = h.alloc_with(|v| *v = i).expect("pool sized");
+                    h.store(&link, Some(&fresh));
+                }
+                h.counters().snapshot()
+            })
+        })
+        .collect();
+    let readers: Vec<_> = (0..READERS)
+        .map(|_| {
+            let domain = Arc::clone(&domain);
+            let link = Arc::clone(&link);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let h = domain.register().unwrap();
+                barrier.wait();
+                for _ in 0..ROUNDS {
+                    if let Some(g) = h.deref(&link) {
+                        std::hint::black_box(*g);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    for t in writers {
+        let s = t.join().unwrap();
+        assert_eq!(
+            s.help_scan_skips + s.help_scan_full,
+            s.help_calls,
+            "the scan counters must partition help_calls"
+        );
+    }
+    for t in readers {
+        t.join().unwrap();
+    }
+
+    let h = domain.register().unwrap();
+    h.store(&link, None);
+    drop(h);
+    assert!(
+        domain.announcement_summary_empty(),
+        "every deref retracted; no bit may survive quiescence"
+    );
+    assert!(domain.leak_check().is_clean());
+}
+
+/// The crash window the ninth fault site arms: a thread dying between its
+/// retracting SWAP (D6) and the summary clear leaves a stale-set bit.
+/// Survivors must merely pay a fruitless full scan (never a wrong answer),
+/// and adoption must withdraw the bit — after which the fast path returns.
+#[cfg(feature = "fault-injection")]
+mod faulted {
+    use super::*;
+    use wfrc::core::fault::silence_injected_deaths;
+    use wfrc::core::{FaultAction, FaultPlan, FaultSite, FireRule, InjectedDeath};
+
+    #[test]
+    fn stale_set_bit_is_harmless_and_adoption_clears_it() {
+        silence_injected_deaths();
+        let mut domain = WfrcDomain::<u64>::new(DomainConfig::new(2, 64));
+        let plan = Arc::new(FaultPlan::new(0xB17));
+        domain.set_fault_plan(Arc::clone(&plan));
+        plan.arm_victim(
+            0,
+            FaultSite::SummaryClear,
+            FaultAction::Die,
+            FireRule::Nth(1),
+        );
+        let domain = Arc::new(domain);
+
+        let link = Arc::new(Link::<u64>::null());
+        let victim = domain.register().unwrap();
+        let survivor = domain.register().unwrap();
+        assert_eq!(victim.tid(), 0);
+        {
+            let seed = survivor.alloc_with(|v| *v = 7).unwrap();
+            survivor.store(&link, Some(&seed));
+        }
+
+        std::thread::scope(|s| {
+            let link_ref = &link;
+            let vt = s.spawn(move || {
+                // The deref announces (D3), reads and pins (D4–D5), retracts
+                // (D6) — and dies at the armed site before clearing its bit.
+                let g = victim.deref(link_ref);
+                drop(g);
+            });
+            let err = vt.join().expect_err("victim must die at SummaryClear");
+            let death = err
+                .downcast::<InjectedDeath>()
+                .expect("panic payload must be InjectedDeath");
+            assert_eq!(death.site, FaultSite::SummaryClear);
+        });
+
+        // The bit is stale-set: the announcement is retracted, the bit is
+        // not withdrawn. Conservative, by design.
+        assert!(
+            domain.announcement_summary_bit(0),
+            "a death after D6 must leave the presence bit set"
+        );
+
+        // A survivor's writes now pay the fallback scan (full, matching no
+        // slot) but must stay correct.
+        let before = survivor.counters().snapshot();
+        for i in 0..100u64 {
+            let fresh = survivor.alloc_with(|v| *v = i).unwrap();
+            survivor.store(&link, Some(&fresh));
+        }
+        let mid = survivor.counters().snapshot();
+        assert_eq!(
+            mid.help_scan_full - before.help_scan_full,
+            100,
+            "a stale-set bit must force the fallback scan"
+        );
+        assert_eq!(mid.help_answers, before.help_answers, "nothing to answer");
+
+        // Adoption retracts every slot of the corpse, then withdraws the
+        // bit — never the other way round.
+        let report = domain.adopt_orphans();
+        assert_eq!(report.orphans_adopted, 1);
+        assert!(
+            !domain.announcement_summary_bit(0),
+            "adoption must clear the corpse's presence bit"
+        );
+        assert!(domain.announcement_summary_empty());
+
+        // The fast path is restored.
+        for i in 0..100u64 {
+            let fresh = survivor.alloc_with(|v| *v = i).unwrap();
+            survivor.store(&link, Some(&fresh));
+        }
+        let after = survivor.counters().snapshot();
+        assert_eq!(
+            after.help_scan_full, mid.help_scan_full,
+            "no full scans once the stale bit is withdrawn"
+        );
+        assert_eq!(after.help_scan_skips - mid.help_scan_skips, 100);
+
+        survivor.store(&link, None);
+        drop(survivor);
+        assert!(domain.leak_check().is_clean());
+    }
+}
