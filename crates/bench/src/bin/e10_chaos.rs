@@ -9,6 +9,11 @@
 //! links are cleared and `WfrcDomain::leak_check` must be spotless —
 //! one corrupt or leaked node anywhere ends the run with a panic.
 //!
+//! Victims and survivors also attempt segment reclamation mid-churn (so
+//! the `SegmentRetire` fault site gets real kills, mid-`DRAINING`), and
+//! every round ends by shrinking the arena back to its capacity floor —
+//! the next round regrows it, cycling retire/revive under chaos.
+//!
 //! The loop runs until it has seen at least `--rounds` kill/adopt cycles
 //! AND `--secs` seconds have elapsed (both bounds must be met), so the
 //! default invocation is a 30-second soak with ≥ 20 adoptions.
@@ -41,12 +46,15 @@ mod chaos {
     use wfrc_core::fault::silence_injected_deaths;
     use wfrc_core::{
         DomainConfig, FaultAction, FaultPlan, FaultSite, FireRule, Growth, InjectedDeath, Link,
-        WfrcDomain,
+        ReclaimOutcome, WfrcDomain,
     };
     use wfrc_sim::stats::Table;
 
     const THREADS: usize = 4;
-    const CAPACITY: usize = 64;
+    // Deliberately below the churn's working set (the victim alone holds
+    // up to 48 nodes): every round grows the arena past the floor, and
+    // the end-of-round shrink has real segments to retire.
+    const CAPACITY: usize = 16;
     const LINKS: usize = 8;
     const VICTIM_OPS: usize = 50_000;
     const SURVIVOR_OPS: usize = 5_000;
@@ -110,6 +118,23 @@ mod chaos {
             if i % 5 == 4 {
                 held.pop();
             }
+            // Periodic reclaim attempts put the victim on the retire path,
+            // so the SegmentRetire fault site fires mid-DRAINING and the
+            // round's adoption has a half-claimed segment to reopen.
+            // Dropping the held pile and the shared links first gives the
+            // trailing segment a real chance of being fully free (the
+            // retire claim — and the fault site behind it — is
+            // unreachable otherwise; fresh allocations come from the tail,
+            // so a populated link almost always pins it). The beat must be
+            // tight: armed rounds end at the first injected fault, which
+            // the hot sites deliver within a few dozen iterations.
+            if i % 48 == 47 {
+                held.clear();
+                for l in links {
+                    h.store(l, None);
+                }
+                let _ = h.reclaim();
+            }
         }
     }
 
@@ -120,6 +145,11 @@ mod chaos {
             }
             if let Some(g) = h.deref(&links[(i + 3) % links.len()]) {
                 std::hint::black_box(*g);
+            }
+            // Survivors also try to shrink under full traffic; any outcome
+            // is legal and the end-of-round audit settles the books.
+            if i % 1024 == 1023 {
+                let _ = h.reclaim();
             }
         }
     }
@@ -239,7 +269,10 @@ mod chaos {
                 }
             }
 
-            // End-of-round audit: clear the shared links and the domain
+            // End-of-round audit: clear the shared links, shrink the arena
+            // back to its floor (the round is quiescent, so every grown
+            // segment must retire — next round regrows from scratch, which
+            // cycles retire/revive under chaos every round), and the domain
             // must account for every node.
             faults_total += plan.injected();
             plan.disarm();
@@ -247,6 +280,21 @@ mod chaos {
                 let sweeper = domain.register().unwrap();
                 for l in &links {
                     sweeper.store(l, None);
+                }
+                let mut stalls = 0;
+                loop {
+                    match sweeper.reclaim() {
+                        ReclaimOutcome::Retired { .. } => stalls = 0,
+                        ReclaimOutcome::NoCandidate => break,
+                        outcome => {
+                            stalls += 1;
+                            assert!(
+                                stalls < 1_000,
+                                "round {round}: quiescent reclaim stuck on {outcome:?}"
+                            );
+                            std::thread::yield_now();
+                        }
+                    }
                 }
             }
             let leaks = domain.leak_check();
@@ -276,6 +324,14 @@ mod chaos {
                 kills_by_site[site as usize].to_string(),
             ]);
         }
+        table.row(&[
+            "segments retired (elastic)".into(),
+            domain.segments_retired().to_string(),
+        ]);
+        table.row(&[
+            "segments revived".into(),
+            domain.segments_revived().to_string(),
+        ]);
         table.row(&["capacity (grown)".into(), domain.capacity().to_string()]);
         table.row(&["elapsed s".into(), format!("{:.1}", elapsed.as_secs_f64())]);
         table.row(&["leak check".into(), "clean every round".into()]);

@@ -20,13 +20,21 @@
 //! free-list traffic (slow-path entries, alloc CAS failures, free push
 //! retries) that the magazine layer is supposed to absorb.
 //!
+//! With `--reclaim` each scheme runs an oscillating grow → quiesce →
+//! shrink workload over 20 cycles, reclamation off (control) and on: the
+//! resident-segment curve must return to the capacity floor after every
+//! quiescent phase, and the ops/s pair prices the elasticity machinery.
+//!
 //! ```text
-//! cargo run --release --bin e5_alloc_interference [-- --threads 1,2,4,8 --ops 100000 --json --grow --magazine]
+//! cargo run --release --bin e5_alloc_interference [-- --threads 1,2,4,8 --ops 100000 --json --grow --magazine --reclaim]
 //! ```
 
 use std::sync::Arc;
 
-use bench::drivers::{run_alloc_churn, run_alloc_growth};
+use bench::drivers::{
+    fmt_curve, run_alloc_churn, run_alloc_growth, run_reclaim_oscillation,
+    run_reclaim_oscillation_lfrc,
+};
 use bench::Args;
 use wfrc_baselines::LfrcDomain;
 use wfrc_core::{DomainConfig, Growth, WfrcDomain};
@@ -88,6 +96,91 @@ fn run_growth_table(args: &Args) {
                 fmt_ns(hist.max()),
             ]);
             assert!(d.leak_check().is_clean(), "lfrc growth run must end clean");
+        }
+    }
+    println!("{}", table.render());
+    if args.json {
+        println!("{}", table.to_json());
+    }
+}
+
+/// Reclaim mode: oscillating load across ≥20 grow → quiesce → shrink
+/// cycles. Each scheme runs the identical workload twice — reclamation off
+/// (control) and on — so the ops/s delta is the price of elasticity, and
+/// the resident-segment curve shows capacity actually returning to the
+/// floor after every quiescent phase. WFRC shrinks concurrently (epoch
+/// grace + occupancy sweep); LFRC can only shrink stop-the-world between
+/// cycles (`reclaim_quiescent`), which is the asymmetry under test.
+fn run_reclaim_table(args: &Args) {
+    const HOLD: usize = 32;
+    const CYCLES: usize = 20;
+    const INITIAL: usize = 16;
+    let mut table = Table::new(
+        "E5 (--reclaim): elastic capacity over grow/quiesce cycles",
+        &[
+            "threads",
+            "scheme",
+            "reclaim",
+            "ops/s",
+            "resident curve",
+            "segments retired",
+            "segments revived",
+            "reclaim aborts",
+            "final capacity",
+        ],
+    );
+    for &t in &args.threads {
+        // Same per-thread op budget as the growth table, split across the
+        // cycles so the whole sweep stays comparable to `--grow`.
+        let bursts = (args.ops / (HOLD as u64 * CYCLES as u64)).max(1);
+        let growth = Growth::doubling_to(1 << 20);
+        for reclaim in [false, true] {
+            let d = Arc::new(WfrcDomain::<u64>::new(
+                DomainConfig::new(t + 1, INITIAL).with_growth(growth),
+            ));
+            let initial_segments = d.segment_count();
+            let (r, curve) =
+                run_reclaim_oscillation(Arc::clone(&d), t, CYCLES, bursts, HOLD, reclaim);
+            if reclaim {
+                // The ISSUE acceptance bar: every quiescent phase returns
+                // the footprint to (at most one segment above) the floor.
+                for (i, c) in curve.iter().enumerate() {
+                    assert!(
+                        c.resident_after <= initial_segments + 1,
+                        "cycle {i}: resident {} > floor {initial_segments}+1",
+                        c.resident_after
+                    );
+                }
+            }
+            assert!(d.leak_check().is_clean(), "wfrc reclaim run must end clean");
+            table.row(&[
+                t.to_string(),
+                "wfrc".into(),
+                if reclaim { "on" } else { "off" }.into(),
+                fmt_ops(r.ops_per_sec()),
+                fmt_curve(&curve),
+                d.segments_retired().to_string(),
+                d.segments_revived().to_string(),
+                r.counters.reclaim_aborts.to_string(),
+                d.capacity().to_string(),
+            ]);
+        }
+        for reclaim in [false, true] {
+            let mut d = LfrcDomain::<u64>::with_growth(t, INITIAL, growth);
+            d.set_backoff(false);
+            let (r, curve) = run_reclaim_oscillation_lfrc(&mut d, t, CYCLES, bursts, HOLD, reclaim);
+            assert!(d.leak_check().is_clean(), "lfrc reclaim run must end clean");
+            table.row(&[
+                t.to_string(),
+                "lfrc".into(),
+                if reclaim { "on" } else { "off" }.into(),
+                fmt_ops(r.ops_per_sec()),
+                fmt_curve(&curve),
+                d.segments_retired().to_string(),
+                d.segments_revived().to_string(),
+                "0".into(),
+                d.capacity().to_string(),
+            ]);
         }
     }
     println!("{}", table.render());
@@ -175,6 +268,10 @@ fn main() {
     }
     if args.magazine {
         run_magazine_table(&args);
+        return;
+    }
+    if args.reclaim {
+        run_reclaim_table(&args);
         return;
     }
     let mut table = Table::new(

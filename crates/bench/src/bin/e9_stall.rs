@@ -32,8 +32,15 @@
 //! in the "stalled holds" cell together with the churn thread's fast-path
 //! hit rate), and everything else still recycles.
 //!
+//! With `--reclaim` two extra rows sharpen the stall bound from *nodes* to
+//! *address space*: after the churn grows the pool, WFRC shrinks back to
+//! its capacity floor **while the victim is still stalled** (the stall
+//! pins one node in the immortal first segment, nothing else), whereas
+//! LFRC's stop-the-world `reclaim_quiescent` needs exclusive access and
+//! can only shrink after the victim's slot has been recovered.
+//!
 //! ```text
-//! cargo run --release --bin e9_stall [-- --ops 50000 --grow --magazine]
+//! cargo run --release --bin e9_stall [-- --ops 50000 --grow --magazine --reclaim]
 //! ```
 
 use std::sync::atomic::AtomicPtr;
@@ -43,7 +50,7 @@ use bench::Args;
 use wfrc_baselines::epoch::EbrDomain;
 use wfrc_baselines::hazard::HpDomain;
 use wfrc_baselines::LfrcDomain;
-use wfrc_core::{DomainConfig, Growth, WfrcDomain};
+use wfrc_core::{DomainConfig, Growth, ReclaimOutcome, WfrcDomain};
 use wfrc_sim::stats::Table;
 
 const COLUMNS: [&str; 7] = [
@@ -362,6 +369,120 @@ fn main() {
             assert!(
                 d.leak_check().is_clean(),
                 "lfrc magazine stall must end clean"
+            );
+        }
+    }
+
+    // Reclaim mode: the stall bound extended from nodes to address space.
+    // The victim stalls holding one node from the immortal first segment;
+    // the churn forces the pool to grow far past it. A refcounting stall
+    // pins exactly what it holds — so WFRC's concurrent reclaimer can
+    // retire every grown segment back to the floor *around* the stalled
+    // thread. LFRC's shrink is stop-the-world (`&mut self`), so its grown
+    // footprint is stuck at the peak until the victim's slot is recovered.
+    if args.reclaim {
+        let growth = Growth::doubling_to(1 << 16);
+        {
+            let d = WfrcDomain::<u64>::new(DomainConfig::new(3, 8).with_growth(growth));
+            let h_stall = d.register().unwrap();
+            let held = h_stall.alloc_with(|v| *v = 1).unwrap(); // stalled forever
+            let h = d.register().unwrap();
+            for _ in 0..churn / 16 {
+                let burst: Vec<_> = (0..16)
+                    .map(|_| h.alloc_with(|v| *v = 2).expect("growth covers the peak"))
+                    .collect();
+                drop(burst);
+            }
+            let peak = d.resident_segments();
+            drop(h);
+            // Shrink while the victim is still stalled.
+            let reclaimer = d.register().unwrap();
+            let (mut aborted, mut stalls) = (0u64, 0u64);
+            loop {
+                match reclaimer.reclaim() {
+                    ReclaimOutcome::Retired { .. } => stalls = 0,
+                    ReclaimOutcome::NoCandidate => break,
+                    _ => {
+                        aborted += 1;
+                        stalls += 1;
+                        assert!(stalls < 1_000, "reclaim stuck despite quiescence");
+                        std::thread::yield_now();
+                    }
+                }
+            }
+            let resident = d.resident_segments();
+            assert_eq!(resident, 1, "a stalled holder must not pin grown segments");
+            let retired = d.segments_retired();
+            let live = d.leak_check().live_nodes;
+            drop(reclaimer);
+            let t0 = Instant::now();
+            drop(held);
+            h_stall.abandon();
+            let _ = d.adopt_orphans();
+            let recovery_us = t0.elapsed().as_micros();
+            table.row(&[
+                "wfrc+reclaim".into(),
+                format!("1 ref; {peak}→{resident} segs while stalled ({retired} retired, {aborted} aborts)"),
+                churn.to_string(),
+                (live - 1).to_string(),
+                "1 node (0 segments)".into(),
+                recovery_us.to_string(),
+                "yes (pins nodes, not address space)".into(),
+            ]);
+            assert!(
+                d.leak_check().is_clean(),
+                "wfrc reclaim stall must end clean"
+            );
+        }
+        {
+            let mut d = LfrcDomain::<u64>::with_growth(2, 8, growth);
+            let h_stall = d.register().unwrap();
+            let held = h_stall.alloc_raw().unwrap(); // stalled forever
+            let h = d.register().unwrap();
+            for _ in 0..churn / 16 {
+                let burst: Vec<_> = (0..16)
+                    .map(|_| h.alloc_raw().expect("growth covers the peak"))
+                    .collect();
+                // SAFETY: we own one reference per node.
+                unsafe {
+                    for n in burst {
+                        h.release_raw(n);
+                    }
+                }
+            }
+            let peak = d.segment_count();
+            drop(h);
+            let live = d.leak_check().live_nodes;
+            // No shrink is possible here: `reclaim_quiescent` takes
+            // `&mut self`, and the stalled handle still borrows the
+            // domain. Recovery must come first.
+            let t0 = Instant::now();
+            // SAFETY: teardown of the deliberately held reference.
+            unsafe { h_stall.release_raw(held) };
+            h_stall.abandon();
+            let _ = d.adopt_orphans();
+            let mut retired = 0u64;
+            while d.reclaim_quiescent() {
+                retired += 1;
+            }
+            let recovery_us = t0.elapsed().as_micros();
+            assert_eq!(
+                d.segment_count(),
+                1,
+                "post-recovery shrink must reach the floor"
+            );
+            table.row(&[
+                "lfrc+reclaim".into(),
+                format!("1 ref; stuck at {peak} segs until recovery ({retired} retired after)"),
+                churn.to_string(),
+                (live - 1).to_string(),
+                format!("{peak} segments"),
+                recovery_us.to_string(),
+                "nodes yes; segments only stop-the-world".into(),
+            ]);
+            assert!(
+                d.leak_check().is_clean(),
+                "lfrc reclaim stall must end clean"
             );
         }
     }

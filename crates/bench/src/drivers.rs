@@ -4,7 +4,9 @@ use std::sync::Arc;
 
 use wfrc_baselines::epoch::EbrDomain;
 use wfrc_baselines::hazard::HpDomain;
+use wfrc_baselines::LfrcDomain;
 use wfrc_core::counters::CounterSnapshot;
+use wfrc_core::{ReclaimOutcome, WfrcDomain};
 use wfrc_sim::exec::run_fixed_ops;
 use wfrc_sim::latency::Histogram;
 use wfrc_sim::workload::{OpKind, WorkloadCfg};
@@ -594,6 +596,204 @@ where
         },
         hist,
     )
+}
+
+/// One grow → quiesce → shrink cycle's telemetry (E5/E9 `--reclaim`).
+#[derive(Debug, Clone)]
+pub struct ReclaimCycle {
+    /// Resident segments at the cycle's load peak.
+    pub peak_segments: usize,
+    /// Resident segments after the quiescent reclaim pass (equals
+    /// `peak_segments` on control runs).
+    pub resident_after: usize,
+    /// Segments retired during the pass.
+    pub retired: u64,
+    /// Aborted or contended attempts during the pass.
+    pub aborted: u64,
+}
+
+/// E5/E9 (`--reclaim`): oscillating load on a growable pool. Each cycle,
+/// `threads` workers burst-allocate (`bursts` bursts of `hold` held nodes
+/// each — forcing growth past the initial capacity), free everything, and
+/// exit; then, with `reclaim` on, one reclaimer drives
+/// [`wfrc_core::ThreadHandle::reclaim`] to quiescence and the resident-
+/// segment count is sampled. The control run (`reclaim == false`) executes
+/// the identical workload, so the throughput delta isolates the epoch
+/// bumps + occupancy FAAs + reclaim passes that the feature costs.
+pub fn run_reclaim_oscillation(
+    domain: Arc<WfrcDomain<u64>>,
+    threads: usize,
+    cycles: usize,
+    bursts: u64,
+    hold: usize,
+    reclaim: bool,
+) -> (RunResult, Vec<ReclaimCycle>) {
+    let mut curve = Vec::with_capacity(cycles);
+    let mut total_ops = 0u64;
+    let mut counters = CounterSnapshot::default();
+    let start = std::time::Instant::now();
+    for _ in 0..cycles {
+        let (parts, _) = run_fixed_ops(threads, |_| {
+            let domain = Arc::clone(&domain);
+            move || {
+                let h = domain.register().expect("register");
+                let mut done = 0u64;
+                let mut held = Vec::with_capacity(hold);
+                for _ in 0..bursts {
+                    for _ in 0..hold {
+                        held.push(h.alloc_with(|v| *v = 1).expect("growth covers the peak"));
+                        done += 1;
+                    }
+                    held.clear();
+                }
+                (done, h.counters().snapshot())
+            }
+        });
+        let (ops, snap) = merge_counters(parts);
+        total_ops += ops;
+        counters = counters.merged(&snap);
+        let peak = domain.resident_segments();
+        let mut cyc = ReclaimCycle {
+            peak_segments: peak,
+            resident_after: peak,
+            retired: 0,
+            aborted: 0,
+        };
+        if reclaim {
+            let h = domain.register().expect("register reclaimer");
+            let mut stalls = 0u32;
+            loop {
+                match h.reclaim() {
+                    ReclaimOutcome::Retired { .. } => {
+                        cyc.retired += 1;
+                        stalls = 0;
+                    }
+                    ReclaimOutcome::NoCandidate => break,
+                    _ => {
+                        cyc.aborted += 1;
+                        stalls += 1;
+                        if stalls > 1_000 {
+                            break; // report the stall via `aborted` rather than hang
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            }
+            counters = counters.merged(&h.counters().snapshot());
+            cyc.resident_after = domain.resident_segments();
+        }
+        curve.push(cyc);
+    }
+    let wall = start.elapsed();
+    (
+        RunResult {
+            threads,
+            total_ops,
+            wall,
+            counters,
+        },
+        curve,
+    )
+}
+
+/// The LFRC counterpart of [`run_reclaim_oscillation`]: identical
+/// oscillating workload, but reclamation is the stop-the-world
+/// [`LfrcDomain::reclaim_quiescent`] between cycles (LFRC has no epochs,
+/// so it cannot shrink concurrently — that asymmetry is the point of the
+/// comparison).
+pub fn run_reclaim_oscillation_lfrc(
+    domain: &mut LfrcDomain<u64>,
+    threads: usize,
+    cycles: usize,
+    bursts: u64,
+    hold: usize,
+    reclaim: bool,
+) -> (RunResult, Vec<ReclaimCycle>) {
+    let mut curve = Vec::with_capacity(cycles);
+    let mut total_ops = 0u64;
+    let mut counters = CounterSnapshot::default();
+    let start = std::time::Instant::now();
+    for _ in 0..cycles {
+        let barrier = std::sync::Barrier::new(threads);
+        let d = &*domain;
+        let parts: Vec<(u64, CounterSnapshot)> = std::thread::scope(|s| {
+            let barrier = &barrier;
+            let joins: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(move || {
+                        let h = d.register().expect("register");
+                        barrier.wait();
+                        let mut done = 0u64;
+                        let mut held = Vec::with_capacity(hold);
+                        for _ in 0..bursts {
+                            for _ in 0..hold {
+                                held.push(h.alloc_raw().expect("growth covers the peak"));
+                                done += 1;
+                            }
+                            for n in held.drain(..) {
+                                // SAFETY: we own the alloc reference.
+                                unsafe { h.release_raw(n) };
+                            }
+                        }
+                        (done, h.counters().snapshot())
+                    })
+                })
+                .collect();
+            joins.into_iter().map(|j| j.join().unwrap()).collect()
+        });
+        let (ops, snap) = merge_counters(parts);
+        total_ops += ops;
+        counters = counters.merged(&snap);
+        let peak = domain.segment_count();
+        let mut cyc = ReclaimCycle {
+            peak_segments: peak,
+            resident_after: peak,
+            retired: 0,
+            aborted: 0,
+        };
+        if reclaim {
+            while domain.reclaim_quiescent() {
+                cyc.retired += 1;
+            }
+            cyc.resident_after = domain.segment_count();
+        }
+        curve.push(cyc);
+    }
+    let wall = start.elapsed();
+    (
+        RunResult {
+            threads,
+            total_ops,
+            wall,
+            counters,
+        },
+        curve,
+    )
+}
+
+/// Renders a resident-segment curve compactly: `4→1 ×20` when every cycle
+/// repeats the same peak→resident pair, else the first few transitions
+/// verbatim.
+pub fn fmt_curve(curve: &[ReclaimCycle]) -> String {
+    if curve.is_empty() {
+        return "-".into();
+    }
+    let first = (curve[0].peak_segments, curve[0].resident_after);
+    if curve
+        .iter()
+        .all(|c| (c.peak_segments, c.resident_after) == first)
+    {
+        return format!("{}→{} ×{}", first.0, first.1, curve.len());
+    }
+    let mut parts: Vec<String> = curve
+        .iter()
+        .take(6)
+        .map(|c| format!("{}→{}", c.peak_segments, c.resident_after))
+        .collect();
+    if curve.len() > 6 {
+        parts.push("…".into());
+    }
+    parts.join(",")
 }
 
 /// E7: per-thread completion fairness under full allocation contention.

@@ -53,6 +53,10 @@ pub struct Args {
     /// Run the magazine-mode variant (E5/E9): per-thread allocation
     /// magazines on vs. off, reporting the fast-path hit rate.
     pub magazine: bool,
+    /// Run the oscillating-load reclamation variant (E5/E9): grow →
+    /// quiesce → shrink cycles, reporting the resident-segment curve and
+    /// the throughput cost vs. an identical no-reclaim run.
+    pub reclaim: bool,
     /// E4 table selection: `read` (reader-side deref interference), `write`
     /// (zero-announcer link flipping), or `both` (default). Other binaries
     /// ignore it.
@@ -68,6 +72,7 @@ impl Args {
             json: false,
             grow: false,
             magazine: false,
+            reclaim: false,
             mode: "both".into(),
         };
         let mut args = std::env::args().skip(1);
@@ -90,6 +95,7 @@ impl Args {
                 "--json" => out.json = true,
                 "--grow" => out.grow = true,
                 "--magazine" => out.magazine = true,
+                "--reclaim" => out.reclaim = true,
                 "--mode" => {
                     out.mode = args.next().expect("--mode needs a value");
                     assert!(
@@ -101,7 +107,7 @@ impl Args {
                 other => {
                     panic!(
                         "unknown argument: {other} \
-                         (expected --threads/--ops/--json/--grow/--magazine/--mode)"
+                         (expected --threads/--ops/--json/--grow/--magazine/--reclaim/--mode)"
                     )
                 }
             }

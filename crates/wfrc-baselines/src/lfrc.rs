@@ -303,6 +303,102 @@ impl<T: RcObject> LfrcDomain<T> {
         self.arena.segment_count()
     }
 
+    /// Cumulative segments retired by [`LfrcDomain::reclaim_quiescent`].
+    pub fn segments_retired(&self) -> usize {
+        self.arena.segments_retired()
+    }
+
+    /// Cumulative RETIRED slots revived by growth.
+    pub fn segments_revived(&self) -> usize {
+        self.arena.segments_revived()
+    }
+
+    /// Retires the trailing segment if every one of its nodes is free,
+    /// returning its slab to the allocator. Returns `true` when a segment
+    /// was retired (call again to shrink further).
+    ///
+    /// LFRC has no epochs or announcement rows, so it cannot reclaim
+    /// concurrently — `&mut self` demands quiescence (no live handles
+    /// borrow the domain), which makes the whole protocol a private
+    /// sweep: detach the single head chain, partition out the candidate
+    /// segment's nodes, and either complete the retire or push everything
+    /// back. This is the apples-to-apples counterpart of
+    /// `wfrc_core::ThreadHandle::reclaim` for the E5 `--reclaim`
+    /// experiment: same arena state machine, but stop-the-world instead of
+    /// wait-free.
+    pub fn reclaim_quiescent(&mut self) -> bool {
+        let s = self.arena.segment_count();
+        if s < 2 {
+            return false;
+        }
+        // LFRC's alloc/free hot paths don't maintain the per-segment
+        // occupancy trigger (the private sweep below is authoritative
+        // under `&mut self`), so arm the counter to pass the shared claim
+        // gate. A sweep that then finds live nodes simply aborts.
+        let tail = s - 1;
+        if let (Some(start), Some(len), Some(have)) = (
+            self.arena.seg_start(tail),
+            self.arena.seg_len(tail),
+            self.arena.seg_free_count(tail),
+        ) {
+            if have < len {
+                self.arena
+                    .note_seeded(self.arena.node_ptr(start), len - have);
+            }
+        }
+        let Some(slot) = self.arena.try_begin_tail_retire() else {
+            return false;
+        };
+        let len = self.arena.seg_len(slot).unwrap_or(0);
+        // `&mut self`: no handle can exist, so magazines have no owner —
+        // drain them all back to the head so parked nodes can't hide from
+        // the sweep. (Handle drop already drains, so this usually no-ops;
+        // it matters only after `std::mem::forget`-style leaks.)
+        for tid in 0..self.slots.len() {
+            // SAFETY: exclusive access to the whole domain.
+            let batch = unsafe { self.mag.take(tid, usize::MAX) };
+            if !batch.is_empty() {
+                for w in batch.windows(2) {
+                    // SAFETY: privately owned chain.
+                    unsafe { (*w[0]).mm_next().store(w[1]) };
+                }
+                self.push_chain_raw(batch[0], batch[batch.len() - 1]);
+            }
+        }
+        // Detach the entire free-list and partition it privately.
+        let mut p = self.head.swap_with(ptr::null_mut(), Ordering::Acquire);
+        let mut candidates: Vec<*mut Node<T>> = Vec::with_capacity(len);
+        let mut keep: Vec<*mut Node<T>> = Vec::new();
+        while !p.is_null() {
+            // SAFETY: detached chain is privately owned.
+            let next = unsafe { (*p).mm_next().load() };
+            if self.arena.seg_contains(slot, p) {
+                candidates.push(p);
+            } else {
+                keep.push(p);
+            }
+            p = next;
+        }
+        let complete = candidates.len() == len
+            // SAFETY: candidate nodes are privately held; headers stable.
+            && candidates.iter().all(|&n| unsafe { (*n).load_ref() } == 1)
+            && self.arena.finish_retire(slot);
+        if !complete {
+            // Some nodes are live (or the table raced): hand everything
+            // back and reopen the segment.
+            keep.append(&mut candidates);
+            self.arena.abort_retire(slot);
+        }
+        if !keep.is_empty() {
+            for w in keep.windows(2) {
+                // SAFETY: privately owned chain.
+                unsafe { (*w[0]).mm_next().store(w[1]) };
+            }
+            self.push_chain_raw(keep[0], keep[keep.len() - 1]);
+        }
+        complete
+    }
+
     /// Quiescent audit, same classification as
     /// [`wfrc_core::WfrcDomain::leak_check`] (LFRC has no gift parking, so
     /// `parked_gifts` is always 0; magazine-parked nodes are counted in
@@ -312,6 +408,8 @@ impl<T: RcObject> LfrcDomain<T> {
         let mut report = wfrc_core::LeakReport {
             capacity: self.arena.capacity(),
             segments: self.arena.segment_count(),
+            resident_segments: self.arena.segment_count(),
+            segments_retired: self.arena.segments_retired(),
             ..Default::default()
         };
         for node in self.arena.iter() {
@@ -484,8 +582,11 @@ impl<'d, T: RcObject> LfrcHandle<'d, T> {
     /// a concurrent winner) and the allocation loop should re-scan.
     fn try_grow(&self) -> bool {
         match self.domain.arena.try_grow() {
-            GrowOutcome::Grew(nodes) => {
+            GrowOutcome::Grew { nodes, revived } => {
                 OpCounters::bump(&self.counters.segments_grown);
+                if revived {
+                    OpCounters::bump(&self.counters.segments_revived);
+                }
                 OpCounters::add(&self.counters.nodes_seeded, nodes.len() as u64);
                 // A death between winning the growth CAS and seeding would
                 // strand the whole segment; the completion seeds it first.
@@ -968,6 +1069,75 @@ mod tests {
         assert!(report.is_clean(), "{report:?}");
         assert_eq!(report.magazine_nodes, 0);
         assert_eq!(report.free_nodes, 64);
+    }
+
+    #[test]
+    fn quiescent_reclaim_oscillates_capacity() {
+        let mut d = LfrcDomain::<u64>::with_growth(
+            2,
+            8,
+            Growth::Enabled {
+                factor: 2,
+                max_capacity: 64,
+            },
+        );
+        for _ in 0..5 {
+            {
+                let h = d.register().unwrap();
+                let nodes: Vec<_> = (0..20).map(|_| h.alloc_raw().unwrap()).collect();
+                assert!(d.segment_count() > 1);
+                // SAFETY: we own every reference.
+                unsafe {
+                    for n in nodes {
+                        h.release_raw(n);
+                    }
+                }
+            }
+            while d.reclaim_quiescent() {}
+            assert_eq!(d.segment_count(), 1, "trailing segments not retired");
+            assert_eq!(d.capacity(), 8);
+            let r = d.leak_check();
+            assert!(r.is_clean(), "{r:?}");
+            assert_eq!(r.free_nodes, 8);
+        }
+        assert!(d.segments_retired() >= 5);
+        assert!(d.segments_revived() >= 4);
+    }
+
+    #[test]
+    fn quiescent_reclaim_aborts_on_live_node() {
+        let mut d = LfrcDomain::<u64>::with_growth(
+            1,
+            4,
+            Growth::Enabled {
+                factor: 2,
+                max_capacity: 32,
+            },
+        );
+        let held;
+        {
+            let h = d.register().unwrap();
+            let nodes: Vec<_> = (0..8).map(|_| h.alloc_raw().unwrap()).collect();
+            // SAFETY: we own every reference; keep the last-allocated one
+            // (it lives in the grown tail segment).
+            unsafe {
+                for &n in &nodes[..7] {
+                    h.release_raw(n);
+                }
+            }
+            held = nodes[7];
+        }
+        assert!(d.segment_count() > 1);
+        assert!(!d.reclaim_quiescent(), "retired a segment with a live node");
+        assert!(d.segment_count() > 1);
+        {
+            let h = d.register().unwrap();
+            // SAFETY: the held reference survived the failed reclaim.
+            unsafe { h.release_raw(held) };
+        }
+        while d.reclaim_quiescent() {}
+        assert_eq!(d.segment_count(), 1);
+        assert!(d.leak_check().is_clean());
     }
 
     #[test]

@@ -231,6 +231,11 @@ impl Announce {
     /// True when no thread currently has a presence bit set — the
     /// zero-announcement fast path of `HelpDeRef`. One `SeqCst` load per
     /// summary word.
+    ///
+    /// Segment reclamation (`reclaim.rs`) consults this before *and after*
+    /// claiming a retire: a set bit may encode an `annDeRef` word naming a
+    /// node in the candidate segment, so a non-empty summary vetoes the
+    /// unmap rather than forcing a per-slot decode.
     #[must_use]
     #[inline]
     pub fn summary_empty(&self) -> bool {

@@ -59,6 +59,9 @@ pub struct OpCounters {
     /// Times `AllocNode` exhausted its retry bound and entered the growth
     /// slow path (whether or not growth then succeeded).
     pub alloc_slow_path: Cell<u64>,
+    /// Allocations served by stealing a node off an in-flight reclaim's
+    /// parking chain (the anti-livelock escape; dooms that retire).
+    pub alloc_from_steal: Cell<u64>,
     /// Arena segments this thread published (won the growth CAS).
     pub segments_grown: Cell<u64>,
     /// Fresh nodes this thread seeded into the free-lists after growth.
@@ -82,6 +85,16 @@ pub struct OpCounters {
     /// Magazine drain events (a batch of cached nodes chain-pushed back to
     /// the shared free-list stripes).
     pub magazine_drains: Cell<u64>,
+    /// Reclaim attempts by this thread that claimed a trailing segment
+    /// (took it `LIVE → DRAINING`), whether or not the retire completed.
+    pub reclaim_passes: Cell<u64>,
+    /// Claimed reclaims this thread had to reopen (stalled epoch, nodes in
+    /// flight, racing growth, or a live announcement summary).
+    pub reclaim_aborts: Cell<u64>,
+    /// Arena segments this thread retired (slab returned to the allocator).
+    pub segments_retired: Cell<u64>,
+    /// RETIRED arena slots this thread revived on the growth path.
+    pub segments_revived: Cell<u64>,
     /// Faults this thread had injected into it (stalls, parks, deaths).
     /// Always 0 unless the `fault-injection` feature is active and a
     /// `FaultPlan` is installed.
@@ -140,6 +153,7 @@ impl OpCounters {
             alloc_cas_failures: self.alloc_cas_failures.get(),
             alloc_from_gift: self.alloc_from_gift.get(),
             alloc_slow_path: self.alloc_slow_path.get(),
+            alloc_from_steal: self.alloc_from_steal.get(),
             segments_grown: self.segments_grown.get(),
             nodes_seeded: self.nodes_seeded.get(),
             alloc_gave_gift: self.alloc_gave_gift.get(),
@@ -150,6 +164,10 @@ impl OpCounters {
             magazine_hits: self.magazine_hits.get(),
             magazine_refills: self.magazine_refills.get(),
             magazine_drains: self.magazine_drains.get(),
+            reclaim_passes: self.reclaim_passes.get(),
+            reclaim_aborts: self.reclaim_aborts.get(),
+            segments_retired: self.segments_retired.get(),
+            segments_revived: self.segments_revived.get(),
             faults_injected: self.faults_injected.get(),
         }
     }
@@ -175,6 +193,7 @@ impl OpCounters {
         self.alloc_cas_failures.set(0);
         self.alloc_from_gift.set(0);
         self.alloc_slow_path.set(0);
+        self.alloc_from_steal.set(0);
         self.segments_grown.set(0);
         self.nodes_seeded.set(0);
         self.alloc_gave_gift.set(0);
@@ -185,6 +204,10 @@ impl OpCounters {
         self.magazine_hits.set(0);
         self.magazine_refills.set(0);
         self.magazine_drains.set(0);
+        self.reclaim_passes.set(0);
+        self.reclaim_aborts.set(0);
+        self.segments_retired.set(0);
+        self.segments_revived.set(0);
         self.faults_injected.set(0);
     }
 }
@@ -212,6 +235,7 @@ pub struct CounterSnapshot {
     pub alloc_cas_failures: u64,
     pub alloc_from_gift: u64,
     pub alloc_slow_path: u64,
+    pub alloc_from_steal: u64,
     pub segments_grown: u64,
     pub nodes_seeded: u64,
     pub alloc_gave_gift: u64,
@@ -222,6 +246,10 @@ pub struct CounterSnapshot {
     pub magazine_hits: u64,
     pub magazine_refills: u64,
     pub magazine_drains: u64,
+    pub reclaim_passes: u64,
+    pub reclaim_aborts: u64,
+    pub segments_retired: u64,
+    pub segments_revived: u64,
     pub faults_injected: u64,
 }
 
@@ -247,6 +275,7 @@ impl CounterSnapshot {
         self.alloc_cas_failures += other.alloc_cas_failures;
         self.alloc_from_gift += other.alloc_from_gift;
         self.alloc_slow_path += other.alloc_slow_path;
+        self.alloc_from_steal += other.alloc_from_steal;
         self.segments_grown += other.segments_grown;
         self.nodes_seeded += other.nodes_seeded;
         self.alloc_gave_gift += other.alloc_gave_gift;
@@ -257,6 +286,10 @@ impl CounterSnapshot {
         self.magazine_hits += other.magazine_hits;
         self.magazine_refills += other.magazine_refills;
         self.magazine_drains += other.magazine_drains;
+        self.reclaim_passes += other.reclaim_passes;
+        self.reclaim_aborts += other.reclaim_aborts;
+        self.segments_retired += other.segments_retired;
+        self.segments_revived += other.segments_revived;
         self.faults_injected += other.faults_injected;
         self
     }

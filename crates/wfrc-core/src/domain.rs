@@ -21,6 +21,7 @@ use crate::handle::ThreadHandle;
 use crate::magazine::{clamped_cap, Magazines};
 use crate::node::RcObject;
 use crate::oom::alloc_retry_bound;
+use crate::reclaim::{ReclaimCtl, ReclaimPolicy};
 use crate::MAX_THREADS;
 
 /// Everything the algorithm operations need, bundled so `rc.rs` and
@@ -35,6 +36,9 @@ pub(crate) struct Shared<T> {
     pub(crate) n: usize,
     /// Footnote-4 retry bound for `AllocNode`.
     pub(crate) oom_bound: usize,
+    /// Segment-reclamation state: retire claim, parking chain, and the
+    /// per-slot operation epochs (see [`crate::reclaim`]).
+    pub(crate) reclaim: ReclaimCtl<T>,
     /// Installed fault schedule (see [`crate::fault`]); `None` = no
     /// injection even with the feature compiled in.
     #[cfg(feature = "fault-injection")]
@@ -95,6 +99,10 @@ pub struct DomainConfig {
     /// 0 (the default) disables the layer; the effective value is clamped
     /// by [`clamped_cap`] so full magazines can never park the whole pool.
     pub magazine: usize,
+    /// Segment-reclamation tuning (see [`crate::reclaim`]). Reclamation
+    /// itself is always available via `ThreadHandle::reclaim`; this only
+    /// adjusts its grace/sweep budgets.
+    pub reclaim: ReclaimPolicy,
 }
 
 impl DomainConfig {
@@ -110,6 +118,7 @@ impl DomainConfig {
             growth: Growth::Disabled,
             oom_bound: None,
             magazine: 0,
+            reclaim: ReclaimPolicy::default(),
         }
     }
 
@@ -135,6 +144,12 @@ impl DomainConfig {
     /// exercise the out-of-memory path cheaply).
     pub fn with_oom_bound(mut self, bound: usize) -> Self {
         self.oom_bound = Some(bound);
+        self
+    }
+
+    /// Tunes the segment-reclamation budgets (see [`ReclaimPolicy`]).
+    pub fn with_reclaim(mut self, policy: ReclaimPolicy) -> Self {
+        self.reclaim = policy;
         self
     }
 }
@@ -227,6 +242,7 @@ impl<T: RcObject> WfrcDomain<T> {
             fl,
             n,
             oom_bound: config.oom_bound.unwrap_or_else(|| alloc_retry_bound(n)),
+            reclaim: ReclaimCtl::new(n, config.reclaim),
             #[cfg(feature = "fault-injection")]
             faults: None,
         };
@@ -260,6 +276,9 @@ impl<T: RcObject> WfrcDomain<T> {
             if slot.load_with(Ordering::Relaxed) == SLOT_FREE
                 && slot.cas_with(SLOT_FREE, SLOT_TAKEN, Ordering::Acquire, Ordering::Relaxed)
             {
+                // A fresh owner starts quiescent: reset the slot's operation
+                // epoch so a reclaimer never waits on a dead owner's parity.
+                self.shared.reclaim.epoch(tid).store(0, Ordering::SeqCst);
                 return Ok(ThreadHandle::new(self, tid, OpCounters::new()));
             }
         }
@@ -288,6 +307,13 @@ impl<T: RcObject> WfrcDomain<T> {
         &self.shared
     }
 
+    /// True when slot `tid` is currently owned by a live registration.
+    /// (Used by the reclaim grace period: only TAKEN slots can be inside an
+    /// operation; FREE slots have no thread and ORPHANED slots are corpses.)
+    pub(crate) fn slot_is_taken(&self, tid: usize) -> bool {
+        self.slots[tid].load_with(Ordering::SeqCst) == SLOT_TAKEN
+    }
+
     /// `NR_THREADS` for this domain.
     pub fn max_threads(&self) -> usize {
         self.shared.n
@@ -301,6 +327,30 @@ impl<T: RcObject> WfrcDomain<T> {
     /// Number of arena segments currently published (1 until growth).
     pub fn segment_count(&self) -> usize {
         self.shared.arena.segment_count()
+    }
+
+    /// Number of arena segments currently resident (slab allocated) — the
+    /// quantity the `--reclaim` experiments plot. Identical to
+    /// [`WfrcDomain::segment_count`]: RETIRED slots are unpublished.
+    pub fn resident_segments(&self) -> usize {
+        self.shared.arena.segment_count()
+    }
+
+    /// Cumulative count of segments retired (slabs returned to the
+    /// allocator) over the domain's lifetime.
+    pub fn segments_retired(&self) -> usize {
+        self.shared.arena.segments_retired()
+    }
+
+    /// Cumulative count of RETIRED slots revived by the growth path.
+    pub fn segments_revived(&self) -> usize {
+        self.shared.arena.segments_revived()
+    }
+
+    /// Nodes currently on the reclaim parking chain (normally 0 outside an
+    /// in-flight retire; diagnostic).
+    pub fn reclaim_parked(&self) -> usize {
+        self.shared.reclaim.parked_len()
     }
 
     /// Number of currently registered threads.
@@ -397,6 +447,16 @@ impl<T: RcObject> WfrcDomain<T> {
                 continue;
             }
             let c = OpCounters::new();
+            // (r) If the corpse died holding the segment-retire claim (the
+            // `SegmentRetire` fault site), reopen the DRAINING segment
+            // first: parked nodes return to the stripes, the claim clears,
+            // and a later reclaim attempt can redo the retire cleanly.
+            if s.reclaim.draining_by.load(Ordering::SeqCst) == tid + 1 {
+                s.reopen_reclaim(tid, &c);
+            }
+            // The corpse may have died inside an operation with an odd
+            // epoch; the slot is quiescent once recovery completes.
+            s.reclaim.epoch(tid).store(0, Ordering::SeqCst);
             // (a) Retract every announcement slot. A live link-address word
             // holds no count (the victim died before D5, or its speculative
             // count was its own and died with its guards); an odd word is a
@@ -419,6 +479,8 @@ impl<T: RcObject> WfrcDomain<T> {
             // then release the reference we just took ownership of.
             let gift = s.fl.take_gift(tid);
             if !gift.is_null() {
+                // The node left a counted gift cell (see `crate::reclaim`).
+                s.arena.occupancy_dec(gift);
                 // SAFETY: the gift was parked for `tid`, whose slot we own.
                 unsafe { (*gift).faa_ref(-1) };
                 s.release_ref(tid, &c, gift);
@@ -469,6 +531,8 @@ impl<T: RcObject> WfrcDomain<T> {
         let mut report = LeakReport {
             capacity: s.arena.capacity(),
             segments: s.arena.segment_count(),
+            resident_segments: s.arena.segment_count(),
+            segments_retired: s.arena.segments_retired(),
             ..LeakReport::default()
         };
         for node in s.arena.iter() {
@@ -538,10 +602,17 @@ impl AdoptReport {
 /// Result of [`WfrcDomain::leak_check`].
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct LeakReport {
-    /// Total nodes in the arena (across all segments).
+    /// Total nodes in the arena (across all *resident* segments — a
+    /// RETIRED slab's node addresses no longer exist and are not audited,
+    /// so they can never be reported as leaks).
     pub capacity: usize,
     /// Arena segments the audit walked (1 unless the domain grew).
     pub segments: usize,
+    /// Resident (slab-allocated) segments at audit time — same value as
+    /// `segments`, named for the reclaim experiments.
+    pub resident_segments: usize,
+    /// Cumulative segments retired over the domain's lifetime.
+    pub segments_retired: usize,
     /// Nodes in the free-lists (`mm_ref == 1`).
     pub free_nodes: usize,
     /// Nodes parked in `annAlloc` slots awaiting pickup (`mm_ref == 3`).

@@ -87,11 +87,18 @@ pub enum FaultSite {
     /// obligation — helpers fall back to a scan that matches nothing, and
     /// adoption clears the corpse's bit.
     SummaryClear,
+    /// In the segment-reclaim protocol, immediately after the reclaimer's
+    /// `LIVE → DRAINING` claim and before the node sweep. `Die` here leaves
+    /// the segment DRAINING with the reclaimer's identity recorded in the
+    /// shared reclaim control word — `adopt_orphans` reopens the segment
+    /// (parked nodes pushed back, `DRAINING → LIVE`), after which a fresh
+    /// `reclaim()` call can complete the retire.
+    SegmentRetire,
 }
 
 impl FaultSite {
     /// Every registered site, in protocol order.
-    pub const ALL: [FaultSite; 9] = [
+    pub const ALL: [FaultSite; 10] = [
         FaultSite::AnnouncePublish,
         FaultSite::DerefFaa,
         FaultSite::HelperCas,
@@ -101,6 +108,7 @@ impl FaultSite {
         FaultSite::MagazineDrain,
         FaultSite::GrowSeed,
         FaultSite::SummaryClear,
+        FaultSite::SegmentRetire,
     ];
 
     /// Stable display name (used by the chaos driver's report).
@@ -115,6 +123,7 @@ impl FaultSite {
             FaultSite::MagazineDrain => "magazine_drain",
             FaultSite::GrowSeed => "grow_seed",
             FaultSite::SummaryClear => "summary_clear",
+            FaultSite::SegmentRetire => "segment_retire",
         }
     }
 

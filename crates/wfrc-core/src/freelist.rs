@@ -131,6 +131,9 @@ impl<T> FreeLists<T> {
             unsafe { (*node).mm_next().store(next) };
         }
         self.heads[0].store(arena.node_ptr(0));
+        // Credit segment occupancy for the whole seeded range (reclaim's
+        // retire-candidate gate, see `reclaim`).
+        arena.note_seeded(arena.node_ptr(0), cap);
     }
 
     #[inline]
@@ -304,11 +307,22 @@ impl<T: RcObject> Shared<T> {
             // Release install (A12 / corrected F3).
             let gift = fl.ann_alloc[tid].swap_with(ptr::null_mut(), Ordering::Acquire);
             if !gift.is_null() {
+                // The node left a counted gift cell (see `reclaim`).
+                self.arena.occupancy_dec(gift);
+                if self.draining_member(gift) {
+                    // A gift out of the segment being retired: demote it to
+                    // FREE_REF and help the reclaimer instead of using it.
+                    // SAFETY: the swap transferred exclusive ownership.
+                    unsafe { (*gift).faa_ref(-2) }; // 3 -> 1
+                    self.park_for_reclaim(gift);
+                    continue;
+                }
                 // FixRef(gift, -1): 3 -> 2, one reference for the caller.
                 // SAFETY: arena node; the gifter transferred ownership.
                 unsafe { (*gift).faa_ref(-1) };
                 OpCounters::bump(&c.alloc_from_gift);
                 self.note_alloc_iters(c, iters);
+                self.debug_assert_not_draining(gift);
                 return Ok(gift);
             }
             if iters as usize > self.oom_bound {
@@ -320,6 +334,20 @@ impl<T: RcObject> Shared<T> {
                 // `MAX_SEGMENTS · oom_bound` iterations before a terminal
                 // out-of-memory).
                 OpCounters::bump(&c.alloc_slow_path);
+                // Anti-livelock while a retire is in flight: take a node
+                // off the reclaim parking chain rather than growing (or
+                // failing). The shortfall makes the retire abort — an
+                // in-flight reclaim never turns allocations into OOMs.
+                // This is the one documented path that hands out a node of
+                // a DRAINING segment (see DESIGN.md §4c).
+                if let Some(node) = self.reclaim_steal() {
+                    // SAFETY: the steal transferred exclusive ownership of
+                    // a FREE_REF node.
+                    unsafe { (*node).faa_ref(1) }; // 1 -> 2: one reference
+                    OpCounters::bump(&c.alloc_from_steal);
+                    self.note_alloc_iters(c, iters);
+                    return Ok(node);
+                }
                 if self.grow(tid, c) {
                     iters = 0;
                     continue;
@@ -357,6 +385,15 @@ impl<T: RcObject> Shared<T> {
                 .cas_with(node, next, Ordering::AcqRel, Ordering::Relaxed)
             {
                 // A10 succeeded: we removed `node`.
+                if self.draining_member(node) {
+                    // We popped a node of the segment being retired: drop
+                    // the A9 pin back to FREE_REF and park it for the
+                    // reclaimer instead of allocating (or gifting) it.
+                    self.arena.occupancy_dec(node);
+                    nref.faa_ref(-2); // 3 -> 1
+                    self.park_for_reclaim(node);
+                    continue;
+                }
                 #[cfg(not(feature = "no-alloc-helping"))]
                 // A8 probe is Relaxed: the install CAS below re-validates.
                 if !helped && fl.ann_alloc[help_id].load_with(Ordering::Relaxed).is_null() {
@@ -389,8 +426,13 @@ impl<T: RcObject> Shared<T> {
                     Ordering::Relaxed,
                     Ordering::Relaxed,
                 );
+                // The node leaves the counted structures for the caller.
+                // (A successful A12 gift above keeps it counted: it merely
+                // moved from a stripe to a gift cell — see `reclaim`.)
+                self.arena.occupancy_dec(node);
                 nref.faa_ref(-1); // A17: FixRef(node, -1): 3 -> 2
                 self.note_alloc_iters(c, iters);
+                self.debug_assert_not_draining(node);
                 return Ok(node);
             }
             // A18: lost the race; drop the A9 pin (reclaims if the winner's
@@ -413,8 +455,11 @@ impl<T: RcObject> Shared<T> {
         #[cfg(not(feature = "fault-injection"))]
         let _ = tid;
         match self.arena.try_grow() {
-            GrowOutcome::Grew(nodes) => {
+            GrowOutcome::Grew { nodes, revived } => {
                 OpCounters::bump(&c.segments_grown);
+                if revived {
+                    OpCounters::bump(&c.segments_revived);
+                }
                 OpCounters::add(&c.nodes_seeded, nodes.len() as u64);
                 // A death between winning the growth CAS and seeding would
                 // strand the entire new segment outside every free-list —
@@ -422,8 +467,10 @@ impl<T: RcObject> Shared<T> {
                 #[cfg(feature = "fault-injection")]
                 self.fault_hit_or(c, crate::fault::FaultSite::GrowSeed, tid, || {
                     self.fl.seed_grown(nodes);
+                    self.arena.note_seeded(nodes.as_ptr(), nodes.len());
                 });
                 self.fl.seed_grown(nodes);
+                self.arena.note_seeded(nodes.as_ptr(), nodes.len());
                 true
             }
             GrowOutcome::Lost => true,
@@ -445,6 +492,11 @@ impl<T: RcObject> Shared<T> {
             Node::<T>::FREE_REF,
             "FreeNode on unclaimed node"
         );
+        // A node of the segment being retired goes straight to the reclaim
+        // parking chain (it is already at FREE_REF and exclusively ours).
+        if self.divert_if_draining(node) {
+            return;
+        }
         if self.magazine_push(tid, c, node) {
             return;
         }
@@ -465,7 +517,11 @@ impl<T: RcObject> Shared<T> {
                 return;
             }
         }
-        // F4–F10 for a chain of one.
+        // F4–F10 for a chain of one. Occupancy credit precedes the push so
+        // the counter only ever errs high (see `reclaim`: a premature
+        // retire candidate aborts; a wrapped-negative counter must never
+        // exist).
+        self.arena.occupancy_inc(node);
         let retries = self.fl.push_chain(tid, node, node);
         OpCounters::add(&c.free_push_retries, retries);
         OpCounters::record_max(&c.max_free_push_retries, retries);
@@ -479,8 +535,11 @@ impl<T: RcObject> Shared<T> {
         // SAFETY: arena node, exclusively owned by the caller (claimed).
         let nref = unsafe { &*node };
         nref.faa_ref(2); // 1 -> 3
-                         // Release publishes the node (refbump included) to the recipient's
-                         // Acquire take; failure transfers nothing.
+                         // Occupancy credit before the install (errs high, never
+                         // negative — see `reclaim`); undone on failure.
+        self.arena.occupancy_inc(node);
+        // Release publishes the node (refbump included) to the recipient's
+        // Acquire take; failure transfers nothing.
         if self.fl.ann_alloc[help_id].cas_with(
             ptr::null_mut(),
             node,
@@ -489,6 +548,7 @@ impl<T: RcObject> Shared<T> {
         ) {
             true
         } else {
+            self.arena.occupancy_dec(node);
             nref.faa_ref(-2); // 3 -> 1
             false
         }

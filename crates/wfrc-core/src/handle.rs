@@ -14,15 +14,18 @@
 //!   [`ThreadHandle::cas_link_raw`], …) for data-structure implementations
 //!   that manage counts manually (see `wfrc-structures`).
 
+use core::cell::Cell;
 use core::marker::PhantomData;
 use core::ops::Deref;
 use core::ptr::NonNull;
+use core::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::counters::OpCounters;
 use crate::domain::WfrcDomain;
 use crate::link::Link;
 use crate::node::{Node, RcObject};
 use crate::oom::OutOfMemory;
+use crate::reclaim::ReclaimOutcome;
 
 /// A registered thread's view of a [`WfrcDomain`].
 ///
@@ -35,7 +38,44 @@ pub struct ThreadHandle<'d, T: RcObject> {
     domain: &'d WfrcDomain<T>,
     tid: usize,
     counters: OpCounters,
+    /// Operation-nesting depth for the reclamation epoch (see
+    /// [`crate::reclaim`]): the shared epoch flips odd/even only at the
+    /// 0↔1 transitions, so re-entrancy (a user closure inside `alloc_with`
+    /// dropping a `NodeRef`) stays one logical operation.
+    op_depth: Cell<usize>,
     _not_sync: PhantomData<core::cell::Cell<()>>,
+}
+
+/// RAII epoch bracket around one handle-level operation: entering flips the
+/// slot's epoch odd, leaving flips it even (outermost level only). The
+/// `SeqCst` bumps order the epoch against the reclaimer's `SeqCst` claim
+/// and grace-period reads — a reclaimer that observes an even (or advanced)
+/// epoch knows every pointer this thread obtained before the DRAINING claim
+/// has been released.
+struct OpGuard<'a> {
+    epoch: &'a AtomicUsize,
+    depth: &'a Cell<usize>,
+}
+
+impl<'a> OpGuard<'a> {
+    fn enter(epoch: &'a AtomicUsize, depth: &'a Cell<usize>) -> Self {
+        let d = depth.get();
+        depth.set(d + 1);
+        if d == 0 {
+            epoch.fetch_add(1, Ordering::SeqCst); // even -> odd: in-op
+        }
+        Self { epoch, depth }
+    }
+}
+
+impl Drop for OpGuard<'_> {
+    fn drop(&mut self) {
+        let d = self.depth.get() - 1;
+        self.depth.set(d);
+        if d == 0 {
+            self.epoch.fetch_add(1, Ordering::SeqCst); // odd -> even: quiescent
+        }
+    }
 }
 
 impl<'d, T: RcObject> ThreadHandle<'d, T> {
@@ -44,8 +84,14 @@ impl<'d, T: RcObject> ThreadHandle<'d, T> {
             domain,
             tid,
             counters,
+            op_depth: Cell::new(0),
             _not_sync: PhantomData,
         }
+    }
+
+    /// Brackets one memory-management operation in the reclamation epoch.
+    fn op(&self) -> OpGuard<'_> {
+        OpGuard::enter(self.domain.shared().reclaim.epoch(self.tid), &self.op_depth)
     }
 
     /// This handle's `threadId`.
@@ -83,6 +129,7 @@ impl<'d, T: RcObject> ThreadHandle<'d, T> {
     /// left behind (initially the arena seed) — initialize every field you
     /// will read.
     pub fn alloc_with(&self, init: impl FnOnce(&mut T)) -> Result<NodeRef<'_, T>, OutOfMemory> {
+        let _op = self.op();
         let node = self.domain.shared().alloc_node(self.tid, &self.counters)?;
         // SAFETY: freshly allocated and unpublished — exclusively ours.
         init(unsafe { (*node).payload_mut() });
@@ -94,6 +141,7 @@ impl<'d, T: RcObject> ThreadHandle<'d, T> {
     /// holding one reference, or `None` if the link was ⊥.
     #[must_use = "the returned guard owns a reference; discarding it silently releases"]
     pub fn deref<'h>(&'h self, link: &Link<T>) -> Option<NodeRef<'h, T>> {
+        let _op = self.op();
         let node = self
             .domain
             .shared()
@@ -123,6 +171,7 @@ impl<'d, T: RcObject> ThreadHandle<'d, T> {
         expected: Option<&NodeRef<'_, T>>,
         new: Option<&NodeRef<'_, T>>,
     ) -> bool {
+        let _op = self.op();
         let old_ptr = expected.map_or(core::ptr::null_mut(), |r| r.as_ptr());
         let new_ptr = new.map_or(core::ptr::null_mut(), |r| r.as_ptr());
         let s = self.domain.shared();
@@ -161,6 +210,7 @@ impl<'d, T: RcObject> ThreadHandle<'d, T> {
     /// old value, so the protocol obligations can always be met. Use
     /// [`ThreadHandle::cas`] when the update must be conditional.
     pub fn store(&self, link: &Link<T>, new: Option<&NodeRef<'_, T>>) {
+        let _op = self.op();
         let new_ptr = new.map_or(core::ptr::null_mut(), |r| r.as_ptr());
         let s = self.domain.shared();
         if !new_ptr.is_null() {
@@ -183,6 +233,22 @@ impl<'d, T: RcObject> ThreadHandle<'d, T> {
         }
     }
 
+    /// Attempts to retire the trailing arena segment (see
+    /// [`crate::reclaim`]): if every node of the last grown segment is back
+    /// on the shared free structures, all registered threads pass a grace
+    /// period, and no announcement is in flight, the segment's slab is
+    /// returned to the allocator and [`WfrcDomain::capacity`] shrinks. The
+    /// slot can later be revived by the growth path, so capacity oscillates
+    /// with demand.
+    ///
+    /// Deliberately *not* epoch-bracketed: the caller is quiescent while
+    /// reclaiming (a reclaimer inside its own grace period would deadlock
+    /// on its own parity). Wait-freedom of the memory operations is
+    /// unaffected — reclamation is an auxiliary, abortable protocol.
+    pub fn reclaim(&self) -> ReclaimOutcome {
+        crate::reclaim::try_reclaim(self.domain, self.tid, &self.counters)
+    }
+
     /// Deliberately orphans this handle: the slot is marked for
     /// [`WfrcDomain::adopt_orphans`] instead of being drained and
     /// unregistered, exactly as if the owning thread had died. Models a
@@ -203,6 +269,7 @@ impl<'d, T: RcObject> ThreadHandle<'d, T> {
     /// Initialize it via [`ThreadHandle::payload_mut_raw`] before
     /// publishing. Pair with [`ThreadHandle::release_raw`].
     pub fn alloc_raw(&self) -> Result<*mut Node<T>, OutOfMemory> {
+        let _op = self.op();
         self.domain.shared().alloc_node(self.tid, &self.counters)
     }
 
@@ -213,6 +280,7 @@ impl<'d, T: RcObject> ThreadHandle<'d, T> {
     /// `link` must only ever hold nodes of this handle's domain.
     #[must_use = "the returned pointer carries a reference that must be released"]
     pub unsafe fn deref_raw(&self, link: &Link<T>) -> *mut Node<T> {
+        let _op = self.op();
         self.domain
             .shared()
             .deref_link(self.tid, &self.counters, link)
@@ -224,6 +292,7 @@ impl<'d, T: RcObject> ThreadHandle<'d, T> {
     /// `node` must be a non-null node of this domain on which the caller
     /// owns an unreleased reference.
     pub unsafe fn release_raw(&self, node: *mut Node<T>) {
+        let _op = self.op();
         self.domain
             .shared()
             .release_ref(self.tid, &self.counters, node);
@@ -238,6 +307,7 @@ impl<'d, T: RcObject> ThreadHandle<'d, T> {
     /// already owns at least one reference (so it cannot be concurrently
     /// reclaimed).
     pub unsafe fn add_ref_raw(&self, node: *mut Node<T>, refs: usize) {
+        let _op = self.op();
         self.domain.shared().fix_ref(node, 2 * refs as isize);
     }
 
@@ -256,6 +326,7 @@ impl<'d, T: RcObject> ThreadHandle<'d, T> {
         old: *mut Node<T>,
         new: *mut Node<T>,
     ) -> bool {
+        let _op = self.op();
         if link.cas_raw(old, new) {
             self.domain
                 .shared()
@@ -316,9 +387,12 @@ impl<T: RcObject> Drop for ThreadHandle<'_, T> {
         // thread id becomes claimable: a successor thread gets a fresh
         // (empty) magazine, and repeated register/alloc/drop cycles
         // conserve the pool.
-        self.domain
-            .shared()
-            .drain_magazine(self.tid, &self.counters);
+        {
+            let _op = self.op();
+            self.domain
+                .shared()
+                .drain_magazine(self.tid, &self.counters);
+        }
         self.domain.unregister(self.tid);
     }
 }
@@ -387,6 +461,7 @@ impl<T: RcObject> Deref for NodeRef<'_, T> {
 
 impl<T: RcObject> Clone for NodeRef<'_, T> {
     fn clone(&self) -> Self {
+        let _op = self.handle.op();
         // FixRef(node, 2): copying a shared pointer (§3.2).
         self.handle.domain().shared().fix_ref(self.as_ptr(), 2);
         Self {
@@ -398,6 +473,7 @@ impl<T: RcObject> Clone for NodeRef<'_, T> {
 
 impl<T: RcObject> Drop for NodeRef<'_, T> {
     fn drop(&mut self) {
+        let _op = self.handle.op();
         self.handle.domain().shared().release_ref(
             self.handle.tid(),
             self.handle.counters(),

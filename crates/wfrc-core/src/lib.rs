@@ -90,6 +90,7 @@ pub mod magazine;
 pub mod node;
 pub mod oom;
 pub mod rc;
+pub mod reclaim;
 
 pub use arena::{Growth, MAX_SEGMENTS};
 pub use counters::OpCounters;
@@ -101,6 +102,7 @@ pub use link::Link;
 pub use magazine::Magazines;
 pub use node::{Node, RcObject};
 pub use oom::OutOfMemory;
+pub use reclaim::{ReclaimOutcome, ReclaimPolicy};
 
 /// Hard upper bound on threads per domain.
 ///

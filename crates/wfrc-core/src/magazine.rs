@@ -84,6 +84,10 @@ pub fn clamped_cap(requested: usize, capacity: usize, max_threads: usize) -> usi
     requested.min(capacity.saturating_sub(1) / max_threads.max(1))
 }
 
+// Reclamation note: segment reclamation (see `reclaim`) never retires the
+// initial segment — only trailing *grown* segments — so clamping against
+// the initial capacity remains conservative even when capacity oscillates.
+
 /// The per-thread magazine slots of one domain: `max_threads` bounded LIFO
 /// stacks of free node pointers.
 ///
@@ -233,22 +237,38 @@ impl<T: RcObject> Shared<T> {
         if !self.mag.is_enabled() {
             return None;
         }
-        // SAFETY: `tid` is this caller's registered thread id (exclusive).
-        let node = match unsafe { self.mag.pop(tid) } {
-            Some(node) => node,
-            None => {
-                self.magazine_refill(tid, c);
-                // SAFETY: same exclusivity as above.
-                unsafe { self.mag.pop(tid) }?
+        let mut refilled = false;
+        loop {
+            // SAFETY: `tid` is this caller's registered thread id
+            // (exclusive).
+            let node = match unsafe { self.mag.pop(tid) } {
+                Some(node) => node,
+                None => {
+                    if refilled {
+                        return None;
+                    }
+                    self.magazine_refill(tid, c);
+                    refilled = true;
+                    // SAFETY: same exclusivity as above.
+                    unsafe { self.mag.pop(tid) }?
+                }
+            };
+            // A cached node of the segment being retired goes to the
+            // reclaim parking chain instead of being served (a refill can
+            // capture candidate nodes in the window before the DRAINING
+            // claim lands — this filter closes that window).
+            if self.divert_if_draining(node) {
+                continue;
             }
-        };
-        OpCounters::bump(&c.magazine_hits);
-        // 1 -> 2: the parked free node becomes one caller-owned reference.
-        // Equivalent to A9's +2 pin followed by A17's -1, so the Lemma 3
-        // accounting is undisturbed (see module docs).
-        // SAFETY: arena node; headers are type-stable.
-        unsafe { (*node).faa_ref(1) };
-        Some(node)
+            OpCounters::bump(&c.magazine_hits);
+            // 1 -> 2: the parked free node becomes one caller-owned
+            // reference. Equivalent to A9's +2 pin followed by A17's -1, so
+            // the Lemma 3 accounting is undisturbed (see module docs).
+            // SAFETY: arena node; headers are type-stable.
+            unsafe { (*node).faa_ref(1) };
+            self.debug_assert_not_draining(node);
+            return Some(node);
+        }
     }
 
     /// Refills magazine `tid` by stealing one whole stripe: a single
@@ -294,13 +314,23 @@ impl<T: RcObject> Shared<T> {
                 self.fl.push_chain(tid, chain, tail);
             });
             // Walk off the nodes we keep. The chain is exclusively ours
-            // after the swap, so plain `mm_next` loads suffice.
+            // after the swap, so plain `mm_next` loads suffice. Nodes of a
+            // DRAINING segment are diverted to the reclaim parking chain;
+            // either way a removed node leaves the counted stripes, so its
+            // segment occupancy is debited (see `reclaim`). The remainder
+            // handed back below stays counted throughout (in transit).
             let mut kept = Vec::with_capacity(target);
             let mut p = chain;
             while !p.is_null() && kept.len() < target {
-                kept.push(p);
                 // SAFETY: node of the stolen chain — exclusively ours.
-                p = unsafe { (*p).mm_next().load() };
+                let next = unsafe { (*p).mm_next().load() };
+                self.arena.occupancy_dec(p);
+                if self.draining_member(p) {
+                    self.park_for_reclaim(p);
+                } else {
+                    kept.push(p);
+                }
+                p = next;
             }
             let rest = p;
             if !rest.is_null() && !fl.untake_stripe(idx, rest) {
@@ -358,6 +388,7 @@ impl<T: RcObject> Shared<T> {
         // see a stranded mm_ref == 1 node.
         #[cfg(feature = "fault-injection")]
         self.fault_hit_or(c, crate::fault::FaultSite::MagazineDrain, tid, || {
+            self.arena.occupancy_inc(node);
             self.fl.push_chain(tid, node, node);
         });
         // SAFETY: `tid` is this caller's registered thread id (exclusive).
@@ -404,6 +435,11 @@ impl<T: RcObject> Shared<T> {
         let Some((&first, _)) = batch.split_first() else {
             return; // the single node went out as a gift
         };
+        // Magazine-parked nodes are not occupancy-counted; credit their
+        // segments before the batch re-enters the shared stripes.
+        for &p in &batch {
+            self.arena.occupancy_inc(p);
+        }
         for w in batch.windows(2) {
             // SAFETY: claimed nodes exclusively owned by this drain; the
             // chain is unshared until the publishing CAS in push_chain.

@@ -23,10 +23,12 @@
 ///
 /// With [`crate::Growth::Disabled`] (the paper's fixed-pool model) an
 /// exhausted retry bound fails immediately. With growth enabled, exceeding
-/// the bound first attempts to publish a new arena segment and only fails
-/// once the pool is at its configured `max_capacity` (or the
-/// [`crate::MAX_SEGMENTS`] table is full) — out-of-memory is terminal only
-/// at max capacity. When every free-list head and every `annAlloc` slot is
+/// the bound first attempts to publish a new arena segment — reviving a
+/// `RETIRED` slot from an earlier quiescent reclamation before minting a
+/// fresh one, so capacity reclaimed by `reclaim.rs` comes back on demand —
+/// and only fails once the pool is at its configured `max_capacity` (or
+/// the [`crate::MAX_SEGMENTS`] table is full) — out-of-memory is terminal
+/// only at max capacity. When every free-list head and every `annAlloc` slot is
 /// empty this is a true out-of-memory condition. Under extreme contention
 /// the bound is in principle reachable with memory still available (the
 /// threshold trades detection latency against that risk, exactly as the

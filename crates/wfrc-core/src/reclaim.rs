@@ -1,0 +1,589 @@
+//! Quiescent-state segment reclamation: returning fully-free trailing
+//! arena segments to the OS, and letting them re-grow on demand.
+//!
+//! PR 1's segmented arena made capacity elastic *upward* only — a traffic
+//! spike permanently pinned its high-water mark. This module closes the
+//! loop with a quiescence protocol in the spirit of epoch/quiescent-state
+//! reclamation (Brown's DEBRA; Nikolaev & Ravindran's Hyaline for the
+//! robust-to-crashed-threads regime):
+//!
+//! 1. **Operation epochs.** Every registered slot owns a cache-padded
+//!    epoch counter, bumped at the *boundaries* of each handle-level
+//!    operation (alloc / deref / cas / store / release and the `NodeRef`
+//!    clone/drop bookkeeping — see `handle::OpGuard`). Odd = inside an
+//!    operation. Helping recursion (H5) happens *within* a single guard,
+//!    so parity keeps its meaning.
+//! 2. **Occupancy trigger.** Each segment counts how many of its nodes sit
+//!    on *shared* structures (stripes + `annAlloc` gift cells; magazines
+//!    are deliberately uncounted — their fast paths stay free of extra
+//!    atomics, and magazine-parked nodes simply make their segment
+//!    ineligible until drained). A trailing segment whose counter reaches
+//!    `len` is a retire candidate.
+//! 3. **Claim + physical collection.** The reclaimer CASes the candidate
+//!    `LIVE → DRAINING` and publishes the claim in a shared control word
+//!    (slot, claiming tid) so a crash mid-retire is adoptable. It then
+//!    sweeps every stripe and gift cell, moving the candidate's nodes onto
+//!    a shared *parking chain* and handing foreign nodes straight back with
+//!    the existing chain primitives. While DRAINING, the alloc paths divert
+//!    any of the segment's nodes they encounter onto the same chain —
+//!    a DRAINING segment never serves an allocation (the only documented
+//!    exception is the anti-livelock steal below, which immediately dooms
+//!    the retire).
+//! 4. **Grace period + summary check.** With all `len` nodes parked, the
+//!    reclaimer waits for every registered slot's epoch to be even or to
+//!    *change* (bounded spins — a parked thread stalls the retire, which
+//!    then aborts), and re-checks that the announcement summary is empty.
+//!    Only then is `finish_retire` allowed to unmap the slab. DESIGN.md §4c
+//!    gives the full argument that no stale `NodeRef` or raw pointer can
+//!    address a RETIRED slab.
+//! 5. **Abort/reopen.** Every failure (nodes in flight, stalled epoch,
+//!    racing growth, live summary) reopens the segment: parked nodes are
+//!    chain-pushed back onto a stripe, `DRAINING → LIVE`, claim cleared.
+//!    `adopt_orphans` performs the same reopen when the claiming thread
+//!    died at the `SegmentRetire` fault site.
+//!
+//! **Liveness.** An allocator that runs dry while a reclaim is in flight
+//! may *steal* from the parking chain (swap-detach, take one, push the rest
+//! back) instead of declaring out-of-memory; the resulting shortfall makes
+//! the retire abort, never the allocator. Growth is never blocked: a racing
+//! `try_grow` publishing a later slot simply makes `finish_retire`'s
+//! `seg_count` CAS fail, aborting the retire.
+
+use core::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::arena::SEG_DRAINING;
+use crate::counters::OpCounters;
+use crate::domain::{Shared, WfrcDomain};
+use crate::node::{Node, RcObject};
+
+#[cfg(not(feature = "no-pad"))]
+type EpochCell = wfrc_primitives::CachePadded<AtomicUsize>;
+#[cfg(feature = "no-pad")]
+type EpochCell = AtomicUsize;
+
+fn new_epoch() -> EpochCell {
+    #[cfg(not(feature = "no-pad"))]
+    {
+        wfrc_primitives::CachePadded::new(AtomicUsize::new(0))
+    }
+    #[cfg(feature = "no-pad")]
+    {
+        AtomicUsize::new(0)
+    }
+}
+
+/// Tuning knobs for [`crate::ThreadHandle::reclaim`], configured via
+/// [`crate::DomainConfig::with_reclaim`].
+#[derive(Debug, Clone, Copy)]
+pub struct ReclaimPolicy {
+    /// Bounded spin budget per registered slot when waiting for an
+    /// in-flight operation's epoch to advance. A thread stalled inside an
+    /// operation past this budget aborts the retire (it can be retried).
+    pub grace_spins: usize,
+    /// Sweep passes over the stripes/gift cells before concluding that
+    /// some of the candidate's nodes are unreachable (in use or in a
+    /// magazine) and aborting.
+    pub sweep_passes: usize,
+}
+
+impl Default for ReclaimPolicy {
+    fn default() -> Self {
+        Self {
+            grace_spins: 10_000,
+            sweep_passes: 8,
+        }
+    }
+}
+
+/// Outcome of one [`crate::ThreadHandle::reclaim`] attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReclaimOutcome {
+    /// The trailing segment was retired: its `nodes` node addresses are
+    /// dead and its slab memory has been returned to the allocator.
+    Retired {
+        /// Segment-table slot that was retired (available for revival).
+        slot: usize,
+        /// Number of node slots the retired slab held.
+        nodes: usize,
+    },
+    /// Nothing eligible: fewer than two resident segments, the trailing
+    /// segment's occupancy is not full (nodes live or magazine-parked), or
+    /// announcements are in flight.
+    NoCandidate,
+    /// Another thread holds the retire claim.
+    Contended,
+    /// A claim was taken but had to be reopened: nodes could not all be
+    /// collected, a registered thread sat in one operation past the grace
+    /// budget, growth raced the retire, or the announcement summary went
+    /// live. The segment is LIVE again; the attempt can be retried.
+    Aborted,
+}
+
+/// Shared reclaim state of one domain: the retire claim, the parking chain
+/// for collected nodes, and the per-slot operation epochs. All of it is
+/// plain shared memory so that a thread dying mid-retire leaves a state an
+/// adopter can enumerate and repair.
+pub(crate) struct ReclaimCtl<T> {
+    /// `slot + 1` of the segment being drained; 0 = no retire in flight.
+    /// Doubles as the "filters active" flag the hot paths poll (Relaxed).
+    pub(crate) draining: AtomicUsize,
+    /// `tid + 1` of the claiming thread; adoption matches this against the
+    /// orphan it is recovering to reopen a crashed retire.
+    pub(crate) draining_by: AtomicUsize,
+    /// Treiber chain of collected candidate nodes (`mm_ref == FREE_REF`,
+    /// linked through `mm_next`). Shared so it survives a reclaimer crash
+    /// and so the hot-path diverters/stealers can use it too.
+    parked: wfrc_primitives::WordPtr<Node<T>>,
+    /// Approximate length of `parked` (telemetry / steal hint only; the
+    /// retire's authoritative count is a private walk after detaching).
+    parked_len: AtomicUsize,
+    /// Per-slot operation epochs: odd = inside a handle operation.
+    epochs: Box<[EpochCell]>,
+    policy: ReclaimPolicy,
+}
+
+impl<T> ReclaimCtl<T> {
+    pub(crate) fn new(n: usize, policy: ReclaimPolicy) -> Self {
+        Self {
+            draining: AtomicUsize::new(0),
+            draining_by: AtomicUsize::new(0),
+            parked: wfrc_primitives::WordPtr::null(),
+            parked_len: AtomicUsize::new(0),
+            epochs: (0..n).map(|_| new_epoch()).collect(),
+            policy,
+        }
+    }
+
+    /// The epoch counter of slot `tid`.
+    #[inline]
+    pub(crate) fn epoch(&self, tid: usize) -> &AtomicUsize {
+        &self.epochs[tid]
+    }
+
+    pub(crate) fn policy(&self) -> &ReclaimPolicy {
+        &self.policy
+    }
+
+    /// Nodes currently on the parking chain (approximate while racing).
+    pub(crate) fn parked_len(&self) -> usize {
+        self.parked_len.load(Ordering::Relaxed)
+    }
+
+    /// Pushes one collected node onto the shared parking chain. `node`
+    /// must be at `FREE_REF` and exclusively held by the caller.
+    pub(crate) fn park(&self, node: *mut Node<T>) {
+        loop {
+            let head = self.parked.load_with(Ordering::Relaxed);
+            // SAFETY: exclusively ours until the CAS publishes it.
+            unsafe { (*node).mm_next().store(head) };
+            if self
+                .parked
+                .cas_with(head, node, Ordering::Release, Ordering::Relaxed)
+            {
+                break;
+            }
+        }
+        self.parked_len.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Detaches the whole parking chain (for the retire's private count
+    /// pass, a reopen, or a steal).
+    fn detach(&self) -> *mut Node<T> {
+        let chain = self
+            .parked
+            .swap_with(core::ptr::null_mut(), Ordering::Acquire);
+        if !chain.is_null() {
+            self.parked_len.store(0, Ordering::Relaxed);
+        }
+        chain
+    }
+
+    /// Re-attaches a privately held chain (first..=last pre-linked) to the
+    /// parking chain head. Push-only, so no ABA concern.
+    fn reattach(&self, first: *mut Node<T>, last: *mut Node<T>, count: usize) {
+        loop {
+            let head = self.parked.load_with(Ordering::Relaxed);
+            // SAFETY: chain privately held until the CAS publishes it.
+            unsafe { (*last).mm_next().store(head) };
+            if self
+                .parked
+                .cas_with(head, first, Ordering::Release, Ordering::Relaxed)
+            {
+                break;
+            }
+        }
+        self.parked_len.fetch_add(count, Ordering::Relaxed);
+    }
+
+    /// Anti-livelock escape for the allocation slow path: take one node
+    /// off the parking chain. Swap-detach + push-back (never a head pop),
+    /// so the chain cannot be ABA-corrupted by a concurrent re-park of the
+    /// same node. Returns a node at `FREE_REF`.
+    pub(crate) fn steal(&self) -> Option<*mut Node<T>> {
+        let chain = self.detach();
+        if chain.is_null() {
+            return None;
+        }
+        // SAFETY: the whole chain is privately ours after the swap.
+        let rest = unsafe { (*chain).mm_next().load() };
+        if !rest.is_null() {
+            // SAFETY: private chain.
+            let (tail, count) = unsafe { chain_tail(rest) };
+            self.reattach(rest, tail, count);
+        }
+        Some(chain)
+    }
+}
+
+/// Walks a privately held chain, returning `(last, count)`.
+///
+/// # Safety
+/// `first` must head a null-terminated chain exclusively owned by the
+/// caller.
+unsafe fn chain_tail<T>(first: *mut Node<T>) -> (*mut Node<T>, usize) {
+    let mut tail = first;
+    let mut count = 1usize;
+    loop {
+        // SAFETY: private chain per contract.
+        let next = unsafe { (*tail).mm_next().load() };
+        if next.is_null() {
+            return (tail, count);
+        }
+        tail = next;
+        count += 1;
+    }
+}
+
+impl<T: RcObject> Shared<T> {
+    /// True while a retire is in flight. One Relaxed load — the only cost
+    /// the hot paths pay when no reclaim is active.
+    #[inline]
+    pub(crate) fn reclaim_active(&self) -> bool {
+        self.reclaim.draining.load(Ordering::Relaxed) != 0
+    }
+
+    /// Hot-path membership probe: does `node` belong to the segment
+    /// currently DRAINING? One Relaxed load when no reclaim is active.
+    #[inline]
+    pub(crate) fn draining_member(&self, node: *mut Node<T>) -> bool {
+        let d = self.reclaim.draining.load(Ordering::Relaxed);
+        if d == 0 {
+            return false;
+        }
+        self.draining_member_slow(d - 1, node)
+    }
+
+    #[cold]
+    fn draining_member_slow(&self, slot: usize, node: *mut Node<T>) -> bool {
+        // SeqCst state read: do not divert for a segment that already went
+        // back to LIVE (a reopen would then strand the node briefly).
+        self.arena.seg_state(slot) == Some(SEG_DRAINING) && self.arena.seg_contains(slot, node)
+    }
+
+    /// Hot-path diversion filter: if `node` belongs to the segment
+    /// currently DRAINING, park it on the reclaim chain (helping the
+    /// retire) and return true — the caller must not hand it out. `node`
+    /// must be at `FREE_REF` and exclusively held, and must already be off
+    /// every occupancy-counted structure.
+    #[inline]
+    pub(crate) fn divert_if_draining(&self, node: *mut Node<T>) -> bool {
+        if !self.draining_member(node) {
+            return false;
+        }
+        self.reclaim.park(node);
+        true
+    }
+
+    /// Parks an exclusively held `FREE_REF` node on the reclaim chain
+    /// (used by alloc paths that already established draining membership).
+    #[inline]
+    pub(crate) fn park_for_reclaim(&self, node: *mut Node<T>) {
+        self.reclaim.park(node);
+    }
+
+    /// Debug-only invariant probe: a node the alloc paths are about to
+    /// return must never belong to a DRAINING segment.
+    #[inline]
+    pub(crate) fn debug_assert_not_draining(&self, node: *mut Node<T>) {
+        #[cfg(debug_assertions)]
+        {
+            let d = self.reclaim.draining.load(Ordering::Relaxed);
+            if d != 0 {
+                debug_assert!(
+                    !(self.arena.seg_state(d - 1) == Some(SEG_DRAINING)
+                        && self.arena.seg_contains(d - 1, node)),
+                    "alloc path handed out a node of a DRAINING segment"
+                );
+            }
+        }
+        #[cfg(not(debug_assertions))]
+        let _ = node;
+    }
+
+    /// Emergency allocation source while a retire is in flight (see the
+    /// module docs): returns a parked node at `FREE_REF`, or `None`.
+    #[inline]
+    pub(crate) fn reclaim_steal(&self) -> Option<*mut Node<T>> {
+        if !self.reclaim_active() && self.reclaim.parked_len() == 0 {
+            return None;
+        }
+        self.reclaim.steal()
+    }
+
+    /// Reopens a DRAINING segment: parked nodes go back onto a stripe
+    /// (re-crediting occupancy), the segment returns to LIVE, the claim
+    /// clears. Used by the abort paths of `try_reclaim` and by orphan
+    /// adoption when the claiming thread died mid-retire.
+    pub(crate) fn reopen_reclaim(&self, tid: usize, c: &OpCounters) {
+        let d = self.reclaim.draining.load(Ordering::SeqCst);
+        if d == 0 {
+            return;
+        }
+        let slot = d - 1;
+        // LIVE first: from here on the hot-path filters refuse to park for
+        // this segment, so the drain below can terminate.
+        self.arena.abort_retire(slot);
+        // Drain the chain (twice: once for the bulk, once for a straggler
+        // that passed the state check just before the abort above). A
+        // straggler landing after the second pass is collected by the next
+        // reclaim attempt or the steal path — never lost (it stays on the
+        // shared chain with `mm_ref == FREE_REF`).
+        for _ in 0..2 {
+            let chain = self.reclaim.detach();
+            if chain.is_null() {
+                continue;
+            }
+            // SAFETY: detached — privately ours.
+            let (tail, count) = unsafe { chain_tail(chain) };
+            let mut p = chain;
+            for _ in 0..count {
+                self.arena.occupancy_inc(p);
+                // SAFETY: private chain walk.
+                p = unsafe { (*p).mm_next().load() };
+            }
+            let retries = self.fl.push_chain(tid, chain, tail);
+            OpCounters::add(&c.free_push_retries, retries);
+        }
+        self.reclaim.draining_by.store(0, Ordering::SeqCst);
+        self.reclaim.draining.store(0, Ordering::SeqCst);
+        OpCounters::bump(&c.reclaim_aborts);
+    }
+
+    /// One sweep pass: pulls the candidate segment's nodes out of every
+    /// stripe and gift cell onto the parking chain, handing everything
+    /// foreign straight back. Returns the (approximate) parked total.
+    fn sweep_pass(&self, tid: usize, c: &OpCounters, slot: usize) -> usize {
+        let fl = &self.fl;
+        for i in 0..fl.lists() {
+            if fl.head_ptr(i).is_null() {
+                continue;
+            }
+            let chain = fl.take_stripe(i);
+            if chain.is_null() {
+                continue;
+            }
+            // Partition the privately held chain: candidates park, the
+            // foreign remainder is re-pushed as one chain (its occupancy
+            // never changed — it is "in transit", like a refill).
+            let mut keep_first: *mut Node<T> = core::ptr::null_mut();
+            let mut keep_last: *mut Node<T> = core::ptr::null_mut();
+            let mut p = chain;
+            while !p.is_null() {
+                // SAFETY: node of the stolen chain — exclusively ours.
+                let next = unsafe { (*p).mm_next().load() };
+                if self.arena.seg_contains(slot, p) {
+                    self.arena.occupancy_dec(p);
+                    self.reclaim.park(p);
+                } else if keep_first.is_null() {
+                    keep_first = p;
+                    keep_last = p;
+                    // SAFETY: exclusively ours; terminate the keep chain.
+                    unsafe { (*p).mm_next().store(core::ptr::null_mut()) };
+                } else {
+                    // SAFETY: exclusively ours; append to the keep chain.
+                    unsafe { (*keep_last).mm_next().store(p) };
+                    unsafe { (*p).mm_next().store(core::ptr::null_mut()) };
+                    keep_last = p;
+                }
+                p = next;
+            }
+            if !keep_first.is_null() && !fl.untake_stripe(i, keep_first) {
+                let retries = fl.push_chain(tid, keep_first, keep_last);
+                OpCounters::add(&c.free_push_retries, retries);
+            }
+        }
+        // Gift cells: only disturb a gift that is (probably) a candidate.
+        for t in 0..self.n {
+            let peek = fl.gift_for(t);
+            if peek.is_null() || !self.arena.seg_contains(slot, peek) {
+                continue;
+            }
+            let gift = fl.take_gift(t);
+            if gift.is_null() {
+                continue;
+            }
+            // Demote the gift representation (3 -> 1, the corrected-F3
+            // bump undone) whatever it turned out to be.
+            // SAFETY: the swap transferred exclusive ownership to us.
+            unsafe { (*gift).faa_ref(-2) };
+            if self.arena.seg_contains(slot, gift) {
+                self.arena.occupancy_dec(gift);
+                self.reclaim.park(gift);
+            } else {
+                // The cell was re-gifted between peek and swap: return the
+                // foreign node to the stripes (gift-count moves to
+                // stripe-count on the same segment — occupancy unchanged).
+                let retries = fl.push_chain(tid, gift, gift);
+                OpCounters::add(&c.free_push_retries, retries);
+            }
+        }
+        self.reclaim.parked_len()
+    }
+
+    /// Bounded per-slot grace wait: every registered slot must be observed
+    /// quiescent (even epoch) or must make progress (epoch change) within
+    /// the spin budget. Returns false on timeout (a stalled in-flight
+    /// operation — e.g. a parked thread mid-dereference).
+    fn grace_period(&self, is_taken: impl Fn(usize) -> bool) -> bool {
+        let spins = self.reclaim.policy().grace_spins;
+        for t in 0..self.n {
+            if !is_taken(t) {
+                // FREE slots have no thread; ORPHANED slots are corpses —
+                // they execute nothing, and what they left behind is
+                // covered by the sweep + summary check (and by adoption).
+                continue;
+            }
+            let e0 = self.reclaim.epoch(t).load(Ordering::SeqCst);
+            if e0.is_multiple_of(2) {
+                continue;
+            }
+            let mut ok = false;
+            for i in 0..spins {
+                if self.reclaim.epoch(t).load(Ordering::SeqCst) != e0 {
+                    ok = true;
+                    break;
+                }
+                core::hint::spin_loop();
+                if i % 64 == 0 {
+                    std::thread::yield_now();
+                }
+            }
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// The full retire protocol (see the module docs). `tid` is the calling
+/// thread's registered id; the caller must not be inside any other domain
+/// operation.
+pub(crate) fn try_reclaim<T: RcObject>(
+    domain: &WfrcDomain<T>,
+    tid: usize,
+    c: &OpCounters,
+) -> ReclaimOutcome {
+    let s = domain.shared();
+    let ctl = &s.reclaim;
+    if ctl.draining.load(Ordering::SeqCst) != 0 {
+        return ReclaimOutcome::Contended;
+    }
+    // Flush the caller's own magazine first: magazine-parked nodes are not
+    // occupancy-counted, so a candidate node cached here would hold the
+    // trigger below `len` forever. Other threads' magazines stay untouched
+    // (their caches drain at handle drop); their parked candidates merely
+    // delay the retire to a later quiescent attempt.
+    s.drain_magazine(tid, c);
+    // Opportunistically return reopen stragglers to the stripes (see
+    // `reopen_reclaim`): the chain must be empty before a new claim, or a
+    // previous segment's leftovers would be miscounted as this candidate's.
+    let leftovers = ctl.detach();
+    if !leftovers.is_null() {
+        // SAFETY: detached — privately ours.
+        let (tail, count) = unsafe { chain_tail(leftovers) };
+        let mut p = leftovers;
+        for _ in 0..count {
+            s.arena.occupancy_inc(p);
+            // SAFETY: private chain walk.
+            p = unsafe { (*p).mm_next().load() };
+        }
+        let retries = s.fl.push_chain(tid, leftovers, tail);
+        OpCounters::add(&c.free_push_retries, retries);
+    }
+    // Condition (c) first — it is the cheapest disqualifier.
+    if !s.ann.summary_empty() {
+        return ReclaimOutcome::NoCandidate;
+    }
+    // Conditions on the candidate: trailing, LIVE, occupancy full.
+    let Some(slot) = s.arena.try_begin_tail_retire() else {
+        return ReclaimOutcome::NoCandidate;
+    };
+    let len = s.arena.seg_len(slot).unwrap_or(0);
+    // Publish the claim identity *before* the fault site: a Die at
+    // SegmentRetire must leave an adoptable record.
+    ctl.draining_by.store(tid + 1, Ordering::SeqCst);
+    ctl.draining.store(slot + 1, Ordering::SeqCst);
+    OpCounters::bump(&c.reclaim_passes);
+    #[cfg(feature = "fault-injection")]
+    s.fault_hit(c, crate::fault::FaultSite::SegmentRetire, tid);
+    // Physically collect every node of the candidate.
+    let mut collected = 0;
+    for pass in 0..s.reclaim.policy().sweep_passes {
+        collected = s.sweep_pass(tid, c, slot);
+        if collected >= len {
+            break;
+        }
+        if pass > 0 {
+            std::thread::yield_now();
+        }
+    }
+    if collected < len {
+        s.reopen_reclaim(tid, c);
+        return ReclaimOutcome::Aborted;
+    }
+    // Grace period over all registered slots, then the summary re-check.
+    if !s.grace_period(|t| domain.slot_is_taken(t)) || !s.ann.summary_empty() {
+        s.reopen_reclaim(tid, c);
+        return ReclaimOutcome::Aborted;
+    }
+    // Detach and verify: exactly `len` nodes, every one at FREE_REF (a
+    // count still held anywhere would show here). After the grace period
+    // no thread can park further nodes for this segment, so the detached
+    // chain is the whole collection.
+    let chain = ctl.detach();
+    debug_assert!(!chain.is_null());
+    // SAFETY: detached — privately ours.
+    let (tail, count) = unsafe { chain_tail(chain) };
+    let mut all_free = true;
+    {
+        let mut p = chain;
+        for _ in 0..count {
+            // SAFETY: private chain walk; headers are readable (slab not
+            // yet freed).
+            unsafe {
+                if (*p).load_ref() != Node::<T>::FREE_REF || !s.arena.seg_contains(slot, p) {
+                    all_free = false;
+                }
+                p = (*p).mm_next().load();
+            }
+        }
+    }
+    if count != len || !all_free {
+        ctl.reattach(chain, tail, count);
+        s.reopen_reclaim(tid, c);
+        return ReclaimOutcome::Aborted;
+    }
+    // Unpublish + unmap. The only failure left is a concurrent grow having
+    // published a later slot (seg_count CAS) — reopen and let the grown
+    // arena live.
+    if !s.arena.finish_retire(slot) {
+        ctl.reattach(chain, tail, count);
+        s.reopen_reclaim(tid, c);
+        return ReclaimOutcome::Aborted;
+    }
+    ctl.draining_by.store(0, Ordering::SeqCst);
+    ctl.draining.store(0, Ordering::SeqCst);
+    OpCounters::bump(&c.segments_retired);
+    ReclaimOutcome::Retired { slot, nodes: len }
+}

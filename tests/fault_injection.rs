@@ -16,7 +16,7 @@ use wfrc::baselines::LfrcDomain;
 use wfrc::core::fault::silence_injected_deaths;
 use wfrc::core::{
     DomainConfig, FaultAction, FaultPlan, FaultSite, FireRule, Growth, InjectedDeath, Link,
-    ThreadHandle, WfrcDomain,
+    ReclaimOutcome, ReclaimPolicy, ThreadHandle, WfrcDomain,
 };
 
 const THREADS: usize = 3;
@@ -298,6 +298,162 @@ fn bounded_stalls_are_transparent() {
     assert!(domain.leak_check().is_clean());
 }
 
+/// A thread parked **inside** an operation pins the reclamation epoch at an
+/// odd value: a perfect candidate segment must keep aborting its retire
+/// (the grace period can never pass) until the thread is released — after
+/// which the very same candidate retires.
+#[test]
+fn parked_mid_op_thread_stalls_reclaim_until_released() {
+    silence_injected_deaths();
+    let mut domain = WfrcDomain::<u64>::new(
+        DomainConfig::new(3, 16)
+            .with_growth(Growth::doubling_to(4096))
+            // Short grace so the expected aborts are cheap.
+            .with_reclaim(ReclaimPolicy {
+                grace_spins: 200,
+                ..ReclaimPolicy::default()
+            }),
+    );
+    let plan = Arc::new(FaultPlan::new(0x0EC0));
+    domain.set_fault_plan(Arc::clone(&plan));
+    // Fires inside `ReleaseRef` — mid-operation, epoch odd, and (unlike a
+    // deref park) with no announcement published, so the summary pre-check
+    // cannot mask the epoch stall this test is about.
+    plan.arm_victim(
+        0,
+        FaultSite::ReleaseFaa,
+        FaultAction::Park,
+        FireRule::Nth(1),
+    );
+
+    let victim = domain.register().unwrap();
+    let reclaimer = domain.register().unwrap();
+    assert_eq!(victim.tid(), 0);
+
+    std::thread::scope(|s| {
+        let vt = s.spawn(move || {
+            // First release parks; the node came from the immortal segment
+            // 0, so the candidate tail's occupancy is unaffected.
+            let g = victim.alloc_with(|v| *v = 7).unwrap();
+            drop(g);
+        });
+        while plan.parked() == 0 {
+            std::thread::yield_now();
+        }
+        // Build a perfect candidate: grow the ladder, then free it all.
+        let pile: Vec<_> = (0..100)
+            .map(|_| reclaimer.alloc_with(|v| *v = 1).unwrap())
+            .collect();
+        let peak = domain.resident_segments();
+        assert!(peak >= 3, "never grew: {peak}");
+        drop(pile);
+        for _ in 0..3 {
+            assert_eq!(
+                reclaimer.reclaim(),
+                ReclaimOutcome::Aborted,
+                "a parked mid-op thread must fail the grace period"
+            );
+        }
+        assert_eq!(
+            domain.resident_segments(),
+            peak,
+            "retired despite the stall"
+        );
+        assert!(reclaimer.counters().snapshot().reclaim_aborts >= 3);
+        plan.release();
+        vt.join().expect("released victim exits cleanly");
+    });
+
+    // The stall is gone (the victim's handle dropped cleanly): the same
+    // candidate now retires all the way down.
+    let mut stalls = 0;
+    loop {
+        match reclaimer.reclaim() {
+            ReclaimOutcome::Retired { .. } => stalls = 0,
+            ReclaimOutcome::NoCandidate => break,
+            _ => {
+                stalls += 1;
+                assert!(stalls < 100, "reclaim still stalled after release");
+                std::thread::yield_now();
+            }
+        }
+    }
+    assert_eq!(domain.resident_segments(), 1);
+    drop(reclaimer);
+    let leaks = domain.leak_check();
+    assert!(leaks.is_clean(), "{leaks:?}");
+}
+
+/// A thread killed at `SegmentRetire` dies holding a half-claimed
+/// `DRAINING` segment. The claim words it published must make the retire
+/// adoptable: other reclaimers see `Contended` (never a half-retired
+/// segment), and `adopt_orphans` reopens the segment so a successor can
+/// complete the shrink — leak-free.
+#[test]
+fn die_at_segment_retire_is_adopted_and_retire_completes() {
+    silence_injected_deaths();
+    let mut domain =
+        WfrcDomain::<u64>::new(DomainConfig::new(3, 16).with_growth(Growth::doubling_to(4096)));
+    let plan = Arc::new(FaultPlan::new(0xDEAD5E6));
+    domain.set_fault_plan(Arc::clone(&plan));
+    plan.arm_victim(
+        0,
+        FaultSite::SegmentRetire,
+        FaultAction::Die,
+        FireRule::Nth(1),
+    );
+
+    let victim = domain.register().unwrap();
+    assert_eq!(victim.tid(), 0);
+    std::thread::scope(|s| {
+        let vt = s.spawn(move || {
+            let pile: Vec<_> = (0..100)
+                .map(|_| victim.alloc_with(|v| *v = 1).unwrap())
+                .collect();
+            drop(pile);
+            // Claims the tail segment, then dies mid-DRAINING.
+            let _ = victim.reclaim();
+        });
+        let err = vt.join().expect_err("victim must die at SegmentRetire");
+        let death = err
+            .downcast::<InjectedDeath>()
+            .expect("panic payload must be InjectedDeath");
+        assert_eq!(death.site, FaultSite::SegmentRetire);
+    });
+
+    // The corpse still owns the claim: a live reclaimer backs off rather
+    // than touching the DRAINING segment.
+    let h = domain.register().unwrap();
+    assert_eq!(h.reclaim(), ReclaimOutcome::Contended);
+    assert_eq!(domain.orphaned_threads(), 1);
+    let report = domain.adopt_orphans();
+    assert_eq!(report.orphans_adopted, 1);
+
+    // Adoption reopened the segment; the successor completes the shrink.
+    let mut retired = 0;
+    let mut stalls = 0;
+    loop {
+        match h.reclaim() {
+            ReclaimOutcome::Retired { .. } => {
+                retired += 1;
+                stalls = 0;
+            }
+            ReclaimOutcome::NoCandidate => break,
+            _ => {
+                stalls += 1;
+                assert!(stalls < 100, "reclaim stuck after adoption");
+                std::thread::yield_now();
+            }
+        }
+    }
+    assert!(retired >= 2, "adopted claim never completed: {retired}");
+    assert_eq!(domain.resident_segments(), 1);
+    assert_eq!(domain.capacity(), 16);
+    drop(h);
+    let leaks = domain.leak_check();
+    assert!(leaks.is_clean(), "{leaks:?}");
+}
+
 /// The LFRC baseline shares the orphan/adoption model: a thread killed
 /// mid-release leaves its slot orphaned, and `adopt_orphans` drains its
 /// magazine so `leak_check` stays clean.
@@ -368,6 +524,11 @@ fn soak_kill_adopt_cycles() {
                     }
                     if i % 5 == 4 {
                         held.pop();
+                    }
+                    if i % 2_000 == 1_999 {
+                        // Exercise SegmentRetire under Chance-armed death:
+                        // a kill mid-DRAINING must be adoptable below.
+                        let _ = victim.reclaim();
                     }
                 }
             });

@@ -12,7 +12,7 @@ use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 use wfrc::baselines::LfrcDomain;
-use wfrc::core::{DomainConfig, WfrcDomain};
+use wfrc::core::{DomainConfig, Growth, ReclaimOutcome, WfrcDomain};
 use wfrc::sim::SmallRng;
 use wfrc::structures::manager::RcMmDomain;
 use wfrc::structures::ordered_list::{ListCell, OrderedList};
@@ -192,6 +192,75 @@ fn list_matches_btreemap_model() {
         check_list(&WfrcDomain::new(DomainConfig::new(1, 256)), ops);
         check_list(&LfrcDomain::new(1, 256), ops);
     });
+}
+
+/// Random alloc/free/reclaim interleavings keep the elastic arena sound.
+///
+/// Three invariants ride every seeded case:
+/// * the quiescent audit is exact after **every** op, so occupancy drift
+///   (a node double-counted or lost across a retire/revive boundary) shows
+///   up as `corrupt_nodes`/`live_nodes` mismatches immediately;
+/// * a `DRAINING` segment never serves an allocation — enforced by the
+///   alloc paths' `debug_assert_not_draining` checks, which these debug
+///   builds execute on every returned node;
+/// * occupancy never *under*-counts: at the final quiescent point every
+///   grown segment is fully free, so the shrink to the capacity floor must
+///   always complete (a permanently blocked retire would mean the trigger
+///   stuck below `len`).
+#[test]
+fn reclaim_revive_interleavings_stay_sound() {
+    let mut rng = SmallRng::seed_from_u64(0xA11_0C06);
+    for case in 0..CASES {
+        // Odd cases add a magazine so interleavings cover the
+        // uncounted-cache interaction (reclaim drains its own magazine).
+        let mut cfg = DomainConfig::new(1, 8).with_growth(Growth::doubling_to(512));
+        if case % 2 == 1 {
+            cfg = cfg.with_magazine(4);
+        }
+        let d = WfrcDomain::<u64>::new(cfg);
+        let h = d.register().unwrap();
+        let mut held = Vec::new();
+        let len = rng.gen_range(400);
+        for step in 0..len {
+            match rng.gen_range(4) {
+                0 | 1 => {
+                    if let Ok(n) = h.alloc_with(|v| *v = 1) {
+                        held.push(n);
+                    }
+                }
+                2 => {
+                    held.pop();
+                }
+                _ => {
+                    // Mid-traffic reclaim: any outcome is legal; soundness
+                    // is what the audit below checks.
+                    let _ = h.reclaim();
+                }
+            }
+            let r = d.leak_check();
+            assert_eq!(r.live_nodes, held.len(), "case {case} step {step}: {r:?}");
+            assert_eq!(r.corrupt_nodes, 0, "case {case} step {step}: {r:?}");
+        }
+        // Quiescent point: everything freed, so every retire must succeed
+        // until only the immortal segment remains.
+        drop(held);
+        let mut stalls = 0;
+        loop {
+            match h.reclaim() {
+                ReclaimOutcome::Retired { .. } => stalls = 0,
+                ReclaimOutcome::NoCandidate => break,
+                outcome => {
+                    stalls += 1;
+                    assert!(stalls < 100, "case {case}: reclaim stuck on {outcome:?}");
+                }
+            }
+        }
+        assert_eq!(d.resident_segments(), 1, "case {case}");
+        assert_eq!(d.capacity(), 8, "case {case}");
+        drop(h);
+        let r = d.leak_check();
+        assert!(r.is_clean(), "case {case}: {r:?}");
+    }
 }
 
 /// Allocation/release in arbitrary interleavings conserves the pool.
