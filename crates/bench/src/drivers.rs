@@ -771,6 +771,232 @@ pub fn run_reclaim_oscillation_lfrc(
     )
 }
 
+/// Per-class telemetry from one mixed-size run (E11).
+#[derive(Debug, Clone)]
+pub struct ClassCurve {
+    /// Block size of the class in bytes.
+    pub size: usize,
+    /// Resident segments at the post-workload peak (segments do not shrink
+    /// while their blocks are merely free, so this is the run's peak).
+    pub peak_segments: usize,
+    /// Resident segments after the reclaim pass (== peak on control runs).
+    pub resident_after: usize,
+    /// Segments retired during the pass.
+    pub retired: u64,
+    /// Aborted or contended reclaim attempts during the pass.
+    pub aborted: u64,
+}
+
+/// The mixed-size worker loop shared by both schemes: each op allocates a
+/// buffer a few bytes under the rotating class's block size (so smallest-
+/// fit selection is exercised, not just exact fits), holds the last
+/// `window` tokens as a sliding window (forcing concurrent live blocks in
+/// every class, and growth when the classes start under-provisioned), and
+/// verifies the first payload byte on every free to catch cross-class
+/// block aliasing.
+macro_rules! mixed_size_worker {
+    ($h:expr, $t:expr, $ops:expr, $sizes:expr, $window:expr) => {{
+        let h = $h;
+        let max = *$sizes.iter().max().expect("at least one class");
+        let mut scratch = vec![0u8; max];
+        let mut held: std::collections::VecDeque<(wfrc_core::RawBytes, u8)> =
+            std::collections::VecDeque::with_capacity($window);
+        let mut done = 0u64;
+        for i in 0..$ops {
+            let ci = (i as usize + $t) % $sizes.len();
+            let len = $sizes[ci] - (i as usize % 8).min($sizes[ci] - 1);
+            let fill = (i as u8).wrapping_add($t as u8);
+            scratch[0] = fill;
+            let tok = h
+                .alloc_bytes(&scratch[..len])
+                .expect("class growth covers the window");
+            done += 1;
+            if held.len() == $window {
+                let (old, expect) = held.pop_front().expect("window is non-empty");
+                // SAFETY: the token is live and this thread owns it.
+                let got = unsafe { h.bytes(&old)[0] };
+                assert_eq!(got, expect, "mixed-size block corrupted");
+                // SAFETY: freed exactly once, token never used again.
+                unsafe { h.free_bytes(old) };
+            }
+            held.push_back((tok, fill));
+        }
+        for (tok, expect) in held {
+            // SAFETY: as above — live, owned, freed once.
+            let got = unsafe { h.bytes(&tok)[0] };
+            assert_eq!(got, expect, "mixed-size block corrupted");
+            unsafe { h.free_bytes(tok) };
+        }
+        (done, h.counters().snapshot())
+    }};
+}
+
+/// E11: mixed-size allocation across the domain's byte classes. Every
+/// worker cycles through all configured classes (offset by its thread id,
+/// so at any instant different threads hammer different classes and all
+/// classes are hit concurrently), holding a sliding window of `window`
+/// live tokens. With `reclaim` on, a reclaimer then drives
+/// [`wfrc_core::ThreadHandle::reclaim_class`] to quiescence per class and
+/// the per-class resident-segment counts are sampled.
+pub fn run_mixed_size(
+    domain: Arc<WfrcDomain<u64>>,
+    threads: usize,
+    ops: u64,
+    window: usize,
+    reclaim: bool,
+) -> (RunResult, Vec<ClassCurve>) {
+    let nclasses = domain.class_count();
+    assert!(
+        nclasses >= 2,
+        "mixed-size run needs at least two byte classes"
+    );
+    assert!(window >= 1, "window must hold at least one token");
+    let sizes: Vec<usize> = (0..nclasses).map(|i| domain.class_block_size(i)).collect();
+    let start = std::time::Instant::now();
+    let (parts, _) = run_fixed_ops(threads, |t| {
+        let domain = Arc::clone(&domain);
+        let sizes = sizes.clone();
+        move || {
+            let h = domain.register().expect("register");
+            mixed_size_worker!(&h, t, ops, sizes, window)
+        }
+    });
+    let (total_ops, mut counters) = merge_counters(parts);
+    let mut curve: Vec<ClassCurve> = sizes
+        .iter()
+        .enumerate()
+        .map(|(ci, &size)| {
+            let peak = domain.class_segments(ci);
+            ClassCurve {
+                size,
+                peak_segments: peak,
+                resident_after: peak,
+                retired: 0,
+                aborted: 0,
+            }
+        })
+        .collect();
+    if reclaim {
+        let h = domain.register().expect("register reclaimer");
+        for (ci, c) in curve.iter_mut().enumerate() {
+            let mut stalls = 0u32;
+            loop {
+                match h.reclaim_class(ci) {
+                    ReclaimOutcome::Retired { .. } => {
+                        c.retired += 1;
+                        stalls = 0;
+                    }
+                    ReclaimOutcome::NoCandidate => break,
+                    _ => {
+                        c.aborted += 1;
+                        stalls += 1;
+                        if stalls > 1_000 {
+                            break; // report the stall via `aborted` rather than hang
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            }
+            c.resident_after = domain.class_segments(ci);
+        }
+        counters = counters.merged(&h.counters().snapshot());
+    }
+    let wall = start.elapsed();
+    (
+        RunResult {
+            threads,
+            total_ops,
+            wall,
+            counters,
+        },
+        curve,
+    )
+}
+
+/// The LFRC counterpart of [`run_mixed_size`]: identical worker loop over
+/// the baseline's single-head byte classes, with reclamation as the
+/// stop-the-world [`LfrcDomain::reclaim_class_quiescent`] after the
+/// workers exit (`&mut self` is the quiescence proof — the baseline
+/// cannot shrink a class concurrently, which is the asymmetry on show).
+pub fn run_mixed_size_lfrc(
+    domain: &mut LfrcDomain<u64>,
+    threads: usize,
+    ops: u64,
+    window: usize,
+    reclaim: bool,
+) -> (RunResult, Vec<ClassCurve>) {
+    let nclasses = domain.class_count();
+    assert!(
+        nclasses >= 2,
+        "mixed-size run needs at least two byte classes"
+    );
+    assert!(window >= 1, "window must hold at least one token");
+    let sizes: Vec<usize> = (0..nclasses).map(|i| domain.class_block_size(i)).collect();
+    let start = std::time::Instant::now();
+    let barrier = std::sync::Barrier::new(threads);
+    let d = &*domain;
+    let parts: Vec<(u64, CounterSnapshot)> = std::thread::scope(|s| {
+        let barrier = &barrier;
+        let sizes = &sizes;
+        let joins: Vec<_> = (0..threads)
+            .map(|t| {
+                s.spawn(move || {
+                    let h = d.register().expect("register");
+                    barrier.wait();
+                    mixed_size_worker!(&h, t, ops, sizes, window)
+                })
+            })
+            .collect();
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    });
+    let (total_ops, counters) = merge_counters(parts);
+    let mut curve: Vec<ClassCurve> = sizes
+        .iter()
+        .enumerate()
+        .map(|(ci, &size)| {
+            let peak = domain.class_segments(ci);
+            ClassCurve {
+                size,
+                peak_segments: peak,
+                resident_after: peak,
+                retired: 0,
+                aborted: 0,
+            }
+        })
+        .collect();
+    if reclaim {
+        for (ci, c) in curve.iter_mut().enumerate() {
+            while domain.reclaim_class_quiescent(ci) {
+                c.retired += 1;
+            }
+            c.resident_after = domain.class_segments(ci);
+        }
+    }
+    let wall = start.elapsed();
+    (
+        RunResult {
+            threads,
+            total_ops,
+            wall,
+            counters,
+        },
+        curve,
+    )
+}
+
+/// Renders a per-class resident-segment curve compactly, one
+/// `size:peak→resident` entry per class.
+pub fn fmt_class_curve(curve: &[ClassCurve]) -> String {
+    if curve.is_empty() {
+        return "-".into();
+    }
+    curve
+        .iter()
+        .map(|c| format!("{}B:{}→{}", c.size, c.peak_segments, c.resident_after))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
 /// Renders a resident-segment curve compactly: `4→1 ×20` when every cycle
 /// repeats the same peak→resident pair, else the first few transitions
 /// verbatim.

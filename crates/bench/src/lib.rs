@@ -61,6 +61,10 @@ pub struct Args {
     /// (zero-announcer link flipping), or `both` (default). Other binaries
     /// ignore it.
     pub mode: String,
+    /// Byte-class block sizes for the mixed-size experiment (E11), e.g.
+    /// `--classes 64,256,1024`. Binaries that don't allocate raw bytes
+    /// ignore it; an empty vec means "use the binary's default ladder".
+    pub classes: Vec<usize>,
 }
 
 impl Args {
@@ -74,6 +78,7 @@ impl Args {
             magazine: false,
             reclaim: false,
             mode: "both".into(),
+            classes: Vec::new(),
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -104,10 +109,18 @@ impl Args {
                         out.mode
                     );
                 }
+                "--classes" => {
+                    let v = args.next().expect("--classes needs a value");
+                    out.classes = v
+                        .split(',')
+                        .map(|s| s.trim().parse().expect("bad class size"))
+                        .collect();
+                    assert!(!out.classes.is_empty(), "--classes needs at least one size");
+                }
                 other => {
                     panic!(
-                        "unknown argument: {other} \
-                         (expected --threads/--ops/--json/--grow/--magazine/--reclaim/--mode)"
+                        "unknown argument: {other} (expected --threads/--ops/--json\
+                         /--grow/--magazine/--reclaim/--mode/--classes)"
                     )
                 }
             }

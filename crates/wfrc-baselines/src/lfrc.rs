@@ -25,12 +25,13 @@ use core::marker::PhantomData;
 use core::ptr;
 use core::sync::atomic::Ordering;
 
-use wfrc_core::arena::{Arena, GrowOutcome};
+use wfrc_core::arena::{page_carved, Arena, GrowOutcome};
+use wfrc_core::class::RawBuf;
 use wfrc_core::counters::OpCounters;
 use wfrc_core::magazine::{clamped_cap, Magazines};
 use wfrc_core::oom::OutOfMemory;
 use wfrc_core::Growth;
-use wfrc_core::{Link, Node, RcObject};
+use wfrc_core::{ClassConfig, ClassLeak, Link, Node, RawBytes, RcObject};
 use wfrc_primitives::{AtomicWord, Backoff, WordPtr};
 
 #[cfg(not(feature = "no-pad"))]
@@ -78,6 +79,11 @@ pub struct LfrcDomain<T: RcObject> {
     /// [`wfrc_core::magazine`], so magazine-mode experiments compare the
     /// schemes apples-to-apples. Disabled (cap 0) by default.
     mag: Magazines<T>,
+    /// Byte classes mirroring [`wfrc_core::class`], each a page-carved
+    /// arena behind a **single** Treiber head (the scheme's signature
+    /// bottleneck, reproduced per class). Empty by default; see
+    /// [`LfrcDomain::set_classes`].
+    classes: Box<[Box<dyn LfrcClassOps>]>,
     /// Cumulative [`LfrcDomain::adopt_orphans`] telemetry.
     orphans_adopted: SlotWord,
     orphan_nodes_recovered: SlotWord,
@@ -142,6 +148,7 @@ impl<T: RcObject> LfrcDomain<T> {
             slots: (0..max_threads).map(|_| new_slot_word(SLOT_FREE)).collect(),
             backoff: true,
             mag: Magazines::new(max_threads, 0),
+            classes: Box::new([]),
             orphans_adopted: new_slot_word(0),
             orphan_nodes_recovered: new_slot_word(0),
             #[cfg(feature = "fault-injection")]
@@ -173,6 +180,63 @@ impl<T: RcObject> LfrcDomain<T> {
     /// Effective per-thread magazine capacity (0 = magazines disabled).
     pub fn magazine_cap(&self) -> usize {
         self.mag.cap()
+    }
+
+    /// Installs byte classes mirroring
+    /// [`wfrc_core::DomainConfig::with_classes`] (same sizes, same
+    /// page-carved capacities, same magazine clamping) — except that each
+    /// class free-list is a **single** Treiber head, the scheme's
+    /// signature bottleneck. Must be called before the domain is shared,
+    /// like [`LfrcDomain::set_backoff`].
+    pub fn set_classes(&mut self, classes: Vec<ClassConfig>) {
+        assert!(
+            classes.len() <= wfrc_core::MAX_CLASSES,
+            "at most {} byte classes per domain",
+            wfrc_core::MAX_CLASSES
+        );
+        let n = self.slots.len();
+        self.classes = classes.iter().map(|cfg| build_lfrc_class(cfg, n)).collect();
+    }
+
+    /// Number of configured byte classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Block size of class `class`.
+    ///
+    /// # Panics
+    /// If `class >= self.class_count()`.
+    pub fn class_block_size(&self, class: usize) -> usize {
+        self.classes[class].block_size()
+    }
+
+    /// Current block capacity of class `class`.
+    ///
+    /// # Panics
+    /// If `class >= self.class_count()`.
+    pub fn class_capacity(&self, class: usize) -> usize {
+        self.classes[class].capacity()
+    }
+
+    /// Number of live (non-retired) segments backing class `class`.
+    ///
+    /// # Panics
+    /// If `class >= self.class_count()`.
+    pub fn class_segments(&self, class: usize) -> usize {
+        self.classes[class].segment_count()
+    }
+
+    /// Retires the trailing segment of byte class `class` if every one of
+    /// its blocks is free — the class analogue of
+    /// [`LfrcDomain::reclaim_quiescent`], with the same stop-the-world
+    /// contract (`&mut self`). Returns `true` when a segment was retired.
+    ///
+    /// # Panics
+    /// If `class >= self.class_count()`.
+    pub fn reclaim_class_quiescent(&mut self, class: usize) -> bool {
+        let threads = self.slots.len();
+        self.classes[class].reclaim_quiescent(threads)
     }
 
     /// Registers the calling context.
@@ -254,6 +318,11 @@ impl<T: RcObject> LfrcDomain<T> {
                     unsafe { (*w[0]).mm_next().store(w[1]) };
                 }
                 self.push_chain_raw(batch[0], batch[batch.len() - 1]);
+            }
+            // Per-class magazines are the corpse's only class-side
+            // resource (LFRC classes have no gifts or announcements).
+            for class in self.classes.iter() {
+                report.class_nodes_recovered += class.adopt_slot(tid);
             }
             // Release reopens the slot, publishing the recovery to the
             // `register` that next claims this id.
@@ -429,6 +498,7 @@ impl<T: RcObject> LfrcDomain<T> {
                 report.corrupt_nodes += 1;
             }
         }
+        report.classes = self.classes.iter().map(|c| c.leak()).collect();
         report
     }
 }
@@ -924,6 +994,62 @@ impl<'d, T: RcObject> LfrcHandle<'d, T> {
         // SAFETY: forwarded contract.
         unsafe { (*node).payload_mut() }
     }
+
+    // ------------------------------------------------------------------
+    // Byte-class layer (mirrors `wfrc_core::ThreadHandle`'s)
+    // ------------------------------------------------------------------
+
+    /// Number of byte classes configured on this domain.
+    pub fn class_count(&self) -> usize {
+        self.domain.classes.len()
+    }
+
+    /// Allocates a block from the smallest class that fits `bytes` and
+    /// copies `bytes` in — the LFRC twin of
+    /// [`wfrc_core::ThreadHandle::alloc_bytes`] (lock-free: the class
+    /// head's Treiber CAS can retry unboundedly).
+    ///
+    /// # Panics
+    /// If no configured class has `block_size >= bytes.len()`.
+    pub fn alloc_bytes(&self, bytes: &[u8]) -> Result<RawBytes, OutOfMemory> {
+        let (idx, cls) = self
+            .domain
+            .classes
+            .iter()
+            .enumerate()
+            .filter(|(_, cls)| cls.block_size() >= bytes.len())
+            .min_by_key(|(_, cls)| cls.block_size())
+            .unwrap_or_else(|| panic!("no configured byte class fits {} bytes", bytes.len()));
+        let node = cls.alloc(self.tid, &self.counters, self.domain.backoff)?;
+        let data = cls.data_ptr(node);
+        // SAFETY: freshly popped block, exclusively ours; the class fits.
+        unsafe { core::ptr::copy_nonoverlapping(bytes.as_ptr(), data, bytes.len()) };
+        OpCounters::bump(&self.counters.class_allocs[idx]);
+        Ok(RawBytes::from_raw_parts(idx, bytes.len(), node))
+    }
+
+    /// The bytes stored behind `token`.
+    ///
+    /// # Safety
+    /// Same contract as [`wfrc_core::ThreadHandle::bytes`].
+    pub unsafe fn bytes(&self, token: &RawBytes) -> &[u8] {
+        let cls = &self.domain.classes[token.class_index()];
+        let data = cls.data_ptr(token.node_ptr());
+        // SAFETY: per contract the block is live and unaliased by writers.
+        unsafe { core::slice::from_raw_parts(data, token.len()) }
+    }
+
+    /// Returns `token`'s block to its class free-list.
+    ///
+    /// # Safety
+    /// Same contract as [`wfrc_core::ThreadHandle::free_bytes`].
+    pub unsafe fn free_bytes(&self, token: RawBytes) {
+        let idx = token.class_index();
+        let cls = &self.domain.classes[idx];
+        // SAFETY: forwarded contract.
+        unsafe { cls.free(self.tid, &self.counters, token.node_ptr()) };
+        OpCounters::bump(&self.counters.class_frees[idx]);
+    }
 }
 
 impl<'d, T: RcObject> LfrcHandle<'d, T> {
@@ -956,9 +1082,368 @@ impl<T: RcObject> Drop for LfrcHandle<'_, T> {
         if !batch.is_empty() {
             self.drain_batch(batch);
         }
+        // Same teardown per byte class.
+        for cls in self.domain.classes.iter() {
+            cls.drain_magazine(self.tid, &self.counters);
+        }
         // Release: pairs with the Acquire claim of the next `register`.
         let was = self.domain.slots[self.tid].swap_with(SLOT_FREE, Ordering::Release);
         debug_assert_eq!(was, SLOT_TAKEN);
+    }
+}
+
+/// Object-safe operations of one LFRC byte class — the baseline twin of
+/// the erased trait in `wfrc_core::class`, minus everything the scheme
+/// lacks (epochs, announcements, gifts, concurrent reclamation).
+trait LfrcClassOps: Send + Sync {
+    /// Block size in bytes.
+    fn block_size(&self) -> usize;
+    /// Current block capacity of the class arena.
+    fn capacity(&self) -> usize;
+    /// Number of live (non-retired) segments backing the class.
+    fn segment_count(&self) -> usize;
+    /// Allocates one block (stale contents); lock-free Treiber pop.
+    fn alloc(&self, tid: usize, c: &OpCounters, backoff: bool) -> Result<*mut u8, OutOfMemory>;
+    /// Address of the block's payload bytes.
+    fn data_ptr(&self, node: *mut u8) -> *mut u8;
+    /// Frees a block previously returned by `alloc`.
+    ///
+    /// # Safety
+    /// `node` must be an unfreed allocation of **this** class; `tid` must
+    /// be the caller's registered slot.
+    unsafe fn free(&self, tid: usize, c: &OpCounters, node: *mut u8);
+    /// Drains slot `tid`'s class magazine back to the single head.
+    fn drain_magazine(&self, tid: usize, c: &OpCounters);
+    /// Orphan recovery: returns the corpse's magazine blocks to the head.
+    fn adopt_slot(&self, tid: usize) -> usize;
+    /// Stop-the-world tail-segment retire (`&mut`: quiescence by borrow).
+    fn reclaim_quiescent(&mut self, threads: usize) -> bool;
+    /// Quiescent audit of the class.
+    fn leak(&self) -> ClassLeak;
+}
+
+/// One LFRC byte class: a page-carved arena of `RawBuf<N>` blocks behind a
+/// single Treiber head plus optional per-thread magazines — structurally
+/// the same pool as `wfrc_core::class`'s, allocated through the baseline's
+/// contended single-head protocol instead of the wait-free stripes.
+struct LfrcByteClass<const N: usize> {
+    arena: Arena<RawBuf<N>>,
+    head: HeadCell<RawBuf<N>>,
+    mag: Magazines<RawBuf<N>>,
+}
+
+impl<const N: usize> LfrcByteClass<N> {
+    fn new(cfg: &ClassConfig, n: usize) -> Self {
+        assert!(cfg.capacity > 0, "class capacity must be positive");
+        let capacity = page_carved::<RawBuf<N>>(cfg.capacity);
+        let growth = match cfg.growth {
+            Growth::Disabled => Growth::Disabled,
+            Growth::Enabled {
+                factor,
+                max_capacity,
+            } => Growth::Enabled {
+                factor,
+                max_capacity: page_carved::<RawBuf<N>>(max_capacity.max(capacity)),
+            },
+        };
+        let arena = Arena::with_growth_carved(capacity, growth, |_| RawBuf::default());
+        for i in 0..capacity {
+            let next = if i + 1 < capacity {
+                arena.node_ptr(i + 1)
+            } else {
+                ptr::null_mut()
+            };
+            arena.node(i).mm_next().store(next);
+        }
+        let head = new_head::<RawBuf<N>>();
+        h_store(&head, arena.node_ptr(0));
+        Self {
+            arena,
+            head,
+            mag: Magazines::new(n, clamped_cap(cfg.magazine, capacity, n)),
+        }
+    }
+
+    /// Treiber push of an exclusively-owned, pre-linked chain.
+    fn push_chain(&self, first: *mut Node<RawBuf<N>>, last: *mut Node<RawBuf<N>>) {
+        let mut backoff = Backoff::new();
+        loop {
+            // Relaxed head load / Release publish: same Treiber orderings
+            // as the node pool's `push_chain_raw`.
+            let head = self.head.load_with(Ordering::Relaxed);
+            // SAFETY: `last` is exclusively ours until the CAS publishes it.
+            unsafe { (*last).mm_next().store(head) };
+            if self
+                .head
+                .cas_with(head, first, Ordering::Release, Ordering::Relaxed)
+            {
+                return;
+            }
+            backoff.snooze();
+        }
+    }
+
+    /// One growth step on the class arena (same contract as the node
+    /// pool's `try_grow`).
+    fn try_grow(&self, c: &OpCounters) -> bool {
+        match self.arena.try_grow() {
+            GrowOutcome::Grew { nodes, revived } => {
+                OpCounters::bump(&c.segments_grown);
+                if revived {
+                    OpCounters::bump(&c.segments_revived);
+                }
+                OpCounters::add(&c.nodes_seeded, nodes.len() as u64);
+                let first = &nodes[0] as *const Node<RawBuf<N>> as *mut Node<RawBuf<N>>;
+                for w in nodes.windows(2) {
+                    w[0].mm_next()
+                        .store(&w[1] as *const Node<RawBuf<N>> as *mut Node<RawBuf<N>>);
+                }
+                let last =
+                    &nodes[nodes.len() - 1] as *const Node<RawBuf<N>> as *mut Node<RawBuf<N>>;
+                self.push_chain(first, last);
+                true
+            }
+            GrowOutcome::Lost => true,
+            GrowOutcome::AtCapacity => false,
+        }
+    }
+}
+
+impl<const N: usize> LfrcClassOps for LfrcByteClass<N> {
+    fn block_size(&self) -> usize {
+        N
+    }
+
+    fn capacity(&self) -> usize {
+        self.arena.capacity()
+    }
+
+    fn segment_count(&self) -> usize {
+        self.arena.segment_count()
+    }
+
+    fn alloc(&self, tid: usize, c: &OpCounters, backoff_on: bool) -> Result<*mut u8, OutOfMemory> {
+        if self.mag.is_enabled() {
+            // SAFETY: `tid` is the caller's exclusively-owned slot.
+            if let Some(node) = unsafe { self.mag.pop(tid) } {
+                OpCounters::bump(&c.magazine_hits);
+                // SAFETY: arena node; parked blocks hold mm_ref == 1.
+                unsafe { (*node).faa_ref(1) };
+                return Ok(node as *mut u8);
+            }
+        }
+        let mut backoff = Backoff::new();
+        loop {
+            // Acquire: pairs with the Release push that published `node`.
+            let node = self.head.load_with(Ordering::Acquire);
+            if node.is_null() {
+                OpCounters::bump(&c.alloc_slow_path);
+                if self.try_grow(c) {
+                    continue;
+                }
+                return Err(OutOfMemory);
+            }
+            // SAFETY: arena node; headers are type-stable.
+            let nref = unsafe { &*node };
+            nref.faa_ref(2); // pin against reinsertion
+            let next = nref.mm_next().load();
+            if self
+                .head
+                .cas_with(node, next, Ordering::AcqRel, Ordering::Relaxed)
+            {
+                nref.faa_ref(-1); // claimed free block (3) -> one live ref (2)
+                return Ok(node as *mut u8);
+            }
+            OpCounters::bump(&c.alloc_cas_failures);
+            // Undo the pin; if that claims the block, hand it back.
+            nref.faa_ref(-2);
+            if nref.try_claim() {
+                self.push_chain(node, node);
+            }
+            if backoff_on {
+                backoff.snooze();
+            }
+        }
+    }
+
+    fn data_ptr(&self, node: *mut u8) -> *mut u8 {
+        let node = node as *mut Node<RawBuf<N>>;
+        // SAFETY: per the alloc/free contracts `node` is a block of this
+        // class; `payload_ptr` forms no payload reference (RawBuf is
+        // repr(transparent), so the payload address is the data address).
+        unsafe { (*node).payload_ptr() as *mut u8 }
+    }
+
+    unsafe fn free(&self, tid: usize, c: &OpCounters, node: *mut u8) {
+        OpCounters::bump(&c.releases);
+        let node = node as *mut Node<RawBuf<N>>;
+        // SAFETY: arena node, caller owns one reference.
+        let n = unsafe { &*node };
+        n.faa_ref(-2);
+        if n.try_claim() {
+            OpCounters::bump(&c.reclaims);
+            OpCounters::bump(&c.free_calls);
+            if self.mag.is_enabled() {
+                // SAFETY: `tid` exclusivity (caller contract).
+                if unsafe { self.mag.try_push(tid, node) } {
+                    return;
+                }
+                let half = (self.mag.cap() / 2).max(1);
+                // SAFETY: same exclusivity.
+                let batch = unsafe { self.mag.take(tid, half) };
+                if !batch.is_empty() {
+                    OpCounters::bump(&c.magazine_drains);
+                    for w in batch.windows(2) {
+                        // SAFETY: claimed blocks owned by this drain.
+                        unsafe { (*w[0]).mm_next().store(w[1]) };
+                    }
+                    self.push_chain(batch[0], batch[batch.len() - 1]);
+                }
+                // SAFETY: same exclusivity; we just made room.
+                if unsafe { self.mag.try_push(tid, node) } {
+                    return;
+                }
+            }
+            self.push_chain(node, node);
+        }
+    }
+
+    fn drain_magazine(&self, tid: usize, c: &OpCounters) {
+        // SAFETY: `tid` exclusivity (caller contract).
+        let batch = unsafe { self.mag.take(tid, usize::MAX) };
+        if !batch.is_empty() {
+            OpCounters::bump(&c.magazine_drains);
+            for w in batch.windows(2) {
+                // SAFETY: claimed blocks owned by this drain.
+                unsafe { (*w[0]).mm_next().store(w[1]) };
+            }
+            self.push_chain(batch[0], batch[batch.len() - 1]);
+        }
+    }
+
+    fn adopt_slot(&self, tid: usize) -> usize {
+        // SAFETY: the adopter CAS-claimed the corpse's slot exclusively.
+        let batch = unsafe { self.mag.take(tid, usize::MAX) };
+        let recovered = batch.len();
+        if !batch.is_empty() {
+            for w in batch.windows(2) {
+                // SAFETY: claimed blocks owned by this drain.
+                unsafe { (*w[0]).mm_next().store(w[1]) };
+            }
+            self.push_chain(batch[0], batch[batch.len() - 1]);
+        }
+        recovered
+    }
+
+    fn reclaim_quiescent(&mut self, threads: usize) -> bool {
+        // The same private sweep as `LfrcDomain::reclaim_quiescent`,
+        // applied to the class arena/head/magazines.
+        let s = self.arena.segment_count();
+        if s < 2 {
+            return false;
+        }
+        let tail = s - 1;
+        if let (Some(start), Some(len), Some(have)) = (
+            self.arena.seg_start(tail),
+            self.arena.seg_len(tail),
+            self.arena.seg_free_count(tail),
+        ) {
+            if have < len {
+                self.arena
+                    .note_seeded(self.arena.node_ptr(start), len - have);
+            }
+        }
+        let Some(slot) = self.arena.try_begin_tail_retire() else {
+            return false;
+        };
+        let len = self.arena.seg_len(slot).unwrap_or(0);
+        for tid in 0..threads {
+            // SAFETY: exclusive access to the whole class (`&mut self`).
+            let batch = unsafe { self.mag.take(tid, usize::MAX) };
+            if !batch.is_empty() {
+                for w in batch.windows(2) {
+                    // SAFETY: privately owned chain.
+                    unsafe { (*w[0]).mm_next().store(w[1]) };
+                }
+                self.push_chain(batch[0], batch[batch.len() - 1]);
+            }
+        }
+        let mut p = self.head.swap_with(ptr::null_mut(), Ordering::Acquire);
+        let mut candidates: Vec<*mut Node<RawBuf<N>>> = Vec::with_capacity(len);
+        let mut keep: Vec<*mut Node<RawBuf<N>>> = Vec::new();
+        while !p.is_null() {
+            // SAFETY: detached chain is privately owned.
+            let next = unsafe { (*p).mm_next().load() };
+            if self.arena.seg_contains(slot, p) {
+                candidates.push(p);
+            } else {
+                keep.push(p);
+            }
+            p = next;
+        }
+        let complete = candidates.len() == len
+            // SAFETY: candidate blocks are privately held; headers stable.
+            && candidates.iter().all(|&n| unsafe { (*n).load_ref() } == 1)
+            && self.arena.finish_retire(slot);
+        if !complete {
+            keep.append(&mut candidates);
+            self.arena.abort_retire(slot);
+        }
+        if !keep.is_empty() {
+            for w in keep.windows(2) {
+                // SAFETY: privately owned chain.
+                unsafe { (*w[0]).mm_next().store(w[1]) };
+            }
+            self.push_chain(keep[0], keep[keep.len() - 1]);
+        }
+        complete
+    }
+
+    fn leak(&self) -> ClassLeak {
+        let parked = self.mag.parked();
+        let mut report = ClassLeak {
+            size: N,
+            capacity: self.arena.capacity(),
+            segments: self.arena.segment_count(),
+            segments_retired: self.arena.segments_retired(),
+            ..ClassLeak::default()
+        };
+        for node in self.arena.iter() {
+            let r = node.load_ref();
+            let ptr = node as *const _ as usize;
+            if parked.contains(&ptr) {
+                if r == 1 {
+                    report.magazine_nodes += 1;
+                } else {
+                    report.corrupt_nodes += 1;
+                }
+            } else if r == 1 {
+                report.free_nodes += 1;
+            } else if r % 2 == 0 && r >= 2 {
+                report.live_nodes += 1;
+            } else {
+                report.corrupt_nodes += 1;
+            }
+        }
+        report
+    }
+}
+
+/// Monomorphization dispatch, mirroring `wfrc_core::class`'s: size →
+/// `LfrcByteClass<N>` behind the object-safe trait.
+fn build_lfrc_class(cfg: &ClassConfig, n: usize) -> Box<dyn LfrcClassOps> {
+    match cfg.size {
+        64 => Box::new(LfrcByteClass::<64>::new(cfg, n)),
+        128 => Box::new(LfrcByteClass::<128>::new(cfg, n)),
+        256 => Box::new(LfrcByteClass::<256>::new(cfg, n)),
+        512 => Box::new(LfrcByteClass::<512>::new(cfg, n)),
+        1024 => Box::new(LfrcByteClass::<1024>::new(cfg, n)),
+        2048 => Box::new(LfrcByteClass::<2048>::new(cfg, n)),
+        4096 => Box::new(LfrcByteClass::<4096>::new(cfg, n)),
+        other => panic!(
+            "unsupported class size {other} (supported: {:?})",
+            wfrc_core::CLASS_SIZES
+        ),
     }
 }
 
@@ -1138,6 +1623,79 @@ mod tests {
         while d.reclaim_quiescent() {}
         assert_eq!(d.segment_count(), 1);
         assert!(d.leak_check().is_clean());
+    }
+
+    #[test]
+    fn byte_class_roundtrip_and_audit() {
+        let mut d = LfrcDomain::<u64>::new(1, 4);
+        d.set_classes(vec![ClassConfig::new(64, 8), ClassConfig::new(256, 8)]);
+        assert_eq!(d.class_count(), 2);
+        assert_eq!(d.class_block_size(1), 256);
+        let h = d.register().unwrap();
+        let small = h.alloc_bytes(b"tiny").unwrap();
+        assert_eq!(small.class_index(), 0);
+        let big = h.alloc_bytes(&[9u8; 200]).unwrap();
+        assert_eq!(big.class_index(), 1);
+        let mid = d.leak_check();
+        assert_eq!(mid.classes.len(), 2);
+        assert_eq!(mid.classes[0].live_nodes, 1);
+        assert_eq!(mid.classes[1].live_nodes, 1);
+        assert!(!mid.is_clean());
+        // SAFETY: live tokens, no concurrent writers.
+        unsafe {
+            assert_eq!(h.bytes(&small), b"tiny");
+            assert_eq!(h.bytes(&big), &[9u8; 200][..]);
+            h.free_bytes(small);
+            h.free_bytes(big);
+        }
+        let snap = h.counters().snapshot();
+        assert_eq!(snap.class_allocs[0], 1);
+        assert_eq!(snap.class_frees[1], 1);
+        drop(h);
+        assert!(d.leak_check().is_clean(), "{}", d.leak_check());
+    }
+
+    #[test]
+    fn byte_class_grows_and_reclaims_quiescently() {
+        let mut d = LfrcDomain::<u64>::new(2, 4);
+        d.set_classes(vec![ClassConfig::new(64, 8).with_growth(Growth::Enabled {
+            factor: 2,
+            max_capacity: 1024,
+        })]);
+        let base = d.class_capacity(0);
+        {
+            let h = d.register().unwrap();
+            let tokens: Vec<_> = (0..base + 10)
+                .map(|_| h.alloc_bytes(&[1u8; 64]).unwrap())
+                .collect();
+            assert!(d.class_capacity(0) > base, "class arena did not grow");
+            // SAFETY: our own live tokens.
+            unsafe {
+                for t in tokens {
+                    h.free_bytes(t);
+                }
+            }
+        }
+        while d.reclaim_class_quiescent(0) {}
+        assert_eq!(d.class_capacity(0), base, "class capacity did not shrink");
+        assert!(d.leak_check().is_clean());
+    }
+
+    #[test]
+    fn class_magazines_survive_orphan_adoption() {
+        let mut d = LfrcDomain::<u64>::new(1, 4);
+        d.set_classes(vec![ClassConfig::new(128, 8).with_magazine(4)]);
+        let h = d.register().unwrap();
+        let t = h.alloc_bytes(&[2u8; 100]).unwrap();
+        // SAFETY: our own live token; parks in the class magazine.
+        unsafe { h.free_bytes(t) };
+        h.abandon();
+        let report = d.adopt_orphans();
+        assert_eq!(report.orphans_adopted, 1);
+        assert_eq!(report.class_nodes_recovered, 1);
+        let audit = d.leak_check();
+        assert!(audit.is_clean(), "{audit}");
+        assert_eq!(audit.classes[0].magazine_nodes, 0);
     }
 
     #[test]

@@ -76,6 +76,22 @@ use crate::node::Node;
 /// wait-free) rather than to constrain capacity.
 pub const MAX_SEGMENTS: usize = 64;
 
+/// Page size (bytes) for page-granular slab carving of byte-class arenas
+/// (see [`crate::class`]). A carved arena rounds every slab to a whole
+/// number of pages' worth of nodes, so a segment is always claimed by
+/// exactly one size class and the carve geometry stays deterministic
+/// across retire/revive cycles.
+pub const CARVE_PAGE: usize = 4096;
+
+/// Rounds `count` nodes up so a slab of `Node<T>`s fills whole
+/// [`CARVE_PAGE`] pages. Nodes larger than a page carve at node
+/// granularity (one node already spans one or more pages), so the count
+/// comes back unchanged.
+pub fn page_carved<T>(count: usize) -> usize {
+    let per_page = (CARVE_PAGE / core::mem::size_of::<Node<T>>()).max(1);
+    count.div_ceil(per_page).max(1) * per_page
+}
+
 /// Segment state: published and serving allocations.
 pub const SEG_LIVE: usize = 0;
 /// Segment state: a reclaimer holds the retire claim and is collecting the
@@ -225,6 +241,9 @@ pub struct Arena<T> {
     /// Cumulative RETIRED slots revived (telemetry).
     revived_total: AtomicUsize,
     growth: Growth,
+    /// When set, grown slabs are rounded up to whole [`CARVE_PAGE`] pages
+    /// (byte-class arenas; the node arena keeps exact sizing).
+    page_carve: bool,
     /// Payload initializer for segment construction (growth can run on any
     /// thread, hence the `Send + Sync` bounds).
     init: Box<dyn Fn(usize) -> T + Send + Sync>,
@@ -252,6 +271,29 @@ impl<T> Arena<T> {
         growth: Growth,
         init: impl Fn(usize) -> T + Send + Sync + 'static,
     ) -> Self {
+        Self::build(initial_capacity, growth, false, init)
+    }
+
+    /// Like [`Arena::with_growth`], but every grown slab is carved at
+    /// [`CARVE_PAGE`] granularity (rounded up to whole pages, still
+    /// clamped to the policy ceiling). The caller is responsible for
+    /// page-rounding `initial_capacity` and the policy's `max_capacity`
+    /// with [`page_carved`] so the geometry stays page-exact throughout;
+    /// the byte classes in [`crate::class`] do exactly that.
+    pub fn with_growth_carved(
+        initial_capacity: usize,
+        growth: Growth,
+        init: impl Fn(usize) -> T + Send + Sync + 'static,
+    ) -> Self {
+        Self::build(initial_capacity, growth, true, init)
+    }
+
+    fn build(
+        initial_capacity: usize,
+        growth: Growth,
+        page_carve: bool,
+        init: impl Fn(usize) -> T + Send + Sync + 'static,
+    ) -> Self {
         assert!(initial_capacity > 0, "arena capacity must be positive");
         if let Growth::Enabled {
             factor,
@@ -276,6 +318,7 @@ impl<T> Arena<T> {
             retired_total: AtomicUsize::new(0),
             revived_total: AtomicUsize::new(0),
             growth,
+            page_carve,
             init: Box::new(init),
         }
     }
@@ -384,7 +427,7 @@ impl<T> Arena<T> {
     }
 
     /// Iterates over all resident nodes (diagnostics: leak checks, audits;
-    /// quiescent use only — see [`Segment::nodes`]). RETIRED slabs are
+    /// quiescent use only — see `Segment::nodes`). RETIRED slabs are
     /// skipped, so their nodes never show up as leaks.
     pub fn iter(&self) -> impl Iterator<Item = &Node<T>> {
         self.published().flat_map(|seg| {
@@ -580,9 +623,14 @@ impl<T> Arena<T> {
             // Revive it with a fresh slab instead of appending a new slot.
             return self.revive(s, seg);
         }
-        let len = total
+        let mut len = total
             .saturating_mul(factor - 1)
             .clamp(1, max_capacity - total);
+        if self.page_carve {
+            // Whole pages per step; the ceiling still wins (a final
+            // partial-page step beats refusing to reach max_capacity).
+            len = page_carved::<T>(len).min(max_capacity - total);
+        }
         let nodes: Box<[Node<T>]> = (0..len)
             .map(|k| Node::new((self.init)(total + k)))
             .collect();

@@ -99,6 +99,12 @@ pub struct OpCounters {
     /// Always 0 unless the `fault-injection` feature is active and a
     /// `FaultPlan` is installed.
     pub faults_injected: Cell<u64>,
+    /// Byte-class block allocations, indexed by class position in the
+    /// domain's configured class list (see [`crate::class`]). Classes
+    /// beyond the configured count stay 0.
+    pub class_allocs: [Cell<u64>; crate::class::MAX_CLASSES],
+    /// Byte-class block frees, same indexing as `class_allocs`.
+    pub class_frees: [Cell<u64>; crate::class::MAX_CLASSES],
 }
 
 impl OpCounters {
@@ -169,6 +175,8 @@ impl OpCounters {
             segments_retired: self.segments_retired.get(),
             segments_revived: self.segments_revived.get(),
             faults_injected: self.faults_injected.get(),
+            class_allocs: core::array::from_fn(|i| self.class_allocs[i].get()),
+            class_frees: core::array::from_fn(|i| self.class_frees[i].get()),
         }
     }
 
@@ -209,6 +217,12 @@ impl OpCounters {
         self.segments_retired.set(0);
         self.segments_revived.set(0);
         self.faults_injected.set(0);
+        for c in &self.class_allocs {
+            c.set(0);
+        }
+        for c in &self.class_frees {
+            c.set(0);
+        }
     }
 }
 
@@ -251,6 +265,8 @@ pub struct CounterSnapshot {
     pub segments_retired: u64,
     pub segments_revived: u64,
     pub faults_injected: u64,
+    pub class_allocs: [u64; crate::class::MAX_CLASSES],
+    pub class_frees: [u64; crate::class::MAX_CLASSES],
 }
 
 impl CounterSnapshot {
@@ -291,6 +307,10 @@ impl CounterSnapshot {
         self.segments_retired += other.segments_retired;
         self.segments_revived += other.segments_revived;
         self.faults_injected += other.faults_injected;
+        for i in 0..crate::class::MAX_CLASSES {
+            self.class_allocs[i] += other.class_allocs[i];
+            self.class_frees[i] += other.class_frees[i];
+        }
         self
     }
 }

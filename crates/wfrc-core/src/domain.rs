@@ -15,6 +15,7 @@ use wfrc_primitives::AtomicWord;
 
 use crate::announce::Announce;
 use crate::arena::{Arena, Growth};
+use crate::class::{build_class, ByteClassOps, ClassConfig, ClassLeak, MAX_CLASSES};
 use crate::counters::OpCounters;
 use crate::freelist::FreeLists;
 use crate::handle::ThreadHandle;
@@ -82,7 +83,7 @@ impl<T> Shared<T> {
 }
 
 /// Configuration for a [`WfrcDomain`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct DomainConfig {
     /// `NR_THREADS`: maximum simultaneously registered threads.
     pub max_threads: usize,
@@ -103,6 +104,10 @@ pub struct DomainConfig {
     /// itself is always available via `ThreadHandle::reclaim`; this only
     /// adjusts its grace/sweep budgets.
     pub reclaim: ReclaimPolicy,
+    /// Byte classes of the domain (see [`crate::class`]); empty (the
+    /// default) builds the classic single-shape domain with zero overhead
+    /// on the node paths. At most [`MAX_CLASSES`] entries.
+    pub classes: Vec<ClassConfig>,
 }
 
 impl DomainConfig {
@@ -119,6 +124,7 @@ impl DomainConfig {
             oom_bound: None,
             magazine: 0,
             reclaim: ReclaimPolicy::default(),
+            classes: Vec::new(),
         }
     }
 
@@ -152,6 +158,19 @@ impl DomainConfig {
         self.reclaim = policy;
         self
     }
+
+    /// Replaces the byte-class list (see [`crate::class::ClassConfig`]
+    /// and [`crate::class::geometric_ladder`]).
+    pub fn with_classes(mut self, classes: Vec<ClassConfig>) -> Self {
+        self.classes = classes;
+        self
+    }
+
+    /// Appends one byte class.
+    pub fn with_class(mut self, class: ClassConfig) -> Self {
+        self.classes.push(class);
+        self
+    }
 }
 
 /// Registration-slot / telemetry word, padded to a cache line so that
@@ -180,6 +199,10 @@ fn new_slot_word(v: usize) -> SlotWord {
 /// [`ThreadHandle`] for the per-thread operations.
 pub struct WfrcDomain<T: RcObject> {
     shared: Shared<T>,
+    /// Byte classes (see [`crate::class`]): independent `Shared` pipelines
+    /// over untyped blocks, in configuration order. Empty for the classic
+    /// single-shape domain.
+    classes: Box<[Box<dyn ByteClassOps>]>,
     /// Registration state, one word per thread id: [`SLOT_FREE`],
     /// [`SLOT_TAKEN`], or [`SLOT_ORPHANED`].
     slots: Box<[SlotWord]>,
@@ -221,8 +244,10 @@ impl<T: RcObject> WfrcDomain<T> {
     /// Creates a domain initializing payload `i` with `init(i)`.
     ///
     /// # Panics
-    /// Panics if `max_threads` is 0 or exceeds [`MAX_THREADS`], or if
-    /// `capacity` is 0.
+    /// Panics if `max_threads` is 0 or exceeds [`MAX_THREADS`], if
+    /// `capacity` is 0, or if `classes` is invalid (more than
+    /// [`MAX_CLASSES`] entries, a size outside
+    /// [`crate::class::CLASS_SIZES`], or a zero capacity).
     pub fn with_init(
         config: DomainConfig,
         init: impl Fn(usize) -> T + Send + Sync + 'static,
@@ -232,6 +257,16 @@ impl<T: RcObject> WfrcDomain<T> {
             (1..=MAX_THREADS).contains(&n),
             "max_threads must be in 1..={MAX_THREADS}, got {n}"
         );
+        assert!(
+            config.classes.len() <= MAX_CLASSES,
+            "at most {MAX_CLASSES} byte classes, got {}",
+            config.classes.len()
+        );
+        let classes: Box<[Box<dyn ByteClassOps>]> = config
+            .classes
+            .iter()
+            .map(|cfg| build_class(cfg, n))
+            .collect();
         let arena = Arena::with_growth(config.capacity, config.growth, init);
         let fl = FreeLists::new(n);
         fl.seed(&arena);
@@ -248,6 +283,7 @@ impl<T: RcObject> WfrcDomain<T> {
         };
         Self {
             shared,
+            classes,
             slots: (0..n).map(|_| new_slot_word(SLOT_FREE)).collect(),
             orphans_adopted: new_slot_word(0),
             orphan_nodes_recovered: new_slot_word(0),
@@ -256,8 +292,13 @@ impl<T: RcObject> WfrcDomain<T> {
 
     /// Installs a fault schedule (see [`crate::fault`]). Must happen before
     /// the domain is shared (`&mut self`), like the baseline's builders.
+    /// The plan is shared with every byte class, so class-pipeline sites
+    /// (`GrowSeed`, `MagazineRefill`, …) fire there too.
     #[cfg(feature = "fault-injection")]
     pub fn set_fault_plan(&mut self, plan: std::sync::Arc<crate::fault::FaultPlan>) {
+        for class in self.classes.iter_mut() {
+            class.set_fault_plan(std::sync::Arc::clone(&plan));
+        }
         self.shared.faults = Some(plan);
     }
 
@@ -277,8 +318,12 @@ impl<T: RcObject> WfrcDomain<T> {
                 && slot.cas_with(SLOT_FREE, SLOT_TAKEN, Ordering::Acquire, Ordering::Relaxed)
             {
                 // A fresh owner starts quiescent: reset the slot's operation
-                // epoch so a reclaimer never waits on a dead owner's parity.
+                // epoch (node pool and every class) so a reclaimer never
+                // waits on a dead owner's parity.
                 self.shared.reclaim.epoch(tid).store(0, Ordering::SeqCst);
+                for class in self.classes.iter() {
+                    class.reset_epoch(tid);
+                }
                 return Ok(ThreadHandle::new(self, tid, OpCounters::new()));
             }
         }
@@ -305,6 +350,48 @@ impl<T: RcObject> WfrcDomain<T> {
 
     pub(crate) fn shared(&self) -> &Shared<T> {
         &self.shared
+    }
+
+    pub(crate) fn classes(&self) -> &[Box<dyn ByteClassOps>] {
+        &self.classes
+    }
+
+    /// Number of configured byte classes (0 for a classic domain).
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Block size in bytes of class `class`.
+    ///
+    /// # Panics
+    /// Panics if `class >= class_count()`.
+    pub fn class_block_size(&self, class: usize) -> usize {
+        self.classes[class].block_size()
+    }
+
+    /// Current block capacity of class `class` (page-rounded; grows with
+    /// the class arena).
+    ///
+    /// # Panics
+    /// Panics if `class >= class_count()`.
+    pub fn class_capacity(&self, class: usize) -> usize {
+        self.classes[class].capacity()
+    }
+
+    /// Resident segments of class `class`.
+    ///
+    /// # Panics
+    /// Panics if `class >= class_count()`.
+    pub fn class_segments(&self, class: usize) -> usize {
+        self.classes[class].segment_count()
+    }
+
+    /// Cumulative segments retired by class `class`.
+    ///
+    /// # Panics
+    /// Panics if `class >= class_count()`.
+    pub fn class_segments_retired(&self, class: usize) -> usize {
+        self.classes[class].segments_retired()
     }
 
     /// True when slot `tid` is currently owned by a live registration.
@@ -491,6 +578,11 @@ impl<T: RcObject> WfrcDomain<T> {
             // SAFETY: slot ownership claimed above.
             report.magazine_nodes_recovered += unsafe { s.mag.len(tid) };
             s.drain_magazine(tid, &c);
+            // (d) The same recovery per byte class: reopen a class retire
+            // the corpse held, collect its gift, drain its class magazine.
+            for class in self.classes.iter() {
+                report.class_nodes_recovered += class.adopt_slot(tid, &c);
+            }
             // Release reopens the slot, publishing the recovery to the
             // `register` that next claims this id.
             self.slots[tid].store_with(SLOT_FREE, Ordering::Release);
@@ -559,6 +651,7 @@ impl<T: RcObject> WfrcDomain<T> {
                 report.corrupt_nodes += 1;
             }
         }
+        report.classes = self.classes.iter().map(|c| c.leak()).collect();
         report
     }
 }
@@ -590,17 +683,23 @@ pub struct AdoptReport {
     pub gifts_recovered: usize,
     /// Nodes drained from orphans' magazines back to the shared stripes.
     pub magazine_nodes_recovered: usize,
+    /// Byte-class blocks recovered from orphans (gift cells + class
+    /// magazines, summed over every class).
+    pub class_nodes_recovered: usize,
 }
 
 impl AdoptReport {
     /// Total nodes this pass returned to circulation.
     pub fn nodes_recovered(&self) -> usize {
-        self.announce_refs_released + self.gifts_recovered + self.magazine_nodes_recovered
+        self.announce_refs_released
+            + self.gifts_recovered
+            + self.magazine_nodes_recovered
+            + self.class_nodes_recovered
     }
 }
 
 /// Result of [`WfrcDomain::leak_check`].
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct LeakReport {
     /// Total nodes in the arena (across all *resident* segments — a
     /// RETIRED slab's node addresses no longer exist and are not audited,
@@ -625,15 +724,149 @@ pub struct LeakReport {
     pub live_nodes: usize,
     /// Nodes in a state the quiescent invariants forbid.
     pub corrupt_nodes: usize,
+    /// Per-class audits, in configuration order (empty for a classic
+    /// single-shape domain).
+    pub classes: Vec<ClassLeak>,
 }
 
 impl LeakReport {
-    /// True when nothing is live, nothing is corrupt, and every node is
-    /// accounted for.
+    /// True when nothing is live, nothing is corrupt, and every node —
+    /// including every byte class's blocks — is accounted for.
     pub fn is_clean(&self) -> bool {
         self.live_nodes == 0
             && self.corrupt_nodes == 0
             && self.free_nodes + self.parked_gifts + self.magazine_nodes == self.capacity
+            && self.classes.iter().all(ClassLeak::is_clean)
+    }
+
+    /// Serializes the report as a single-line JSON object (stable key
+    /// order; `classes` is an array of per-class objects).
+    pub fn to_json(&self) -> String {
+        use core::fmt::Write as _;
+        let mut s = String::with_capacity(256 + 192 * self.classes.len());
+        let _ = write!(
+            s,
+            "{{\"capacity\":{},\"segments\":{},\"resident_segments\":{},\
+             \"segments_retired\":{},\"free_nodes\":{},\"parked_gifts\":{},\
+             \"magazine_nodes\":{},\"live_nodes\":{},\"corrupt_nodes\":{},\
+             \"classes\":[",
+            self.capacity,
+            self.segments,
+            self.resident_segments,
+            self.segments_retired,
+            self.free_nodes,
+            self.parked_gifts,
+            self.magazine_nodes,
+            self.live_nodes,
+            self.corrupt_nodes,
+        );
+        for (i, c) in self.classes.iter().enumerate() {
+            let _ = write!(
+                s,
+                "{}{{\"size\":{},\"capacity\":{},\"segments\":{},\
+                 \"segments_retired\":{},\"free_nodes\":{},\"parked_gifts\":{},\
+                 \"magazine_nodes\":{},\"live_nodes\":{},\"corrupt_nodes\":{}}}",
+                if i == 0 { "" } else { "," },
+                c.size,
+                c.capacity,
+                c.segments,
+                c.segments_retired,
+                c.free_nodes,
+                c.parked_gifts,
+                c.magazine_nodes,
+                c.live_nodes,
+                c.corrupt_nodes,
+            );
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Parses a report serialized by [`LeakReport::to_json`]. Returns
+    /// `None` on any structural mismatch (this is a round-trip codec for
+    /// our own output, not a general JSON parser).
+    pub fn from_json(json: &str) -> Option<LeakReport> {
+        let json = json.trim();
+        let inner = json.strip_prefix('{')?.strip_suffix('}')?;
+        let (outer, classes_part) = inner.split_once("\"classes\":[")?;
+        let classes_part = classes_part.strip_suffix(']')?;
+        let field = |src: &str, key: &str| -> Option<usize> {
+            let at = src.find(&format!("\"{key}\":"))?;
+            let rest = &src[at + key.len() + 3..];
+            let end = rest
+                .find(|ch: char| !ch.is_ascii_digit())
+                .unwrap_or(rest.len());
+            rest[..end].parse().ok()
+        };
+        let mut report = LeakReport {
+            capacity: field(outer, "capacity")?,
+            segments: field(outer, "segments")?,
+            resident_segments: field(outer, "resident_segments")?,
+            segments_retired: field(outer, "segments_retired")?,
+            free_nodes: field(outer, "free_nodes")?,
+            parked_gifts: field(outer, "parked_gifts")?,
+            magazine_nodes: field(outer, "magazine_nodes")?,
+            live_nodes: field(outer, "live_nodes")?,
+            corrupt_nodes: field(outer, "corrupt_nodes")?,
+            classes: Vec::new(),
+        };
+        for obj in classes_part.split("},{") {
+            let obj = obj.trim_start_matches('{').trim_end_matches('}');
+            if obj.is_empty() {
+                continue;
+            }
+            report.classes.push(ClassLeak {
+                size: field(obj, "size")?,
+                capacity: field(obj, "capacity")?,
+                segments: field(obj, "segments")?,
+                segments_retired: field(obj, "segments_retired")?,
+                free_nodes: field(obj, "free_nodes")?,
+                parked_gifts: field(obj, "parked_gifts")?,
+                magazine_nodes: field(obj, "magazine_nodes")?,
+                live_nodes: field(obj, "live_nodes")?,
+                corrupt_nodes: field(obj, "corrupt_nodes")?,
+            });
+        }
+        Some(report)
+    }
+}
+
+impl core::fmt::Display for LeakReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(
+            f,
+            "leak report: {} ({} nodes, {} segments resident, {} retired)",
+            if self.is_clean() { "clean" } else { "DIRTY" },
+            self.capacity,
+            self.resident_segments,
+            self.segments_retired,
+        )?;
+        writeln!(
+            f,
+            "  node pool: {} free, {} gifts, {} magazine, {} live, {} corrupt",
+            self.free_nodes,
+            self.parked_gifts,
+            self.magazine_nodes,
+            self.live_nodes,
+            self.corrupt_nodes,
+        )?;
+        for c in &self.classes {
+            writeln!(
+                f,
+                "  class {:>5} B: {} blocks in {} segs ({} retired) — {} free, \
+                 {} gifts, {} magazine, {} live, {} corrupt",
+                c.size,
+                c.capacity,
+                c.segments,
+                c.segments_retired,
+                c.free_nodes,
+                c.parked_gifts,
+                c.magazine_nodes,
+                c.live_nodes,
+                c.corrupt_nodes,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -694,6 +927,83 @@ mod tests {
     #[should_panic(expected = "max_threads")]
     fn zero_threads_panics() {
         let _ = WfrcDomain::<u64>::new(DomainConfig::new(0, 4));
+    }
+
+    #[test]
+    fn leak_report_json_round_trips() {
+        let report = LeakReport {
+            capacity: 64,
+            segments: 2,
+            resident_segments: 2,
+            segments_retired: 3,
+            free_nodes: 60,
+            parked_gifts: 1,
+            magazine_nodes: 3,
+            live_nodes: 0,
+            corrupt_nodes: 0,
+            classes: vec![
+                ClassLeak {
+                    size: 64,
+                    capacity: 51,
+                    segments: 1,
+                    segments_retired: 0,
+                    free_nodes: 51,
+                    ..ClassLeak::default()
+                },
+                ClassLeak {
+                    size: 1024,
+                    capacity: 12,
+                    segments: 3,
+                    segments_retired: 7,
+                    free_nodes: 10,
+                    magazine_nodes: 1,
+                    live_nodes: 1,
+                    ..ClassLeak::default()
+                },
+            ],
+        };
+        let json = report.to_json();
+        assert_eq!(LeakReport::from_json(&json), Some(report.clone()));
+        // Display mentions cleanliness and every class size.
+        let text = report.to_string();
+        assert!(text.contains("DIRTY"), "{text}");
+        assert!(text.contains("class    64 B"), "{text}");
+        assert!(text.contains("class  1024 B"), "{text}");
+        // Malformed inputs are rejected, not mis-parsed.
+        assert_eq!(LeakReport::from_json("{}"), None);
+        assert_eq!(LeakReport::from_json("not json"), None);
+    }
+
+    #[test]
+    fn live_domain_report_round_trips_and_displays_clean() {
+        use crate::class::ClassConfig;
+        let d = WfrcDomain::<u64>::new(
+            DomainConfig::new(2, 16)
+                .with_classes(vec![ClassConfig::new(64, 8), ClassConfig::new(256, 8)]),
+        );
+        let r = d.leak_check();
+        assert!(r.is_clean(), "{r}");
+        assert_eq!(r.classes.len(), 2);
+        assert_eq!(LeakReport::from_json(&r.to_json()), Some(r.clone()));
+        assert!(r.to_string().contains("clean"));
+    }
+
+    #[test]
+    fn class_leaks_make_the_report_dirty() {
+        use crate::class::ClassConfig;
+        let d =
+            WfrcDomain::<u64>::new(DomainConfig::new(1, 4).with_class(ClassConfig::new(128, 4)));
+        let h = d.register().unwrap();
+        let token = h.alloc_bytes(b"hello").unwrap();
+        let mid = d.leak_check();
+        assert_eq!(mid.classes[0].live_nodes, 1);
+        assert!(!mid.is_clean(), "a live class block must dirty the report");
+        // The node pool itself is untouched by class traffic.
+        assert_eq!(mid.live_nodes, 0);
+        // SAFETY: `token` is this handle's unfreed allocation.
+        unsafe { h.free_bytes(token) };
+        drop(h);
+        assert!(d.leak_check().is_clean());
     }
 
     #[test]

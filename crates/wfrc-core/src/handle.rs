@@ -20,6 +20,7 @@ use core::ops::Deref;
 use core::ptr::NonNull;
 use core::sync::atomic::{AtomicUsize, Ordering};
 
+use crate::class::RawBytes;
 use crate::counters::OpCounters;
 use crate::domain::WfrcDomain;
 use crate::link::Link;
@@ -370,6 +371,132 @@ impl<'d, T: RcObject> ThreadHandle<'d, T> {
         // SAFETY: forwarded contract.
         unsafe { (*node).payload_mut() }
     }
+
+    // ------------------------------------------------------------------
+    // Byte-class layer (see `crate::class`)
+    // ------------------------------------------------------------------
+
+    /// Number of byte classes configured on this domain (see
+    /// [`crate::DomainConfig::with_classes`]).
+    pub fn class_count(&self) -> usize {
+        self.domain.class_count()
+    }
+
+    /// Picks the smallest configured class whose blocks fit `len` bytes.
+    fn fitting_class(&self, len: usize) -> (usize, &'d dyn crate::class::ByteClassOps) {
+        self.domain
+            .classes()
+            .iter()
+            .enumerate()
+            .filter(|(_, cls)| cls.block_size() >= len)
+            .min_by_key(|(_, cls)| cls.block_size())
+            .map(|(i, cls)| (i, &**cls))
+            .unwrap_or_else(|| {
+                panic!(
+                    "no configured byte class fits {len} bytes \
+                     (largest: {:?})",
+                    self.domain.classes().iter().map(|c| c.block_size()).max()
+                )
+            })
+    }
+
+    /// Allocates a block from the smallest byte class that fits `bytes`,
+    /// copies `bytes` into it, and returns the [`RawBytes`] token.
+    ///
+    /// Wait-free with the same footnote-4 bound as [`ThreadHandle::alloc_with`],
+    /// applied to the chosen class's own free-lists. The token must
+    /// eventually be passed to [`ThreadHandle::free_bytes`] or the block
+    /// leaks (visible in [`crate::LeakReport::classes`]).
+    ///
+    /// # Panics
+    /// If no configured class has `block_size >= bytes.len()` — a
+    /// configuration error, matching the spirit of the arena's fixed
+    /// geometry (capacity exhaustion, by contrast, is the recoverable
+    /// [`OutOfMemory`]).
+    pub fn alloc_bytes(&self, bytes: &[u8]) -> Result<RawBytes, OutOfMemory> {
+        let (idx, cls) = self.fitting_class(bytes.len());
+        let node = cls.alloc(self.tid, &self.counters)?;
+        let data = cls.data_ptr(node);
+        // SAFETY: the block was just allocated and is unpublished, so we
+        // own its buffer exclusively; `block_size >= bytes.len()` by class
+        // selection.
+        unsafe { core::ptr::copy_nonoverlapping(bytes.as_ptr(), data, bytes.len()) };
+        OpCounters::bump(&self.counters.class_allocs[idx]);
+        Ok(RawBytes::new(idx, bytes.len(), node))
+    }
+
+    /// The bytes stored behind `token` (the `len` passed to
+    /// [`ThreadHandle::alloc_bytes`]).
+    ///
+    /// # Safety
+    /// `token` must come from this handle's domain and not have been freed;
+    /// no thread may concurrently free it or write its buffer for the
+    /// lifetime of the returned slice.
+    pub unsafe fn bytes(&self, token: &RawBytes) -> &[u8] {
+        let cls = &self.domain.classes()[token.class_index()];
+        let data = cls.data_ptr(token.node_ptr());
+        // SAFETY: per contract the block is live and unaliased by writers.
+        unsafe { core::slice::from_raw_parts(data, token.len()) }
+    }
+
+    /// Returns `token`'s block to its class free-lists (the byte-class
+    /// `ReleaseRef`: blocks hold exactly one reference).
+    ///
+    /// # Safety
+    /// `token` must come from this handle's domain, must not have been
+    /// freed already, and no other thread may still be reading its buffer.
+    pub unsafe fn free_bytes(&self, token: RawBytes) {
+        let idx = token.class_index();
+        let cls = &self.domain.classes()[idx];
+        // SAFETY: forwarded contract (unfreed allocation of this class).
+        unsafe { cls.free(self.tid, &self.counters, token.node_ptr()) };
+        OpCounters::bump(&self.counters.class_frees[idx]);
+    }
+
+    /// Runs the segment-retire protocol on byte class `class` (the class
+    /// analogue of [`ThreadHandle::reclaim`], with the same non-bracketing
+    /// rationale).
+    ///
+    /// # Panics
+    /// If `class >= self.class_count()`.
+    pub fn reclaim_class(&self, class: usize) -> ReclaimOutcome {
+        self.domain.classes()[class]
+            .reclaim(self.tid, &self.counters, &|t| self.domain.slot_is_taken(t))
+    }
+
+    /// Allocates `value` in the smallest fitting byte class and returns an
+    /// owning [`DomainBox`]: the typed convenience layer over
+    /// [`ThreadHandle::alloc_bytes`]. The box drops `value` in place and
+    /// frees the block when it goes out of scope.
+    ///
+    /// # Panics
+    /// If `align_of::<V>() > 8` (block payloads are 8-aligned) or no
+    /// configured class fits `size_of::<V>()`.
+    pub fn alloc_box<V: Send + Sync + 'static>(
+        &self,
+        value: V,
+    ) -> Result<DomainBox<'_, 'd, T, V>, OutOfMemory> {
+        assert!(
+            core::mem::align_of::<V>() <= 8,
+            "DomainBox payloads must be at most 8-aligned (got {})",
+            core::mem::align_of::<V>()
+        );
+        let size = core::mem::size_of::<V>().max(1);
+        let (idx, cls) = self.fitting_class(size);
+        let node = cls.alloc(self.tid, &self.counters)?;
+        let data = cls.data_ptr(node) as *mut V;
+        // SAFETY: freshly allocated, exclusively ours, sized and aligned
+        // for `V` (payload offset is 16 in an 8-aligned node).
+        unsafe { core::ptr::write(data, value) };
+        OpCounters::bump(&self.counters.class_allocs[idx]);
+        Ok(DomainBox {
+            handle: self,
+            token: RawBytes::new(idx, size, node),
+            // SAFETY: `data_ptr` of a live block is non-null.
+            data: unsafe { NonNull::new_unchecked(data) },
+            _own: PhantomData,
+        })
+    }
 }
 
 impl<T: RcObject> Drop for ThreadHandle<'_, T> {
@@ -392,6 +519,11 @@ impl<T: RcObject> Drop for ThreadHandle<'_, T> {
             self.domain
                 .shared()
                 .drain_magazine(self.tid, &self.counters);
+        }
+        // Same teardown per byte class: each class has its own magazine
+        // for this slot (the class impl brackets its own epoch).
+        for cls in self.domain.classes() {
+            cls.drain_magazine(self.tid, &self.counters);
         }
         self.domain.unregister(self.tid);
     }
@@ -494,6 +626,81 @@ impl<T: RcObject + core::fmt::Debug> core::fmt::Debug for NodeRef<'_, T> {
         f.debug_struct("NodeRef")
             .field("node", &self.node)
             .field("payload", &**self)
+            .finish()
+    }
+}
+
+/// An owned, typed value living in one of the domain's byte classes: the
+/// RAII form of [`ThreadHandle::alloc_bytes`] for `V: Sized` payloads
+/// (created by [`ThreadHandle::alloc_box`]).
+///
+/// Holds the allocating handle, so it is automatically `!Send` — the block
+/// must be freed under the same `threadId` that allocated it can account
+/// for it (any registered handle could free the token; tying the box to
+/// one handle just makes the drop site unambiguous). Dropping the box runs
+/// `V`'s destructor in place and returns the block to its class.
+///
+/// For cross-thread hand-off, use [`DomainBox::into_token`] and rebuild
+/// access with [`ThreadHandle::bytes`] / [`ThreadHandle::free_bytes`] on
+/// the receiving handle (the payload is then managed manually).
+#[must_use = "dropping the box immediately frees the block"]
+pub struct DomainBox<'h, 'd, T: RcObject, V> {
+    handle: &'h ThreadHandle<'d, T>,
+    token: RawBytes,
+    data: NonNull<V>,
+    _own: PhantomData<V>,
+}
+
+impl<'h, 'd, T: RcObject, V> DomainBox<'h, 'd, T, V> {
+    /// The underlying byte-class token (still owned by the box).
+    pub fn token(&self) -> RawBytes {
+        self.token
+    }
+
+    /// Consumes the box *without* running `V`'s destructor or freeing the
+    /// block: the caller takes over the token (and the obligation to
+    /// eventually [`ThreadHandle::free_bytes`] it — dropping the payload
+    /// is then the caller's business, e.g. via `ptr::drop_in_place`).
+    #[must_use = "the returned token carries the block; dropping it leaks"]
+    pub fn into_token(self) -> RawBytes {
+        let t = self.token;
+        core::mem::forget(self);
+        t
+    }
+}
+
+impl<T: RcObject, V> Deref for DomainBox<'_, '_, T, V> {
+    type Target = V;
+    fn deref(&self) -> &V {
+        // SAFETY: the box owns the block; the value was written at
+        // construction and is dropped only in `Drop`.
+        unsafe { self.data.as_ref() }
+    }
+}
+
+impl<T: RcObject, V> core::ops::DerefMut for DomainBox<'_, '_, T, V> {
+    fn deref_mut(&mut self) -> &mut V {
+        // SAFETY: exclusive ownership (`&mut self`), same validity as Deref.
+        unsafe { self.data.as_mut() }
+    }
+}
+
+impl<T: RcObject, V> Drop for DomainBox<'_, '_, T, V> {
+    fn drop(&mut self) {
+        // SAFETY: the value is live (written at construction, not yet
+        // dropped) and the token is this box's unfreed allocation.
+        unsafe {
+            core::ptr::drop_in_place(self.data.as_ptr());
+            self.handle.free_bytes(self.token);
+        }
+    }
+}
+
+impl<T: RcObject, V: core::fmt::Debug> core::fmt::Debug for DomainBox<'_, '_, T, V> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("DomainBox")
+            .field("class", &self.token.class_index())
+            .field("value", &**self)
             .finish()
     }
 }
@@ -606,6 +813,102 @@ mod tests {
             h.release_raw(p);
         }
         assert!(d.leak_check().is_clean());
+    }
+
+    #[test]
+    fn alloc_bytes_picks_smallest_fitting_class() {
+        use crate::class::ClassConfig;
+        let d = WfrcDomain::<u64>::new(
+            DomainConfig::new(1, 2)
+                .with_class(ClassConfig::new(64, 8))
+                .with_class(ClassConfig::new(256, 8)),
+        );
+        let h = d.register().unwrap();
+        let small = h.alloc_bytes(b"tiny").unwrap();
+        assert_eq!(small.class_index(), 0);
+        let big = h.alloc_bytes(&[7u8; 100]).unwrap();
+        assert_eq!(big.class_index(), 1);
+        // SAFETY: both tokens are live and nothing writes their buffers.
+        unsafe {
+            assert_eq!(h.bytes(&small), b"tiny");
+            assert_eq!(h.bytes(&big), &[7u8; 100][..]);
+            h.free_bytes(small);
+            h.free_bytes(big);
+        }
+        let snap = h.counters().snapshot();
+        assert_eq!(snap.class_allocs[0], 1);
+        assert_eq!(snap.class_allocs[1], 1);
+        assert_eq!(snap.class_frees[0], 1);
+        assert_eq!(snap.class_frees[1], 1);
+        drop(h);
+        assert!(d.leak_check().is_clean());
+    }
+
+    #[test]
+    #[should_panic(expected = "no configured byte class fits")]
+    fn alloc_bytes_panics_when_nothing_fits() {
+        use crate::class::ClassConfig;
+        let d = WfrcDomain::<u64>::new(DomainConfig::new(1, 2).with_class(ClassConfig::new(64, 8)));
+        let h = d.register().unwrap();
+        let _ = h.alloc_bytes(&[0u8; 65]);
+    }
+
+    #[test]
+    fn domain_box_owns_drops_and_frees() {
+        use crate::class::ClassConfig;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Probe(u64);
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let d = WfrcDomain::<u64>::new(DomainConfig::new(1, 2).with_class(ClassConfig::new(64, 8)));
+        let h = d.register().unwrap();
+        let mut b = h.alloc_box(Probe(41)).unwrap();
+        b.0 += 1;
+        assert_eq!(b.0, 42);
+        assert_eq!(d.leak_check().classes[0].live_nodes, 1);
+        drop(b);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 1);
+        drop(h);
+        assert!(d.leak_check().is_clean());
+    }
+
+    #[test]
+    fn domain_box_into_token_transfers_ownership() {
+        use crate::class::ClassConfig;
+        let d = WfrcDomain::<u64>::new(DomainConfig::new(1, 2).with_class(ClassConfig::new(64, 8)));
+        let h = d.register().unwrap();
+        let b = h.alloc_box(123u32).unwrap();
+        let token = b.into_token();
+        // SAFETY: the token is live; u32 needs no drop.
+        unsafe {
+            assert_eq!(h.bytes(&token)[..4], 123u32.to_ne_bytes());
+            h.free_bytes(token);
+        }
+        drop(h);
+        assert!(d.leak_check().is_clean());
+    }
+
+    #[test]
+    fn class_magazines_drain_on_handle_drop() {
+        use crate::class::ClassConfig;
+        let d = WfrcDomain::<u64>::new(
+            DomainConfig::new(1, 2).with_class(ClassConfig::new(64, 8).with_magazine(4)),
+        );
+        let h = d.register().unwrap();
+        let t = h.alloc_bytes(&[1, 2, 3]).unwrap();
+        // SAFETY: freeing our own live token; with a magazine configured
+        // the block parks in the thread's class magazine.
+        unsafe { h.free_bytes(t) };
+        drop(h);
+        // The drop drained the class magazine, so the audit sees every
+        // block back on the shared structures.
+        let report = d.leak_check();
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.classes[0].magazine_nodes, 0);
     }
 
     #[test]

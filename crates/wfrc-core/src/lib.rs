@@ -79,6 +79,7 @@
 
 pub mod announce;
 pub mod arena;
+pub mod class;
 pub mod counters;
 pub mod domain;
 #[cfg(feature = "fault-injection")]
@@ -92,12 +93,13 @@ pub mod oom;
 pub mod rc;
 pub mod reclaim;
 
-pub use arena::{Growth, MAX_SEGMENTS};
+pub use arena::{Growth, CARVE_PAGE, MAX_SEGMENTS};
+pub use class::{geometric_ladder, ClassConfig, ClassLeak, RawBytes, CLASS_SIZES, MAX_CLASSES};
 pub use counters::OpCounters;
 pub use domain::{AdoptReport, DomainConfig, LeakReport, WfrcDomain};
 #[cfg(feature = "fault-injection")]
 pub use fault::{FaultAction, FaultPlan, FaultSite, FireRule, InjectedDeath};
-pub use handle::{NodeRef, ThreadHandle};
+pub use handle::{DomainBox, NodeRef, ThreadHandle};
 pub use link::Link;
 pub use magazine::Magazines;
 pub use node::{Node, RcObject};

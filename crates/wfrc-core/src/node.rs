@@ -200,6 +200,14 @@ impl<T> Node<T> {
         unsafe { &mut *self.payload.get() }
     }
 
+    /// Raw payload address. No reference to the payload is formed, so the
+    /// caller needs no count — useful for address arithmetic (byte-class
+    /// data pointers) on nodes whose contents may be concurrently touched.
+    #[inline]
+    pub fn payload_ptr(&self) -> *mut T {
+        self.payload.get()
+    }
+
     /// Test/diagnostic hook: raw `mm_ref` accessor for invariant audits.
     pub fn raw_ref_word(&self) -> &AtomicWord {
         &self.mm_ref

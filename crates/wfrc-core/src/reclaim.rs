@@ -484,7 +484,20 @@ pub(crate) fn try_reclaim<T: RcObject>(
     tid: usize,
     c: &OpCounters,
 ) -> ReclaimOutcome {
-    let s = domain.shared();
+    try_reclaim_shared(domain.shared(), tid, c, &|t| domain.slot_is_taken(t))
+}
+
+/// Retire protocol over a bare [`Shared`] pool. The node pool and every
+/// byte class run the identical protocol; only the registry probe
+/// (`is_taken`, answering "does slot `t` currently host a live thread?")
+/// comes from outside, because slot ownership is domain-wide while epochs
+/// are per pool.
+pub(crate) fn try_reclaim_shared<T: RcObject>(
+    s: &Shared<T>,
+    tid: usize,
+    c: &OpCounters,
+    is_taken: &dyn Fn(usize) -> bool,
+) -> ReclaimOutcome {
     let ctl = &s.reclaim;
     if ctl.draining.load(Ordering::SeqCst) != 0 {
         return ReclaimOutcome::Contended;
@@ -543,7 +556,7 @@ pub(crate) fn try_reclaim<T: RcObject>(
         return ReclaimOutcome::Aborted;
     }
     // Grace period over all registered slots, then the summary re-check.
-    if !s.grace_period(|t| domain.slot_is_taken(t)) || !s.ann.summary_empty() {
+    if !s.grace_period(is_taken) || !s.ann.summary_empty() {
         s.reopen_reclaim(tid, c);
         return ReclaimOutcome::Aborted;
     }

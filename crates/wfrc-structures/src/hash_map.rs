@@ -12,7 +12,7 @@
 //! scope); choose ~`expected_items / 4`.
 
 use wfrc_core::oom::OutOfMemory;
-use wfrc_core::Link;
+use wfrc_core::{Link, RawBytes, ThreadHandle};
 
 use crate::manager::RcMm;
 use crate::ordered_list::ListCell;
@@ -101,6 +101,122 @@ impl<V: Clone + Send + Sync + 'static> HashMap<V> {
 // reclamation scheme.
 unsafe impl<V: Send> Send for HashMap<V> {}
 unsafe impl<V: Send + Sync> Sync for HashMap<V> {}
+
+/// A session cache: `u64` session keys mapped to **variable-size** byte
+/// values. The index is the lock-free [`HashMap`] (uniform `ListCell`
+/// nodes from the domain's node pool); the values live in the same
+/// domain's per-size-class byte arenas ([`wfrc_core::class`]) and are
+/// referenced through [`RawBytes`] tokens stored as map values — one
+/// domain serving fixed-shape nodes and variable payloads side by side.
+///
+/// **Ownership protocol.** The cache owns each inserted block until
+/// [`SessionCache::remove`] or [`SessionCache::dispose`] frees it.
+/// Keys follow the *session* convention: at most one thread operates on a
+/// given key at a time (that key's session owner). Operations on
+/// different keys run fully concurrently with the underlying scheme's
+/// guarantees; racing `get`/`remove` on the *same* key is a caller
+/// synchronization bug (a `get` could otherwise read a just-freed block).
+pub struct SessionCache {
+    map: HashMap<RawBytes>,
+}
+
+/// The handle type a [`SessionCache`] operates through: the map cells are
+/// `ListCell<RawBytes>` nodes, and the byte API of the same handle stores
+/// the values.
+pub type SessionHandle<'d> = ThreadHandle<'d, ListCell<RawBytes>>;
+
+impl SessionCache {
+    /// Creates a cache with `buckets` index buckets (rounded up to ≥ 1).
+    pub fn new(buckets: usize) -> Self {
+        Self {
+            map: HashMap::new(buckets),
+        }
+    }
+
+    /// Number of index buckets.
+    pub fn buckets(&self) -> usize {
+        self.map.buckets()
+    }
+
+    /// Insert-if-absent: stores `value` in the smallest fitting byte class
+    /// and indexes it under `key`. Returns `false` (and frees the staged
+    /// block) if the key was already cached.
+    ///
+    /// # Panics
+    /// If the domain has no byte class fitting `value.len()`.
+    pub fn put(&self, h: &SessionHandle<'_>, key: u64, value: &[u8]) -> Result<bool, OutOfMemory> {
+        let token = h.alloc_bytes(value)?;
+        match self.map.insert(h, key, token) {
+            Ok(true) => Ok(true),
+            other => {
+                // Duplicate key or index OOM: the staged block never
+                // became reachable, so we still own it exclusively.
+                // SAFETY: unpublished token allocated above.
+                unsafe { h.free_bytes(token) };
+                other
+            }
+        }
+    }
+
+    /// Copies out the value cached under `key`.
+    pub fn get(&self, h: &SessionHandle<'_>, key: u64) -> Option<Vec<u8>> {
+        let token = self.map.get(h, key)?;
+        // SAFETY: the session convention (single owner per key) rules out
+        // a concurrent `remove` freeing the block under this read.
+        Some(unsafe { h.bytes(&token) }.to_vec())
+    }
+
+    /// True if `key` is cached.
+    pub fn contains(&self, h: &SessionHandle<'_>, key: u64) -> bool {
+        self.map.contains(h, key)
+    }
+
+    /// Removes `key`, freeing its block and returning a copy of the value.
+    pub fn remove(&self, h: &SessionHandle<'_>, key: u64) -> Option<Vec<u8>> {
+        let token = self.map.remove(h, key)?;
+        // SAFETY: the winning remover is the block's sole owner now.
+        let out = unsafe { h.bytes(&token) }.to_vec();
+        // SAFETY: same ownership; frees exactly once.
+        unsafe { h.free_bytes(token) };
+        Some(out)
+    }
+
+    /// Counts cached entries (quiescent snapshot; O(n)).
+    pub fn len(&self, h: &SessionHandle<'_>) -> usize {
+        self.map.len(h)
+    }
+
+    /// True when no entry is cached (quiescent snapshot).
+    pub fn is_empty(&self, h: &SessionHandle<'_>) -> bool {
+        self.len(h) == 0
+    }
+
+    /// Releases the cache at quiescence: frees every cached block, then
+    /// the index chains. Marked (logically removed) cells are skipped —
+    /// their remover already took the block.
+    pub fn dispose(self, h: &SessionHandle<'_>) {
+        // SAFETY: quiescent per contract; same hand-over-hand walk as
+        // `HashMap::len`.
+        unsafe {
+            for b in self.map.buckets.iter() {
+                let mut cur = RcMm::deref_link(h, &b.head);
+                while !cur.is_null() {
+                    let cell = RcMm::payload(h, cur);
+                    let (_, marked) = cell.next_link().load_decomposed();
+                    if !marked {
+                        if let Some(token) = cell.value_clone() {
+                            h.free_bytes(token);
+                        }
+                    }
+                    let next = RcMm::deref_link(h, cell.next_link());
+                    RcMm::release_node(h, cur);
+                    cur = next;
+                }
+            }
+        }
+        self.map.dispose(h);
+    }
+}
 
 impl<V: Clone + Send + Sync + 'static> BucketList<V> {
     /// Finds `(pred_link_holder, cur)` for `key` in this bucket. Unlike the
@@ -452,6 +568,85 @@ mod tests {
     #[test]
     fn concurrent_lfrc() {
         concurrent_map(LfrcDomain::<ListCell<u64>>::new(5, 2048), 4);
+    }
+
+    #[test]
+    fn session_cache_roundtrip_mixed_sizes() {
+        use wfrc_core::ClassConfig;
+        let d = WfrcDomain::<ListCell<RawBytes>>::new(
+            DomainConfig::new(2, 128)
+                .with_class(ClassConfig::new(64, 16))
+                .with_class(ClassConfig::new(256, 16))
+                .with_class(ClassConfig::new(1024, 16)),
+        );
+        let h = d.register().unwrap();
+        let cache = SessionCache::new(8);
+        // Values spanning three classes.
+        let payloads: Vec<Vec<u8>> = (0..24u8)
+            .map(|i| vec![i; 1 + (i as usize * 40) % 900])
+            .collect();
+        for (k, v) in payloads.iter().enumerate() {
+            assert!(cache.put(&h, k as u64, v).unwrap());
+        }
+        assert!(!cache.put(&h, 0, b"dup").unwrap(), "duplicate key rejected");
+        assert_eq!(cache.len(&h), 24);
+        for (k, v) in payloads.iter().enumerate() {
+            assert_eq!(cache.get(&h, k as u64).as_deref(), Some(v.as_slice()));
+        }
+        // Remove half; their blocks must return to the classes.
+        for k in (0..24u64).step_by(2) {
+            assert_eq!(
+                cache.remove(&h, k).as_deref(),
+                Some(payloads[k as usize].as_slice())
+            );
+        }
+        assert_eq!(cache.len(&h), 12);
+        assert!(!cache.is_empty(&h));
+        cache.dispose(&h);
+        drop(h);
+        let report = d.leak_check();
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn session_cache_concurrent_disjoint_keys() {
+        use wfrc_core::{geometric_ladder, ClassConfig};
+        let mut ladder: Vec<ClassConfig> = geometric_ladder(32);
+        ladder.truncate(4); // 64..512 B
+        let d = Arc::new(WfrcDomain::<ListCell<RawBytes>>::new(
+            DomainConfig::new(5, 2048).with_classes(ladder),
+        ));
+        let cache = Arc::new(SessionCache::new(16));
+        let workers: Vec<_> = (0..4)
+            .map(|t| {
+                let d = Arc::clone(&d);
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    let h = d.register().unwrap();
+                    let base = (t as u64 + 1) << 32;
+                    for i in 0..300u64 {
+                        let k = base + (i % 50);
+                        let v = vec![t as u8 + 1; 1 + (i as usize * 17) % 500];
+                        if cache.put(&h, k, &v).unwrap() {
+                            assert_eq!(cache.get(&h, k).as_deref(), Some(v.as_slice()));
+                            assert_eq!(cache.remove(&h, k).as_deref(), Some(v.as_slice()));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let h = d.register().unwrap();
+        assert_eq!(cache.len(&h), 0);
+        Arc::try_unwrap(cache)
+            .unwrap_or_else(|_| panic!("joined"))
+            .dispose(&h);
+        drop(h);
+        let d = Arc::try_unwrap(d).unwrap_or_else(|_| panic!("joined"));
+        let report = d.leak_check();
+        assert!(report.is_clean(), "{report}");
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod stack;
 
 pub use epoch_queue::EpochQueue;
 pub use epoch_stack::EpochStack;
-pub use hash_map::HashMap;
+pub use hash_map::{HashMap, SessionCache, SessionHandle};
 pub use hp_queue::HpQueue;
 pub use hp_stack::HpStack;
 pub use manager::{RcMm, RcMmDomain};

@@ -1,19 +1,20 @@
 #!/usr/bin/env bash
-# Bench trajectory snapshot: runs short E4/E5/E9 configurations — including
-# the PR5 oscillating-reclaim modes — and writes a machine-readable
-# BENCH_PR5.json at the repo root (one entry per configuration, each
-# embedding the experiment's table as headers + rows: scheme × threads ×
-# mode → ops/s, resident curve, segments retired, …), so future PRs can
+# Bench trajectory snapshot: runs short E4/E5/E9/E11 configurations —
+# including the PR5 oscillating-reclaim modes and the PR6 mixed-size
+# per-class arena modes — and writes a machine-readable BENCH_PR6.json
+# at the repo root (one entry per configuration, each embedding the
+# experiment's table as headers + rows: scheme × threads × mode → ops/s,
+# resident curve, segments retired, class curve, …), so future PRs can
 # diff their numbers against this one's.
 #
 # Usage: scripts/bench_snapshot.sh [--quick] [--out FILE]
 #   --quick   CI-sized op counts (the bench-smoke job runs this)
-#   --out     output path (default: BENCH_PR5.json in the repo root)
+#   --out     output path (default: BENCH_PR6.json in the repo root)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 QUICK=0
-OUT="BENCH_PR5.json"
+OUT="BENCH_PR6.json"
 while [[ $# -gt 0 ]]; do
     case "$1" in
         --quick) QUICK=1; shift ;;
@@ -29,6 +30,8 @@ if [[ "$QUICK" == 1 ]]; then
     E5_RECLAIM_ARGS="--threads 2 --ops 8000 --reclaim"
     E9_ARGS="--ops 5000"
     E9_RECLAIM_ARGS="--ops 5000 --reclaim"
+    E11_ARGS="--threads 2 --ops 5000"
+    E11_RECLAIM_ARGS="--threads 2 --ops 8000 --grow --reclaim"
 else
     E4_READ_ARGS="--mode read --threads 0,2,8 --ops 50000"
     E4_WRITE_ARGS="--mode write --threads 1,2,4,8 --ops 100000"
@@ -36,6 +39,8 @@ else
     E5_RECLAIM_ARGS="--threads 2,8 --ops 50000 --reclaim"
     E9_ARGS="--ops 20000"
     E9_RECLAIM_ARGS="--ops 20000 --reclaim"
+    E11_ARGS="--threads 2,8 --ops 40000"
+    E11_RECLAIM_ARGS="--threads 2,8 --ops 40000 --grow --reclaim"
 fi
 
 cargo build --release -p bench --bins
@@ -55,7 +60,7 @@ trap 'rm -f "$TMP"' EXIT
 
 {
     echo '{'
-    echo "  \"snapshot\": \"PR5 quiescent segment reclamation\","
+    echo "  \"snapshot\": \"PR6 per-size-class arenas\","
     echo "  \"commit\": \"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)\","
     echo "  \"quick\": $([[ "$QUICK" == 1 ]] && echo true || echo false),"
     echo '  "configs": ['
@@ -82,6 +87,8 @@ trap 'rm -f "$TMP"' EXIT
     emit "e5-reclaim" e5_alloc_interference $E5_RECLAIM_ARGS
     emit "e9-stall" e9_stall $E9_ARGS
     emit "e9-reclaim" e9_stall $E9_RECLAIM_ARGS
+    emit "e11-mixed" e11_mixed_size $E11_ARGS
+    emit "e11-grow-reclaim" e11_mixed_size $E11_RECLAIM_ARGS
 
     echo ''
     echo '  ]'

@@ -454,6 +454,95 @@ fn die_at_segment_retire_is_adopted_and_retire_completes() {
     assert!(leaks.is_clean(), "{leaks:?}");
 }
 
+/// A thread killed at `GrowSeed` **on a byte class** (not the node pool)
+/// dies between winning the class arena's growth CAS and seeding the new
+/// segment. The completion obligation seeds the segment before the unwind,
+/// so the grown capacity stays visible; `adopt_orphans` then recovers the
+/// corpse's class-side slot state (epoch, gift, class magazine), a
+/// successor can allocate from the grown class, and the class shrinks back
+/// to its floor — leak-free.
+#[test]
+fn die_at_class_grow_seed_is_adopted() {
+    use wfrc::core::{ClassConfig, RawBytes};
+    silence_injected_deaths();
+    let mut domain = WfrcDomain::<u64>::new(
+        // Node pool amply sized and growth-disabled: the armed GrowSeed
+        // can only fire on the class pipeline.
+        DomainConfig::new(THREADS, CAPACITY)
+            .with_class(ClassConfig::new(64, 4).with_growth(Growth::doubling_to(1 << 14)))
+            .with_class(
+                ClassConfig::new(256, 4)
+                    .with_growth(Growth::doubling_to(1 << 14))
+                    .with_magazine(8),
+            ),
+    );
+    let plan = Arc::new(FaultPlan::new(0xC1A55));
+    domain.set_fault_plan(Arc::clone(&plan));
+    plan.arm_victim(0, FaultSite::GrowSeed, FaultAction::Die, FireRule::Nth(1));
+    let floor = domain.class_segments(1);
+
+    let victim = domain.register().unwrap();
+    assert_eq!(victim.tid(), 0);
+    // Tokens escape the victim so its death leaks no live blocks: RawBytes
+    // is Copy + Send, and any registered handle may free a token.
+    let escaped: std::sync::Mutex<Vec<RawBytes>> = std::sync::Mutex::new(Vec::new());
+
+    std::thread::scope(|s| {
+        let escaped = &escaped;
+        let vt = s.spawn(move || {
+            // Hold ever more 256-class blocks: the first page's worth of
+            // blocks runs out and the next alloc must grow the class.
+            for i in 0..100_000usize {
+                let tok = victim
+                    .alloc_bytes(&[i as u8; 200])
+                    .expect("class growth covers the pile");
+                escaped.lock().unwrap().push(tok);
+            }
+        });
+        let err = vt.join().expect_err("victim must die at the class grow");
+        let death = err
+            .downcast::<InjectedDeath>()
+            .expect("panic payload must be InjectedDeath");
+        assert_eq!(death.site, FaultSite::GrowSeed);
+    });
+
+    assert_eq!(domain.orphaned_threads(), 1);
+    let report = domain.adopt_orphans();
+    assert_eq!(report.orphans_adopted, 1);
+    assert!(
+        domain.class_segments(1) > floor,
+        "the completion obligation must keep the grown segment visible"
+    );
+
+    // A successor sees the corpse's growth: it can free the escaped
+    // tokens, keep allocating from the grown class, and shrink it back.
+    let h = domain.register().unwrap();
+    for tok in escaped.into_inner().unwrap() {
+        assert_eq!(tok.class_index(), 1);
+        // SAFETY: live tokens the victim transferred out; freed once each.
+        unsafe { h.free_bytes(tok) };
+    }
+    let tok = h.alloc_bytes(&[7u8; 200]).expect("grown class serves");
+    // SAFETY: `tok` is live and freed exactly once.
+    unsafe { h.free_bytes(tok) };
+    let mut stalls = 0;
+    loop {
+        match h.reclaim_class(1) {
+            ReclaimOutcome::Retired { .. } => stalls = 0,
+            ReclaimOutcome::NoCandidate => break,
+            _ => {
+                stalls += 1;
+                assert!(stalls < 100, "class reclaim stuck after adoption");
+                std::thread::yield_now();
+            }
+        }
+    }
+    assert_eq!(domain.class_segments(1), floor);
+    drop(h);
+    let leaks = domain.leak_check();
+    assert!(leaks.is_clean(), "{leaks:?}");
+}
+
 /// The LFRC baseline shares the orphan/adoption model: a thread killed
 /// mid-release leaves its slot orphaned, and `adopt_orphans` drains its
 /// magazine so `leak_check` stays clean.

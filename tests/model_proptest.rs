@@ -263,6 +263,111 @@ fn reclaim_revive_interleavings_stay_sound() {
     }
 }
 
+/// Random mixed-size interleavings keep every byte class sound.
+///
+/// The per-size-class generalization of `reclaim_revive_interleavings_stay
+/// _sound`: each seeded case runs random `alloc_bytes`/`free_bytes`/
+/// `reclaim_class` steps across three classes (64/256/1024 B, growth
+/// enabled; odd cases add per-class magazines so interleavings cover the
+/// uncounted-cache × retire interaction). After **every** step the
+/// quiescent audit must account for each class exactly — live blocks equal
+/// the held tokens of that class, zero corrupt — and at the final
+/// quiescent point every class must shrink back to its capacity floor.
+#[test]
+fn mixed_class_interleavings_stay_sound() {
+    use wfrc::core::{ClassConfig, RawBytes};
+    let mut rng = SmallRng::seed_from_u64(0xA11_0C07);
+    for case in 0..CASES {
+        let sizes = [64usize, 256, 1024];
+        let classes: Vec<ClassConfig> = sizes
+            .iter()
+            .map(|&s| {
+                let mut c = ClassConfig::new(s, 4).with_growth(Growth::doubling_to(1 << 14));
+                if case % 2 == 1 {
+                    c = c.with_magazine(4);
+                }
+                c
+            })
+            .collect();
+        let d = WfrcDomain::<u64>::new(DomainConfig::new(1, 8).with_classes(classes));
+        let floors: Vec<usize> = (0..d.class_count()).map(|i| d.class_segments(i)).collect();
+        let h = d.register().unwrap();
+        let mut held: Vec<(RawBytes, u8)> = Vec::new();
+        let len = rng.gen_range(300);
+        for step in 0..len {
+            match rng.gen_range(4) {
+                0 | 1 => {
+                    // A length a little under a random class's block size,
+                    // so smallest-fit selection is part of the interleaving.
+                    let ci = rng.gen_range(3) as usize;
+                    let len = sizes[ci] - rng.gen_range(8) as usize;
+                    let fill = step as u8;
+                    let buf = vec![fill; len];
+                    let tok = h.alloc_bytes(&buf).expect("growth covers the case");
+                    assert_eq!(tok.class_index(), ci, "smallest fit for {len}");
+                    held.push((tok, fill));
+                }
+                2 => {
+                    if !held.is_empty() {
+                        let i = rng.gen_range(held.len() as u64) as usize;
+                        let (tok, fill) = held.swap_remove(i);
+                        // SAFETY: live token, removed from `held`, freed once.
+                        let got = unsafe { h.bytes(&tok)[0] };
+                        assert_eq!(got, fill, "case {case} step {step}: corrupted");
+                        unsafe { h.free_bytes(tok) };
+                    }
+                }
+                _ => {
+                    // Mid-traffic per-class reclaim: any outcome is legal;
+                    // soundness is what the audit below checks.
+                    let _ = h.reclaim_class(rng.gen_range(3) as usize);
+                }
+            }
+            let r = d.leak_check();
+            assert_eq!(r.classes.len(), 3);
+            for (ci, cl) in r.classes.iter().enumerate() {
+                let live = held.iter().filter(|(t, _)| t.class_index() == ci).count();
+                assert_eq!(
+                    cl.live_nodes, live,
+                    "case {case} step {step} class {ci}: {cl:?}"
+                );
+                assert_eq!(
+                    cl.corrupt_nodes, 0,
+                    "case {case} step {step} class {ci}: {cl:?}"
+                );
+            }
+        }
+        // Quiescent point: free everything, then every class retires down
+        // to its floor.
+        for (tok, fill) in held.drain(..) {
+            // SAFETY: live token, freed exactly once.
+            let got = unsafe { h.bytes(&tok)[0] };
+            assert_eq!(got, fill);
+            unsafe { h.free_bytes(tok) };
+        }
+        for (ci, &floor) in floors.iter().enumerate() {
+            let mut stalls = 0;
+            loop {
+                match h.reclaim_class(ci) {
+                    ReclaimOutcome::Retired { .. } => stalls = 0,
+                    ReclaimOutcome::NoCandidate => break,
+                    outcome => {
+                        stalls += 1;
+                        assert!(
+                            stalls < 100,
+                            "case {case} class {ci}: reclaim stuck on {outcome:?}"
+                        );
+                    }
+                }
+            }
+            assert_eq!(d.class_segments(ci), floor, "case {case} class {ci}");
+        }
+        drop(h);
+        let r = d.leak_check();
+        assert!(r.is_clean(), "case {case}: {r:?}");
+    }
+}
+
 /// Allocation/release in arbitrary interleavings conserves the pool.
 #[test]
 fn alloc_release_conserves_pool() {
