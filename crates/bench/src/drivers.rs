@@ -5,16 +5,20 @@ use std::sync::Arc;
 use wfrc_baselines::epoch::EbrDomain;
 use wfrc_baselines::hazard::HpDomain;
 use wfrc_baselines::LfrcDomain;
-use wfrc_core::counters::CounterSnapshot;
-use wfrc_core::{ReclaimOutcome, WfrcDomain};
-use wfrc_sim::exec::run_fixed_ops;
+use wfrc_core::counters::{CounterSnapshot, LeaseSnapshot};
+use wfrc_core::lease::{LeaseConfig, LeasePool};
+use wfrc_core::{RawBytes, ReclaimOutcome, WfrcDomain};
+use wfrc_sim::exec::{run_fixed_ops, PollLoop, StopFlag};
 use wfrc_sim::latency::Histogram;
+use wfrc_sim::rng::SmallRng;
 use wfrc_sim::workload::{OpKind, WorkloadCfg};
 use wfrc_structures::epoch_queue::EpochQueue;
 use wfrc_structures::epoch_stack::EpochStack;
+use wfrc_structures::hash_map::{SessionCache, SessionMm};
 use wfrc_structures::hp_queue::HpQueue;
 use wfrc_structures::hp_stack::HpStack;
 use wfrc_structures::manager::{RcMm, RcMmDomain};
+use wfrc_structures::ordered_list::ListCell;
 use wfrc_structures::priority_queue::{PqCell, PriorityQueue};
 use wfrc_structures::queue::{Queue, QueueCell};
 use wfrc_structures::stack::{Stack, StackCell};
@@ -1047,4 +1051,325 @@ where
             }
         });
     parts
+}
+
+/// Configuration for the E12 server drivers ([`run_server`] /
+/// [`run_server_lfrc`]): `tasks` concurrent async tasks multiplex over a
+/// [`LeasePool`] of `slots` registration leases, each performing
+/// `ops_per_task` mixed put/get/remove operations against one shared
+/// [`SessionCache`] with values drawn from the domain's byte classes.
+#[derive(Debug, Clone)]
+pub struct ServerCfg {
+    /// Concurrent tasks to spawn (M, typically ≫ slots).
+    pub tasks: usize,
+    /// Lease-pool slots (N, the registration ceiling being virtualized).
+    pub slots: usize,
+    /// Poll-loop worker threads draining the task set.
+    pub workers: usize,
+    /// Cache operations per task.
+    pub ops_per_task: u64,
+    /// Key range shared by all tasks (small ⇒ real contention).
+    pub keyspace: u64,
+    /// Lease TTL installed in the pool (None ⇒ leases never expire).
+    pub ttl: Option<std::time::Duration>,
+    /// Run a concurrent segment reclaimer during the measured section
+    /// (wfrc only; the LFRC baseline can only reclaim stop-the-world).
+    pub reclaim: bool,
+}
+
+/// Result of one E12 server cell.
+pub struct ServerResult {
+    /// Tasks drained.
+    pub tasks: usize,
+    /// Total completed cache operations across tasks.
+    pub total_ops: u64,
+    /// Wall time of the task drain.
+    pub wall: std::time::Duration,
+    /// Lease-checkout latency (acquire start → guard in hand), one sample
+    /// per task — the queue wait under slot contention is the point.
+    pub checkout: Histogram,
+    /// Per-operation cache latency across all tasks.
+    pub op: Histogram,
+    /// Lease-pool statistics at the end of the run.
+    pub lease: LeaseSnapshot,
+    /// Segments retired by the concurrent reclaimer (wfrc only).
+    pub retired: u64,
+    /// Aborted/contended reclaim attempts (wfrc only).
+    pub aborted: u64,
+}
+
+impl ServerResult {
+    /// Cache operations per second over the drain wall time.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.wall.is_zero() {
+            0.0
+        } else {
+            self.total_ops as f64 / self.wall.as_secs_f64()
+        }
+    }
+}
+
+/// The per-task op loop shared by both schemes: a 50/30/20 put/get/remove
+/// mix, value sizes rotating through the domain's byte classes (a few
+/// bytes under each block size, so smallest-fit selection is exercised),
+/// first payload byte verified on every hit.
+///
+/// Keys are striped by the leased slot: a session holding tid `stripe`
+/// touches only keys `≡ stripe (mod stride)`. [`SessionCache`]'s session
+/// convention requires at-most-one concurrent operator per key, and the
+/// lease provides exactly that token — concurrent sessions hold distinct
+/// tids (disjoint stripes), while successive holders of the same tid
+/// inherit the stripe, so entries outlive the session that wrote them and
+/// cross-session reclamation stays on the measured path.
+/// Returns completed ops; per-op latencies land in `hist`.
+#[allow(clippy::too_many_arguments)]
+fn server_session_ops<M: SessionMm>(
+    h: &M,
+    cache: &SessionCache,
+    rng: &mut SmallRng,
+    sizes: &[usize],
+    keyspace: u64,
+    stripe: u64,
+    stride: u64,
+    ops: u64,
+    hist: &mut Histogram,
+) -> u64 {
+    let max = *sizes.iter().max().expect("at least one byte class");
+    let stripe_keys = (keyspace / stride).max(1);
+    let mut scratch = vec![0u8; max];
+    let mut done = 0u64;
+    for i in 0..ops {
+        let key = stripe + stride * rng.gen_range(stripe_keys);
+        let t0 = std::time::Instant::now();
+        let roll = rng.gen_range(100);
+        if roll < 50 {
+            let size = sizes[rng.gen_range(sizes.len() as u64) as usize];
+            let len = size - (i as usize % 8).min(size - 1);
+            scratch[0] = key as u8;
+            if cache.put(h, key, &scratch[..len]).is_err() {
+                // Byte classes exhausted mid-growth: shed load instead.
+                cache.remove(h, key);
+            }
+        } else if roll < 80 {
+            if let Some(v) = cache.get(h, key) {
+                assert_eq!(v[0], key as u8, "session value corrupted");
+            }
+        } else {
+            cache.remove(h, key);
+        }
+        hist.record(t0.elapsed().as_nanos() as u64);
+        done += 1;
+    }
+    // One session in four "logs out": it purges its whole stripe on the
+    // way to the slot release. The drain windows this opens are what give
+    // a concurrent reclaimer fully-free blocks to harvest — a steady
+    // 50/30/20 mix alone plateaus at an occupancy where no segment ever
+    // empties.
+    if rng.gen_range(4) == 0 {
+        for k in 0..stripe_keys {
+            cache.remove(h, stripe + stride * k);
+        }
+    }
+    done
+}
+
+/// E12: the server workload over the wait-free scheme. `cfg.tasks` async
+/// tasks on a [`PollLoop`] each check a [`wfrc_core::ThreadHandle`] out of
+/// a [`LeasePool`] (`cfg.slots` leases), hammer one shared
+/// [`SessionCache`], and check back in — so registration churn, magazine
+/// handoff, and checkout queueing are all on the measured path. With
+/// `cfg.reclaim`, a dedicated thread (its own registered handle — size the
+/// domain at `slots + 1`) concurrently drives
+/// [`wfrc_core::ThreadHandle::reclaim_class`] over every byte class for
+/// the whole run. The cache is disposed through a final lease before
+/// return, so the caller's [`WfrcDomain::leak_check`] must come back
+/// clean.
+pub fn run_server(domain: &WfrcDomain<ListCell<RawBytes>>, cfg: &ServerCfg) -> ServerResult {
+    let sizes: Vec<usize> = (0..domain.class_count())
+        .map(|i| domain.class_block_size(i))
+        .collect();
+    assert!(!sizes.is_empty(), "server bench needs byte classes");
+    let mut lease_cfg = LeaseConfig::new(cfg.slots);
+    if let Some(ttl) = cfg.ttl {
+        lease_cfg = lease_cfg.with_ttl(ttl);
+    }
+    let pool = LeasePool::new(domain, lease_cfg).expect("domain sized for the pool");
+    let cache = SessionCache::new(1024);
+    let checkout = std::sync::Mutex::new(Histogram::new());
+    let op_hist = std::sync::Mutex::new(Histogram::new());
+    let total = std::sync::atomic::AtomicU64::new(0);
+    let mut exec = PollLoop::new();
+    for task in 0..cfg.tasks {
+        let (pool, cache, sizes) = (&pool, &cache, &sizes);
+        let (checkout, op_hist, total) = (&checkout, &op_hist, &total);
+        let (ops, keyspace, stride) = (cfg.ops_per_task, cfg.keyspace, cfg.slots as u64);
+        exec.spawn(async move {
+            let mut rng = SmallRng::seed_from_u64(0xE12_0000 + task as u64);
+            let t0 = std::time::Instant::now();
+            let guard = pool.acquire_async().await;
+            let waited = t0.elapsed().as_nanos() as u64;
+            let stripe = guard.tid() as u64;
+            let mut local = Histogram::new();
+            let done = server_session_ops(
+                &*guard, cache, &mut rng, sizes, keyspace, stripe, stride, ops, &mut local,
+            );
+            drop(guard);
+            checkout.lock().unwrap().record(waited);
+            op_hist.lock().unwrap().merge(&local);
+            total.fetch_add(done, std::sync::atomic::Ordering::Relaxed);
+        });
+    }
+    let stop = StopFlag::new();
+    let (wall, retired, aborted) = std::thread::scope(|s| {
+        if std::env::var_os("E12_WATCHDOG").is_some() {
+            let (stop, pool, total, checkout) = (&stop, &pool, &total, &checkout);
+            s.spawn(move || {
+                let mut last = u64::MAX;
+                let mut stalls = 0u32;
+                while !stop.is_stopped() {
+                    std::thread::sleep(std::time::Duration::from_millis(500));
+                    let now = total.load(std::sync::atomic::Ordering::Relaxed);
+                    if now == last {
+                        stalls += 1;
+                    } else {
+                        stalls = 0;
+                        last = now;
+                    }
+                    if stalls >= 10 {
+                        eprintln!(
+                            "[watchdog] stalled: total_ops={now} checkouts_done={} stats={:?} {}",
+                            checkout.lock().unwrap().len(),
+                            pool.stats(),
+                            pool.debug_state(),
+                        );
+                        std::process::abort();
+                    }
+                }
+            });
+        }
+        let reclaimer = cfg.reclaim.then(|| {
+            let stop = &stop;
+            s.spawn(move || {
+                let h = domain.register().expect("domain sized for the reclaimer");
+                let (mut retired, mut aborted) = (0u64, 0u64);
+                while !stop.is_stopped() {
+                    for ci in 0..domain.class_count() {
+                        match h.reclaim_class(ci) {
+                            ReclaimOutcome::Retired { .. } => retired += 1,
+                            ReclaimOutcome::NoCandidate => {}
+                            _ => aborted += 1,
+                        }
+                    }
+                    std::thread::yield_now();
+                }
+                (retired, aborted)
+            })
+        });
+        let wall = exec.run(cfg.workers);
+        stop.stop();
+        let (retired, aborted) = reclaimer.map_or((0, 0), |j| j.join().unwrap());
+        (wall, retired, aborted)
+    });
+    let g = pool.acquire();
+    cache.dispose(&*g);
+    drop(g);
+    // Teardown reclamation: with every session gone, the grown arena
+    // should come back. Flush each slot's magazines (freed blocks parked
+    // there pin their segments), then sweep the classes to quiescence —
+    // the server-shaped analogue of E11's drain phase. Mid-run retirement
+    // is rare by design: a live cache holds every segment partially
+    // occupied, so the elastic story is the logout/teardown drains.
+    let retired = if cfg.reclaim {
+        let guards: Vec<_> = (0..cfg.slots).map(|_| pool.acquire()).collect();
+        for g in &guards {
+            g.flush_magazines();
+        }
+        let h = &guards[0];
+        let mut swept = retired;
+        loop {
+            let mut progressed = false;
+            for ci in 0..domain.class_count() {
+                if let ReclaimOutcome::Retired { .. } = h.reclaim_class(ci) {
+                    swept += 1;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        swept
+    } else {
+        retired
+    };
+    let lease = pool.stats();
+    drop(pool);
+    ServerResult {
+        tasks: cfg.tasks,
+        total_ops: total.into_inner(),
+        wall,
+        checkout: checkout.into_inner().unwrap(),
+        op: op_hist.into_inner().unwrap(),
+        lease,
+        retired,
+        aborted,
+    }
+}
+
+/// The LFRC counterpart of [`run_server`]: identical task set over the
+/// baseline's lease pool. `cfg.reclaim` is ignored here — the baseline's
+/// byte-class reclamation is stop-the-world (`&mut self`), so the caller
+/// runs [`LfrcDomain::reclaim_class_quiescent`] after this returns; that
+/// asymmetry is part of what E12 shows.
+pub fn run_server_lfrc(domain: &LfrcDomain<ListCell<RawBytes>>, cfg: &ServerCfg) -> ServerResult {
+    let sizes: Vec<usize> = (0..domain.class_count())
+        .map(|i| domain.class_block_size(i))
+        .collect();
+    assert!(!sizes.is_empty(), "server bench needs byte classes");
+    let mut lease_cfg = LeaseConfig::new(cfg.slots);
+    if let Some(ttl) = cfg.ttl {
+        lease_cfg = lease_cfg.with_ttl(ttl);
+    }
+    let pool = LeasePool::new(domain, lease_cfg).expect("domain sized for the pool");
+    let cache = SessionCache::new(1024);
+    let checkout = std::sync::Mutex::new(Histogram::new());
+    let op_hist = std::sync::Mutex::new(Histogram::new());
+    let total = std::sync::atomic::AtomicU64::new(0);
+    let mut exec = PollLoop::new();
+    for task in 0..cfg.tasks {
+        let (pool, cache, sizes) = (&pool, &cache, &sizes);
+        let (checkout, op_hist, total) = (&checkout, &op_hist, &total);
+        let (ops, keyspace, stride) = (cfg.ops_per_task, cfg.keyspace, cfg.slots as u64);
+        exec.spawn(async move {
+            let mut rng = SmallRng::seed_from_u64(0xE12_0000 + task as u64);
+            let t0 = std::time::Instant::now();
+            let guard = pool.acquire_async().await;
+            let waited = t0.elapsed().as_nanos() as u64;
+            let stripe = guard.tid() as u64;
+            let mut local = Histogram::new();
+            let done = server_session_ops(
+                &*guard, cache, &mut rng, sizes, keyspace, stripe, stride, ops, &mut local,
+            );
+            drop(guard);
+            checkout.lock().unwrap().record(waited);
+            op_hist.lock().unwrap().merge(&local);
+            total.fetch_add(done, std::sync::atomic::Ordering::Relaxed);
+        });
+    }
+    let wall = exec.run(cfg.workers);
+    let g = pool.acquire();
+    cache.dispose(&*g);
+    drop(g);
+    let lease = pool.stats();
+    drop(pool);
+    ServerResult {
+        tasks: cfg.tasks,
+        total_ops: total.into_inner(),
+        wall,
+        checkout: checkout.into_inner().unwrap(),
+        op: op_hist.into_inner().unwrap(),
+        lease,
+        retired: 0,
+        aborted: 0,
+    }
 }

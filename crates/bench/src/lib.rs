@@ -65,6 +65,14 @@ pub struct Args {
     /// `--classes 64,256,1024`. Binaries that don't allocate raw bytes
     /// ignore it; an empty vec means "use the binary's default ladder".
     pub classes: Vec<usize>,
+    /// Concurrent async tasks for the server experiment (E12). Other
+    /// binaries ignore it.
+    pub tasks: usize,
+    /// Lease-pool slot counts to sweep (E12), e.g. `--slots 16,64`.
+    pub slots: Vec<usize>,
+    /// Poll-loop worker threads for E12; 0 means "use the machine's
+    /// available parallelism".
+    pub workers: usize,
 }
 
 impl Args {
@@ -79,6 +87,9 @@ impl Args {
             reclaim: false,
             mode: "both".into(),
             classes: Vec::new(),
+            tasks: 10_000,
+            slots: vec![16, 64],
+            workers: 0,
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -117,10 +128,33 @@ impl Args {
                         .collect();
                     assert!(!out.classes.is_empty(), "--classes needs at least one size");
                 }
+                "--tasks" => {
+                    out.tasks = args
+                        .next()
+                        .expect("--tasks needs a value")
+                        .parse()
+                        .expect("bad task count");
+                }
+                "--slots" => {
+                    let v = args.next().expect("--slots needs a value");
+                    out.slots = v
+                        .split(',')
+                        .map(|s| s.trim().parse().expect("bad slot count"))
+                        .collect();
+                    assert!(!out.slots.is_empty(), "--slots needs at least one count");
+                }
+                "--workers" => {
+                    out.workers = args
+                        .next()
+                        .expect("--workers needs a value")
+                        .parse()
+                        .expect("bad worker count");
+                }
                 other => {
                     panic!(
                         "unknown argument: {other} (expected --threads/--ops/--json\
-                         /--grow/--magazine/--reclaim/--mode/--classes)"
+                         /--grow/--magazine/--reclaim/--mode/--classes\
+                         /--tasks/--slots/--workers)"
                     )
                 }
             }

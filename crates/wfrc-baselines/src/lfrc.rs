@@ -239,8 +239,16 @@ impl<T: RcObject> LfrcDomain<T> {
         self.classes[class].reclaim_quiescent(threads)
     }
 
-    /// Registers the calling context.
+    /// Registers the calling context. Equivalent to
+    /// [`LfrcDomain::try_register`] (same non-panicking contract as
+    /// `wfrc_core::WfrcDomain::register`).
     pub fn register(&self) -> Result<LfrcHandle<'_, T>, wfrc_core::domain::RegistryFull> {
+        self.try_register()
+    }
+
+    /// Non-panicking registration: claims a free thread id, or reports
+    /// [`wfrc_core::domain::RegistryFull`] if all slots are in use.
+    pub fn try_register(&self) -> Result<LfrcHandle<'_, T>, wfrc_core::domain::RegistryFull> {
         for (tid, slot) in self.slots.iter().enumerate() {
             // Same orderings (and argument) as `wfrc_core::domain::register`:
             // Relaxed probe, Acquire claim pairing with the Release free.
@@ -1053,6 +1061,21 @@ impl<'d, T: RcObject> LfrcHandle<'d, T> {
 }
 
 impl<'d, T: RcObject> LfrcHandle<'d, T> {
+    /// Drains this handle's magazines (node pool and byte classes) back
+    /// to the shared free structures without dropping the handle — the
+    /// baseline twin of [`wfrc_core::ThreadHandle::flush_magazines`],
+    /// used by the lease pool's `flush_on_release` policy.
+    pub fn flush_magazines(&self) {
+        // SAFETY: still the exclusive owner of `tid`'s slot.
+        let batch = unsafe { self.domain.mag.take(self.tid, usize::MAX) };
+        if !batch.is_empty() {
+            self.drain_batch(batch);
+        }
+        for cls in self.domain.classes.iter() {
+            cls.drain_magazine(self.tid, &self.counters);
+        }
+    }
+
     /// Deliberately orphans this handle for
     /// [`LfrcDomain::adopt_orphans`], exactly like
     /// [`wfrc_core::ThreadHandle::abandon`].
@@ -1075,20 +1098,48 @@ impl<T: RcObject> Drop for LfrcHandle<'_, T> {
             debug_assert_eq!(was, SLOT_TAKEN);
             return;
         }
-        // Return magazine-parked nodes before the thread id becomes
-        // claimable, same as `wfrc_core::ThreadHandle`.
-        // SAFETY: still the exclusive owner of `tid`'s slot.
-        let batch = unsafe { self.domain.mag.take(self.tid, usize::MAX) };
-        if !batch.is_empty() {
-            self.drain_batch(batch);
-        }
-        // Same teardown per byte class.
-        for cls in self.domain.classes.iter() {
-            cls.drain_magazine(self.tid, &self.counters);
-        }
+        // Return magazine-parked nodes (node pool and every byte class)
+        // strictly before the thread id becomes claimable, same as
+        // `wfrc_core::ThreadHandle`.
+        self.flush_magazines();
         // Release: pairs with the Acquire claim of the next `register`.
         let was = self.domain.slots[self.tid].swap_with(SLOT_FREE, Ordering::Release);
         debug_assert_eq!(was, SLOT_TAKEN);
+    }
+}
+
+/// The lease pool runs over the baseline unmodified: registration,
+/// abandonment, and adoption have the same shape, so the E12 server bench
+/// compares the schemes behind one [`wfrc_core::lease::LeasePool`] API.
+impl<T: RcObject> wfrc_core::lease::LeaseRegistry for LfrcDomain<T> {
+    type Handle<'d>
+        = LfrcHandle<'d, T>
+    where
+        Self: 'd;
+
+    fn try_register_handle(&self) -> Result<Self::Handle<'_>, wfrc_core::domain::RegistryFull> {
+        self.try_register()
+    }
+
+    fn abandon_handle<'d>(&'d self, handle: Self::Handle<'d>) {
+        handle.abandon();
+    }
+
+    fn adopt_all(&self) -> wfrc_core::AdoptReport {
+        self.adopt_orphans()
+    }
+
+    fn flush_handle<'d>(&'d self, handle: &Self::Handle<'d>) {
+        handle.flush_magazines();
+    }
+
+    fn handle_tid(handle: &Self::Handle<'_>) -> usize {
+        handle.tid()
+    }
+
+    #[cfg(feature = "fault-injection")]
+    fn lease_fault<'d>(&'d self, handle: &Self::Handle<'d>) {
+        handle.fault_hit(wfrc_core::fault::FaultSite::LeaseExpire);
     }
 }
 

@@ -11,6 +11,7 @@
 //! unbounded retries of the lock-free baseline.
 
 use core::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counters for one registered thread. Snapshot with [`OpCounters::snapshot`].
 #[derive(Debug, Default)]
@@ -315,9 +316,105 @@ impl CounterSnapshot {
     }
 }
 
+/// Pool-level telemetry for the lease subsystem ([`crate::lease`]).
+///
+/// Unlike [`OpCounters`] — which are strictly per-thread `Cell`s — lease
+/// events are produced by every task that touches the pool, so these are
+/// shared `Relaxed` atomics. They are telemetry only: no protocol decision
+/// reads them.
+#[derive(Debug, Default)]
+pub struct LeaseStats {
+    /// Leases checked out (scan claims + handoffs).
+    pub issued: AtomicU64,
+    /// Guards dropped cleanly (slot returned to circulation).
+    pub released: AtomicU64,
+    /// Releases that handed the slot directly to an enrolled waiter
+    /// instead of returning it to the free scan.
+    pub handoffs: AtomicU64,
+    /// Waiters that enrolled on the wakeup list (the helping-ticket path).
+    pub enrolled: AtomicU64,
+    /// Bounded claim scans that completed a full pass without claiming
+    /// (the reservation guarantees a later pass succeeds; see DESIGN.md).
+    pub long_scans: AtomicU64,
+    /// `try_acquire` calls refused because every slot was checked out.
+    pub exhausted: AtomicU64,
+    /// Leases whose deadline passed and were marked ORPHANED by
+    /// `expire_overdue`.
+    pub expired: AtomicU64,
+    /// Guards dropped during a panic (slot marked ORPHANED for recovery).
+    pub panic_orphans: AtomicU64,
+    /// ORPHANED lease slots recovered back into circulation.
+    pub recovered: AtomicU64,
+    /// Recovery attempts that could not re-register a handle (the slot
+    /// stays out of circulation until a later `expire_overdue` retries).
+    pub recover_failures: AtomicU64,
+    /// Handle magazines flushed on release (`flush_on_release` policy).
+    pub flushes: AtomicU64,
+}
+
+impl LeaseStats {
+    /// Creates zeroed stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds 1 to a stat (helper for the lease implementation).
+    #[doc(hidden)]
+    #[inline]
+    pub fn bump(c: &AtomicU64) {
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies the current values out.
+    pub fn snapshot(&self) -> LeaseSnapshot {
+        LeaseSnapshot {
+            issued: self.issued.load(Ordering::Relaxed),
+            released: self.released.load(Ordering::Relaxed),
+            handoffs: self.handoffs.load(Ordering::Relaxed),
+            enrolled: self.enrolled.load(Ordering::Relaxed),
+            long_scans: self.long_scans.load(Ordering::Relaxed),
+            exhausted: self.exhausted.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            panic_orphans: self.panic_orphans.load(Ordering::Relaxed),
+            recovered: self.recovered.load(Ordering::Relaxed),
+            recover_failures: self.recover_failures.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned copy of [`LeaseStats`] values.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // field meanings documented on LeaseStats
+pub struct LeaseSnapshot {
+    pub issued: u64,
+    pub released: u64,
+    pub handoffs: u64,
+    pub enrolled: u64,
+    pub long_scans: u64,
+    pub exhausted: u64,
+    pub expired: u64,
+    pub panic_orphans: u64,
+    pub recovered: u64,
+    pub recover_failures: u64,
+    pub flushes: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn lease_stats_snapshot() {
+        let s = LeaseStats::new();
+        LeaseStats::bump(&s.issued);
+        LeaseStats::bump(&s.issued);
+        LeaseStats::bump(&s.handoffs);
+        let snap = s.snapshot();
+        assert_eq!(snap.issued, 2);
+        assert_eq!(snap.handoffs, 1);
+        assert_eq!(snap.released, 0);
+    }
 
     #[test]
     fn bump_add_and_max() {

@@ -308,7 +308,19 @@ impl<T: RcObject> WfrcDomain<T> {
     /// from two threads at once (the paper's `threadId` is "unique and
     /// fixed"), and the `!Sync` bound enforces exactly that while still
     /// allowing a handle to migrate with a moved worker.
+    ///
+    /// Equivalent to [`WfrcDomain::try_register`]; both return
+    /// [`RegistryFull`] without panicking when every slot is taken, so
+    /// callers multiplexing more tasks than slots (see [`crate::lease`])
+    /// can treat exhaustion as a recoverable condition.
     pub fn register(&self) -> Result<ThreadHandle<'_, T>, RegistryFull> {
+        self.try_register()
+    }
+
+    /// Non-panicking registration: claims a free thread id, or reports
+    /// [`RegistryFull`] if all `max_threads` ids are in use (taken or
+    /// awaiting [`WfrcDomain::adopt_orphans`]).
+    pub fn try_register(&self) -> Result<ThreadHandle<'_, T>, RegistryFull> {
         for (tid, slot) in self.slots.iter().enumerate() {
             // Relaxed pre-check: a pure scan hint, the CAS re-validates.
             // Acquire on success pairs with the Release in `unregister` /
@@ -695,6 +707,17 @@ impl AdoptReport {
             + self.gifts_recovered
             + self.magazine_nodes_recovered
             + self.class_nodes_recovered
+    }
+
+    /// Element-wise sum, for aggregating reports over several passes
+    /// (e.g. the lease pool's recovery loop).
+    pub fn merged(mut self, other: &AdoptReport) -> AdoptReport {
+        self.orphans_adopted += other.orphans_adopted;
+        self.announce_refs_released += other.announce_refs_released;
+        self.gifts_recovered += other.gifts_recovered;
+        self.magazine_nodes_recovered += other.magazine_nodes_recovered;
+        self.class_nodes_recovered += other.class_nodes_recovered;
+        self
     }
 }
 

@@ -94,11 +94,19 @@ pub enum FaultSite {
     /// (parked nodes pushed back, `DRAINING → LIVE`), after which a fresh
     /// `reclaim()` call can complete the retire.
     SegmentRetire,
+    /// In [`crate::lease`] checkout, after the pool has claimed a slot and
+    /// installed the lease deadline but before the guard is handed to the
+    /// caller. `Die` here models a task that perishes the instant it owns a
+    /// lease: the slot stays LEASED with a live handle parked inside it,
+    /// and only the deadline expiry path (`LeasePool::expire_overdue` in
+    /// [`crate::lease`]) can route it — via ORPHANED and `adopt_orphans` —
+    /// back into circulation.
+    LeaseExpire,
 }
 
 impl FaultSite {
     /// Every registered site, in protocol order.
-    pub const ALL: [FaultSite; 10] = [
+    pub const ALL: [FaultSite; 11] = [
         FaultSite::AnnouncePublish,
         FaultSite::DerefFaa,
         FaultSite::HelperCas,
@@ -109,6 +117,7 @@ impl FaultSite {
         FaultSite::GrowSeed,
         FaultSite::SummaryClear,
         FaultSite::SegmentRetire,
+        FaultSite::LeaseExpire,
     ];
 
     /// Stable display name (used by the chaos driver's report).
@@ -124,6 +133,7 @@ impl FaultSite {
             FaultSite::GrowSeed => "grow_seed",
             FaultSite::SummaryClear => "summary_clear",
             FaultSite::SegmentRetire => "segment_retire",
+            FaultSite::LeaseExpire => "lease_expire",
         }
     }
 

@@ -260,6 +260,25 @@ impl<'d, T: RcObject> ThreadHandle<'d, T> {
         core::mem::forget(self);
     }
 
+    /// Drains this handle's magazines — node pool and every byte class —
+    /// back to the shared free-list stripes without dropping the handle.
+    ///
+    /// This is the handle-drop teardown as a standalone operation: the
+    /// lease pool ([`crate::lease`]) calls it when a guard is returned with
+    /// `flush_on_release`, so a slot parked in the pool does not privatize
+    /// capacity between checkouts.
+    pub fn flush_magazines(&self) {
+        {
+            let _op = self.op();
+            self.domain
+                .shared()
+                .drain_magazine(self.tid, &self.counters);
+        }
+        for cls in self.domain.classes() {
+            cls.drain_magazine(self.tid, &self.counters);
+        }
+    }
+
     // ------------------------------------------------------------------
     // Raw layer: the paper's operations verbatim
     // ------------------------------------------------------------------
@@ -510,21 +529,12 @@ impl<T: RcObject> Drop for ThreadHandle<'_, T> {
             self.domain.orphan(self.tid);
             return;
         }
-        // Return magazine-parked nodes to the shared stripes before the
-        // thread id becomes claimable: a successor thread gets a fresh
-        // (empty) magazine, and repeated register/alloc/drop cycles
-        // conserve the pool.
-        {
-            let _op = self.op();
-            self.domain
-                .shared()
-                .drain_magazine(self.tid, &self.counters);
-        }
-        // Same teardown per byte class: each class has its own magazine
-        // for this slot (the class impl brackets its own epoch).
-        for cls in self.domain.classes() {
-            cls.drain_magazine(self.tid, &self.counters);
-        }
+        // Return magazine-parked nodes (node pool and every byte class) to
+        // the shared stripes strictly before the thread id becomes
+        // claimable: a successor thread gets a fresh (empty) magazine, and
+        // repeated register/alloc/drop cycles conserve the pool. The
+        // Release in `unregister` publishes the drain to the next claimant.
+        self.flush_magazines();
         self.domain.unregister(self.tid);
     }
 }

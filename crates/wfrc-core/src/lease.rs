@@ -1,0 +1,1443 @@
+//! Handle virtualization: a wait-free lease pool over registration slots.
+//!
+//! Every table in the scheme — announcement matrices, free-list stripes,
+//! operation epochs — is sized by the domain's `NR_THREADS`, and the paper
+//! assumes a thread's `threadId` is "unique and fixed". A server workload
+//! has neither: tens of thousands of short-lived tasks, none pinned to a
+//! thread. This module keeps the paper's machinery intact by *leasing*
+//! thread ids: a [`LeasePool`] holds `N` pre-registered handles and checks
+//! them out to `M ≫ N` tasks, one at a time per handle, so the `O(N)`
+//! helping bounds and per-slot state never grow with task count (the same
+//! move DEBRA+ makes for reclamation state — bound the per-thread table,
+//! recover entries from stalled owners).
+//!
+//! # Checkout protocol
+//!
+//! A lease slot is one word, `generation << 3 | state`, with four states:
+//!
+//! ```text
+//! FREE ──claim CAS (gen+1)──▶ LEASED ──guard drop──▶ FREE
+//!   ▲                           │ deadline passed / panic drop
+//!   │                           ▼
+//! RECOVERING ◀──claim CAS── ORPHANED
+//!   │  take handle · abandon · adopt_all · re-register
+//!   ▼
+//! FREE (gen+1)
+//! ```
+//!
+//! [`LeasePool::try_acquire`] first *reserves* capacity with one
+//! fetch-and-add on a semaphore word (`free_count`), then claims a FREE
+//! slot with a bounded rotor scan — at most [`LeaseConfig::scan_passes`]
+//! passes over the `N` slot words, each claim a single CAS. The
+//! reservation keeps the count an *undercount* of actually-FREE slots, so
+//! a failed scan pass can only mean another reserver claimed concurrently;
+//! the call is bounded either way (`O(passes · N)` steps, then an error).
+//!
+//! [`LeasePool::acquire`] adds the *helping ticket*: when the bounded scan
+//! trips, the caller enrolls in a fixed array of waiter cells and sets its
+//! bit in a one-word waiter summary (the same presence-summary idiom as
+//! the announcement bitmap of PR 4). A releasing guard that sees the
+//! summary non-zero does not return its slot to the scan at all — it takes
+//! the slot back (`FREE(g) → LEASED(g+1)`) and *hands it directly* to one
+//! enrolled waiter through the waiter's cell, so an enrolled waiter never
+//! competes with the scan again: one release, one targeted wake, one
+//! checkout. Blocking happens only while **every** slot is checked out —
+//! genuine capacity exhaustion, which no allocator can wait-free its way
+//! around — and each coordination step (reserve, claim, enroll, hand off)
+//! is individually bounded. See DESIGN.md §4e for the full argument.
+//!
+//! # Expiry and adoption
+//!
+//! A lease carries an optional deadline ([`LeaseConfig::with_ttl`]).
+//! [`LeasePool::expire_overdue`] CASes overdue `LEASED` slots to
+//! `ORPHANED`, then recovers every `ORPHANED` slot: take the handle out of
+//! the slot, [`LeaseRegistry::abandon_handle`] it (marking the domain's
+//! registration slot ORPHANED exactly as a crashed thread would),
+//! run [`LeaseRegistry::adopt_all`] (the PR 3 recovery machinery —
+//! announcement retraction, gift and magazine recovery), re-register a
+//! fresh handle, and return the slot to circulation. A task that dies
+//! mid-lease — at the new `LeaseExpire` fault site (behind the
+//! `fault-injection` feature) or at
+//! any other armed site — is therefore recovered exactly like a crashed
+//! thread. **The deadline is a promise**: the pool assumes an overdue
+//! holder has perished. Expiring a lease whose holder is still issuing
+//! operations is a contract violation (two owners of one thread id), the
+//! same trust model as the paper's "unique and fixed" `threadId`.
+//!
+//! # Example
+//!
+//! ```
+//! use wfrc_core::lease::{LeaseConfig, LeasePool};
+//! use wfrc_core::{DomainConfig, WfrcDomain};
+//!
+//! let domain = WfrcDomain::<u64>::new(DomainConfig::new(8, 128).with_magazine(8));
+//! // 4 lease slots multiplex any number of tasks over 4 thread ids.
+//! let pool = LeasePool::new(&domain, LeaseConfig::new(4)).unwrap();
+//!
+//! let lease = pool.acquire();
+//! let node = lease.alloc_with(|v| *v = 7).unwrap();
+//! assert_eq!(*node, 7);
+//! drop(node);
+//! drop(lease); // slot flushed and returned hot
+//!
+//! assert_eq!(pool.stats().issued, 1);
+//! assert_eq!(pool.stats().released, 1);
+//! drop(pool);
+//! assert!(domain.leak_check().is_clean());
+//! ```
+
+use core::cell::UnsafeCell;
+use core::marker::PhantomData;
+use core::sync::atomic::{AtomicU64, Ordering};
+use core::time::Duration;
+use std::sync::Mutex;
+use std::task::Waker;
+use std::time::Instant;
+
+use wfrc_primitives::{AtomicWord, CachePadded};
+
+use crate::counters::{LeaseSnapshot, LeaseStats};
+use crate::domain::{AdoptReport, RegistryFull, WfrcDomain};
+use crate::node::RcObject;
+use crate::ThreadHandle;
+
+// ---------------------------------------------------------------------------
+// Registry abstraction
+// ---------------------------------------------------------------------------
+
+/// What a [`LeasePool`] needs from a domain: registration, abandonment,
+/// orphan adoption, and magazine flushing. Implemented by
+/// [`WfrcDomain`] here and by the LFRC baseline domain in
+/// `wfrc-baselines`, so the pool (and the E12 server bench) runs
+/// identically over both schemes.
+pub trait LeaseRegistry: Sync {
+    /// The per-slot handle checked in and out of the pool. `Send` so a
+    /// lease can migrate with the task that holds it; never `Sync` in
+    /// practice (one thread id, one user at a time).
+    type Handle<'d>: Send
+    where
+        Self: 'd;
+
+    /// Claims a registration slot without panicking on exhaustion.
+    fn try_register_handle(&self) -> Result<Self::Handle<'_>, RegistryFull>;
+
+    /// Marks `handle`'s slot ORPHANED for [`LeaseRegistry::adopt_all`],
+    /// exactly as if the owning thread died.
+    fn abandon_handle<'d>(&'d self, handle: Self::Handle<'d>);
+
+    /// Runs the domain's orphan adoption, recovering every abandoned
+    /// slot's resources (announcements, gifts, magazines).
+    fn adopt_all(&self) -> AdoptReport;
+
+    /// Drains `handle`'s magazines (node pool and byte classes) back to
+    /// the shared structures.
+    fn flush_handle<'d>(&'d self, handle: &Self::Handle<'d>);
+
+    /// `handle`'s registered thread id, for diagnostics.
+    fn handle_tid(handle: &Self::Handle<'_>) -> usize;
+
+    /// Fires the [`LeaseExpire`](crate::fault::FaultSite::LeaseExpire)
+    /// fault site on behalf of `handle`, if a plan is installed.
+    #[cfg(feature = "fault-injection")]
+    fn lease_fault<'d>(&'d self, handle: &Self::Handle<'d>);
+}
+
+impl<T: RcObject> LeaseRegistry for WfrcDomain<T> {
+    type Handle<'d>
+        = ThreadHandle<'d, T>
+    where
+        Self: 'd;
+
+    fn try_register_handle(&self) -> Result<Self::Handle<'_>, RegistryFull> {
+        self.try_register()
+    }
+
+    fn abandon_handle<'d>(&'d self, handle: Self::Handle<'d>) {
+        handle.abandon();
+    }
+
+    fn adopt_all(&self) -> AdoptReport {
+        self.adopt_orphans()
+    }
+
+    fn flush_handle<'d>(&'d self, handle: &Self::Handle<'d>) {
+        handle.flush_magazines();
+    }
+
+    fn handle_tid(handle: &Self::Handle<'_>) -> usize {
+        handle.tid()
+    }
+
+    #[cfg(feature = "fault-injection")]
+    fn lease_fault<'d>(&'d self, handle: &Self::Handle<'d>) {
+        self.shared().fault_hit(
+            handle.counters(),
+            crate::fault::FaultSite::LeaseExpire,
+            handle.tid(),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Slot and waiter words
+// ---------------------------------------------------------------------------
+
+/// Slot states, packed as `generation << STATE_BITS | state`. The
+/// generation bumps on every claim out of FREE (and on recovery), so a
+/// stale guard or expiry decision from a previous tenancy can never CAS a
+/// current one (the registration-slot ABA defense, one word).
+const STATE_BITS: u32 = 3;
+const STATE_MASK: usize = (1 << STATE_BITS) - 1;
+const FREE: usize = 0;
+const LEASED: usize = 1;
+const ORPHANED: usize = 2;
+const RECOVERING: usize = 3;
+
+#[inline]
+fn pack(generation: usize, state: usize) -> usize {
+    (generation << STATE_BITS) | state
+}
+
+#[inline]
+fn state_of(word: usize) -> usize {
+    word & STATE_MASK
+}
+
+#[inline]
+fn gen_of(word: usize) -> usize {
+    word >> STATE_BITS
+}
+
+/// Waiter-cell states. `SETUP` is a private intermediate (the enrolling or
+/// cancelling waiter owns the cell while installing/removing its parker);
+/// releasers only ever CAS `WAITING → CLAIMED`, then store the handed slot
+/// as `(slot_index << STATE_BITS) | HANDED_TAG`.
+const W_EMPTY: usize = 0;
+const W_SETUP: usize = 1;
+const W_WAITING: usize = 2;
+const W_CLAIMED: usize = 3;
+const HANDED_TAG: usize = 4;
+
+#[inline]
+fn handed_word(slot: usize) -> usize {
+    (slot << STATE_BITS) | HANDED_TAG
+}
+
+#[inline]
+fn is_handed(word: usize) -> bool {
+    word & STATE_MASK == HANDED_TAG
+}
+
+#[inline]
+fn handed_slot(word: usize) -> usize {
+    word >> STATE_BITS
+}
+
+/// How a parked waiter is woken: sync callers park their thread, async
+/// callers leave their task's [`Waker`].
+enum Parker {
+    Thread(std::thread::Thread),
+    Waker(Waker),
+}
+
+struct WaiterCell {
+    state: CachePadded<AtomicWord>,
+    /// The parker is installed under `SETUP` (exclusive) and consumed by
+    /// the releaser's wake after `HANDED`; the mutex is never contended
+    /// beyond that two-party exchange and never held across user code.
+    parker: Mutex<Option<Parker>>,
+}
+
+impl WaiterCell {
+    fn new() -> Self {
+        Self {
+            state: CachePadded::new(AtomicWord::new(W_EMPTY)),
+            parker: Mutex::new(None),
+        }
+    }
+
+    fn set_parker(&self, p: Option<Parker>) {
+        *self.parker.lock().unwrap_or_else(|e| e.into_inner()) = p;
+    }
+
+    fn wake(&self) {
+        let taken = self.parker.lock().unwrap_or_else(|e| e.into_inner()).take();
+        match taken {
+            Some(Parker::Thread(t)) => t.unpark(),
+            Some(Parker::Waker(w)) => w.wake(),
+            None => {}
+        }
+    }
+}
+
+struct LeaseSlot<H> {
+    state: CachePadded<AtomicWord>,
+    /// Lease deadline in nanoseconds since the pool's epoch; 0 = none.
+    /// Zeroed by whoever takes the slot out of circulation (releaser,
+    /// recoverer), installed by the new leaseholder — so a slot observed
+    /// `LEASED` with deadline 0 is mid-checkout, never overdue.
+    deadline: AtomicU64,
+    /// The registered handle parked in this slot. Accessed only by the
+    /// slot's current exclusive owner: the guard holder (claimed LEASED),
+    /// the recoverer (claimed RECOVERING), or pool construction/drop.
+    handle: UnsafeCell<Option<H>>,
+}
+
+// ---------------------------------------------------------------------------
+// Configuration and errors
+// ---------------------------------------------------------------------------
+
+/// Configuration for a [`LeasePool`].
+#[derive(Debug, Clone)]
+pub struct LeaseConfig {
+    /// Number of handles to pre-register (≤ the domain's free slots).
+    pub slots: usize,
+    /// Lease time-to-live: a guard held past this is eligible for
+    /// [`LeasePool::expire_overdue`]. `None` (default) = leases never
+    /// expire; only panic-orphaned slots are recovered.
+    pub ttl: Option<Duration>,
+    /// Drain the handle's magazines on every guard drop (default off:
+    /// the slot returns *hot*, its magazine intact for the next tenant).
+    pub flush_on_release: bool,
+    /// Full scan passes [`LeasePool::try_acquire`] attempts before
+    /// reporting contention (and [`LeasePool::acquire`] falls back to the
+    /// helping ticket). Default 2.
+    pub scan_passes: usize,
+}
+
+impl LeaseConfig {
+    /// Defaults: no TTL, hot release, 2 scan passes.
+    pub fn new(slots: usize) -> Self {
+        Self {
+            slots,
+            ttl: None,
+            flush_on_release: false,
+            scan_passes: 2,
+        }
+    }
+
+    /// Sets the lease time-to-live (see [`LeasePool::expire_overdue`]).
+    pub fn with_ttl(mut self, ttl: Duration) -> Self {
+        self.ttl = Some(ttl);
+        self
+    }
+
+    /// Sets whether guards drain their slot's magazines on drop.
+    pub fn with_flush_on_release(mut self, flush: bool) -> Self {
+        self.flush_on_release = flush;
+        self
+    }
+
+    /// Sets the bounded-scan pass count (clamped to ≥ 1).
+    pub fn with_scan_passes(mut self, passes: usize) -> Self {
+        self.scan_passes = passes.max(1);
+        self
+    }
+}
+
+/// Error of [`LeasePool::try_acquire`]: no lease could be claimed within
+/// the bounded scan — every slot checked out, or (rarely) every FREE slot
+/// lost to a concurrent claimant within the pass bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolExhausted;
+
+impl core::fmt::Display for PoolExhausted {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "no lease slot claimable within the bounded scan")
+    }
+}
+
+impl std::error::Error for PoolExhausted {}
+
+/// Error of [`LeasePool::acquire_timeout`]: the deadline passed with every
+/// slot still checked out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AcquireTimeout;
+
+impl core::fmt::Display for AcquireTimeout {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "timed out waiting for a lease slot")
+    }
+}
+
+impl std::error::Error for AcquireTimeout {}
+
+/// What one [`LeasePool::expire_overdue`] pass did.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ExpireReport {
+    /// Overdue `LEASED` slots marked `ORPHANED` this pass.
+    pub expired: usize,
+    /// `ORPHANED` slots recovered back into circulation (includes slots
+    /// orphaned by panicking guard drops and by earlier passes).
+    pub recovered: usize,
+    /// Recoveries that could not re-register a handle (slot left out of
+    /// circulation; a later pass retries).
+    pub register_failures: usize,
+    /// Aggregated domain-side adoption work (see [`AdoptReport`]).
+    pub adopt: AdoptReport,
+}
+
+// ---------------------------------------------------------------------------
+// The pool
+// ---------------------------------------------------------------------------
+
+/// A wait-free pool of leased [`LeaseRegistry::Handle`]s. See the
+/// [module docs](crate::lease) for the protocol.
+pub struct LeasePool<'d, R: LeaseRegistry> {
+    registry: &'d R,
+    slots: Box<[LeaseSlot<R::Handle<'d>>]>,
+    /// Capacity semaphore: an undercount of FREE slots (each outstanding
+    /// reservation and each not-yet-recirculated release subtracts).
+    /// Manipulated exclusively with FAA; transiently dips below zero
+    /// (stored as two's-complement) under racing reservers.
+    free_count: CachePadded<AtomicWord>,
+    /// Rotor: scan start position, FAA-advanced per scan so concurrent
+    /// claimants spread over the slot array instead of colliding on 0.
+    rotor: CachePadded<AtomicWord>,
+    waiters: Box<[WaiterCell]>,
+    /// One presence bit per waiter cell (the PR 4 summary idiom): a
+    /// releaser reads one word to learn "someone is enrolled" and only
+    /// then walks the cells.
+    waiter_summary: CachePadded<AtomicWord>,
+    stats: LeaseStats,
+    ttl_ns: u64,
+    flush_on_release: bool,
+    scan_passes: usize,
+    epoch: Instant,
+}
+
+// SAFETY: the only non-Sync ingredient is the `UnsafeCell<Option<Handle>>`
+// per slot, and the protocol grants it to exactly one owner at a time: the
+// guard holder (claimed `FREE → LEASED` or received a handoff), the
+// recoverer (claimed `ORPHANED → RECOVERING`), or `&mut self` paths. The
+// handle itself is `Send` (trait bound), so moving that exclusive access
+// across threads is sound. Everything else is atomics and a Mutex.
+unsafe impl<'d, R: LeaseRegistry> Sync for LeasePool<'d, R> {}
+// SAFETY: same argument; the pool owns handles only through the cells.
+unsafe impl<'d, R: LeaseRegistry> Send for LeasePool<'d, R> {}
+
+impl<'d, R: LeaseRegistry> LeasePool<'d, R> {
+    /// Pre-registers `config.slots` handles from `registry` and builds the
+    /// pool. Fails with [`RegistryFull`] if the domain cannot supply that
+    /// many ids (handles already claimed are released).
+    ///
+    /// # Panics
+    /// If `config.slots` is 0.
+    pub fn new(registry: &'d R, config: LeaseConfig) -> Result<Self, RegistryFull> {
+        assert!(config.slots >= 1, "a lease pool needs at least one slot");
+        let mut slots = Vec::with_capacity(config.slots);
+        for _ in 0..config.slots {
+            let handle = registry.try_register_handle()?;
+            slots.push(LeaseSlot {
+                state: CachePadded::new(AtomicWord::new(pack(0, FREE))),
+                deadline: AtomicU64::new(0),
+                handle: UnsafeCell::new(Some(handle)),
+            });
+        }
+        let waiter_cells = usize::BITS as usize;
+        Ok(Self {
+            registry,
+            free_count: CachePadded::new(AtomicWord::new(config.slots)),
+            rotor: CachePadded::new(AtomicWord::new(0)),
+            slots: slots.into_boxed_slice(),
+            waiters: (0..waiter_cells).map(|_| WaiterCell::new()).collect(),
+            waiter_summary: CachePadded::new(AtomicWord::new(0)),
+            stats: LeaseStats::new(),
+            ttl_ns: config.ttl.map_or(0, |d| d.as_nanos().max(1) as u64),
+            flush_on_release: config.flush_on_release,
+            scan_passes: config.scan_passes.max(1),
+            epoch: Instant::now(),
+        })
+    }
+
+    /// Number of lease slots.
+    pub fn slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The registry this pool leases from.
+    pub fn registry(&self) -> &'d R {
+        self.registry
+    }
+
+    /// Pool telemetry snapshot.
+    pub fn stats(&self) -> LeaseSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Number of slots currently checked out or awaiting recovery
+    /// (diagnostic; racy by nature).
+    pub fn leased(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| state_of(s.state.load_with(Ordering::Relaxed)) != FREE)
+            .count()
+    }
+
+    /// Raw protocol state for hang diagnosis (racy snapshot).
+    #[doc(hidden)]
+    pub fn debug_state(&self) -> String {
+        let slots: Vec<String> = self
+            .slots
+            .iter()
+            .map(|s| {
+                let w = s.state.load_with(Ordering::Relaxed);
+                format!("g{}:{}", gen_of(w), state_of(w))
+            })
+            .collect();
+        let waiters: Vec<usize> = self
+            .waiters
+            .iter()
+            .map(|c| c.state.load_with(Ordering::Relaxed))
+            .collect();
+        format!(
+            "free_count={} summary={:#x} slots=[{}] waiters={:?}",
+            self.free_count.load_with(Ordering::Relaxed) as isize,
+            self.waiter_summary.load_with(Ordering::Relaxed),
+            slots.join(","),
+            waiters,
+        )
+    }
+
+    #[inline]
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    #[inline]
+    fn lease_deadline(&self) -> u64 {
+        if self.ttl_ns == 0 {
+            0
+        } else {
+            self.now_ns() + self.ttl_ns
+        }
+    }
+
+    // -- reservation ------------------------------------------------------
+
+    /// One FAA down on the capacity semaphore; repairs and fails if it
+    /// went non-positive. Bounded: two FAAs, no loop.
+    ///
+    /// SeqCst: this FAA is the read side of the Dekker pair with
+    /// [`LeasePool::recirculate`]'s post-bump summary recheck. An enroller
+    /// publishes its summary bit (SeqCst) and then reserves; a releaser
+    /// bumps the credit (SeqCst) and then rereads the summary (SeqCst). In
+    /// the SC total order one of the two must see the other — so a waiter
+    /// whose rescan misses the credit is guaranteed to have its bit seen
+    /// by the releaser's recheck, which converts the credit into a direct
+    /// handoff instead of stranding the waiter.
+    #[inline]
+    fn reserve(&self) -> bool {
+        let prev = self.free_count.faa_with(-1, Ordering::SeqCst) as isize;
+        if prev <= 0 {
+            self.free_count.faa_with(1, Ordering::SeqCst);
+            return false;
+        }
+        true
+    }
+
+    #[inline]
+    fn unreserve(&self) {
+        self.free_count.faa_with(1, Ordering::SeqCst);
+    }
+
+    /// One rotor pass over the slots: at most `N` loads and one CAS per
+    /// FREE word seen. Caller must hold a reservation.
+    fn claim_pass(&self) -> Option<(usize, usize)> {
+        let n = self.slots.len();
+        let start = self.rotor.faa_with(1, Ordering::Relaxed);
+        for i in 0..n {
+            let idx = (start + i) % n;
+            let slot = &self.slots[idx];
+            let word = slot.state.load_with(Ordering::Relaxed);
+            if state_of(word) != FREE {
+                continue;
+            }
+            let claimed = pack(gen_of(word) + 1, LEASED);
+            // Acquire pairs with the Release of the freeing CAS: the new
+            // tenant sees the previous tenant's handle state.
+            if slot
+                .state
+                .cas_with(word, claimed, Ordering::Acquire, Ordering::Relaxed)
+            {
+                return Some((idx, claimed));
+            }
+        }
+        None
+    }
+
+    /// Installs the deadline, fires the `LeaseExpire` site, and builds the
+    /// guard. An injected death here leaves the slot `LEASED` with a live
+    /// handle inside — recoverable only by [`LeasePool::expire_overdue`],
+    /// which is exactly the scenario the site exists to prove.
+    fn finish_checkout(&self, idx: usize, word: usize) -> LeaseGuard<'_, 'd, R> {
+        debug_assert_eq!(state_of(word), LEASED);
+        self.slots[idx]
+            .deadline
+            .store(self.lease_deadline(), Ordering::Release);
+        #[cfg(feature = "fault-injection")]
+        {
+            // SAFETY: we hold the LEASED claim on `idx`, so the handle
+            // cell is exclusively ours.
+            let handle = unsafe { (*self.slots[idx].handle.get()).as_ref() };
+            if let Some(h) = handle {
+                self.registry.lease_fault(h);
+            }
+        }
+        LeaseStats::bump(&self.stats.issued);
+        LeaseGuard {
+            pool: self,
+            idx,
+            word,
+            _not_sync: PhantomData,
+        }
+    }
+
+    /// Bounded claim: reserve, then at most `scan_passes` rotor passes.
+    fn try_checkout(&self) -> Option<LeaseGuard<'_, 'd, R>> {
+        if !self.reserve() {
+            return None;
+        }
+        for pass in 0..self.scan_passes {
+            if let Some((idx, word)) = self.claim_pass() {
+                return Some(self.finish_checkout(idx, word));
+            }
+            if pass + 1 < self.scan_passes {
+                std::thread::yield_now();
+            }
+        }
+        // Every FREE slot we saw was claimed under us within the bound:
+        // give the reservation back and let the caller decide (error for
+        // `try_acquire`, helping ticket for `acquire`).
+        LeaseStats::bump(&self.stats.long_scans);
+        self.unreserve();
+        None
+    }
+
+    /// Claims a lease without blocking.
+    ///
+    /// Bounded wait-free: one reservation FAA plus at most
+    /// [`LeaseConfig::scan_passes`] passes of one CAS-per-free-slot, then
+    /// [`PoolExhausted`]. Use [`LeasePool::acquire`] for the blocking,
+    /// handoff-backed form.
+    ///
+    /// ```
+    /// use wfrc_core::lease::{LeaseConfig, LeasePool};
+    /// use wfrc_core::{DomainConfig, WfrcDomain};
+    ///
+    /// let domain = WfrcDomain::<u64>::new(DomainConfig::new(4, 64));
+    /// let pool = LeasePool::new(&domain, LeaseConfig::new(1)).unwrap();
+    /// let held = pool.try_acquire().unwrap();
+    /// assert!(pool.try_acquire().is_err()); // sole slot checked out
+    /// drop(held);
+    /// assert!(pool.try_acquire().is_ok());
+    /// ```
+    #[must_use = "the lease is released immediately if the guard is discarded"]
+    pub fn try_acquire(&self) -> Result<LeaseGuard<'_, 'd, R>, PoolExhausted> {
+        self.try_checkout().ok_or_else(|| {
+            LeaseStats::bump(&self.stats.exhausted);
+            PoolExhausted
+        })
+    }
+
+    /// Claims a lease, blocking while every slot is checked out.
+    ///
+    /// The fast path is the bounded scan of [`LeasePool::try_acquire`];
+    /// past the bound the caller enrolls on the waiter list and is handed
+    /// a slot directly by a releasing guard (the helping ticket — see the
+    /// [module docs](crate::lease)). Blocking therefore only occurs while
+    /// the pool is at true capacity.
+    #[must_use = "the lease is released immediately if the guard is discarded"]
+    pub fn acquire(&self) -> LeaseGuard<'_, 'd, R> {
+        self.acquire_inner(None)
+            .expect("acquire without timeout cannot time out")
+    }
+
+    /// [`LeasePool::acquire`] with a deadline: fails with
+    /// [`AcquireTimeout`] if no slot frees up in `timeout`.
+    #[must_use = "the lease is released immediately if the guard is discarded"]
+    pub fn acquire_timeout(
+        &self,
+        timeout: Duration,
+    ) -> Result<LeaseGuard<'_, 'd, R>, AcquireTimeout> {
+        self.acquire_inner(Some(timeout))
+    }
+
+    fn acquire_inner(
+        &self,
+        timeout: Option<Duration>,
+    ) -> Result<LeaseGuard<'_, 'd, R>, AcquireTimeout> {
+        let start = Instant::now();
+        let timed_out = |start: &Instant| timeout.is_some_and(|t| start.elapsed() >= t);
+        loop {
+            if let Some(guard) = self.try_checkout() {
+                return Ok(guard);
+            }
+            let Some(cell) = self.enroll(Parker::Thread(std::thread::current())) else {
+                // Waiter list full (more than one blocked task per summary
+                // bit): fall back to re-scanning. Capacity is exhausted
+                // anyway; this is the pathological-oversubscription path.
+                if timed_out(&start) {
+                    return Err(AcquireTimeout);
+                }
+                std::thread::yield_now();
+                continue;
+            };
+            // Enrolled. Close the lost-wakeup window — a slot freed
+            // between our failed scan and the summary-bit store — by
+            // rescanning once *after* the bit is visible.
+            loop {
+                if let Some(guard) = self.try_checkout() {
+                    if let Some(word) = self.cancel_waiter(cell) {
+                        // A handoff raced our cancel: we now hold two
+                        // slots. Return the handed one to circulation.
+                        self.release_unissued(handed_slot(word));
+                    }
+                    return Ok(guard);
+                }
+                let word = self.waiters[cell].state.load_with(Ordering::Acquire);
+                if is_handed(word) {
+                    self.waiters[cell].set_parker(None);
+                    self.waiters[cell]
+                        .state
+                        .store_with(W_EMPTY, Ordering::Release);
+                    let idx = handed_slot(word);
+                    let slot_word = self.slots[idx].state.load_with(Ordering::Acquire);
+                    return Ok(self.finish_checkout(idx, slot_word));
+                }
+                if timed_out(&start) {
+                    return match self.cancel_waiter(cell) {
+                        // The handoff won the race against our timeout:
+                        // accept the slot instead of failing.
+                        Some(w) => {
+                            let idx = handed_slot(w);
+                            let slot_word = self.slots[idx].state.load_with(Ordering::Acquire);
+                            Ok(self.finish_checkout(idx, slot_word))
+                        }
+                        None => Err(AcquireTimeout),
+                    };
+                }
+                // Belt and suspenders: a bounded park so a lost unpark
+                // (e.g. the parker mutex raced the wake) degrades to a
+                // periodic re-check instead of a hang.
+                std::thread::park_timeout(Duration::from_micros(200));
+            }
+        }
+    }
+
+    /// Claims a lease asynchronously. The returned future enrolls on the
+    /// waiter list when the pool is at capacity and is woken by the
+    /// releasing guard's handoff; dropping it cancels the enrollment
+    /// (returning a raced handoff to circulation).
+    ///
+    /// ```
+    /// use std::future::Future;
+    /// use std::sync::Arc;
+    /// use std::task::{Context, Poll, Wake, Waker};
+    /// use wfrc_core::lease::{LeaseConfig, LeasePool};
+    /// use wfrc_core::{DomainConfig, WfrcDomain};
+    ///
+    /// struct Unpark(std::thread::Thread);
+    /// impl Wake for Unpark {
+    ///     fn wake(self: Arc<Self>) {
+    ///         self.0.unpark();
+    ///     }
+    /// }
+    ///
+    /// let domain = WfrcDomain::<u64>::new(DomainConfig::new(4, 64));
+    /// let pool = LeasePool::new(&domain, LeaseConfig::new(2)).unwrap();
+    ///
+    /// // A minimal block_on: poll, park until woken.
+    /// let waker = Waker::from(Arc::new(Unpark(std::thread::current())));
+    /// let mut cx = Context::from_waker(&waker);
+    /// let mut fut = std::pin::pin!(pool.acquire_async());
+    /// let lease = loop {
+    ///     match fut.as_mut().poll(&mut cx) {
+    ///         Poll::Ready(lease) => break lease,
+    ///         Poll::Pending => std::thread::park(),
+    ///     }
+    /// };
+    /// let node = lease.alloc_with(|v| *v = 9).unwrap();
+    /// assert_eq!(*node, 9);
+    /// ```
+    #[must_use = "futures do nothing unless polled"]
+    pub fn acquire_async<'p>(&'p self) -> AcquireFuture<'p, 'd, R> {
+        AcquireFuture {
+            pool: self,
+            cell: None,
+        }
+    }
+
+    // -- waiter list ------------------------------------------------------
+
+    /// Claims an EMPTY waiter cell, installs `parker`, publishes WAITING
+    /// and the summary bit. At most one pass over the (word-width) cells.
+    fn enroll(&self, parker: Parker) -> Option<usize> {
+        for (bit, cell) in self.waiters.iter().enumerate() {
+            if cell.state.load_with(Ordering::Relaxed) == W_EMPTY
+                && cell
+                    .state
+                    .cas_with(W_EMPTY, W_SETUP, Ordering::Acquire, Ordering::Relaxed)
+            {
+                cell.set_parker(Some(parker));
+                cell.state.store_with(W_WAITING, Ordering::Release);
+                // SeqCst store-load pairing with the releaser's post-bump
+                // summary recheck (see `reserve`): after this, any release
+                // must either see our bit — and hand us its slot — or have
+                // published its semaphore credit before our post-enroll
+                // rescan's `reserve`, which then succeeds.
+                self.waiter_summary
+                    .fetch_or_with(1 << bit, Ordering::SeqCst);
+                LeaseStats::bump(&self.stats.enrolled);
+                return Some(bit);
+            }
+        }
+        None
+    }
+
+    /// Withdraws waiter cell `bit`. Returns `Some(handed_word)` if a
+    /// handoff won the race — the caller now owns that slot and must
+    /// either use it or recirculate it.
+    fn cancel_waiter(&self, bit: usize) -> Option<usize> {
+        let cell = &self.waiters[bit];
+        loop {
+            let word = cell.state.load_with(Ordering::Acquire);
+            match word {
+                W_WAITING => {
+                    if cell
+                        .state
+                        .cas_with(W_WAITING, W_SETUP, Ordering::Acquire, Ordering::Relaxed)
+                    {
+                        self.waiter_summary
+                            .fetch_and_with(!(1 << bit), Ordering::SeqCst);
+                        cell.set_parker(None);
+                        cell.state.store_with(W_EMPTY, Ordering::Release);
+                        return None;
+                    }
+                }
+                W_CLAIMED => {
+                    // A releaser is mid-handoff (CLAIMED → HANDED is a
+                    // handful of its instructions, no user code): spin.
+                    std::hint::spin_loop();
+                }
+                w if is_handed(w) => {
+                    cell.set_parker(None);
+                    cell.state.store_with(W_EMPTY, Ordering::Release);
+                    return Some(w);
+                }
+                _ => unreachable!("cancel of a waiter cell we do not own"),
+            }
+        }
+    }
+
+    // -- release ----------------------------------------------------------
+
+    /// Full guard-drop path: optional flush, retire the deadline, free the
+    /// slot, recirculate (handoff-aware).
+    fn release_slot(&self, idx: usize, word: usize) {
+        let slot = &self.slots[idx];
+        if self.flush_on_release {
+            // SAFETY: we still hold the LEASED claim; the cell is ours.
+            if let Some(h) = unsafe { (*slot.handle.get()).as_ref() } {
+                self.registry.flush_handle(h);
+                LeaseStats::bump(&self.stats.flushes);
+            }
+        }
+        // Whoever takes a slot out of circulation zeroes its deadline; a
+        // FREE slot is never overdue and the next tenant installs its own.
+        slot.deadline.store(0, Ordering::Release);
+        let freed = pack(gen_of(word), FREE);
+        // Release publishes this tenancy's handle state to the claimant's
+        // Acquire. Failure means expiry already took the slot (the holder
+        // overran its TTL): ownership has passed to the recovery path.
+        if !slot
+            .state
+            .cas_with(word, freed, Ordering::Release, Ordering::Relaxed)
+        {
+            return;
+        }
+        LeaseStats::bump(&self.stats.released);
+        self.recirculate(idx, freed);
+    }
+
+    /// Releases a slot the caller owns but never issued as a guard (a
+    /// cancelled handoff). No flush — the slot saw no use.
+    fn release_unissued(&self, idx: usize) {
+        let slot = &self.slots[idx];
+        slot.deadline.store(0, Ordering::Release);
+        let word = slot.state.load_with(Ordering::Acquire);
+        debug_assert_eq!(state_of(word), LEASED);
+        let freed = pack(gen_of(word), FREE);
+        if slot
+            .state
+            .cas_with(word, freed, Ordering::Release, Ordering::Relaxed)
+        {
+            self.recirculate(idx, freed);
+        }
+    }
+
+    /// Puts a freshly FREE slot back in circulation: hand it to an
+    /// enrolled waiter if any, else bump the capacity semaphore.
+    fn recirculate(&self, idx: usize, freed: usize) {
+        if self.waiter_summary.load_with(Ordering::SeqCst) != 0 {
+            // Take the slot back before a scanner steals it; losing the
+            // take-back CAS means a reserver claimed it — their progress.
+            let retaken = pack(gen_of(freed) + 1, LEASED);
+            if self.slots[idx]
+                .state
+                .cas_with(freed, retaken, Ordering::Acquire, Ordering::Relaxed)
+            {
+                if self.hand_to_waiter(idx) {
+                    return;
+                }
+                // Every summary bit went stale under us: undo the
+                // take-back (we own the LEASED word and its deadline is 0,
+                // so a plain store is safe) and fall through to the
+                // semaphore.
+                self.slots[idx]
+                    .state
+                    .store_with(pack(gen_of(retaken), FREE), Ordering::Release);
+            }
+        }
+        self.free_count.faa_with(1, Ordering::SeqCst);
+        // Post-bump recheck — the other half of the Dekker pair with
+        // `reserve` (see its comment). A waiter that enrolled after the
+        // summary check above and rescanned before the bump just above
+        // saw neither the handoff nor the credit; without this recheck it
+        // parks forever (the sync path's `park_timeout` papers over it,
+        // the async path hangs). If the bit is visible now, convert the
+        // credit back into a direct handoff. The loop re-runs only when a
+        // raced cancellation staled every bit under us — each iteration
+        // is charged to that concurrent cancel, so this stays lock-free.
+        loop {
+            if self.waiter_summary.load_with(Ordering::SeqCst) == 0 {
+                return;
+            }
+            if !self.reserve() {
+                // Another thread holds the credit; its scan (or its own
+                // release) is the one responsible for the waiter now.
+                return;
+            }
+            let Some((rescue, word)) = self.claim_pass() else {
+                self.unreserve();
+                return;
+            };
+            if self.hand_to_waiter(rescue) {
+                return;
+            }
+            // Waiter cancelled under us: free the slot first, then the
+            // credit, keeping the semaphore an undercount throughout.
+            self.slots[rescue]
+                .state
+                .store_with(pack(gen_of(word), FREE), Ordering::Release);
+            self.free_count.faa_with(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Hands LEASED slot `idx` (owned by the caller) to one enrolled
+    /// waiter: claim its cell, clear its bit, publish the handed word,
+    /// wake. One pass over the summary's set bits.
+    fn hand_to_waiter(&self, idx: usize) -> bool {
+        let mut summary = self.waiter_summary.load_with(Ordering::SeqCst);
+        while summary != 0 {
+            let bit = summary.trailing_zeros() as usize;
+            summary &= summary - 1;
+            let cell = &self.waiters[bit];
+            if cell
+                .state
+                .cas_with(W_WAITING, W_CLAIMED, Ordering::Acquire, Ordering::Relaxed)
+            {
+                self.waiter_summary
+                    .fetch_and_with(!(1 << bit), Ordering::SeqCst);
+                // The waiter installs its own deadline in
+                // `finish_checkout`; publish the slot index and wake.
+                cell.state.store_with(handed_word(idx), Ordering::Release);
+                cell.wake();
+                LeaseStats::bump(&self.stats.handoffs);
+                return true;
+            }
+        }
+        false
+    }
+
+    // -- expiry and recovery ---------------------------------------------
+
+    /// Expires overdue leases and recovers every orphaned slot.
+    ///
+    /// Pass 1 CASes each `LEASED` slot whose deadline has passed to
+    /// `ORPHANED` (generation-checked, so a slot released and re-leased
+    /// since the deadline read is untouched). Pass 2 claims each
+    /// `ORPHANED` slot (`→ RECOVERING`), abandons its handle to the
+    /// domain, runs [`LeaseRegistry::adopt_all`], re-registers a fresh
+    /// handle, and recirculates the slot.
+    ///
+    /// **Contract:** only call this when overdue holders are known dead
+    /// (perished tasks, panicked threads, injected deaths). The deadline
+    /// is the holder's promise to be gone; see the module docs.
+    pub fn expire_overdue(&self) -> ExpireReport {
+        let mut report = ExpireReport::default();
+        let now = self.now_ns();
+        for slot in self.slots.iter() {
+            let word = slot.state.load_with(Ordering::Acquire);
+            if state_of(word) != LEASED {
+                continue;
+            }
+            let deadline = slot.deadline.load(Ordering::Acquire);
+            if deadline == 0 || now < deadline {
+                continue;
+            }
+            // AcqRel: acquire the corpse's writes, release the ORPHANED
+            // mark to the recovery claim below (possibly another thread's).
+            if slot.state.cas_with(
+                word,
+                pack(gen_of(word), ORPHANED),
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                report.expired += 1;
+                LeaseStats::bump(&self.stats.expired);
+            }
+        }
+        for (idx, slot) in self.slots.iter().enumerate() {
+            let word = slot.state.load_with(Ordering::Acquire);
+            if state_of(word) != ORPHANED {
+                continue;
+            }
+            if !slot.state.cas_with(
+                word,
+                pack(gen_of(word), RECOVERING),
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                continue;
+            }
+            slot.deadline.store(0, Ordering::Release);
+            // SAFETY: the RECOVERING claim makes us the slot's exclusive
+            // owner; the previous holder is dead by the expiry contract.
+            let corpse = unsafe { (*slot.handle.get()).take() };
+            if let Some(handle) = corpse {
+                self.registry.abandon_handle(handle);
+                report.adopt = report.adopt.merged(&self.registry.adopt_all());
+            }
+            match self.registry.try_register_handle() {
+                Ok(fresh) => {
+                    // SAFETY: still the exclusive owner (RECOVERING).
+                    unsafe { *slot.handle.get() = Some(fresh) };
+                    let freed = pack(gen_of(word) + 1, FREE);
+                    slot.state.store_with(freed, Ordering::Release);
+                    report.recovered += 1;
+                    LeaseStats::bump(&self.stats.recovered);
+                    self.recirculate(idx, freed);
+                }
+                Err(RegistryFull) => {
+                    // Out of ids (e.g. an unrelated orphan holds ours):
+                    // park the slot as ORPHANED-with-empty-cell and retry
+                    // on a later pass.
+                    slot.state
+                        .store_with(pack(gen_of(word) + 1, ORPHANED), Ordering::Release);
+                    report.register_failures += 1;
+                    LeaseStats::bump(&self.stats.recover_failures);
+                }
+            }
+        }
+        report
+    }
+}
+
+impl<'d, R: LeaseRegistry> Drop for LeasePool<'d, R> {
+    fn drop(&mut self) {
+        // Guards borrow the pool, so no lease is live here. FREE slots
+        // tear down cooperatively (handle drop drains and unregisters);
+        // anything else is a corpse from an unrecovered death — abandon
+        // and adopt so the domain ends leak-clean.
+        let mut need_adopt = false;
+        for slot in self.slots.iter_mut() {
+            let word = slot.state.load_with(Ordering::Acquire);
+            match (state_of(word), slot.handle.get_mut().take()) {
+                (FREE, Some(handle)) => drop(handle),
+                (_, Some(handle)) => {
+                    self.registry.abandon_handle(handle);
+                    need_adopt = true;
+                }
+                (_, None) => {}
+            }
+        }
+        if need_adopt {
+            let _ = self.registry.adopt_all();
+        }
+    }
+}
+
+impl<'d, R: LeaseRegistry> core::fmt::Debug for LeasePool<'d, R> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("LeasePool")
+            .field("slots", &self.slots.len())
+            .field("leased", &self.leased())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The guard
+// ---------------------------------------------------------------------------
+
+/// An RAII lease on one pooled handle: derefs to the handle, returns the
+/// slot (hot, or flushed under [`LeaseConfig::with_flush_on_release`]) on
+/// drop. Dropped during a panic it marks the slot ORPHANED instead, so
+/// [`LeasePool::expire_overdue`] recovers it like a crashed thread.
+///
+/// `Send` (a lease migrates with its task) but not `Sync` — one thread id,
+/// one user at a time, the paper's `threadId` contract.
+#[must_use = "dropping the guard immediately releases the lease"]
+pub struct LeaseGuard<'p, 'd, R: LeaseRegistry> {
+    pool: &'p LeasePool<'d, R>,
+    idx: usize,
+    /// The exact LEASED word we own — a stale release can never CAS a
+    /// successor tenancy.
+    word: usize,
+    _not_sync: PhantomData<core::cell::Cell<()>>,
+}
+
+impl<'p, 'd, R: LeaseRegistry> LeaseGuard<'p, 'd, R> {
+    /// The lease slot index (0..pool.slots()).
+    pub fn slot(&self) -> usize {
+        self.idx
+    }
+
+    /// The leased handle's registered thread id.
+    pub fn tid(&self) -> usize {
+        R::handle_tid(self)
+    }
+}
+
+impl<'p, 'd, R: LeaseRegistry> core::ops::Deref for LeaseGuard<'p, 'd, R> {
+    type Target = R::Handle<'d>;
+
+    fn deref(&self) -> &Self::Target {
+        // SAFETY: the guard holds the LEASED claim on `idx`, making it the
+        // cell's exclusive owner; a leased cell always holds a handle.
+        unsafe { (*self.pool.slots[self.idx].handle.get()).as_ref() }
+            .expect("leased slot holds a handle")
+    }
+}
+
+impl<'p, 'd, R: LeaseRegistry> Drop for LeaseGuard<'p, 'd, R> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            // The holder is dying mid-operation: the handle may hold
+            // un-retracted announcements or magazine state only adoption
+            // can account for. Strand the slot for `expire_overdue`.
+            let orphaned = pack(gen_of(self.word), ORPHANED);
+            if self.pool.slots[self.idx].state.cas_with(
+                self.word,
+                orphaned,
+                Ordering::Release,
+                Ordering::Relaxed,
+            ) {
+                LeaseStats::bump(&self.pool.stats.panic_orphans);
+            }
+            return;
+        }
+        self.pool.release_slot(self.idx, self.word);
+    }
+}
+
+impl<'p, 'd, R: LeaseRegistry> core::fmt::Debug for LeaseGuard<'p, 'd, R> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("LeaseGuard")
+            .field("slot", &self.idx)
+            .field("tid", &self.tid())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The async facade
+// ---------------------------------------------------------------------------
+
+/// Future of [`LeasePool::acquire_async`]. Executor-agnostic: wakeups ride
+/// the pool's own waiter list (the releasing guard calls the stored
+/// [`Waker`]); no runtime types are involved.
+#[must_use = "futures do nothing unless polled"]
+pub struct AcquireFuture<'p, 'd, R: LeaseRegistry> {
+    pool: &'p LeasePool<'d, R>,
+    /// Waiter cell we are enrolled in, if any.
+    cell: Option<usize>,
+}
+
+impl<'p, 'd, R: LeaseRegistry> core::future::Future for AcquireFuture<'p, 'd, R> {
+    type Output = LeaseGuard<'p, 'd, R>;
+
+    fn poll(
+        self: core::pin::Pin<&mut Self>,
+        cx: &mut core::task::Context<'_>,
+    ) -> core::task::Poll<Self::Output> {
+        use core::task::Poll;
+        let this = self.get_mut();
+        let pool = this.pool;
+        if let Some(bit) = this.cell {
+            let cell = &pool.waiters[bit];
+            let word = cell.state.load_with(Ordering::Acquire);
+            if is_handed(word) {
+                this.cell = None;
+                cell.set_parker(None);
+                cell.state.store_with(W_EMPTY, Ordering::Release);
+                let idx = handed_slot(word);
+                let slot_word = pool.slots[idx].state.load_with(Ordering::Acquire);
+                return Poll::Ready(pool.finish_checkout(idx, slot_word));
+            }
+            if word == W_CLAIMED {
+                // Handoff imminent (bounded releaser steps); ask to be
+                // re-polled rather than parking on a wake already spent.
+                cx.waker().wake_by_ref();
+                return Poll::Pending;
+            }
+            debug_assert_eq!(word, W_WAITING);
+            // Refresh the waker (task may have migrated executors), then
+            // re-check: a handoff between the load above and this store
+            // would have consumed the *old* parker and never wake the new
+            // one.
+            cell.set_parker(Some(Parker::Waker(cx.waker().clone())));
+            let recheck = cell.state.load_with(Ordering::Acquire);
+            if recheck != W_WAITING {
+                cx.waker().wake_by_ref();
+            }
+            return Poll::Pending;
+        }
+        if let Some(guard) = pool.try_checkout() {
+            return Poll::Ready(guard);
+        }
+        match pool.enroll(Parker::Waker(cx.waker().clone())) {
+            Some(bit) => {
+                // Same post-enroll rescan as the sync path: close the
+                // freed-before-bit-visible window.
+                if let Some(guard) = pool.try_checkout() {
+                    if let Some(word) = pool.cancel_waiter(bit) {
+                        pool.release_unissued(handed_slot(word));
+                    }
+                    return Poll::Ready(guard);
+                }
+                this.cell = Some(bit);
+                Poll::Pending
+            }
+            None => {
+                // Waiter list full: degrade to executor-driven re-polls.
+                cx.waker().wake_by_ref();
+                Poll::Pending
+            }
+        }
+    }
+}
+
+impl<'p, 'd, R: LeaseRegistry> Drop for AcquireFuture<'p, 'd, R> {
+    fn drop(&mut self) {
+        if let Some(bit) = self.cell.take() {
+            if let Some(word) = self.pool.cancel_waiter(bit) {
+                // Cancelled after a handoff landed: the slot is ours and
+                // unissued — put it back.
+                self.pool.release_unissued(handed_slot(word));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DomainConfig;
+
+    fn domain(threads: usize, cap: usize) -> WfrcDomain<u64> {
+        WfrcDomain::<u64>::new(DomainConfig::new(threads, cap).with_magazine(4))
+    }
+
+    #[test]
+    fn checkout_release_cycle() {
+        let d = domain(4, 64);
+        let pool = LeasePool::new(&d, LeaseConfig::new(2)).unwrap();
+        let a = pool.acquire();
+        let b = pool.acquire();
+        assert_ne!(a.slot(), b.slot());
+        assert!(pool.try_acquire().is_err());
+        drop(a);
+        let c = pool.try_acquire().unwrap();
+        drop(b);
+        drop(c);
+        let s = pool.stats();
+        assert_eq!(s.issued, 3);
+        assert_eq!(s.released, 3);
+        drop(pool);
+        assert!(d.leak_check().is_clean());
+    }
+
+    #[test]
+    fn pool_new_fails_when_domain_too_small() {
+        let d = domain(2, 64);
+        assert!(LeasePool::new(&d, LeaseConfig::new(3)).is_err());
+        // The partial registration rolled back: both ids are claimable.
+        let pool = LeasePool::new(&d, LeaseConfig::new(2)).unwrap();
+        drop(pool);
+        assert!(d.leak_check().is_clean());
+    }
+
+    #[test]
+    fn guard_derefs_to_a_working_handle() {
+        let d = domain(2, 64);
+        let pool = LeasePool::new(&d, LeaseConfig::new(1)).unwrap();
+        let lease = pool.acquire();
+        let node = lease.alloc_with(|v| *v = 41).unwrap();
+        assert_eq!(*node, 41);
+        drop(node);
+        assert_eq!(lease.magazine_len(), 1); // freed node parked hot
+        drop(lease);
+        // Hot release: the magazine stays with the slot.
+        let again = pool.acquire();
+        assert_eq!(again.magazine_len(), 1);
+        drop(again);
+        drop(pool);
+        assert!(d.leak_check().is_clean());
+    }
+
+    #[test]
+    fn flush_on_release_drains_the_magazine() {
+        let d = domain(2, 64);
+        let cfg = LeaseConfig::new(1).with_flush_on_release(true);
+        let pool = LeasePool::new(&d, cfg).unwrap();
+        let lease = pool.acquire();
+        drop(lease.alloc_with(|v| *v = 1).unwrap());
+        assert_eq!(lease.magazine_len(), 1);
+        drop(lease);
+        let again = pool.acquire();
+        assert_eq!(again.magazine_len(), 0);
+        drop(again);
+        assert_eq!(pool.stats().flushes, 2);
+    }
+
+    #[test]
+    fn forgotten_guard_is_recovered_by_expiry() {
+        let d = domain(2, 64);
+        let cfg = LeaseConfig::new(1).with_ttl(Duration::from_millis(1));
+        let pool = LeasePool::new(&d, cfg).unwrap();
+        let lease = pool.acquire();
+        drop(lease.alloc_with(|v| *v = 5).unwrap());
+        core::mem::forget(lease); // the task "dies" holding the lease
+        assert!(pool.try_acquire().is_err());
+        std::thread::sleep(Duration::from_millis(5));
+        let report = pool.expire_overdue();
+        assert_eq!(report.expired, 1);
+        assert_eq!(report.recovered, 1);
+        assert_eq!(report.adopt.orphans_adopted, 1);
+        // The slot is live again with a fresh handle.
+        let lease = pool.acquire();
+        drop(lease.alloc_with(|v| *v = 6).unwrap());
+        drop(lease);
+        drop(pool);
+        assert!(d.leak_check().is_clean());
+    }
+
+    #[test]
+    fn expiry_leaves_current_tenants_alone() {
+        let d = domain(4, 64);
+        let cfg = LeaseConfig::new(2).with_ttl(Duration::from_secs(3600));
+        let pool = LeasePool::new(&d, cfg).unwrap();
+        let held = pool.acquire();
+        let report = pool.expire_overdue();
+        assert_eq!(report.expired, 0);
+        assert_eq!(report.recovered, 0);
+        drop(held);
+    }
+
+    #[test]
+    fn handoff_wakes_a_blocked_acquirer() {
+        let d = domain(2, 64);
+        let pool = LeasePool::new(&d, LeaseConfig::new(1)).unwrap();
+        std::thread::scope(|s| {
+            let held = pool.acquire();
+            let waiter = s.spawn(|| {
+                let lease = pool.acquire();
+                lease.tid()
+            });
+            // Wait for the waiter to enroll, then release: the slot must
+            // be handed over directly.
+            while pool.stats().enrolled == 0 {
+                std::thread::yield_now();
+            }
+            drop(held);
+            waiter.join().unwrap();
+        });
+        assert_eq!(pool.stats().handoffs, 1);
+    }
+
+    #[test]
+    fn acquire_timeout_expires() {
+        let d = domain(2, 64);
+        let pool = LeasePool::new(&d, LeaseConfig::new(1)).unwrap();
+        let held = pool.acquire();
+        let err = pool.acquire_timeout(Duration::from_millis(10));
+        assert!(err.is_err());
+        drop(held);
+        assert!(pool.acquire_timeout(Duration::from_millis(10)).is_ok());
+    }
+
+    #[test]
+    fn async_acquire_immediate_and_queued() {
+        use core::future::Future;
+        use std::sync::Arc;
+        use std::task::{Context, Poll, Wake, Waker};
+
+        struct Flag(std::sync::atomic::AtomicBool);
+        impl Wake for Flag {
+            fn wake(self: Arc<Self>) {
+                self.0.store(true, Ordering::SeqCst);
+            }
+        }
+
+        let d = domain(2, 64);
+        let pool = LeasePool::new(&d, LeaseConfig::new(1)).unwrap();
+        let flag = Arc::new(Flag(std::sync::atomic::AtomicBool::new(false)));
+        let waker = Waker::from(Arc::clone(&flag));
+        let mut cx = Context::from_waker(&waker);
+
+        let mut first = Box::pin(pool.acquire_async());
+        let guard = match first.as_mut().poll(&mut cx) {
+            Poll::Ready(g) => g,
+            Poll::Pending => panic!("uncontended async acquire must be immediate"),
+        };
+
+        let mut second = Box::pin(pool.acquire_async());
+        assert!(second.as_mut().poll(&mut cx).is_pending());
+        drop(guard); // hands the slot to the enrolled future and wakes it
+        assert!(flag.0.load(Ordering::SeqCst), "handoff must wake the waker");
+        match second.as_mut().poll(&mut cx) {
+            Poll::Ready(g) => drop(g),
+            Poll::Pending => panic!("woken future must complete"),
+        }
+        assert_eq!(pool.stats().handoffs, 1);
+        drop((first, second));
+        drop(pool);
+        assert!(d.leak_check().is_clean());
+    }
+
+    #[test]
+    fn cancelled_future_returns_a_raced_handoff() {
+        use core::future::Future;
+        use std::sync::Arc;
+        use std::task::{Context, Wake, Waker};
+
+        struct Noop;
+        impl Wake for Noop {
+            fn wake(self: Arc<Self>) {}
+        }
+
+        let d = domain(2, 64);
+        let pool = LeasePool::new(&d, LeaseConfig::new(1)).unwrap();
+        let waker = Waker::from(Arc::new(Noop));
+        let mut cx = Context::from_waker(&waker);
+
+        let guard = pool.acquire();
+        let mut fut = Box::pin(pool.acquire_async());
+        assert!(fut.as_mut().poll(&mut cx).is_pending());
+        drop(guard); // handoff lands in the future's cell
+        drop(fut); // cancel: the handed slot must recirculate
+        assert!(pool.try_acquire().is_ok(), "cancelled handoff slot is lost");
+    }
+}

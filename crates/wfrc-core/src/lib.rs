@@ -86,6 +86,7 @@ pub mod domain;
 pub mod fault;
 pub mod freelist;
 pub mod handle;
+pub mod lease;
 pub mod link;
 pub mod magazine;
 pub mod node;
@@ -95,11 +96,12 @@ pub mod reclaim;
 
 pub use arena::{Growth, CARVE_PAGE, MAX_SEGMENTS};
 pub use class::{geometric_ladder, ClassConfig, ClassLeak, RawBytes, CLASS_SIZES, MAX_CLASSES};
-pub use counters::OpCounters;
-pub use domain::{AdoptReport, DomainConfig, LeakReport, WfrcDomain};
+pub use counters::{LeaseSnapshot, LeaseStats, OpCounters};
+pub use domain::{AdoptReport, DomainConfig, LeakReport, RegistryFull, WfrcDomain};
 #[cfg(feature = "fault-injection")]
 pub use fault::{FaultAction, FaultPlan, FaultSite, FireRule, InjectedDeath};
 pub use handle::{DomainBox, NodeRef, ThreadHandle};
+pub use lease::{LeaseConfig, LeaseGuard, LeasePool, LeaseRegistry};
 pub use link::Link;
 pub use magazine::Magazines;
 pub use node::{Node, RcObject};

@@ -25,7 +25,7 @@ pub mod rng;
 pub mod stats;
 pub mod workload;
 
-pub use exec::{run_fixed_ops, run_timed, StopFlag};
+pub use exec::{run_fixed_ops, run_timed, PollLoop, StopFlag};
 pub use latency::Histogram;
 pub use rng::SmallRng;
 pub use stats::{Summary, Table};

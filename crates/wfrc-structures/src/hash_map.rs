@@ -14,7 +14,7 @@
 use wfrc_core::oom::OutOfMemory;
 use wfrc_core::{Link, RawBytes, ThreadHandle};
 
-use crate::manager::RcMm;
+use crate::manager::{ByteMm, RcMm};
 use crate::ordered_list::ListCell;
 
 /// A lock-free fixed-bucket hash map with `u64` keys.
@@ -125,6 +125,14 @@ pub struct SessionCache {
 /// the values.
 pub type SessionHandle<'d> = ThreadHandle<'d, ListCell<RawBytes>>;
 
+/// Everything a [`SessionCache`] operation needs from a handle:
+/// reference-counted `ListCell<RawBytes>` index nodes ([`RcMm`]) plus the
+/// byte-class value surface ([`ByteMm`]). Blanket-implemented, so both
+/// [`SessionHandle`] and the LFRC baseline handle qualify — the cache is
+/// scheme-generic like every other structure in this crate.
+pub trait SessionMm: RcMm<ListCell<RawBytes>> + ByteMm {}
+impl<M: RcMm<ListCell<RawBytes>> + ByteMm> SessionMm for M {}
+
 impl SessionCache {
     /// Creates a cache with `buckets` index buckets (rounded up to ≥ 1).
     pub fn new(buckets: usize) -> Self {
@@ -144,57 +152,57 @@ impl SessionCache {
     ///
     /// # Panics
     /// If the domain has no byte class fitting `value.len()`.
-    pub fn put(&self, h: &SessionHandle<'_>, key: u64, value: &[u8]) -> Result<bool, OutOfMemory> {
-        let token = h.alloc_bytes(value)?;
+    pub fn put<M: SessionMm>(&self, h: &M, key: u64, value: &[u8]) -> Result<bool, OutOfMemory> {
+        let token = h.alloc_value(value)?;
         match self.map.insert(h, key, token) {
             Ok(true) => Ok(true),
             other => {
                 // Duplicate key or index OOM: the staged block never
                 // became reachable, so we still own it exclusively.
                 // SAFETY: unpublished token allocated above.
-                unsafe { h.free_bytes(token) };
+                unsafe { h.free_value(token) };
                 other
             }
         }
     }
 
     /// Copies out the value cached under `key`.
-    pub fn get(&self, h: &SessionHandle<'_>, key: u64) -> Option<Vec<u8>> {
+    pub fn get<M: SessionMm>(&self, h: &M, key: u64) -> Option<Vec<u8>> {
         let token = self.map.get(h, key)?;
         // SAFETY: the session convention (single owner per key) rules out
         // a concurrent `remove` freeing the block under this read.
-        Some(unsafe { h.bytes(&token) }.to_vec())
+        Some(unsafe { h.value_bytes(&token) }.to_vec())
     }
 
     /// True if `key` is cached.
-    pub fn contains(&self, h: &SessionHandle<'_>, key: u64) -> bool {
+    pub fn contains<M: SessionMm>(&self, h: &M, key: u64) -> bool {
         self.map.contains(h, key)
     }
 
     /// Removes `key`, freeing its block and returning a copy of the value.
-    pub fn remove(&self, h: &SessionHandle<'_>, key: u64) -> Option<Vec<u8>> {
+    pub fn remove<M: SessionMm>(&self, h: &M, key: u64) -> Option<Vec<u8>> {
         let token = self.map.remove(h, key)?;
         // SAFETY: the winning remover is the block's sole owner now.
-        let out = unsafe { h.bytes(&token) }.to_vec();
+        let out = unsafe { h.value_bytes(&token) }.to_vec();
         // SAFETY: same ownership; frees exactly once.
-        unsafe { h.free_bytes(token) };
+        unsafe { h.free_value(token) };
         Some(out)
     }
 
     /// Counts cached entries (quiescent snapshot; O(n)).
-    pub fn len(&self, h: &SessionHandle<'_>) -> usize {
+    pub fn len<M: SessionMm>(&self, h: &M) -> usize {
         self.map.len(h)
     }
 
     /// True when no entry is cached (quiescent snapshot).
-    pub fn is_empty(&self, h: &SessionHandle<'_>) -> bool {
+    pub fn is_empty<M: SessionMm>(&self, h: &M) -> bool {
         self.len(h) == 0
     }
 
     /// Releases the cache at quiescence: frees every cached block, then
     /// the index chains. Marked (logically removed) cells are skipped —
     /// their remover already took the block.
-    pub fn dispose(self, h: &SessionHandle<'_>) {
+    pub fn dispose<M: SessionMm>(self, h: &M) {
         // SAFETY: quiescent per contract; same hand-over-hand walk as
         // `HashMap::len`.
         unsafe {
@@ -205,7 +213,7 @@ impl SessionCache {
                     let (_, marked) = cell.next_link().load_decomposed();
                     if !marked {
                         if let Some(token) = cell.value_clone() {
-                            h.free_bytes(token);
+                            h.free_value(token);
                         }
                     }
                     let next = RcMm::deref_link(h, cell.next_link());

@@ -39,10 +39,10 @@ pub mod stack;
 
 pub use epoch_queue::EpochQueue;
 pub use epoch_stack::EpochStack;
-pub use hash_map::{HashMap, SessionCache, SessionHandle};
+pub use hash_map::{HashMap, SessionCache, SessionHandle, SessionMm};
 pub use hp_queue::HpQueue;
 pub use hp_stack::HpStack;
-pub use manager::{RcMm, RcMmDomain};
+pub use manager::{ByteMm, RcMm, RcMmDomain};
 pub use ordered_list::{ListCell, OrderedList};
 pub use priority_queue::{PqCell, PriorityQueue};
 pub use queue::{Queue, QueueCell};

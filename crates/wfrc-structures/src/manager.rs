@@ -169,6 +169,57 @@ unsafe impl<T: RcObject> RcMm<T> for wfrc_baselines::LfrcHandle<'_, T> {
     }
 }
 
+/// The byte-class allocation surface (PR 6), factored out of the concrete
+/// handles so [`crate::SessionCache`] and the E12 server bench run
+/// identically over both schemes. Tokens are [`wfrc_core::RawBytes`] in
+/// either case — the class layer's node geometry is shared.
+pub trait ByteMm {
+    /// Allocates from the smallest fitting class and copies `bytes` in.
+    fn alloc_value(&self, bytes: &[u8]) -> Result<wfrc_core::RawBytes, OutOfMemory>;
+
+    /// The bytes behind `token`.
+    ///
+    /// # Safety
+    /// `token` must be a live (unfreed) allocation of this handle's
+    /// domain, with no concurrent free or write for the borrow's duration.
+    unsafe fn value_bytes(&self, token: &wfrc_core::RawBytes) -> &[u8];
+
+    /// Returns `token`'s block to its class.
+    ///
+    /// # Safety
+    /// `token` must be a live allocation of this handle's domain with no
+    /// remaining readers; it must not be freed twice.
+    unsafe fn free_value(&self, token: wfrc_core::RawBytes);
+}
+
+impl<T: RcObject> ByteMm for wfrc_core::ThreadHandle<'_, T> {
+    fn alloc_value(&self, bytes: &[u8]) -> Result<wfrc_core::RawBytes, OutOfMemory> {
+        self.alloc_bytes(bytes)
+    }
+    unsafe fn value_bytes(&self, token: &wfrc_core::RawBytes) -> &[u8] {
+        // SAFETY: forwarded contract.
+        unsafe { self.bytes(token) }
+    }
+    unsafe fn free_value(&self, token: wfrc_core::RawBytes) {
+        // SAFETY: forwarded contract.
+        unsafe { self.free_bytes(token) }
+    }
+}
+
+impl<T: RcObject> ByteMm for wfrc_baselines::LfrcHandle<'_, T> {
+    fn alloc_value(&self, bytes: &[u8]) -> Result<wfrc_core::RawBytes, OutOfMemory> {
+        self.alloc_bytes(bytes)
+    }
+    unsafe fn value_bytes(&self, token: &wfrc_core::RawBytes) -> &[u8] {
+        // SAFETY: forwarded contract.
+        unsafe { self.bytes(token) }
+    }
+    unsafe fn free_value(&self, token: wfrc_core::RawBytes) {
+        // SAFETY: forwarded contract.
+        unsafe { self.free_bytes(token) }
+    }
+}
+
 /// Domain-level abstraction so tests and benches can construct either
 /// scheme from one generic driver.
 pub trait RcMmDomain<T: RcObject>: Sync {

@@ -1,0 +1,241 @@
+//! Fault-injection over the lease pool: a task killed at the new
+//! `LeaseExpire` site (mid-checkout, after the deadline install) and at
+//! every generic armed site *while holding a lease* must be recovered by
+//! [`LeasePool::expire_overdue`] routing the corpse through the domain's
+//! orphan adoption — no leaked nodes, no lost slot.
+//!
+//! Built only with `--features fault-injection`.
+
+#![cfg(feature = "fault-injection")]
+
+use std::sync::Arc;
+
+use wfrc::core::fault::silence_injected_deaths;
+use wfrc::core::lease::{LeaseConfig, LeasePool};
+use wfrc::core::{
+    DomainConfig, FaultAction, FaultPlan, FaultSite, FireRule, Growth, InjectedDeath, Link,
+    ThreadHandle, WfrcDomain,
+};
+
+const CAPACITY: usize = 64;
+const SURVIVOR_QUOTA: usize = 2_000;
+
+/// Same shape as `tests/fault_injection.rs`: magazines + growth so a dead
+/// leaseholder pinning nodes can never starve the survivor.
+fn faulted_domain(seed: u64) -> (WfrcDomain<u64>, Arc<FaultPlan>) {
+    let mut domain = WfrcDomain::<u64>::new(
+        DomainConfig::new(3, CAPACITY)
+            .with_magazine(8)
+            .with_growth(Growth::doubling_to(4096)),
+    );
+    let plan = Arc::new(FaultPlan::new(seed));
+    domain.set_fault_plan(Arc::clone(&plan));
+    (domain, plan)
+}
+
+/// The generic site-reaching churn from `tests/fault_injection.rs`, run
+/// through a *leased* handle instead of an owned one.
+fn leased_victim_loop(h: &ThreadHandle<'_, u64>, links: &[Link<u64>], plan: &FaultPlan) {
+    let mut held = Vec::new();
+    for i in 0..200_000usize {
+        if plan.injected() > 0 {
+            break;
+        }
+        if let Ok(g) = h.alloc_with(|v| *v = i as u64) {
+            h.store(&links[i % links.len()], Some(&g));
+            if held.len() < CAPACITY + 36 {
+                held.push(g);
+            }
+        }
+        if let Some(g) = h.deref(&links[(i + 1) % links.len()]) {
+            std::hint::black_box(*g);
+        }
+        if i % 7 == 6 {
+            held.pop();
+        }
+    }
+    assert!(
+        plan.injected() > 0,
+        "victim exhausted its loop without the armed site firing"
+    );
+}
+
+fn survivor_quota(h: &ThreadHandle<'_, u64>, links: &[Link<u64>], quota: usize) {
+    let mut done = 0usize;
+    let mut i = 0usize;
+    while done < quota {
+        i += 1;
+        if let Ok(g) = h.alloc_with(|v| *v = i as u64) {
+            h.store(&links[i % links.len()], Some(&g));
+            done += 1;
+        }
+        if let Some(g) = h.deref(&links[(i + 2) % links.len()]) {
+            std::hint::black_box(*g);
+            done += 1;
+        };
+    }
+}
+
+/// Death at an armed site while holding a lease: the unwinding guard
+/// marks the slot ORPHANED, `expire_overdue` abandons the corpse, adopts
+/// it, and re-registers a fresh handle — the slot survives its tenant.
+fn run_leased_site_scenario(site: FaultSite) {
+    silence_injected_deaths();
+    let (domain, plan) = faulted_domain(0x1EA5E ^ site as u64);
+    // The pool registers tids 0 and 1; the first acquire lands on slot 0
+    // (fresh rotor), so only tid 0 is armed — the survivor (tid 2) and
+    // slot 1's idle handle never fire.
+    plan.arm_victim(0, site, FaultAction::Die, FireRule::Nth(1));
+    let pool = LeasePool::new(&domain, LeaseConfig::new(2)).unwrap();
+    let survivor = domain.register().unwrap();
+    assert_eq!(survivor.tid(), 2);
+    let links: Vec<Link<u64>> = (0..4).map(|_| Link::null()).collect();
+
+    std::thread::scope(|s| {
+        let (pool_ref, links_ref, plan_ref) = (&pool, &links, &*plan);
+        let vt = s.spawn(move || {
+            let g = pool_ref.acquire();
+            assert_eq!(g.tid(), 0, "first acquire must land on the armed slot");
+            leased_victim_loop(&g, links_ref, plan_ref);
+        });
+        let err = vt.join().expect_err("victim must die at the armed site");
+        let death = err
+            .downcast::<InjectedDeath>()
+            .expect("panic payload must be InjectedDeath");
+        assert_eq!(death.site, site);
+        // The survivor makes its quota while the corpse still owns slot 0.
+        survivor_quota(&survivor, &links, SURVIVOR_QUOTA);
+    });
+
+    assert_eq!(pool.stats().panic_orphans, 1, "guard must orphan on unwind");
+    let report = pool.expire_overdue();
+    assert_eq!(report.expired, 0, "panic orphans need no deadline");
+    assert_eq!(report.recovered, 1, "the corpse's slot must come back");
+    assert_eq!(report.adopt.orphans_adopted, 1, "{site:?}");
+
+    // The recovered slot serves again.
+    let g = pool.try_acquire().expect("recovered slot is reusable");
+    drop(g);
+    for l in &links {
+        survivor.store(l, None);
+    }
+    drop(survivor);
+    drop(pool);
+    assert_eq!(domain.adopt_orphans().orphans_adopted, 0);
+    let leaks = domain.leak_check();
+    assert!(leaks.is_clean(), "leaks after {}: {leaks:?}", site.name());
+}
+
+macro_rules! leased_site_scenarios {
+    ($($name:ident => $site:expr;)*) => {
+        $(
+            #[test]
+            fn $name() {
+                run_leased_site_scenario($site);
+            }
+        )*
+    };
+}
+
+leased_site_scenarios! {
+    leased_announce_publish_die => FaultSite::AnnouncePublish;
+    leased_deref_faa_die => FaultSite::DerefFaa;
+    leased_release_faa_die => FaultSite::ReleaseFaa;
+    leased_stripe_swap_die => FaultSite::StripeSwap;
+    leased_magazine_refill_die => FaultSite::MagazineRefill;
+    leased_magazine_drain_die => FaultSite::MagazineDrain;
+    leased_grow_seed_die => FaultSite::GrowSeed;
+    leased_summary_clear_die => FaultSite::SummaryClear;
+}
+
+/// Death at `LeaseExpire` itself: mid-checkout, after the slot is LEASED
+/// and the deadline installed, before any guard exists. Nothing unwinds a
+/// guard here — only the deadline can bring the slot back.
+#[test]
+fn lease_expire_die_is_recovered_by_expiry() {
+    silence_injected_deaths();
+    let (domain, plan) = faulted_domain(0xDEAD1EA5);
+    plan.arm_victim(
+        0,
+        FaultSite::LeaseExpire,
+        FaultAction::Die,
+        FireRule::Nth(1),
+    );
+    let pool = LeasePool::new(
+        &domain,
+        LeaseConfig::new(1).with_ttl(std::time::Duration::from_millis(1)),
+    )
+    .unwrap();
+
+    let err = std::thread::scope(|s| {
+        let pool_ref = &pool;
+        s.spawn(move || {
+            let g = pool_ref.acquire();
+            unreachable!("checkout must die before the guard exists: {g:?}")
+        })
+        .join()
+        .expect_err("victim must die at LeaseExpire")
+    });
+    let death = err
+        .downcast::<InjectedDeath>()
+        .expect("panic payload must be InjectedDeath");
+    assert_eq!(death.site, FaultSite::LeaseExpire);
+    assert_eq!(pool.leased(), 1, "the corpse still owns the slot");
+
+    std::thread::sleep(std::time::Duration::from_millis(10));
+    let report = pool.expire_overdue();
+    assert_eq!(report.expired, 1, "the deadline must fire");
+    assert_eq!(report.recovered, 1);
+    assert_eq!(report.adopt.orphans_adopted, 1);
+
+    let g = pool.try_acquire().expect("recovered slot is reusable");
+    drop(g);
+    drop(pool);
+    assert!(domain.leak_check().is_clean());
+}
+
+/// The LFRC mirror dies at `LeaseExpire` too: the baseline pool recovers
+/// through the same expiry path.
+#[test]
+fn lfrc_lease_expire_die_is_recovered() {
+    use wfrc::baselines::LfrcDomain;
+    silence_injected_deaths();
+    let mut domain = LfrcDomain::<u64>::new(2, CAPACITY);
+    let plan = Arc::new(FaultPlan::new(0xBA5E));
+    domain.set_fault_plan(Arc::clone(&plan));
+    plan.arm_victim(
+        0,
+        FaultSite::LeaseExpire,
+        FaultAction::Die,
+        FireRule::Nth(1),
+    );
+    let pool = LeasePool::new(
+        &domain,
+        LeaseConfig::new(1).with_ttl(std::time::Duration::from_millis(1)),
+    )
+    .unwrap();
+
+    let err = std::thread::scope(|s| {
+        let pool_ref = &pool;
+        s.spawn(move || {
+            let g = pool_ref.acquire();
+            unreachable!("checkout must die before the guard exists: {:?}", g.tid())
+        })
+        .join()
+        .expect_err("victim must die at LeaseExpire")
+    });
+    let death = err
+        .downcast::<InjectedDeath>()
+        .expect("panic payload must be InjectedDeath");
+    assert_eq!(death.site, FaultSite::LeaseExpire);
+
+    std::thread::sleep(std::time::Duration::from_millis(10));
+    let report = pool.expire_overdue();
+    assert_eq!(report.expired, 1);
+    assert_eq!(report.recovered, 1);
+    assert_eq!(report.adopt.orphans_adopted, 1);
+    let g = pool.try_acquire().expect("recovered slot is reusable");
+    drop(g);
+    drop(pool);
+    assert!(domain.leak_check().is_clean());
+}
