@@ -1,13 +1,18 @@
 //! E10 — chaos: a rotating victim is killed, parked, or stalled
-//! mid-operation, round after round, against one long-lived domain.
+//! mid-operation, round after round, against one long-lived domain —
+//! and every recovery is performed by the sentinel, never by hand.
 //!
 //! Every round arms all eight `FaultSite`s for one victim thread with a
-//! per-hit probability, runs the victim's churn against survivor threads,
-//! and then recovers: a killed victim's slot is adopted
-//! (`WfrcDomain::adopt_orphans`) and its parked nodes counted; a parked
-//! victim is released and exits cleanly. After every round the shared
-//! links are cleared and `WfrcDomain::leak_check` must be spotless —
-//! one corrupt or leaked node anywhere ends the run with a panic.
+//! per-hit probability and runs the victim's churn against survivor
+//! threads while a dedicated supervisor thread ticks a
+//! [`wfrc_core::Sentinel`] over the domain. A killed victim's slot is
+//! detected by the heartbeat ladder and adopted autonomously; the harness
+//! only *waits* for `WfrcDomain::orphans_adopted` to advance and records
+//! the MTTR (victim join observed → adoption complete). A parked victim
+//! is released and exits cleanly — the ladder may suspect it, but its
+//! live registration is never seized. After every round the shared links
+//! are cleared and `WfrcDomain::leak_check` must be spotless — one
+//! corrupt or leaked node anywhere ends the run with a panic.
 //!
 //! Victims and survivors also attempt segment reclamation mid-churn (so
 //! the `SegmentRetire` fault site gets real kills, mid-`DRAINING`), and
@@ -46,9 +51,10 @@ mod chaos {
     use wfrc_core::fault::silence_injected_deaths;
     use wfrc_core::{
         DomainConfig, FaultAction, FaultPlan, FaultSite, FireRule, Growth, InjectedDeath, Link,
-        ReclaimOutcome, WfrcDomain,
+        ReclaimOutcome, Sentinel, SentinelConfig, WfrcDomain,
     };
     use wfrc_sim::stats::Table;
+    use wfrc_sim::{Histogram, Supervisor};
 
     const THREADS: usize = 4;
     // Deliberately below the churn's working set (the victim alone holds
@@ -59,6 +65,11 @@ mod chaos {
     const VICTIM_OPS: usize = 50_000;
     const SURVIVOR_OPS: usize = 5_000;
     const CHANCE: f64 = 0.02;
+    /// Supervisor tick cadence. The ladder needs `help_after` stale
+    /// examinations before it adopts, so MTTR floors at a few periods.
+    const TICK_PERIOD: Duration = Duration::from_micros(200);
+    /// A kill the sentinel has not healed within this bound is a bug.
+    const MTTR_DEADLINE: Duration = Duration::from_secs(5);
 
     struct Cfg {
         seed: u64,
@@ -171,11 +182,16 @@ mod chaos {
         let mut park_rounds = 0u64;
         let mut stall_rounds = 0u64;
         let mut clean_exits = 0u64;
-        let mut nodes_recovered = 0usize;
         let mut kills_by_site = [0u64; FaultSite::ALL.len()];
-        let mut adopt_us_total = 0u128;
-        let mut adopt_us_max = 0u128;
         let mut faults_total = 0u64;
+        let mut mttr = Histogram::new();
+        let mut sentinel_ticks = 0u64;
+        let mut sentinel_helps = 0u64;
+        let mut sentinel_probes = 0u64;
+        let mut sentinel_suspects = 0u64;
+        let mut sentinel_declared = 0u64;
+        let mut sentinel_recovered = 0u64;
+        let mut sentinel_exonerated = 0u64;
 
         while kills < cfg.rounds || start.elapsed() < deadline {
             let round = rounds;
@@ -210,12 +226,25 @@ mod chaos {
                 plan.arm_victim(victim_tid, site, action, FireRule::Chance(p));
             }
 
-            let mut handles: Vec<_> = (0..THREADS).map(|_| domain.register().unwrap()).collect();
+            let mut handles: Vec<_> = (0..THREADS)
+                .map(|_| register_with_retry(&domain, round))
+                .collect();
             // Handles come out in slot order; pull the victim's out.
             let victim = handles.remove(victim_tid);
             assert_eq!(victim.tid(), victim_tid);
 
+            // The round's autonomous recovery plane: a supervisor thread
+            // ticks the sentinel while the churn runs. No code below ever
+            // calls `adopt_orphans` — a kill heals only because the ladder
+            // escalates the dead slot and routes it through `help`.
+            let sentinel = Sentinel::new(
+                &domain,
+                SentinelConfig::default().with_seed(cfg.seed ^ round.rotate_left(17)),
+            );
+            let adopted_before = domain.orphans_adopted();
+
             let died = std::thread::scope(|s| {
+                let sup = Supervisor::spawn_scoped(s, TICK_PERIOD, || sentinel.tick());
                 let links_ref = &links;
                 let plan_ref: &FaultPlan = &plan;
                 let vt = s.spawn(move || victim_churn(victim, links_ref, plan_ref));
@@ -233,7 +262,7 @@ mod chaos {
                         std::thread::yield_now();
                     }
                 }
-                match vt.join() {
+                let died = match vt.join() {
                     Ok(()) => None,
                     Err(err) => {
                         let death = err
@@ -241,23 +270,41 @@ mod chaos {
                             .expect("victims only die by injection");
                         Some(death.site)
                     }
+                };
+                if died.is_some() {
+                    // Time-to-recovery: the join above is the moment an
+                    // operator could first *observe* the death; the sentinel
+                    // may already have adopted mid-churn (MTTR ~ 0) or may
+                    // still be walking its ladder.
+                    let t0 = Instant::now();
+                    while domain.orphans_adopted() <= adopted_before {
+                        assert!(
+                            t0.elapsed() < MTTR_DEADLINE,
+                            "round {round}: sentinel failed to adopt a kill within {MTTR_DEADLINE:?} (seed {:#x})",
+                            plan.seed()
+                        );
+                        std::thread::yield_now();
+                    }
+                    mttr.record(t0.elapsed().as_nanos() as u64);
                 }
+                sup.stop();
+                died
             });
+
+            let snap = sentinel.stats();
+            sentinel_ticks += snap.ticks;
+            sentinel_helps += snap.helps;
+            sentinel_probes += snap.probes;
+            sentinel_suspects += snap.suspects;
+            sentinel_declared += snap.declared_dead;
+            sentinel_recovered += snap.dead_recovered;
+            sentinel_exonerated += snap.exonerated;
+            drop(sentinel);
 
             match died {
                 Some(site) => {
                     kills += 1;
                     kills_by_site[site as usize] += 1;
-                    let t0 = Instant::now();
-                    let report = domain.adopt_orphans();
-                    let us = t0.elapsed().as_micros();
-                    adopt_us_total += us;
-                    adopt_us_max = adopt_us_max.max(us);
-                    assert_eq!(
-                        report.orphans_adopted, 1,
-                        "round {round}: adoption must win"
-                    );
-                    nodes_recovered += report.nodes_recovered();
                 }
                 None => {
                     clean_exits += 1;
@@ -277,7 +324,7 @@ mod chaos {
             faults_total += plan.injected();
             plan.disarm();
             {
-                let sweeper = domain.register().unwrap();
+                let sweeper = register_with_retry(&domain, round);
                 for l in &links {
                     sweeper.store(l, None);
                 }
@@ -303,21 +350,45 @@ mod chaos {
 
         let elapsed = start.elapsed();
         let mut table = Table::new(
-            "E10: chaos soak — rotating victim killed/parked/stalled mid-operation",
+            "E10: chaos soak — sentinel-only recovery, rotating victim killed/parked/stalled",
             &["metric", "value"],
         );
+        table.row(&["seed".into(), format!("{:#x}", cfg.seed)]);
         table.row(&["rounds".into(), rounds.to_string()]);
-        table.row(&["kills (adopted)".into(), kills.to_string()]);
+        table.row(&["kills (sentinel-adopted)".into(), kills.to_string()]);
         table.row(&["park rounds survived".into(), park_rounds.to_string()]);
         table.row(&["stall rounds survived".into(), stall_rounds.to_string()]);
         table.row(&["clean victim exits".into(), clean_exits.to_string()]);
         table.row(&["faults injected".into(), faults_total.to_string()]);
-        table.row(&["orphan nodes recovered".into(), nodes_recovered.to_string()]);
         table.row(&[
-            "adopt latency mean µs".into(),
-            (adopt_us_total / u128::from(kills.max(1))).to_string(),
+            "orphan nodes recovered".into(),
+            domain.orphan_nodes_recovered().to_string(),
         ]);
-        table.row(&["adopt latency max µs".into(), adopt_us_max.to_string()]);
+        table.row(&[
+            "mttr p50 µs".into(),
+            (mttr.quantile(0.50) / 1_000).to_string(),
+        ]);
+        table.row(&[
+            "mttr p99 µs".into(),
+            (mttr.quantile(0.99) / 1_000).to_string(),
+        ]);
+        table.row(&["mttr max µs".into(), (mttr.max() / 1_000).to_string()]);
+        table.row(&["sentinel ticks".into(), sentinel_ticks.to_string()]);
+        table.row(&["sentinel helps".into(), sentinel_helps.to_string()]);
+        table.row(&["sentinel probes".into(), sentinel_probes.to_string()]);
+        table.row(&["sentinel suspects".into(), sentinel_suspects.to_string()]);
+        table.row(&[
+            "sentinel declared dead".into(),
+            sentinel_declared.to_string(),
+        ]);
+        table.row(&[
+            "sentinel dead recovered".into(),
+            sentinel_recovered.to_string(),
+        ]);
+        table.row(&[
+            "sentinel exonerated".into(),
+            sentinel_exonerated.to_string(),
+        ]);
         for site in FaultSite::ALL {
             table.row(&[
                 format!("kills at {}", site.name()),
@@ -332,12 +403,39 @@ mod chaos {
             "segments revived".into(),
             domain.segments_revived().to_string(),
         ]);
+        table.row(&[
+            "segments poisoned".into(),
+            domain.segments_poisoned().to_string(),
+        ]);
         table.row(&["capacity (grown)".into(), domain.capacity().to_string()]);
         table.row(&["elapsed s".into(), format!("{:.1}", elapsed.as_secs_f64())]);
+        table.row(&["manual recovery calls".into(), "0".into()]);
         table.row(&["leak check".into(), "clean every round".into()]);
         println!("{}", table.render());
         if cfg.json {
             println!("{}", table.to_json());
+        }
+    }
+
+    /// Registers a handle, retrying briefly: the sentinel frees a dead
+    /// victim's slot asynchronously, so the next round's registration can
+    /// race the tail of an adoption.
+    fn register_with_retry<'d>(
+        domain: &'d WfrcDomain<u64>,
+        round: u64,
+    ) -> wfrc_core::ThreadHandle<'d, u64> {
+        let t0 = Instant::now();
+        loop {
+            match domain.register() {
+                Ok(h) => return h,
+                Err(_) => {
+                    assert!(
+                        t0.elapsed() < MTTR_DEADLINE,
+                        "round {round}: registry still full — adoption stalled"
+                    );
+                    std::thread::yield_now();
+                }
+            }
         }
     }
 }

@@ -19,13 +19,24 @@
 //! reclaim stop-the-world after its workers exit — the asymmetry is part
 //! of the result).
 //!
+//! With `--kill N`, N tasks "crash" holding their lease (the guard is
+//! leaked); a sentinel supervisor thread — the run's only recovery agent —
+//! must expire and recover every dead slot, and the table reports the
+//! kill→recovery MTTR (p50/p99). With `--admission-ms D`, tasks acquire
+//! through an [`wfrc_core::AdmissionPolicy`] and shed load
+//! (`Overloaded`/`Backpressure`, both counted) instead of queueing past D
+//! milliseconds — so a killed holder costs bounded latency, never a hang.
+//! `--sentinel` runs the supervisor even without kills.
+//!
 //! Every cell ends with a [`wfrc_core::domain::LeakReport`] audit and a
-//! lease audit (`issued == released`, one checkout sample per task): the
-//! run fails unless both schemes finish leak-free.
+//! lease audit (`issued == released + killed`, every task either sampled
+//! a checkout or shed): the run fails unless both schemes finish
+//! leak-free.
 //!
 //! ```text
 //! cargo run --release --bin e12_server [-- --tasks 10000 --slots 16,64 \
-//!     --ops 200 --workers 8 --classes 64,256,1024 --grow --reclaim --json]
+//!     --ops 200 --workers 8 --classes 64,256,1024 --grow --reclaim \
+//!     --kill 32 --admission-ms 100 --sentinel --json]
 //! ```
 
 use bench::drivers::{run_server, run_server_lfrc, ServerCfg};
@@ -64,14 +75,30 @@ fn node_capacity(slots: usize) -> usize {
 
 fn audit(scheme: &str, r: &bench::drivers::ServerResult, tasks: usize) {
     assert_eq!(
-        r.lease.issued, r.lease.released,
-        "{scheme}: every lease checked out must be checked back in"
+        r.lease.issued,
+        r.lease.released + r.killed,
+        "{scheme}: every lease checked out must be checked back in or killed"
     );
     assert_eq!(
-        r.checkout.len(),
+        r.checkout.len() + r.shed,
         tasks as u64,
-        "{scheme}: one checkout sample per task"
+        "{scheme}: every task either sampled a checkout or shed its load"
     );
+    assert_eq!(
+        r.shed,
+        r.lease.overloaded + r.lease.backpressure,
+        "{scheme}: shed tasks are exactly the admission refusals"
+    );
+    if r.killed > 0 {
+        assert!(
+            r.lease.expired >= r.killed && r.lease.recovered >= r.killed,
+            "{scheme}: the sentinel must expire and recover every killed lease \
+             (killed {}, expired {}, recovered {})",
+            r.killed,
+            r.lease.expired,
+            r.lease.recovered
+        );
+    }
 }
 
 fn row(table: &mut Table, slots: usize, scheme: &str, r: &bench::drivers::ServerResult) {
@@ -91,6 +118,21 @@ fn row(table: &mut Table, slots: usize, scheme: &str, r: &bench::drivers::Server
         r.lease.handoffs.to_string(),
         r.lease.enrolled.to_string(),
         r.retired.to_string(),
+        r.killed.to_string(),
+        r.lease.overloaded.to_string(),
+        r.lease.backpressure.to_string(),
+        r.lease.expired.to_string(),
+        r.lease.recovered.to_string(),
+        if r.mttr.is_empty() {
+            "-".into()
+        } else {
+            fmt_ns(r.mttr.quantile(0.50))
+        },
+        if r.mttr.is_empty() {
+            "-".into()
+        } else {
+            fmt_ns(r.mttr.quantile(0.99))
+        },
     ]);
 }
 
@@ -110,19 +152,28 @@ fn main() {
         "E12: server workload — tasks over leased registration slots",
         &[
             "slots", "scheme", "tasks", "ops/s", "co p50", "co p99", "co p999", "op p50", "op p99",
-            "op p999", "handoffs", "enrolled", "retired",
+            "op p999", "handoffs", "enrolled", "retired", "killed", "overload", "backpr",
+            "expired", "recov", "mttr p50", "mttr p99",
         ],
     );
     for &slots in &args.slots {
         assert!(slots >= 1, "E12 needs at least one lease slot");
+        // Chaos mode (`--kill`) needs a TTL for the sentinel to expire the
+        // dead holders against; keep it far above an honest session's
+        // residence time so only kills ever expire.
+        let ttl = (args.kill > 0).then(|| std::time::Duration::from_millis(250));
         let cfg = ServerCfg {
             tasks: args.tasks,
             slots,
             workers,
             ops_per_task: args.ops,
             keyspace: KEYSPACE,
-            ttl: None,
+            ttl,
             reclaim: args.reclaim,
+            kill: args.kill,
+            admission: (args.admission_ms > 0)
+                .then(|| std::time::Duration::from_millis(args.admission_ms)),
+            sentinel: args.sentinel || args.kill > 0,
         };
         {
             // +1 registration slot for the concurrent reclaimer.

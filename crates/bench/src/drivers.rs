@@ -7,11 +7,13 @@ use wfrc_baselines::hazard::HpDomain;
 use wfrc_baselines::LfrcDomain;
 use wfrc_core::counters::{CounterSnapshot, LeaseSnapshot};
 use wfrc_core::lease::{LeaseConfig, LeasePool};
+use wfrc_core::sentinel::{AdmissionPolicy, Outcome, Sentinel, SentinelConfig};
 use wfrc_core::{RawBytes, ReclaimOutcome, WfrcDomain};
 use wfrc_sim::exec::{run_fixed_ops, PollLoop, StopFlag};
 use wfrc_sim::latency::Histogram;
 use wfrc_sim::rng::SmallRng;
 use wfrc_sim::workload::{OpKind, WorkloadCfg};
+use wfrc_sim::Supervisor;
 use wfrc_structures::epoch_queue::EpochQueue;
 use wfrc_structures::epoch_stack::EpochStack;
 use wfrc_structures::hash_map::{SessionCache, SessionMm};
@@ -1075,6 +1077,20 @@ pub struct ServerCfg {
     /// Run a concurrent segment reclaimer during the measured section
     /// (wfrc only; the LFRC baseline can only reclaim stop-the-world).
     pub reclaim: bool,
+    /// Tasks (of `tasks`) that die holding a lease: each leaks its guard
+    /// mid-session, leaving the slot checked out until the sentinel
+    /// expires and recovers it. Requires `ttl` and `sentinel`.
+    pub kill: usize,
+    /// Admission-control deadline: tasks acquire through
+    /// [`wfrc_core::sentinel::AdmissionPolicy::within`] this bound and
+    /// shed load on [`wfrc_core::sentinel::Outcome::Overloaded`] /
+    /// `Backpressure` instead of queueing unboundedly (`None` ⇒ legacy
+    /// unbounded wait).
+    pub admission: Option<std::time::Duration>,
+    /// Run a dedicated supervisor thread ticking a
+    /// [`wfrc_core::Sentinel`] over the lease pool for the whole measured
+    /// section — the only recovery agent in the run.
+    pub sentinel: bool,
 }
 
 /// Result of one E12 server cell.
@@ -1096,6 +1112,15 @@ pub struct ServerResult {
     pub retired: u64,
     /// Aborted/contended reclaim attempts (wfrc only).
     pub aborted: u64,
+    /// Tasks that actually died holding a lease (≤ `cfg.kill`; a killer
+    /// refused admission dies with nothing to leak).
+    pub killed: u64,
+    /// Tasks refused admission (Overloaded or Backpressure) that shed
+    /// their load instead of queueing.
+    pub shed: u64,
+    /// Kill → slot-recovered latency samples (sentinel MTTR), one per
+    /// recovered kill, matched FIFO against the pool's recovery counter.
+    pub mttr: Histogram,
 }
 
 impl ServerResult {
@@ -1189,6 +1214,10 @@ pub fn run_server(domain: &WfrcDomain<ListCell<RawBytes>>, cfg: &ServerCfg) -> S
         .map(|i| domain.class_block_size(i))
         .collect();
     assert!(!sizes.is_empty(), "server bench needs byte classes");
+    assert!(
+        cfg.kill == 0 || (cfg.ttl.is_some() && cfg.sentinel),
+        "killed lease holders only heal through TTL expiry + the sentinel"
+    );
     let mut lease_cfg = LeaseConfig::new(cfg.slots);
     if let Some(ttl) = cfg.ttl {
         lease_cfg = lease_cfg.with_ttl(ttl);
@@ -1198,29 +1227,97 @@ pub fn run_server(domain: &WfrcDomain<ListCell<RawBytes>>, cfg: &ServerCfg) -> S
     let checkout = std::sync::Mutex::new(Histogram::new());
     let op_hist = std::sync::Mutex::new(Histogram::new());
     let total = std::sync::atomic::AtomicU64::new(0);
+    let shed = std::sync::atomic::AtomicU64::new(0);
+    let killed = std::sync::atomic::AtomicU64::new(0);
+    let kill_times = std::sync::Mutex::new(std::collections::VecDeque::new());
+    let mttr = std::sync::Mutex::new(Histogram::new());
     let mut exec = PollLoop::new();
     for task in 0..cfg.tasks {
         let (pool, cache, sizes) = (&pool, &cache, &sizes);
         let (checkout, op_hist, total) = (&checkout, &op_hist, &total);
+        let (shed, killed, kill_times) = (&shed, &killed, &kill_times);
         let (ops, keyspace, stride) = (cfg.ops_per_task, cfg.keyspace, cfg.slots as u64);
+        let admission = cfg.admission;
+        // Exactly `cfg.kill` killer tasks, spread evenly across the set.
+        let killer =
+            cfg.kill > 0 && (task * cfg.kill) / cfg.tasks != ((task + 1) * cfg.kill) / cfg.tasks;
         exec.spawn(async move {
             let mut rng = SmallRng::seed_from_u64(0xE12_0000 + task as u64);
             let t0 = std::time::Instant::now();
-            let guard = pool.acquire_async().await;
+            let guard = match admission {
+                // Bounded admission: a task that cannot get a slot within
+                // the deadline sheds its load (the server's 503) instead
+                // of queueing forever behind a dead holder.
+                Some(deadline) => {
+                    let policy =
+                        AdmissionPolicy::within(deadline).with_seed(0xE12_AD31 ^ task as u64);
+                    match pool.acquire_async_admitted(&policy).await {
+                        Outcome::Admitted(g) => g,
+                        Outcome::Overloaded { .. } | Outcome::Backpressure { .. } => {
+                            shed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                }
+                None => pool.acquire_async().await,
+            };
             let waited = t0.elapsed().as_nanos() as u64;
             let stripe = guard.tid() as u64;
             let mut local = Histogram::new();
             let done = server_session_ops(
-                &*guard, cache, &mut rng, sizes, keyspace, stripe, stride, ops, &mut local,
+                &*guard,
+                cache,
+                &mut rng,
+                sizes,
+                keyspace,
+                stripe,
+                stride,
+                if killer { ops / 2 } else { ops },
+                &mut local,
             );
-            drop(guard);
+            if killer {
+                // The session "crashes" holding its lease: the guard is
+                // leaked, so the slot stays checked out until the sentinel
+                // expires the overdue deadline and recovers it. MTTR is
+                // measured from this instant.
+                kill_times
+                    .lock()
+                    .unwrap()
+                    .push_back(std::time::Instant::now());
+                killed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                core::mem::forget(guard);
+            } else {
+                drop(guard);
+            }
             checkout.lock().unwrap().record(waited);
             op_hist.lock().unwrap().merge(&local);
             total.fetch_add(done, std::sync::atomic::Ordering::Relaxed);
         });
     }
     let stop = StopFlag::new();
+    let sentinel = cfg
+        .sentinel
+        .then(|| Sentinel::new(&pool, SentinelConfig::default().with_seed(0xE12_5EA1)));
     let (wall, retired, aborted) = std::thread::scope(|s| {
+        let supervisor = sentinel.as_ref().map(|sen| {
+            let (pool, kill_times, mttr) = (&pool, &kill_times, &mttr);
+            let recovered_seen = std::sync::atomic::AtomicU64::new(0);
+            Supervisor::spawn_scoped(s, std::time::Duration::from_millis(1), move || {
+                sen.tick();
+                // FIFO-match pool recoveries against recorded kill
+                // instants: kills expire in deadline order, so the n-th
+                // recovery heals the n-th kill.
+                let rec = pool.stats().recovered;
+                let mut seen = recovered_seen.load(std::sync::atomic::Ordering::Relaxed);
+                while seen < rec {
+                    if let Some(t0) = kill_times.lock().unwrap().pop_front() {
+                        mttr.lock().unwrap().record(t0.elapsed().as_nanos() as u64);
+                    }
+                    seen += 1;
+                }
+                recovered_seen.store(seen, std::sync::atomic::Ordering::Relaxed);
+            })
+        });
         if std::env::var_os("E12_WATCHDOG").is_some() {
             let (stop, pool, total, checkout) = (&stop, &pool, &total, &checkout);
             s.spawn(move || {
@@ -1268,8 +1365,27 @@ pub fn run_server(domain: &WfrcDomain<ListCell<RawBytes>>, cfg: &ServerCfg) -> S
         let wall = exec.run(cfg.workers);
         stop.stop();
         let (retired, aborted) = reclaimer.map_or((0, 0), |j| j.join().unwrap());
+        // Acceptance gate: every killed holder's slot must come back
+        // through the sentinel alone, within a hard bound — the supervisor
+        // keeps ticking until it has.
+        let kills = killed.load(std::sync::atomic::Ordering::Relaxed);
+        if kills > 0 {
+            let t0 = std::time::Instant::now();
+            while pool.stats().recovered < kills {
+                assert!(
+                    t0.elapsed() < std::time::Duration::from_secs(10),
+                    "sentinel recovered only {} of {kills} killed leases within 10s",
+                    pool.stats().recovered
+                );
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        if let Some(sup) = &supervisor {
+            sup.stop();
+        }
         (wall, retired, aborted)
     });
+    drop(sentinel);
     let g = pool.acquire();
     cache.dispose(&*g);
     drop(g);
@@ -1313,19 +1429,28 @@ pub fn run_server(domain: &WfrcDomain<ListCell<RawBytes>>, cfg: &ServerCfg) -> S
         lease,
         retired,
         aborted,
+        killed: killed.into_inner(),
+        shed: shed.into_inner(),
+        mttr: mttr.into_inner().unwrap(),
     }
 }
 
 /// The LFRC counterpart of [`run_server`]: identical task set over the
-/// baseline's lease pool. `cfg.reclaim` is ignored here — the baseline's
-/// byte-class reclamation is stop-the-world (`&mut self`), so the caller
-/// runs [`LfrcDomain::reclaim_class_quiescent`] after this returns; that
+/// baseline's lease pool — including admission control, killer tasks, and
+/// the sentinel supervisor (the `Supervised` surface is scheme-agnostic).
+/// `cfg.reclaim` is ignored here — the baseline's byte-class reclamation
+/// is stop-the-world (`&mut self`), so the caller runs
+/// [`LfrcDomain::reclaim_class_quiescent`] after this returns; that
 /// asymmetry is part of what E12 shows.
 pub fn run_server_lfrc(domain: &LfrcDomain<ListCell<RawBytes>>, cfg: &ServerCfg) -> ServerResult {
     let sizes: Vec<usize> = (0..domain.class_count())
         .map(|i| domain.class_block_size(i))
         .collect();
     assert!(!sizes.is_empty(), "server bench needs byte classes");
+    assert!(
+        cfg.kill == 0 || (cfg.ttl.is_some() && cfg.sentinel),
+        "killed lease holders only heal through TTL expiry + the sentinel"
+    );
     let mut lease_cfg = LeaseConfig::new(cfg.slots);
     if let Some(ttl) = cfg.ttl {
         lease_cfg = lease_cfg.with_ttl(ttl);
@@ -1335,28 +1460,104 @@ pub fn run_server_lfrc(domain: &LfrcDomain<ListCell<RawBytes>>, cfg: &ServerCfg)
     let checkout = std::sync::Mutex::new(Histogram::new());
     let op_hist = std::sync::Mutex::new(Histogram::new());
     let total = std::sync::atomic::AtomicU64::new(0);
+    let shed = std::sync::atomic::AtomicU64::new(0);
+    let killed = std::sync::atomic::AtomicU64::new(0);
+    let kill_times = std::sync::Mutex::new(std::collections::VecDeque::new());
+    let mttr = std::sync::Mutex::new(Histogram::new());
     let mut exec = PollLoop::new();
     for task in 0..cfg.tasks {
         let (pool, cache, sizes) = (&pool, &cache, &sizes);
         let (checkout, op_hist, total) = (&checkout, &op_hist, &total);
+        let (shed, killed, kill_times) = (&shed, &killed, &kill_times);
         let (ops, keyspace, stride) = (cfg.ops_per_task, cfg.keyspace, cfg.slots as u64);
+        let admission = cfg.admission;
+        let killer =
+            cfg.kill > 0 && (task * cfg.kill) / cfg.tasks != ((task + 1) * cfg.kill) / cfg.tasks;
         exec.spawn(async move {
             let mut rng = SmallRng::seed_from_u64(0xE12_0000 + task as u64);
             let t0 = std::time::Instant::now();
-            let guard = pool.acquire_async().await;
+            let guard = match admission {
+                Some(deadline) => {
+                    let policy =
+                        AdmissionPolicy::within(deadline).with_seed(0xE12_AD31 ^ task as u64);
+                    match pool.acquire_async_admitted(&policy).await {
+                        Outcome::Admitted(g) => g,
+                        Outcome::Overloaded { .. } | Outcome::Backpressure { .. } => {
+                            shed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                }
+                None => pool.acquire_async().await,
+            };
             let waited = t0.elapsed().as_nanos() as u64;
             let stripe = guard.tid() as u64;
             let mut local = Histogram::new();
             let done = server_session_ops(
-                &*guard, cache, &mut rng, sizes, keyspace, stripe, stride, ops, &mut local,
+                &*guard,
+                cache,
+                &mut rng,
+                sizes,
+                keyspace,
+                stripe,
+                stride,
+                if killer { ops / 2 } else { ops },
+                &mut local,
             );
-            drop(guard);
+            if killer {
+                kill_times
+                    .lock()
+                    .unwrap()
+                    .push_back(std::time::Instant::now());
+                killed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                core::mem::forget(guard);
+            } else {
+                drop(guard);
+            }
             checkout.lock().unwrap().record(waited);
             op_hist.lock().unwrap().merge(&local);
             total.fetch_add(done, std::sync::atomic::Ordering::Relaxed);
         });
     }
-    let wall = exec.run(cfg.workers);
+    let sentinel = cfg
+        .sentinel
+        .then(|| Sentinel::new(&pool, SentinelConfig::default().with_seed(0xE12_5EA1)));
+    let wall = std::thread::scope(|s| {
+        let supervisor = sentinel.as_ref().map(|sen| {
+            let (pool, kill_times, mttr) = (&pool, &kill_times, &mttr);
+            let recovered_seen = std::sync::atomic::AtomicU64::new(0);
+            Supervisor::spawn_scoped(s, std::time::Duration::from_millis(1), move || {
+                sen.tick();
+                let rec = pool.stats().recovered;
+                let mut seen = recovered_seen.load(std::sync::atomic::Ordering::Relaxed);
+                while seen < rec {
+                    if let Some(t0) = kill_times.lock().unwrap().pop_front() {
+                        mttr.lock().unwrap().record(t0.elapsed().as_nanos() as u64);
+                    }
+                    seen += 1;
+                }
+                recovered_seen.store(seen, std::sync::atomic::Ordering::Relaxed);
+            })
+        });
+        let wall = exec.run(cfg.workers);
+        let kills = killed.load(std::sync::atomic::Ordering::Relaxed);
+        if kills > 0 {
+            let t0 = std::time::Instant::now();
+            while pool.stats().recovered < kills {
+                assert!(
+                    t0.elapsed() < std::time::Duration::from_secs(10),
+                    "sentinel recovered only {} of {kills} killed leases within 10s",
+                    pool.stats().recovered
+                );
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        if let Some(sup) = &supervisor {
+            sup.stop();
+        }
+        wall
+    });
+    drop(sentinel);
     let g = pool.acquire();
     cache.dispose(&*g);
     drop(g);
@@ -1371,5 +1572,8 @@ pub fn run_server_lfrc(domain: &LfrcDomain<ListCell<RawBytes>>, cfg: &ServerCfg)
         lease,
         retired: 0,
         aborted: 0,
+        killed: killed.into_inner(),
+        shed: shed.into_inner(),
+        mttr: mttr.into_inner().unwrap(),
     }
 }

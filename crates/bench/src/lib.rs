@@ -73,6 +73,14 @@ pub struct Args {
     /// Poll-loop worker threads for E12; 0 means "use the machine's
     /// available parallelism".
     pub workers: usize,
+    /// Tasks that die holding a lease (E12 chaos mode); implies the
+    /// sentinel supervisor and a lease TTL.
+    pub kill: usize,
+    /// Admission deadline in milliseconds (E12): tasks shed load instead
+    /// of queueing past it. 0 means unbounded waits (the legacy shape).
+    pub admission_ms: u64,
+    /// Run the sentinel supervisor thread during E12 even without kills.
+    pub sentinel: bool,
 }
 
 impl Args {
@@ -90,6 +98,9 @@ impl Args {
             tasks: 10_000,
             slots: vec![16, 64],
             workers: 0,
+            kill: 0,
+            admission_ms: 0,
+            sentinel: false,
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -150,11 +161,26 @@ impl Args {
                         .parse()
                         .expect("bad worker count");
                 }
+                "--kill" => {
+                    out.kill = args
+                        .next()
+                        .expect("--kill needs a value")
+                        .parse()
+                        .expect("bad kill count");
+                }
+                "--admission-ms" => {
+                    out.admission_ms = args
+                        .next()
+                        .expect("--admission-ms needs a value")
+                        .parse()
+                        .expect("bad admission deadline");
+                }
+                "--sentinel" => out.sentinel = true,
                 other => {
                     panic!(
                         "unknown argument: {other} (expected --threads/--ops/--json\
                          /--grow/--magazine/--reclaim/--mode/--classes\
-                         /--tasks/--slots/--workers)"
+                         /--tasks/--slots/--workers/--kill/--admission-ms/--sentinel)"
                     )
                 }
             }

@@ -1143,6 +1143,38 @@ impl<T: RcObject> wfrc_core::lease::LeaseRegistry for LfrcDomain<T> {
     }
 }
 
+/// The LFRC registry under [`wfrc_core::sentinel`] supervision — the
+/// apples-to-apples mirror of the WFRC domain's impl, so the same
+/// `Sentinel` (and the same E10/E12 harness code) drives recovery over
+/// both schemes. LFRC has no operation epochs, announcement bits, or
+/// retire claims, so the only obligation a slot can hold is being
+/// `ORPHANED`, and the slot word itself is the progress fingerprint.
+impl<T: RcObject> wfrc_core::sentinel::Supervised for LfrcDomain<T> {
+    fn watch_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn obligated(&self, slot: usize) -> bool {
+        // SeqCst mirrors the WFRC impl: never lag a completed orphaning.
+        self.slots[slot].load_with(Ordering::SeqCst) == SLOT_ORPHANED
+    }
+
+    fn fingerprint(&self, slot: usize) -> u64 {
+        self.slots[slot].load_with(Ordering::SeqCst) as u64
+    }
+
+    fn help(&self, slot: usize) -> bool {
+        self.slots[slot].load_with(Ordering::SeqCst) == SLOT_ORPHANED
+            && self.adopt_orphans().orphans_adopted > 0
+    }
+
+    fn declare_dead(&self, slot: usize) -> bool {
+        // Adoption only ever touches ORPHANED slots — same conservatism as
+        // the WFRC domain: a live registration is never seized.
+        self.help(slot)
+    }
+}
+
 /// Object-safe operations of one LFRC byte class — the baseline twin of
 /// the erased trait in `wfrc_core::class`, minus everything the scheme
 /// lacks (epochs, announcements, gifts, concurrent reclamation).

@@ -350,6 +350,15 @@ pub struct LeaseStats {
     pub recover_failures: AtomicU64,
     /// Handle magazines flushed on release (`flush_on_release` policy).
     pub flushes: AtomicU64,
+    /// Admission-controlled acquires that got a lease within policy
+    /// (see [`crate::sentinel::AdmissionPolicy`]).
+    pub admitted: AtomicU64,
+    /// Admission-controlled acquires refused at the deadline
+    /// ([`crate::sentinel::Outcome::Overloaded`]).
+    pub overloaded: AtomicU64,
+    /// Admission-controlled acquires refused after the retry budget
+    /// ([`crate::sentinel::Outcome::Backpressure`]).
+    pub backpressure: AtomicU64,
 }
 
 impl LeaseStats {
@@ -379,6 +388,9 @@ impl LeaseStats {
             recovered: self.recovered.load(Ordering::Relaxed),
             recover_failures: self.recover_failures.load(Ordering::Relaxed),
             flushes: self.flushes.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            overloaded: self.overloaded.load(Ordering::Relaxed),
+            backpressure: self.backpressure.load(Ordering::Relaxed),
         }
     }
 }
@@ -398,6 +410,76 @@ pub struct LeaseSnapshot {
     pub recovered: u64,
     pub recover_failures: u64,
     pub flushes: u64,
+    pub admitted: u64,
+    pub overloaded: u64,
+    pub backpressure: u64,
+}
+
+/// Supervisor telemetry for [`crate::sentinel::Sentinel`]. Shared `Relaxed`
+/// atomics like [`LeaseStats`]: any thread may drive `tick()`, and no
+/// protocol decision reads these.
+#[derive(Debug, Default)]
+pub struct SentinelStats {
+    /// `tick()` calls completed.
+    pub ticks: AtomicU64,
+    /// Watch slots examined across all ticks (each tick examines a bounded
+    /// batch via the rotor cursor).
+    pub probes: AtomicU64,
+    /// HELP-stage interventions that performed recovery work on a slot's
+    /// behalf.
+    pub helps: AtomicU64,
+    /// Slots that escalated to SUSPECT (fingerprint stale past the suspect
+    /// threshold while obligated).
+    pub suspects: AtomicU64,
+    /// DEAD declarations attempted (after `dead_after` stale probes).
+    pub declared_dead: AtomicU64,
+    /// DEAD declarations whose forcible recovery succeeded (the slot was a
+    /// genuine corpse and was reclaimed).
+    pub dead_recovered: AtomicU64,
+    /// Suspicions withdrawn because the slot's fingerprint advanced — the
+    /// merely-slow case the escalation ladder must never kill.
+    pub exonerated: AtomicU64,
+}
+
+impl SentinelStats {
+    /// Creates zeroed stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds 1 to a stat (helper for the sentinel implementation).
+    #[doc(hidden)]
+    #[inline]
+    pub fn bump(c: &AtomicU64) {
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies the current values out.
+    #[must_use]
+    pub fn snapshot(&self) -> SentinelSnapshot {
+        SentinelSnapshot {
+            ticks: self.ticks.load(Ordering::Relaxed),
+            probes: self.probes.load(Ordering::Relaxed),
+            helps: self.helps.load(Ordering::Relaxed),
+            suspects: self.suspects.load(Ordering::Relaxed),
+            declared_dead: self.declared_dead.load(Ordering::Relaxed),
+            dead_recovered: self.dead_recovered.load(Ordering::Relaxed),
+            exonerated: self.exonerated.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned copy of [`SentinelStats`] values.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // field meanings documented on SentinelStats
+pub struct SentinelSnapshot {
+    pub ticks: u64,
+    pub probes: u64,
+    pub helps: u64,
+    pub suspects: u64,
+    pub declared_dead: u64,
+    pub dead_recovered: u64,
+    pub exonerated: u64,
 }
 
 #[cfg(test)]

@@ -470,6 +470,25 @@ impl<T: RcObject> WfrcDomain<T> {
             .count()
     }
 
+    /// Registration-slot state word for `tid` (sentinel detection).
+    pub(crate) fn slot_state(&self, tid: usize) -> usize {
+        // SeqCst: pairs with the registration/orphaning stores so the
+        // sentinel's obligation check never lags a completed transition.
+        self.slots[tid].load_with(Ordering::SeqCst)
+    }
+
+    /// Operation-epoch word for `tid` (odd = mid-operation); the sentinel's
+    /// progress heartbeat.
+    pub(crate) fn slot_epoch(&self, tid: usize) -> usize {
+        self.shared.reclaim.epoch(tid).load(Ordering::SeqCst)
+    }
+
+    /// True when `tid` holds the segment-drain claim (a crashed drainer
+    /// leaves it set; adoption reopens it).
+    pub(crate) fn retire_claimed_by(&self, tid: usize) -> bool {
+        self.shared.reclaim.draining_by.load(Ordering::SeqCst) == tid + 1
+    }
+
     /// True when no thread's announcement-presence bit is set — the state
     /// in which every `HelpDeRef` returns via the summary fast path without
     /// reading a single announcement-slot word. Diagnostic: a concurrent
@@ -605,7 +624,56 @@ impl<T: RcObject> WfrcDomain<T> {
             .faa_with(report.orphans_adopted as isize, Ordering::Relaxed);
         self.orphan_nodes_recovered
             .faa_with(report.nodes_recovered() as isize, Ordering::Relaxed);
+        if report.orphans_adopted > 0 {
+            // Post-adoption audit: a corpse's unaccounted occupancy updates
+            // can leave a RETIRED slot's books wrong; repeated failures
+            // quarantine the slot (POISONED) instead of reviving it.
+            let _ = self.audit_segments();
+        }
         report
+    }
+
+    /// Audits every RETIRED arena slot's occupancy accounting:
+    /// `finish_retire` zeroes the counter, so a nonzero count on a RETIRED
+    /// slot means stray occupancy traffic targeted a dead slab (corrupt
+    /// accounting, e.g. from a crash between a node move and its
+    /// occupancy update). Each anomalous slot receives a
+    /// [`crate::arena::poison_strike`](crate::arena::Arena::poison_strike)
+    /// (quarantining it `SEG_POISONED` at
+    /// [`POISON_STRIKES`](crate::arena::POISON_STRIKES)); clean slots have
+    /// their strikes reset. Returns the number of anomalous slots seen.
+    /// Runs automatically at the tail of [`WfrcDomain::adopt_orphans`].
+    pub fn audit_segments(&self) -> usize {
+        let arena = &self.shared.arena;
+        let mut anomalous = 0;
+        for s in 0..crate::arena::MAX_SEGMENTS {
+            match arena.seg_state(s) {
+                Some(crate::arena::SEG_RETIRED) => {
+                    if arena.seg_free_count(s).unwrap_or(0) != 0 {
+                        anomalous += 1;
+                        let _ = arena.poison_strike(s);
+                    } else {
+                        arena.clear_strikes(s);
+                    }
+                }
+                Some(_) => {}
+                None => break,
+            }
+        }
+        anomalous
+    }
+
+    /// Number of arena slots currently quarantined `SEG_POISONED` (see
+    /// [`WfrcDomain::audit_segments`]).
+    pub fn segments_poisoned(&self) -> usize {
+        self.shared.arena.segments_poisoned()
+    }
+
+    /// Test hook: records one audit strike against arena slot `s` exactly
+    /// as a failed [`WfrcDomain::audit_segments`] pass would.
+    #[doc(hidden)]
+    pub fn debug_strike_segment(&self, s: usize) -> bool {
+        self.shared.arena.poison_strike(s)
     }
 
     /// Effective per-thread magazine capacity (0 = magazines disabled).
@@ -637,6 +705,7 @@ impl<T: RcObject> WfrcDomain<T> {
             segments: s.arena.segment_count(),
             resident_segments: s.arena.segment_count(),
             segments_retired: s.arena.segments_retired(),
+            segments_poisoned: s.arena.segments_poisoned(),
             ..LeakReport::default()
         };
         for node in s.arena.iter() {
@@ -735,6 +804,10 @@ pub struct LeakReport {
     pub resident_segments: usize,
     /// Cumulative segments retired over the domain's lifetime.
     pub segments_retired: usize,
+    /// Arena slots quarantined `SEG_POISONED` at audit time (excluded from
+    /// revival — permanently degraded capacity, not a leak; see
+    /// [`WfrcDomain::audit_segments`]).
+    pub segments_poisoned: usize,
     /// Nodes in the free-lists (`mm_ref == 1`).
     pub free_nodes: usize,
     /// Nodes parked in `annAlloc` slots awaiting pickup (`mm_ref == 3`).
@@ -770,13 +843,15 @@ impl LeakReport {
         let _ = write!(
             s,
             "{{\"capacity\":{},\"segments\":{},\"resident_segments\":{},\
-             \"segments_retired\":{},\"free_nodes\":{},\"parked_gifts\":{},\
+             \"segments_retired\":{},\"segments_poisoned\":{},\"free_nodes\":{},\
+             \"parked_gifts\":{},\
              \"magazine_nodes\":{},\"live_nodes\":{},\"corrupt_nodes\":{},\
              \"classes\":[",
             self.capacity,
             self.segments,
             self.resident_segments,
             self.segments_retired,
+            self.segments_poisoned,
             self.free_nodes,
             self.parked_gifts,
             self.magazine_nodes,
@@ -826,6 +901,9 @@ impl LeakReport {
             segments: field(outer, "segments")?,
             resident_segments: field(outer, "resident_segments")?,
             segments_retired: field(outer, "segments_retired")?,
+            // Absent in pre-PR 8 snapshots: default 0 keeps old benchmark
+            // baselines parseable.
+            segments_poisoned: field(outer, "segments_poisoned").unwrap_or(0),
             free_nodes: field(outer, "free_nodes")?,
             parked_gifts: field(outer, "parked_gifts")?,
             magazine_nodes: field(outer, "magazine_nodes")?,
@@ -858,11 +936,12 @@ impl core::fmt::Display for LeakReport {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         writeln!(
             f,
-            "leak report: {} ({} nodes, {} segments resident, {} retired)",
+            "leak report: {} ({} nodes, {} segments resident, {} retired, {} poisoned)",
             if self.is_clean() { "clean" } else { "DIRTY" },
             self.capacity,
             self.resident_segments,
             self.segments_retired,
+            self.segments_poisoned,
         )?;
         writeln!(
             f,
@@ -959,6 +1038,7 @@ mod tests {
             segments: 2,
             resident_segments: 2,
             segments_retired: 3,
+            segments_poisoned: 1,
             free_nodes: 60,
             parked_gifts: 1,
             magazine_nodes: 3,

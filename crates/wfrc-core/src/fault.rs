@@ -200,6 +200,29 @@ pub struct FaultPlan {
     injected: AtomicU64,
     parked: AtomicU64,
     release_epoch: AtomicU64,
+    /// Set by the first fired fault: the repro banner (seed + env line)
+    /// prints exactly once per plan.
+    announced: AtomicBool,
+}
+
+/// Parses a `WFRC_FAULT_SEED` value: decimal or `0x`-prefixed hex.
+fn parse_seed(v: &str) -> Option<u64> {
+    let v = v.trim();
+    if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        v.parse().ok()
+    }
+}
+
+/// The process-wide seed override, if `WFRC_FAULT_SEED` is set and parses.
+fn env_seed() -> Option<u64> {
+    let v = std::env::var("WFRC_FAULT_SEED").ok()?;
+    let parsed = parse_seed(&v);
+    if parsed.is_none() {
+        eprintln!("wfrc: ignoring unparseable WFRC_FAULT_SEED={v:?} (want u64, decimal or 0x-hex)");
+    }
+    parsed
 }
 
 thread_local! {
@@ -236,15 +259,27 @@ impl FaultPlan {
     /// Creates an empty plan. `seed` drives every [`FireRule::Chance`]
     /// decision; two runs with the same seed, arms, and schedule of hits
     /// make identical injection decisions.
+    ///
+    /// A `WFRC_FAULT_SEED` environment variable (decimal or `0x`-hex)
+    /// overrides `seed` — the replay knob for a failing chaos run: the
+    /// first fault a plan fires prints the effective seed and this exact
+    /// override line.
     pub fn new(seed: u64) -> Self {
         Self {
-            seed,
+            seed: env_seed().unwrap_or(seed),
             arms: Mutex::new(Vec::new()),
             enabled: AtomicBool::new(true),
             injected: AtomicU64::new(0),
             parked: AtomicU64::new(0),
             release_epoch: AtomicU64::new(0),
+            announced: AtomicBool::new(false),
         }
+    }
+
+    /// The effective seed (after any `WFRC_FAULT_SEED` override). Harness
+    /// output should echo this so a failure is replayable.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     fn arms(&self) -> std::sync::MutexGuard<'_, Vec<Arm>> {
@@ -322,6 +357,21 @@ impl FaultPlan {
         let Some(action) = self.decide(site, tid) else {
             return;
         };
+        // Failing-seed reproducibility: the first fault fired in this
+        // process prints the effective seed and the exact env override that
+        // replays its schedule. Per-process (not per-plan) so a many-round
+        // chaos soak emits one banner, not thousands; round-level harnesses
+        // echo their own per-round seeds in failure messages.
+        static ANNOUNCED: AtomicBool = AtomicBool::new(false);
+        if !self.announced.swap(true, Ordering::SeqCst) && !ANNOUNCED.swap(true, Ordering::SeqCst) {
+            eprintln!(
+                "wfrc fault injection: first fault fired at site `{}` (tid {tid}, {action:?}); \
+                 seed {seed:#x}\n  reproduce with: WFRC_FAULT_SEED={seed:#x} \
+                 cargo test --features fault-injection <test> -- --nocapture",
+                site.name(),
+                seed = self.seed,
+            );
+        }
         self.injected.fetch_add(1, Ordering::SeqCst);
         OpCounters::bump(&c.faults_injected);
         match action {
@@ -518,6 +568,23 @@ mod tests {
             .expect("injected payload");
         assert_eq!(death.site, FaultSite::GrowSeed);
         assert_eq!(plan.injected(), 1);
+    }
+
+    #[test]
+    fn seed_parse_accepts_decimal_and_hex() {
+        assert_eq!(parse_seed("42"), Some(42));
+        assert_eq!(parse_seed(" 0xdeadbeef "), Some(0xDEAD_BEEF));
+        assert_eq!(parse_seed("0XFF"), Some(255));
+        assert_eq!(parse_seed("not-a-seed"), None);
+    }
+
+    #[test]
+    fn plan_reports_its_seed() {
+        // No WFRC_FAULT_SEED in the test environment: the constructor seed
+        // is the effective seed.
+        if std::env::var("WFRC_FAULT_SEED").is_err() {
+            assert_eq!(FaultPlan::new(0xABCD).seed(), 0xABCD);
+        }
     }
 
     #[test]

@@ -444,6 +444,69 @@ impl<'d, T: RcObject> ThreadHandle<'d, T> {
         Ok(RawBytes::new(idx, bytes.len(), node))
     }
 
+    /// Admission-controlled [`ThreadHandle::alloc_bytes`]: retries
+    /// transient [`OutOfMemory`] under `policy`'s deadline and retry
+    /// budget with jittered backoff sleeps, then reports
+    /// [`crate::sentinel::Outcome::Overloaded`] /
+    /// [`crate::sentinel::Outcome::Backpressure`] instead of failing hard —
+    /// useful when capacity is expected to return (a sentinel adopting a
+    /// corpse's magazines, a concurrent free burst, segment growth).
+    ///
+    /// The class-fit panic of [`ThreadHandle::alloc_bytes`] is unchanged —
+    /// that is a configuration error, not load.
+    ///
+    /// ```
+    /// use core::time::Duration;
+    /// use wfrc_core::class::ClassConfig;
+    /// use wfrc_core::sentinel::AdmissionPolicy;
+    /// use wfrc_core::{DomainConfig, WfrcDomain};
+    ///
+    /// let domain = WfrcDomain::<u64>::new(
+    ///     DomainConfig::new(1, 2).with_class(ClassConfig::new(64, 8)),
+    /// );
+    /// let handle = domain.register().unwrap();
+    /// let policy = AdmissionPolicy::within(Duration::from_millis(1)).with_retries(2);
+    /// let token = handle
+    ///     .alloc_bytes_admitted(b"payload", &policy)
+    ///     .admitted()
+    ///     .unwrap();
+    /// // SAFETY: freshly allocated from this handle's domain, never freed.
+    /// unsafe { handle.free_bytes(token) };
+    /// ```
+    #[must_use = "an Overloaded/Backpressure outcome must be handled"]
+    pub fn alloc_bytes_admitted(
+        &self,
+        bytes: &[u8],
+        policy: &crate::sentinel::AdmissionPolicy,
+    ) -> crate::sentinel::Outcome<RawBytes> {
+        use crate::sentinel::Outcome;
+        let start = std::time::Instant::now();
+        let mut jitter = policy.jitter();
+        let mut retries = 0u32;
+        loop {
+            if let Ok(token) = self.alloc_bytes(bytes) {
+                return Outcome::Admitted(token);
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= policy.deadline {
+                return Outcome::Overloaded {
+                    waited: elapsed,
+                    retries,
+                };
+            }
+            if retries >= policy.max_retries {
+                return Outcome::Backpressure {
+                    retry_after: core::time::Duration::from_nanos(jitter.next_delay()),
+                    retries,
+                };
+            }
+            retries += 1;
+            let wait = core::time::Duration::from_nanos(jitter.next_delay())
+                .min(policy.deadline - elapsed);
+            std::thread::sleep(wait);
+        }
+    }
+
     /// The bytes stored behind `token` (the `len` passed to
     /// [`ThreadHandle::alloc_bytes`]).
     ///

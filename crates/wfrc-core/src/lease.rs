@@ -99,6 +99,7 @@ use wfrc_primitives::{AtomicWord, CachePadded};
 use crate::counters::{LeaseSnapshot, LeaseStats};
 use crate::domain::{AdoptReport, RegistryFull, WfrcDomain};
 use crate::node::RcObject;
+use crate::sentinel::{AdmissionPolicy, Outcome};
 use crate::ThreadHandle;
 
 // ---------------------------------------------------------------------------
@@ -768,6 +769,84 @@ impl<'d, R: LeaseRegistry> LeasePool<'d, R> {
         }
     }
 
+    /// Admission-controlled [`LeasePool::acquire`]: bounded by `policy`'s
+    /// deadline and retry budget instead of waiting unboundedly, with
+    /// decorrelated-jitter backoff between retries. Returns
+    /// [`Outcome::Overloaded`] past the deadline and
+    /// [`Outcome::Backpressure`] past the retry budget — the graceful-
+    /// degradation contract a killed lease holder must not break (the
+    /// sentinel recovers the slot in the background; callers shed load in
+    /// the meantime). Bumps the pool's `admitted` / `overloaded` /
+    /// `backpressure` counters.
+    ///
+    /// ```
+    /// use core::time::Duration;
+    /// use wfrc_core::lease::{LeaseConfig, LeasePool};
+    /// use wfrc_core::sentinel::AdmissionPolicy;
+    /// use wfrc_core::{DomainConfig, WfrcDomain};
+    ///
+    /// let domain = WfrcDomain::<u64>::new(DomainConfig::new(4, 64));
+    /// let pool = LeasePool::new(&domain, LeaseConfig::new(2)).unwrap();
+    /// let policy = AdmissionPolicy::within(Duration::from_millis(10));
+    /// let lease = pool.acquire_admitted(&policy).admitted().unwrap();
+    /// drop(lease);
+    /// assert_eq!(pool.stats().admitted, 1);
+    /// ```
+    #[must_use = "an Overloaded/Backpressure outcome must be handled"]
+    pub fn acquire_admitted(&self, policy: &AdmissionPolicy) -> Outcome<LeaseGuard<'_, 'd, R>> {
+        let start = Instant::now();
+        let mut jitter = policy.jitter();
+        let mut retries = 0u32;
+        loop {
+            if let Some(guard) = self.try_checkout() {
+                LeaseStats::bump(&self.stats.admitted);
+                return Outcome::Admitted(guard);
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= policy.deadline {
+                LeaseStats::bump(&self.stats.overloaded);
+                return Outcome::Overloaded {
+                    waited: elapsed,
+                    retries,
+                };
+            }
+            if retries >= policy.max_retries {
+                LeaseStats::bump(&self.stats.backpressure);
+                return Outcome::Backpressure {
+                    retry_after: Duration::from_nanos(jitter.next_delay()),
+                    retries,
+                };
+            }
+            retries += 1;
+            // Ride the handoff machinery for the jittered wait, capped by
+            // the remaining deadline budget.
+            let wait = Duration::from_nanos(jitter.next_delay()).min(policy.deadline - elapsed);
+            if let Ok(guard) = self.acquire_timeout(wait) {
+                LeaseStats::bump(&self.stats.admitted);
+                return Outcome::Admitted(guard);
+            }
+        }
+    }
+
+    /// Admission-controlled [`LeasePool::acquire_async`]: resolves to
+    /// [`Outcome::Overloaded`] once `policy.deadline` has elapsed (the
+    /// enrollment is cancelled, returning any raced handoff to
+    /// circulation) and to [`Outcome::Backpressure`] when the waiter list
+    /// stays full past the retry budget. Cancel-safe like the inner
+    /// future.
+    #[must_use = "futures do nothing unless polled"]
+    pub fn acquire_async_admitted<'p>(
+        &'p self,
+        policy: &AdmissionPolicy,
+    ) -> AdmittedFuture<'p, 'd, R> {
+        AdmittedFuture {
+            inner: Some(self.acquire_async()),
+            policy: *policy,
+            started: None,
+            full_polls: 0,
+        }
+    }
+
     // -- waiter list ------------------------------------------------------
 
     /// Claims an EMPTY waiter cell, installs `parker`, publishes WAITING
@@ -974,73 +1053,148 @@ impl<'d, R: LeaseRegistry> LeasePool<'d, R> {
     /// **Contract:** only call this when overdue holders are known dead
     /// (perished tasks, panicked threads, injected deaths). The deadline
     /// is the holder's promise to be gone; see the module docs.
+    /// Safe under concurrent callers: each pass claims its slot with a
+    /// generation-checked CAS, so callers racing each other (or a sentinel
+    /// tick) partition the work — a slot is expired and recovered exactly
+    /// once per tenancy, and losers simply move on.
     pub fn expire_overdue(&self) -> ExpireReport {
         let mut report = ExpireReport::default();
         let now = self.now_ns();
-        for slot in self.slots.iter() {
-            let word = slot.state.load_with(Ordering::Acquire);
-            if state_of(word) != LEASED {
-                continue;
-            }
-            let deadline = slot.deadline.load(Ordering::Acquire);
-            if deadline == 0 || now < deadline {
-                continue;
-            }
-            // AcqRel: acquire the corpse's writes, release the ORPHANED
-            // mark to the recovery claim below (possibly another thread's).
-            if slot.state.cas_with(
-                word,
-                pack(gen_of(word), ORPHANED),
-                Ordering::AcqRel,
-                Ordering::Relaxed,
-            ) {
+        for idx in 0..self.slots.len() {
+            if self.try_expire_slot(idx, now) {
                 report.expired += 1;
-                LeaseStats::bump(&self.stats.expired);
             }
         }
-        for (idx, slot) in self.slots.iter().enumerate() {
-            let word = slot.state.load_with(Ordering::Acquire);
-            if state_of(word) != ORPHANED {
-                continue;
-            }
-            if !slot.state.cas_with(
-                word,
-                pack(gen_of(word), RECOVERING),
-                Ordering::Acquire,
-                Ordering::Relaxed,
-            ) {
-                continue;
-            }
-            slot.deadline.store(0, Ordering::Release);
-            // SAFETY: the RECOVERING claim makes us the slot's exclusive
-            // owner; the previous holder is dead by the expiry contract.
-            let corpse = unsafe { (*slot.handle.get()).take() };
-            if let Some(handle) = corpse {
-                self.registry.abandon_handle(handle);
-                report.adopt = report.adopt.merged(&self.registry.adopt_all());
-            }
-            match self.registry.try_register_handle() {
-                Ok(fresh) => {
-                    // SAFETY: still the exclusive owner (RECOVERING).
-                    unsafe { *slot.handle.get() = Some(fresh) };
-                    let freed = pack(gen_of(word) + 1, FREE);
-                    slot.state.store_with(freed, Ordering::Release);
-                    report.recovered += 1;
-                    LeaseStats::bump(&self.stats.recovered);
-                    self.recirculate(idx, freed);
-                }
-                Err(RegistryFull) => {
-                    // Out of ids (e.g. an unrelated orphan holds ours):
-                    // park the slot as ORPHANED-with-empty-cell and retry
-                    // on a later pass.
-                    slot.state
-                        .store_with(pack(gen_of(word) + 1, ORPHANED), Ordering::Release);
-                    report.register_failures += 1;
-                    LeaseStats::bump(&self.stats.recover_failures);
-                }
-            }
+        for idx in 0..self.slots.len() {
+            self.try_recover_slot(idx, &mut report);
         }
         report
+    }
+
+    /// Pass-1 step for one slot: `LEASED` past its deadline → `ORPHANED`.
+    /// Generation-checked, so a slot released and re-leased since the
+    /// deadline read is untouched; idempotent and safe under concurrent
+    /// callers (exactly one wins the CAS per tenancy).
+    fn try_expire_slot(&self, idx: usize, now: u64) -> bool {
+        let slot = &self.slots[idx];
+        let word = slot.state.load_with(Ordering::Acquire);
+        if state_of(word) != LEASED {
+            return false;
+        }
+        let deadline = slot.deadline.load(Ordering::Acquire);
+        if deadline == 0 || now < deadline {
+            return false;
+        }
+        // AcqRel: acquire the corpse's writes, release the ORPHANED
+        // mark to the recovery claim below (possibly another thread's).
+        if slot.state.cas_with(
+            word,
+            pack(gen_of(word), ORPHANED),
+            Ordering::AcqRel,
+            Ordering::Relaxed,
+        ) {
+            LeaseStats::bump(&self.stats.expired);
+            return true;
+        }
+        false
+    }
+
+    /// Pass-2 step for one slot: claim `ORPHANED → RECOVERING`, abandon
+    /// the corpse's handle, adopt, re-register, recirculate. The claim CAS
+    /// makes this safe and idempotent under arbitrary concurrency — one
+    /// recoverer per orphaning wins; everyone else no-ops. Returns true if
+    /// this call recovered the slot.
+    fn try_recover_slot(&self, idx: usize, report: &mut ExpireReport) -> bool {
+        let slot = &self.slots[idx];
+        let word = slot.state.load_with(Ordering::Acquire);
+        if state_of(word) != ORPHANED {
+            return false;
+        }
+        if !slot.state.cas_with(
+            word,
+            pack(gen_of(word), RECOVERING),
+            Ordering::Acquire,
+            Ordering::Relaxed,
+        ) {
+            return false;
+        }
+        slot.deadline.store(0, Ordering::Release);
+        // SAFETY: the RECOVERING claim makes us the slot's exclusive
+        // owner; the previous holder is dead by the expiry contract.
+        let corpse = unsafe { (*slot.handle.get()).take() };
+        if let Some(handle) = corpse {
+            self.registry.abandon_handle(handle);
+            report.adopt = report.adopt.merged(&self.registry.adopt_all());
+        }
+        match self.registry.try_register_handle() {
+            Ok(fresh) => {
+                // SAFETY: still the exclusive owner (RECOVERING).
+                unsafe { *slot.handle.get() = Some(fresh) };
+                let freed = pack(gen_of(word) + 1, FREE);
+                slot.state.store_with(freed, Ordering::Release);
+                report.recovered += 1;
+                LeaseStats::bump(&self.stats.recovered);
+                self.recirculate(idx, freed);
+                true
+            }
+            Err(RegistryFull) => {
+                // Out of ids (e.g. an unrelated orphan holds ours):
+                // park the slot as ORPHANED-with-empty-cell and retry
+                // on a later pass.
+                slot.state
+                    .store_with(pack(gen_of(word) + 1, ORPHANED), Ordering::Release);
+                report.register_failures += 1;
+                LeaseStats::bump(&self.stats.recover_failures);
+                false
+            }
+        }
+    }
+}
+
+/// The pool's lease slots under supervision (see [`crate::sentinel`]).
+///
+/// * **Obligated**: the slot is `ORPHANED` (a panicked guard drop or an
+///   earlier expiry pass), or `LEASED` with its TTL deadline already in the
+///   past.
+/// * **Fingerprint**: the `generation << 3 | state` slot word — it changes
+///   on every checkout, release, handoff, and recovery, so a healthy slot
+///   can never look stale across a full tenancy.
+/// * **Help**: recover already-`ORPHANED` slots (always safe).
+/// * **Declare dead**: additionally expire an overdue `LEASED` slot first —
+///   still within the PR 7 contract (the deadline is the holder's promise
+///   to be gone); the sentinel's `dead_after` examinations only add margin
+///   on top of the TTL.
+impl<'d, R: LeaseRegistry> crate::sentinel::Supervised for LeasePool<'d, R> {
+    fn watch_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn obligated(&self, slot: usize) -> bool {
+        let word = self.slots[slot].state.load_with(Ordering::Acquire);
+        match state_of(word) {
+            ORPHANED => true,
+            LEASED => {
+                let deadline = self.slots[slot].deadline.load(Ordering::Acquire);
+                deadline != 0 && self.now_ns() >= deadline
+            }
+            _ => false,
+        }
+    }
+
+    fn fingerprint(&self, slot: usize) -> u64 {
+        self.slots[slot].state.load_with(Ordering::Acquire) as u64
+    }
+
+    fn help(&self, slot: usize) -> bool {
+        let mut report = ExpireReport::default();
+        self.try_recover_slot(slot, &mut report)
+    }
+
+    fn declare_dead(&self, slot: usize) -> bool {
+        let now = self.now_ns();
+        let _ = self.try_expire_slot(slot, now);
+        let mut report = ExpireReport::default();
+        self.try_recover_slot(slot, &mut report)
     }
 }
 
@@ -1238,6 +1392,80 @@ impl<'p, 'd, R: LeaseRegistry> Drop for AcquireFuture<'p, 'd, R> {
                 self.pool.release_unissued(handed_slot(word));
             }
         }
+    }
+}
+
+/// Future of [`LeasePool::acquire_async_admitted`]: an [`AcquireFuture`]
+/// bounded by an [`AdmissionPolicy`]. Resolves to [`Outcome`] instead of
+/// waiting unboundedly; dropping it mid-wait cancels the enrollment
+/// exactly like the inner future.
+#[must_use = "futures do nothing unless polled"]
+pub struct AdmittedFuture<'p, 'd, R: LeaseRegistry> {
+    /// `None` once resolved (the inner future's drop glue handles
+    /// cancellation, so giving up is just dropping it).
+    inner: Option<AcquireFuture<'p, 'd, R>>,
+    policy: AdmissionPolicy,
+    /// Set on first poll: the deadline measures waiting, not the gap
+    /// between construction and first poll.
+    started: Option<Instant>,
+    /// Consecutive polls that could not even enroll (waiter list full) —
+    /// the async analogue of a bounded retry budget.
+    full_polls: u32,
+}
+
+impl<'p, 'd, R: LeaseRegistry> core::future::Future for AdmittedFuture<'p, 'd, R> {
+    type Output = Outcome<LeaseGuard<'p, 'd, R>>;
+
+    fn poll(
+        self: core::pin::Pin<&mut Self>,
+        cx: &mut core::task::Context<'_>,
+    ) -> core::task::Poll<Self::Output> {
+        use core::task::Poll;
+        let this = self.get_mut();
+        let started = *this.started.get_or_insert_with(Instant::now);
+        let Some(inner) = this.inner.as_mut() else {
+            panic!("AdmittedFuture polled after completion");
+        };
+        let pool = inner.pool;
+        // AcquireFuture is Unpin (no self-references).
+        if let Poll::Ready(guard) = core::pin::Pin::new(&mut *inner).poll(cx) {
+            this.inner = None;
+            LeaseStats::bump(&pool.stats.admitted);
+            return Poll::Ready(Outcome::Admitted(guard));
+        }
+        let elapsed = started.elapsed();
+        if elapsed >= this.policy.deadline {
+            // Dropping the inner future cancels the enrollment (and
+            // returns a raced handoff to circulation) — cancel-safe.
+            this.inner = None;
+            LeaseStats::bump(&pool.stats.overloaded);
+            return Poll::Ready(Outcome::Overloaded {
+                waited: elapsed,
+                retries: this.full_polls,
+            });
+        }
+        if inner.cell.is_none() {
+            // Pending without an enrollment: the waiter list is full (the
+            // pathological-oversubscription path). Bounded by the retry
+            // budget instead of spinning on executor re-polls forever.
+            this.full_polls += 1;
+            if this.full_polls > this.policy.max_retries {
+                this.inner = None;
+                LeaseStats::bump(&pool.stats.backpressure);
+                let retry_after = Duration::from_nanos(this.policy.jitter().next_delay());
+                return Poll::Ready(Outcome::Backpressure {
+                    retry_after,
+                    retries: this.full_polls - 1,
+                });
+            }
+        } else {
+            this.full_polls = 0;
+            // Enrolled: the handoff wake is the fast path, but nothing
+            // else would re-poll us at the deadline — ask the executor to
+            // keep us scheduled so Overloaded is actually observed.
+            cx.waker().wake_by_ref();
+        }
+        Poll::Pending
     }
 }
 

@@ -93,10 +93,12 @@ pub mod node;
 pub mod oom;
 pub mod rc;
 pub mod reclaim;
+pub mod sentinel;
 
 pub use arena::{Growth, CARVE_PAGE, MAX_SEGMENTS};
 pub use class::{geometric_ladder, ClassConfig, ClassLeak, RawBytes, CLASS_SIZES, MAX_CLASSES};
 pub use counters::{LeaseSnapshot, LeaseStats, OpCounters};
+pub use counters::{SentinelSnapshot, SentinelStats};
 pub use domain::{AdoptReport, DomainConfig, LeakReport, RegistryFull, WfrcDomain};
 #[cfg(feature = "fault-injection")]
 pub use fault::{FaultAction, FaultPlan, FaultSite, FireRule, InjectedDeath};
@@ -107,6 +109,7 @@ pub use magazine::Magazines;
 pub use node::{Node, RcObject};
 pub use oom::OutOfMemory;
 pub use reclaim::{ReclaimOutcome, ReclaimPolicy};
+pub use sentinel::{AdmissionPolicy, Outcome, Sentinel, SentinelConfig, Stage, Supervised};
 
 /// Hard upper bound on threads per domain.
 ///

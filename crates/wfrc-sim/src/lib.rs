@@ -23,10 +23,12 @@ pub mod exec;
 pub mod latency;
 pub mod rng;
 pub mod stats;
+pub mod supervisor;
 pub mod workload;
 
 pub use exec::{run_fixed_ops, run_timed, PollLoop, StopFlag};
 pub use latency::Histogram;
 pub use rng::SmallRng;
 pub use stats::{Summary, Table};
+pub use supervisor::{OwnedSupervisor, Supervisor};
 pub use workload::{OpKind, OpMix, WorkloadCfg, WorkloadStream};

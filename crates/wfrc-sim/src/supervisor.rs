@@ -1,0 +1,186 @@
+//! Dedicated supervisor thread for `wfrc_core::sentinel`-style tickers.
+//!
+//! The sentinel is cooperative — any worker can donate a `tick()` — but
+//! most harnesses (and the E10/E12 experiments) want the production shape:
+//! one background thread ticking at a fixed cadence while the workload
+//! threads never think about recovery. This module provides that thread,
+//! closure-based so it works over any ticker (a `Sentinel` over a WFRC
+//! domain, one over a lease pool, one over the LFRC baseline, or several
+//! chained) without this crate depending on `wfrc-core` — which depends on
+//! this crate for its RNG.
+//!
+//! ```
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//! use wfrc_sim::supervisor::Supervisor;
+//!
+//! let ticks = AtomicU64::new(0);
+//! std::thread::scope(|scope| {
+//!     let sup = Supervisor::spawn_scoped(
+//!         scope,
+//!         core::time::Duration::from_micros(50),
+//!         || {
+//!             ticks.fetch_add(1, Ordering::Relaxed);
+//!         },
+//!     );
+//!     while ticks.load(Ordering::Relaxed) < 10 {
+//!         std::thread::yield_now();
+//!     }
+//!     sup.stop();
+//! });
+//! assert!(ticks.load(Ordering::Relaxed) >= 10);
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::Scope;
+use std::time::Duration;
+
+use crate::exec::StopFlag;
+
+/// Handle to a running supervisor thread: stop it, read its tick count.
+/// The thread exits promptly after [`Supervisor::stop`]; scoped spawns
+/// join at scope exit, owned spawns via [`OwnedSupervisor::join`].
+pub struct Supervisor {
+    stop: Arc<StopFlag>,
+    ticks: Arc<AtomicU64>,
+}
+
+impl Supervisor {
+    /// Spawns a scoped supervisor thread calling `tick` every `period`
+    /// (a zero period means back-to-back ticks with only a yield between).
+    /// The scope joins the thread on exit, so call [`Supervisor::stop`]
+    /// before the scope closes or it will tick forever.
+    pub fn spawn_scoped<'scope, 'env, F>(
+        scope: &'scope Scope<'scope, 'env>,
+        period: Duration,
+        tick: F,
+    ) -> Supervisor
+    where
+        F: Fn() + Send + 'scope,
+    {
+        let stop = Arc::new(StopFlag::new());
+        let ticks = Arc::new(AtomicU64::new(0));
+        let (stop2, ticks2) = (Arc::clone(&stop), Arc::clone(&ticks));
+        scope.spawn(move || run_loop(&stop2, &ticks2, period, tick));
+        Supervisor { stop, ticks }
+    }
+
+    /// Spawns a free-standing supervisor thread (for harnesses without a
+    /// convenient scope). The closure must be `'static`; join via the
+    /// returned [`OwnedSupervisor`].
+    pub fn spawn<F>(period: Duration, tick: F) -> OwnedSupervisor
+    where
+        F: Fn() + Send + 'static,
+    {
+        let stop = Arc::new(StopFlag::new());
+        let ticks = Arc::new(AtomicU64::new(0));
+        let (stop2, ticks2) = (Arc::clone(&stop), Arc::clone(&ticks));
+        let thread = std::thread::spawn(move || run_loop(&stop2, &ticks2, period, tick));
+        OwnedSupervisor {
+            inner: Supervisor { stop, ticks },
+            thread: Some(thread),
+        }
+    }
+
+    /// Signals the supervisor thread to exit after its current tick.
+    pub fn stop(&self) {
+        self.stop.stop();
+    }
+
+    /// Ticks performed so far.
+    #[must_use]
+    pub fn ticks(&self) -> u64 {
+        self.ticks.load(Ordering::Relaxed)
+    }
+}
+
+/// A [`Supervisor`] owning its thread (non-scoped spawn); stops and joins
+/// on drop.
+pub struct OwnedSupervisor {
+    inner: Supervisor,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl OwnedSupervisor {
+    /// Signals the thread to exit after its current tick.
+    pub fn stop(&self) {
+        self.inner.stop();
+    }
+
+    /// Ticks performed so far.
+    #[must_use]
+    pub fn ticks(&self) -> u64 {
+        self.inner.ticks()
+    }
+
+    /// Stops and joins the thread, returning the total tick count.
+    pub fn join(mut self) -> u64 {
+        self.stop();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        self.ticks()
+    }
+}
+
+impl Drop for OwnedSupervisor {
+    fn drop(&mut self) {
+        self.stop();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn run_loop(stop: &StopFlag, ticks: &AtomicU64, period: Duration, tick: impl Fn()) {
+    while !stop.is_stopped() {
+        tick();
+        ticks.fetch_add(1, Ordering::Relaxed);
+        if period.is_zero() {
+            std::thread::yield_now();
+        } else {
+            // Sleep in small slices so stop() is honored promptly even at
+            // long periods.
+            let mut left = period;
+            while !stop.is_stopped() && !left.is_zero() {
+                let slice = left.min(Duration::from_millis(1));
+                std::thread::sleep(slice);
+                left = left.saturating_sub(slice);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_supervisor_ticks_and_stops() {
+        let count = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            let sup = Supervisor::spawn_scoped(scope, Duration::ZERO, || {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+            while count.load(Ordering::Relaxed) < 100 {
+                std::thread::yield_now();
+            }
+            sup.stop();
+        });
+        let at_stop = count.load(Ordering::Relaxed);
+        assert!(at_stop >= 100);
+        // Joined: no more ticks happen.
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(count.load(Ordering::Relaxed), at_stop);
+    }
+
+    #[test]
+    fn owned_supervisor_joins_on_drop() {
+        let sup = Supervisor::spawn(Duration::from_micros(10), || {});
+        while sup.ticks() < 3 {
+            std::thread::yield_now();
+        }
+        let total = sup.join();
+        assert!(total >= 3);
+    }
+}

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Bench trajectory snapshot: runs short E4/E5/E9/E11/E12 configurations —
 # including the PR5 oscillating-reclaim modes, the PR6 mixed-size
-# per-class arena modes, and the PR7 leased-slot server workload — and
-# writes a machine-readable BENCH_PR7.json at the repo root (one entry
+# per-class arena modes, the PR7 leased-slot server workload, and the
+# PR8 sentinel chaos mode (killed lease holders + admission control) —
+# and writes a machine-readable BENCH_PR8.json at the repo root (one entry
 # per configuration, each embedding the experiment's table as headers +
 # rows: scheme × threads × mode → ops/s, resident curve, class curve,
 # checkout tails, …), so future PRs can diff their numbers against this
@@ -10,12 +11,12 @@
 #
 # Usage: scripts/bench_snapshot.sh [--quick] [--out FILE]
 #   --quick   CI-sized op counts (the bench-smoke job runs this)
-#   --out     output path (default: BENCH_PR7.json in the repo root)
+#   --out     output path (default: BENCH_PR8.json in the repo root)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 QUICK=0
-OUT="BENCH_PR7.json"
+OUT="BENCH_PR8.json"
 while [[ $# -gt 0 ]]; do
     case "$1" in
         --quick) QUICK=1; shift ;;
@@ -37,6 +38,7 @@ if [[ "$QUICK" == 1 ]]; then
     # measured path even on small CI boxes.
     E12_ARGS="--tasks 1000 --slots 4,16 --workers 8 --ops 50"
     E12_RECLAIM_ARGS="--tasks 1000 --slots 8 --workers 8 --ops 50 --grow --reclaim"
+    E12_SENTINEL_ARGS="--tasks 1000 --slots 8 --workers 8 --ops 50 --kill 8 --admission-ms 50"
 else
     E4_READ_ARGS="--mode read --threads 0,2,8 --ops 50000"
     E4_WRITE_ARGS="--mode write --threads 1,2,4,8 --ops 100000"
@@ -48,6 +50,7 @@ else
     E11_RECLAIM_ARGS="--threads 2,8 --ops 40000 --grow --reclaim"
     E12_ARGS="--tasks 10000 --slots 16,64 --workers 32 --ops 200"
     E12_RECLAIM_ARGS="--tasks 10000 --slots 64 --workers 32 --ops 200 --grow --reclaim"
+    E12_SENTINEL_ARGS="--tasks 10000 --slots 64 --workers 32 --ops 200 --kill 64 --admission-ms 100"
 fi
 
 cargo build --release -p bench --bins
@@ -67,7 +70,7 @@ trap 'rm -f "$TMP"' EXIT
 
 {
     echo '{'
-    echo "  \"snapshot\": \"PR7 lease pool and server workload\","
+    echo "  \"snapshot\": \"PR8 sentinel supervision and overload backpressure\","
     echo "  \"commit\": \"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)\","
     echo "  \"quick\": $([[ "$QUICK" == 1 ]] && echo true || echo false),"
     echo '  "configs": ['
@@ -98,6 +101,7 @@ trap 'rm -f "$TMP"' EXIT
     emit "e11-grow-reclaim" e11_mixed_size $E11_RECLAIM_ARGS
     emit "e12-server" e12_server $E12_ARGS
     emit "e12-grow-reclaim" e12_server $E12_RECLAIM_ARGS
+    emit "e12-sentinel-chaos" e12_server $E12_SENTINEL_ARGS
 
     echo ''
     echo '  ]'

@@ -1,0 +1,396 @@
+//! Sentinel supervision: autonomous stall detection, self-healing
+//! recovery, and overload backpressure (DESIGN.md §7).
+//!
+//! The non-gated tests cover the always-on surfaces: lease recovery with
+//! zero manual `expire_overdue`/`adopt_orphans` calls, idempotency of the
+//! recovery entry points under concurrent callers racing sentinel ticks,
+//! POISONED segment quarantine, and the admission-control outcomes. The
+//! `fault-injection`-gated half drives Stall/Park/Die at every armed site
+//! and asserts the escalation ladder's two safety/liveness halves: a
+//! parked-then-resumed thread is never declared dead, and a genuine death
+//! is always adopted within a bounded number of ticks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use wfrc::core::lease::{LeaseConfig, LeasePool};
+use wfrc::core::{
+    AdmissionPolicy, DomainConfig, Growth, Outcome, Sentinel, SentinelConfig, WfrcDomain,
+};
+
+/// A forgotten lease (no panic, no drop — the guard is leaked exactly the
+/// way a crashed task leaks it) is healed by sentinel ticks alone.
+#[test]
+fn sentinel_recovers_a_forgotten_lease() {
+    let domain = WfrcDomain::<u64>::new(DomainConfig::new(2, 64).with_magazine(4));
+    let pool = LeasePool::new(
+        &domain,
+        LeaseConfig::new(2).with_ttl(Duration::from_millis(1)),
+    )
+    .expect("pool fits domain");
+    let lease = pool.acquire();
+    let g = lease.alloc_with(|v| *v = 7).expect("alloc");
+    drop(g);
+    core::mem::forget(lease);
+    std::thread::sleep(Duration::from_millis(5));
+
+    let sentinel = Sentinel::new(&pool, SentinelConfig::default());
+    let mut ticks = 0u32;
+    while pool.stats().recovered == 0 {
+        sentinel.tick();
+        ticks += 1;
+        assert!(ticks < 10_000, "sentinel never recovered the dead lease");
+    }
+    let snap = pool.stats();
+    assert_eq!(snap.expired, 1, "the overdue slot must expire exactly once");
+    assert_eq!(snap.recovered, 1);
+    assert!(
+        sentinel.stats().declared_dead >= 1,
+        "an overdue lease heals at the DEAD rung, not before"
+    );
+
+    // Full capacity is back: both slots check out concurrently.
+    let (a, b) = (pool.acquire(), pool.acquire());
+    drop((a, b));
+    drop(pool);
+    assert!(domain.leak_check().is_clean());
+}
+
+/// Satellite: `expire_overdue` and `adopt_orphans` stay safe and
+/// idempotent when many callers race each other *and* sentinel ticks —
+/// every dead lease is expired exactly once and recovered exactly once,
+/// no matter who gets there first.
+#[test]
+fn concurrent_expiry_adoption_and_ticks_recover_each_lease_once() {
+    const SLOTS: usize = 4;
+    const ROUNDS: usize = 25;
+    let domain = WfrcDomain::<u64>::new(DomainConfig::new(SLOTS, 128).with_magazine(4));
+    let pool = LeasePool::new(
+        &domain,
+        LeaseConfig::new(SLOTS).with_ttl(Duration::from_millis(1)),
+    )
+    .expect("pool fits domain");
+    let sentinel = Sentinel::new(&pool, SentinelConfig::default());
+
+    for round in 0..ROUNDS {
+        let before = pool.stats();
+        // Kill every holder at once: all SLOTS leases leak.
+        for _ in 0..SLOTS {
+            let lease = pool.acquire();
+            let g = lease.alloc_with(|v| *v = round as u64).expect("alloc");
+            drop(g);
+            core::mem::forget(lease);
+        }
+        std::thread::sleep(Duration::from_millis(3));
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    for _ in 0..200 {
+                        let _ = pool.expire_overdue();
+                        std::thread::yield_now();
+                    }
+                });
+                s.spawn(|| {
+                    for _ in 0..200 {
+                        let _ = domain.adopt_orphans();
+                        std::thread::yield_now();
+                    }
+                });
+                s.spawn(|| {
+                    for _ in 0..400 {
+                        sentinel.tick();
+                        std::thread::yield_now();
+                    }
+                });
+            }
+        });
+        // Whoever won each slot's race, the books balance exactly.
+        let mut spins = 0;
+        loop {
+            let snap = pool.stats();
+            if snap.recovered == before.recovered + SLOTS as u64 {
+                assert_eq!(
+                    snap.expired,
+                    before.expired + SLOTS as u64,
+                    "round {round}: each dead lease expires exactly once"
+                );
+                break;
+            }
+            // Tolerate transient RegistryFull recover failures: the next
+            // expire pass retries the parked ORPHANED slot.
+            let _ = pool.expire_overdue();
+            spins += 1;
+            assert!(spins < 10_000, "round {round}: recovery never converged");
+            std::thread::yield_now();
+        }
+        // Full capacity restored before the next round.
+        let guards: Vec<_> = (0..SLOTS).map(|_| pool.acquire()).collect();
+        drop(guards);
+    }
+    drop(sentinel);
+    drop(pool);
+    assert!(domain.leak_check().is_clean());
+}
+
+/// A segment that repeatedly audits anomalous after adoption is
+/// quarantined POISONED: excluded from `try_grow` revival (allocation
+/// degrades to the remaining capacity) and reported by the leak audit
+/// without counting as a leak.
+#[test]
+fn poisoned_segment_is_quarantined_from_revival() {
+    let domain =
+        WfrcDomain::<u64>::new(DomainConfig::new(2, 16).with_growth(Growth::doubling_to(64)));
+    let h = domain.register().unwrap();
+    // Grow past the floor, then drain and retire the grown segments.
+    let pile: Vec<_> = (0..40)
+        .map(|i| h.alloc_with(|v| *v = i).expect("growth covers this"))
+        .collect();
+    assert!(domain.capacity() > 16);
+    drop(pile);
+    while !matches!(h.reclaim(), wfrc::core::ReclaimOutcome::NoCandidate) {}
+    assert!(domain.segments_retired() >= 1);
+
+    // Three strikes against the retired segment poison it.
+    assert!(!domain.debug_strike_segment(1));
+    assert!(!domain.debug_strike_segment(1));
+    assert!(domain.debug_strike_segment(1));
+    assert_eq!(domain.segments_poisoned(), 1);
+
+    // Revival is refused: the domain is capped at the floor. Most of the
+    // floor still allocates, but the refill that previously grew to 40
+    // live nodes now stalls at the floor — growth through the quarantined
+    // slot is refused.
+    let refill: Vec<_> = (0..40)
+        .filter_map(|i| h.alloc_with(|v| *v = i).ok())
+        .collect();
+    assert!(refill.len() >= 14, "the unpoisoned floor still serves");
+    assert!(
+        refill.len() <= 16,
+        "growth through a POISONED slot must be refused (got {} nodes)",
+        refill.len()
+    );
+    assert_eq!(domain.capacity(), 16, "capacity stays at the floor");
+    drop(refill);
+
+    let report = domain.leak_check();
+    assert_eq!(report.segments_poisoned, 1);
+    assert!(
+        report.is_clean(),
+        "quarantine is degraded capacity, not a leak: {report}"
+    );
+}
+
+/// Admission control refuses instead of hanging: a saturated pool returns
+/// `Overloaded` at the deadline (sync and async), and the refusals land
+/// in the pool's counters.
+#[test]
+fn admission_refuses_on_a_saturated_pool() {
+    let domain = WfrcDomain::<u64>::new(DomainConfig::new(1, 16));
+    let pool = LeasePool::new(&domain, LeaseConfig::new(1)).expect("pool fits domain");
+    let held = pool.acquire();
+
+    let policy = AdmissionPolicy::within(Duration::from_millis(5)).with_retries(u32::MAX);
+    let outcome = pool.acquire_admitted(&policy);
+    assert!(outcome.is_overloaded(), "got {outcome:?}");
+
+    // The async path sheds the same way, through a poll loop.
+    let refused = AtomicU64::new(0);
+    let mut exec = wfrc::sim::PollLoop::new();
+    for _ in 0..3 {
+        let (pool, refused) = (&pool, &refused);
+        exec.spawn(async move {
+            match pool
+                .acquire_async_admitted(&AdmissionPolicy::within(Duration::from_millis(5)))
+                .await
+            {
+                Outcome::Admitted(_) => {}
+                Outcome::Overloaded { .. } | Outcome::Backpressure { .. } => {
+                    refused.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+    }
+    exec.run(2);
+    assert_eq!(refused.load(Ordering::Relaxed), 3);
+    let snap = pool.stats();
+    assert_eq!(snap.overloaded + snap.backpressure, 4);
+    assert_eq!(snap.admitted, 0);
+
+    // Once the holder leaves, admission succeeds and is counted.
+    drop(held);
+    let g = pool.acquire_admitted(&AdmissionPolicy::within(Duration::from_millis(5)));
+    assert!(g.is_admitted());
+    drop(g.admitted());
+    assert_eq!(pool.stats().admitted, 1);
+}
+
+/// Ladder property tests: seeded Stall/Park/Die at every armed site.
+#[cfg(feature = "fault-injection")]
+mod ladder {
+    use std::sync::Arc;
+
+    use wfrc::core::fault::silence_injected_deaths;
+    use wfrc::core::{
+        DomainConfig, FaultAction, FaultPlan, FaultSite, FireRule, Growth, InjectedDeath, Link,
+        Sentinel, SentinelConfig, ThreadHandle, WfrcDomain,
+    };
+
+    const LINKS: usize = 4;
+
+    /// Generic site-reaching churn (same shape as tests/fault_injection.rs):
+    /// alloc/store/deref churn with a held pile and a periodic
+    /// drain+reclaim beat so the retire-path sites are reachable too.
+    fn victim_loop(h: &ThreadHandle<'_, u64>, links: &[Link<u64>], plan: &FaultPlan) {
+        let mut held = Vec::new();
+        for i in 0..60_000usize {
+            if plan.injected() > 0 {
+                break;
+            }
+            if let Ok(g) = h.alloc_with(|v| *v = i as u64) {
+                h.store(&links[i % links.len()], Some(&g));
+                if held.len() < 48 {
+                    held.push(g);
+                }
+            }
+            if let Some(g) = h.deref(&links[(i + 1) % links.len()]) {
+                std::hint::black_box(*g);
+            }
+            if i % 5 == 4 {
+                held.pop();
+            }
+            if i % 48 == 47 {
+                held.clear();
+                for l in links {
+                    h.store(l, None);
+                }
+                let _ = h.reclaim();
+            }
+        }
+    }
+
+    fn run_case(site: FaultSite, action: FaultAction, seed: u64) {
+        let mut domain = WfrcDomain::<u64>::new(
+            DomainConfig::new(2, 16)
+                .with_magazine(8)
+                .with_growth(Growth::doubling_to(4096)),
+        );
+        let plan = Arc::new(FaultPlan::new(seed));
+        domain.set_fault_plan(Arc::clone(&plan));
+        plan.arm_victim(0, site, action, FireRule::Nth(1));
+        let links: Vec<Link<u64>> = (0..LINKS).map(|_| Link::null()).collect();
+        let victim = domain.register().unwrap();
+        assert_eq!(victim.tid(), 0);
+        // Tight ladder so a Die case adopts in few ticks; the MTTR bound
+        // below is counted in ticks against exactly this config.
+        let config = SentinelConfig::default()
+            .with_ladder(2, 4, 8)
+            .with_seed(seed);
+        let sentinel = Sentinel::new(&domain, config);
+
+        let died = std::thread::scope(|s| {
+            let (links, plan) = (&links, &plan);
+            let vt = s.spawn(move || victim_loop(&victim, links, plan));
+            match action {
+                FaultAction::Park => {
+                    // Liveness half: tick well past `dead_after` while the
+                    // victim sits parked. Its registration is live (merely
+                    // slow), so the ladder must never seize it.
+                    let mut parked_ticks = 0;
+                    while plan.parked() == 0 && plan.injected() == 0 && !vt.is_finished() {
+                        std::thread::yield_now();
+                    }
+                    while plan.parked() > 0 && parked_ticks < 200 {
+                        sentinel.tick();
+                        parked_ticks += 1;
+                        assert_eq!(
+                            domain.orphans_adopted(),
+                            0,
+                            "{site:?}/Park: a parked thread was seized after \
+                             {parked_ticks} ticks"
+                        );
+                    }
+                    assert_eq!(sentinel.stats().dead_recovered, 0);
+                    while !vt.is_finished() {
+                        plan.release();
+                        std::thread::yield_now();
+                    }
+                }
+                FaultAction::Stall(_) | FaultAction::Die => {
+                    while !vt.is_finished() {
+                        sentinel.tick();
+                        std::thread::yield_now();
+                    }
+                }
+            }
+            match vt.join() {
+                Ok(()) => false,
+                Err(err) => {
+                    err.downcast::<InjectedDeath>()
+                        .expect("victims only die by injection");
+                    true
+                }
+            }
+        });
+
+        match action {
+            FaultAction::Die => {
+                if died {
+                    // Adoption half: a corpse is adopted within a bounded
+                    // number of ticks (the MTTR bound — ladder depth plus
+                    // probe backoff, with slack).
+                    let mut mttr_ticks = 0u32;
+                    while domain.orphaned_threads() > 0 {
+                        sentinel.tick();
+                        mttr_ticks += 1;
+                        assert!(
+                            mttr_ticks < 500,
+                            "{site:?}/Die: corpse not adopted within 500 ticks"
+                        );
+                    }
+                    assert_eq!(domain.orphans_adopted(), 1);
+                }
+            }
+            FaultAction::Park | FaultAction::Stall(_) => {
+                // A parked/stalled victim resumed and exited on its own:
+                // nothing to adopt, nothing adopted.
+                assert!(!died, "{site:?}/{action:?} must not kill");
+                assert_eq!(domain.orphans_adopted(), 0);
+            }
+        }
+
+        plan.disarm();
+        drop(sentinel);
+        // Quiescent audit: whatever the ladder did, the books balance.
+        let sweeper = domain.register().unwrap();
+        for l in &links {
+            sweeper.store(l, None);
+        }
+        while !matches!(sweeper.reclaim(), wfrc::core::ReclaimOutcome::NoCandidate) {
+            std::thread::yield_now();
+        }
+        drop(sweeper);
+        let report = domain.leak_check();
+        assert!(report.is_clean(), "{site:?}/{action:?} leaked: {report}");
+    }
+
+    /// Seeded sweep: every armed site × {Stall, Park, Die}. Sites the
+    /// churn cannot reach under a given seed exit cleanly and still go
+    /// through the quiescent audit.
+    #[test]
+    fn ladder_is_safe_and_live_at_every_site() {
+        silence_injected_deaths();
+        for (i, &site) in FaultSite::ALL.iter().enumerate() {
+            for (j, action) in [
+                FaultAction::Stall(1_000),
+                FaultAction::Park,
+                FaultAction::Die,
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                let seed = 0x5EA1_BA5E ^ ((i as u64) << 8) ^ j as u64;
+                run_case(site, action, seed);
+            }
+        }
+    }
+}
