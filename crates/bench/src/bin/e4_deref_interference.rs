@@ -24,14 +24,21 @@
 //!   the summary short-circuits — are sized for the machine, not for the
 //!   active writer count).
 //!
+//! A third variant, `--mode read --snapshot`, swaps the reader's counted
+//! dereference for the PR 9 pinned plain-load snapshot path — see
+//! [`read_snapshot_table`].
+//!
 //! ```text
 //! cargo run --release --bin e4_deref_interference [-- --threads 0,1,2,4 --ops 100000 --json --mode both]
+//! cargo run --release --bin e4_deref_interference -- --mode read --snapshot
 //! ```
 //! (here `--threads` = interfering writer counts; write mode skips 0)
 
 use std::sync::Arc;
 
-use bench::drivers::{run_deref_interference, run_write_interference};
+use bench::drivers::{
+    run_deref_interference, run_deref_interference_snapshot, run_write_interference,
+};
 use bench::Args;
 use wfrc_baselines::LfrcDomain;
 use wfrc_core::{DomainConfig, WfrcDomain};
@@ -81,6 +88,65 @@ fn read_table(args: &Args) {
     println!("{}", table.render());
     println!(
         "note: wfrc max retries/op is structurally 0 (DeRefLink has no retry loop; Lemma 6).\n"
+    );
+    if args.json {
+        println!("{}", table.to_json());
+    }
+}
+
+/// E4 `--mode read --snapshot`: the PR 9 snapshot read path — the reader
+/// holds a pin session and dereferences with plain loads (DESIGN.md §4f).
+/// The headline column is **ns/deref vs. LFRC**: the counted wait-free
+/// path pays ~2× the baseline's per-deref cost (announcement write + count
+/// FAAs); the snapshot path runs the identical loads the unprotected
+/// baseline runs, so the gap collapses. `snapshot derefs` confirms every
+/// read took the plain-load path (zero FAAs each); `deferred decs` counts
+/// frees the live pin diverted to the deferred lists (0 here — the
+/// experiment's standing counts mean no node ever dies mid-run).
+fn read_snapshot_table(args: &Args) {
+    let mut table = Table::new(
+        "E4 (snapshot): plain-load reads under a pin, link-flipping interference",
+        &[
+            "writers",
+            "scheme",
+            "reader ops/s",
+            "mean",
+            "p99",
+            "max",
+            "snapshot derefs",
+            "deferred decs",
+            "upgrade slow",
+        ],
+    );
+    for &w in &args.threads {
+        for scheme in ["wfrc", "lfrc"] {
+            let (result, hist, counters): (bench::RunResult, Histogram, _) = if scheme == "wfrc" {
+                let d = Arc::new(WfrcDomain::<u64>::new(DomainConfig::new(w + 2, 16)));
+                run_deref_interference_snapshot(d, w, args.ops)
+            } else {
+                let mut d = LfrcDomain::<u64>::new(w + 2, 16);
+                d.set_backoff(false);
+                run_deref_interference_snapshot(Arc::new(d), w, args.ops)
+            };
+            let s = Summary::of(&hist);
+            table.row(&[
+                w.to_string(),
+                scheme.to_string(),
+                wfrc_sim::stats::fmt_ops(result.ops_per_sec()),
+                fmt_ns(s.mean as u64),
+                fmt_ns(s.p99),
+                fmt_ns(s.max),
+                counters.snapshot_derefs.to_string(),
+                counters.deferred_decs.to_string(),
+                counters.upgrade_slow.to_string(),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "note: both schemes run the identical plain-load reader loop; the lfrc row's\n\
+         guard is a no-op (its loads are protected only by the experiment's standing\n\
+         counts), so the wfrc/lfrc ratio is the full price of snapshot protection.\n"
     );
     if args.json {
         println!("{}", table.to_json());
@@ -153,10 +219,14 @@ fn skip_rate(skips: u64, full: u64) -> String {
 fn main() {
     let args = Args::parse(&[0, 1, 2, 4], 100_000);
     match args.mode.as_str() {
+        "read" if args.snapshot => read_snapshot_table(&args),
         "read" => read_table(&args),
         "write" => write_table(&args),
         _ => {
             read_table(&args);
+            if args.snapshot {
+                read_snapshot_table(&args);
+            }
             write_table(&args);
         }
     }

@@ -399,6 +399,153 @@ where
     (result, hist, reader_counters)
 }
 
+/// Ops between pin sessions on the snapshot read path: long enough that
+/// the per-session epoch bump and pin-bit write amortize to nothing, short
+/// enough that writers' deferred frees are never starved for a grace edge.
+pub const SNAPSHOT_REPIN: u64 = 1024;
+
+/// E4 (snapshot variant): the same link-flipping interference as
+/// [`run_deref_interference`], but the reader uses the pinned plain-load
+/// snapshot path (DESIGN.md §4f) instead of counted dereferences — one pin
+/// per [`SNAPSHOT_REPIN`] ops, zero count FAAs and zero announcement-slot
+/// writes per read. For schemes without protected snapshots (the LFRC
+/// baseline's no-op guard, `SNAPSHOT_PROTECTED == false`) the plain load
+/// is safe only because the experiment's standing counts pin both nodes
+/// for the whole run — which is exactly the comparison E4 wants: the
+/// identical reader instruction sequence with and without the protection
+/// machinery, under identical writer interference.
+pub fn run_deref_interference_snapshot<D, T>(
+    domain: Arc<D>,
+    writers: usize,
+    reader_ops: u64,
+) -> (RunResult, Histogram, CounterSnapshot)
+where
+    T: wfrc_core::RcObject + Default,
+    D: RcMmDomain<T> + Send + Sync + 'static,
+{
+    use wfrc_core::Link;
+    let setup = domain.register_mm().expect("register");
+    let link = Arc::new(Link::<T>::null());
+    let a = setup.alloc_node().expect("node a");
+    let b = setup.alloc_node().expect("node b");
+    // Standing counts pin both nodes for the whole run (see
+    // `run_deref_interference`); they also make the unprotected baseline's
+    // plain load sound.
+    // SAFETY: we own the alloc references; store transfers one count into
+    // the link, so `a` gets a second count first.
+    unsafe {
+        setup.add_refs(a, 1);
+        setup.store_link(&link, a);
+    }
+    let a_addr = a as usize;
+    let b_addr = b as usize;
+    let stop = Arc::new(wfrc_sim::exec::StopFlag::new());
+
+    let writer_handles: Vec<_> = (0..writers)
+        .map(|_| {
+            let domain = Arc::clone(&domain);
+            let link = Arc::clone(&link);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let h = domain.register_mm().expect("register");
+                while !stop.is_stopped() {
+                    flip(&h, &link, a_addr, b_addr);
+                }
+            })
+        })
+        .collect();
+
+    // Reader: plain loads under a pin session, re-pinned periodically.
+    let reader = {
+        let domain = Arc::clone(&domain);
+        let link = Arc::clone(&link);
+        std::thread::spawn(move || {
+            let h = domain.register_mm().expect("register");
+            let mut hist = Histogram::new();
+            let start = std::time::Instant::now();
+            let mut since_pin = 0u64;
+            h.snapshot_enter();
+            for _ in 0..reader_ops {
+                let t0 = std::time::Instant::now();
+                // SAFETY: the pin session protects the load under the
+                // wait-free scheme; the standing counts protect it under
+                // the baseline's no-op guard.
+                unsafe {
+                    let p = h.snapshot_load(&link);
+                    if !p.is_null() {
+                        std::hint::black_box(h.payload(p));
+                    }
+                }
+                hist.record(t0.elapsed().as_nanos() as u64);
+                since_pin += 1;
+                if since_pin == SNAPSHOT_REPIN {
+                    // SAFETY: pairs the live session; re-entered at once.
+                    unsafe { h.snapshot_exit() };
+                    h.snapshot_enter();
+                    since_pin = 0;
+                }
+            }
+            // SAFETY: pairs the live session.
+            unsafe { h.snapshot_exit() };
+            (start.elapsed(), hist, h.counter_snapshot())
+        })
+    };
+    let (wall, hist, reader_counters) = reader.join().unwrap();
+    stop.stop();
+    for w in writer_handles {
+        w.join().unwrap();
+    }
+    // Teardown as in `run_deref_interference`.
+    // SAFETY: quiescent — all workers joined.
+    unsafe {
+        let cur = link.swap_raw(std::ptr::null_mut());
+        if !cur.is_null() {
+            setup.release_node(cur);
+        }
+        setup.release_node(a);
+        setup.release_node(b);
+    }
+    let result = RunResult {
+        threads: writers + 1,
+        total_ops: reader_ops,
+        wall,
+        counters: reader_counters,
+    };
+    (result, hist, reader_counters)
+}
+
+/// E8 (snapshot ablation micro): deferred-list drain latency. A second
+/// handle parks a pin while the main handle releases `nodes` nodes to a
+/// zero count — every free is forced onto the main handle's deferred list.
+/// The pin is then dropped and the drain itself is timed. Returns the
+/// drained count, the drain wall time, and the releasing handle's counters
+/// (whose `deferred_decs` is the forced-defer evidence).
+pub fn run_deferred_drain_micro(nodes: usize) -> (usize, std::time::Duration, CounterSnapshot) {
+    use wfrc_core::DomainConfig;
+    let d = WfrcDomain::<u64>::new(DomainConfig::new(2, nodes + 8));
+    let h = d.register().expect("register");
+    let pinner = d.register().expect("register");
+    let guard = pinner.pin();
+    let mut ptrs = Vec::with_capacity(nodes);
+    for _ in 0..nodes {
+        ptrs.push(h.alloc_raw().expect("alloc"));
+    }
+    for p in ptrs {
+        // SAFETY: we own the alloc reference; the count reaches zero here,
+        // and the live pin forces the free onto the deferred list.
+        unsafe { h.release_raw(p) };
+    }
+    drop(guard);
+    let t0 = std::time::Instant::now();
+    let drained = h.drain_deferred();
+    let wall = t0.elapsed();
+    let counters = h.counter_snapshot();
+    drop(h);
+    drop(pinner);
+    assert!(d.leak_check().is_clean(), "{}", d.leak_check());
+    (drained, wall, counters)
+}
+
 /// E4 (write path, zero-announcer): `writers` threads flip a hot link
 /// between two standing nodes via raw `CompareAndSwapLink` — never
 /// dereferencing it, so no announcement is ever live. Every obligatory

@@ -58,9 +58,13 @@ pub struct Args {
     /// the throughput cost vs. an identical no-reclaim run.
     pub reclaim: bool,
     /// E4 table selection: `read` (reader-side deref interference), `write`
-    /// (zero-announcer link flipping), or `both` (default). Other binaries
+    /// (zero-announcer link flipping), or `both` (default). E8 additionally
+    /// accepts `snapshot` (the PR 9 snapshot-read ablation). Other binaries
     /// ignore it.
     pub mode: String,
+    /// E4 read-mode variant: readers use the pinned plain-load snapshot
+    /// path (DESIGN.md §4f) instead of counted dereferences.
+    pub snapshot: bool,
     /// Byte-class block sizes for the mixed-size experiment (E11), e.g.
     /// `--classes 64,256,1024`. Binaries that don't allocate raw bytes
     /// ignore it; an empty vec means "use the binary's default ladder".
@@ -94,6 +98,7 @@ impl Args {
             magazine: false,
             reclaim: false,
             mode: "both".into(),
+            snapshot: false,
             classes: Vec::new(),
             tasks: 10_000,
             slots: vec![16, 64],
@@ -126,11 +131,12 @@ impl Args {
                 "--mode" => {
                     out.mode = args.next().expect("--mode needs a value");
                     assert!(
-                        matches!(out.mode.as_str(), "read" | "write" | "both"),
-                        "bad --mode {} (expected read/write/both)",
+                        matches!(out.mode.as_str(), "read" | "write" | "both" | "snapshot"),
+                        "bad --mode {} (expected read/write/both/snapshot)",
                         out.mode
                     );
                 }
+                "--snapshot" => out.snapshot = true,
                 "--classes" => {
                     let v = args.next().expect("--classes needs a value");
                     out.classes = v
@@ -179,7 +185,7 @@ impl Args {
                 other => {
                     panic!(
                         "unknown argument: {other} (expected --threads/--ops/--json\
-                         /--grow/--magazine/--reclaim/--mode/--classes\
+                         /--grow/--magazine/--reclaim/--mode/--snapshot/--classes\
                          /--tasks/--slots/--workers/--kill/--admission-ms/--sentinel)"
                     )
                 }

@@ -87,6 +87,11 @@ pub struct LfrcDomain<T: RcObject> {
     /// Cumulative [`LfrcDomain::adopt_orphans`] telemetry.
     orphans_adopted: SlotWord,
     orphan_nodes_recovered: SlotWord,
+    /// Domain-lifetime snapshot-path telemetry, folded from dropped
+    /// handles (the apples-to-apples mirror of the wait-free scheme's
+    /// snapshot counters, surfaced in [`LfrcDomain::leak_check`] JSON).
+    snapshot_derefs: core::sync::atomic::AtomicU64,
+    upgrade_slow: core::sync::atomic::AtomicU64,
     /// Installed fault schedule; `None` = no injection even with the
     /// feature compiled in.
     #[cfg(feature = "fault-injection")]
@@ -151,6 +156,8 @@ impl<T: RcObject> LfrcDomain<T> {
             classes: Box::new([]),
             orphans_adopted: new_slot_word(0),
             orphan_nodes_recovered: new_slot_word(0),
+            snapshot_derefs: core::sync::atomic::AtomicU64::new(0),
+            upgrade_slow: core::sync::atomic::AtomicU64::new(0),
             #[cfg(feature = "fault-injection")]
             faults: None,
         }
@@ -487,6 +494,10 @@ impl<T: RcObject> LfrcDomain<T> {
             segments: self.arena.segment_count(),
             resident_segments: self.arena.segment_count(),
             segments_retired: self.arena.segments_retired(),
+            snapshot_derefs: self.snapshot_derefs.load(Ordering::Relaxed),
+            // LFRC counts on every deref, so nothing is ever deferred and
+            // an "upgrade" is just a counted deref; `deferred_decs` stays 0.
+            upgrade_slow: self.upgrade_slow.load(Ordering::Relaxed),
             ..Default::default()
         };
         for node in self.arena.iter() {
@@ -1004,6 +1015,47 @@ impl<'d, T: RcObject> LfrcHandle<'d, T> {
     }
 
     // ------------------------------------------------------------------
+    // Snapshot layer mirror (apples-to-apples with wfrc-core's §4f)
+    // ------------------------------------------------------------------
+
+    /// No-op pin guard mirroring [`wfrc_core::ThreadHandle::pin`]: LFRC
+    /// has no epoch or pin bitmap, so the guard publishes nothing — it
+    /// exists so the E4 `--snapshot` readers run the *same* guard + plain
+    /// load structure over both schemes and measure only the protocol
+    /// difference. LFRC's plain load is **unprotected** (that is the
+    /// baseline's known unsafety window), which is why
+    /// [`LfrcPinGuard::snapshot_raw`] stays `unsafe`.
+    pub fn pin(&self) -> LfrcPinGuard<'_, 'd, T> {
+        self.pin_raw();
+        LfrcPinGuard { handle: self }
+    }
+
+    /// No-op pin entry (mirrors [`wfrc_core::ThreadHandle::pin_raw`]).
+    pub fn pin_raw(&self) {}
+
+    /// No-op pin exit (mirrors [`wfrc_core::ThreadHandle::unpin_raw`]).
+    ///
+    /// # Safety
+    /// Trivially safe — present only for signature parity with the
+    /// wait-free scheme.
+    pub unsafe fn unpin_raw(&self) {}
+
+    /// Plain (`SeqCst`) load of `link`, deletion mark stripped, counted as
+    /// a snapshot deref — the baseline twin of
+    /// [`wfrc_core::ThreadHandle::snapshot_raw`]. Carries no reference
+    /// count **and no protection**: LFRC has no deferral machinery.
+    ///
+    /// # Safety
+    /// The caller must otherwise guarantee the target cannot be reclaimed
+    /// while the pointer is dereferenced (e.g. a standing reference held
+    /// for the benchmark's duration).
+    #[must_use = "the returned pointer is unprotected; the caller guarantees liveness"]
+    pub unsafe fn snapshot_raw(&self, link: &Link<T>) -> *mut Node<T> {
+        OpCounters::bump(&self.counters.snapshot_derefs);
+        wfrc_primitives::tagged::without_tag(link.load_raw())
+    }
+
+    // ------------------------------------------------------------------
     // Byte-class layer (mirrors `wfrc_core::ThreadHandle`'s)
     // ------------------------------------------------------------------
 
@@ -1088,8 +1140,52 @@ impl<'d, T: RcObject> LfrcHandle<'d, T> {
     }
 }
 
+/// The baseline's no-op pin guard (created by [`LfrcHandle::pin`]): holds
+/// nothing and publishes nothing — see [`LfrcHandle::pin`] for why it
+/// exists. `#[must_use]` matches the wait-free guard so generic bench code
+/// treats both identically.
+#[must_use = "dropping the guard ends the (no-op) pin session"]
+pub struct LfrcPinGuard<'h, 'd, T: RcObject> {
+    handle: &'h LfrcHandle<'d, T>,
+}
+
+impl<'h, 'd, T: RcObject> LfrcPinGuard<'h, 'd, T> {
+    /// The handle this guard belongs to.
+    pub fn handle(&self) -> &'h LfrcHandle<'d, T> {
+        self.handle
+    }
+
+    /// Plain-load dereference under the (no-op) guard — forwards to
+    /// [`LfrcHandle::snapshot_raw`].
+    ///
+    /// # Safety
+    /// Same contract as [`LfrcHandle::snapshot_raw`]: the guard provides
+    /// **no** protection, so the caller must otherwise keep the target
+    /// alive.
+    #[must_use = "the returned pointer is unprotected; the caller guarantees liveness"]
+    pub unsafe fn snapshot_raw(&self, link: &Link<T>) -> *mut Node<T> {
+        // SAFETY: forwarded caller contract.
+        unsafe { self.handle.snapshot_raw(link) }
+    }
+}
+
+impl<T: RcObject> Drop for LfrcPinGuard<'_, '_, T> {
+    fn drop(&mut self) {
+        // SAFETY: trivially safe no-op (signature parity only).
+        unsafe { self.handle.unpin_raw() };
+    }
+}
+
 impl<T: RcObject> Drop for LfrcHandle<'_, T> {
     fn drop(&mut self) {
+        // Fold the snapshot-path counters into the domain-lifetime stats
+        // on both exit paths, mirroring `wfrc_core::ThreadHandle`.
+        self.domain
+            .snapshot_derefs
+            .fetch_add(self.counters.snapshot_derefs.get(), Ordering::Relaxed);
+        self.domain
+            .upgrade_slow
+            .fetch_add(self.counters.upgrade_slow.get(), Ordering::Relaxed);
         // A panicking thread leaves recovery to `adopt_orphans`, same as
         // `wfrc_core::ThreadHandle`.
         if std::thread::panicking() {

@@ -31,6 +31,16 @@ pub struct OpCounters {
     /// Worst single-call dereference retry count — unbounded for the
     /// lock-free baseline under interference (experiment E4).
     pub max_deref_retries: Cell<u64>,
+    /// Plain-load dereferences under a snapshot pin (`PinGuard::snapshot` /
+    /// the raw snapshot load) — reads that paid zero FAAs and zero
+    /// announcement-slot writes.
+    pub snapshot_derefs: Cell<u64>,
+    /// Claimed nodes whose free was deferred because a snapshot pin was
+    /// live somewhere (drained later via the deferred lists).
+    pub deferred_decs: Cell<u64>,
+    /// `Snapshot::upgrade` calls — each runs one full announcement-based
+    /// `DeRefLink` (the wait-free slow path behind the plain-load reads).
+    pub upgrade_slow: Cell<u64>,
     /// `ReleaseRef` invocations.
     pub releases: Cell<u64>,
     /// Reclamations won (line R2 CAS succeeded).
@@ -147,6 +157,9 @@ impl OpCounters {
             max_deref_slot_scan: self.max_deref_slot_scan.get(),
             deref_retries: self.deref_retries.get(),
             max_deref_retries: self.max_deref_retries.get(),
+            snapshot_derefs: self.snapshot_derefs.get(),
+            deferred_decs: self.deferred_decs.get(),
+            upgrade_slow: self.upgrade_slow.get(),
             releases: self.releases.get(),
             reclaims: self.reclaims.get(),
             help_calls: self.help_calls.get(),
@@ -189,6 +202,9 @@ impl OpCounters {
         self.max_deref_slot_scan.set(0);
         self.deref_retries.set(0);
         self.max_deref_retries.set(0);
+        self.snapshot_derefs.set(0);
+        self.deferred_decs.set(0);
+        self.upgrade_slow.set(0);
         self.releases.set(0);
         self.reclaims.set(0);
         self.help_calls.set(0);
@@ -237,6 +253,9 @@ pub struct CounterSnapshot {
     pub max_deref_slot_scan: u64,
     pub deref_retries: u64,
     pub max_deref_retries: u64,
+    pub snapshot_derefs: u64,
+    pub deferred_decs: u64,
+    pub upgrade_slow: u64,
     pub releases: u64,
     pub reclaims: u64,
     pub help_calls: u64,
@@ -279,6 +298,9 @@ impl CounterSnapshot {
         self.max_deref_slot_scan = self.max_deref_slot_scan.max(other.max_deref_slot_scan);
         self.deref_retries += other.deref_retries;
         self.max_deref_retries = self.max_deref_retries.max(other.max_deref_retries);
+        self.snapshot_derefs += other.snapshot_derefs;
+        self.deferred_decs += other.deferred_decs;
+        self.upgrade_slow += other.upgrade_slow;
         self.releases += other.releases;
         self.reclaims += other.reclaims;
         self.help_calls += other.help_calls;

@@ -331,8 +331,10 @@ impl<T: RcObject> WfrcDomain<T> {
             {
                 // A fresh owner starts quiescent: reset the slot's operation
                 // epoch (node pool and every class) so a reclaimer never
-                // waits on a dead owner's parity.
+                // waits on a dead owner's parity, and retract any pin bit a
+                // previous owner left published (see DESIGN.md §4f).
                 self.shared.reclaim.epoch(tid).store(0, Ordering::SeqCst);
+                self.shared.reclaim.clear_pin(tid);
                 for class in self.classes.iter() {
                     class.reset_epoch(tid);
                 }
@@ -573,8 +575,12 @@ impl<T: RcObject> WfrcDomain<T> {
                 s.reopen_reclaim(tid, &c);
             }
             // The corpse may have died inside an operation with an odd
-            // epoch; the slot is quiescent once recovery completes.
+            // epoch — or holding a snapshot pin; the slot is quiescent
+            // once recovery completes. Retracting the pin bit first means
+            // the deferred drain below can free wholesale if this was the
+            // last pin in the domain.
             s.reclaim.epoch(tid).store(0, Ordering::SeqCst);
+            s.reclaim.clear_pin(tid);
             // (a) Retract every announcement slot. A live link-address word
             // holds no count (the victim died before D5, or its speculative
             // count was its own and died with its guards); an odd word is a
@@ -604,10 +610,16 @@ impl<T: RcObject> WfrcDomain<T> {
                 s.release_ref(tid, &c, gift);
                 report.gifts_recovered += 1;
             }
-            // (c) Drain the magazine last: the releases above may park
-            // nodes in it, and the drain returns everything to the stripes.
+            // (c) Count the corpse's magazine before the deferred drain
+            // below can park freed nodes into it (each node is reported
+            // under exactly one category), then free the deferred-decrement
+            // backlog (a death mid-upgrade or mid-release batches frees it
+            // never got to drain), then drain the magazine: the releases
+            // above and the deferred frees may park nodes in it, and the
+            // drain returns everything to the stripes.
             // SAFETY: slot ownership claimed above.
             report.magazine_nodes_recovered += unsafe { s.mag.len(tid) };
+            report.deferred_nodes_recovered += s.try_drain_deferred(tid, tid, &c);
             s.drain_magazine(tid, &c);
             // (d) The same recovery per byte class: reopen a class retire
             // the corpse held, collect its gift, drain its class magazine.
@@ -683,6 +695,12 @@ impl<T: RcObject> WfrcDomain<T> {
         self.shared.mag.cap()
     }
 
+    /// Nodes currently batched on deferred-decrement lists, domain-wide
+    /// (approximate while threads are running — see DESIGN.md §4f).
+    pub fn deferred_len(&self) -> usize {
+        self.shared.reclaim.deferred_len()
+    }
+
     /// Audits node states. **Only meaningful at quiescence** (no concurrent
     /// operations in flight): walks the arena and classifies every node by
     /// its `mm_ref`.
@@ -700,12 +718,19 @@ impl<T: RcObject> WfrcDomain<T> {
             .filter(|p| *p != 0)
             .collect();
         let parked = s.mag.parked();
+        let mut deferred = std::collections::HashSet::new();
+        s.reclaim.for_each_deferred(|p| {
+            deferred.insert(p as usize);
+        });
         let mut report = LeakReport {
             capacity: s.arena.capacity(),
             segments: s.arena.segment_count(),
             resident_segments: s.arena.segment_count(),
             segments_retired: s.arena.segments_retired(),
             segments_poisoned: s.arena.segments_poisoned(),
+            snapshot_derefs: s.reclaim.snap.snapshot_derefs.load(Ordering::Relaxed),
+            deferred_decs: s.reclaim.snap.deferred_decs.load(Ordering::Relaxed),
+            upgrade_slow: s.reclaim.snap.upgrade_slow.load(Ordering::Relaxed),
             ..LeakReport::default()
         };
         for node in s.arena.iter() {
@@ -721,6 +746,14 @@ impl<T: RcObject> WfrcDomain<T> {
                 // Magazine-parked nodes keep the free representation.
                 if r == 1 {
                     report.magazine_nodes += 1;
+                } else {
+                    report.corrupt_nodes += 1;
+                }
+            } else if deferred.contains(&ptr) {
+                // Deferred-decrement nodes are claimed (free representation)
+                // but held back while a snapshot pin may still read them.
+                if r == 1 {
+                    report.deferred_nodes += 1;
                 } else {
                     report.corrupt_nodes += 1;
                 }
@@ -764,6 +797,10 @@ pub struct AdoptReport {
     pub gifts_recovered: usize,
     /// Nodes drained from orphans' magazines back to the shared stripes.
     pub magazine_nodes_recovered: usize,
+    /// Nodes freed from orphans' deferred-decrement lists (a corpse that
+    /// died holding a snapshot pin, or before its unpin drain ran, leaves
+    /// claimed-but-unfreed nodes behind; see DESIGN.md §4f).
+    pub deferred_nodes_recovered: usize,
     /// Byte-class blocks recovered from orphans (gift cells + class
     /// magazines, summed over every class).
     pub class_nodes_recovered: usize,
@@ -775,6 +812,7 @@ impl AdoptReport {
         self.announce_refs_released
             + self.gifts_recovered
             + self.magazine_nodes_recovered
+            + self.deferred_nodes_recovered
             + self.class_nodes_recovered
     }
 
@@ -785,6 +823,7 @@ impl AdoptReport {
         self.announce_refs_released += other.announce_refs_released;
         self.gifts_recovered += other.gifts_recovered;
         self.magazine_nodes_recovered += other.magazine_nodes_recovered;
+        self.deferred_nodes_recovered += other.deferred_nodes_recovered;
         self.class_nodes_recovered += other.class_nodes_recovered;
         self
     }
@@ -816,10 +855,24 @@ pub struct LeakReport {
     /// These are *not* leaks: they return to the stripes when the owning
     /// handle drains (on overflow or deregistration).
     pub magazine_nodes: usize,
+    /// Nodes batched on deferred-decrement lists (`mm_ref == 1`): claimed
+    /// by a release that ran under a live snapshot pin, freed when the
+    /// pin's grace period expires (DESIGN.md §4f). Not leaks — they drain
+    /// on unpin, handle drop, reclaim, or adoption.
+    pub deferred_nodes: usize,
     /// Nodes with a live even reference count.
     pub live_nodes: usize,
     /// Nodes in a state the quiescent invariants forbid.
     pub corrupt_nodes: usize,
+    /// Domain-lifetime count of snapshot (plain-load) dereferences, folded
+    /// from every dropped handle.
+    pub snapshot_derefs: u64,
+    /// Domain-lifetime count of releases whose final free was deferred
+    /// under a live snapshot pin.
+    pub deferred_decs: u64,
+    /// Domain-lifetime count of snapshot→owned upgrades (each ran the
+    /// full announcement protocol).
+    pub upgrade_slow: u64,
     /// Per-class audits, in configuration order (empty for a classic
     /// single-shape domain).
     pub classes: Vec<ClassLeak>,
@@ -831,7 +884,8 @@ impl LeakReport {
     pub fn is_clean(&self) -> bool {
         self.live_nodes == 0
             && self.corrupt_nodes == 0
-            && self.free_nodes + self.parked_gifts + self.magazine_nodes == self.capacity
+            && self.free_nodes + self.parked_gifts + self.magazine_nodes + self.deferred_nodes
+                == self.capacity
             && self.classes.iter().all(ClassLeak::is_clean)
     }
 
@@ -845,7 +899,9 @@ impl LeakReport {
             "{{\"capacity\":{},\"segments\":{},\"resident_segments\":{},\
              \"segments_retired\":{},\"segments_poisoned\":{},\"free_nodes\":{},\
              \"parked_gifts\":{},\
-             \"magazine_nodes\":{},\"live_nodes\":{},\"corrupt_nodes\":{},\
+             \"magazine_nodes\":{},\"deferred_nodes\":{},\"live_nodes\":{},\
+             \"corrupt_nodes\":{},\"snapshot_derefs\":{},\"deferred_decs\":{},\
+             \"upgrade_slow\":{},\
              \"classes\":[",
             self.capacity,
             self.segments,
@@ -855,8 +911,12 @@ impl LeakReport {
             self.free_nodes,
             self.parked_gifts,
             self.magazine_nodes,
+            self.deferred_nodes,
             self.live_nodes,
             self.corrupt_nodes,
+            self.snapshot_derefs,
+            self.deferred_decs,
+            self.upgrade_slow,
         );
         for (i, c) in self.classes.iter().enumerate() {
             let _ = write!(
@@ -907,8 +967,14 @@ impl LeakReport {
             free_nodes: field(outer, "free_nodes")?,
             parked_gifts: field(outer, "parked_gifts")?,
             magazine_nodes: field(outer, "magazine_nodes")?,
+            // Absent in pre-PR 9 snapshots: default 0 keeps old benchmark
+            // baselines parseable.
+            deferred_nodes: field(outer, "deferred_nodes").unwrap_or(0),
             live_nodes: field(outer, "live_nodes")?,
             corrupt_nodes: field(outer, "corrupt_nodes")?,
+            snapshot_derefs: field(outer, "snapshot_derefs").unwrap_or(0) as u64,
+            deferred_decs: field(outer, "deferred_decs").unwrap_or(0) as u64,
+            upgrade_slow: field(outer, "upgrade_slow").unwrap_or(0) as u64,
             classes: Vec::new(),
         };
         for obj in classes_part.split("},{") {
@@ -945,13 +1011,21 @@ impl core::fmt::Display for LeakReport {
         )?;
         writeln!(
             f,
-            "  node pool: {} free, {} gifts, {} magazine, {} live, {} corrupt",
+            "  node pool: {} free, {} gifts, {} magazine, {} deferred, {} live, {} corrupt",
             self.free_nodes,
             self.parked_gifts,
             self.magazine_nodes,
+            self.deferred_nodes,
             self.live_nodes,
             self.corrupt_nodes,
         )?;
+        if self.snapshot_derefs + self.deferred_decs + self.upgrade_slow > 0 {
+            writeln!(
+                f,
+                "  snapshots: {} plain-load derefs, {} deferred decs, {} slow upgrades",
+                self.snapshot_derefs, self.deferred_decs, self.upgrade_slow,
+            )?;
+        }
         for c in &self.classes {
             writeln!(
                 f,
@@ -1042,8 +1116,12 @@ mod tests {
             free_nodes: 60,
             parked_gifts: 1,
             magazine_nodes: 3,
+            deferred_nodes: 2,
             live_nodes: 0,
             corrupt_nodes: 0,
+            snapshot_derefs: 1000,
+            deferred_decs: 2,
+            upgrade_slow: 5,
             classes: vec![
                 ClassLeak {
                     size: 64,

@@ -102,11 +102,20 @@ pub enum FaultSite {
     /// [`crate::lease`]) can route it — via ORPHANED and `adopt_orphans` —
     /// back into circulation.
     LeaseExpire,
+    /// In `Snapshot::upgrade`, after the snapshot pin is re-confirmed and
+    /// before the announcement-based dereference that mints the owned
+    /// reference. The victim holds only its pin and operation epoch — no
+    /// count, no announcement — so a `Die` here exercises
+    /// death-mid-upgrade: the unwind drops the guard (unpinning and
+    /// attempting a drain of the slot's deferred list), the panicking
+    /// handle drop orphans the slot, and `adopt_orphans` must recover a
+    /// corpse that may leave a non-empty deferred list behind.
+    SnapshotUpgrade,
 }
 
 impl FaultSite {
     /// Every registered site, in protocol order.
-    pub const ALL: [FaultSite; 11] = [
+    pub const ALL: [FaultSite; 12] = [
         FaultSite::AnnouncePublish,
         FaultSite::DerefFaa,
         FaultSite::HelperCas,
@@ -118,6 +127,7 @@ impl FaultSite {
         FaultSite::SummaryClear,
         FaultSite::SegmentRetire,
         FaultSite::LeaseExpire,
+        FaultSite::SnapshotUpgrade,
     ];
 
     /// Stable display name (used by the chaos driver's report).
@@ -134,6 +144,7 @@ impl FaultSite {
             FaultSite::SummaryClear => "summary_clear",
             FaultSite::SegmentRetire => "segment_retire",
             FaultSite::LeaseExpire => "lease_expire",
+            FaultSite::SnapshotUpgrade => "snapshot_upgrade",
         }
     }
 

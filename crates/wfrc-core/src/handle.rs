@@ -13,6 +13,14 @@
 //!   ([`ThreadHandle::deref_raw`], [`ThreadHandle::release_raw`],
 //!   [`ThreadHandle::cas_link_raw`], …) for data-structure implementations
 //!   that manage counts manually (see `wfrc-structures`).
+//!
+//! A third, read-optimized surface sits on top of both (DESIGN.md §4f):
+//! [`ThreadHandle::pin`] publishes an epoch-backed snapshot pin, under which
+//! [`PinGuard::snapshot`] turns every dereference into a **plain load** —
+//! zero FAAs, zero announcement-slot writes — returning a lifetime-bound
+//! [`Snapshot`] borrow. Escaping the guard goes through
+//! [`Snapshot::upgrade`], which re-runs the full wait-free announcement
+//! protocol, so the worst case is unchanged.
 
 use core::cell::Cell;
 use core::marker::PhantomData;
@@ -44,6 +52,11 @@ pub struct ThreadHandle<'d, T: RcObject> {
     /// 0↔1 transitions, so re-entrancy (a user closure inside `alloc_with`
     /// dropping a `NodeRef`) stays one logical operation.
     op_depth: Cell<usize>,
+    /// Snapshot-pin nesting depth (see [`ThreadHandle::pin`]): the pin bit
+    /// and its backing operation epoch are published/retired only at the
+    /// 0↔1 transitions, so nested guards (or raw `pin_raw` pairs) share
+    /// one pin session.
+    pin_depth: Cell<usize>,
     _not_sync: PhantomData<core::cell::Cell<()>>,
 }
 
@@ -86,6 +99,7 @@ impl<'d, T: RcObject> ThreadHandle<'d, T> {
             tid,
             counters,
             op_depth: Cell::new(0),
+            pin_depth: Cell::new(0),
             _not_sync: PhantomData,
         }
     }
@@ -277,6 +291,129 @@ impl<'d, T: RcObject> ThreadHandle<'d, T> {
         for cls in self.domain.classes() {
             cls.drain_magazine(self.tid, &self.counters);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot layer (DESIGN.md §4f)
+    // ------------------------------------------------------------------
+
+    /// Publishes a snapshot pin and returns its RAII guard: under the
+    /// guard, [`PinGuard::snapshot`] dereferences links with a **single
+    /// plain load** — no FAA, no announcement-slot write — the read path
+    /// that closes the counted-deref gap against uncounted baselines.
+    ///
+    /// Entering bumps the slot's operation epoch once (the whole pin
+    /// session is one logical operation; nested handle calls do not
+    /// advance it) and sets this thread's bit in the domain's pin bitmap.
+    /// While any pin is live, releases that would free a node defer the
+    /// free to a per-slot list instead (drained on unpin / epoch
+    /// advance), so a snapshot can never dangle. Pins are re-entrant:
+    /// nested guards share one session.
+    ///
+    /// Escaping the guard goes through [`Snapshot::upgrade`], which runs
+    /// the full wait-free announcement protocol — the worst case is
+    /// unchanged.
+    ///
+    /// ```
+    /// use wfrc_core::{DomainConfig, Link, WfrcDomain};
+    ///
+    /// let domain = WfrcDomain::<u64>::new(DomainConfig::new(1, 4));
+    /// let handle = domain.register().unwrap();
+    /// let root = Link::null();
+    /// let a = handle.alloc_with(|v| *v = 7).unwrap();
+    /// handle.store(&root, Some(&a));
+    /// drop(a); // the link keeps the node alive
+    ///
+    /// let guard = handle.pin();
+    /// let snap = guard.snapshot(&root).expect("link is non-null");
+    /// assert_eq!(*snap, 7); // plain load — zero FAAs
+    /// let owned = snap.upgrade().expect("link unchanged"); // wait-free slow path
+    /// drop(snap);
+    /// drop(guard); // retires the pin, drains deferred frees
+    /// assert_eq!(*owned, 7); // the owned reference survives the guard
+    /// drop(owned);
+    /// handle.store(&root, None);
+    /// assert!(domain.leak_check().is_clean());
+    /// ```
+    pub fn pin(&self) -> PinGuard<'_, 'd, T> {
+        self.pin_raw();
+        PinGuard { handle: self }
+    }
+
+    /// Drains this slot's deferred-decrement list (frees every batched
+    /// node whose covering pins have retired) and returns the number of
+    /// nodes freed. Runs automatically on unpin and handle drop; exposed
+    /// for benchmarks and tests that measure drain latency directly.
+    pub fn drain_deferred(&self) -> usize {
+        self.domain
+            .shared()
+            .try_drain_deferred(self.tid, self.tid, &self.counters)
+    }
+
+    /// Raw (non-RAII) pin entry: publishes the pin bit and holds the
+    /// operation epoch odd until the matching
+    /// [`ThreadHandle::unpin_raw`]. Re-entrant; prefer
+    /// [`ThreadHandle::pin`].
+    pub fn pin_raw(&self) {
+        let d = self.pin_depth.get();
+        self.pin_depth.set(d + 1);
+        if d == 0 {
+            // Enter the operation epoch for the whole pin session: nested
+            // handle operations under the pin do not advance it
+            // (op_depth > 0), so the epoch value doubles as the session's
+            // baseline in the deferred-drain protocol (crate::reclaim).
+            let od = self.op_depth.get();
+            self.op_depth.set(od + 1);
+            let s = self.domain.shared();
+            if od == 0 {
+                s.reclaim.epoch(self.tid).fetch_add(1, Ordering::SeqCst);
+            }
+            s.reclaim.pin(self.tid);
+        }
+    }
+
+    /// Raw pin exit: retires the pin published by the matching
+    /// [`ThreadHandle::pin_raw`] and opportunistically drains this slot's
+    /// deferred list.
+    ///
+    /// # Safety
+    /// Must pair a preceding `pin_raw` on this handle, and no pointer
+    /// obtained from [`ThreadHandle::snapshot_raw`] during the session
+    /// may be dereferenced afterwards (unless independently protected).
+    pub unsafe fn unpin_raw(&self) {
+        let d = self.pin_depth.get();
+        debug_assert!(d > 0, "unpin_raw without a matching pin_raw");
+        self.pin_depth.set(d - 1);
+        if d == 1 {
+            let s = self.domain.shared();
+            s.reclaim.unpin(self.tid);
+            let od = self.op_depth.get() - 1;
+            self.op_depth.set(od);
+            if od == 0 {
+                s.reclaim.epoch(self.tid).fetch_add(1, Ordering::SeqCst);
+            }
+            // Opportunistic drain: if this was the domain's last live pin
+            // the whole batch frees wholesale.
+            s.try_drain_deferred(self.tid, self.tid, &self.counters);
+        }
+    }
+
+    /// Raw snapshot dereference: a single plain (`SeqCst`) load of
+    /// `link`, deletion mark stripped. Carries **no** reference count.
+    ///
+    /// # Safety
+    /// The caller must hold a live pin session
+    /// ([`ThreadHandle::pin_raw`]) on this handle for as long as the
+    /// returned pointer is dereferenced, and `link` must only ever hold
+    /// nodes of this handle's domain.
+    #[must_use = "the returned pointer is only protected while the pin is held"]
+    pub unsafe fn snapshot_raw(&self, link: &Link<T>) -> *mut Node<T> {
+        debug_assert!(
+            self.pin_depth.get() > 0,
+            "snapshot_raw outside a pin session"
+        );
+        OpCounters::bump(&self.counters.snapshot_derefs);
+        link.load_snapshot()
     }
 
     // ------------------------------------------------------------------
@@ -583,15 +720,28 @@ impl<'d, T: RcObject> ThreadHandle<'d, T> {
 
 impl<T: RcObject> Drop for ThreadHandle<'_, T> {
     fn drop(&mut self) {
+        // Fold the snapshot-path counters into the domain-lifetime stats
+        // (surfaced by the leak audit's JSON) on both exit paths — the
+        // per-handle cells die with the handle.
+        let snap = self.counters.snapshot();
+        self.domain.shared().reclaim.snap.fold(
+            snap.snapshot_derefs,
+            snap.deferred_decs,
+            snap.upgrade_slow,
+        );
         // A panicking thread must not run the cooperative teardown: its
         // announcement row or gift slot may still hold references that only
         // an adopter can account for, and draining here could double-count.
         // Mark the slot orphaned and let `WfrcDomain::adopt_orphans` do the
-        // whole recovery.
+        // whole recovery (including any deferred-decrement backlog and a
+        // still-published pin bit).
         if std::thread::panicking() {
             self.domain.orphan(self.tid);
             return;
         }
+        // Free what the deferred list allows first — drained nodes may
+        // park in this thread's magazine, which the flush below returns.
+        self.drain_deferred();
         // Return magazine-parked nodes (node pool and every byte class) to
         // the shared stripes strictly before the thread id becomes
         // claimable: a successor thread gets a fresh (empty) magazine, and
@@ -697,6 +847,134 @@ impl<T: RcObject> Eq for NodeRef<'_, T> {}
 impl<T: RcObject + core::fmt::Debug> core::fmt::Debug for NodeRef<'_, T> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("NodeRef")
+            .field("node", &self.node)
+            .field("payload", &**self)
+            .finish()
+    }
+}
+
+/// An active snapshot-pin session (created by [`ThreadHandle::pin`]).
+///
+/// While the guard lives, this thread's pin bit is published in the
+/// domain's pin bitmap and its operation epoch is held odd; every release
+/// that would free a node defers the free to a per-slot list instead
+/// (see [`crate::reclaim`], DESIGN.md §4f). That is what makes
+/// [`PinGuard::snapshot`]'s plain-load dereference sound.
+///
+/// Dropping the guard retires the pin and opportunistically drains this
+/// slot's deferred-decrement list — wholesale, if this was the domain's
+/// last live pin.
+#[must_use = "dropping the guard immediately retires the pin"]
+pub struct PinGuard<'h, 'd, T: RcObject> {
+    handle: &'h ThreadHandle<'d, T>,
+}
+
+impl<'h, 'd, T: RcObject> PinGuard<'h, 'd, T> {
+    /// The handle this pin session belongs to.
+    pub fn handle(&self) -> &'h ThreadHandle<'d, T> {
+        self.handle
+    }
+
+    /// Snapshot dereference: a single plain (`SeqCst`) load of `link` —
+    /// no FAA, no announcement-slot write — returning a borrow that
+    /// cannot outlive the guard, or `None` if the link was ⊥.
+    ///
+    /// The target cannot be recycled while the guard lives: a release
+    /// that strips it out of the structure lands its free on a deferred
+    /// list, drained only after this pin's epoch baseline has retired.
+    pub fn snapshot<'g>(&'g self, link: &'g Link<T>) -> Option<Snapshot<'g, 'h, T>> {
+        // SAFETY: the pin session is live for at least `'g` — the guard
+        // is borrowed for `'g` and `Snapshot` keeps that borrow alive.
+        let p = unsafe { self.handle.snapshot_raw(link) };
+        NonNull::new(p).map(|node| Snapshot {
+            node,
+            link,
+            handle: self.handle,
+            _pin: PhantomData,
+        })
+    }
+}
+
+impl<T: RcObject> Drop for PinGuard<'_, '_, T> {
+    fn drop(&mut self) {
+        // SAFETY: pairs the `pin_raw` taken in `ThreadHandle::pin`; the
+        // borrow rules guarantee no `Snapshot` of this session survives.
+        unsafe { self.handle.unpin_raw() };
+    }
+}
+
+impl<T: RcObject> core::fmt::Debug for PinGuard<'_, '_, T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("PinGuard")
+            .field("tid", &self.handle.tid)
+            .finish()
+    }
+}
+
+/// A lifetime-bound borrow of a node obtained by a plain load under a
+/// [`PinGuard`] — the read-optimized counterpart of [`NodeRef`].
+///
+/// Holds **no reference count**: validity comes entirely from the pin
+/// (the borrow cannot outlive the guard). [`Snapshot::upgrade`] converts
+/// it into an owned [`NodeRef`] that survives the guard.
+#[must_use = "a snapshot borrows the pin guard and does nothing on its own"]
+pub struct Snapshot<'g, 'h, T: RcObject> {
+    node: NonNull<Node<T>>,
+    link: &'g Link<T>,
+    handle: &'h ThreadHandle<'h, T>,
+    /// Ties the snapshot to the guard's borrow: the guard cannot be
+    /// dropped (retiring the pin) while any snapshot from it is live.
+    _pin: PhantomData<&'g ()>,
+}
+
+impl<'g, 'h, T: RcObject> Snapshot<'g, 'h, T> {
+    /// The raw node pointer (protected by the pin, not by a count).
+    pub fn as_ptr(&self) -> *mut Node<T> {
+        self.node.as_ptr()
+    }
+
+    /// Upgrades the snapshot to an owned [`NodeRef`] through the full
+    /// wait-free announcement protocol ([`ThreadHandle::deref`] on the
+    /// snapshot's source link), so the result is independent of the pin
+    /// and may outlive the guard.
+    ///
+    /// Returns `None` if the link no longer resolves to the snapshot's
+    /// node — the structure moved on and the caller should re-read. The
+    /// snapshot itself stays valid either way (the pin still protects
+    /// it).
+    pub fn upgrade(&self) -> Option<NodeRef<'h, T>> {
+        let h: &'h ThreadHandle<'h, T> = self.handle;
+        OpCounters::bump(&h.counters.upgrade_slow);
+        // Death mid-upgrade holds no protocol resource beyond the pin and
+        // epoch: the unwinding guard drop retires both, the handle drop
+        // orphans the slot, and adoption recovers any deferred nodes.
+        #[cfg(feature = "fault-injection")]
+        h.domain
+            .shared()
+            .fault_hit(&h.counters, crate::fault::FaultSite::SnapshotUpgrade, h.tid);
+        let owned = h.deref(self.link)?;
+        if owned.as_ptr() == self.node.as_ptr() {
+            Some(owned)
+        } else {
+            drop(owned); // the link was retargeted since the snapshot
+            None
+        }
+    }
+}
+
+impl<T: RcObject> Deref for Snapshot<'_, '_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the pin guard is borrowed for this snapshot's lifetime,
+        // so every release of this node since the pin was published sits
+        // on a deferred list — the payload cannot be recycled.
+        unsafe { self.node.as_ref().payload() }
+    }
+}
+
+impl<T: RcObject + core::fmt::Debug> core::fmt::Debug for Snapshot<'_, '_, T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Snapshot")
             .field("node", &self.node)
             .field("payload", &**self)
             .finish()

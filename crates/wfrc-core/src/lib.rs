@@ -102,7 +102,7 @@ pub use counters::{SentinelSnapshot, SentinelStats};
 pub use domain::{AdoptReport, DomainConfig, LeakReport, RegistryFull, WfrcDomain};
 #[cfg(feature = "fault-injection")]
 pub use fault::{FaultAction, FaultPlan, FaultSite, FireRule, InjectedDeath};
-pub use handle::{DomainBox, NodeRef, ThreadHandle};
+pub use handle::{DomainBox, NodeRef, PinGuard, Snapshot, ThreadHandle};
 pub use lease::{LeaseConfig, LeaseGuard, LeasePool, LeaseRegistry};
 pub use link::Link;
 pub use magazine::Magazines;

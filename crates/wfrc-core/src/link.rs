@@ -23,6 +23,12 @@
 //! total order across the two distinct words (link and announcement), only
 //! `SeqCst` on all of them does. A missed help here is not a performance
 //! bug but a use-after-free.
+//!
+//! The snapshot read path (DESIGN.md §4f) relies on the same total order
+//! with a different second word: a reader publishes its **pin bit**
+//! (`SeqCst` RMW) and then loads the link; a releaser CASes the link away
+//! and then checks the pin bitmap before freeing. [`Link::load_snapshot`]
+//! therefore also stays `SeqCst`.
 
 use wfrc_primitives::WordPtr;
 
@@ -73,6 +79,17 @@ impl<T> Link<T> {
     #[inline]
     pub fn load_decomposed(&self) -> (*mut Node<T>, bool) {
         wfrc_primitives::tagged::decompose(self.load_raw())
+    }
+
+    /// Snapshot read (DESIGN.md §4f): the link word with the deletion mark
+    /// (bit 0) stripped, as loaded on the pinned fast path. The returned
+    /// pointer carries **no** reference count — it is only protected while
+    /// the calling thread holds a live snapshot pin
+    /// ([`crate::ThreadHandle::pin`]), which keeps the target out of the
+    /// free path via the deferred-decrement lists.
+    #[inline]
+    pub fn load_snapshot(&self) -> *mut Node<T> {
+        self.load_decomposed().0
     }
 
     /// Raw CAS on the link word. Does **not** perform the obligatory

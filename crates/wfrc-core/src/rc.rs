@@ -152,7 +152,10 @@ impl<T: RcObject> Shared<T> {
                         pending.get_or_insert_with(Vec::new).push(child);
                     }
                 });
-                self.free_node(tid, c, cur); // R4
+                // R4 — or, while any snapshot pin is live, onto the
+                // deferred list (the node's payload may still be borrowed
+                // by a plain-load `Snapshot`; see reclaim.rs §4f docs).
+                self.defer_or_free(tid, c, cur);
             }
             match pending.as_mut().and_then(|p| p.pop()) {
                 Some(next) => cur = next,

@@ -48,8 +48,37 @@
 //! the retire abort, never the allocator. Growth is never blocked: a racing
 //! `try_grow` publishing a later slot simply makes `finish_retire`'s
 //! `seg_count` CAS fail, aborting the retire.
+//!
+//! # Snapshot pins and deferred reclamation (PR 9, DESIGN.md §4f)
+//!
+//! The epoch machinery above also hosts the *snapshot* read path
+//! ([`crate::ThreadHandle::pin`]): a pinned slot publishes a bit in a
+//! presence bitmap (`pins`, same shard-and-pad layout as the announcement
+//! summary) and holds its operation epoch odd for the pin's whole duration.
+//! While **any** pin bit is set, `ReleaseRef` must not hand a
+//! freshly-claimed node back to the free-list — a snapshot holder may still
+//! be reading its payload — so the claimed node (links already stripped,
+//! `mm_ref == FREE_REF`) is pushed onto the releasing slot's *deferred
+//! list* instead. Deferred nodes drain in two-bucket batches:
+//!
+//! * `pending` accumulates new deferrals;
+//! * when `aging` is empty, `pending` is closed into `aging` and a
+//!   *baseline* is recorded — the operation epoch of every slot whose pin
+//!   bit is set at close time;
+//! * `aging` frees once every baseline slot has unpinned or changed epoch
+//!   (a changed epoch proves at least one unpin happened since the close).
+//!
+//! The baseline is a conservative superset: any pin that could still hold a
+//! snapshot of a batched node was live before that node's claim, hence
+//! still live (and recorded) at close time; epochs are monotonic, so a
+//! recorded odd epoch can never recur. When the bitmap is globally empty
+//! the drain frees both buckets wholesale. Deferred nodes hold no
+//! occupancy, so their segment can never reach the retire trigger — and the
+//! retire protocol additionally vetoes on a non-empty pin bitmap (the same
+//! gate as the announcement-summary veto) both before claiming a candidate
+//! and after the grace period.
 
-use core::sync::atomic::{AtomicUsize, Ordering};
+use core::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use crate::arena::SEG_DRAINING;
 use crate::counters::OpCounters;
@@ -69,6 +98,74 @@ fn new_epoch() -> EpochCell {
     #[cfg(feature = "no-pad")]
     {
         AtomicUsize::new(0)
+    }
+}
+
+/// Threads per pin-bitmap word (same sharding as the announcement summary).
+const PIN_BITS: usize = usize::BITS as usize;
+
+/// Sentinel for "no baseline entry recorded for this slot".
+const NO_BASELINE: usize = usize::MAX;
+
+/// One slot's deferred-decrement state (see the module docs). `pending` is
+/// a shared Treiber chain (the owner pushes, any drainer may detach);
+/// `aging` and `baseline` are only touched under `drain_lock`.
+struct DeferredSlot<T> {
+    /// Newly deferred nodes (`mm_ref == FREE_REF`, links stripped, chained
+    /// through `mm_next`).
+    pending: wfrc_primitives::WordPtr<Node<T>>,
+    /// Approximate `pending` length (telemetry; leak audits walk chains).
+    pending_len: AtomicUsize,
+    /// The batch currently waiting out its grace condition.
+    aging: wfrc_primitives::WordPtr<Node<T>>,
+    aging_len: AtomicUsize,
+    /// Per-slot operation epoch recorded when `aging` was closed;
+    /// `NO_BASELINE` = that slot was unpinned at close time.
+    baseline: Box<[AtomicUsize]>,
+    /// Drain mutual exclusion (0 = free). Contenders *skip* rather than
+    /// wait, so the drain never blocks anyone (another drain is already
+    /// making the same progress).
+    drain_lock: AtomicUsize,
+}
+
+impl<T> DeferredSlot<T> {
+    fn new(n: usize) -> Self {
+        Self {
+            pending: wfrc_primitives::WordPtr::null(),
+            pending_len: AtomicUsize::new(0),
+            aging: wfrc_primitives::WordPtr::null(),
+            aging_len: AtomicUsize::new(0),
+            baseline: (0..n).map(|_| AtomicUsize::new(NO_BASELINE)).collect(),
+            drain_lock: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// Shared telemetry for the snapshot read path, folded out of per-thread
+/// counter cells when a handle drops so quiescent audits ([`crate::LeakReport`])
+/// can report them after every handle is gone.
+pub(crate) struct SnapStats {
+    pub(crate) snapshot_derefs: AtomicU64,
+    pub(crate) deferred_decs: AtomicU64,
+    pub(crate) upgrade_slow: AtomicU64,
+}
+
+impl SnapStats {
+    fn new() -> Self {
+        Self {
+            snapshot_derefs: AtomicU64::new(0),
+            deferred_decs: AtomicU64::new(0),
+            upgrade_slow: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds one handle's final counter values (Relaxed telemetry).
+    pub(crate) fn fold(&self, snapshot_derefs: u64, deferred_decs: u64, upgrade_slow: u64) {
+        self.snapshot_derefs
+            .fetch_add(snapshot_derefs, Ordering::Relaxed);
+        self.deferred_decs
+            .fetch_add(deferred_decs, Ordering::Relaxed);
+        self.upgrade_slow.fetch_add(upgrade_slow, Ordering::Relaxed);
     }
 }
 
@@ -139,7 +236,31 @@ pub(crate) struct ReclaimCtl<T> {
     parked_len: AtomicUsize,
     /// Per-slot operation epochs: odd = inside a handle operation.
     epochs: Box<[EpochCell]>,
+    /// Snapshot-pin presence bitmap, one bit per slot (word-sharded and
+    /// padded like the announcement summary). Non-empty = some thread may
+    /// hold plain-load snapshots, so claimed nodes must defer their free.
+    pins: Box<[PinCell]>,
+    /// Per-slot deferred-decrement lists (indexed by the releasing slot).
+    deferred: Box<[DeferredSlot<T>]>,
+    /// Shared snapshot telemetry (see [`SnapStats`]).
+    pub(crate) snap: SnapStats,
     policy: ReclaimPolicy,
+}
+
+#[cfg(not(feature = "no-pad"))]
+type PinCell = wfrc_primitives::CachePadded<wfrc_primitives::AtomicWord>;
+#[cfg(feature = "no-pad")]
+type PinCell = wfrc_primitives::AtomicWord;
+
+fn new_pin_cell() -> PinCell {
+    #[cfg(not(feature = "no-pad"))]
+    {
+        wfrc_primitives::CachePadded::new(wfrc_primitives::AtomicWord::new(0))
+    }
+    #[cfg(feature = "no-pad")]
+    {
+        wfrc_primitives::AtomicWord::new(0)
+    }
 }
 
 impl<T> ReclaimCtl<T> {
@@ -150,6 +271,9 @@ impl<T> ReclaimCtl<T> {
             parked: wfrc_primitives::WordPtr::null(),
             parked_len: AtomicUsize::new(0),
             epochs: (0..n).map(|_| new_epoch()).collect(),
+            pins: (0..n.div_ceil(PIN_BITS)).map(|_| new_pin_cell()).collect(),
+            deferred: (0..n).map(|_| DeferredSlot::new(n)).collect(),
+            snap: SnapStats::new(),
             policy,
         }
     }
@@ -158,6 +282,87 @@ impl<T> ReclaimCtl<T> {
     #[inline]
     pub(crate) fn epoch(&self, tid: usize) -> &AtomicUsize {
         &self.epochs[tid]
+    }
+
+    /// Publishes slot `tid`'s snapshot pin. `SeqCst`, strictly *before* any
+    /// snapshot load: in the SC total order the bit precedes the reader's
+    /// link load, which (if it returned node X) precedes the link change
+    /// that removed X, which precedes X's claiming FAA, which precedes the
+    /// releaser's [`Self::pins_empty`] check — so a release that could free
+    /// a snapshot-visible node always observes the pin.
+    #[inline]
+    pub(crate) fn pin(&self, tid: usize) {
+        self.pins[tid / PIN_BITS].fetch_or(1 << (tid % PIN_BITS));
+    }
+
+    /// Withdraws slot `tid`'s pin. `Release`: every snapshot access of the
+    /// pin session happens-before the clear, so a drain observing the
+    /// cleared bit (`SeqCst` load) may free the session's covered nodes.
+    #[inline]
+    pub(crate) fn unpin(&self, tid: usize) {
+        self.pins[tid / PIN_BITS].fetch_and_with(!(1 << (tid % PIN_BITS)), Ordering::Release);
+    }
+
+    /// True when no slot holds a snapshot pin (`SeqCst` — see [`Self::pin`]).
+    #[inline]
+    pub(crate) fn pins_empty(&self) -> bool {
+        self.pins.iter().all(|w| w.load() == 0)
+    }
+
+    /// Is slot `tid`'s pin bit set? (`SeqCst`.)
+    #[inline]
+    fn pinned(&self, tid: usize) -> bool {
+        self.pins[tid / PIN_BITS].load() & (1 << (tid % PIN_BITS)) != 0
+    }
+
+    /// Clears a corpse's pin bit (adoption / slot re-registration). The
+    /// dead thread executes nothing, so no snapshot of its session can
+    /// still be read.
+    pub(crate) fn clear_pin(&self, tid: usize) {
+        self.unpin(tid);
+    }
+
+    /// Pushes a claimed node (`mm_ref == FREE_REF`, links stripped) onto
+    /// slot `tid`'s deferred list.
+    pub(crate) fn defer(&self, tid: usize, node: *mut Node<T>) {
+        let d = &self.deferred[tid];
+        loop {
+            let head = d.pending.load_with(Ordering::Relaxed);
+            // SAFETY: exclusively ours until the CAS publishes it.
+            unsafe { (*node).mm_next().store(head) };
+            if d.pending
+                .cas_with(head, node, Ordering::Release, Ordering::Relaxed)
+            {
+                break;
+            }
+        }
+        d.pending_len.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Nodes currently sitting on deferred lists (approximate telemetry).
+    pub(crate) fn deferred_len(&self) -> usize {
+        self.deferred
+            .iter()
+            .map(|d| d.pending_len.load(Ordering::Relaxed) + d.aging_len.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Visits every node on every deferred chain. Quiescent audits only:
+    /// the walk takes no locks, so concurrent drains would invalidate it.
+    pub(crate) fn for_each_deferred(&self, mut f: impl FnMut(*mut Node<T>)) {
+        for d in self.deferred.iter() {
+            for chain in [
+                d.pending.load_with(Ordering::Acquire),
+                d.aging.load_with(Ordering::Acquire),
+            ] {
+                let mut p = chain;
+                while !p.is_null() {
+                    f(p);
+                    // SAFETY: quiescent walk per contract.
+                    p = unsafe { (*p).mm_next().load() };
+                }
+            }
+        }
     }
 
     pub(crate) fn policy(&self) -> &ReclaimPolicy {
@@ -328,6 +533,123 @@ impl<T: RcObject> Shared<T> {
             return None;
         }
         self.reclaim.steal()
+    }
+
+    /// `ReleaseRef`'s line R4 under snapshot pins: frees a freshly claimed
+    /// node immediately when no pin is live anywhere (one bitmap-word load
+    /// — the only cost the release path pays when snapshots are unused),
+    /// and defers it onto slot `tid`'s list otherwise.
+    #[inline]
+    pub(crate) fn defer_or_free(&self, tid: usize, c: &OpCounters, node: *mut Node<T>) {
+        if self.reclaim.pins_empty() {
+            self.free_node(tid, c, node);
+        } else {
+            self.reclaim.defer(tid, node);
+            OpCounters::bump(&c.deferred_decs);
+        }
+    }
+
+    /// Attempts to drain slot `owner`'s deferred list, freeing every node
+    /// whose grace condition has passed (see the module docs). Never
+    /// blocks: a held drain lock means another thread is already making
+    /// this exact progress, so contenders skip. Returns nodes freed.
+    pub(crate) fn try_drain_deferred(&self, owner: usize, tid: usize, c: &OpCounters) -> usize {
+        let d = &self.reclaim.deferred[owner];
+        if d.pending_len.load(Ordering::Relaxed) == 0 && d.aging_len.load(Ordering::Relaxed) == 0 {
+            return 0;
+        }
+        if d.drain_lock
+            .compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return 0;
+        }
+        let freed = self.drain_deferred_locked(owner, tid, c);
+        d.drain_lock.store(0, Ordering::Release);
+        freed
+    }
+
+    /// Drains every slot's deferred list (reclaim candidacy, teardown).
+    pub(crate) fn drain_all_deferred(&self, tid: usize, c: &OpCounters) -> usize {
+        let mut freed = 0;
+        for owner in 0..self.n {
+            freed += self.try_drain_deferred(owner, tid, c);
+        }
+        freed
+    }
+
+    /// The drain body, under `owner`'s drain lock.
+    fn drain_deferred_locked(&self, owner: usize, tid: usize, c: &OpCounters) -> usize {
+        let rc = &self.reclaim;
+        let d = &rc.deferred[owner];
+        let mut freed = 0;
+        // Globally unpinned: no snapshot can be live anywhere, so both
+        // buckets free wholesale (the common case — a lone reader's guard
+        // drop finds the bitmap empty right after its own unpin).
+        if rc.pins_empty() {
+            let aging = d.aging.swap_with(core::ptr::null_mut(), Ordering::Acquire);
+            d.aging_len.store(0, Ordering::Relaxed);
+            freed += self.free_deferred_chain(aging, tid, c);
+            let pending = d
+                .pending
+                .swap_with(core::ptr::null_mut(), Ordering::Acquire);
+            d.pending_len.store(0, Ordering::Relaxed);
+            freed += self.free_deferred_chain(pending, tid, c);
+            return freed;
+        }
+        // Aged batch ready? Every slot recorded in the baseline must have
+        // unpinned or changed epoch since the batch closed.
+        if !d.aging.load_with(Ordering::Acquire).is_null() {
+            let satisfied = (0..self.n).all(|t| {
+                let e = d.baseline[t].load(Ordering::Relaxed);
+                e == NO_BASELINE || !rc.pinned(t) || rc.epoch(t).load(Ordering::SeqCst) != e
+            });
+            if satisfied {
+                let aging = d.aging.swap_with(core::ptr::null_mut(), Ordering::Acquire);
+                d.aging_len.store(0, Ordering::Relaxed);
+                freed += self.free_deferred_chain(aging, tid, c);
+            }
+        }
+        // Close the pending bucket into the (now possibly empty) aging
+        // bucket, recording the live-pin baseline. Order matters: the pin
+        // bit is read before the epoch, so a concurrent unpin yields either
+        // a cleared bit later (satisfied) or an even/newer epoch that no
+        // future pin session can reproduce (epochs are monotonic).
+        if d.aging.load_with(Ordering::Acquire).is_null()
+            && !d.pending.load_with(Ordering::Acquire).is_null()
+        {
+            let chain = d
+                .pending
+                .swap_with(core::ptr::null_mut(), Ordering::Acquire);
+            let moved = d.pending_len.swap(0, Ordering::Relaxed);
+            for t in 0..self.n {
+                let e = if rc.pinned(t) {
+                    rc.epoch(t).load(Ordering::SeqCst)
+                } else {
+                    NO_BASELINE
+                };
+                d.baseline[t].store(e, Ordering::Relaxed);
+            }
+            d.aging.store_with(chain, Ordering::Release);
+            d.aging_len.store(moved, Ordering::Relaxed);
+        }
+        freed
+    }
+
+    /// Frees a privately detached deferred chain through the normal
+    /// `FreeNode` path (magazines, gifts, draining diversion all apply).
+    fn free_deferred_chain(&self, chain: *mut Node<T>, tid: usize, c: &OpCounters) -> usize {
+        let mut p = chain;
+        let mut n = 0;
+        while !p.is_null() {
+            // SAFETY: detached chain — privately ours; `free_node` takes
+            // over each node, so read `mm_next` first.
+            let next = unsafe { (*p).mm_next().load() };
+            self.free_node(tid, c, p);
+            p = next;
+            n += 1;
+        }
+        n
     }
 
     /// Reopens a DRAINING segment: parked nodes go back onto a stripe
@@ -524,8 +846,19 @@ pub(crate) fn try_reclaim_shared<T: RcObject>(
         let retries = s.fl.push_chain(tid, leftovers, tail);
         OpCounters::add(&c.free_push_retries, retries);
     }
+    // Deferred decrements first: a drained node returns to the stripes
+    // (re-crediting occupancy), which is what lets a segment full of
+    // snapshot-covered releases ever reach the retire trigger.
+    s.drain_all_deferred(tid, c);
     // Condition (c) first — it is the cheapest disqualifier.
     if !s.ann.summary_empty() {
+        return ReclaimOutcome::NoCandidate;
+    }
+    // Snapshot-pin veto, the same gate as the summary veto: a live guard
+    // epoch means plain-load borrows may exist and deferred lists cannot
+    // fully drain, so don't burn the sweep/grace budget on a candidate
+    // that cannot pass the recheck below.
+    if !ctl.pins_empty() {
         return ReclaimOutcome::NoCandidate;
     }
     // Conditions on the candidate: trailing, LIVE, occupancy full.
@@ -555,8 +888,10 @@ pub(crate) fn try_reclaim_shared<T: RcObject>(
         s.reopen_reclaim(tid, c);
         return ReclaimOutcome::Aborted;
     }
-    // Grace period over all registered slots, then the summary re-check.
-    if !s.grace_period(is_taken) || !s.ann.summary_empty() {
+    // Grace period over all registered slots, then the summary and
+    // snapshot-pin re-checks (a pin taken after the veto above is caught
+    // here; a pin parked across the whole retire stalls the grace wait).
+    if !s.grace_period(is_taken) || !s.ann.summary_empty() || !ctl.pins_empty() {
         s.reopen_reclaim(tid, c);
         return ReclaimOutcome::Aborted;
     }

@@ -89,6 +89,40 @@ pub unsafe trait RcMm<T: RcObject> {
 
     /// Snapshot of the handle's operation counters.
     fn counter_snapshot(&self) -> CounterSnapshot;
+
+    /// Whether [`RcMm::snapshot_enter`] actually protects
+    /// [`RcMm::snapshot_load`] targets from reclamation (true for the
+    /// wait-free scheme's pin + deferred-decrement machinery; false for
+    /// baselines whose guard is a no-op). Structures use this to take the
+    /// plain-load fast path only where it is sound — see
+    /// [`crate::Stack::peek`].
+    const SNAPSHOT_PROTECTED: bool;
+
+    /// Enters a snapshot-pin session (DESIGN.md §4f): under the wait-free
+    /// scheme this publishes the pin bit that turns [`RcMm::snapshot_load`]
+    /// into a protected plain load; baselines without deferral implement
+    /// it as a no-op. Re-entrant; pair every call with one
+    /// [`RcMm::snapshot_exit`].
+    fn snapshot_enter(&self);
+
+    /// Exits the pin session entered by [`RcMm::snapshot_enter`].
+    ///
+    /// # Safety
+    /// Must pair a preceding `snapshot_enter` on this handle; no pointer
+    /// from [`RcMm::snapshot_load`] obtained during the session may be
+    /// dereferenced afterwards (unless independently protected).
+    unsafe fn snapshot_exit(&self);
+
+    /// Plain-load dereference (deletion mark stripped, **no** reference
+    /// transferred): the read fast path measured by E4 `--snapshot`.
+    ///
+    /// # Safety
+    /// A pin session must be live on this handle (or the caller must
+    /// otherwise guarantee the target outlives every dereference of the
+    /// returned pointer — the only option for schemes whose
+    /// `snapshot_enter` is a no-op); `link` must only ever hold nodes of
+    /// this handle's domain.
+    unsafe fn snapshot_load(&self, link: &Link<T>) -> *mut Node<T>;
 }
 
 // SAFETY: ThreadHandle implements the paper's scheme; §4 proves the
@@ -128,6 +162,18 @@ unsafe impl<T: RcObject> RcMm<T> for wfrc_core::ThreadHandle<'_, T> {
     fn counter_snapshot(&self) -> CounterSnapshot {
         self.counters().snapshot()
     }
+    const SNAPSHOT_PROTECTED: bool = true;
+    fn snapshot_enter(&self) {
+        self.pin_raw();
+    }
+    unsafe fn snapshot_exit(&self) {
+        // SAFETY: forwarded contract.
+        unsafe { self.unpin_raw() }
+    }
+    unsafe fn snapshot_load(&self, link: &Link<T>) -> *mut Node<T> {
+        // SAFETY: forwarded contract (pin session live).
+        unsafe { self.snapshot_raw(link) }
+    }
 }
 
 // SAFETY: LfrcHandle implements Valois/Michael–Scott lock-free reference
@@ -166,6 +212,19 @@ unsafe impl<T: RcObject> RcMm<T> for wfrc_baselines::LfrcHandle<'_, T> {
     }
     fn counter_snapshot(&self) -> CounterSnapshot {
         self.counters().snapshot()
+    }
+    const SNAPSHOT_PROTECTED: bool = false;
+    fn snapshot_enter(&self) {
+        self.pin_raw(); // no-op: LFRC has no pin machinery
+    }
+    unsafe fn snapshot_exit(&self) {
+        // SAFETY: trivially safe no-op (signature parity).
+        unsafe { self.unpin_raw() }
+    }
+    unsafe fn snapshot_load(&self, link: &Link<T>) -> *mut Node<T> {
+        // SAFETY: forwarded contract — with LFRC the caller must protect
+        // the target itself (the guard provides nothing).
+        unsafe { self.snapshot_raw(link) }
     }
 }
 

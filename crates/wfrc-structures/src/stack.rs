@@ -136,6 +136,45 @@ impl<V: Clone + Send + Sync + 'static> Stack<V> {
         }
     }
 
+    /// Clones the top value without popping, or `None` if empty.
+    ///
+    /// Under a scheme with protected snapshots
+    /// ([`RcMm::SNAPSHOT_PROTECTED`], i.e. the wait-free scheme's pin +
+    /// deferred-decrement machinery of DESIGN.md §4f) this is a plain-load
+    /// read — zero reference-count traffic. Other schemes fall back to a
+    /// counted dereference, so the method is sound over every [`RcMm`].
+    pub fn peek<M: RcMm<StackCell<V>>>(&self, mm: &M) -> Option<V> {
+        if M::SNAPSHOT_PROTECTED {
+            mm.snapshot_enter();
+            // SAFETY: the pin session is live and protected
+            // (SNAPSHOT_PROTECTED); `head` only ever holds nodes of the
+            // caller's domain, and the payload borrow ends before the
+            // session exits.
+            let value = unsafe {
+                let p = mm.snapshot_load(&self.head);
+                if p.is_null() {
+                    None
+                } else {
+                    mm.payload(p).value.clone()
+                }
+            };
+            // SAFETY: pairs the enter above; no snapshot pointer escapes.
+            unsafe { mm.snapshot_exit() };
+            value
+        } else {
+            // SAFETY: standard counted deref discipline.
+            unsafe {
+                let p = mm.deref_link(&self.head);
+                if p.is_null() {
+                    return None;
+                }
+                let value = mm.payload(p).value.clone();
+                mm.release_node(p);
+                value
+            }
+        }
+    }
+
     /// True if the stack was empty at the instant of the read.
     pub fn is_empty(&self) -> bool {
         self.head.is_null()
@@ -276,6 +315,37 @@ mod tests {
     #[test]
     fn concurrent_lfrc() {
         concurrent_push_pop(LfrcDomain::<StackCell<u64>>::new(4, 4 * 2_000 + 64), 4);
+    }
+
+    fn peek_reads_top_without_popping<D: RcMmDomain<StackCell<u64>>>(d: &D) {
+        let h = d.register_mm().unwrap();
+        let s = Stack::new();
+        assert_eq!(s.peek(&h), None);
+        s.push(&h, 1).unwrap();
+        s.push(&h, 2).unwrap();
+        assert_eq!(s.peek(&h), Some(2));
+        assert_eq!(s.peek(&h), Some(2));
+        assert_eq!(s.len(&h), 2);
+        assert_eq!(s.pop(&h), Some(2));
+        assert_eq!(s.peek(&h), Some(1));
+        s.clear(&h);
+        drop(h);
+        assert!(d.leak_check_mm().is_clean());
+    }
+
+    #[test]
+    fn peek_wfrc_uses_snapshots() {
+        let d = WfrcDomain::new(DomainConfig::new(2, 128));
+        peek_reads_top_without_popping(&d);
+        // The wait-free scheme's peek goes through the pinned plain-load
+        // path, never the counted deref.
+        assert!(d.leak_check_mm().snapshot_derefs >= 3);
+    }
+
+    #[test]
+    fn peek_lfrc_counted_fallback() {
+        let d = LfrcDomain::new(2, 128);
+        peek_reads_top_without_popping(&d);
     }
 
     #[test]

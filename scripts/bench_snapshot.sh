@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Bench trajectory snapshot: runs short E4/E5/E9/E11/E12 configurations —
+# Bench trajectory snapshot: runs short E4/E5/E8/E9/E11/E12 configurations —
 # including the PR5 oscillating-reclaim modes, the PR6 mixed-size
-# per-class arena modes, the PR7 leased-slot server workload, and the
-# PR8 sentinel chaos mode (killed lease holders + admission control) —
-# and writes a machine-readable BENCH_PR8.json at the repo root (one entry
+# per-class arena modes, the PR7 leased-slot server workload, the
+# PR8 sentinel chaos mode (killed lease holders + admission control),
+# and the PR9 snapshot read path (E4 --snapshot + the E8 snapshot
+# ablation) — and writes a machine-readable BENCH_PR9.json at the repo root (one entry
 # per configuration, each embedding the experiment's table as headers +
 # rows: scheme × threads × mode → ops/s, resident curve, class curve,
 # checkout tails, …), so future PRs can diff their numbers against this
@@ -11,12 +12,12 @@
 #
 # Usage: scripts/bench_snapshot.sh [--quick] [--out FILE]
 #   --quick   CI-sized op counts (the bench-smoke job runs this)
-#   --out     output path (default: BENCH_PR8.json in the repo root)
+#   --out     output path (default: BENCH_PR9.json in the repo root)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 QUICK=0
-OUT="BENCH_PR8.json"
+OUT="BENCH_PR9.json"
 while [[ $# -gt 0 ]]; do
     case "$1" in
         --quick) QUICK=1; shift ;;
@@ -27,7 +28,9 @@ done
 
 if [[ "$QUICK" == 1 ]]; then
     E4_READ_ARGS="--mode read --threads 0,2 --ops 2000"
+    E4_SNAP_ARGS="--mode read --snapshot --threads 0,2 --ops 20000"
     E4_WRITE_ARGS="--mode write --threads 2,8 --ops 5000"
+    E8_SNAP_ARGS="--mode snapshot --threads 0,2 --ops 20000"
     E5_ARGS="--threads 2 --ops 5000"
     E5_RECLAIM_ARGS="--threads 2 --ops 8000 --reclaim"
     E9_ARGS="--ops 5000"
@@ -41,7 +44,9 @@ if [[ "$QUICK" == 1 ]]; then
     E12_SENTINEL_ARGS="--tasks 1000 --slots 8 --workers 8 --ops 50 --kill 8 --admission-ms 50"
 else
     E4_READ_ARGS="--mode read --threads 0,2,8 --ops 50000"
+    E4_SNAP_ARGS="--mode read --snapshot --threads 0,2,8 --ops 200000"
     E4_WRITE_ARGS="--mode write --threads 1,2,4,8 --ops 100000"
+    E8_SNAP_ARGS="--mode snapshot --threads 0,2 --ops 100000"
     E5_ARGS="--threads 2,8 --ops 50000"
     E5_RECLAIM_ARGS="--threads 2,8 --ops 50000 --reclaim"
     E9_ARGS="--ops 20000"
@@ -70,7 +75,7 @@ trap 'rm -f "$TMP"' EXIT
 
 {
     echo '{'
-    echo "  \"snapshot\": \"PR8 sentinel supervision and overload backpressure\","
+    echo "  \"snapshot\": \"PR9 snapshot references: pinned plain-load reads + deferred RC\","
     echo "  \"commit\": \"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)\","
     echo "  \"quick\": $([[ "$QUICK" == 1 ]] && echo true || echo false),"
     echo '  "configs": ['
@@ -92,7 +97,9 @@ trap 'rm -f "$TMP"' EXIT
     }
 
     emit "e4-read" e4_deref_interference $E4_READ_ARGS
+    emit "e4-read-snapshot" e4_deref_interference $E4_SNAP_ARGS
     emit "e4-write" e4_deref_interference $E4_WRITE_ARGS
+    emit "e8-snapshot" e8_ablations $E8_SNAP_ARGS
     emit "e5-churn" e5_alloc_interference $E5_ARGS
     emit "e5-reclaim" e5_alloc_interference $E5_RECLAIM_ARGS
     emit "e9-stall" e9_stall $E9_ARGS

@@ -42,6 +42,16 @@
 //! let seen = handle.deref(&shared).unwrap();
 //! assert_eq!(*seen, 42);
 //! # drop(seen);
+//!
+//! // Read-optimized tier (PR 9): pin once, then every read is a plain
+//! // load — zero count traffic; upgrade to an owned ref on demand.
+//! let guard = handle.pin();
+//! let snap = guard.snapshot(&shared).unwrap();
+//! assert_eq!(*snap, 42);
+//! let owned = snap.upgrade().unwrap();
+//! drop(guard);
+//! assert_eq!(*owned, 42);
+//! # drop(owned);
 //! # handle.store(&shared, None);
 //! # drop(node);
 //! # drop(handle);

@@ -60,6 +60,16 @@ fn victim_loop(h: ThreadHandle<'_, u64>, links: &[Link<u64>], plan: &FaultPlan) 
         if let Some(g) = h.deref(&links[(i + 1) % links.len()]) {
             std::hint::black_box(*g);
         }
+        if i % 3 == 2 {
+            // Pinned snapshot read + upgrade (PR 9): reaches the
+            // `SnapshotUpgrade` site, and the releases above defer while
+            // the pin is live.
+            let guard = h.pin();
+            if let Some(snap) = guard.snapshot(&links[(i + 2) % links.len()]) {
+                std::hint::black_box(*snap);
+                drop(snap.upgrade());
+            }
+        }
         if i % 7 == 6 {
             held.pop();
         }
@@ -170,6 +180,7 @@ site_scenarios! {
     magazine_drain_park, magazine_drain_die => FaultSite::MagazineDrain;
     grow_seed_park, grow_seed_die => FaultSite::GrowSeed;
     summary_clear_park, summary_clear_die => FaultSite::SummaryClear;
+    snapshot_upgrade_park, snapshot_upgrade_die => FaultSite::SnapshotUpgrade;
 }
 
 /// `HelperCas` needs a pending announcement for the victim to help: an aux

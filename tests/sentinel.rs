@@ -255,6 +255,15 @@ mod ladder {
             if let Some(g) = h.deref(&links[(i + 1) % links.len()]) {
                 std::hint::black_box(*g);
             }
+            if i % 3 == 2 {
+                // Snapshot read + upgrade so the PR 9 `SnapshotUpgrade`
+                // site is reachable mid-churn.
+                let guard = h.pin();
+                if let Some(snap) = guard.snapshot(&links[(i + 2) % links.len()]) {
+                    std::hint::black_box(*snap);
+                    drop(snap.upgrade());
+                }
+            }
             if i % 5 == 4 {
                 held.pop();
             }

@@ -1,0 +1,303 @@
+//! Snapshot references (PR 9): epoch-pinned plain-load reads with
+//! deferred reference counting (DESIGN.md §4f).
+//!
+//! The non-gated tests cover the protocol's safety surfaces: snapshots
+//! stay readable across releases that would otherwise free the node, the
+//! occupancy sweep treats a live pin as a retirement veto, deferred
+//! releases are visible in the telemetry and drain on demand, and a
+//! sentinel ticking concurrently with pin/release churn never unbalances
+//! the books. The `fault-injection`-gated half kills a thread mid-upgrade
+//! with a non-empty deferred list and asserts adoption recovers every
+//! node.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use wfrc::core::{
+    DomainConfig, Growth, Link, ReclaimOutcome, Sentinel, SentinelConfig, WfrcDomain,
+};
+
+#[test]
+fn pin_snapshot_read_and_upgrade() {
+    let d = WfrcDomain::<u64>::new(DomainConfig::new(2, 8));
+    let h = d.register().unwrap();
+    let link = Link::null();
+    let g = h.alloc_with(|v| *v = 7).unwrap();
+    h.store(&link, Some(&g));
+    drop(g);
+
+    let guard = h.pin();
+    let snap = guard.snapshot(&link).expect("link is non-null");
+    assert_eq!(*snap, 7);
+    let owned = snap.upgrade().expect("link unchanged");
+    assert_eq!(*owned, 7);
+    // The owned reference outlives the guard (that is the point of the
+    // upgrade): drop the guard first, then keep reading.
+    drop(guard);
+    assert_eq!(*owned, 7);
+    drop(owned);
+
+    let snap_counters = h.counters().snapshot();
+    assert!(snap_counters.snapshot_derefs >= 1, "{snap_counters:?}");
+    assert_eq!(snap_counters.upgrade_slow, 1, "{snap_counters:?}");
+
+    h.store(&link, None);
+    drop(h);
+    let r = d.leak_check();
+    assert!(r.is_clean(), "{r:?}");
+    // The per-thread snapshot stats fold into the leak report on drop.
+    assert!(r.snapshot_derefs >= 1, "{r:?}");
+    assert_eq!(r.upgrade_slow, 1, "{r:?}");
+}
+
+#[test]
+fn upgrade_after_retarget_returns_none() {
+    let d = WfrcDomain::<u64>::new(DomainConfig::new(2, 8));
+    let h = d.register().unwrap();
+    let link = Link::null();
+    let a = h.alloc_with(|v| *v = 1).unwrap();
+    h.store(&link, Some(&a));
+
+    let guard = h.pin();
+    let snap = guard.snapshot(&link).expect("non-null");
+    assert_eq!(*snap, 1);
+    // Retarget the link while the snapshot is live: the snapshot still
+    // reads the old node safely, but an upgrade must refuse it.
+    let b = h.alloc_with(|v| *v = 2).unwrap();
+    h.store(&link, Some(&b));
+    assert_eq!(*snap, 1, "snapshot pins the observed node, not the link");
+    assert!(snap.upgrade().is_none(), "link moved on — no owned ref");
+    drop(guard);
+
+    h.store(&link, None);
+    drop((a, b));
+    drop(h);
+    assert!(d.leak_check().is_clean());
+}
+
+/// The §4f grace argument made concrete: a release that reaches count zero
+/// while any pin is live must defer the free, so the snapshot keeps
+/// reading valid memory even after every counted reference is gone.
+#[test]
+fn snapshot_survives_release_to_zero() {
+    let d = WfrcDomain::<u64>::new(DomainConfig::new(2, 8));
+    let h1 = d.register().unwrap();
+    let h2 = d.register().unwrap();
+    let link = Link::null();
+    let g = h1.alloc_with(|v| *v = 42).unwrap();
+    h1.store(&link, Some(&g));
+    drop(g); // the link now holds the only count
+
+    let guard = h2.pin();
+    let snap = guard.snapshot(&link).expect("non-null");
+    // Clear the link from the other handle: count reaches zero, and the
+    // free must divert to h1's deferred list instead of the free-list.
+    h1.store(&link, None);
+    assert_eq!(*snap, 42, "deferred free keeps the snapshot readable");
+    assert_eq!(h1.counters().snapshot().deferred_decs, 1);
+    assert_eq!(d.deferred_len(), 1);
+    assert!(snap.upgrade().is_none(), "node is dead — upgrade must fail");
+    drop(guard);
+
+    // With no pin live, the owner's drain frees the node wholesale.
+    assert_eq!(h1.drain_deferred(), 1);
+    assert_eq!(d.deferred_len(), 0);
+    drop((h1, h2));
+    let r = d.leak_check();
+    assert!(r.is_clean(), "{r:?}");
+    assert_eq!(r.deferred_decs, 1, "{r:?}");
+}
+
+/// Satellite 4 regression: a parked guard is a retirement veto — the
+/// occupancy sweep must never retire a segment while any slot holds a live
+/// pin epoch, exactly like the announcement-summary veto.
+#[test]
+fn parked_guard_vetoes_segment_retirement() {
+    let d = WfrcDomain::<u64>::new(DomainConfig::new(2, 8).with_growth(Growth::doubling_to(256)));
+    let h = d.register().unwrap();
+    let pinner = d.register().unwrap();
+    let guards: Vec<_> = (0..64).map(|_| h.alloc_with(|v| *v = 1).unwrap()).collect();
+    let peak = d.resident_segments();
+    assert!(peak >= 3, "never grew: {peak}");
+    drop(guards);
+
+    // Park a pin across what would otherwise be a full retire cycle.
+    let guard = pinner.pin();
+    for _ in 0..10 {
+        let out = h.reclaim();
+        assert!(
+            !matches!(out, ReclaimOutcome::Retired { .. }),
+            "retired a segment under a live pin: {out:?}"
+        );
+    }
+    assert_eq!(
+        d.resident_segments(),
+        peak,
+        "resident curve moved under pin"
+    );
+    drop(guard);
+
+    // Pin released: the same quiescent state must now retire freely.
+    let mut retired = 0;
+    let mut stalls = 0;
+    loop {
+        match h.reclaim() {
+            ReclaimOutcome::Retired { .. } => {
+                retired += 1;
+                stalls = 0;
+            }
+            ReclaimOutcome::NoCandidate => break,
+            ReclaimOutcome::Contended | ReclaimOutcome::Aborted => {
+                stalls += 1;
+                assert!(stalls < 100, "reclaim livelocked");
+                std::thread::yield_now();
+            }
+        }
+    }
+    assert!(retired >= 2, "nothing retired after unpin");
+    assert_eq!(d.resident_segments(), 1);
+    drop((h, pinner));
+    assert!(d.leak_check().is_clean());
+}
+
+/// Sentinel ticks racing pin sessions, deferred releases, and drains: the
+/// supervisor must coexist with the snapshot machinery without seizing a
+/// merely-pinned thread or unbalancing the node books.
+#[test]
+fn sentinel_ticks_race_deferred_drains() {
+    const LINKS: usize = 4;
+    const WORKERS: usize = 3;
+    let d = WfrcDomain::<u64>::new(
+        DomainConfig::new(WORKERS + 1, 512).with_growth(Growth::doubling_to(4096)),
+    );
+    let sentinel = Sentinel::new(&d, SentinelConfig::default());
+    let links: Vec<Link<u64>> = (0..LINKS).map(|_| Link::null()).collect();
+    let stop = AtomicBool::new(false);
+    let main = d.register().unwrap();
+    // A standing pin on the supervisor thread guarantees every
+    // release-to-zero in the churn below is a deferred dec.
+    let standing = main.pin();
+
+    std::thread::scope(|s| {
+        let (d, links, stop) = (&d, &links, &stop);
+        let workers: Vec<_> = (0..WORKERS)
+            .map(|w| {
+                s.spawn(move || {
+                    let h = d.register().unwrap();
+                    for i in 0..4_000usize {
+                        if let Ok(g) = h.alloc_with(|v| *v = i as u64) {
+                            h.store(&links[(i + w) % LINKS], Some(&g));
+                        }
+                        let guard = h.pin();
+                        if let Some(snap) = guard.snapshot(&links[(i + 1) % LINKS]) {
+                            std::hint::black_box(*snap);
+                            if i % 17 == 0 {
+                                drop(snap.upgrade());
+                            }
+                        }
+                        drop(guard);
+                        if i % 256 == 255 {
+                            let _ = h.drain_deferred();
+                        }
+                    }
+                })
+            })
+            .collect();
+        let ticker = s.spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                sentinel.tick();
+                std::thread::yield_now();
+            }
+        });
+        for w in workers {
+            w.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        ticker.join().unwrap();
+    });
+
+    for l in &links {
+        main.store(l, None);
+    }
+    drop(standing);
+    // The workers' slots may still hold deferred nodes (their final drains
+    // ran under the standing pin); a reclaim pass drains every slot.
+    let _ = main.reclaim();
+    assert_eq!(d.deferred_len(), 0);
+    drop(main);
+    let r = d.leak_check();
+    assert!(r.is_clean(), "{r}");
+    assert!(r.deferred_decs > 0, "standing pin never forced a defer");
+    assert!(r.snapshot_derefs > 0, "{r:?}");
+}
+
+#[cfg(feature = "fault-injection")]
+mod faulted {
+    use std::sync::Arc;
+
+    use wfrc::core::fault::silence_injected_deaths;
+    use wfrc::core::{
+        DomainConfig, FaultAction, FaultPlan, FaultSite, FireRule, InjectedDeath, Link, WfrcDomain,
+    };
+
+    /// Satellite 3: a thread dies at the armed `SnapshotUpgrade` site with
+    /// a non-empty deferred list. Adoption must recover every deferred
+    /// node once the surviving pin lifts.
+    #[test]
+    fn die_mid_upgrade_with_nonempty_deferred_list_is_adopted() {
+        silence_injected_deaths();
+        let mut domain = WfrcDomain::<u64>::new(DomainConfig::new(2, 64));
+        let plan = Arc::new(FaultPlan::new(0x9A9));
+        domain.set_fault_plan(Arc::clone(&plan));
+        plan.arm_victim(
+            0,
+            FaultSite::SnapshotUpgrade,
+            FaultAction::Die,
+            FireRule::Nth(1),
+        );
+
+        let link = Link::null();
+        let victim = domain.register().unwrap();
+        let supervisor = domain.register().unwrap();
+        assert_eq!(victim.tid(), 0);
+        let standing = supervisor.pin();
+
+        std::thread::scope(|s| {
+            let link = &link;
+            let vt = s.spawn(move || {
+                // Build the non-empty deferred list: with the supervisor's
+                // pin live, every release-to-zero diverts.
+                for i in 0..8 {
+                    let g = victim.alloc_with(|v| *v = i).unwrap();
+                    drop(g);
+                }
+                assert_eq!(victim.counters().snapshot().deferred_decs, 8);
+                let g = victim.alloc_with(|v| *v = 99).unwrap();
+                victim.store(link, Some(&g));
+                drop(g);
+                let guard = victim.pin();
+                let snap = guard.snapshot(link).expect("non-null");
+                let _ = snap.upgrade(); // armed: dies here
+                unreachable!("SnapshotUpgrade never fired");
+            });
+            let err = vt.join().expect_err("victim must die mid-upgrade");
+            let death = err
+                .downcast::<InjectedDeath>()
+                .expect("panic payload must be InjectedDeath");
+            assert_eq!(death.site, FaultSite::SnapshotUpgrade);
+        });
+
+        // The corpse's deferred list survived its death (the standing pin
+        // blocked every drain attempt on the unwind path).
+        assert_eq!(domain.deferred_len(), 8);
+        drop(standing);
+        let report = domain.adopt_orphans();
+        assert_eq!(report.orphans_adopted, 1, "{report:?}");
+        assert_eq!(report.deferred_nodes_recovered, 8, "{report:?}");
+        assert_eq!(domain.deferred_len(), 0);
+
+        supervisor.store(&link, None);
+        drop(supervisor);
+        let r = domain.leak_check();
+        assert!(r.is_clean(), "{r:?}");
+    }
+}
