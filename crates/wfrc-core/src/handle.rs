@@ -314,6 +314,15 @@ impl<'d, T: RcObject> ThreadHandle<'d, T> {
     /// the full wait-free announcement protocol — the worst case is
     /// unchanged.
     ///
+    /// **Keep pin sessions short.** A long-held guard suppresses memory
+    /// reclamation *domain-wide* for its whole duration: every release
+    /// defers its free onto a per-slot list, and segment retirement is
+    /// vetoed (each [`ThreadHandle::reclaim`] attempt aborts after a
+    /// bounded check). Memory use grows with the deferral backlog until
+    /// the pin retires; safety is never affected. Leaking a guard with
+    /// `mem::forget` extends this to the handle's lifetime — the handle's
+    /// drop retracts a still-published pin, so the suppression ends there.
+    ///
     /// ```
     /// use wfrc_core::{DomainConfig, Link, WfrcDomain};
     ///
@@ -738,6 +747,24 @@ impl<T: RcObject> Drop for ThreadHandle<'_, T> {
         if std::thread::panicking() {
             self.domain.orphan(self.tid);
             return;
+        }
+        // A leaked guard (`mem::forget(PinGuard)`) never ran its unpin:
+        // retract the still-published pin bit and restore epoch parity
+        // here, or every subsequent release in the domain would defer
+        // forever and segment retirement would stay vetoed. Sound because
+        // dropping the handle requires that no guard or `Snapshot` borrow
+        // of it is live — nothing can still read under the leaked pin.
+        if self.pin_depth.get() > 0 {
+            self.pin_depth.set(0);
+            let s = self.domain.shared();
+            s.reclaim.unpin(self.tid);
+            // The session entered exactly one operation level (pin_raw
+            // bumps op_depth only on the outermost pin).
+            let od = self.op_depth.get() - 1;
+            self.op_depth.set(od);
+            if od == 0 {
+                s.reclaim.epoch(self.tid).fetch_add(1, Ordering::SeqCst);
+            }
         }
         // Free what the deferred list allows first — drained nodes may
         // park in this thread's magazine, which the flush below returns.

@@ -555,7 +555,13 @@ impl<T: RcObject> Shared<T> {
     /// this exact progress, so contenders skip. Returns nodes freed.
     pub(crate) fn try_drain_deferred(&self, owner: usize, tid: usize, c: &OpCounters) -> usize {
         let d = &self.reclaim.deferred[owner];
-        if d.pending_len.load(Ordering::Relaxed) == 0 && d.aging_len.load(Ordering::Relaxed) == 0 {
+        // Early-exit on the chain heads, not the length counters: `defer`
+        // increments `pending_len` only *after* its CAS publishes the
+        // node, so a counter-based check could see 0 with a non-empty
+        // chain and skip a due drain.
+        if d.pending.load_with(Ordering::Acquire).is_null()
+            && d.aging.load_with(Ordering::Acquire).is_null()
+        {
             return 0;
         }
         if d.drain_lock
@@ -583,18 +589,38 @@ impl<T: RcObject> Shared<T> {
         let rc = &self.reclaim;
         let d = &rc.deferred[owner];
         let mut freed = 0;
-        // Globally unpinned: no snapshot can be live anywhere, so both
-        // buckets free wholesale (the common case — a lone reader's guard
-        // drop finds the bitmap empty right after its own unpin).
+        // Globally unpinned: the wholesale path (the common case — a lone
+        // reader's guard drop finds the bitmap empty right after its own
+        // unpin). The aging batch frees on the strength of this one check:
+        // its nodes were claimed strictly before the batch closed, so every
+        // pin that could still see one was live at claim time — and an
+        // empty bitmap proves those pins have all retired (a pin published
+        // *after* a node's claim cannot reach it; see `ReclaimCtl::pin`).
         if rc.pins_empty() {
             let aging = d.aging.swap_with(core::ptr::null_mut(), Ordering::Acquire);
             d.aging_len.store(0, Ordering::Relaxed);
             freed += self.free_deferred_chain(aging, tid, c);
+            // The pending chain is racier: `defer` pushes do not take the
+            // drain lock, so between the check above and this swap a reader
+            // can pin, snapshot a still-linked node, and a releaser — now
+            // observing that pin — can push the claimed node here. Detach
+            // *first*, then re-read the bitmap: every node in the detached
+            // chain was pushed (hence claimed) before the re-check, so an
+            // empty bitmap again proves its claim-time pins are gone.
             let pending = d
                 .pending
                 .swap_with(core::ptr::null_mut(), Ordering::Acquire);
-            d.pending_len.store(0, Ordering::Relaxed);
-            freed += self.free_deferred_chain(pending, tid, c);
+            let moved = d.pending_len.swap(0, Ordering::Relaxed);
+            if rc.pins_empty() {
+                freed += self.free_deferred_chain(pending, tid, c);
+            } else if !pending.is_null() {
+                // Raced with a fresh pin: a node in `pending` may already
+                // be snapshot-visible to it. Close the detached chain into
+                // the (now empty) aging bucket with a recorded baseline
+                // instead of freeing it — safe because `aging` is only
+                // mutated under `drain_lock`, which we hold.
+                self.close_into_aging(d, pending, moved);
+            }
             return freed;
         }
         // Aged batch ready? Every slot recorded in the baseline must have
@@ -611,10 +637,7 @@ impl<T: RcObject> Shared<T> {
             }
         }
         // Close the pending bucket into the (now possibly empty) aging
-        // bucket, recording the live-pin baseline. Order matters: the pin
-        // bit is read before the epoch, so a concurrent unpin yields either
-        // a cleared bit later (satisfied) or an even/newer epoch that no
-        // future pin session can reproduce (epochs are monotonic).
+        // bucket, recording the live-pin baseline.
         if d.aging.load_with(Ordering::Acquire).is_null()
             && !d.pending.load_with(Ordering::Acquire).is_null()
         {
@@ -622,18 +645,29 @@ impl<T: RcObject> Shared<T> {
                 .pending
                 .swap_with(core::ptr::null_mut(), Ordering::Acquire);
             let moved = d.pending_len.swap(0, Ordering::Relaxed);
-            for t in 0..self.n {
-                let e = if rc.pinned(t) {
-                    rc.epoch(t).load(Ordering::SeqCst)
-                } else {
-                    NO_BASELINE
-                };
-                d.baseline[t].store(e, Ordering::Relaxed);
-            }
-            d.aging.store_with(chain, Ordering::Release);
-            d.aging_len.store(moved, Ordering::Relaxed);
+            self.close_into_aging(d, chain, moved);
         }
         freed
+    }
+
+    /// Closes a detached chain into `d`'s (empty) aging bucket, recording
+    /// the live-pin baseline. Caller must hold `d.drain_lock` with
+    /// `d.aging` null. Order matters: the pin bit is read before the
+    /// epoch, so a concurrent unpin yields either a cleared bit later
+    /// (satisfied) or an even/newer epoch that no future pin session can
+    /// reproduce (epochs are monotonic).
+    fn close_into_aging(&self, d: &DeferredSlot<T>, chain: *mut Node<T>, moved: usize) {
+        let rc = &self.reclaim;
+        for t in 0..self.n {
+            let e = if rc.pinned(t) {
+                rc.epoch(t).load(Ordering::SeqCst)
+            } else {
+                NO_BASELINE
+            };
+            d.baseline[t].store(e, Ordering::Relaxed);
+        }
+        d.aging.store_with(chain, Ordering::Release);
+        d.aging_len.store(moved, Ordering::Relaxed);
     }
 
     /// Frees a privately detached deferred chain through the normal
@@ -779,6 +813,13 @@ impl<T: RcObject> Shared<T> {
             if e0.is_multiple_of(2) {
                 continue;
             }
+            // A published snapshot pin holds its slot's epoch odd for the
+            // whole session, which may be arbitrarily long — abort the
+            // retire immediately rather than burn the spin budget (the
+            // post-grace `pins_empty` re-check would veto it anyway).
+            if self.reclaim.pinned(t) {
+                return false;
+            }
             let mut ok = false;
             for i in 0..spins {
                 if self.reclaim.epoch(t).load(Ordering::SeqCst) != e0 {
@@ -890,7 +931,9 @@ pub(crate) fn try_reclaim_shared<T: RcObject>(
     }
     // Grace period over all registered slots, then the summary and
     // snapshot-pin re-checks (a pin taken after the veto above is caught
-    // here; a pin parked across the whole retire stalls the grace wait).
+    // here; the grace wait aborts immediately on a pinned slot and after
+    // the bounded spin budget on any other stalled operation, so a parked
+    // guard costs at most one aborted retire attempt per call).
     if !s.grace_period(is_taken) || !s.ann.summary_empty() || !ctl.pins_empty() {
         s.reopen_reclaim(tid, c);
         return ReclaimOutcome::Aborted;

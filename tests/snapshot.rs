@@ -159,6 +159,137 @@ fn parked_guard_vetoes_segment_retirement() {
     assert!(d.leak_check().is_clean());
 }
 
+/// A guard leaked with `mem::forget` never runs its unpin; the handle's
+/// drop must retract the still-published pin bit and restore epoch parity,
+/// or every later release in the domain would defer forever and segment
+/// retirement would stay vetoed.
+#[test]
+fn forgotten_pin_guard_is_retracted_by_handle_drop() {
+    let d = WfrcDomain::<u64>::new(DomainConfig::new(2, 8).with_growth(Growth::doubling_to(256)));
+    let h1 = d.register().unwrap();
+    let h2 = d.register().unwrap();
+    std::mem::forget(h1.pin());
+    // The leaked pin suppresses frees domain-wide...
+    let g = h2.alloc_with(|v| *v = 1).unwrap();
+    drop(g);
+    assert_eq!(d.deferred_len(), 1, "leaked pin must defer the free");
+    // ...until the handle drop retracts it.
+    drop(h1);
+    assert_eq!(h2.drain_deferred(), 1);
+    assert_eq!(d.deferred_len(), 0);
+    // Releases free immediately again: no defer without a live pin.
+    drop(h2.alloc_with(|v| *v = 2).unwrap());
+    assert_eq!(d.deferred_len(), 0);
+
+    // Epoch parity was restored too: a successor on the leaked slot can
+    // run a full grow-and-retire cycle (an odd stuck epoch would make
+    // every grace period fail).
+    let h3 = d.register().unwrap();
+    let grown: Vec<_> = (0..64).map(|_| h3.alloc_with(|v| *v = 3).unwrap()).collect();
+    assert!(d.resident_segments() >= 3);
+    drop(grown);
+    let mut retired = 0;
+    let mut stalls = 0;
+    loop {
+        match h3.reclaim() {
+            ReclaimOutcome::Retired { .. } => {
+                retired += 1;
+                stalls = 0;
+            }
+            ReclaimOutcome::NoCandidate => break,
+            ReclaimOutcome::Contended | ReclaimOutcome::Aborted => {
+                stalls += 1;
+                assert!(stalls < 100, "reclaim livelocked after leaked pin");
+                std::thread::yield_now();
+            }
+        }
+    }
+    assert!(retired >= 1, "leaked pin permanently vetoed retirement");
+    drop((h2, h3));
+    assert!(d.leak_check().is_clean());
+}
+
+/// The two-bucket grace condition end to end: under a live pin a drain
+/// closes pending into aging (baseline = the pin's epoch) and frees
+/// nothing; the batch frees only once that epoch can no longer recur —
+/// even if the bitmap is never observed empty.
+#[test]
+fn aging_batch_frees_after_epoch_advance_under_new_pin() {
+    let d = WfrcDomain::<u64>::new(DomainConfig::new(2, 8));
+    let owner = d.register().unwrap();
+    let reader = d.register().unwrap();
+    let guard = reader.pin();
+    drop(owner.alloc_with(|v| *v = 5).unwrap()); // defers: pin is live
+    assert_eq!(d.deferred_len(), 1);
+    // First drain under the pin: pending closes into aging, nothing frees.
+    assert_eq!(owner.drain_deferred(), 0);
+    assert_eq!(d.deferred_len(), 1);
+    // Same pin session: the baseline epoch still matches — still held.
+    assert_eq!(owner.drain_deferred(), 0);
+    // A new pin session advanced the reader's epoch past the baseline, so
+    // the batch frees although the pin bitmap is non-empty throughout.
+    drop(guard);
+    let guard2 = reader.pin();
+    assert_eq!(owner.drain_deferred(), 1);
+    assert_eq!(d.deferred_len(), 0);
+    drop(guard2);
+    drop((owner, reader));
+    assert!(d.leak_check().is_clean());
+}
+
+/// Regression for the wholesale-drain race: a drain that finds the pin
+/// bitmap empty must detach the pending chain *before* trusting that
+/// emptiness — a reader pinning concurrently with a releaser's push could
+/// otherwise have its snapshot freed under it. Hammer exactly that window:
+/// a reader pinning/unpinning around snapshot reads, a writer releasing
+/// into the deferred lists, and a drainer running wholesale drains.
+#[test]
+fn concurrent_pin_release_drain_churn() {
+    const ITERS: usize = 20_000;
+    let d =
+        WfrcDomain::<u64>::new(DomainConfig::new(3, 256).with_growth(Growth::doubling_to(1024)));
+    let link = Link::null();
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let (d, link, stop) = (&d, &link, &stop);
+        let reader = s.spawn(move || {
+            let h = d.register().unwrap();
+            while !stop.load(Ordering::Relaxed) {
+                let guard = h.pin();
+                if let Some(snap) = guard.snapshot(link) {
+                    std::hint::black_box(*snap);
+                }
+                drop(guard);
+            }
+        });
+        let drainer = s.spawn(move || {
+            let h = d.register().unwrap();
+            while !stop.load(Ordering::Relaxed) {
+                let _ = h.reclaim(); // drains every slot's deferred list
+                std::thread::yield_now();
+            }
+        });
+        let writer = s.spawn(move || {
+            let h = d.register().unwrap();
+            for i in 0..ITERS {
+                if let Ok(g) = h.alloc_with(|v| *v = i as u64) {
+                    h.store(link, Some(&g));
+                }
+            }
+            h.store(link, None);
+            stop.store(true, Ordering::Relaxed);
+        });
+        writer.join().unwrap();
+        reader.join().unwrap();
+        drainer.join().unwrap();
+    });
+    let main = d.register().unwrap();
+    let _ = main.reclaim();
+    assert_eq!(d.deferred_len(), 0);
+    drop(main);
+    assert!(d.leak_check().is_clean());
+}
+
 /// Sentinel ticks racing pin sessions, deferred releases, and drains: the
 /// supervisor must coexist with the snapshot machinery without seizing a
 /// merely-pinned thread or unbalancing the node books.
