@@ -1,0 +1,102 @@
+//! E13 — graph churn over weak back edges (PR 10): the `LruList`'s
+//! recency structure holds `AtomicWeak` back edges and a weak tail hint,
+//! so every weak read is a load + upgrade racing concurrent
+//! release-to-zero, and every pop drives a header through the
+//! DEAD-but-weak lifecycle under live readers.
+//!
+//! One table, `threads × scheme`:
+//!
+//! * **ops/s** — mixed strong/weak throughput at the requested
+//!   `--weak-ratio` (default 0.25: a quarter of ops are weak reads);
+//! * **weak upgrades / upgrade failed / fail rate** — how often readers'
+//!   upgrades lost the race to a release-to-zero (the linearization the
+//!   model proves: failure iff the claim bit was set);
+//! * **weak_count@end** — the acceptance gate: after teardown the weak
+//!   tier must be fully drained (`LeakReport::weak_count == 0`) and the
+//!   domain leak-free. The binary asserts both, so a leaking soak fails
+//!   loudly rather than shipping a pretty number.
+//!
+//! `--snapshot` composes the weak reads with the PR 9 pin machinery:
+//! every weak read runs inside a snapshot session, so upgrades race
+//! DEAD-but-weak headers whose frees sit parked on deferred lists.
+//!
+//! ```text
+//! cargo run --release --bin e13_graph_churn [-- --threads 2,8 --ops 50000 --weak-ratio 0.3 --snapshot --json]
+//! ```
+
+use std::sync::Arc;
+
+use bench::drivers::run_graph_churn;
+use bench::Args;
+use wfrc_baselines::LfrcDomain;
+use wfrc_core::{DomainConfig, WfrcDomain};
+use wfrc_structures::lru_list::LruCell;
+
+fn fail_rate(failed: u64, attempts: u64) -> String {
+    if attempts == 0 {
+        "n/a".into()
+    } else {
+        format!("{:.4}", failed as f64 / attempts as f64)
+    }
+}
+
+fn main() {
+    let args = Args::parse(&[2, 8], 50_000);
+    let title = if args.snapshot {
+        "E13: graph churn over weak back edges (LRU list, weak reads under a pin)"
+    } else {
+        "E13: graph churn over weak back edges (LRU list)"
+    };
+    let mut table = wfrc_sim::stats::Table::new(
+        title,
+        &[
+            "threads",
+            "scheme",
+            "ops/s",
+            "weak upgrades",
+            "upgrade failed",
+            "fail rate",
+            "weak_count@end",
+        ],
+    );
+    for &t in &args.threads {
+        let t = t.max(1);
+        // Steady-state list size is bounded by the prefill plus transient
+        // imbalance; OOM on push falls back to a pop inside the driver.
+        let cap = 4096 + t * 2048;
+        for scheme in ["wfrc", "lfrc"] {
+            let (result, leaks) = if scheme == "wfrc" {
+                let d = Arc::new(WfrcDomain::<LruCell<u64>>::new(DomainConfig::new(
+                    t + 1,
+                    cap,
+                )));
+                run_graph_churn(d, t, args.ops, args.weak_ratio, args.snapshot)
+            } else {
+                let d = Arc::new(LfrcDomain::<LruCell<u64>>::new(t + 1, cap));
+                run_graph_churn(d, t, args.ops, args.weak_ratio, args.snapshot)
+            };
+            // The acceptance gate rides the bench itself: a soak that
+            // leaks weak counts is a broken run, not a data point.
+            assert!(leaks.is_clean(), "{scheme} t={t}: {leaks:?}");
+            assert_eq!(leaks.weak_count, 0, "{scheme} t={t}: {leaks:?}");
+            let c = &result.counters;
+            table.row(&[
+                t.to_string(),
+                scheme.to_string(),
+                wfrc_sim::stats::fmt_ops(result.ops_per_sec()),
+                c.weak_upgrades.to_string(),
+                c.upgrade_failed.to_string(),
+                fail_rate(c.upgrade_failed, c.weak_upgrades),
+                leaks.weak_count.to_string(),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "note: every row asserts a clean teardown (weak_count == 0) before printing;\n\
+         failed upgrades are the expected race losses against release-to-zero, not errors.\n"
+    );
+    if args.json {
+        println!("{}", table.to_json());
+    }
+}

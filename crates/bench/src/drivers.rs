@@ -19,6 +19,7 @@ use wfrc_structures::epoch_stack::EpochStack;
 use wfrc_structures::hash_map::{SessionCache, SessionMm};
 use wfrc_structures::hp_queue::HpQueue;
 use wfrc_structures::hp_stack::HpStack;
+use wfrc_structures::lru_list::{LruCell, LruList};
 use wfrc_structures::manager::{RcMm, RcMmDomain};
 use wfrc_structures::ordered_list::ListCell;
 use wfrc_structures::priority_queue::{PqCell, PriorityQueue};
@@ -1723,4 +1724,84 @@ pub fn run_server_lfrc(domain: &LfrcDomain<ListCell<RawBytes>>, cfg: &ServerCfg)
         shed: shed.into_inner(),
         mttr: mttr.into_inner().unwrap(),
     }
+}
+
+/// E13: graph churn over the weak-edged LRU list (PR 10).
+///
+/// Workers churn one shared [`LruList`] — strong ops alternate
+/// `push_front`/`pop_front` (each pop retargets the tail hint and kills a
+/// node other threads may hold weak edges to), and a `weak_ratio` fraction
+/// of ops are weak reads (`peek_lru` + a bounded `walk_newer`), each an
+/// `AtomicWeak` load + upgrade racing the concurrent release-to-zero.
+/// With `snapshot`, every weak read runs inside a pin session — the PR 9
+/// deferred-reclamation composition, so upgrades race DEAD-but-weak
+/// headers whose frees are parked on deferred lists.
+///
+/// Returns the run plus the teardown [`wfrc_core::LeakReport`]: the E13
+/// acceptance gate is `is_clean()` with `weak_count == 0`.
+pub fn run_graph_churn<D>(
+    domain: Arc<D>,
+    threads: usize,
+    ops: u64,
+    weak_ratio: f64,
+    snapshot: bool,
+) -> (RunResult, wfrc_core::LeakReport)
+where
+    D: RcMmDomain<LruCell<u64>> + Send + Sync + 'static,
+{
+    let lru = Arc::new(LruList::<u64>::new());
+    let h0 = domain.register_mm().expect("register");
+    for i in 0..64u64 {
+        lru.push_front(&h0, i).expect("prefill");
+    }
+    drop(h0);
+    let (parts, wall) = run_fixed_ops(threads, |t| {
+        let domain = Arc::clone(&domain);
+        let lru = Arc::clone(&lru);
+        let mut rng = SmallRng::seed_from_u64(0xE13 ^ ((t as u64) << 32));
+        move || {
+            let h = domain.register_mm().expect("register");
+            let mut done = 0u64;
+            for i in 0..ops {
+                if rng.gen_bool(weak_ratio) {
+                    if snapshot {
+                        h.snapshot_enter();
+                        let _ = lru.peek_lru(&h);
+                        let _ = lru.walk_newer(&h, 4);
+                        // SAFETY: pairs the enter above; no snapshot
+                        // pointer escapes the session.
+                        unsafe { h.snapshot_exit() };
+                    } else {
+                        let _ = lru.peek_lru(&h);
+                        let _ = lru.walk_newer(&h, 4);
+                    }
+                } else if i % 2 == 0 {
+                    // OOM under transient imbalance falls back to a pop,
+                    // keeping the list near its steady-state size.
+                    if lru.push_front(&h, ((t as u64) << 32) | i).is_err() {
+                        let _ = lru.pop_front(&h);
+                    }
+                } else {
+                    let _ = lru.pop_front(&h);
+                }
+                done += 1;
+            }
+            (done, h.counter_snapshot())
+        }
+    });
+    let (total_ops, counters) = merge_counters(parts);
+    // Teardown outside the measured section, then the leak-freedom gate.
+    let h = domain.register_mm().expect("register");
+    lru.clear(&h);
+    drop(h);
+    let leaks = domain.leak_check_mm();
+    (
+        RunResult {
+            threads,
+            total_ops,
+            wall,
+            counters,
+        },
+        leaks,
+    )
 }

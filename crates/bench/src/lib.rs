@@ -85,6 +85,10 @@ pub struct Args {
     pub admission_ms: u64,
     /// Run the sentinel supervisor thread during E12 even without kills.
     pub sentinel: bool,
+    /// Fraction of E13 graph-churn ops that are weak reads (back-edge
+    /// upgrades through the LRU list), e.g. `--weak-ratio 0.3`. Other
+    /// binaries ignore it.
+    pub weak_ratio: f64,
 }
 
 impl Args {
@@ -106,6 +110,7 @@ impl Args {
             kill: 0,
             admission_ms: 0,
             sentinel: false,
+            weak_ratio: 0.25,
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -182,11 +187,23 @@ impl Args {
                         .expect("bad admission deadline");
                 }
                 "--sentinel" => out.sentinel = true,
+                "--weak-ratio" => {
+                    out.weak_ratio = args
+                        .next()
+                        .expect("--weak-ratio needs a value")
+                        .parse()
+                        .expect("bad weak ratio");
+                    assert!(
+                        (0.0..=1.0).contains(&out.weak_ratio),
+                        "--weak-ratio must be in [0, 1]"
+                    );
+                }
                 other => {
                     panic!(
                         "unknown argument: {other} (expected --threads/--ops/--json\
                          /--grow/--magazine/--reclaim/--mode/--snapshot/--classes\
-                         /--tasks/--slots/--workers/--kill/--admission-ms/--sentinel)"
+                         /--tasks/--slots/--workers/--kill/--admission-ms/--sentinel\
+                         /--weak-ratio)"
                     )
                 }
             }

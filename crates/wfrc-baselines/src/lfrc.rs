@@ -31,7 +31,7 @@ use wfrc_core::counters::OpCounters;
 use wfrc_core::magazine::{clamped_cap, Magazines};
 use wfrc_core::oom::OutOfMemory;
 use wfrc_core::Growth;
-use wfrc_core::{ClassConfig, ClassLeak, Link, Node, RawBytes, RcObject};
+use wfrc_core::{AtomicWeak, Claim, ClassConfig, ClassLeak, Link, Node, RawBytes, RcObject};
 use wfrc_primitives::{AtomicWord, Backoff, WordPtr};
 
 #[cfg(not(feature = "no-pad"))]
@@ -92,6 +92,10 @@ pub struct LfrcDomain<T: RcObject> {
     /// snapshot counters, surfaced in [`LfrcDomain::leak_check`] JSON).
     snapshot_derefs: core::sync::atomic::AtomicU64,
     upgrade_slow: core::sync::atomic::AtomicU64,
+    /// Weak-reference telemetry, folded from dropped handles (the mirror of
+    /// the wait-free scheme's `SnapStats` weak counters).
+    weak_upgrades: core::sync::atomic::AtomicU64,
+    upgrade_failed: core::sync::atomic::AtomicU64,
     /// Installed fault schedule; `None` = no injection even with the
     /// feature compiled in.
     #[cfg(feature = "fault-injection")]
@@ -158,6 +162,8 @@ impl<T: RcObject> LfrcDomain<T> {
             orphan_nodes_recovered: new_slot_word(0),
             snapshot_derefs: core::sync::atomic::AtomicU64::new(0),
             upgrade_slow: core::sync::atomic::AtomicU64::new(0),
+            weak_upgrades: core::sync::atomic::AtomicU64::new(0),
+            upgrade_failed: core::sync::atomic::AtomicU64::new(0),
             #[cfg(feature = "fault-injection")]
             faults: None,
         }
@@ -498,10 +504,16 @@ impl<T: RcObject> LfrcDomain<T> {
             // LFRC counts on every deref, so nothing is ever deferred and
             // an "upgrade" is just a counted deref; `deferred_decs` stays 0.
             upgrade_slow: self.upgrade_slow.load(Ordering::Relaxed),
+            weak_upgrades: self.weak_upgrades.load(Ordering::Relaxed),
+            upgrade_failed: self.upgrade_failed.load(Ordering::Relaxed),
             ..Default::default()
         };
         for node in self.arena.iter() {
             let r = node.load_ref();
+            let low = r & Node::<T>::STRONG_MASK;
+            let weak = (r & Node::<T>::WEAK_MASK) >> 32;
+            let dead = r & Node::<T>::DEAD != 0;
+            report.weak_count += weak as u64;
             let ptr = node as *const _ as usize;
             if parked.contains(&ptr) {
                 if r == 1 {
@@ -511,7 +523,11 @@ impl<T: RcObject> LfrcDomain<T> {
                 }
             } else if r == 1 {
                 report.free_nodes += 1;
-            } else if r % 2 == 0 && r >= 2 {
+            } else if dead && low == 1 && weak > 0 {
+                // DEAD-but-weak: payload reclaimed, header pinned by weak
+                // references — same classification as the wait-free audit.
+                report.weak_nodes += 1;
+            } else if !dead && low.is_multiple_of(2) && low >= 2 {
                 report.live_nodes += 1;
             } else {
                 report.corrupt_nodes += 1;
@@ -754,17 +770,53 @@ impl<'d, T: RcObject> LfrcHandle<'d, T> {
             // SAFETY: arena node.
             let n = unsafe { &*cur };
             n.faa_ref(-2);
-            if n.try_claim() {
-                OpCounters::bump(&self.counters.reclaims);
-                // SAFETY: claimed at zero — exclusively ours.
-                unsafe { n.payload() }.each_link(&mut |l| {
-                    // Strip a possible deletion mark: it carries no count.
-                    let child = wfrc_primitives::tagged::without_tag(l.swap_raw(ptr::null_mut()));
-                    if !child.is_null() {
-                        pending.get_or_insert_with(Vec::new).push(child);
+            match n.try_claim_weak() {
+                Claim::Busy => {
+                    // Our decrement may have been the speculative bump that
+                    // blocked a DEAD header's finalize — if the word now
+                    // reads the bare sentinel, we inherit the free.
+                    if n.maybe_finalize() {
+                        self.free_node(cur);
                     }
-                });
-                self.free_node(cur);
+                }
+                claim => {
+                    OpCounters::bump(&self.counters.reclaims);
+                    // SAFETY: claim won — payload links exclusively ours.
+                    unsafe { n.payload() }.each_link(&mut |l| {
+                        // Strip a possible deletion mark: it carries no count.
+                        let child =
+                            wfrc_primitives::tagged::without_tag(l.swap_raw(ptr::null_mut()));
+                        if !child.is_null() {
+                            pending.get_or_insert_with(Vec::new).push(child);
+                        }
+                    });
+                    // SAFETY: same exclusivity; each non-null weak link
+                    // holds one weak unit on its target.
+                    unsafe { n.payload() }.each_weak_link(&mut |wl| {
+                        let child = wl.inner().swap_raw(ptr::null_mut());
+                        if !child.is_null() {
+                            // SAFETY: arena node; type-stable header.
+                            unsafe {
+                                (*child).faa_weak(-1);
+                                if (*child).maybe_finalize() {
+                                    self.free_node(child);
+                                }
+                            }
+                        }
+                    });
+                    match claim {
+                        Claim::Free => self.free_node(cur),
+                        Claim::DeadWeak => {
+                            // Drop the claim's guard unit; the last weak
+                            // release finalizes the header.
+                            n.faa_weak(-1);
+                            if n.maybe_finalize() {
+                                self.free_node(cur);
+                            }
+                        }
+                        Claim::Busy => unreachable!("matched above"),
+                    }
+                }
             }
             match pending.as_mut().and_then(|p| p.pop()) {
                 Some(next) => cur = next,
@@ -1056,6 +1108,121 @@ impl<'d, T: RcObject> LfrcHandle<'d, T> {
     }
 
     // ------------------------------------------------------------------
+    // Weak layer mirror (apples-to-apples with wfrc-core's §4g)
+    // ------------------------------------------------------------------
+
+    /// Adds one weak reference to `node` — the raw twin of
+    /// [`wfrc_core::ThreadHandle::downgrade`]. The caller becomes
+    /// responsible for a matching [`LfrcHandle::release_weak_raw`].
+    ///
+    /// # Safety
+    /// The caller must hold a strong reference on `node` (non-null, this
+    /// domain) for the duration of the call.
+    pub unsafe fn downgrade_raw(&self, node: *mut Node<T>) {
+        debug_assert!(!node.is_null());
+        OpCounters::bump(&self.counters.weak_downgrades);
+        // SAFETY: arena node; caller's strong reference keeps it live.
+        unsafe { (*node).faa_weak(1) };
+    }
+
+    /// Attempts to turn a weak reference into a strong one: on `true` the
+    /// caller owns one new strong reference on `node` (the weak reference
+    /// is untouched). The raw twin of `wfrc_core::Weak::upgrade`.
+    ///
+    /// # Safety
+    /// The caller must hold a weak reference on `node` (it pins the header
+    /// against finalize and recycling for the duration of the call).
+    pub unsafe fn upgrade_raw(&self, node: *mut Node<T>) -> bool {
+        debug_assert!(!node.is_null());
+        OpCounters::bump(&self.counters.weak_upgrades);
+        // Holds nothing yet — a death here loses only the attempt.
+        #[cfg(feature = "fault-injection")]
+        self.fault_hit(wfrc_core::fault::FaultSite::WeakUpgrade);
+        // SAFETY: caller's weak reference keeps the header stable.
+        if unsafe { (*node).try_upgrade() } {
+            true
+        } else {
+            OpCounters::bump(&self.counters.upgrade_failed);
+            false
+        }
+    }
+
+    /// Drops one weak reference; the last one off a DEAD header frees the
+    /// node.
+    ///
+    /// # Safety
+    /// The caller must own an unreleased weak reference on `node`.
+    pub unsafe fn release_weak_raw(&self, node: *mut Node<T>) {
+        debug_assert!(!node.is_null());
+        // SAFETY: arena node; the caller's weak unit is ours to drop.
+        let n = unsafe { &*node };
+        n.faa_weak(-1);
+        if n.maybe_finalize() {
+            self.free_node(node);
+        }
+    }
+
+    /// Stores `new` into the weak link `w`, transferring one weak unit onto
+    /// `new` and dropping the displaced target's — the raw twin of
+    /// [`wfrc_core::ThreadHandle::store_weak`].
+    ///
+    /// # Safety
+    /// `new` must be null or a node of this domain on which the caller
+    /// holds a strong reference; `w` must only ever hold nodes of this
+    /// domain.
+    pub unsafe fn store_weak_raw(&self, w: &AtomicWeak<T>, new: *mut Node<T>) {
+        if !new.is_null() {
+            OpCounters::bump(&self.counters.weak_downgrades);
+            // SAFETY: caller's strong reference keeps `new` live.
+            unsafe { (*new).faa_weak(1) };
+        }
+        let old = w.inner().swap_raw(new);
+        if !old.is_null() {
+            // SAFETY: the link owned one weak unit on `old`.
+            unsafe { self.release_weak_raw(old) };
+        }
+    }
+
+    /// Reads the weak link `w` and upgrades the target in one step: returns
+    /// a node the caller holds one **strong** reference on, or null if the
+    /// link is empty or its target died. Runs the Valois optimistic
+    /// deref (unbounded retries) against the inner link, then validates the
+    /// claim bit — the baseline twin of
+    /// [`wfrc_core::ThreadHandle::load_weak`].
+    ///
+    /// # Safety
+    /// `w` must only ever hold nodes of this handle's domain.
+    pub unsafe fn load_weak_raw(&self, w: &AtomicWeak<T>) -> *mut Node<T> {
+        OpCounters::bump(&self.counters.weak_upgrades);
+        // SAFETY: forwarded caller contract. The link's own weak unit keeps
+        // the target's header unrecycled while it remains the target, so
+        // the optimistic FAA lands on a stable header.
+        let node = unsafe { self.deref_raw(w.inner()) };
+        if node.is_null() {
+            OpCounters::bump(&self.counters.upgrade_failed);
+            return node;
+        }
+        // We now hold a (possibly speculative) +2 on the target. A death
+        // here must release it or the node leaks.
+        #[cfg(feature = "fault-injection")]
+        self.fault_hit_or(wfrc_core::fault::FaultSite::WeakUpgrade, || {
+            // SAFETY: releases the count taken above.
+            unsafe { self.release_raw(node) };
+        });
+        // SAFETY: our +2 keeps the header pinned while we validate.
+        if unsafe { (*node).is_claimed() } {
+            // Target is DEAD (or back on the free-list): the speculative
+            // count is not a live reference — undo it (this may inherit
+            // the finalize, see `release_raw_body`'s Busy arm).
+            OpCounters::bump(&self.counters.upgrade_failed);
+            // SAFETY: releases the count taken above.
+            unsafe { self.release_raw(node) };
+            return ptr::null_mut();
+        }
+        node
+    }
+
+    // ------------------------------------------------------------------
     // Byte-class layer (mirrors `wfrc_core::ThreadHandle`'s)
     // ------------------------------------------------------------------
 
@@ -1186,6 +1353,12 @@ impl<T: RcObject> Drop for LfrcHandle<'_, T> {
         self.domain
             .upgrade_slow
             .fetch_add(self.counters.upgrade_slow.get(), Ordering::Relaxed);
+        self.domain
+            .weak_upgrades
+            .fetch_add(self.counters.weak_upgrades.get(), Ordering::Relaxed);
+        self.domain
+            .upgrade_failed
+            .fetch_add(self.counters.upgrade_failed.get(), Ordering::Relaxed);
         // A panicking thread leaves recovery to `adopt_orphans`, same as
         // `wfrc_core::ThreadHandle`.
         if std::thread::panicking() {
@@ -1708,6 +1881,71 @@ mod tests {
             }
             h.release_raw(head);
         }
+        assert!(d.leak_check().is_clean());
+    }
+
+    #[test]
+    fn weak_refs_upgrade_then_die_then_finalize() {
+        let d = LfrcDomain::<u64>::new(1, 4);
+        let h = d.register().unwrap();
+        let n = h.alloc_raw().unwrap();
+        // SAFETY: standard raw count discipline throughout.
+        unsafe {
+            h.downgrade_raw(n);
+            assert!(h.upgrade_raw(n)); // strong 1 -> 2
+            h.release_raw(n); // 2 -> 1
+            h.release_raw(n); // 1 -> 0: DEAD-but-weak, not freed
+            assert!((*n).is_dead());
+            assert!(!h.upgrade_raw(n));
+            let mid = d.leak_check();
+            assert_eq!(mid.weak_nodes, 1);
+            assert_eq!(mid.weak_count, 1);
+            assert!(!mid.is_clean());
+            h.release_weak_raw(n); // last weak unit finalizes + frees
+        }
+        let s = h.counters().snapshot();
+        assert_eq!(s.weak_downgrades, 1);
+        assert_eq!(s.weak_upgrades, 2);
+        assert_eq!(s.upgrade_failed, 1);
+        drop(h);
+        let r = d.leak_check();
+        assert!(r.is_clean(), "{r}");
+        assert_eq!(r.weak_upgrades, 2);
+        assert_eq!(r.upgrade_failed, 1);
+    }
+
+    #[test]
+    fn weak_links_load_store_and_strip_on_release() {
+        #[derive(Default)]
+        struct P {
+            w: AtomicWeak<P>,
+        }
+        impl RcObject for P {
+            fn each_link(&self, _f: &mut dyn FnMut(&Link<Self>)) {}
+            fn each_weak_link(&self, f: &mut dyn FnMut(&AtomicWeak<Self>)) {
+                f(&self.w);
+            }
+        }
+        let d = LfrcDomain::<P>::new(1, 4);
+        let h = d.register().unwrap();
+        let a = h.alloc_raw().unwrap();
+        let b = h.alloc_raw().unwrap();
+        // SAFETY: standard raw count discipline throughout.
+        unsafe {
+            h.store_weak_raw(&h.payload_raw(a).w, b);
+            let got = h.load_weak_raw(&h.payload_raw(a).w);
+            assert_eq!(got, b);
+            assert_eq!((*b).ref_count(), 2);
+            h.release_raw(got);
+            // Dropping b's last strong ref leaves it DEAD (the link's weak
+            // unit pins the header) — and a load must now fail clean.
+            h.release_raw(b);
+            assert!((*b).is_dead());
+            assert!(h.load_weak_raw(&h.payload_raw(a).w).is_null());
+            // Releasing a strips its weak link, finalizing b.
+            h.release_raw(a);
+        }
+        drop(h);
         assert!(d.leak_check().is_clean());
     }
 

@@ -41,6 +41,14 @@ pub struct OpCounters {
     /// `Snapshot::upgrade` calls — each runs one full announcement-based
     /// `DeRefLink` (the wait-free slow path behind the plain-load reads).
     pub upgrade_slow: Cell<u64>,
+    /// `downgrade` calls — weak references minted from strong ones (one
+    /// FAA of [`crate::Node::WEAK_UNIT`] each).
+    pub weak_downgrades: Cell<u64>,
+    /// Weak upgrade attempts (`Weak::upgrade` and `load_weak` combined).
+    pub weak_upgrades: Cell<u64>,
+    /// Weak upgrade attempts that failed: the target was DEAD (or the weak
+    /// link was ⊥ in `load_weak`).
+    pub upgrade_failed: Cell<u64>,
     /// `ReleaseRef` invocations.
     pub releases: Cell<u64>,
     /// Reclamations won (line R2 CAS succeeded).
@@ -160,6 +168,9 @@ impl OpCounters {
             snapshot_derefs: self.snapshot_derefs.get(),
             deferred_decs: self.deferred_decs.get(),
             upgrade_slow: self.upgrade_slow.get(),
+            weak_downgrades: self.weak_downgrades.get(),
+            weak_upgrades: self.weak_upgrades.get(),
+            upgrade_failed: self.upgrade_failed.get(),
             releases: self.releases.get(),
             reclaims: self.reclaims.get(),
             help_calls: self.help_calls.get(),
@@ -205,6 +216,9 @@ impl OpCounters {
         self.snapshot_derefs.set(0);
         self.deferred_decs.set(0);
         self.upgrade_slow.set(0);
+        self.weak_downgrades.set(0);
+        self.weak_upgrades.set(0);
+        self.upgrade_failed.set(0);
         self.releases.set(0);
         self.reclaims.set(0);
         self.help_calls.set(0);
@@ -256,6 +270,9 @@ pub struct CounterSnapshot {
     pub snapshot_derefs: u64,
     pub deferred_decs: u64,
     pub upgrade_slow: u64,
+    pub weak_downgrades: u64,
+    pub weak_upgrades: u64,
+    pub upgrade_failed: u64,
     pub releases: u64,
     pub reclaims: u64,
     pub help_calls: u64,
@@ -301,6 +318,9 @@ impl CounterSnapshot {
         self.snapshot_derefs += other.snapshot_derefs;
         self.deferred_decs += other.deferred_decs;
         self.upgrade_slow += other.upgrade_slow;
+        self.weak_downgrades += other.weak_downgrades;
+        self.weak_upgrades += other.weak_upgrades;
+        self.upgrade_failed += other.upgrade_failed;
         self.releases += other.releases;
         self.reclaims += other.reclaims;
         self.help_calls += other.help_calls;

@@ -731,12 +731,20 @@ impl<T: RcObject> WfrcDomain<T> {
             snapshot_derefs: s.reclaim.snap.snapshot_derefs.load(Ordering::Relaxed),
             deferred_decs: s.reclaim.snap.deferred_decs.load(Ordering::Relaxed),
             upgrade_slow: s.reclaim.snap.upgrade_slow.load(Ordering::Relaxed),
+            weak_upgrades: s.reclaim.snap.weak_upgrades.load(Ordering::Relaxed),
+            upgrade_failed: s.reclaim.snap.upgrade_failed.load(Ordering::Relaxed),
             ..LeakReport::default()
         };
         for node in s.arena.iter() {
             let r = node.load_ref();
+            let low = r & crate::node::Node::<T>::STRONG_MASK;
+            let weak = (r & crate::node::Node::<T>::WEAK_MASK) >> 32;
+            let dead = r & crate::node::Node::<T>::DEAD != 0;
+            report.weak_count += weak as u64;
             let ptr = node as *const _ as usize;
             if gifts.contains(&ptr) {
+                // Gifts are weak-free by construction (a node reaches the
+                // free path only after its counts fully drained) — exact.
                 if r == 3 {
                     report.parked_gifts += 1;
                 } else {
@@ -759,7 +767,12 @@ impl<T: RcObject> WfrcDomain<T> {
                 }
             } else if r == 1 {
                 report.free_nodes += 1;
-            } else if r % 2 == 0 && r >= 2 {
+            } else if dead && low == 1 && weak > 0 {
+                // DEAD-but-weak: payload reclaimed, header pinned by weak
+                // references, off every free structure. At quiescence these
+                // are leaks of held `Weak`s, reported separately.
+                report.weak_nodes += 1;
+            } else if !dead && low.is_multiple_of(2) && low >= 2 {
                 report.live_nodes += 1;
             } else {
                 report.corrupt_nodes += 1;
@@ -862,6 +875,14 @@ pub struct LeakReport {
     pub deferred_nodes: usize,
     /// Nodes with a live even reference count.
     pub live_nodes: usize,
+    /// DEAD-but-weak nodes: payload reclaimed (strong hit zero, links
+    /// stripped) but the header is still pinned by outstanding weak
+    /// references (DESIGN.md §4g). At quiescence these are leaked `Weak`s.
+    pub weak_nodes: usize,
+    /// Sum of weak counts across all audited nodes (live and dead). Zero
+    /// at clean teardown: every `Weak` and every non-null `AtomicWeak`
+    /// link holds one unit.
+    pub weak_count: u64,
     /// Nodes in a state the quiescent invariants forbid.
     pub corrupt_nodes: usize,
     /// Domain-lifetime count of snapshot (plain-load) dereferences, folded
@@ -873,6 +894,12 @@ pub struct LeakReport {
     /// Domain-lifetime count of snapshot→owned upgrades (each ran the
     /// full announcement protocol).
     pub upgrade_slow: u64,
+    /// Domain-lifetime count of weak→strong upgrade attempts
+    /// (`Weak::upgrade` + `load_weak`), folded from every dropped handle.
+    pub weak_upgrades: u64,
+    /// Domain-lifetime count of upgrade attempts that observed a dead (or
+    /// null) target and returned `None`.
+    pub upgrade_failed: u64,
     /// Per-class audits, in configuration order (empty for a classic
     /// single-shape domain).
     pub classes: Vec<ClassLeak>,
@@ -884,6 +911,8 @@ impl LeakReport {
     pub fn is_clean(&self) -> bool {
         self.live_nodes == 0
             && self.corrupt_nodes == 0
+            && self.weak_nodes == 0
+            && self.weak_count == 0
             && self.free_nodes + self.parked_gifts + self.magazine_nodes + self.deferred_nodes
                 == self.capacity
             && self.classes.iter().all(ClassLeak::is_clean)
@@ -900,8 +929,9 @@ impl LeakReport {
              \"segments_retired\":{},\"segments_poisoned\":{},\"free_nodes\":{},\
              \"parked_gifts\":{},\
              \"magazine_nodes\":{},\"deferred_nodes\":{},\"live_nodes\":{},\
+             \"weak_nodes\":{},\"weak_count\":{},\
              \"corrupt_nodes\":{},\"snapshot_derefs\":{},\"deferred_decs\":{},\
-             \"upgrade_slow\":{},\
+             \"upgrade_slow\":{},\"weak_upgrades\":{},\"upgrade_failed\":{},\
              \"classes\":[",
             self.capacity,
             self.segments,
@@ -913,10 +943,14 @@ impl LeakReport {
             self.magazine_nodes,
             self.deferred_nodes,
             self.live_nodes,
+            self.weak_nodes,
+            self.weak_count,
             self.corrupt_nodes,
             self.snapshot_derefs,
             self.deferred_decs,
             self.upgrade_slow,
+            self.weak_upgrades,
+            self.upgrade_failed,
         );
         for (i, c) in self.classes.iter().enumerate() {
             let _ = write!(
@@ -971,10 +1005,16 @@ impl LeakReport {
             // baselines parseable.
             deferred_nodes: field(outer, "deferred_nodes").unwrap_or(0),
             live_nodes: field(outer, "live_nodes")?,
+            // Absent in pre-PR 10 snapshots: default 0 keeps old benchmark
+            // baselines parseable.
+            weak_nodes: field(outer, "weak_nodes").unwrap_or(0),
+            weak_count: field(outer, "weak_count").unwrap_or(0) as u64,
             corrupt_nodes: field(outer, "corrupt_nodes")?,
             snapshot_derefs: field(outer, "snapshot_derefs").unwrap_or(0) as u64,
             deferred_decs: field(outer, "deferred_decs").unwrap_or(0) as u64,
             upgrade_slow: field(outer, "upgrade_slow").unwrap_or(0) as u64,
+            weak_upgrades: field(outer, "weak_upgrades").unwrap_or(0) as u64,
+            upgrade_failed: field(outer, "upgrade_failed").unwrap_or(0) as u64,
             classes: Vec::new(),
         };
         for obj in classes_part.split("},{") {
@@ -1024,6 +1064,14 @@ impl core::fmt::Display for LeakReport {
                 f,
                 "  snapshots: {} plain-load derefs, {} deferred decs, {} slow upgrades",
                 self.snapshot_derefs, self.deferred_decs, self.upgrade_slow,
+            )?;
+        }
+        if self.weak_nodes > 0 || self.weak_count > 0 || self.weak_upgrades > 0 {
+            writeln!(
+                f,
+                "  weak refs: {} dead-but-weak nodes, {} weak count, \
+                 {} upgrades ({} failed)",
+                self.weak_nodes, self.weak_count, self.weak_upgrades, self.upgrade_failed,
             )?;
         }
         for c in &self.classes {
@@ -1118,10 +1166,14 @@ mod tests {
             magazine_nodes: 3,
             deferred_nodes: 2,
             live_nodes: 0,
+            weak_nodes: 1,
+            weak_count: 4,
             corrupt_nodes: 0,
             snapshot_derefs: 1000,
             deferred_decs: 2,
             upgrade_slow: 5,
+            weak_upgrades: 9,
+            upgrade_failed: 3,
             classes: vec![
                 ClassLeak {
                     size: 64,

@@ -111,11 +111,19 @@ pub enum FaultSite {
     /// handle drop orphans the slot, and `adopt_orphans` must recover a
     /// corpse that may leave a non-empty deferred list behind.
     SnapshotUpgrade,
+    /// In the weak-upgrade path (`Weak::upgrade` / `load_weak`), between
+    /// acquiring the candidate reference and the claim-bit validation that
+    /// decides success. In `load_weak` the victim holds an
+    /// announcement-covered speculative count on a possibly-DEAD header;
+    /// `Die` must release it on the unwind path (the completion does) or
+    /// the header could never finalize. In `Weak::upgrade` the victim
+    /// holds nothing yet, so a `Die` is a clean abort.
+    WeakUpgrade,
 }
 
 impl FaultSite {
     /// Every registered site, in protocol order.
-    pub const ALL: [FaultSite; 12] = [
+    pub const ALL: [FaultSite; 13] = [
         FaultSite::AnnouncePublish,
         FaultSite::DerefFaa,
         FaultSite::HelperCas,
@@ -128,6 +136,7 @@ impl FaultSite {
         FaultSite::SegmentRetire,
         FaultSite::LeaseExpire,
         FaultSite::SnapshotUpgrade,
+        FaultSite::WeakUpgrade,
     ];
 
     /// Stable display name (used by the chaos driver's report).
@@ -145,6 +154,7 @@ impl FaultSite {
             FaultSite::SegmentRetire => "segment_retire",
             FaultSite::LeaseExpire => "lease_expire",
             FaultSite::SnapshotUpgrade => "snapshot_upgrade",
+            FaultSite::WeakUpgrade => "weak_upgrade",
         }
     }
 

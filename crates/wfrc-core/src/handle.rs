@@ -426,6 +426,191 @@ impl<'d, T: RcObject> ThreadHandle<'d, T> {
     }
 
     // ------------------------------------------------------------------
+    // Weak layer (PR 10, DESIGN.md §4g)
+    // ------------------------------------------------------------------
+
+    /// Mints a [`Weak`] reference from a strong one: a single
+    /// `FAA(+WEAK_UNIT)` on the node's packed count word (the strong guard
+    /// proves the node is alive, so no validation is needed). The weak
+    /// reference keeps the node's *header* reachable after the strong
+    /// count drains — the payload dies with the last strong reference.
+    pub fn downgrade<'h>(&'h self, r: &NodeRef<'_, T>) -> Weak<'h, T> {
+        let _op = self.op();
+        OpCounters::bump(&self.counters.weak_downgrades);
+        r.as_node().faa_weak(1);
+        Weak {
+            handle: self,
+            // SAFETY: `r` is a live guard, so its pointer is non-null.
+            node: unsafe { NonNull::new_unchecked(r.as_ptr()) },
+        }
+    }
+
+    /// Stores a weak pointer into `w`: mints one weak count on `new`'s
+    /// node, swaps the link, runs the obligatory `HelpDeRef` for announced
+    /// readers of the link, and drops the weak count the link held on its
+    /// previous target (finalizing a drained DEAD header).
+    pub fn store_weak(&self, w: &crate::link::AtomicWeak<T>, new: Option<&NodeRef<'_, T>>) {
+        // SAFETY: `new` is a live guard of this domain (strong reference
+        // held for the duration of the call).
+        unsafe { self.store_weak_raw(w, new.map_or(core::ptr::null_mut(), |r| r.as_ptr())) }
+    }
+
+    /// Raw twin of [`ThreadHandle::store_weak`].
+    ///
+    /// # Safety
+    /// `new` must be null or a node of this domain on which the caller
+    /// holds a strong reference; `w` must only ever hold nodes of this
+    /// domain.
+    pub unsafe fn store_weak_raw(&self, w: &crate::link::AtomicWeak<T>, new_ptr: *mut Node<T>) {
+        let _op = self.op();
+        let s = self.domain.shared();
+        if !new_ptr.is_null() {
+            OpCounters::bump(&self.counters.weak_downgrades);
+            // SAFETY: caller's strong reference keeps `new_ptr` live.
+            unsafe { (*new_ptr).faa_weak(1) };
+        }
+        let old = w.inner().swap_raw(new_ptr);
+        if !old.is_null() {
+            {
+                // A helper death inside help_deref would skip the weak
+                // release below, stranding the old header un-finalizable;
+                // the guard performs it on unwind (cf. `store`).
+                #[cfg(feature = "fault-injection")]
+                let _release_old = WeakReleaseOnUnwind {
+                    handle: self,
+                    node: old,
+                };
+                // §3.2 obligation: the link's weak count is what keeps the
+                // old header safely dereferenceable for announced readers —
+                // answer them before dropping it.
+                s.help_deref(self.tid, &self.counters, w.inner());
+            }
+            self.release_weak_count(old);
+        }
+    }
+
+    /// Loads `w` and upgrades the target to a strong reference in one
+    /// operation: the full announcement-covered `DeRefLink` on the weak
+    /// link (so the speculative count is helped exactly like a strong
+    /// read), followed by the claim-bit validation that decides whether
+    /// the target is still alive. Returns `None` if the link was ⊥ or the
+    /// target's strong count had already drained (DEAD header).
+    #[must_use = "the returned guard owns a reference; discarding it silently releases"]
+    pub fn load_weak<'h>(&'h self, w: &crate::link::AtomicWeak<T>) -> Option<NodeRef<'h, T>> {
+        // SAFETY: `w` is typed to this domain's payload; a non-null result
+        // carries one strong reference for the guard.
+        let node = unsafe { self.load_weak_raw(w) };
+        if node.is_null() {
+            None
+        } else {
+            // SAFETY: non-null, of this domain, carrying our count.
+            Some(unsafe { NodeRef::from_raw(self, node) })
+        }
+    }
+
+    /// Raw twin of [`ThreadHandle::load_weak`]: a non-null return carries
+    /// one caller-owned **strong** reference (pair with
+    /// [`ThreadHandle::release_raw`]).
+    ///
+    /// # Safety
+    /// `w` must only ever hold nodes of this handle's domain.
+    pub unsafe fn load_weak_raw(&self, w: &crate::link::AtomicWeak<T>) -> *mut Node<T> {
+        let _op = self.op();
+        OpCounters::bump(&self.counters.weak_upgrades);
+        let s = self.domain.shared();
+        let node = s.deref_link(self.tid, &self.counters, w.inner());
+        if node.is_null() {
+            OpCounters::bump(&self.counters.upgrade_failed);
+            return node;
+        }
+        // Death mid-upgrade holds one speculative count on a possibly-DEAD
+        // header; the completion releases it (which finalizes the header
+        // if this count was the last thing blocking it).
+        #[cfg(feature = "fault-injection")]
+        s.fault_hit_or(
+            &self.counters,
+            crate::fault::FaultSite::WeakUpgrade,
+            self.tid,
+            || {
+                s.release_ref(self.tid, &self.counters, node);
+            },
+        );
+        // Claim-bit validation: our speculative +2 pins the header (it
+        // cannot finalize or recycle under us), so the bit is decisive —
+        // set means the payload is dead, clear means our count is a
+        // genuine strong reference.
+        // SAFETY: arena node (type-stable header).
+        if unsafe { (*node).is_claimed() } {
+            OpCounters::bump(&self.counters.upgrade_failed);
+            s.release_ref(self.tid, &self.counters, node);
+            core::ptr::null_mut()
+        } else {
+            node
+        }
+    }
+
+    /// Raw twin of [`ThreadHandle::downgrade`]: adds one weak reference to
+    /// `node`. The caller becomes responsible for a matching
+    /// [`ThreadHandle::release_weak_raw`].
+    ///
+    /// # Safety
+    /// The caller must hold a strong reference on `node` (non-null, this
+    /// domain) for the duration of the call.
+    pub unsafe fn downgrade_raw(&self, node: *mut Node<T>) {
+        let _op = self.op();
+        OpCounters::bump(&self.counters.weak_downgrades);
+        // SAFETY: caller's strong reference keeps the node live.
+        unsafe { (*node).faa_weak(1) };
+    }
+
+    /// Raw twin of [`Weak::upgrade`]: on `true` the caller owns one new
+    /// strong reference on `node` (the weak reference is untouched).
+    ///
+    /// # Safety
+    /// The caller must hold a weak reference on `node` (it pins the header
+    /// against finalize and recycling for the duration of the call).
+    pub unsafe fn upgrade_raw(&self, node: *mut Node<T>) -> bool {
+        let _op = self.op();
+        OpCounters::bump(&self.counters.weak_upgrades);
+        // Death here holds nothing — a clean abort.
+        #[cfg(feature = "fault-injection")]
+        self.domain.shared().fault_hit(
+            &self.counters,
+            crate::fault::FaultSite::WeakUpgrade,
+            self.tid,
+        );
+        // SAFETY: caller's weak count pins the header.
+        if unsafe { (*node).try_upgrade() } {
+            true
+        } else {
+            OpCounters::bump(&self.counters.upgrade_failed);
+            false
+        }
+    }
+
+    /// Raw weak release: drops one weak count on `node`.
+    ///
+    /// # Safety
+    /// The caller must own an unreleased weak reference on `node`.
+    pub unsafe fn release_weak_raw(&self, node: *mut Node<T>) {
+        let _op = self.op();
+        self.release_weak_count(node);
+    }
+
+    /// Drops one weak count on `node`, finalizing (and freeing via the
+    /// deferred-aware path) a DEAD header whose counts drained to zero.
+    fn release_weak_count(&self, node: *mut Node<T>) {
+        // SAFETY: caller owns one weak count on a node of this domain.
+        let n = unsafe { &*node };
+        n.faa_weak(-1);
+        if n.maybe_finalize() {
+            self.domain
+                .shared()
+                .defer_or_free(self.tid, &self.counters, node);
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Raw layer: the paper's operations verbatim
     // ------------------------------------------------------------------
 
@@ -733,11 +918,7 @@ impl<T: RcObject> Drop for ThreadHandle<'_, T> {
         // (surfaced by the leak audit's JSON) on both exit paths — the
         // per-handle cells die with the handle.
         let snap = self.counters.snapshot();
-        self.domain.shared().reclaim.snap.fold(
-            snap.snapshot_derefs,
-            snap.deferred_decs,
-            snap.upgrade_slow,
-        );
+        self.domain.shared().reclaim.snap.fold(&snap);
         // A panicking thread must not run the cooperative teardown: its
         // announcement row or gift slot may still hold references that only
         // an adopter can account for, and draining here could double-count.
@@ -1005,6 +1186,113 @@ impl<T: RcObject + core::fmt::Debug> core::fmt::Debug for Snapshot<'_, '_, T> {
             .field("node", &self.node)
             .field("payload", &**self)
             .finish()
+    }
+}
+
+/// A weak reference to a node (PR 10, DESIGN.md §4g): keeps the node's
+/// *header* reachable without keeping its payload alive.
+///
+/// Created by [`ThreadHandle::downgrade`] (one FAA — the strong guard
+/// proves liveness). Holds one weak count in the upper half of the node's
+/// packed `mm_ref` word; the strong hot path is untouched. When the strong
+/// count drains, the payload's links are stripped and the header enters
+/// the DEAD-but-weak state — off every free structure — until the last
+/// weak reference drops and finalizes it back into the free path.
+///
+/// [`Weak::upgrade`] attempts to mint a strong reference: a bounded CAS
+/// loop that succeeds iff the claim bit is clear (equivalently, iff the
+/// strong count is nonzero at the upgrade's linearization point — see
+/// [`Node::try_upgrade`]).
+#[must_use = "dropping the weak reference immediately releases its count"]
+pub struct Weak<'h, T: RcObject> {
+    handle: &'h ThreadHandle<'h, T>,
+    node: NonNull<Node<T>>,
+}
+
+impl<'h, T: RcObject> Weak<'h, T> {
+    /// Attempts to upgrade to an owned strong reference. Fails (returns
+    /// `None`) iff the node's strong count had already drained and its
+    /// claim was taken — once dead, a node stays dead for as long as this
+    /// weak reference pins its header.
+    pub fn upgrade(&self) -> Option<NodeRef<'h, T>> {
+        let h = self.handle;
+        let _op = h.op();
+        OpCounters::bump(&h.counters.weak_upgrades);
+        // Death here holds nothing beyond the operation epoch — a clean
+        // abort (the weak count stays with the guard, released on drop).
+        #[cfg(feature = "fault-injection")]
+        h.domain
+            .shared()
+            .fault_hit(&h.counters, crate::fault::FaultSite::WeakUpgrade, h.tid);
+        // SAFETY: our weak count pins the header.
+        if unsafe { self.node.as_ref() }.try_upgrade() {
+            // SAFETY: the CAS installed one strong reference we now own.
+            Some(unsafe { NodeRef::from_raw(h, self.node.as_ptr()) })
+        } else {
+            OpCounters::bump(&h.counters.upgrade_failed);
+            None
+        }
+    }
+
+    /// The raw node pointer. The header is pinned by this weak reference,
+    /// but the payload may be dead — never dereference without upgrading.
+    pub fn as_ptr(&self) -> *mut Node<T> {
+        self.node.as_ptr()
+    }
+
+    /// True if the target's payload has died (strong count drained and
+    /// claim taken). A `false` answer is advisory — it may be stale by the
+    /// time the caller acts; only [`Weak::upgrade`] decides authoritatively.
+    pub fn is_dead(&self) -> bool {
+        // SAFETY: our weak count pins the header.
+        unsafe { self.node.as_ref() }.is_claimed()
+    }
+}
+
+impl<T: RcObject> Clone for Weak<'_, T> {
+    fn clone(&self) -> Self {
+        let _op = self.handle.op();
+        // Our own weak count pins the header, so a plain FAA suffices.
+        // SAFETY: header pinned per above.
+        unsafe { self.node.as_ref() }.faa_weak(1);
+        Self {
+            handle: self.handle,
+            node: self.node,
+        }
+    }
+}
+
+impl<T: RcObject> Drop for Weak<'_, T> {
+    fn drop(&mut self) {
+        let _op = self.handle.op();
+        self.handle.release_weak_count(self.node.as_ptr());
+    }
+}
+
+impl<T: RcObject> core::fmt::Debug for Weak<'_, T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Weak")
+            .field("node", &self.node)
+            .field("dead", &self.is_dead())
+            .finish()
+    }
+}
+
+/// Unwind guard for [`ThreadHandle::store_weak`]'s obligatory help: an
+/// injected helper death must not skip the weak release of the link's old
+/// target (cf. [`crate::rc::ReleaseOnUnwind`] for strong links).
+#[cfg(feature = "fault-injection")]
+struct WeakReleaseOnUnwind<'a, 'd, T: RcObject> {
+    handle: &'a ThreadHandle<'d, T>,
+    node: *mut Node<T>,
+}
+
+#[cfg(feature = "fault-injection")]
+impl<T: RcObject> Drop for WeakReleaseOnUnwind<'_, '_, T> {
+    fn drop(&mut self) {
+        if !self.node.is_null() && std::thread::panicking() {
+            self.handle.release_weak_count(self.node);
+        }
     }
 }
 

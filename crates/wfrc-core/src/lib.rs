@@ -102,11 +102,11 @@ pub use counters::{SentinelSnapshot, SentinelStats};
 pub use domain::{AdoptReport, DomainConfig, LeakReport, RegistryFull, WfrcDomain};
 #[cfg(feature = "fault-injection")]
 pub use fault::{FaultAction, FaultPlan, FaultSite, FireRule, InjectedDeath};
-pub use handle::{DomainBox, NodeRef, PinGuard, Snapshot, ThreadHandle};
+pub use handle::{DomainBox, NodeRef, PinGuard, Snapshot, ThreadHandle, Weak};
 pub use lease::{LeaseConfig, LeaseGuard, LeasePool, LeaseRegistry};
-pub use link::Link;
+pub use link::{AtomicWeak, Link};
 pub use magazine::Magazines;
-pub use node::{Node, RcObject};
+pub use node::{Claim, Node, RcObject};
 pub use oom::OutOfMemory;
 pub use reclaim::{ReclaimOutcome, ReclaimPolicy};
 pub use sentinel::{AdmissionPolicy, Outcome, Sentinel, SentinelConfig, Stage, Supervised};

@@ -128,6 +128,63 @@ impl<T> core::fmt::Debug for Link<T> {
     }
 }
 
+/// A shared mutable *weak* pointer-to-node word (PR 10).
+///
+/// Structurally identical to [`Link`] — same word, same `SeqCst` ordering,
+/// same announcement coverage when dereferenced — but with weak counting
+/// semantics: a non-null `AtomicWeak` holds one **weak** count
+/// ([`Node::WEAK_UNIT`](crate::Node::WEAK_UNIT) on `mm_ref`) on its target
+/// instead of a strong one. The target's payload may already be dead
+/// (DEAD-but-weak header); the weak count only keeps the *header* alive, so
+/// every read must go through an upgrade
+/// ([`crate::ThreadHandle::load_weak`]) that validates the claim bit before
+/// yielding a strong reference.
+///
+/// Weak links inside payloads are enumerated by
+/// [`crate::RcObject::each_weak_link`] so reclamation can drop their counts.
+#[repr(transparent)]
+pub struct AtomicWeak<T>(Link<T>);
+
+impl<T> Default for AtomicWeak<T> {
+    fn default() -> Self {
+        Self::null()
+    }
+}
+
+impl<T> AtomicWeak<T> {
+    /// Creates an empty weak link (⊥).
+    pub const fn null() -> Self {
+        Self(Link::null())
+    }
+
+    /// The underlying [`Link`] word. The pointer semantics differ (weak
+    /// count, possibly-dead target), so this is only for the protocol
+    /// layers; user code goes through a [`crate::ThreadHandle`].
+    #[inline]
+    pub fn inner(&self) -> &Link<T> {
+        &self.0
+    }
+
+    /// True if the weak link is currently ⊥.
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        self.0.is_null()
+    }
+
+    /// Raw atomic read. The returned pointer carries no count of any kind
+    /// and its payload may be dead — diagnostics only.
+    #[inline]
+    pub fn load_raw(&self) -> *mut Node<T> {
+        self.0.load_raw()
+    }
+}
+
+impl<T> core::fmt::Debug for AtomicWeak<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "AtomicWeak({:p})", self.load_raw())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -15,13 +15,37 @@
 //! this implementation additionally tags announcement answers (see
 //! [`crate::announce`]), keeping the layout preserves the paper's invariant
 //! verbatim.
+//!
+//! # Weak-count packing (PR 10)
+//!
+//! The single `mm_ref` word additionally carries a weak-reference count so
+//! the strong-path `FAA` stays one word wide:
+//!
+//! ```text
+//!  bit 63      bits 62..32          bits 31..1        bit 0
+//! ┌───────┬───────────────────┬───────────────────┬──────────┐
+//! │ DEAD  │   weak count      │   strong count    │  claim   │
+//! └───────┴───────────────────┴───────────────────┴──────────┘
+//! ```
+//!
+//! The low 32 bits are the legacy word unchanged (claim flag + strong
+//! count × 2), so every pre-existing `±2`/`±1` FAA and every exact compare
+//! against [`Node::FREE_REF`] / gift values is byte-identical on weak-free
+//! nodes. `DEAD` marks a node whose strong count hit zero and whose claim
+//! was won while weak references remained: its payload links are stripped
+//! but the header is *not* freed until the weak count drains to zero
+//! ([`Node::maybe_finalize`]).
 
 use core::cell::UnsafeCell;
 #[cfg(feature = "relaxed-mmref")]
 use core::sync::atomic::Ordering;
 use wfrc_primitives::{AtomicWord, WordPtr};
 
-use crate::link::Link;
+use crate::link::{AtomicWeak, Link};
+
+// The weak count and DEAD flag pack into bits 32..=63 of `mm_ref`; a
+// 32-bit word has no room for them.
+const _: () = assert!(usize::BITS == 64, "wfrc requires a 64-bit word");
 
 /// Payload types storable in a [`crate::WfrcDomain`].
 ///
@@ -44,6 +68,22 @@ pub trait RcObject: Send + Sync + 'static {
     fn each_link(&self, f: &mut dyn FnMut(&Link<Self>))
     where
         Self: Sized;
+
+    /// Calls `f` on every [`AtomicWeak`] field contained in this payload.
+    ///
+    /// Each non-null `AtomicWeak` holds one *weak* count on its target;
+    /// when this node is reclaimed those weak counts must be dropped, so
+    /// you enumerate the weak links here exactly like [`each_link`]
+    /// enumerates the strong ones. Defaults to a no-op for payloads with
+    /// no weak links.
+    ///
+    /// [`each_link`]: RcObject::each_link
+    fn each_weak_link(&self, f: &mut dyn FnMut(&AtomicWeak<Self>))
+    where
+        Self: Sized,
+    {
+        let _ = f;
+    }
 }
 
 /// Implements [`RcObject`] for payload types that contain no internal links.
@@ -72,6 +112,18 @@ leaf_rc_object!(
     (),
     String
 );
+
+/// Outcome of [`Node::try_claim_weak`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Claim {
+    /// Strong count nonzero or claim already taken — not ours to reclaim.
+    Busy,
+    /// Claim won with no weak references: strip links and free the node.
+    Free,
+    /// Claim won but weak references remain: strip links, mark DEAD, and
+    /// leave the header for [`Node::maybe_finalize`] to free later.
+    DeadWeak,
+}
 
 /// A managed memory block: the paper's Figure 3 `Node`.
 ///
@@ -103,6 +155,16 @@ impl<T> Node<T> {
     pub const FREE_REF: usize = 1;
     /// `mm_ref` value of a node with exactly one live reference.
     pub const ONE_REF: usize = 2;
+    /// Mask of the legacy low word: claim bit + strong count × 2.
+    pub const STRONG_MASK: usize = 0xFFFF_FFFF;
+    /// One weak reference, in raw `mm_ref` units (bits 32..=62).
+    pub const WEAK_UNIT: usize = 1 << 32;
+    /// Mask of the weak-count field.
+    pub const WEAK_MASK: usize = ((1 << 31) - 1) << 32;
+    /// DEAD flag (bit 63): strong count reached zero and the claim was won
+    /// while weak references remained. The payload's links are stripped but
+    /// the header stays weak-reachable until the weak count drains.
+    pub const DEAD: usize = 1 << 63;
 
     pub(crate) fn new(payload: T) -> Self {
         Self {
@@ -144,16 +206,35 @@ impl<T> Node<T> {
         }
     }
 
-    /// The real reference count (`mm_ref / 2`).
+    /// The real strong reference count (`(mm_ref & STRONG_MASK) / 2`).
     #[inline]
     pub fn ref_count(&self) -> usize {
-        self.load_ref() >> 1
+        (self.load_ref() & Self::STRONG_MASK) >> 1
+    }
+
+    /// The weak reference count (bits 32..=62 of `mm_ref`).
+    #[inline]
+    pub fn weak_count(&self) -> usize {
+        (self.load_ref() & Self::WEAK_MASK) >> 32
+    }
+
+    /// True if the DEAD flag is set: reclaimed while weak-reachable.
+    #[inline]
+    pub fn is_dead(&self) -> bool {
+        self.load_ref() & Self::DEAD != 0
     }
 
     /// True if the claim bit is set (node reclaimed or in the free-list).
     #[inline]
     pub fn is_claimed(&self) -> bool {
         self.load_ref() & 1 == 1
+    }
+
+    /// Atomically adds `delta` weak references and returns the previous raw
+    /// `mm_ref` word. One weak reference is [`Node::WEAK_UNIT`] raw units.
+    #[inline]
+    pub fn faa_weak(&self, delta: isize) -> usize {
+        self.faa_ref(delta * Self::WEAK_UNIT as isize)
     }
 
     /// The zero-detection step of `ReleaseRef` (paper line R2):
@@ -165,6 +246,86 @@ impl<T> Node<T> {
     #[inline]
     pub fn try_claim(&self) -> bool {
         self.load_ref() == 0 && self.mm_ref.cas(0, 1)
+    }
+
+    /// Weak-aware zero-detection (paper line R2 extended for PR 10).
+    ///
+    /// * strong count nonzero (or already claimed) → [`Claim::Busy`];
+    /// * whole word zero → legacy claim, [`Claim::Free`] — the caller owns
+    ///   the node and must strip its links and free it;
+    /// * strong part zero but weak count nonzero → sets claim + DEAD in one
+    ///   CAS, [`Claim::DeadWeak`] — the caller strips the links but must
+    ///   **not** free; the last weak release finalizes the header via
+    ///   [`Node::maybe_finalize`]. The CAS also deposits one *guard* weak
+    ///   reference owned by the claimer, so no concurrent weak drop can
+    ///   finalize (and recycle) the header while the claimer is still
+    ///   stripping its links; the claimer drops the guard with
+    ///   `faa_weak(-1)` + `maybe_finalize` when done.
+    ///
+    /// The CAS loop only retries when the word changed between load and CAS;
+    /// each retry is caused by one concurrent weak-count mutation (strong
+    /// traffic flips the next load to `Busy`), so the retry count is bounded
+    /// by the number of in-flight weak operations.
+    pub fn try_claim_weak(&self) -> Claim {
+        let mut w = self.load_ref();
+        loop {
+            if w & Self::STRONG_MASK != 0 {
+                return Claim::Busy;
+            }
+            debug_assert_eq!(w & Self::DEAD, 0);
+            if w == 0 {
+                if self.mm_ref.cas(0, 1) {
+                    return Claim::Free;
+                }
+            } else if self.mm_ref.cas(w, (w + Self::WEAK_UNIT) | 1 | Self::DEAD) {
+                return Claim::DeadWeak;
+            }
+            w = self.load_ref();
+        }
+    }
+
+    /// The weak-upgrade CAS loop (PR 10): installs one strong reference
+    /// (`+2`) iff the claim bit is clear, returning `true` on success.
+    ///
+    /// Linearization: success linearizes at the winning CAS, failure at the
+    /// load that observed the claim bit. A release linearizes at its claim
+    /// resolution (the R2 CAS deciding reclamation), not its R1 decrement —
+    /// so an upgrade that lands between a releaser's R1 and R2 orders
+    /// *before* the release, observes `strong > 0`, and legitimately
+    /// revives the node (the releaser's claim then fails on the nonzero
+    /// strong part). Once the claim bit is set it stays set for as long as
+    /// the caller's weak reference pins the header (free and reallocation
+    /// require the weak count to drain first), so a `false` answer is
+    /// stable.
+    ///
+    /// The loop retries only when the word changed between load and CAS;
+    /// retries are bounded by the number of concurrent count mutations, the
+    /// same interference bound the paper's footnote arguments use.
+    pub fn try_upgrade(&self) -> bool {
+        let mut w = self.load_ref();
+        loop {
+            if w & 1 == 1 {
+                return false;
+            }
+            if self.mm_ref.cas(w, w + 2) {
+                return true;
+            }
+            w = self.load_ref();
+        }
+    }
+
+    /// Finalizes a DEAD-but-weak header whose weak count has drained:
+    /// a single `CAS(DEAD|1 → 1)` that exactly one caller can win. On
+    /// success the node is back at [`Node::FREE_REF`] and the winner must
+    /// route it into the free path (`defer_or_free` on the wait-free scheme).
+    ///
+    /// Any in-flight speculative strong bump (`FAA +2` from a stale deref)
+    /// makes the word differ from `DEAD|1`, so the finalize is deferred to
+    /// whichever release observes `DEAD|1` after its own decrement.
+    #[inline]
+    pub fn maybe_finalize(&self) -> bool {
+        let sentinel = Self::DEAD | 1;
+        self.load_ref() == sentinel && self.mm_ref.cas(sentinel, 1)
     }
 
     /// The free-list chain pointer.
@@ -284,5 +445,72 @@ mod tests {
         let mut visits = 0;
         v.each_link(&mut |_| visits += 1);
         assert_eq!(visits, 0);
+        let mut weak_visits = 0;
+        v.each_weak_link(&mut |_| weak_visits += 1);
+        assert_eq!(weak_visits, 0);
+    }
+
+    #[test]
+    fn weak_units_do_not_touch_strong_word() {
+        let n = Node::new(0u32);
+        n.faa_ref(1); // free-list 1 -> live 2 (one strong ref)
+        n.faa_weak(1);
+        assert_eq!(n.ref_count(), 1);
+        assert_eq!(n.weak_count(), 1);
+        assert!(!n.is_claimed());
+        assert!(!n.is_dead());
+        assert_eq!(
+            n.load_ref() & Node::<u32>::STRONG_MASK,
+            Node::<u32>::ONE_REF
+        );
+        n.faa_weak(-1);
+        assert_eq!(n.weak_count(), 0);
+        assert_eq!(n.load_ref(), Node::<u32>::ONE_REF);
+    }
+
+    #[test]
+    fn try_claim_weak_free_path_matches_legacy() {
+        let n = Node::new(0u32);
+        n.faa_ref(-1); // 1 -> 0
+        assert_eq!(n.try_claim_weak(), Claim::Free);
+        assert_eq!(n.load_ref(), Node::<u32>::FREE_REF);
+        assert_eq!(n.try_claim_weak(), Claim::Busy);
+    }
+
+    #[test]
+    fn try_claim_weak_dead_path_and_finalize() {
+        let n = Node::new(0u32);
+        n.faa_ref(-1); // strong part -> 0
+        n.faa_weak(2);
+        assert_eq!(n.try_claim_weak(), Claim::DeadWeak);
+        assert!(n.is_dead());
+        assert!(n.is_claimed());
+        assert_eq!(n.weak_count(), 3); // 2 holders + the claimer's guard
+        n.faa_weak(-1); // claimer drops its guard after stripping links
+        assert!(!n.maybe_finalize());
+        // Weak count still nonzero: finalize must refuse.
+        n.faa_weak(-1);
+        assert!(!n.maybe_finalize());
+        // Last weak drops: exactly one finalize wins and lands on FREE_REF.
+        n.faa_weak(-1);
+        assert!(n.maybe_finalize());
+        assert!(!n.maybe_finalize());
+        assert_eq!(n.load_ref(), Node::<u32>::FREE_REF);
+    }
+
+    #[test]
+    fn speculative_bump_blocks_finalize() {
+        let n = Node::new(0u32);
+        n.faa_ref(-1);
+        n.faa_weak(1);
+        assert_eq!(n.try_claim_weak(), Claim::DeadWeak);
+        n.faa_weak(-1); // claimer's guard
+                        // A stale deref lands a speculative +2 on the DEAD header.
+        n.faa_ref(2);
+        n.faa_weak(-1);
+        assert!(!n.maybe_finalize()); // word is DEAD|1|2, not DEAD|1
+        n.faa_ref(-2); // the speculative release undoes its bump…
+        assert!(n.maybe_finalize()); // …and finalizes on its way out
+        assert_eq!(n.load_ref(), Node::<u32>::FREE_REF);
     }
 }

@@ -25,7 +25,7 @@ use crate::announce::decode_retract;
 use crate::counters::OpCounters;
 use crate::domain::Shared;
 use crate::link::Link;
-use crate::node::{Node, RcObject};
+use crate::node::{Claim, Node, RcObject};
 
 impl<T: RcObject> Shared<T> {
     /// `DeRefLink` (paper lines D1–D10): dereference `link`, returning a
@@ -138,24 +138,69 @@ impl<T: RcObject> Shared<T> {
             // SAFETY: arena node (type-stable header).
             let n = unsafe { &*cur };
             n.faa_ref(-2); // R1
-            if n.try_claim() {
-                // R2 won: we own `cur` exclusively now.
-                OpCounters::bump(&c.reclaims);
-                // R3: strip and release every reference the payload holds.
-                // SAFETY: exclusive ownership — count is 0 and claimed, so
-                // no thread can reach the payload through the protocol.
-                unsafe { n.payload() }.each_link(&mut |l| {
-                    // Deletion marks (bit 0) do not carry a count of their
-                    // own — strip before releasing.
-                    let child = wfrc_primitives::tagged::without_tag(l.swap_raw(ptr::null_mut()));
-                    if !child.is_null() {
-                        pending.get_or_insert_with(Vec::new).push(child);
+            match n.try_claim_weak() {
+                Claim::Busy => {
+                    // Either the node is still strongly referenced, or we
+                    // were a speculative release on a DEAD-but-weak header.
+                    // If our decrement exposed the finalize sentinel
+                    // (DEAD|1), the weak holders have all dropped and we
+                    // are the designated finalizer.
+                    if n.maybe_finalize() {
+                        self.defer_or_free(tid, c, cur);
                     }
-                });
-                // R4 — or, while any snapshot pin is live, onto the
-                // deferred list (the node's payload may still be borrowed
-                // by a plain-load `Snapshot`; see reclaim.rs §4f docs).
-                self.defer_or_free(tid, c, cur);
+                }
+                claim => {
+                    // R2 won: we own `cur`'s payload exclusively now.
+                    OpCounters::bump(&c.reclaims);
+                    // R3: strip and release every reference the payload
+                    // holds — strong links recurse through the work list,
+                    // weak links drop one weak count on their target
+                    // (finalizing it if that was the last).
+                    // SAFETY: exclusive ownership — strong count is 0 and
+                    // claimed, so no thread can reach the payload through
+                    // the protocol.
+                    let payload = unsafe { n.payload() };
+                    payload.each_link(&mut |l| {
+                        // Deletion marks (bit 0) do not carry a count of
+                        // their own — strip before releasing.
+                        let child =
+                            wfrc_primitives::tagged::without_tag(l.swap_raw(ptr::null_mut()));
+                        if !child.is_null() {
+                            pending.get_or_insert_with(Vec::new).push(child);
+                        }
+                    });
+                    payload.each_weak_link(&mut |wl| {
+                        let child = wfrc_primitives::tagged::without_tag(
+                            wl.inner().swap_raw(ptr::null_mut()),
+                        );
+                        if !child.is_null() {
+                            // SAFETY: arena node (type-stable header).
+                            unsafe { (*child).faa_weak(-1) };
+                            if unsafe { (*child).maybe_finalize() } {
+                                self.defer_or_free(tid, c, child);
+                            }
+                        }
+                    });
+                    match claim {
+                        // R4 — or, while any snapshot pin is live, onto the
+                        // deferred list (the node's payload may still be
+                        // borrowed by a plain-load `Snapshot`; see
+                        // reclaim.rs §4f docs).
+                        Claim::Free => self.defer_or_free(tid, c, cur),
+                        Claim::DeadWeak => {
+                            // Weak references remain: the header stays
+                            // DEAD-but-weak, off every free structure. Drop
+                            // the guard weak reference the claim CAS
+                            // deposited; if every holder raced their drop
+                            // in during the strip, finalize here.
+                            n.faa_weak(-1);
+                            if n.maybe_finalize() {
+                                self.defer_or_free(tid, c, cur);
+                            }
+                        }
+                        Claim::Busy => unreachable!(),
+                    }
+                }
             }
             match pending.as_mut().and_then(|p| p.pop()) {
                 Some(next) => cur = next,

@@ -148,6 +148,8 @@ pub(crate) struct SnapStats {
     pub(crate) snapshot_derefs: AtomicU64,
     pub(crate) deferred_decs: AtomicU64,
     pub(crate) upgrade_slow: AtomicU64,
+    pub(crate) weak_upgrades: AtomicU64,
+    pub(crate) upgrade_failed: AtomicU64,
 }
 
 impl SnapStats {
@@ -156,16 +158,23 @@ impl SnapStats {
             snapshot_derefs: AtomicU64::new(0),
             deferred_decs: AtomicU64::new(0),
             upgrade_slow: AtomicU64::new(0),
+            weak_upgrades: AtomicU64::new(0),
+            upgrade_failed: AtomicU64::new(0),
         }
     }
 
     /// Adds one handle's final counter values (Relaxed telemetry).
-    pub(crate) fn fold(&self, snapshot_derefs: u64, deferred_decs: u64, upgrade_slow: u64) {
+    pub(crate) fn fold(&self, snap: &crate::counters::CounterSnapshot) {
         self.snapshot_derefs
-            .fetch_add(snapshot_derefs, Ordering::Relaxed);
+            .fetch_add(snap.snapshot_derefs, Ordering::Relaxed);
         self.deferred_decs
-            .fetch_add(deferred_decs, Ordering::Relaxed);
-        self.upgrade_slow.fetch_add(upgrade_slow, Ordering::Relaxed);
+            .fetch_add(snap.deferred_decs, Ordering::Relaxed);
+        self.upgrade_slow
+            .fetch_add(snap.upgrade_slow, Ordering::Relaxed);
+        self.weak_upgrades
+            .fetch_add(snap.weak_upgrades, Ordering::Relaxed);
+        self.upgrade_failed
+            .fetch_add(snap.upgrade_failed, Ordering::Relaxed);
     }
 }
 

@@ -214,6 +214,123 @@ mod tests {
         println!("clear: {} states, {} finals", r.states, r.final_states);
     }
 
+    /// PR 10, the tentpole property over **every** interleaving: a weak
+    /// upgrade racing a release-to-zero. Thread 1 starts with one weak
+    /// reference on node 0 and tries to upgrade while thread 0 clears the
+    /// link and releases its count. The per-step assertions prove the
+    /// upgrade is linearized at its CAS (success ⇒ the node was not freed
+    /// at that access; failure ⇒ the claim had been taken), and the final
+    /// check proves the DEAD-but-weak lifecycle always converges: the
+    /// header frees exactly once, after the last weak drop.
+    #[test]
+    fn weak_upgrade_races_release_to_zero_every_interleaving() {
+        let mut init = Shared::initial();
+        init.weak[0] = 1; // T1's pre-existing weak reference
+        let ms = vec![
+            Machine::new(
+                0,
+                vec![
+                    Call::CasLink {
+                        old: Some(0),
+                        new: None,
+                    },
+                    Call::ReleaseIfCasOk(0),
+                ],
+            ),
+            Machine::new(
+                1,
+                vec![
+                    Call::WeakUpgrade(0),
+                    Call::ReleaseIfUpgradeOk(0),
+                    Call::WeakRelease(0),
+                ],
+            ),
+        ];
+        let r = explore(init, ms, |s, ms| {
+            assert!(ms[0].cas_ok, "the CAS cannot fail in this scenario");
+            assert_eq!(s.link, None);
+            // Whatever the interleaving — upgrade first (revival), claim
+            // first (dead), or the pre-claim window — every count drains
+            // and the header frees exactly once.
+            assert!(s.freed[0], "DEAD-but-weak header never freed: {s:?}");
+            assert_eq!(s.weak[0], 0, "{s:?}");
+            assert!(!s.dead[0], "finalize must clear DEAD: {s:?}");
+            assert_eq!(s.mm_ref[0], 1, "{s:?}");
+        });
+        assert!(r.violation.is_none(), "{:?}", r.violation);
+        assert!(r.states > 30, "exploration too small: {} states", r.states);
+        println!(
+            "weak upgrade race: {} states, {} finals",
+            r.states, r.final_states
+        );
+    }
+
+    /// Two concurrent weak drops against a release-to-zero: the finalize
+    /// CAS must have exactly one winner in every interleaving (the
+    /// double-free assertion is the teeth).
+    #[test]
+    fn concurrent_weak_drops_finalize_exactly_once() {
+        let mut init = Shared::initial();
+        init.weak[0] = 2; // one weak reference per thread
+        let ms = vec![
+            Machine::new(
+                0,
+                vec![
+                    Call::CasLink {
+                        old: Some(0),
+                        new: None,
+                    },
+                    Call::ReleaseIfCasOk(0),
+                    Call::WeakRelease(0),
+                ],
+            ),
+            Machine::new(1, vec![Call::WeakRelease(0)]),
+        ];
+        let r = explore(init, ms, |s, _| {
+            assert!(s.freed[0], "{s:?}");
+            assert_eq!(s.weak[0], 0, "{s:?}");
+            assert!(!s.dead[0], "{s:?}");
+        });
+        assert!(r.violation.is_none(), "{:?}", r.violation);
+        println!(
+            "weak drop race: {} states, {} finals",
+            r.states, r.final_states
+        );
+    }
+
+    /// A downgrade-then-upgrade running against the full wait-free
+    /// dereference machinery: the weak tier must compose with
+    /// announcements and helping, not just with plain releases.
+    #[test]
+    fn weak_ops_compose_with_wait_free_deref() {
+        let mut init = Shared::initial();
+        init.weak[0] = 1;
+        let ms = vec![
+            Machine::new(
+                0,
+                vec![Call::Deref(DerefKind::WaitFree), Call::ReleaseResult],
+            ),
+            Machine::new(
+                1,
+                vec![
+                    Call::WeakUpgrade(0),
+                    Call::ReleaseIfUpgradeOk(0),
+                    Call::WeakRelease(0),
+                ],
+            ),
+        ];
+        let r = explore(init, ms, |s, ms| {
+            // The link is never cleared, so node 0 survives with exactly
+            // the link's count, and the deref returned it.
+            assert!(!s.freed[0], "{s:?}");
+            assert_eq!(s.mm_ref[0], 2, "{s:?}");
+            assert_eq!(s.weak[0], 0, "{s:?}");
+            assert!(ms[1].upgrade_ok, "link count was live throughout");
+            assert_eq!(ms[0].result, Some(0));
+        });
+        assert!(r.violation.is_none(), "{:?}", r.violation);
+    }
+
     #[test]
     fn double_swing_ping_pong() {
         // T1 swings a->b; T0 swings it back b->a if it sees b — a tighter

@@ -29,7 +29,11 @@
 //! Two protocol families are modeled:
 //!
 //! * [`machine`]/[`shared`] — the Figure 4 announcement protocol, with
-//!   reclamation abstracted to a free set;
+//!   reclamation abstracted to a free set, extended (PR 10) with the
+//!   packed strong/weak word: the weak-aware release claim, the
+//!   DEAD-but-weak header state, the finalize CAS, and the upgrade whose
+//!   success is linearized at a single CAS (succeeds iff the claim bit is
+//!   clear — checked against the free set on every interleaving);
 //! * [`flmodel`] — the Figure 5 free-list with round-robin gifting,
 //!   checking count conservation, distinct allocation, bounded steps, and
 //!   the necessity of the F3 correction (DESIGN.md §4a).
@@ -45,4 +49,4 @@ pub mod shared;
 
 pub use explore::{explore, ExploreResult, Violation};
 pub use machine::{Call, DerefKind, Machine};
-pub use shared::{NodeId, Shared, MODEL_THREADS};
+pub use shared::{Claim, NodeId, Shared, MODEL_THREADS};

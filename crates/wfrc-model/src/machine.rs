@@ -6,7 +6,7 @@
 //! Nested operations (`HelpDeRef` calling `DeRefLink` at H5, `DeRefLink`
 //! calling `ReleaseRef` at D8) run as stacked frames.
 
-use crate::shared::{AnnWord, NodeId, Shared, MODEL_THREADS};
+use crate::shared::{AnnWord, Claim, NodeId, Shared, MODEL_THREADS};
 
 /// Which dereference algorithm a script step uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -45,6 +45,18 @@ pub enum Call {
     /// `ReleaseRef(node)` if the last `CasLink` failed (undoing a
     /// speculative `FixRef`).
     ReleaseIfCasFailed(NodeId),
+    /// Weak tier (PR 10): add one weak reference (the caller's script
+    /// must hold a strong reference at this point — asserted).
+    Downgrade(NodeId),
+    /// The upgrade CAS; the outcome lands in the machine's upgrade flag.
+    /// The caller's script must hold a weak reference.
+    WeakUpgrade(NodeId),
+    /// `ReleaseRef(node)` if the last `WeakUpgrade` succeeded (dropping
+    /// the strong reference the upgrade minted).
+    ReleaseIfUpgradeOk(NodeId),
+    /// Drop one weak reference, finalizing (and freeing) a drained DEAD
+    /// header if this was the last thing holding it.
+    WeakRelease(NodeId),
 }
 
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -72,6 +84,10 @@ enum Frame {
         old: Option<NodeId>,
         new: Option<NodeId>,
     },
+    WeakRelease {
+        pc: u8,
+        node: NodeId,
+    },
 }
 
 /// A thread: a script plus its execution state.
@@ -85,6 +101,8 @@ pub struct Machine {
     pub result: Option<NodeId>,
     /// Last `CasLink` outcome.
     pub cas_ok: bool,
+    /// Last `WeakUpgrade` outcome.
+    pub upgrade_ok: bool,
     /// Return slot from a just-popped child frame.
     ret: Option<Option<NodeId>>,
 }
@@ -100,6 +118,7 @@ impl Machine {
             stack: Vec::new(),
             result: None,
             cas_ok: false,
+            upgrade_ok: false,
             ret: None,
         }
     }
@@ -147,6 +166,25 @@ impl Machine {
                         self.stack.push(Frame::Release { pc: 0, node: n });
                     }
                 }
+                Call::Downgrade(n) => {
+                    // The script contract mirrors `downgrade_raw`'s safety
+                    // clause: a strong reference must be held.
+                    assert!(
+                        s.mm_ref[n] >= 2 && s.mm_ref[n] % 2 == 0,
+                        "downgrade of node {n} without a live strong count (mm_ref = {})",
+                        s.mm_ref[n]
+                    );
+                    s.faa_weak(n, 1);
+                }
+                Call::WeakUpgrade(n) => {
+                    self.upgrade_ok = s.try_upgrade(n);
+                }
+                Call::ReleaseIfUpgradeOk(n) => {
+                    if self.upgrade_ok {
+                        self.stack.push(Frame::Release { pc: 0, node: n });
+                    }
+                }
+                Call::WeakRelease(n) => self.stack.push(Frame::WeakRelease { pc: 0, node: n }),
             }
             return;
         }
@@ -260,15 +298,43 @@ impl Machine {
                     self.stack.push(frame);
                 }
                 1 => {
-                    if s.try_claim(*node) {
-                        // R2 won; R4 next (no child links in the model).
-                        *pc = 2;
-                        self.stack.push(frame);
+                    // R2, weak-aware (PR 10): one CAS over the packed word.
+                    match s.try_claim_weak(*node) {
+                        Claim::Busy => {
+                            // A speculative count may be exposing a
+                            // drained DEAD sentinel: the releaser that
+                            // uncovers it inherits the free.
+                            *pc = 4;
+                            self.stack.push(frame);
+                        }
+                        Claim::Free => {
+                            // R4 next (no child links in the model).
+                            *pc = 2;
+                            self.stack.push(frame);
+                        }
+                        Claim::DeadWeak => {
+                            // Strip done (no links); drop the guard.
+                            *pc = 3;
+                            self.stack.push(frame);
+                        }
                     }
-                    // else: pop (done).
                 }
                 2 => {
                     s.free(*node); // R4
+                }
+                3 => {
+                    // The DeadWeak guard drop: one FAA, then the finalize
+                    // CAS as its own access.
+                    s.faa_weak(*node, -1);
+                    *pc = 4;
+                    self.stack.push(frame);
+                }
+                4 => {
+                    if s.maybe_finalize(*node) {
+                        *pc = 2;
+                        self.stack.push(frame);
+                    }
+                    // else: pop (someone else still holds the header).
                 }
                 _ => unreachable!(),
             },
@@ -354,6 +420,24 @@ impl Machine {
                 }
                 1 => {
                     // Help child done; pop.
+                }
+                _ => unreachable!(),
+            },
+            Frame::WeakRelease { pc, node } => match *pc {
+                0 => {
+                    s.faa_weak(*node, -1);
+                    *pc = 1;
+                    self.stack.push(frame);
+                }
+                1 => {
+                    if s.maybe_finalize(*node) {
+                        *pc = 2;
+                        self.stack.push(frame);
+                    }
+                    // else: pop (header still strong- or weak-held).
+                }
+                2 => {
+                    s.free(*node);
                 }
                 _ => unreachable!(),
             },

@@ -22,14 +22,37 @@ pub enum AnnWord {
     Answer(Option<NodeId>),
 }
 
+/// Outcome of the weak-aware release claim (PR 10): mirrors
+/// `wfrc_core::node::Claim` over the packed strong/weak word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Claim {
+    /// Strong count still nonzero — the releaser walks away.
+    Busy,
+    /// Claimed with no weak references: the node frees wholesale.
+    Free,
+    /// Claimed DEAD-but-weak: the memory stays until the weak count
+    /// drains; the claim deposited a guard weak reference.
+    DeadWeak,
+}
+
 /// The entire shared state. `Clone + Eq + Hash` so the explorer can
 /// memoize visited states.
+///
+/// The implementation packs strong count, weak count, claim bit, and DEAD
+/// bit into one 64-bit word so every transition is a single FAA/CAS; the
+/// model splits them into fields (`mm_ref`, `weak`, `dead`) but mutates
+/// them together inside single `step()` accesses, which is the same
+/// atomicity.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Shared {
     /// The single shared link under test.
     pub link: Option<NodeId>,
     /// `mm_ref` per node (raw convention: count = mm_ref / 2, odd = claimed).
     pub mm_ref: [i32; MODEL_NODES],
+    /// Weak count per node (the packed word's bits 32..63).
+    pub weak: [u32; MODEL_NODES],
+    /// DEAD bit per node (bit 63): claimed with weak survivors.
+    pub dead: [bool; MODEL_NODES],
     /// Free set: node has been handed to `FreeNode`.
     pub freed: [bool; MODEL_NODES],
     /// `annReadAddr[t][i]`.
@@ -55,6 +78,8 @@ impl Shared {
         let mut s = Self {
             link: Some(0),
             mm_ref: [2; MODEL_NODES],
+            weak: [0; MODEL_NODES],
+            dead: [false; MODEL_NODES],
             freed: [false; MODEL_NODES],
             ann_read: Default::default(),
             ann_index: [0; MODEL_THREADS],
@@ -88,6 +113,68 @@ impl Shared {
         }
     }
 
+    /// The weak-aware R2 claim (PR 10): one CAS over the packed word.
+    /// With weak survivors the claim deposits a **guard** weak reference
+    /// so no concurrent weak drop can finalize the header while the
+    /// claimer is still stripping links.
+    pub fn try_claim_weak(&mut self, n: NodeId) -> Claim {
+        if self.mm_ref[n] != 0 {
+            return Claim::Busy;
+        }
+        if self.weak[n] == 0 {
+            self.mm_ref[n] = 1;
+            Claim::Free
+        } else {
+            self.mm_ref[n] = 1;
+            self.dead[n] = true;
+            self.weak[n] += 1; // the claim CAS's guard weak reference
+            Claim::DeadWeak
+        }
+    }
+
+    /// FAA on a node's weak count. Underflow is a model violation.
+    pub fn faa_weak(&mut self, n: NodeId, delta: i32) {
+        let next = self.weak[n] as i32 + delta;
+        assert!(
+            next >= 0,
+            "weak underflow on node {n}: {} + {delta}",
+            self.weak[n]
+        );
+        self.weak[n] = next as u32;
+    }
+
+    /// The finalize CAS: `word == DEAD|1 && CAS(DEAD|1, 1)` — exactly one
+    /// caller wins, landing the header at `FREE_REF`.
+    pub fn maybe_finalize(&mut self, n: NodeId) -> bool {
+        if self.dead[n] && self.weak[n] == 0 && self.mm_ref[n] == 1 {
+            self.dead[n] = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The upgrade CAS: succeeds iff the claim bit is clear at this access
+    /// — the linearization point of `Weak::upgrade`. Success from
+    /// `mm_ref == 0` is the legal pre-claim revival window (releases
+    /// linearize at the R2 claim, not the R1 FAA).
+    pub fn try_upgrade(&mut self, n: NodeId) -> bool {
+        assert!(
+            self.weak[n] > 0,
+            "upgrade without a weak reference on node {n}"
+        );
+        if self.mm_ref[n] % 2 == 1 {
+            false
+        } else {
+            self.mm_ref[n] += 2;
+            assert!(
+                !self.freed[n],
+                "use-after-free: upgrade minted a strong reference on freed node {n}"
+            );
+            true
+        }
+    }
+
     /// `FreeNode` abstracted: move to the free set. Double-free is a model
     /// violation.
     ///
@@ -103,6 +190,8 @@ impl Shared {
             "free of unclaimed node {n} (mm_ref = {})",
             self.mm_ref[n]
         );
+        assert_eq!(self.weak[n], 0, "free of weak-held node {n}");
+        assert!(!self.dead[n], "free of unfinalized DEAD node {n}");
         self.freed[n] = true;
     }
 
@@ -193,6 +282,46 @@ mod tests {
         s.faa(0, -2);
         assert!(s.try_claim(0));
         s.free(0);
+        s.free(0);
+    }
+
+    #[test]
+    fn weak_claim_deposits_guard_and_finalizes_once() {
+        let mut s = Shared::initial();
+        s.faa_weak(0, 1); // a standing weak reference
+        s.faa(0, -2);
+        assert_eq!(s.try_claim_weak(0), Claim::DeadWeak);
+        assert_eq!(s.weak[0], 2, "claim must deposit the guard");
+        assert!(s.dead[0]);
+        assert!(!s.maybe_finalize(0), "guard + weak still hold the header");
+        s.faa_weak(0, -1); // guard drop
+        assert!(!s.maybe_finalize(0), "the standing weak still holds");
+        s.faa_weak(0, -1); // last weak drop
+        assert!(s.maybe_finalize(0));
+        assert!(!s.maybe_finalize(0), "finalize has exactly one winner");
+        s.free(0);
+    }
+
+    #[test]
+    fn upgrade_succeeds_iff_claim_bit_clear() {
+        let mut s = Shared::initial();
+        s.faa_weak(0, 1);
+        assert!(s.try_upgrade(0), "strong count nonzero");
+        s.faa(0, -2); // drop the minted reference
+        s.faa(0, -2); // drain the link's count (pre-claim window)
+        assert!(s.try_upgrade(0), "pre-claim revival is legal");
+        s.faa(0, -2);
+        assert_eq!(s.try_claim_weak(0), Claim::DeadWeak);
+        assert!(!s.try_upgrade(0), "claim taken — dead stays dead");
+    }
+
+    #[test]
+    #[should_panic(expected = "free of weak-held node")]
+    fn free_under_weak_count_caught() {
+        let mut s = Shared::initial();
+        s.faa_weak(0, 1);
+        s.faa(0, -2);
+        let _ = s.try_claim_weak(0);
         s.free(0);
     }
 

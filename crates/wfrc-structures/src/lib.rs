@@ -15,6 +15,9 @@
 //!   deletion adapted to reference counting).
 //! * [`hash_map`] — fixed-bucket lock-free hash map over ordered-list
 //!   buckets (Michael's PODC 2002 shape).
+//! * [`lru_list`] — recency list whose back edges and tail hint are weak
+//!   references (PR 10): the cycle-free doubly-linked shape the E13
+//!   graph-churn bench drives.
 //!
 //! The hazard-pointer and epoch variants ([`hp_stack`], [`hp_queue`],
 //! [`epoch_stack`], [`epoch_queue`]) implement the same stack/queue
@@ -31,6 +34,7 @@ pub mod epoch_stack;
 pub mod hash_map;
 pub mod hp_queue;
 pub mod hp_stack;
+pub mod lru_list;
 pub mod manager;
 pub mod ordered_list;
 pub mod priority_queue;
@@ -42,6 +46,7 @@ pub use epoch_stack::EpochStack;
 pub use hash_map::{HashMap, SessionCache, SessionHandle, SessionMm};
 pub use hp_queue::HpQueue;
 pub use hp_stack::HpStack;
+pub use lru_list::{LruCell, LruList};
 pub use manager::{ByteMm, RcMm, RcMmDomain};
 pub use ordered_list::{ListCell, OrderedList};
 pub use priority_queue::{PqCell, PriorityQueue};

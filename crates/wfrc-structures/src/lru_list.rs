@@ -1,0 +1,415 @@
+//! Recency list with weak back-edges — the weak-reference exercise
+//! structure (PR 10, DESIGN.md §4g).
+//!
+//! A doubly-linked list whose two directions deliberately use the two
+//! reference strengths:
+//!
+//! * the **forward** chain (`head` → most-recent → … → oldest) is built
+//!   from strong [`Link`]s — it owns the nodes, exactly like
+//!   [`crate::Stack`];
+//! * every **back** edge (`prev`, pointing from an older node to the one
+//!   inserted after it) and the structure's `tail` hint (the
+//!   least-recently-inserted node) are [`AtomicWeak`] — they observe
+//!   without owning.
+//!
+//! This is the textbook use of weak references: with strong back edges the
+//! list would be one big reference cycle and could never drain; with weak
+//! ones every node is reclaimed the moment the forward chain lets go of
+//! it, and the back edges die with it (a later [`RcMm::load_weak_link`]
+//! through a stale edge fails clean instead of resurrecting the node).
+//! The E13 graph-churn bench drives exactly this shape.
+//!
+//! # Semantics
+//!
+//! `push_front`/`pop_front` are linearizable lock-free stack operations on
+//! the forward chain. The weak side is **advisory by construction**: a
+//! back edge or the tail hint may lag the forward chain (its target may
+//! already have been popped), in which case upgrading it reports death
+//! rather than returning a value. [`LruList::walk_newer`] therefore
+//! returns a best-effort recency sample, not a snapshot — the property the
+//! tests pin down is that it never touches freed memory and never leaks,
+//! across both schemes.
+//!
+//! # Count discipline
+//!
+//! `push_front` holds one extra strong count on the new node across
+//! publication so it can write the displaced head's back edge after the
+//! CAS (the new node's `next` count keeps the displaced head alive for
+//! that write). Weak counts live where the weak pointers live: one per
+//! non-null `prev` (dropped by the owner's reclaim via
+//! [`RcObject::each_weak_link`]) and one on the `tail` hint (dropped by
+//! [`LruList::clear`]).
+
+use core::ptr;
+
+use wfrc_core::oom::OutOfMemory;
+use wfrc_core::{AtomicWeak, Link, RcObject};
+
+use crate::manager::RcMm;
+
+/// Node payload for [`LruList`].
+pub struct LruCell<V> {
+    /// The stored value; `None` only before first initialization.
+    value: Option<V>,
+    /// Strong link to the next-older node.
+    next: Link<LruCell<V>>,
+    /// Weak back edge to the node inserted after this one (toward the
+    /// head). Null for the current head and for freshly recycled nodes
+    /// (reclaim strips it).
+    prev: AtomicWeak<LruCell<V>>,
+}
+
+impl<V> Default for LruCell<V> {
+    fn default() -> Self {
+        Self {
+            value: None,
+            next: Link::null(),
+            prev: AtomicWeak::null(),
+        }
+    }
+}
+
+impl<V: Send + Sync + 'static> RcObject for LruCell<V> {
+    fn each_link(&self, f: &mut dyn FnMut(&Link<Self>)) {
+        f(&self.next);
+    }
+    fn each_weak_link(&self, f: &mut dyn FnMut(&AtomicWeak<Self>)) {
+        f(&self.prev);
+    }
+}
+
+/// A lock-free recency list: strong forward chain, weak back edges and
+/// tail hint. See the module docs for semantics.
+pub struct LruList<V> {
+    head: Link<LruCell<V>>,
+    /// Weak hint to the least-recently-inserted node. Best-effort: set by
+    /// the push that found the list empty, never advanced by pops, so its
+    /// target may be dead — upgrades then fail clean.
+    tail: AtomicWeak<LruCell<V>>,
+}
+
+impl<V> Default for LruList<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> LruList<V> {
+    /// Creates an empty list.
+    pub const fn new() -> Self {
+        Self {
+            head: Link::null(),
+            tail: AtomicWeak::null(),
+        }
+    }
+}
+
+impl<V: Clone + Send + Sync + 'static> LruList<V> {
+    /// Inserts `value` at the most-recent end, wiring the displaced head's
+    /// weak back edge to the new node.
+    pub fn push_front<M: RcMm<LruCell<V>>>(&self, mm: &M, value: V) -> Result<(), OutOfMemory> {
+        let node = mm.alloc_node()?;
+        // SAFETY: freshly allocated, unpublished — exclusively ours.
+        // Recycled nodes arrive with `next`/`prev` already stripped to
+        // null by their reclaim.
+        unsafe {
+            let cell = mm.payload_mut(node);
+            cell.value = Some(value);
+            debug_assert!(cell.next.is_null());
+            debug_assert!(cell.prev.is_null());
+        }
+        // Keep one extra count across publication: it pins `node` (and
+        // transitively, via `node.next`, the displaced head) for the
+        // back-edge write below.
+        // SAFETY: we own the alloc reference.
+        unsafe { mm.add_refs(node, 1) };
+        let displaced = loop {
+            let head = self.head.load_raw();
+            // SAFETY: we own `node`; the old head's count migrates from
+            // the head link into `node.next` on success.
+            unsafe { mm.payload(node) }.next.store_raw(head);
+            // SAFETY: our alloc reference transfers into the head link.
+            if unsafe { mm.cas_link(&self.head, head, node) } {
+                break head;
+            }
+        };
+        if displaced.is_null() {
+            // The list looked empty: this node is (for now) the oldest —
+            // publish it as the tail hint.
+            // SAFETY: our extra count is a live strong reference on `node`.
+            unsafe { mm.store_weak_link(&self.tail, node) };
+        } else {
+            // SAFETY: our extra count on `node` keeps `node.next`'s count
+            // on `displaced` in place, so its payload is stable; the weak
+            // store holds a strong reference on the target (`node`).
+            unsafe { mm.store_weak_link(&mm.payload(displaced).prev, node) };
+        }
+        // SAFETY: drop the extra count taken above.
+        unsafe { mm.release_node(node) };
+        Ok(())
+    }
+
+    /// Removes and returns the most recent value, or `None` if empty.
+    pub fn pop_front<M: RcMm<LruCell<V>>>(&self, mm: &M) -> Option<V> {
+        loop {
+            // SAFETY: `head` only ever holds nodes of the caller's domain.
+            let cur = unsafe { mm.deref_link(&self.head) };
+            if cur.is_null() {
+                return None;
+            }
+            // SAFETY: we hold a reference on `cur`; its `next` is immutable
+            // after publication.
+            let next = unsafe { mm.payload(cur) }.next.load_raw();
+            if !next.is_null() {
+                // SAFETY: `next` is pinned by `cur.next`; acquire the count
+                // the head link will own after the CAS.
+                unsafe { mm.add_refs(next, 1) };
+            }
+            // SAFETY: counts prepared above.
+            if unsafe { mm.cas_link(&self.head, cur, next) } {
+                // SAFETY: we hold the head link's released count + ours.
+                unsafe {
+                    let value = mm.payload(cur).value.clone();
+                    mm.release_node(cur);
+                    mm.release_node(cur);
+                    debug_assert!(value.is_some(), "published node without value");
+                    return value;
+                }
+            }
+            // SAFETY: undo the speculative count and our dereference.
+            unsafe {
+                if !next.is_null() {
+                    mm.release_node(next);
+                }
+                mm.release_node(cur);
+            }
+        }
+    }
+
+    /// Clones the least-recently-inserted value through the weak tail
+    /// hint, or `None` if the list is empty or the hint's target has died
+    /// (popped since it was set).
+    pub fn peek_lru<M: RcMm<LruCell<V>>>(&self, mm: &M) -> Option<V> {
+        // SAFETY: `tail` only ever holds nodes of the caller's domain; a
+        // non-null return carries one strong reference.
+        unsafe {
+            let p = mm.load_weak_link(&self.tail);
+            if p.is_null() {
+                return None;
+            }
+            let value = mm.payload(p).value.clone();
+            mm.release_node(p);
+            value
+        }
+    }
+
+    /// Walks the weak back edges from the tail hint toward the head,
+    /// cloning at most `limit` values. Every step is a weak upgrade: the
+    /// walk stops early at the first edge whose target died. Returns the
+    /// values oldest-first — a best-effort recency sample (see the module
+    /// docs), safe against concurrent pushes and pops.
+    pub fn walk_newer<M: RcMm<LruCell<V>>>(&self, mm: &M, limit: usize) -> Vec<V> {
+        let mut out = Vec::new();
+        if limit == 0 {
+            return out;
+        }
+        // SAFETY: hand-over-hand over weak edges — each upgrade hands us a
+        // strong reference that outlives the next link read.
+        unsafe {
+            let mut cur = mm.load_weak_link(&self.tail);
+            while !cur.is_null() {
+                if let Some(v) = mm.payload(cur).value.clone() {
+                    out.push(v);
+                }
+                if out.len() >= limit {
+                    mm.release_node(cur);
+                    break;
+                }
+                let newer = mm.load_weak_link(&mm.payload(cur).prev);
+                mm.release_node(cur);
+                cur = newer;
+            }
+        }
+        out
+    }
+
+    /// True if the list was empty at the instant of the read.
+    pub fn is_empty(&self) -> bool {
+        self.head.is_null()
+    }
+
+    /// Counts the forward chain via hand-over-hand traversal. O(n); a
+    /// snapshot only at quiescence.
+    pub fn len<M: RcMm<LruCell<V>>>(&self, mm: &M) -> usize {
+        let mut n = 0;
+        // SAFETY: hand-over-hand — we always hold the node whose link we
+        // dereference next.
+        unsafe {
+            let mut cur = mm.deref_link(&self.head);
+            while !cur.is_null() {
+                n += 1;
+                let next = mm.deref_link(&mm.payload(cur).next);
+                mm.release_node(cur);
+                cur = next;
+            }
+        }
+        n
+    }
+
+    /// Pops everything and drops the tail hint's weak count (leak-checked
+    /// teardown: after this, the structure holds no counts of any kind).
+    pub fn clear<M: RcMm<LruCell<V>>>(&self, mm: &M) {
+        while self.pop_front(mm).is_some() {}
+        // SAFETY: null store — drops the hint's weak count, holds nothing.
+        unsafe { mm.store_weak_link(&self.tail, ptr::null_mut()) };
+    }
+}
+
+// SAFETY: the list is two atomic links; all node access is mediated by the
+// reclamation scheme.
+unsafe impl<V: Send> Send for LruList<V> {}
+unsafe impl<V: Send + Sync> Sync for LruList<V> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::RcMmDomain;
+    use std::sync::Arc;
+    use wfrc_baselines::LfrcDomain;
+    use wfrc_core::{DomainConfig, WfrcDomain};
+
+    fn recency_semantics<D: RcMmDomain<LruCell<u64>>>(d: &D) {
+        let h = d.register_mm().unwrap();
+        let l = LruList::new();
+        assert!(l.is_empty());
+        assert_eq!(l.pop_front(&h), None);
+        assert_eq!(l.peek_lru(&h), None);
+        for i in 0..10 {
+            l.push_front(&h, i).unwrap();
+        }
+        assert_eq!(l.len(&h), 10);
+        // The tail hint still targets the first push — the LRU entry.
+        assert_eq!(l.peek_lru(&h), Some(0));
+        // The weak walk sees the list oldest-first.
+        assert_eq!(l.walk_newer(&h, 64), (0..10).collect::<Vec<_>>());
+        assert_eq!(l.walk_newer(&h, 3), vec![0, 1, 2]);
+        for i in (0..10).rev() {
+            assert_eq!(l.pop_front(&h), Some(i));
+        }
+        // Everything popped: the hint's target is DEAD-but-weak, so the
+        // upgrade fails clean instead of resurrecting it.
+        assert_eq!(l.peek_lru(&h), None);
+        assert!(l.walk_newer(&h, 64).is_empty());
+        l.clear(&h);
+        let snap = h.counter_snapshot();
+        assert!(snap.weak_upgrades > 0);
+        assert!(snap.upgrade_failed > 0);
+        drop(h);
+        let r = d.leak_check_mm();
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn recency_wfrc() {
+        recency_semantics(&WfrcDomain::new(DomainConfig::new(2, 64)));
+    }
+
+    #[test]
+    fn recency_lfrc() {
+        recency_semantics(&LfrcDomain::new(2, 64));
+    }
+
+    fn back_edges_do_not_leak<D: RcMmDomain<LruCell<u64>>>(d: &D) {
+        // The doubly-linked shape with strong back edges would be a cycle
+        // and never drain; with weak ones, dropping the forward chain
+        // reclaims everything.
+        let h = d.register_mm().unwrap();
+        let l = LruList::new();
+        for i in 0..32 {
+            l.push_front(&h, i).unwrap();
+        }
+        let mid = d.leak_check_mm();
+        assert_eq!(mid.live_nodes, 32);
+        // One weak unit per back edge (31) + the tail hint (1).
+        assert_eq!(mid.weak_count, 32);
+        l.clear(&h);
+        drop(h);
+        let r = d.leak_check_mm();
+        assert!(r.is_clean(), "{r}");
+        assert_eq!(r.weak_count, 0);
+        assert_eq!(r.weak_nodes, 0);
+    }
+
+    #[test]
+    fn back_edges_wfrc() {
+        back_edges_do_not_leak(&WfrcDomain::new(DomainConfig::new(2, 64)));
+    }
+
+    #[test]
+    fn back_edges_lfrc() {
+        back_edges_do_not_leak(&LfrcDomain::new(2, 64));
+    }
+
+    fn concurrent_churn<D: RcMmDomain<LruCell<u64>> + Send + 'static>(d: D, threads: usize) {
+        let d = Arc::new(d);
+        let l = Arc::new(LruList::<u64>::new());
+        let per = 1_500u64;
+        let workers: Vec<_> = (0..threads)
+            .map(|t| {
+                let d = Arc::clone(&d);
+                let l = Arc::clone(&l);
+                std::thread::spawn(move || {
+                    let h = d.register_mm().unwrap();
+                    let mut popped = Vec::new();
+                    for i in 0..per {
+                        l.push_front(&h, (t as u64) << 32 | i).unwrap();
+                        // Weak reads race the structural churn.
+                        if i % 7 == 0 {
+                            let _ = l.peek_lru(&h);
+                            let _ = l.walk_newer(&h, 4);
+                        }
+                        if i % 2 == 1 {
+                            if let Some(v) = l.pop_front(&h) {
+                                popped.push(v);
+                            }
+                        }
+                    }
+                    popped
+                })
+            })
+            .collect();
+        let mut seen: Vec<u64> = workers
+            .into_iter()
+            .flat_map(|w| w.join().unwrap())
+            .collect();
+        let h = d.register_mm().unwrap();
+        while let Some(v) = l.pop_front(&h) {
+            seen.push(v);
+        }
+        l.clear(&h);
+        drop(h);
+        // Every pushed value comes back exactly once: the weak traffic
+        // never swallowed or duplicated a node.
+        seen.sort_unstable();
+        let mut expected: Vec<u64> = (0..threads as u64)
+            .flat_map(|t| (0..per).map(move |i| t << 32 | i))
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(seen, expected);
+        let r = d.leak_check_mm();
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn concurrent_churn_wfrc() {
+        concurrent_churn(
+            WfrcDomain::<LruCell<u64>>::new(DomainConfig::new(4, 4 * 1_500 + 64)),
+            4,
+        );
+    }
+
+    #[test]
+    fn concurrent_churn_lfrc() {
+        concurrent_churn(LfrcDomain::<LruCell<u64>>::new(4, 4 * 1_500 + 64), 4);
+    }
+}

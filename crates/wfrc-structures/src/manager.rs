@@ -13,7 +13,7 @@
 
 use wfrc_core::counters::CounterSnapshot;
 use wfrc_core::oom::OutOfMemory;
-use wfrc_core::{LeakReport, Link, Node, RcObject};
+use wfrc_core::{AtomicWeak, LeakReport, Link, Node, RcObject};
 
 /// A per-thread handle to a reference-counted memory-management scheme.
 ///
@@ -123,6 +123,49 @@ pub unsafe trait RcMm<T: RcObject> {
     /// `snapshot_enter` is a no-op); `link` must only ever hold nodes of
     /// this handle's domain.
     unsafe fn snapshot_load(&self, link: &Link<T>) -> *mut Node<T>;
+
+    // --- Weak layer (PR 10, DESIGN.md §4g) ---------------------------
+
+    /// Adds one weak reference to `node` (a downgrade); pair with
+    /// [`RcMm::release_weak`].
+    ///
+    /// # Safety
+    /// The caller must hold a strong reference on non-null `node` for the
+    /// duration of the call.
+    unsafe fn downgrade_node(&self, node: *mut Node<T>);
+
+    /// Attempts to mint a strong reference from a weak one: `true` means
+    /// the caller now owns one strong reference on `node` (release via
+    /// [`RcMm::release_node`]); the weak reference is untouched either way.
+    ///
+    /// # Safety
+    /// The caller must hold a weak reference on `node`.
+    unsafe fn upgrade_node(&self, node: *mut Node<T>) -> bool;
+
+    /// Drops one caller-owned weak reference; the last one off a dead
+    /// header frees the node.
+    ///
+    /// # Safety
+    /// Caller owns an unreleased weak reference on non-null `node`.
+    unsafe fn release_weak(&self, node: *mut Node<T>);
+
+    /// Stores `node` into the weak link `w`: mints one weak count on
+    /// `node`, swaps the link, and drops the weak count the link held on
+    /// its previous target. The caller's strong reference on `node` is
+    /// untouched.
+    ///
+    /// # Safety
+    /// `node` must be null or a node of this domain the caller holds a
+    /// strong reference on; `w` must only ever hold nodes of this domain.
+    unsafe fn store_weak_link(&self, w: &AtomicWeak<T>, node: *mut Node<T>);
+
+    /// Loads `w` and upgrades its target in one step: a non-null return
+    /// carries one caller-owned **strong** reference (null means the link
+    /// was empty or its target died).
+    ///
+    /// # Safety
+    /// `w` must only ever hold nodes of this handle's domain.
+    unsafe fn load_weak_link(&self, w: &AtomicWeak<T>) -> *mut Node<T>;
 }
 
 // SAFETY: ThreadHandle implements the paper's scheme; §4 proves the
@@ -173,6 +216,26 @@ unsafe impl<T: RcObject> RcMm<T> for wfrc_core::ThreadHandle<'_, T> {
     unsafe fn snapshot_load(&self, link: &Link<T>) -> *mut Node<T> {
         // SAFETY: forwarded contract (pin session live).
         unsafe { self.snapshot_raw(link) }
+    }
+    unsafe fn downgrade_node(&self, node: *mut Node<T>) {
+        // SAFETY: forwarded contract.
+        unsafe { self.downgrade_raw(node) }
+    }
+    unsafe fn upgrade_node(&self, node: *mut Node<T>) -> bool {
+        // SAFETY: forwarded contract.
+        unsafe { self.upgrade_raw(node) }
+    }
+    unsafe fn release_weak(&self, node: *mut Node<T>) {
+        // SAFETY: forwarded contract.
+        unsafe { self.release_weak_raw(node) }
+    }
+    unsafe fn store_weak_link(&self, w: &AtomicWeak<T>, node: *mut Node<T>) {
+        // SAFETY: forwarded contract.
+        unsafe { self.store_weak_raw(w, node) }
+    }
+    unsafe fn load_weak_link(&self, w: &AtomicWeak<T>) -> *mut Node<T> {
+        // SAFETY: forwarded contract.
+        unsafe { self.load_weak_raw(w) }
     }
 }
 
@@ -225,6 +288,26 @@ unsafe impl<T: RcObject> RcMm<T> for wfrc_baselines::LfrcHandle<'_, T> {
         // SAFETY: forwarded contract — with LFRC the caller must protect
         // the target itself (the guard provides nothing).
         unsafe { self.snapshot_raw(link) }
+    }
+    unsafe fn downgrade_node(&self, node: *mut Node<T>) {
+        // SAFETY: forwarded contract.
+        unsafe { self.downgrade_raw(node) }
+    }
+    unsafe fn upgrade_node(&self, node: *mut Node<T>) -> bool {
+        // SAFETY: forwarded contract.
+        unsafe { self.upgrade_raw(node) }
+    }
+    unsafe fn release_weak(&self, node: *mut Node<T>) {
+        // SAFETY: forwarded contract.
+        unsafe { self.release_weak_raw(node) }
+    }
+    unsafe fn store_weak_link(&self, w: &AtomicWeak<T>, node: *mut Node<T>) {
+        // SAFETY: forwarded contract.
+        unsafe { self.store_weak_raw(w, node) }
+    }
+    unsafe fn load_weak_link(&self, w: &AtomicWeak<T>) -> *mut Node<T> {
+        // SAFETY: forwarded contract.
+        unsafe { self.load_weak_raw(w) }
     }
 }
 

@@ -7,7 +7,7 @@
 use std::sync::Arc;
 use std::thread;
 
-use wfrc::core::{DomainConfig, Link, RcObject, WfrcDomain};
+use wfrc::core::{AtomicWeak, DomainConfig, Link, RcObject, WfrcDomain};
 
 /// A payload with one internal link — a cons cell. `each_link` is the one
 /// obligation payloads carry: enumerate the links you own so reclamation
@@ -61,6 +61,36 @@ fn main() {
         drop(a);
         drop(b);
         println!("single-threaded tour: ok ({:?})", domain.leak_check());
+    }
+
+    // -- Weak-reference tour (PR 10) ------------------------------------
+    {
+        let h = domain.register().unwrap();
+        let cell = h.alloc_with(|c| c.value = 7).unwrap();
+
+        // downgrade: one FAA on the node's packed count word. The weak
+        // reference observes the node without keeping its payload alive.
+        let weak = h.downgrade(&cell);
+        let back = AtomicWeak::null();
+        h.store_weak(&back, Some(&cell));
+
+        // upgrade succeeds iff the strong count is nonzero.
+        assert_eq!(weak.upgrade().unwrap().value, 7);
+        assert_eq!(h.load_weak(&back).unwrap().value, 7);
+
+        // Last strong reference gone: payload dead, header weak-reachable.
+        drop(cell);
+        assert!(weak.upgrade().is_none());
+        assert!(weak.is_dead());
+        assert!(h.load_weak(&back).is_none());
+
+        // Draining the weak count finalizes the header into the free path.
+        h.store_weak(&back, None);
+        drop(weak);
+        drop(h);
+        let report = domain.leak_check();
+        assert!(report.is_clean() && report.weak_count == 0);
+        println!("weak-reference tour: ok ({report:?})");
     }
 
     // -- Concurrent tour: a shared root under contention ----------------

@@ -3,8 +3,10 @@
 # including the PR5 oscillating-reclaim modes, the PR6 mixed-size
 # per-class arena modes, the PR7 leased-slot server workload, the
 # PR8 sentinel chaos mode (killed lease holders + admission control),
-# and the PR9 snapshot read path (E4 --snapshot + the E8 snapshot
-# ablation) — and writes a machine-readable BENCH_PR9.json at the repo root (one entry
+# the PR9 snapshot read path (E4 --snapshot + the E8 snapshot ablation),
+# and the PR10 weak-reference graph churn (E13, with and without the
+# snapshot pin composition) — and writes a machine-readable
+# BENCH_PR10.json at the repo root (one entry
 # per configuration, each embedding the experiment's table as headers +
 # rows: scheme × threads × mode → ops/s, resident curve, class curve,
 # checkout tails, …), so future PRs can diff their numbers against this
@@ -12,12 +14,12 @@
 #
 # Usage: scripts/bench_snapshot.sh [--quick] [--out FILE]
 #   --quick   CI-sized op counts (the bench-smoke job runs this)
-#   --out     output path (default: BENCH_PR9.json in the repo root)
+#   --out     output path (default: BENCH_PR10.json in the repo root)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 QUICK=0
-OUT="BENCH_PR9.json"
+OUT="BENCH_PR10.json"
 while [[ $# -gt 0 ]]; do
     case "$1" in
         --quick) QUICK=1; shift ;;
@@ -42,6 +44,8 @@ if [[ "$QUICK" == 1 ]]; then
     E12_ARGS="--tasks 1000 --slots 4,16 --workers 8 --ops 50"
     E12_RECLAIM_ARGS="--tasks 1000 --slots 8 --workers 8 --ops 50 --grow --reclaim"
     E12_SENTINEL_ARGS="--tasks 1000 --slots 8 --workers 8 --ops 50 --kill 8 --admission-ms 50"
+    E13_ARGS="--threads 2 --ops 5000 --weak-ratio 0.3"
+    E13_SNAP_ARGS="--threads 2 --ops 5000 --weak-ratio 0.3 --snapshot"
 else
     E4_READ_ARGS="--mode read --threads 0,2,8 --ops 50000"
     E4_SNAP_ARGS="--mode read --snapshot --threads 0,2,8 --ops 200000"
@@ -56,6 +60,8 @@ else
     E12_ARGS="--tasks 10000 --slots 16,64 --workers 32 --ops 200"
     E12_RECLAIM_ARGS="--tasks 10000 --slots 64 --workers 32 --ops 200 --grow --reclaim"
     E12_SENTINEL_ARGS="--tasks 10000 --slots 64 --workers 32 --ops 200 --kill 64 --admission-ms 100"
+    E13_ARGS="--threads 2,8 --ops 40000 --weak-ratio 0.3"
+    E13_SNAP_ARGS="--threads 2,8 --ops 40000 --weak-ratio 0.3 --snapshot"
 fi
 
 cargo build --release -p bench --bins
@@ -75,7 +81,7 @@ trap 'rm -f "$TMP"' EXIT
 
 {
     echo '{'
-    echo "  \"snapshot\": \"PR9 snapshot references: pinned plain-load reads + deferred RC\","
+    echo "  \"snapshot\": \"PR10 weak references: strong+weak packed counts + graph churn\","
     echo "  \"commit\": \"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)\","
     echo "  \"quick\": $([[ "$QUICK" == 1 ]] && echo true || echo false),"
     echo '  "configs": ['
@@ -109,6 +115,8 @@ trap 'rm -f "$TMP"' EXIT
     emit "e12-server" e12_server $E12_ARGS
     emit "e12-grow-reclaim" e12_server $E12_RECLAIM_ARGS
     emit "e12-sentinel-chaos" e12_server $E12_SENTINEL_ARGS
+    emit "e13-graph-churn" e13_graph_churn $E13_ARGS
+    emit "e13-graph-snapshot" e13_graph_churn $E13_SNAP_ARGS
 
     echo ''
     echo '  ]'

@@ -7,7 +7,8 @@ use std::sync::Arc;
 
 use wfrc::baselines::LfrcDomain;
 use wfrc::core::{DomainConfig, WfrcDomain};
-use wfrc::structures::manager::RcMmDomain;
+use wfrc::structures::lru_list::{LruCell, LruList};
+use wfrc::structures::manager::{ByteMm, RcMmDomain};
 use wfrc::structures::ordered_list::{ListCell, OrderedList};
 use wfrc::structures::priority_queue::{PqCell, PriorityQueue};
 use wfrc::structures::queue::{Queue, QueueCell};
@@ -267,6 +268,167 @@ fn list_stress_wfrc() {
 #[test]
 fn list_stress_lfrc() {
     list_stress(LfrcDomain::new(THREADS + 1, 4096));
+}
+
+/// PR 10 coverage fix: the cross-scheme comparison previously never ran
+/// with byte classes configured or the pin machinery live. This driver
+/// runs both at once, in audited cycles, over both schemes:
+///
+/// * a [`Stack`] churned by every worker, with [`Stack::peek`] on each
+///   iteration — under the wait-free scheme that is a live pin session
+///   (`snapshot_enter` + plain load), the DESIGN.md §4f read path;
+/// * byte-class traffic through [`ByteMm`] (`with_classes` on the
+///   wait-free domain, [`LfrcDomain::set_classes`] on the baseline) racing
+///   the node traffic on the same domain;
+/// * an [`LruList`] on a second domain — weak back edges created, upgraded
+///   and killed under contention (`load_weak_link` in `peek_lru`/
+///   `walk_newer` races `pop_front` retiring targets);
+/// * a full [`LeakReport`] audit **per cycle**, not just at teardown:
+///   node arena clean, every byte class clean, weak tier fully drained.
+fn classed_pinned_weak_stress<DS, DL>(ds: DS, dl: DL, pinned: bool)
+where
+    DS: RcMmDomain<StackCell<u64>> + Send + 'static,
+    for<'a> DS::Handle<'a>: ByteMm,
+    DL: RcMmDomain<LruCell<u64>> + Send + 'static,
+{
+    const CYCLES: usize = 3;
+    const PER_CYCLE: u64 = 1_000;
+    const CLASS_SIZES: [usize; 2] = [64, 256];
+    let ds = Arc::new(ds);
+    let dl = Arc::new(dl);
+    let s = Arc::new(Stack::<u64>::new());
+    let lru = Arc::new(LruList::<u64>::new());
+    for cycle in 0..CYCLES {
+        let workers: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let ds = Arc::clone(&ds);
+                let dl = Arc::clone(&dl);
+                let s = Arc::clone(&s);
+                let lru = Arc::clone(&lru);
+                std::thread::spawn(move || {
+                    let h = ds.register_mm().unwrap();
+                    let hl = dl.register_mm().unwrap();
+                    let mut popped = Vec::new();
+                    let mut tokens = Vec::new();
+                    for i in 0..PER_CYCLE {
+                        let v = (cycle as u64) << 48 | (t as u64) << 32 | i;
+                        s.push(&h, v).unwrap();
+                        // Pin-protected read: a snapshot session under the
+                        // wait-free scheme, a counted deref on the baseline.
+                        let _ = s.peek(&h);
+                        if i % 2 == 1 {
+                            if let Some(v) = s.pop(&h) {
+                                popped.push(v);
+                            }
+                        }
+                        // Byte-class churn racing the node churn.
+                        let fill = (i as u8) ^ (t as u8);
+                        let len = CLASS_SIZES[(i % 2) as usize] - (i % 8) as usize;
+                        let tok = h.alloc_value(&vec![fill; len]).unwrap();
+                        tokens.push((tok, fill));
+                        if tokens.len() > 16 {
+                            let (tok, fill) = tokens.swap_remove((i % 16) as usize);
+                            // SAFETY: live token removed from `tokens`,
+                            // read then freed exactly once.
+                            unsafe {
+                                assert_eq!(h.value_bytes(&tok)[0], fill);
+                                h.free_value(tok);
+                            }
+                        }
+                        // Weak-link churn: the LRU's recency edges are
+                        // AtomicWeak back edges; reads upgrade them while
+                        // pops kill their targets.
+                        lru.push_front(&hl, v).unwrap();
+                        if i % 2 == 0 {
+                            let _ = lru.pop_front(&hl);
+                        }
+                        if i % 16 == 7 {
+                            let _ = lru.peek_lru(&hl);
+                            let _ = lru.walk_newer(&hl, 4);
+                        }
+                    }
+                    for (tok, fill) in tokens {
+                        // SAFETY: live tokens, each freed exactly once.
+                        unsafe {
+                            assert_eq!(h.value_bytes(&tok)[0], fill);
+                            h.free_value(tok);
+                        }
+                    }
+                    popped
+                })
+            })
+            .collect();
+        let mut seen: Vec<u64> = workers
+            .into_iter()
+            .flat_map(|w| w.join().unwrap())
+            .collect();
+        let h = ds.register_mm().unwrap();
+        while let Some(v) = s.pop(&h) {
+            seen.push(v);
+        }
+        drop(h);
+        assert_eq!(seen.len(), THREADS * PER_CYCLE as usize, "cycle {cycle}");
+        assert_eq!(
+            seen.iter().collect::<HashSet<_>>().len(),
+            seen.len(),
+            "cycle {cycle}: duplicate pop"
+        );
+        let hl = dl.register_mm().unwrap();
+        lru.clear(&hl);
+        drop(hl);
+
+        // The per-cycle audit: both domains quiescent-clean between
+        // cycles, byte classes included, weak tier fully drained.
+        let r = ds.leak_check_mm();
+        assert!(r.is_clean(), "cycle {cycle} [{}]: {r:?}", ds.scheme_name());
+        assert_eq!(r.classes.len(), CLASS_SIZES.len(), "cycle {cycle}");
+        for (ci, cl) in r.classes.iter().enumerate() {
+            assert_eq!(cl.live_nodes, 0, "cycle {cycle} class {ci}: {cl:?}");
+            assert_eq!(cl.corrupt_nodes, 0, "cycle {cycle} class {ci}: {cl:?}");
+        }
+        if pinned {
+            assert!(
+                r.snapshot_derefs > 0,
+                "cycle {cycle}: peek must ride the pin machinery: {r:?}"
+            );
+        }
+        let rl = dl.leak_check_mm();
+        assert!(
+            rl.is_clean(),
+            "cycle {cycle} [{}]: {rl:?}",
+            dl.scheme_name()
+        );
+        assert_eq!(rl.weak_count, 0, "cycle {cycle}: {rl:?}");
+        assert!(
+            rl.weak_upgrades > 0,
+            "cycle {cycle}: the LRU reads must exercise the weak tier: {rl:?}"
+        );
+    }
+}
+
+fn stress_classes() -> Vec<wfrc::core::ClassConfig> {
+    [64usize, 256]
+        .iter()
+        .map(|&s| {
+            wfrc::core::ClassConfig::new(s, 64).with_growth(wfrc::core::Growth::doubling_to(4096))
+        })
+        .collect()
+}
+
+#[test]
+fn classed_pinned_weak_stress_wfrc() {
+    classed_pinned_weak_stress(
+        WfrcDomain::new(DomainConfig::new(THREADS + 1, 8192).with_classes(stress_classes())),
+        WfrcDomain::new(DomainConfig::new(THREADS + 1, 8192)),
+        true,
+    );
+}
+
+#[test]
+fn classed_pinned_weak_stress_lfrc() {
+    let mut ds = LfrcDomain::new(THREADS + 1, 8192);
+    ds.set_classes(stress_classes());
+    classed_pinned_weak_stress(ds, LfrcDomain::new(THREADS + 1, 8192), false);
 }
 
 /// Two structures of the same payload type sharing one domain: the

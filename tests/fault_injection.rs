@@ -59,6 +59,12 @@ fn victim_loop(h: ThreadHandle<'_, u64>, links: &[Link<u64>], plan: &FaultPlan) 
         }
         if let Some(g) = h.deref(&links[(i + 1) % links.len()]) {
             std::hint::black_box(*g);
+            if i % 5 == 4 {
+                // Weak downgrade/upgrade churn (PR 10): reaches the
+                // `WeakUpgrade` site.
+                let w = h.downgrade(&g);
+                drop(w.upgrade());
+            }
         }
         if i % 3 == 2 {
             // Pinned snapshot read + upgrade (PR 9): reaches the
@@ -181,6 +187,7 @@ site_scenarios! {
     grow_seed_park, grow_seed_die => FaultSite::GrowSeed;
     summary_clear_park, summary_clear_die => FaultSite::SummaryClear;
     snapshot_upgrade_park, snapshot_upgrade_die => FaultSite::SnapshotUpgrade;
+    weak_upgrade_park, weak_upgrade_die => FaultSite::WeakUpgrade;
 }
 
 /// `HelperCas` needs a pending announcement for the victim to help: an aux
@@ -286,16 +293,25 @@ fn bounded_stalls_are_transparent() {
         FaultAction::Stall(500),
         FireRule::EveryNth(77),
     );
+    plan.arm(
+        FaultSite::WeakUpgrade,
+        FaultAction::Stall(500),
+        FireRule::EveryNth(63),
+    );
 
     let link = Link::null();
     let h = domain.register().unwrap();
     for i in 0..2_000u64 {
         let g = h.alloc_with(|v| *v = i).unwrap();
         h.store(&link, Some(&g));
+        let w = h.downgrade(&g);
         drop(g);
         if let Some(r) = h.deref(&link) {
             assert_eq!(*r, i);
         }
+        // A stalled upgrade is still linearizable: the link's count keeps
+        // the node alive, so the upgrade must succeed regardless.
+        assert_eq!(*w.upgrade().expect("link holds a strong count"), i);
     }
     let snapshot = h.counters().snapshot();
     h.store(&link, None);

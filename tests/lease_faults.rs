@@ -49,6 +49,12 @@ fn leased_victim_loop(h: &ThreadHandle<'_, u64>, links: &[Link<u64>], plan: &Fau
         }
         if let Some(g) = h.deref(&links[(i + 1) % links.len()]) {
             std::hint::black_box(*g);
+            if i % 5 == 4 {
+                // Weak churn through the leased handle (PR 10): reaches
+                // the `WeakUpgrade` site while the lease is held.
+                let w = h.downgrade(&g);
+                drop(w.upgrade());
+            }
         }
         if i % 7 == 6 {
             held.pop();
@@ -146,6 +152,73 @@ leased_site_scenarios! {
     leased_magazine_drain_die => FaultSite::MagazineDrain;
     leased_grow_seed_die => FaultSite::GrowSeed;
     leased_summary_clear_die => FaultSite::SummaryClear;
+    leased_weak_upgrade_die => FaultSite::WeakUpgrade;
+}
+
+/// ISSUE scenario (d): lease-expiry while the tenant holds a `Weak`. The
+/// tenant publishes a strong link and a weak link, then dies at the armed
+/// `WeakUpgrade` site still holding the lease; `expire_overdue` routes the
+/// corpse through adoption, and a fresh tenant can still upgrade through
+/// the standing weak link — the weak unit belongs to the link, not to the
+/// dead tenant.
+#[test]
+fn expiry_recovers_tenant_holding_weak() {
+    use wfrc::core::AtomicWeak;
+    silence_injected_deaths();
+    let (domain, plan) = faulted_domain(0x3A2B);
+    plan.arm_victim(
+        0,
+        FaultSite::WeakUpgrade,
+        FaultAction::Die,
+        FireRule::Nth(1),
+    );
+    let pool = LeasePool::new(&domain, LeaseConfig::new(2)).unwrap();
+    let link: Link<u64> = Link::null();
+    let weak_link: AtomicWeak<u64> = AtomicWeak::null();
+
+    std::thread::scope(|s| {
+        let (pool_ref, link, weak_link) = (&pool, &link, &weak_link);
+        let vt = s.spawn(move || {
+            let g = pool_ref.acquire();
+            assert_eq!(g.tid(), 0, "first acquire must land on the armed slot");
+            let node = g.alloc_with(|v| *v = 321).unwrap();
+            g.store(link, Some(&node));
+            g.store_weak(weak_link, Some(&node));
+            let w = g.downgrade(&node);
+            drop(node);
+            let _ = w.upgrade(); // armed: dies holding lease + Weak
+            unreachable!("WeakUpgrade never fired");
+        });
+        let err = vt.join().expect_err("victim must die at WeakUpgrade");
+        let death = err
+            .downcast::<InjectedDeath>()
+            .expect("panic payload must be InjectedDeath");
+        assert_eq!(death.site, FaultSite::WeakUpgrade);
+    });
+
+    assert_eq!(pool.stats().panic_orphans, 1, "guard must orphan on unwind");
+    let report = pool.expire_overdue();
+    assert_eq!(report.recovered, 1, "the corpse's slot must come back");
+    assert_eq!(report.adopt.orphans_adopted, 1);
+
+    // The weak tier survived the tenant: a fresh lease upgrades through
+    // the standing weak link and reads the dead tenant's write.
+    let g = pool.try_acquire().expect("recovered slot is reusable");
+    {
+        let got = g.load_weak(&weak_link).expect("target still strongly held");
+        assert_eq!(*got, 321);
+    }
+    g.store(&link, None);
+    assert!(
+        g.load_weak(&weak_link).is_none(),
+        "strong count drained — the weak link must refuse"
+    );
+    g.store_weak(&weak_link, None);
+    drop(g);
+    drop(pool);
+    let leaks = domain.leak_check();
+    assert!(leaks.is_clean(), "{leaks:?}");
+    assert_eq!(leaks.weak_count, 0, "{leaks:?}");
 }
 
 /// Death at `LeaseExpire` itself: mid-checkout, after the slot is LEASED

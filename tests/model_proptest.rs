@@ -368,6 +368,663 @@ fn mixed_class_interleavings_stay_sound() {
     }
 }
 
+// --- PR 10: mixed strong/weak/snapshot sequences against a reference
+// --- model, with a printed `WFRC_FAULT_SEED` repro line on failure.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use wfrc::core::{AtomicWeak, Link, Node};
+use wfrc::structures::manager::RcMm;
+
+/// `WFRC_FAULT_SEED=0x...` replays exactly one case (the seed a failure
+/// printed) instead of the full sweep.
+fn replay_seed() -> Option<u64> {
+    let v = std::env::var("WFRC_FAULT_SEED").ok()?;
+    let v = v.trim();
+    let hex = v
+        .strip_prefix("0x")
+        .or_else(|| v.strip_prefix("0X"))
+        .unwrap_or(v);
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// Per-case seed: the base spread by the SplitMix64 increment so replaying
+/// one case never depends on generator state left by earlier cases.
+fn case_seed(base: u64, case: u64) -> u64 {
+    base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Runs `CASES` seeded cases (or the single `WFRC_FAULT_SEED` replay). On
+/// failure, shrinks to the shortest failing prefix of the op sequence and
+/// prints a one-line repro before re-raising the original panic.
+fn for_each_seeded_case<O: Clone + std::fmt::Debug>(
+    test: &str,
+    base: u64,
+    gen: impl Fn(&mut SmallRng) -> Vec<O>,
+    run: impl Fn(&[O]),
+) {
+    if let Some(seed) = replay_seed() {
+        eprintln!("{test}: replaying WFRC_FAULT_SEED={seed:#x}");
+        let ops = gen(&mut SmallRng::seed_from_u64(seed));
+        run(&ops);
+        return;
+    }
+    for case in 0..CASES {
+        let seed = case_seed(base, case);
+        let ops = gen(&mut SmallRng::seed_from_u64(seed));
+        if let Err(panic) = catch_unwind(AssertUnwindSafe(|| run(&ops))) {
+            // Shrink: the shortest failing prefix, with panic output
+            // silenced while probing.
+            let hook = std::panic::take_hook();
+            std::panic::set_hook(Box::new(|_| {}));
+            let minimal = (1..=ops.len())
+                .find(|&n| catch_unwind(AssertUnwindSafe(|| run(&ops[..n]))).is_err())
+                .unwrap_or(ops.len());
+            std::panic::set_hook(hook);
+            if minimal <= 12 {
+                eprintln!("{test}: minimal failing prefix: {:#?}", &ops[..minimal]);
+            }
+            eprintln!(
+                "{test}: case {case} failed ({} ops, shortest failing prefix {minimal}); \
+                 repro: WFRC_FAULT_SEED={seed:#x} cargo test --test model_proptest {test}",
+                ops.len(),
+            );
+            resume_unwind(panic);
+        }
+    }
+}
+
+/// One step of the mixed strong/weak/snapshot workload. Index operands are
+/// raw `u64` picks resolved modulo the live population at execution time,
+/// so any prefix of a sequence stays executable (what the shrinker relies
+/// on).
+#[derive(Debug, Clone, Copy)]
+enum WeakOp {
+    Alloc,
+    DropGuard(u64),
+    SetLink(u64, u64),
+    ClearLink(u64),
+    Deref(u64),
+    Downgrade(u64),
+    DropWeak(u64),
+    Upgrade(u64),
+    SetWeakLink(u64, u64),
+    ClearWeakLink(u64),
+    LoadWeak(u64),
+    /// Pin, snapshot link `.0`, optionally clear the link underneath the
+    /// snapshot (`.1`), then attempt the snapshot upgrade.
+    SnapshotRetarget(u64, bool),
+}
+
+const WEAK_OP_LINKS: u64 = 3;
+const WEAK_OP_WEAK_LINKS: u64 = 2;
+
+fn gen_weak_ops(rng: &mut SmallRng) -> Vec<WeakOp> {
+    let len = 40 + rng.gen_range(160) as usize;
+    (0..len)
+        .map(|_| match rng.gen_range(16) {
+            0 | 1 => WeakOp::Alloc,
+            2 | 3 => WeakOp::DropGuard(rng.next_u64()),
+            4 => WeakOp::SetLink(rng.gen_range(WEAK_OP_LINKS), rng.next_u64()),
+            5 => WeakOp::ClearLink(rng.gen_range(WEAK_OP_LINKS)),
+            6 => WeakOp::Deref(rng.gen_range(WEAK_OP_LINKS)),
+            7 | 8 => WeakOp::Downgrade(rng.next_u64()),
+            9 => WeakOp::DropWeak(rng.next_u64()),
+            10 | 11 => WeakOp::Upgrade(rng.next_u64()),
+            12 => WeakOp::SetWeakLink(rng.gen_range(WEAK_OP_WEAK_LINKS), rng.next_u64()),
+            13 => WeakOp::ClearWeakLink(rng.gen_range(WEAK_OP_WEAK_LINKS)),
+            14 => WeakOp::LoadWeak(rng.gen_range(WEAK_OP_WEAK_LINKS)),
+            _ => WeakOp::SnapshotRetarget(rng.gen_range(WEAK_OP_LINKS), rng.gen_bool(0.5)),
+        })
+        .collect()
+}
+
+/// The tentpole property, sequentially: every `Weak::upgrade` (and
+/// snapshot upgrade, and `load_weak`) succeeds **iff** the reference
+/// model says the target's strong count is nonzero at that instant, and
+/// the domain's weak accounting (`LeakReport::weak_count` sums the packed
+/// word's weak tier across the whole arena) matches the model after every
+/// single op.
+fn run_weak_ops(ops: &[WeakOp]) {
+    let d = WfrcDomain::<u64>::new(DomainConfig::new(1, 64).with_growth(Growth::doubling_to(1024)));
+    let h = d.register().unwrap();
+    let links: Vec<Link<u64>> = (0..WEAK_OP_LINKS).map(|_| Link::null()).collect();
+    let weak_links: Vec<AtomicWeak<u64>> = (0..WEAK_OP_WEAK_LINKS)
+        .map(|_| AtomicWeak::null())
+        .collect();
+
+    // Reference model, indexed by node id (== payload value): the strong
+    // and weak counts implied by everything this thread holds.
+    let mut strong: Vec<u32> = Vec::new();
+    let mut weak: Vec<u32> = Vec::new();
+    let mut link_tgt: Vec<Option<usize>> = vec![None; links.len()];
+    let mut weak_tgt: Vec<Option<usize>> = vec![None; weak_links.len()];
+    let mut guards = Vec::new();
+    let mut weaks = Vec::new();
+
+    for (step, op) in ops.iter().enumerate() {
+        match *op {
+            WeakOp::Alloc => {
+                let id = strong.len();
+                if let Ok(g) = h.alloc_with(|v| *v = id as u64) {
+                    strong.push(1);
+                    weak.push(0);
+                    guards.push((id, g));
+                }
+            }
+            WeakOp::DropGuard(p) => {
+                if !guards.is_empty() {
+                    let (id, g) = guards.swap_remove(p as usize % guards.len());
+                    drop(g);
+                    strong[id] -= 1;
+                }
+            }
+            WeakOp::SetLink(li, p) => {
+                let li = li as usize;
+                if !guards.is_empty() {
+                    let (id, ref g) = guards[p as usize % guards.len()];
+                    h.store(&links[li], Some(g));
+                    strong[id] += 1;
+                    if let Some(old) = link_tgt[li].replace(id) {
+                        strong[old] -= 1;
+                    }
+                }
+            }
+            WeakOp::ClearLink(li) => {
+                let li = li as usize;
+                h.store(&links[li], None);
+                if let Some(old) = link_tgt[li].take() {
+                    strong[old] -= 1;
+                }
+            }
+            WeakOp::Deref(li) => {
+                let li = li as usize;
+                let got = h.deref(&links[li]);
+                assert_eq!(got.is_some(), link_tgt[li].is_some(), "step {step}");
+                if let Some(g) = got {
+                    let id = link_tgt[li].unwrap();
+                    assert_eq!(*g, id as u64, "step {step}: payload mismatch");
+                    strong[id] += 1;
+                    guards.push((id, g));
+                }
+            }
+            WeakOp::Downgrade(p) => {
+                if !guards.is_empty() {
+                    let (id, ref g) = guards[p as usize % guards.len()];
+                    let w = h.downgrade(g);
+                    weak[id] += 1;
+                    weaks.push((id, w));
+                }
+            }
+            WeakOp::DropWeak(p) => {
+                if !weaks.is_empty() {
+                    let (id, w) = weaks.swap_remove(p as usize % weaks.len());
+                    drop(w);
+                    weak[id] -= 1;
+                }
+            }
+            WeakOp::Upgrade(p) => {
+                if !weaks.is_empty() {
+                    let idx = p as usize % weaks.len();
+                    let id = weaks[idx].0;
+                    let up = weaks[idx].1.upgrade();
+                    assert_eq!(
+                        up.is_some(),
+                        strong[id] > 0,
+                        "step {step}: upgrade must succeed iff strong > 0 \
+                         (node {id}: strong {}, weak {})",
+                        strong[id],
+                        weak[id],
+                    );
+                    match up {
+                        Some(g) => {
+                            assert_eq!(*g, id as u64, "step {step}");
+                            strong[id] += 1;
+                            guards.push((id, g));
+                        }
+                        None => assert!(
+                            weaks[idx].1.is_dead(),
+                            "step {step}: failed upgrade must observe DEAD"
+                        ),
+                    }
+                }
+            }
+            WeakOp::SetWeakLink(wi, p) => {
+                let wi = wi as usize;
+                if !guards.is_empty() {
+                    let (id, ref g) = guards[p as usize % guards.len()];
+                    h.store_weak(&weak_links[wi], Some(g));
+                    weak[id] += 1;
+                    if let Some(old) = weak_tgt[wi].replace(id) {
+                        weak[old] -= 1;
+                    }
+                }
+            }
+            WeakOp::ClearWeakLink(wi) => {
+                let wi = wi as usize;
+                h.store_weak(&weak_links[wi], None);
+                if let Some(old) = weak_tgt[wi].take() {
+                    weak[old] -= 1;
+                }
+            }
+            WeakOp::LoadWeak(wi) => {
+                let wi = wi as usize;
+                let got = h.load_weak(&weak_links[wi]);
+                let want = weak_tgt[wi].filter(|&id| strong[id] > 0);
+                assert_eq!(
+                    got.is_some(),
+                    want.is_some(),
+                    "step {step}: load_weak must upgrade iff the target's strong \
+                     count is live (target {:?})",
+                    weak_tgt[wi],
+                );
+                if let Some(g) = got {
+                    let id = want.unwrap();
+                    assert_eq!(*g, id as u64, "step {step}");
+                    strong[id] += 1;
+                    guards.push((id, g));
+                }
+            }
+            WeakOp::SnapshotRetarget(li, clear) => {
+                let li = li as usize;
+                let pin = h.pin();
+                match pin.snapshot(&links[li]) {
+                    None => assert!(link_tgt[li].is_none(), "step {step}"),
+                    Some(snap) => {
+                        let id = link_tgt[li].expect("snapshot saw a target");
+                        assert_eq!(*snap, id as u64, "step {step}");
+                        if clear {
+                            // Kill the link underneath the snapshot: the
+                            // free (if this was the last strong count)
+                            // defers behind the live pin.
+                            h.store(&links[li], None);
+                            link_tgt[li] = None;
+                            strong[id] -= 1;
+                        }
+                        // Snapshot upgrade revalidates the *link*: it
+                        // succeeds iff the link still resolves to the
+                        // snapshot's node (single-threaded: iff we did not
+                        // just clear it), never minting a reference on a
+                        // node the structure has moved off of.
+                        let up = snap.upgrade();
+                        assert_eq!(
+                            up.is_some(),
+                            !clear,
+                            "step {step}: snapshot upgrade must succeed iff \
+                             the link still holds node {id}"
+                        );
+                        if let Some(g) = up {
+                            strong[id] += 1;
+                            guards.push((id, g));
+                        }
+                    }
+                }
+                drop(pin);
+                h.drain_deferred();
+            }
+        }
+        let r = d.leak_check();
+        let want_weak: u64 = weak.iter().map(|&w| w as u64).sum();
+        assert_eq!(r.weak_count, want_weak, "step {step}: {r:?}");
+        assert_eq!(r.corrupt_nodes, 0, "step {step}: {r:?}");
+    }
+
+    // Quiescent teardown in model order; the audit must read zero.
+    for (li, l) in links.iter().enumerate() {
+        h.store(l, None);
+        if let Some(old) = link_tgt[li].take() {
+            strong[old] -= 1;
+        }
+    }
+    for (wi, wl) in weak_links.iter().enumerate() {
+        h.store_weak(wl, None);
+        if let Some(old) = weak_tgt[wi].take() {
+            weak[old] -= 1;
+        }
+    }
+    drop(guards);
+    drop(weaks);
+    h.drain_deferred();
+    drop(h);
+    let r = d.leak_check();
+    assert!(r.is_clean(), "{r:?}");
+    assert_eq!(r.weak_count, 0, "{r:?}");
+}
+
+/// ISSUE acceptance criterion, proptest-verified: `Weak::upgrade` succeeds
+/// iff strong > 0 at linearization — here checked against a per-op
+/// reference model over seeded mixed strong/weak/snapshot sequences, with
+/// the domain-wide weak accounting audited after every single step.
+#[test]
+fn weak_upgrade_matches_model() {
+    for_each_seeded_case(
+        "weak_upgrade_matches_model",
+        0xA11_0C08,
+        gen_weak_ops,
+        run_weak_ops,
+    );
+}
+
+/// One step of the raw cross-scheme workload (single link + single weak
+/// link, operands resolved modulo the eligible population).
+#[derive(Debug, Clone, Copy)]
+enum RawWeakOp {
+    Alloc,
+    Release(u64),
+    AddRef(u64),
+    SetLink(u64),
+    ClearLink,
+    Deref,
+    Downgrade(u64),
+    Upgrade(u64),
+    ReleaseWeak(u64),
+    SetWeakLink(u64),
+    ClearWeakLink,
+    LoadWeak,
+    Snapshot,
+}
+
+fn gen_raw_weak_ops(rng: &mut SmallRng) -> Vec<RawWeakOp> {
+    let len = 30 + rng.gen_range(120) as usize;
+    (0..len)
+        .map(|_| match rng.gen_range(16) {
+            0 | 1 => RawWeakOp::Alloc,
+            2 => RawWeakOp::Release(rng.next_u64()),
+            3 => RawWeakOp::AddRef(rng.next_u64()),
+            4 => RawWeakOp::SetLink(rng.next_u64()),
+            5 => RawWeakOp::ClearLink,
+            6 => RawWeakOp::Deref,
+            7 | 8 => RawWeakOp::Downgrade(rng.next_u64()),
+            9 => RawWeakOp::ReleaseWeak(rng.next_u64()),
+            10 | 11 => RawWeakOp::Upgrade(rng.next_u64()),
+            12 => RawWeakOp::SetWeakLink(rng.next_u64()),
+            13 => RawWeakOp::ClearWeakLink,
+            14 => RawWeakOp::LoadWeak,
+            _ => RawWeakOp::Snapshot,
+        })
+        .collect()
+}
+
+/// Model node for the raw driver: `owned` strong counts and `owned_weak`
+/// weak counts held by the test itself (link-held counts are derived from
+/// the link targets). `freed` latches once every count has drained — the
+/// pointer is never touched again.
+struct RawNode<T: wfrc::core::RcObject> {
+    ptr: *mut Node<T>,
+    owned: u32,
+    owned_weak: u32,
+    freed: bool,
+}
+
+/// The same upgrade-iff-strong property through the scheme-generic `RcMm`
+/// surface, run against both the wait-free scheme and the LFRC baseline —
+/// the weak tier is part of the §3.2 compatibility contract, so both
+/// schemes must agree with the model op for op.
+fn run_raw_weak_ops<D: RcMmDomain<u64>>(d: &D, ops: &[RawWeakOp]) {
+    let scheme = d.scheme_name();
+    let h = d.register_mm().unwrap();
+    let link: Link<u64> = Link::null();
+    let wlink: AtomicWeak<u64> = AtomicWeak::null();
+    let mut nodes: Vec<RawNode<u64>> = Vec::new();
+    let mut link_tgt: Option<usize> = None;
+    let mut weak_tgt: Option<usize> = None;
+
+    // Total counts a node carries right now (owned + link-held).
+    let total_strong = |nodes: &[RawNode<u64>], lt: Option<usize>, id: usize| {
+        nodes[id].owned + u32::from(lt == Some(id))
+    };
+    let total_weak = |nodes: &[RawNode<u64>], wt: Option<usize>, id: usize| {
+        nodes[id].owned_weak + u32::from(wt == Some(id))
+    };
+    // Latch `freed` once both tiers drain; catches the model drifting from
+    // the scheme (a touched-after-free would be UB, so the model must
+    // agree with the scheme about when that happens).
+    let retire = |nodes: &mut [RawNode<u64>], lt: Option<usize>, wt: Option<usize>, id: usize| {
+        if total_strong(nodes, lt, id) == 0 && total_weak(nodes, wt, id) == 0 {
+            assert!(!nodes[id].freed, "{scheme}: node {id} retired twice");
+            nodes[id].freed = true;
+        }
+    };
+    let pick = |cands: &[usize], p: u64| cands[p as usize % cands.len()];
+    let strong_cands = |nodes: &[RawNode<u64>]| -> Vec<usize> {
+        nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| !n.freed && n.owned > 0)
+            .map(|(i, _)| i)
+            .collect()
+    };
+    let weak_cands = |nodes: &[RawNode<u64>]| -> Vec<usize> {
+        nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| !n.freed && n.owned_weak > 0)
+            .map(|(i, _)| i)
+            .collect()
+    };
+
+    for (step, op) in ops.iter().enumerate() {
+        match *op {
+            RawWeakOp::Alloc => {
+                if let Ok(ptr) = h.alloc_node() {
+                    let id = nodes.len();
+                    // SAFETY: fresh node, exclusively owned.
+                    unsafe { *h.payload_mut(ptr) = id as u64 };
+                    nodes.push(RawNode {
+                        ptr,
+                        owned: 1,
+                        owned_weak: 0,
+                        freed: false,
+                    });
+                }
+            }
+            RawWeakOp::Release(p) => {
+                let cands = strong_cands(&nodes);
+                if !cands.is_empty() {
+                    let id = pick(&cands, p);
+                    // SAFETY: the model says we own a strong count.
+                    unsafe { h.release_node(nodes[id].ptr) };
+                    nodes[id].owned -= 1;
+                    retire(&mut nodes, link_tgt, weak_tgt, id);
+                }
+            }
+            RawWeakOp::AddRef(p) => {
+                let cands = strong_cands(&nodes);
+                if !cands.is_empty() {
+                    let id = pick(&cands, p);
+                    // SAFETY: a strong count is held throughout.
+                    unsafe { h.add_refs(nodes[id].ptr, 1) };
+                    nodes[id].owned += 1;
+                }
+            }
+            RawWeakOp::SetLink(p) => {
+                let cands = strong_cands(&nodes);
+                if !cands.is_empty() {
+                    let id = pick(&cands, p);
+                    let old = link_tgt;
+                    let old_ptr = old.map_or(std::ptr::null_mut(), |o| nodes[o].ptr);
+                    // SAFETY: single-threaded, so the CAS cannot fail; one
+                    // owned count transfers to the link.
+                    let ok = unsafe { h.cas_link(&link, old_ptr, nodes[id].ptr) };
+                    assert!(ok, "{scheme} step {step}: unopposed CAS failed");
+                    nodes[id].owned -= 1;
+                    link_tgt = Some(id);
+                    if let Some(o) = old {
+                        // The swap made the old link count caller-owned.
+                        // SAFETY: exactly that count is released here.
+                        unsafe { h.release_node(nodes[o].ptr) };
+                        retire(&mut nodes, link_tgt, weak_tgt, o);
+                    }
+                    // The new target may have just handed over its last
+                    // owned count — the link now keeps it live.
+                    retire(&mut nodes, link_tgt, weak_tgt, id);
+                }
+            }
+            RawWeakOp::ClearLink => {
+                if let Some(o) = link_tgt.take() {
+                    // SAFETY: as above; the CAS is unopposed.
+                    let ok = unsafe { h.cas_link(&link, nodes[o].ptr, std::ptr::null_mut()) };
+                    assert!(ok, "{scheme} step {step}: unopposed CAS failed");
+                    // SAFETY: releasing the count the link held.
+                    unsafe { h.release_node(nodes[o].ptr) };
+                    retire(&mut nodes, link_tgt, weak_tgt, o);
+                }
+            }
+            RawWeakOp::Deref => {
+                // SAFETY: `link` only ever holds nodes of this domain.
+                let ptr = unsafe { h.deref_link(&link) };
+                match link_tgt {
+                    None => assert!(ptr.is_null(), "{scheme} step {step}"),
+                    Some(id) => {
+                        assert_eq!(ptr, nodes[id].ptr, "{scheme} step {step}");
+                        // SAFETY: deref transferred one strong count.
+                        let v = unsafe { *h.payload(ptr) };
+                        assert_eq!(v, id as u64, "{scheme} step {step}");
+                        nodes[id].owned += 1;
+                    }
+                }
+            }
+            RawWeakOp::Downgrade(p) => {
+                let cands = strong_cands(&nodes);
+                if !cands.is_empty() {
+                    let id = pick(&cands, p);
+                    // SAFETY: a strong count is held throughout the call.
+                    unsafe { h.downgrade_node(nodes[id].ptr) };
+                    nodes[id].owned_weak += 1;
+                }
+            }
+            RawWeakOp::Upgrade(p) => {
+                let cands = weak_cands(&nodes);
+                if !cands.is_empty() {
+                    let id = pick(&cands, p);
+                    // SAFETY: the model says we hold a weak reference.
+                    let ok = unsafe { h.upgrade_node(nodes[id].ptr) };
+                    assert_eq!(
+                        ok,
+                        total_strong(&nodes, link_tgt, id) > 0,
+                        "{scheme} step {step}: upgrade must succeed iff strong > 0 \
+                         (node {id}: owned {}, link {:?})",
+                        nodes[id].owned,
+                        link_tgt,
+                    );
+                    if ok {
+                        nodes[id].owned += 1;
+                    }
+                }
+            }
+            RawWeakOp::ReleaseWeak(p) => {
+                let cands = weak_cands(&nodes);
+                if !cands.is_empty() {
+                    let id = pick(&cands, p);
+                    // SAFETY: the model says we own a weak count.
+                    unsafe { h.release_weak(nodes[id].ptr) };
+                    nodes[id].owned_weak -= 1;
+                    retire(&mut nodes, link_tgt, weak_tgt, id);
+                }
+            }
+            RawWeakOp::SetWeakLink(p) => {
+                let cands = strong_cands(&nodes);
+                if !cands.is_empty() {
+                    let id = pick(&cands, p);
+                    let old = weak_tgt;
+                    // SAFETY: a strong reference is held on `node`.
+                    unsafe { h.store_weak_link(&wlink, nodes[id].ptr) };
+                    weak_tgt = Some(id);
+                    if let Some(o) = old {
+                        retire(&mut nodes, link_tgt, weak_tgt, o);
+                    }
+                }
+            }
+            RawWeakOp::ClearWeakLink => {
+                if let Some(o) = weak_tgt.take() {
+                    // SAFETY: null store drops the link's weak count.
+                    unsafe { h.store_weak_link(&wlink, std::ptr::null_mut()) };
+                    retire(&mut nodes, link_tgt, weak_tgt, o);
+                }
+            }
+            RawWeakOp::LoadWeak => {
+                // SAFETY: `wlink` only ever holds nodes of this domain.
+                let ptr = unsafe { h.load_weak_link(&wlink) };
+                let want = weak_tgt.filter(|&id| total_strong(&nodes, link_tgt, id) > 0);
+                match want {
+                    None => assert!(
+                        ptr.is_null(),
+                        "{scheme} step {step}: load_weak on a dead or empty target \
+                         must return null"
+                    ),
+                    Some(id) => {
+                        assert_eq!(ptr, nodes[id].ptr, "{scheme} step {step}");
+                        nodes[id].owned += 1;
+                    }
+                }
+            }
+            RawWeakOp::Snapshot => {
+                h.snapshot_enter();
+                // SAFETY: pin session live; single-threaded, so even a
+                // no-op guard (LFRC) protects the load.
+                let ptr = unsafe { h.snapshot_load(&link) };
+                match link_tgt {
+                    None => assert!(ptr.is_null(), "{scheme} step {step}"),
+                    Some(id) => assert_eq!(ptr, nodes[id].ptr, "{scheme} step {step}"),
+                }
+                // SAFETY: pairs the enter above; `ptr` not used after.
+                unsafe { h.snapshot_exit() };
+            }
+        }
+    }
+
+    // Quiescent teardown: unlink, then drain every owned count
+    // (strong first, so weak-drop finalization is the last writer).
+    if let Some(o) = link_tgt.take() {
+        // SAFETY: unopposed CAS + release of the link's count.
+        unsafe {
+            assert!(h.cas_link(&link, nodes[o].ptr, std::ptr::null_mut()));
+            h.release_node(nodes[o].ptr);
+        }
+        retire(&mut nodes, link_tgt, weak_tgt, o);
+    }
+    if let Some(o) = weak_tgt.take() {
+        // SAFETY: null store drops the link's weak count.
+        unsafe { h.store_weak_link(&wlink, std::ptr::null_mut()) };
+        retire(&mut nodes, link_tgt, weak_tgt, o);
+    }
+    for id in 0..nodes.len() {
+        while nodes[id].owned > 0 {
+            // SAFETY: releasing counts the model says we own.
+            unsafe { h.release_node(nodes[id].ptr) };
+            nodes[id].owned -= 1;
+        }
+        while nodes[id].owned_weak > 0 {
+            // SAFETY: releasing weak counts the model says we own.
+            unsafe { h.release_weak(nodes[id].ptr) };
+            nodes[id].owned_weak -= 1;
+        }
+        if !nodes[id].freed {
+            retire(&mut nodes, link_tgt, weak_tgt, id);
+        }
+    }
+    drop(h);
+    let r = d.leak_check_mm();
+    assert!(r.is_clean(), "{scheme}: {r:?}");
+    assert_eq!(r.weak_count, 0, "{scheme}: {r:?}");
+}
+
+/// The weak tier is part of the §3.2 compatibility surface: random raw
+/// `RcMm` sequences must agree with the reference model — upgrade succeeds
+/// iff strong > 0 — under **both** schemes, ending leak-free each case.
+#[test]
+fn weak_raw_ops_match_model_across_schemes() {
+    for_each_seeded_case(
+        "weak_raw_ops_match_model_across_schemes",
+        0xA11_0C09,
+        gen_raw_weak_ops,
+        |ops| {
+            run_raw_weak_ops(&WfrcDomain::<u64>::new(DomainConfig::new(1, 256)), ops);
+            run_raw_weak_ops(&LfrcDomain::<u64>::new(1, 256), ops);
+        },
+    );
+}
+
 /// Allocation/release in arbitrary interleavings conserves the pool.
 #[test]
 fn alloc_release_conserves_pool() {

@@ -107,6 +107,51 @@ fn snapshot_survives_release_to_zero() {
     assert_eq!(r.deferred_decs, 1, "{r:?}");
 }
 
+/// Weak × snapshot interplay (PR 10): a node whose free was *deferred*
+/// under a live pin is dead for the weak tier the moment its strong count
+/// drains — the snapshot keeps reading the deferred memory, but a weak
+/// upgrade must refuse it (death linearized at the claim, not the free).
+#[test]
+fn weak_upgrade_refuses_deferred_dead_node() {
+    let d = WfrcDomain::<u64>::new(DomainConfig::new(2, 8));
+    let h1 = d.register().unwrap();
+    let h2 = d.register().unwrap();
+    let link = Link::null();
+    let g = h1.alloc_with(|v| *v = 42).unwrap();
+    h1.store(&link, Some(&g));
+    let w = h1.downgrade(&g);
+    drop(g);
+
+    let guard = h2.pin();
+    let snap = guard.snapshot(&link).expect("non-null");
+    // Release-to-zero under the pin: the claim is taken (the node is dead
+    // to the weak tier) but the standing weak count holds the memory, so
+    // nothing defers yet.
+    h1.store(&link, None);
+    assert_eq!(*snap, 42, "weak-held header keeps the memory readable");
+    assert_eq!(d.deferred_len(), 0, "the weak count blocks the free");
+    assert!(w.is_dead(), "claim taken at release-to-zero");
+    assert!(w.upgrade().is_none(), "dead node must not upgrade");
+    let mid = d.leak_check();
+    assert_eq!(mid.weak_nodes, 1, "{mid:?}");
+    assert_eq!(mid.weak_count, 1, "{mid:?}");
+
+    // The last weak drop finalizes the header; with the pin still live
+    // the free diverts to the deferred list — the snapshot reads on.
+    drop(w);
+    assert_eq!(d.deferred_len(), 1, "finalize under a pin must defer");
+    assert_eq!(*snap, 42);
+    drop(guard);
+    // The unpin's opportunistic drain covers only h2's slot; the node
+    // sits in h1's — an explicit drain frees it wholesale.
+    assert_eq!(h1.drain_deferred(), 1);
+    assert_eq!(d.deferred_len(), 0);
+    drop((h1, h2));
+    let r = d.leak_check();
+    assert!(r.is_clean(), "{r:?}");
+    assert_eq!(r.upgrade_failed, 1, "{r:?}");
+}
+
 /// Satellite 4 regression: a parked guard is a retirement veto — the
 /// occupancy sweep must never retire a segment while any slot holds a live
 /// pin epoch, exactly like the announcement-summary veto.
@@ -185,7 +230,9 @@ fn forgotten_pin_guard_is_retracted_by_handle_drop() {
     // run a full grow-and-retire cycle (an odd stuck epoch would make
     // every grace period fail).
     let h3 = d.register().unwrap();
-    let grown: Vec<_> = (0..64).map(|_| h3.alloc_with(|v| *v = 3).unwrap()).collect();
+    let grown: Vec<_> = (0..64)
+        .map(|_| h3.alloc_with(|v| *v = 3).unwrap())
+        .collect();
     assert!(d.resident_segments() >= 3);
     drop(grown);
     let mut retired = 0;
